@@ -1,0 +1,67 @@
+// Ablation — CLC design choices: forward amortization decay rate and the
+// backward amortization pass.  Measures repaired violations, interval
+// distortion vs. the CLC input, and pairwise sync error.
+#include <iostream>
+
+#include "analysis/clock_condition.hpp"
+#include "analysis/interval_stats.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sync/clc.hpp"
+#include "sync/interpolation.hpp"
+#include "workload/sweep.hpp"
+
+using namespace chronosync;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  SweepConfig workload;
+  workload.rounds = static_cast<int>(cli.get_int("rounds", 600));
+  workload.gap_mean = cli.get_double("gap", 3.0);
+  workload.collective_every = 50;
+
+  JobConfig job;
+  job.placement = pinning::inter_node(clusters::xeon_rwth(),
+                                      static_cast<int>(cli.get_int("ranks", 16)));
+  job.timer = timer_specs::intel_tsc();
+  job.seed = cli.get_seed();
+
+  AppRunResult res = run_sweep(workload, std::move(job));
+  const auto msgs = res.trace.match_messages();
+  const auto logical = derive_logical_messages(res.trace);
+  const ReplaySchedule schedule(res.trace, msgs, logical);
+  const auto input =
+      apply_correction(res.trace, LinearInterpolation::from_store(res.offsets));
+
+  std::cout << "ABLATION -- CLC parameters (input: linear interpolation; "
+            << msgs.size() << " messages)\n\n";
+  AsciiTable table({"forward decay", "backward amort.", "repaired", "max jump [us]",
+                    "interval distortion mean [us]", "pair sync err [us]"});
+
+  for (double decay : {0.0, 0.01, 0.05, 0.2, 0.8}) {
+    for (bool backward : {false, true}) {
+      ClcOptions opt;
+      opt.forward_decay = decay;
+      opt.backward_amortization = backward;
+      const ClcResult clc = controlled_logical_clock(res.trace, schedule, input, opt);
+      const auto rep = check_clock_condition(res.trace, clc.corrected, msgs, logical);
+      if (rep.violations() != 0) {
+        std::cerr << "unexpected: violations remain for decay=" << decay << "\n";
+      }
+      const auto dist = interval_distortion(res.trace, input, clc.corrected);
+      const auto err = message_sync_error(res.trace, clc.corrected, msgs);
+      table.add_row({AsciiTable::num(decay, 2), backward ? "on" : "off",
+                     std::to_string(clc.violations_repaired),
+                     AsciiTable::num(to_us(clc.max_jump), 3),
+                     AsciiTable::num(to_us(dist.absolute.mean()), 4),
+                     AsciiTable::num(to_us(err.mean()), 3)});
+    }
+  }
+  std::cout << table.render()
+            << "\nReading: decay 0 keeps the full correction forever (pure offset\n"
+               "shift); large decay snaps back to the (wrong) local clock quickly and\n"
+               "re-violates repeatedly, repairing more receives.  Backward\n"
+               "amortization trades a little interval distortion for removing the\n"
+               "artificial idle gap before each jump.\n";
+  return 0;
+}

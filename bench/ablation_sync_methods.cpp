@@ -1,0 +1,102 @@
+// Ablation — Sec. V survey: every synchronization approach on one trace.
+//
+// One drifting-clock run; for each method: remaining violations, reversed
+// percentage, pairwise sync error against ground truth, and runtime cost.
+#include <chrono>
+#include <iostream>
+
+#include "analysis/clock_condition.hpp"
+#include "analysis/interval_stats.hpp"
+#include "analysis/order.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sync/clc.hpp"
+#include "sync/clc_parallel.hpp"
+#include "sync/collective_anchor.hpp"
+#include "sync/error_estimation.hpp"
+#include "sync/interpolation.hpp"
+#include "sync/node_coupling.hpp"
+#include "sync/offset_alignment.hpp"
+#include "workload/sweep.hpp"
+
+using namespace chronosync;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  SweepConfig workload;
+  workload.rounds = static_cast<int>(cli.get_int("rounds", 600));
+  workload.gap_mean = cli.get_double("gap", 3.0);
+  workload.collective_every = 50;
+
+  JobConfig job;
+  job.placement = pinning::inter_node(clusters::xeon_rwth(),
+                                      static_cast<int>(cli.get_int("ranks", 16)));
+  job.timer = timer_specs::intel_tsc();
+  job.seed = cli.get_seed();
+
+  std::cerr << "simulating...\n";
+  AppRunResult res = run_sweep(workload, std::move(job));
+  const auto msgs = res.trace.match_messages();
+  const auto logical = derive_logical_messages(res.trace);
+  const ReplaySchedule schedule(res.trace, msgs, logical);
+
+  AsciiTable table({"method", "violations", "reversed [%]", "pair sync err [us]",
+                    "misordered [%]", "time [ms]"});
+  auto report = [&](const std::string& name, auto&& make_ts) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const TimestampArray ts = make_ts();
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto rep = check_clock_condition(res.trace, ts, msgs, logical);
+    const auto err = message_sync_error(res.trace, ts, msgs);
+    const auto order = order_consistency(res.trace, ts);
+    const double ms =
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() / 1000.0;
+    table.add_row({name, std::to_string(rep.violations()),
+                   AsciiTable::num(rep.combined_reversed_pct(), 2),
+                   AsciiTable::num(to_us(err.mean()), 3),
+                   AsciiTable::num(100.0 * order.misordered_fraction(), 3),
+                   AsciiTable::num(ms, 1)});
+    return ts;
+  };
+
+  report("raw local clocks", [&] { return TimestampArray::from_local(res.trace); });
+  report("offset alignment", [&] {
+    return apply_correction(res.trace, OffsetAlignment::from_store(res.offsets));
+  });
+  const auto interp = report("linear interpolation (Eq. 3)", [&] {
+    return apply_correction(res.trace, LinearInterpolation::from_store(res.offsets));
+  });
+  for (auto method : {EstimationMethod::Regression, EstimationMethod::ConvexHull,
+                      EstimationMethod::MinMax}) {
+    report("error estimation: " + to_string(method), [&] {
+      return apply_correction(res.trace,
+                              ErrorEstimationCorrection::build(res.trace, msgs, method));
+    });
+  }
+  report("interpolation + CLC", [&] {
+    return controlled_logical_clock(res.trace, schedule, interp).corrected;
+  });
+  report("interpolation + parallel CLC", [&] {
+    return controlled_logical_clock_parallel(res.trace, schedule, interp).corrected;
+  });
+  report("collective anchors (Babaoglu)", [&] {
+    return apply_correction(res.trace, CollectiveAnchorCorrection::build(res.trace));
+  });
+  report("interpolation + node-coupled CLC", [&] {
+    return node_coupled_clc(res.trace, schedule, interp).clc.corrected;
+  });
+  report("CLC on raw clocks (no pre-sync)", [&] {
+    return controlled_logical_clock(res.trace, schedule,
+                                    TimestampArray::from_local(res.trace))
+        .corrected;
+  });
+
+  std::cout << "\nABLATION -- synchronization methods on one trace ("
+            << res.trace.total_events() << " events, " << msgs.size() << " messages, "
+            << logical.size() << " logical messages)\n\n"
+            << table.render()
+            << "\nOnly the CLC variants restore the clock condition exactly; CLC run on\n"
+               "raw clocks shows why the paper recommends pre-synchronization (its\n"
+               "sync error stays offset-sized even though violations are gone).\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 8 — Intel Itanium SMP node: percentages of parallel regions in an
+// OpenMP benchmark exhibiting clock-condition violations across thread
+// counts (4, 8, 12, 16), with raw ITC timestamps (no alignment, no
+// interpolation), averaged over three measurements.
+//
+// Expected shape: most regions affected at 4 threads (exit violations most
+// frequent), sharply dropping as synchronization latency grows with the
+// thread count, to (near) zero at 16 threads.
+#include <iostream>
+
+#include "analysis/omp_semantics.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "ompsim/omp_bench.hpp"
+
+using namespace chronosync;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int regions = static_cast<int>(cli.get_int("regions", 1000));
+  const int runs = static_cast<int>(cli.get_int("runs", 3));
+
+  std::cout << "FIG. 8 -- Itanium SMP node (4 chips x 4 cores), raw ITC timestamps,\n"
+            << regions << " parallel-for regions, averaged over " << runs << " runs\n\n";
+
+  AsciiTable table({"threads", "any [%]", "entry [%]", "exit [%]", "barrier [%]",
+                    "barrier latency [us]"});
+  for (int threads : {4, 8, 12, 16}) {
+    double any = 0.0, entry = 0.0, exit_v = 0.0, barrier = 0.0;
+    OmpBenchConfig cfg;
+    for (int run = 0; run < runs; ++run) {
+      cfg = OmpBenchConfig{};
+      cfg.threads = threads;
+      cfg.regions = regions;
+      cfg.seed = cli.get_seed() + static_cast<std::uint64_t>(run) * 7919;
+      const auto res = run_omp_benchmark(cfg);
+      const auto rep =
+          check_omp_semantics(res.trace, TimestampArray::from_local(res.trace));
+      any += rep.any_pct() / runs;
+      entry += rep.entry_pct() / runs;
+      exit_v += rep.exit_pct() / runs;
+      barrier += rep.barrier_pct() / runs;
+    }
+    table.add_row({std::to_string(threads), AsciiTable::num(any, 1),
+                   AsciiTable::num(entry, 1), AsciiTable::num(exit_v, 1),
+                   AsciiTable::num(barrier, 1),
+                   AsciiTable::num(to_us(omp_barrier_latency(cfg, threads)), 3)});
+  }
+  std::cout << table.render()
+            << "\nPaper: 83% of regions affected at 4 threads, exit violations most\n"
+               "frequent, very few at 12 threads and none at 16 -- because OpenMP\n"
+               "synchronization latencies rise with the thread count while the\n"
+               "inter-chip clock deviations stay at the ~0.1 us level.\n";
+  return 0;
+}

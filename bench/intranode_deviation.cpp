@@ -1,0 +1,124 @@
+// Sec. IV (final Xeon experiment, unnumbered): relative deviations of clocks
+// co-located on the same SMP node — without correction, after offset
+// alignment, and after linear interpolation — separately for processes on
+// different chips and on the same chip.
+//
+// Paper result: deviations are "essentially noise oscillating around zero
+// with a maximum difference of roughly 0.1 us", so MPI message semantics
+// within a node survive without postprocessing.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/deviation.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "measure/offset_probe.hpp"
+#include "sync/interpolation.hpp"
+#include "sync/offset_alignment.hpp"
+#include "topology/cluster.hpp"
+
+using namespace chronosync;
+
+namespace {
+
+struct Setup {
+  const char* name;
+  Placement placement;
+  CommDomain domain;
+};
+
+void run_setup(const Setup& setup, Duration duration, const RngTree& rng, AsciiTable& table) {
+  const int n = setup.placement.ranks();
+  // Clock reads are stateful (monotone clamping), so probing and each
+  // measurement sweep get their own ensemble instance; the same seed
+  // reproduces identical clock trajectories.
+  auto make_ens = [&] {
+    return ClockEnsemble(setup.placement, timer_specs::intel_tsc(), rng.child(setup.name));
+  };
+  ClockEnsemble ens = make_ens();
+  const HierarchicalLatencyModel lat = latencies::xeon_infiniband();
+  Rng probe_rng = rng.child(setup.name).stream("probe");
+
+  // Raw (no correction).
+  IdentityCorrection raw;
+
+  // Offset alignment at t = 0 (measured).
+  std::vector<Duration> offsets(static_cast<std::size_t>(n), 0.0);
+  for (Rank w = 1; w < n; ++w) {
+    offsets[static_cast<std::size_t>(w)] =
+        direct_probe(ens.clock(0), ens.clock(w), lat, setup.domain, 0.01 * w, 20, probe_rng)
+            .offset;
+  }
+  OffsetAlignment align(offsets);
+
+  // Linear interpolation from measurements at both ends.
+  std::vector<LinearInterpolation::RankParams> params(static_cast<std::size_t>(n));
+  params[0] = {0.0, 0.0, duration, 0.0};
+  for (Rank w = 1; w < n; ++w) {
+    const auto m1 = direct_probe(ens.clock(0), ens.clock(w), lat, setup.domain,
+                                 1.0 + 0.01 * w, 20, probe_rng);
+    params[static_cast<std::size_t>(w)].w1 = m1.worker_time;
+    params[static_cast<std::size_t>(w)].o1 = m1.offset;
+  }
+  for (Rank w = 1; w < n; ++w) {
+    const auto m2 = direct_probe(ens.clock(0), ens.clock(w), lat, setup.domain,
+                                 duration - 1.0 + 0.01 * w, 20, probe_rng);
+    params[static_cast<std::size_t>(w)].w2 = m2.worker_time;
+    params[static_cast<std::size_t>(w)].o2 = m2.offset;
+  }
+  LinearInterpolation interp(std::move(params));
+
+  // For the raw case the initial offset dominates; report it separately from
+  // the *variation* (max - min per rank), which is the paper's "noise".
+  auto measure = [&](const TimestampCorrection& corr) {
+    // Through actual clock reads: the paper's intra-node result is about the
+    // measured noise, not the (noise-free) underlying clock states.
+    ClockEnsemble fresh = make_ens();
+    const DeviationSeries s =
+        sample_measured_deviations(fresh, corr, duration, duration / 200.0);
+    Duration max_abs = 0.0, max_swing = 0.0;
+    for (std::size_t r = 1; r < s.per_rank.size(); ++r) {
+      Duration lo = kTimeInfinity, hi = -kTimeInfinity;
+      for (Duration d : s.per_rank[r]) {
+        max_abs = std::max(max_abs, std::abs(d));
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+      }
+      max_swing = std::max(max_swing, hi - lo);
+    }
+    return std::make_pair(max_abs, max_swing);
+  };
+
+  const auto [raw_abs, raw_swing] = measure(raw);
+  const auto [al_abs, al_swing] = measure(align);
+  const auto [in_abs, in_swing] = measure(interp);
+  table.add_row({setup.name, AsciiTable::num(to_us(raw_abs), 3),
+                 AsciiTable::num(to_us(raw_swing), 3), AsciiTable::num(to_us(al_abs), 3),
+                 AsciiTable::num(to_us(in_abs), 3)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const Duration duration = cli.get_double("duration", 3600.0);
+  const RngTree rng(cli.get_seed());
+  const ClusterSpec xeon = clusters::xeon_rwth();
+
+  AsciiTable table({"co-location", "raw max |dev| [us]", "raw swing [us]",
+                    "aligned max |dev| [us]", "interpolated max |dev| [us]"});
+  run_setup({"same chip (4 cores)", pinning::inter_core(xeon, 4), CommDomain::SameChip},
+            duration, rng, table);
+  run_setup({"same node, 2 chips", pinning::inter_chip(xeon, 2), CommDomain::SameNode},
+            duration, rng, table);
+
+  std::cout << "INTRA-NODE DEVIATIONS -- Xeon cluster, Intel TSC, " << duration
+            << " s run\n\n"
+            << table.render()
+            << "\nPaper: co-located clocks differ only by noise around zero with a\n"
+               "maximum difference of roughly 0.1 us (here: 'swing'), so intra-node\n"
+               "MPI semantics survive without timestamp postprocessing.  Compare the\n"
+               "~0.1 us scale here against the tens of microseconds across nodes\n"
+               "(Fig. 5).\n";
+  return 0;
+}

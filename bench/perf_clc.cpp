@@ -1,0 +1,96 @@
+// Performance — CLC throughput (events/s), sequential vs. parallel replay
+// (ref. [31] parallelized the algorithm for large-scale traces).
+#include <benchmark/benchmark.h>
+
+#include "sync/clc.hpp"
+#include "sync/clc_parallel.hpp"
+#include "sync/interpolation.hpp"
+#include "workload/sweep.hpp"
+
+namespace chronosync {
+namespace {
+
+// ReplaySchedule keeps a pointer into the trace, so members are initialized
+// in declaration order against the trace's final location.
+struct Fixture {
+  Trace trace;
+  std::vector<MessageRecord> msgs;
+  std::vector<LogicalMessage> logical;
+  ReplaySchedule schedule;
+  TimestampArray input;
+
+  explicit Fixture(AppRunResult res)
+      : trace(std::move(res.trace)),
+        msgs(trace.match_messages()),
+        logical(derive_logical_messages(trace)),
+        schedule(trace, msgs, logical),
+        input(apply_correction(trace, LinearInterpolation::from_store(res.offsets))) {}
+
+  static AppRunResult run(int ranks, int rounds) {
+    SweepConfig cfg;
+    cfg.rounds = rounds;
+    cfg.gap_mean = 0.01;
+    cfg.collective_every = 50;
+    JobConfig job;
+    job.placement = pinning::inter_node(clusters::xeon_rwth(), ranks);
+    job.timer = timer_specs::intel_tsc();
+    job.seed = 42;
+    return run_sweep(cfg, std::move(job));
+  }
+};
+
+const Fixture& fixture() {
+  static Fixture fx(Fixture::run(16, 800));
+  return fx;
+}
+
+void BM_ClcSequential(benchmark::State& state) {
+  const Fixture& fx = fixture();
+  for (auto _ : state) {
+    auto result = controlled_logical_clock(fx.trace, fx.schedule, fx.input);
+    benchmark::DoNotOptimize(result.violations_repaired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.schedule.events()));
+}
+BENCHMARK(BM_ClcSequential)->Unit(benchmark::kMillisecond);
+
+void BM_ClcParallel(benchmark::State& state) {
+  const Fixture& fx = fixture();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result =
+        controlled_logical_clock_parallel(fx.trace, fx.schedule, fx.input, {}, threads);
+    benchmark::DoNotOptimize(result.violations_repaired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.schedule.events()));
+}
+BENCHMARK(BM_ClcParallel)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_ReplayScheduleBuild(benchmark::State& state) {
+  const Fixture& fx = fixture();
+  for (auto _ : state) {
+    ReplaySchedule schedule(fx.trace, fx.msgs, fx.logical);
+    benchmark::DoNotOptimize(schedule.events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.schedule.events()));
+}
+BENCHMARK(BM_ReplayScheduleBuild)->Unit(benchmark::kMillisecond);
+
+void BM_MessageMatching(benchmark::State& state) {
+  const Fixture& fx = fixture();
+  for (auto _ : state) {
+    auto msgs = fx.trace.match_messages();
+    benchmark::DoNotOptimize(msgs.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.trace.total_events()));
+}
+BENCHMARK(BM_MessageMatching)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace chronosync
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Performance — trace subsystem throughput: serialization (binary and text),
+// logical-message derivation, and timeline rendering.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "trace/logical_messages.hpp"
+#include "trace/otf_text.hpp"
+#include "trace/timeline.hpp"
+#include "trace/trace_io.hpp"
+#include "workload/sweep.hpp"
+
+namespace chronosync {
+namespace {
+
+const Trace& fixture() {
+  static Trace trace = [] {
+    SweepConfig cfg;
+    cfg.rounds = 500;
+    cfg.gap_mean = 0.01;
+    cfg.collective_every = 25;
+    JobConfig job;
+    job.placement = pinning::inter_node(clusters::xeon_rwth(), 16);
+    job.timer = timer_specs::intel_tsc();
+    job.seed = 42;
+    return run_sweep(cfg, std::move(job)).trace;
+  }();
+  return trace;
+}
+
+void BM_BinaryWrite(benchmark::State& state) {
+  const Trace& t = fixture();
+  for (auto _ : state) {
+    std::stringstream buf;
+    write_trace(t, buf);
+    benchmark::DoNotOptimize(buf.tellp());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.total_events()));
+}
+BENCHMARK(BM_BinaryWrite)->Unit(benchmark::kMillisecond);
+
+void BM_BinaryRoundTrip(benchmark::State& state) {
+  const Trace& t = fixture();
+  std::stringstream buf;
+  write_trace(t, buf);
+  const std::string blob = buf.str();
+  for (auto _ : state) {
+    std::stringstream in(blob);
+    Trace back = read_trace(in);
+    benchmark::DoNotOptimize(back.total_events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.total_events()));
+}
+BENCHMARK(BM_BinaryRoundTrip)->Unit(benchmark::kMillisecond);
+
+void BM_TextRoundTrip(benchmark::State& state) {
+  const Trace& t = fixture();
+  std::stringstream buf;
+  write_text_trace(t, buf);
+  const std::string blob = buf.str();
+  for (auto _ : state) {
+    std::stringstream in(blob);
+    Trace back = read_text_trace(in);
+    benchmark::DoNotOptimize(back.total_events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.total_events()));
+}
+BENCHMARK(BM_TextRoundTrip)->Unit(benchmark::kMillisecond);
+
+void BM_DeriveLogicalMessages(benchmark::State& state) {
+  const Trace& t = fixture();
+  for (auto _ : state) {
+    auto logical = derive_logical_messages(t);
+    benchmark::DoNotOptimize(logical.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.total_events()));
+}
+BENCHMARK(BM_DeriveLogicalMessages)->Unit(benchmark::kMillisecond);
+
+void BM_TimelineRender(benchmark::State& state) {
+  const Trace& t = fixture();
+  const auto ts = TimestampArray::from_local(t);
+  TimelineOptions opt;
+  opt.max_messages = 10;
+  for (auto _ : state) {
+    const std::string s = render_timeline(t, ts, opt);
+    benchmark::DoNotOptimize(s.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.total_events()));
+}
+BENCHMARK(BM_TimelineRender)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace chronosync
+
+BENCHMARK_MAIN();

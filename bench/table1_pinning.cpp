@@ -1,0 +1,51 @@
+// Table I — Xeon cluster: process pinning for measurements among SMP nodes,
+// chips, and cores.
+//
+// Reproduces the placement matrix and verifies each pinning yields the
+// intended communication domain between every pair of ranks.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "topology/cluster.hpp"
+#include "topology/pinning.hpp"
+
+using namespace chronosync;
+
+int main() {
+  const ClusterSpec xeon = clusters::xeon_rwth();
+
+  struct Row {
+    const char* name;
+    Placement placement;
+    CommDomain expected;
+  };
+  const Row rows[] = {
+      {"Inter node", pinning::inter_node(xeon, 4), CommDomain::CrossNode},
+      {"Inter chip", pinning::inter_chip(xeon, 2), CommDomain::SameNode},
+      {"Inter core", pinning::inter_core(xeon, 4), CommDomain::SameChip},
+  };
+
+  AsciiTable table({"setup", "process pinning", "pair domain", "verified"});
+  for (const auto& row : rows) {
+    bool ok = true;
+    for (Rank a = 0; a < row.placement.ranks(); ++a) {
+      for (Rank b = a + 1; b < row.placement.ranks(); ++b) {
+        ok = ok && row.placement.domain(a, b) == row.expected;
+      }
+    }
+    std::string pinning_desc;
+    if (std::string(row.name) == "Inter node") {
+      pinning_desc = "4 nodes, 1 process per node";
+    } else if (std::string(row.name) == "Inter chip") {
+      pinning_desc = "1 node, 2 chips per node, 1 process per chip";
+    } else {
+      pinning_desc = "1 node, 1 chip per node, 4 processes per chip";
+    }
+    table.add_row({row.name, pinning_desc, to_string(row.expected), ok ? "yes" : "NO"});
+  }
+
+  std::cout << "TABLE I -- Xeon cluster process pinnings (" << xeon.nodes << " nodes x "
+            << xeon.chips_per_node << " chips x " << xeon.cores_per_chip << " cores)\n\n"
+            << table.render();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table II — Xeon cluster: measured message and collective latencies for the
+// three pinning setups.
+//
+// Paper values:  inter node 4.29 us, inter chip 0.86 us, inter core 0.47 us,
+// inter-node 4-rank allreduce 12.86 us; std-devs are the spread of repeated
+// *averaged* estimates and therefore orders of magnitude below the means.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "measure/latency_probe.hpp"
+#include "topology/cluster.hpp"
+
+using namespace chronosync;
+
+namespace {
+
+LatencyProbeResult probe(Placement placement, const LatencyProbeConfig& cfg, bool collective,
+                         std::uint64_t seed) {
+  JobConfig job;
+  job.placement = std::move(placement);
+  job.seed = seed;
+  Job j(std::move(job));
+  return collective ? measure_allreduce_latency(j, cfg) : measure_p2p_latency(j, cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const ClusterSpec xeon = clusters::xeon_rwth();
+  LatencyProbeConfig cfg;
+  cfg.estimates = static_cast<int>(cli.get_int("estimates", 10));
+  cfg.reps_per_estimate = static_cast<int>(cli.get_int("reps", 1000));
+  const std::uint64_t seed = cli.get_seed();
+
+  struct Row {
+    const char* name;
+    Placement placement;
+    bool collective;
+    double paper_mean_us;
+  };
+  const Row rows[] = {
+      {"Inter node message latency", pinning::inter_node(xeon, 2), false, 4.29},
+      {"Inter chip message latency", pinning::inter_chip(xeon, 2), false, 0.86},
+      {"Inter core message latency", pinning::inter_core(xeon, 2), false, 0.47},
+      {"Inter node collective latency", pinning::inter_node(xeon, 4), true, 12.86},
+  };
+
+  AsciiTable table({"setup", "mean [us]", "std. dev. [us]", "paper mean [us]"});
+  for (const auto& row : rows) {
+    const auto res = probe(row.placement, cfg, row.collective, seed);
+    table.add_row({row.name, AsciiTable::num(to_us(res.one_way.mean()), 2),
+                   AsciiTable::sci(to_us(res.one_way.stddev()), 2),
+                   AsciiTable::num(row.paper_mean_us, 2)});
+  }
+
+  std::cout << "TABLE II -- Xeon cluster: measured message and collective latencies\n"
+            << "(" << cfg.estimates << " estimates x " << cfg.reps_per_estimate
+            << " averaged operations each)\n\n"
+            << table.render()
+            << "\nMeasured means include send/recv software overheads on top of the\n"
+               "wire floors, as the paper's ping-pong measurements did.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Clock zoo: print deviation trajectories of every modeled timer technology
+// (Sec. II of the paper) between two cluster nodes over a one-hour run.
+//
+//   $ clock_zoo [--duration 3600] [--seed 42]
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/deviation.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sync/offset_alignment.hpp"
+#include "topology/cluster.hpp"
+
+using namespace chronosync;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const Duration duration = cli.get_double("duration", 3600.0);
+  const RngTree rng(cli.get_seed());
+
+  AsciiTable table({"timer", "dev @60s [us]", "dev @600s [us]", "dev @end [us]",
+                    "max |dev| [us]"});
+  for (const TimerSpec& spec : timer_specs::all()) {
+    const Placement pl = pinning::inter_node(clusters::xeon_rwth(), 2);
+    ClockEnsemble ens(pl, spec, rng.child(spec.name));
+
+    // Align initial offsets (the paper's step (i)), then watch the drift.
+    std::vector<Duration> offsets;
+    for (Rank r = 0; r < 2; ++r) {
+      offsets.push_back(ens.clock(0).local_time(0.0) - ens.clock(r).local_time(0.0));
+    }
+    OffsetAlignment align(std::move(offsets));
+    const DeviationSeries s = sample_deviations(ens, align, duration, 10.0);
+
+    auto at_time = [&](Time t) {
+      const auto idx = static_cast<std::size_t>(t / 10.0);
+      return idx < s.per_rank[1].size() ? s.per_rank[1][idx] : s.per_rank[1].back();
+    };
+    table.add_row({spec.name, AsciiTable::num(to_us(at_time(60.0)), 3),
+                   AsciiTable::num(to_us(at_time(600.0)), 3),
+                   AsciiTable::num(to_us(s.per_rank[1].back()), 3),
+                   AsciiTable::num(to_us(max_abs_deviation(s)), 3)});
+  }
+
+  std::cout << "Deviation of node 1 against node 0 after initial offset alignment\n"
+            << "(run length " << duration << " s; positive = node 1 runs fast)\n\n"
+            << table.render()
+            << "\nNote how the NTP-disciplined software clocks change slope abruptly\n"
+               "while the hardware counters drift at a nearly constant rate (Fig. 4).\n";
+  return 0;
+}

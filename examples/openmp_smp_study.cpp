@@ -1,0 +1,65 @@
+// OpenMP SMP study: reproduce the Fig. 3 phenomenon interactively — run the
+// POMP benchmark on the Itanium-like node and show violated regions, plus
+// how the picture changes with thread count.
+//
+//   $ openmp_smp_study [--threads 4] [--regions 500] [--seed 42]
+#include <iostream>
+
+#include "analysis/omp_semantics.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "ompsim/omp_bench.hpp"
+#include "sync/omp_clc.hpp"
+
+using namespace chronosync;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  OmpBenchConfig cfg;
+  cfg.threads = static_cast<int>(cli.get_int("threads", 4));
+  cfg.regions = static_cast<int>(cli.get_int("regions", 500));
+  cfg.seed = cli.get_seed();
+
+  const OmpBenchResult res = run_omp_benchmark(cfg);
+  const auto local = check_omp_semantics(res.trace, TimestampArray::from_local(res.trace));
+  const auto truth = check_omp_semantics(res.trace, TimestampArray::from_truth(res.trace));
+  const OmpClcResult repaired = omp_controlled_logical_clock(
+      res.trace, omp_thread_placement(cfg.node, cfg.threads));
+  const auto fixed = check_omp_semantics(res.trace, repaired.corrected);
+
+  std::cout << "POMP benchmark: " << cfg.threads << " threads, " << cfg.regions
+            << " parallel-for regions on " << cfg.node.name << " (" << cfg.timer.name
+            << " timestamps)\n\n";
+
+  AsciiTable table({"clock view", "any [%]", "entry [%]", "exit [%]", "barrier [%]"});
+  table.add_row({"measured (local clocks)", AsciiTable::num(local.any_pct(), 1),
+                 AsciiTable::num(local.entry_pct(), 1), AsciiTable::num(local.exit_pct(), 1),
+                 AsciiTable::num(local.barrier_pct(), 1)});
+  table.add_row({"ground truth", AsciiTable::num(truth.any_pct(), 1),
+                 AsciiTable::num(truth.entry_pct(), 1), AsciiTable::num(truth.exit_pct(), 1),
+                 AsciiTable::num(truth.barrier_pct(), 1)});
+  table.add_row({"after OpenMP CLC", AsciiTable::num(fixed.any_pct(), 1),
+                 AsciiTable::num(fixed.entry_pct(), 1), AsciiTable::num(fixed.exit_pct(), 1),
+                 AsciiTable::num(fixed.barrier_pct(), 1)});
+  std::cout << table.render();
+
+  // Show one concrete violated region like the Fig. 3 screenshot.
+  for (const auto& check : local.details) {
+    if (!check.any()) continue;
+    std::cout << "\nexample: region instance " << check.instance << " violates";
+    if (check.entry_violation) std::cout << " [entry]";
+    if (check.exit_violation) std::cout << " [exit]";
+    if (check.barrier_violation) std::cout << " [barrier]";
+    std::cout << "\nevent timeline (thread: type @ local us, offset from region start):\n";
+    Time base = -1.0;
+    for (std::uint32_t i = 0; i < res.trace.events(0).size(); ++i) {
+      const Event& e = res.trace.events(0)[i];
+      if (e.omp_instance != check.instance) continue;
+      if (base < 0.0) base = e.local_ts;
+      std::cout << "  t" << e.thread << ": " << to_string(e.type) << " @ "
+                << AsciiTable::num(to_us(e.local_ts - base), 3) << " us\n";
+    }
+    break;
+  }
+  return 0;
+}

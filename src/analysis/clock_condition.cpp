@@ -1,0 +1,113 @@
+#include "analysis/clock_condition.hpp"
+
+#include <algorithm>
+
+namespace chronosync {
+
+namespace {
+double pct(std::size_t part, std::size_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+}  // namespace
+
+double ClockConditionReport::p2p_reversed_pct() const { return pct(p2p_reversed, p2p_messages); }
+double ClockConditionReport::p2p_violation_pct() const {
+  return pct(p2p_violations, p2p_messages);
+}
+double ClockConditionReport::logical_reversed_pct() const {
+  return pct(logical_reversed, logical_messages);
+}
+double ClockConditionReport::message_event_pct() const {
+  return pct(message_events, total_events);
+}
+double ClockConditionReport::combined_reversed_pct() const {
+  return pct(p2p_reversed + logical_reversed, p2p_messages + logical_messages);
+}
+
+ClockConditionReport check_clock_condition(const Trace& trace,
+                                           const TimestampArray& timestamps,
+                                           const std::vector<MessageRecord>& messages,
+                                           const std::vector<LogicalMessage>& logical) {
+  ClockConditionReport rep;
+
+  for (const auto& m : messages) {
+    ++rep.p2p_messages;
+    const Time ts = timestamps.at(m.send);
+    const Time tr = timestamps.at(m.recv);
+    const Duration l_min = trace.min_latency(m.send.proc, m.recv.proc);
+    if (tr < ts) ++rep.p2p_reversed;
+    if (tr < ts + l_min) {
+      ++rep.p2p_violations;
+      rep.p2p_worst = std::max(rep.p2p_worst, ts + l_min - tr);
+    }
+  }
+
+  for (const auto& lm : logical) {
+    ++rep.logical_messages;
+    const Time ts = timestamps.at(lm.send);
+    const Time tr = timestamps.at(lm.recv);
+    const Duration l_min = trace.min_latency(lm.send.proc, lm.recv.proc);
+    if (tr < ts) ++rep.logical_reversed;
+    if (tr < ts + l_min) {
+      ++rep.logical_violations;
+      rep.logical_worst = std::max(rep.logical_worst, ts + l_min - tr);
+    }
+  }
+
+  rep.total_events = trace.total_events();
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    for (const Event& e : trace.events(r)) {
+      switch (e.type) {
+        case EventType::Send:
+        case EventType::Recv:
+        case EventType::CollBegin:
+        case EventType::CollEnd:
+          ++rep.message_events;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return rep;
+}
+
+ClockConditionReport check_clock_condition(const Trace& trace,
+                                           const TimestampArray& timestamps) {
+  return check_clock_condition(trace, timestamps, trace.match_messages(),
+                               derive_logical_messages(trace));
+}
+
+std::vector<std::tuple<Rank, Rank, std::size_t>> PairViolationMatrix::worst_pairs() const {
+  std::vector<std::tuple<Rank, Rank, std::size_t>> out;
+  for (std::size_t s = 0; s < violations.size(); ++s) {
+    for (std::size_t d = 0; d < violations[s].size(); ++d) {
+      if (violations[s][d] > 0) {
+        out.emplace_back(static_cast<Rank>(s), static_cast<Rank>(d), violations[s][d]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return std::get<2>(a) > std::get<2>(b);
+  });
+  return out;
+}
+
+PairViolationMatrix per_pair_violations(const Trace& trace,
+                                        const TimestampArray& timestamps,
+                                        const std::vector<MessageRecord>& messages) {
+  PairViolationMatrix m;
+  const auto n = static_cast<std::size_t>(trace.ranks());
+  m.messages.assign(n, std::vector<std::size_t>(n, 0));
+  m.violations.assign(n, std::vector<std::size_t>(n, 0));
+  for (const auto& msg : messages) {
+    const auto s = static_cast<std::size_t>(msg.send.proc);
+    const auto d = static_cast<std::size_t>(msg.recv.proc);
+    ++m.messages[s][d];
+    const Duration l_min = trace.min_latency(msg.send.proc, msg.recv.proc);
+    if (timestamps.at(msg.recv) < timestamps.at(msg.send) + l_min) ++m.violations[s][d];
+  }
+  return m;
+}
+
+}  // namespace chronosync

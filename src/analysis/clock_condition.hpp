@@ -1,0 +1,70 @@
+// Clock-condition analysis (Eq. 1 and Fig. 7 of the paper).
+//
+// For every matched point-to-point message and every logical message derived
+// from collectives, checks
+//     t_recv >= t_send + l_min          (clock condition)
+// and the stricter observable the paper plots in Fig. 7,
+//     t_recv <  t_send                  (reversed message).
+#pragma once
+
+#include <cstddef>
+#include <tuple>
+#include <vector>
+
+#include "trace/logical_messages.hpp"
+#include "trace/trace.hpp"
+
+namespace chronosync {
+
+struct ClockConditionReport {
+  // -- point-to-point ---------------------------------------------------------
+  std::size_t p2p_messages = 0;
+  std::size_t p2p_reversed = 0;    ///< t_recv < t_send
+  std::size_t p2p_violations = 0;  ///< t_recv < t_send + l_min
+  Duration p2p_worst = 0.0;        ///< largest (t_send + l_min - t_recv) > 0
+
+  // -- logical messages from collectives ---------------------------------------
+  std::size_t logical_messages = 0;
+  std::size_t logical_reversed = 0;
+  std::size_t logical_violations = 0;
+  Duration logical_worst = 0.0;
+
+  // -- event census (Fig. 7's back row) ----------------------------------------
+  std::size_t total_events = 0;
+  std::size_t message_events = 0;  ///< Send + Recv + CollBegin + CollEnd
+
+  double p2p_reversed_pct() const;
+  double p2p_violation_pct() const;
+  double logical_reversed_pct() const;
+  double message_event_pct() const;
+  /// Reversal percentage over p2p plus logical messages combined.
+  double combined_reversed_pct() const;
+
+  std::size_t violations() const { return p2p_violations + logical_violations; }
+};
+
+/// Analyzes `timestamps` (any correction output) against the trace structure.
+ClockConditionReport check_clock_condition(const Trace& trace,
+                                           const TimestampArray& timestamps,
+                                           const std::vector<MessageRecord>& messages,
+                                           const std::vector<LogicalMessage>& logical);
+
+/// Convenience: builds the message/collective indexes itself.
+ClockConditionReport check_clock_condition(const Trace& trace,
+                                           const TimestampArray& timestamps);
+
+/// Per-(src, dst) message and violation counts — localizes which links
+/// suffer, as a tool would highlight offending process pairs.
+struct PairViolationMatrix {
+  std::vector<std::vector<std::size_t>> messages;    ///< [src][dst]
+  std::vector<std::vector<std::size_t>> violations;  ///< [src][dst]
+
+  /// Pairs with at least one violation, ordered by violation count.
+  std::vector<std::tuple<Rank, Rank, std::size_t>> worst_pairs() const;
+};
+
+PairViolationMatrix per_pair_violations(const Trace& trace,
+                                        const TimestampArray& timestamps,
+                                        const std::vector<MessageRecord>& messages);
+
+}  // namespace chronosync

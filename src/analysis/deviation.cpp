@@ -1,0 +1,79 @@
+#include "analysis/deviation.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+DeviationSeries sample_deviations(const ClockEnsemble& ensemble,
+                                  const TimestampCorrection& correction, Duration duration,
+                                  Duration step) {
+  CS_REQUIRE(duration > 0.0 && step > 0.0, "bad sampling parameters");
+  DeviationSeries s;
+  const auto samples = static_cast<std::size_t>(duration / step) + 1;
+  s.at.reserve(samples);
+  s.per_rank.assign(static_cast<std::size_t>(ensemble.ranks()), {});
+  for (auto& v : s.per_rank) v.reserve(samples);
+
+  for (std::size_t k = 0; k < samples; ++k) {
+    const Time t = static_cast<double>(k) * step;
+    s.at.push_back(t);
+    const Time master = correction.correct(0, ensemble.clock(0).local_time(t));
+    for (Rank r = 0; r < ensemble.ranks(); ++r) {
+      const Time worker = correction.correct(r, ensemble.clock(r).local_time(t));
+      s.per_rank[static_cast<std::size_t>(r)].push_back(worker - master);
+    }
+  }
+  return s;
+}
+
+DeviationSeries sample_measured_deviations(ClockEnsemble& ensemble,
+                                           const TimestampCorrection& correction,
+                                           Duration duration, Duration step) {
+  CS_REQUIRE(duration > 0.0 && step > 0.0, "bad sampling parameters");
+  DeviationSeries s;
+  const auto samples = static_cast<std::size_t>(duration / step) + 1;
+  s.at.reserve(samples);
+  s.per_rank.assign(static_cast<std::size_t>(ensemble.ranks()), {});
+  for (auto& v : s.per_rank) v.reserve(samples);
+
+  for (std::size_t k = 0; k < samples; ++k) {
+    const Time t = static_cast<double>(k) * step;
+    s.at.push_back(t);
+    const Time master = correction.correct(0, ensemble.clock(0).read(t));
+    for (Rank r = 0; r < ensemble.ranks(); ++r) {
+      const Time worker =
+          r == 0 ? master : correction.correct(r, ensemble.clock(r).read(t));
+      s.per_rank[static_cast<std::size_t>(r)].push_back(worker - master);
+    }
+  }
+  return s;
+}
+
+Duration max_abs_deviation(const DeviationSeries& s) {
+  Duration worst = 0.0;
+  for (const auto& v : s.per_rank) {
+    for (Duration d : v) worst = std::max(worst, std::abs(d));
+  }
+  return worst;
+}
+
+Time first_exceedance(const DeviationSeries& s, Duration threshold) {
+  for (std::size_t k = 0; k < s.at.size(); ++k) {
+    for (const auto& v : s.per_rank) {
+      if (std::abs(v[k]) > threshold) return s.at[k];
+    }
+  }
+  return -1.0;
+}
+
+std::vector<RunningStats> deviation_stats(const DeviationSeries& s) {
+  std::vector<RunningStats> out(s.per_rank.size());
+  for (std::size_t r = 0; r < s.per_rank.size(); ++r) {
+    for (Duration d : s.per_rank[r]) out[r].add(d);
+  }
+  return out;
+}
+
+}  // namespace chronosync

@@ -1,0 +1,50 @@
+// Clock-deviation sampling — the observable of Figs. 4, 5, and 6.
+//
+// For a clock ensemble and a timestamp correction, samples the corrected
+// difference between each worker's clock and the master's clock over a run:
+//
+//     dev_r(t) = C_r(L_r(t)) - C_0(L_0(t))
+//
+// where L is the exact local time and C the correction.  With perfect
+// correction the deviation is identically zero; its growth over the run is
+// exactly what the paper plots.
+#pragma once
+
+#include <vector>
+
+#include "clockmodel/clock_ensemble.hpp"
+#include "common/statistics.hpp"
+#include "sync/correction.hpp"
+
+namespace chronosync {
+
+struct DeviationSeries {
+  std::vector<Time> at;                        ///< sample times (true time, s)
+  std::vector<std::vector<Duration>> per_rank; ///< [rank][sample], rank 0 all zero
+};
+
+/// Samples deviations of every rank against rank 0 on [0, duration] with the
+/// given spacing, using the *exact* clock states (no read noise).
+DeviationSeries sample_deviations(const ClockEnsemble& ensemble,
+                                  const TimestampCorrection& correction, Duration duration,
+                                  Duration step);
+
+/// Like sample_deviations(), but through actual clock *reads* — quantized,
+/// jittered, monotone-clamped — which is all a real measurement can see.
+/// This is what makes co-located clocks look like "noise oscillating around
+/// zero" (Sec. IV's intra-node experiment).  Stateful: mutates the clocks.
+DeviationSeries sample_measured_deviations(ClockEnsemble& ensemble,
+                                           const TimestampCorrection& correction,
+                                           Duration duration, Duration step);
+
+/// Largest absolute deviation of any rank at any sample.
+Duration max_abs_deviation(const DeviationSeries& s);
+
+/// First sample time at which any rank's |deviation| exceeds `threshold`
+/// (e.g. the message latency); negative if never.
+Time first_exceedance(const DeviationSeries& s, Duration threshold);
+
+/// Per-rank deviation statistics over the whole series.
+std::vector<RunningStats> deviation_stats(const DeviationSeries& s);
+
+}  // namespace chronosync

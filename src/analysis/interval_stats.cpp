@@ -1,0 +1,53 @@
+#include "analysis/interval_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chronosync {
+
+IntervalDistortion interval_distortion(const Trace& trace, const TimestampArray& reference,
+                                       const TimestampArray& corrected) {
+  IntervalDistortion d;
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    const auto& ref = reference.of_rank(r);
+    const auto& cor = corrected.of_rank(r);
+    for (std::size_t i = 1; i < ref.size(); ++i) {
+      const Duration want = ref[i] - ref[i - 1];
+      const Duration got = cor[i] - cor[i - 1];
+      const Duration diff = std::abs(got - want);
+      d.absolute.add(diff);
+      d.relative.add(diff / std::max(want, 1.0 * units::us));
+      ++d.intervals;
+    }
+  }
+  return d;
+}
+
+RunningStats message_sync_error(const Trace& trace, const TimestampArray& corrected,
+                                const std::vector<MessageRecord>& messages) {
+  RunningStats stats;
+  for (const auto& m : messages) {
+    const Duration got = corrected.at(m.recv) - corrected.at(m.send);
+    const Duration want = trace.at(m.recv).true_ts - trace.at(m.send).true_ts;
+    stats.add(std::abs(got - want));
+  }
+  return stats;
+}
+
+RunningStats truth_error(const Trace& trace, const TimestampArray& corrected) {
+  // Remove the global shift: align on the first event of rank 0 if present.
+  Duration shift = 0.0;
+  if (trace.ranks() > 0 && !trace.events(0).empty()) {
+    shift = corrected.at({0, 0}) - trace.at({0, 0}).true_ts;
+  }
+  RunningStats stats;
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    const auto& ev = trace.events(r);
+    for (std::uint32_t i = 0; i < ev.size(); ++i) {
+      stats.add(std::abs(corrected.at({r, i}) - shift - ev[i].true_ts));
+    }
+  }
+  return stats;
+}
+
+}  // namespace chronosync

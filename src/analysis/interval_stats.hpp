@@ -1,0 +1,36 @@
+// Interval-preservation metrics for corrections.
+//
+// The CLC promises to repair the clock condition "while trying to preserve
+// the length of intervals between local events".  These metrics quantify
+// that: for every pair of adjacent events of one process, compare the
+// corrected interval against the interval of a reference timestamp array
+// (the CLC's input, or the ground truth).
+#pragma once
+
+#include "common/statistics.hpp"
+#include "trace/trace.hpp"
+
+namespace chronosync {
+
+struct IntervalDistortion {
+  RunningStats absolute;   ///< |corrected - reference| interval difference (s)
+  RunningStats relative;   ///< absolute difference / max(reference, 1 us)
+  std::size_t intervals = 0;
+};
+
+IntervalDistortion interval_distortion(const Trace& trace, const TimestampArray& reference,
+                                       const TimestampArray& corrected);
+
+/// Mean absolute error of corrected timestamps against ground truth, per rank
+/// aggregate (how close a correction gets to the unobservable true time,
+/// modulo a global shift which is removed by aligning rank 0).
+RunningStats truth_error(const Trace& trace, const TimestampArray& corrected);
+
+/// Pairwise synchronization error over messages: for each matched message,
+/// |(corrected flight time) - (true flight time)|.  Unlike truth_error this
+/// cancels the master clock's own drift against true time, so it isolates
+/// exactly the error that causes clock-condition violations.
+RunningStats message_sync_error(const Trace& trace, const TimestampArray& corrected,
+                                const std::vector<MessageRecord>& messages);
+
+}  // namespace chronosync

@@ -1,0 +1,79 @@
+#include "analysis/omp_semantics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace chronosync {
+
+namespace {
+double pct(std::size_t part, std::size_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+}  // namespace
+
+double OmpSemanticsReport::any_pct() const { return pct(with_any, regions); }
+double OmpSemanticsReport::entry_pct() const { return pct(with_entry, regions); }
+double OmpSemanticsReport::exit_pct() const { return pct(with_exit, regions); }
+double OmpSemanticsReport::barrier_pct() const { return pct(with_barrier, regions); }
+
+OmpSemanticsReport check_omp_semantics(const Trace& trace, const TimestampArray& timestamps,
+                                       Rank loc) {
+  struct InstanceAcc {
+    Time fork = std::numeric_limits<Time>::quiet_NaN();
+    Time join = std::numeric_limits<Time>::quiet_NaN();
+    Time min_any = std::numeric_limits<Time>::infinity();
+    Time max_any = -std::numeric_limits<Time>::infinity();
+    Time max_barrier_enter = -std::numeric_limits<Time>::infinity();
+    Time min_barrier_exit = std::numeric_limits<Time>::infinity();
+    bool has_barrier = false;
+  };
+
+  std::map<std::int32_t, InstanceAcc> instances;
+  const auto& events = trace.events(loc);
+  for (std::uint32_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (e.omp_instance < 0) continue;
+    auto& acc = instances[e.omp_instance];
+    const Time t = timestamps.at({loc, i});
+    acc.min_any = std::min(acc.min_any, t);
+    acc.max_any = std::max(acc.max_any, t);
+    switch (e.type) {
+      case EventType::Fork: acc.fork = t; break;
+      case EventType::Join: acc.join = t; break;
+      case EventType::BarrierEnter:
+        acc.max_barrier_enter = std::max(acc.max_barrier_enter, t);
+        acc.has_barrier = true;
+        break;
+      case EventType::BarrierExit:
+        acc.min_barrier_exit = std::min(acc.min_barrier_exit, t);
+        acc.has_barrier = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  OmpSemanticsReport rep;
+  for (const auto& [id, acc] : instances) {
+    OmpRegionCheck check;
+    check.instance = id;
+    // Fork must be first, join last; a fork timestamp strictly above any
+    // other event of the region breaks the POMP "temporally enclosed" rule.
+    check.entry_violation = !std::isnan(acc.fork) && acc.fork > acc.min_any;
+    check.exit_violation = !std::isnan(acc.join) && acc.join < acc.max_any;
+    // Barrier overlap: someone left before the last one entered.
+    check.barrier_violation = acc.has_barrier && acc.min_barrier_exit < acc.max_barrier_enter;
+
+    ++rep.regions;
+    if (check.any()) ++rep.with_any;
+    if (check.entry_violation) ++rep.with_entry;
+    if (check.exit_violation) ++rep.with_exit;
+    if (check.barrier_violation) ++rep.with_barrier;
+    rep.details.push_back(check);
+  }
+  return rep;
+}
+
+}  // namespace chronosync

@@ -1,0 +1,50 @@
+// OpenMP (POMP) semantics checks — Fig. 3 and Fig. 8 of the paper.
+//
+// A parallel-region instance consists of a Fork and Join on the master
+// thread, per-thread region events, and an implicit barrier (BarrierEnter /
+// BarrierExit per thread).  The POMP happened-before rules checked here:
+//
+//   * entry:   the Fork must be the earliest event of the instance;
+//   * exit:    the Join must be the latest event of the instance;
+//   * barrier: barrier executions must overlap — no thread may leave the
+//              barrier before every thread has entered it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace chronosync {
+
+/// Per-instance violation flags.
+struct OmpRegionCheck {
+  std::int32_t instance = -1;
+  bool entry_violation = false;
+  bool exit_violation = false;
+  bool barrier_violation = false;
+  bool any() const { return entry_violation || exit_violation || barrier_violation; }
+};
+
+struct OmpSemanticsReport {
+  std::size_t regions = 0;
+  std::size_t with_any = 0;
+  std::size_t with_entry = 0;
+  std::size_t with_exit = 0;
+  std::size_t with_barrier = 0;
+  std::vector<OmpRegionCheck> details;
+
+  double any_pct() const;
+  double entry_pct() const;
+  double exit_pct() const;
+  double barrier_pct() const;
+};
+
+/// Checks all parallel-region instances in an OpenMP trace.  The trace is
+/// expected to keep all threads of the SMP node in location/rank `loc` with
+/// per-event thread ids (as the ompsim produces); `timestamps` selects which
+/// clock view to check (raw local, aligned, interpolated, ...).
+OmpSemanticsReport check_omp_semantics(const Trace& trace, const TimestampArray& timestamps,
+                                       Rank loc = 0);
+
+}  // namespace chronosync

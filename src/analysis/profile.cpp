@@ -1,0 +1,101 @@
+#include "analysis/profile.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+TraceProfile profile_trace(const Trace& trace, const TimestampArray& timestamps) {
+  TraceProfile out;
+  std::map<std::int32_t, RegionProfile> regions;
+
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    const auto& events = trace.events(r);
+    // Region stack per (rank, thread); OpenMP traces interleave threads.
+    std::map<ThreadId, std::vector<std::pair<std::int32_t, Time>>> stacks;
+    for (std::uint32_t i = 0; i < events.size(); ++i) {
+      const Event& e = events[i];
+      const Time t = timestamps.at({r, i});
+      if (e.type == EventType::Enter) {
+        stacks[e.thread].push_back({e.region, t});
+      } else if (e.type == EventType::Exit) {
+        auto& stack = stacks[e.thread];
+        if (stack.empty() || stack.back().first != e.region) {
+          ++out.unbalanced_enters;
+          continue;
+        }
+        auto& prof = regions[e.region];
+        prof.region = e.region;
+        ++prof.visits;
+        prof.inclusive_time += t - stack.back().second;
+        stack.pop_back();
+      }
+    }
+    for (const auto& [thread, stack] : stacks) out.unbalanced_enters += stack.size();
+  }
+
+  for (auto& [id, prof] : regions) {
+    if (id >= 0 && static_cast<std::size_t>(id) < trace.regions().size()) {
+      prof.name = trace.region_name(id);
+    }
+    out.regions.push_back(std::move(prof));
+  }
+  std::sort(out.regions.begin(), out.regions.end(),
+            [](const RegionProfile& a, const RegionProfile& b) {
+              return a.inclusive_time > b.inclusive_time;
+            });
+
+  out.traffic.assign(static_cast<std::size_t>(trace.ranks()),
+                     std::vector<std::size_t>(static_cast<std::size_t>(trace.ranks()), 0));
+  for (const auto& m : trace.match_messages()) {
+    ++out.p2p.messages;
+    out.p2p.bytes += m.bytes;
+    out.p2p.size.add(static_cast<double>(m.bytes));
+    out.p2p.flight_time.add(timestamps.at(m.recv) - timestamps.at(m.send));
+    ++out.traffic[static_cast<std::size_t>(m.send.proc)]
+                 [static_cast<std::size_t>(m.recv.proc)];
+  }
+  return out;
+}
+
+std::string format_profile(const TraceProfile& profile, std::size_t top_regions) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  os << "region profile (top " << std::min(top_regions, profile.regions.size()) << "):\n";
+  for (std::size_t i = 0; i < std::min(top_regions, profile.regions.size()); ++i) {
+    const auto& reg = profile.regions[i];
+    os << "  " << std::setw(20) << std::left << reg.name << std::right << std::setw(10)
+       << reg.visits << " visits  " << std::setw(12) << reg.inclusive_time << " s\n";
+  }
+  os << "p2p: " << profile.p2p.messages << " messages, " << profile.p2p.bytes << " bytes";
+  if (profile.p2p.messages > 0) {
+    os << ", flight mean " << to_us(profile.p2p.flight_time.mean()) << " us (min "
+       << to_us(profile.p2p.flight_time.min()) << ", max "
+       << to_us(profile.p2p.flight_time.max()) << ")";
+  }
+  os << '\n';
+  if (profile.unbalanced_enters > 0) {
+    os << "warning: " << profile.unbalanced_enters << " unbalanced region events\n";
+  }
+  return os.str();
+}
+
+Trace slice_trace(const Trace& trace, const TimestampArray& timestamps, Time t0, Time t1) {
+  CS_REQUIRE(t1 > t0, "empty slice window");
+  Trace out(trace.placement(), trace.domain_min_latency(), trace.timer_name());
+  for (const auto& name : trace.regions()) out.intern_region(name);
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    const auto& events = trace.events(r);
+    for (std::uint32_t i = 0; i < events.size(); ++i) {
+      const Time t = timestamps.at({r, i});
+      if (t >= t0 && t < t1) out.events(r).push_back(events[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace chronosync

@@ -1,0 +1,51 @@
+// Trace profiling: the summary statistics a performance tool derives from an
+// event trace — per-region time profile, message statistics, and the
+// per-pair communication matrix.  All times are computed from a caller-chosen
+// timestamp view, so profiles can be compared before and after correction
+// (inaccurate timestamps distort profiles, which is the paper's "false
+// conclusions during trace analysis" failure mode).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statistics.hpp"
+#include "trace/trace.hpp"
+
+namespace chronosync {
+
+struct RegionProfile {
+  std::int32_t region = -1;
+  std::string name;
+  std::size_t visits = 0;
+  Duration inclusive_time = 0.0;  ///< summed enter-to-exit spans
+};
+
+struct MessageProfile {
+  std::size_t messages = 0;
+  std::uint64_t bytes = 0;
+  RunningStats flight_time;  ///< recv - send timestamps (can be negative!)
+  RunningStats size;
+};
+
+struct TraceProfile {
+  std::vector<RegionProfile> regions;             ///< sorted by inclusive time
+  MessageProfile p2p;
+  std::vector<std::vector<std::size_t>> traffic;  ///< [src][dst] message counts
+  std::size_t unbalanced_enters = 0;  ///< Enter without matching Exit (window edges)
+};
+
+/// Profiles a trace under the given timestamps.
+TraceProfile profile_trace(const Trace& trace, const TimestampArray& timestamps);
+
+/// Renders the profile as text.
+std::string format_profile(const TraceProfile& profile, std::size_t top_regions = 10);
+
+/// Copies the events of [t0, t1) (by the given timestamps) into a new trace —
+/// the "partial tracing" view of a window, as tools cut interesting phases
+/// out of long runs.  Message/collective partners outside the window become
+/// half-matched and are dropped by the usual matching step.
+Trace slice_trace(const Trace& trace, const TimestampArray& timestamps, Time t0, Time t1);
+
+}  // namespace chronosync

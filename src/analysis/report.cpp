@@ -1,0 +1,53 @@
+#include "analysis/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace chronosync {
+
+std::string format_report(const ClockConditionReport& report) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  os << "clock-condition analysis\n"
+     << "  events: " << report.total_events << " total, " << report.message_events
+     << " message transfer (" << report.message_event_pct() << " %)\n"
+     << "  p2p messages: " << report.p2p_messages << ", reversed " << report.p2p_reversed
+     << " (" << report.p2p_reversed_pct() << " %), violated " << report.p2p_violations
+     << " (" << report.p2p_violation_pct() << " %)";
+  if (report.p2p_violations > 0) {
+    os << ", worst " << to_us(report.p2p_worst) << " us";
+  }
+  os << "\n  logical messages: " << report.logical_messages << ", reversed "
+     << report.logical_reversed << " (" << report.logical_reversed_pct() << " %), violated "
+     << report.logical_violations;
+  if (report.logical_violations > 0) {
+    os << ", worst " << to_us(report.logical_worst) << " us";
+  }
+  os << '\n';
+  return os.str();
+}
+
+std::string format_report(const OmpSemanticsReport& report) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  os << "POMP semantics analysis: " << report.regions << " parallel regions\n"
+     << "  any violation: " << report.with_any << " (" << report.any_pct() << " %)\n"
+     << "  entry (fork not first): " << report.with_entry << " (" << report.entry_pct()
+     << " %)\n"
+     << "  exit (join not last):   " << report.with_exit << " (" << report.exit_pct()
+     << " %)\n"
+     << "  barrier overlap broken: " << report.with_barrier << " (" << report.barrier_pct()
+     << " %)\n";
+  return os.str();
+}
+
+std::string format_report(const IntervalDistortion& distortion) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4);
+  os << "interval distortion over " << distortion.intervals << " intervals: mean "
+     << to_us(distortion.absolute.mean()) << " us, max "
+     << to_us(distortion.intervals ? distortion.absolute.max() : 0.0) << " us\n";
+  return os.str();
+}
+
+}  // namespace chronosync

@@ -1,0 +1,22 @@
+// Human-readable report formatting for the analysis results, so tools,
+// examples, and benches present findings uniformly.
+#pragma once
+
+#include <string>
+
+#include "analysis/clock_condition.hpp"
+#include "analysis/interval_stats.hpp"
+#include "analysis/omp_semantics.hpp"
+
+namespace chronosync {
+
+/// Multi-line summary of a clock-condition analysis.
+std::string format_report(const ClockConditionReport& report);
+
+/// Multi-line summary of a POMP semantics analysis.
+std::string format_report(const OmpSemanticsReport& report);
+
+/// One-line summary of interval distortion.
+std::string format_report(const IntervalDistortion& distortion);
+
+}  // namespace chronosync

@@ -1,0 +1,81 @@
+#include "clockmodel/clock_ensemble.hpp"
+
+#include <string>
+#include <tuple>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+ClockEnsemble::ClockEnsemble(const Placement& placement, const TimerSpec& spec,
+                             const RngTree& rng)
+    : spec_(spec), placement_(placement) {
+  CS_REQUIRE(placement.ranks() > 0, "ensemble needs at least one rank");
+
+  // Shared per-node quantities (base rate, node offset) and shared per-group
+  // drift models, keyed by the hierarchy level the spec dictates.
+  std::map<int, double> node_rate;
+  std::map<int, Duration> node_offset;
+  std::map<std::pair<int, int>, Duration> chip_offset;
+  std::map<std::tuple<int, int, int>, std::shared_ptr<const DriftModel>> group_drift;
+
+  for (Rank r = 0; r < placement.ranks(); ++r) {
+    const CoreLocation& loc = placement.location(r);
+
+    const RngTree node_rng = rng.child("node" + std::to_string(loc.node));
+    if (!node_rate.count(loc.node)) {
+      node_rate[loc.node] = draw_base_rate(spec_, node_rng);
+      Rng off = node_rng.stream("offset");
+      node_offset[loc.node] =
+          spec_.node_offset_sigma > 0.0 ? off.normal(0.0, spec_.node_offset_sigma) : 0.0;
+    }
+
+    const RngTree chip_rng = node_rng.child("chip" + std::to_string(loc.chip));
+    const auto chip_key = std::make_pair(loc.node, loc.chip);
+    if (!chip_offset.count(chip_key)) {
+      Rng off = chip_rng.stream("offset");
+      chip_offset[chip_key] =
+          spec_.chip_offset_sigma > 0.0 ? off.normal(0.0, spec_.chip_offset_sigma) : 0.0;
+    }
+
+    const RngTree core_rng = chip_rng.child("core" + std::to_string(loc.core));
+
+    // Oscillator group key: coarser levels collapse the finer coordinates.
+    std::tuple<int, int, int> gkey{loc.node, -1, -1};
+    const RngTree* grng = &node_rng;
+    if (spec_.scope == OscillatorScope::PerChip) {
+      gkey = {loc.node, loc.chip, -1};
+      grng = &chip_rng;
+    } else if (spec_.scope == OscillatorScope::PerCore) {
+      gkey = {loc.node, loc.chip, loc.core};
+      grng = &core_rng;
+    }
+    auto it = group_drift.find(gkey);
+    if (it == group_drift.end()) {
+      it = group_drift.emplace(gkey, make_group_drift(spec_, *grng, node_rate[loc.node]))
+               .first;
+    }
+
+    Rng core_off = core_rng.stream("offset");
+    const Duration core_offset =
+        spec_.core_offset_sigma > 0.0 ? core_off.normal(0.0, spec_.core_offset_sigma) : 0.0;
+    const Duration offset = node_offset[loc.node] + chip_offset[chip_key] + core_offset;
+
+    clocks_.push_back(std::make_unique<SimClock>(offset, it->second, spec_.resolution,
+                                                 spec_.noise,
+                                                 core_rng.stream("read-noise"),
+                                                 spec_.read_overhead));
+  }
+}
+
+SimClock& ClockEnsemble::clock(Rank r) {
+  CS_REQUIRE(r >= 0 && r < ranks(), "rank out of ensemble range");
+  return *clocks_[static_cast<std::size_t>(r)];
+}
+
+const SimClock& ClockEnsemble::clock(Rank r) const {
+  CS_REQUIRE(r >= 0 && r < ranks(), "rank out of ensemble range");
+  return *clocks_[static_cast<std::size_t>(r)];
+}
+
+}  // namespace chronosync

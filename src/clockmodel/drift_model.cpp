@@ -1,0 +1,205 @@
+#include "clockmodel/drift_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+// ---------------------------------------------------------------- piecewise
+
+PiecewiseConstantDrift::PiecewiseConstantDrift(std::vector<Time> boundaries,
+                                               std::vector<double> rates)
+    : boundaries_(std::move(boundaries)), rates_(std::move(rates)) {
+  CS_REQUIRE(!boundaries_.empty(), "need at least one segment");
+  CS_REQUIRE(boundaries_.size() == rates_.size(), "boundary/rate count mismatch");
+  CS_REQUIRE(boundaries_.front() == 0.0, "first segment must start at t=0");
+  for (std::size_t i = 1; i < boundaries_.size(); ++i) {
+    CS_REQUIRE(boundaries_[i] > boundaries_[i - 1], "boundaries must increase");
+  }
+  prefix_.resize(boundaries_.size());
+  prefix_[0] = 0.0;
+  for (std::size_t i = 1; i < boundaries_.size(); ++i) {
+    prefix_[i] = prefix_[i - 1] + rates_[i - 1] * (boundaries_[i] - boundaries_[i - 1]);
+  }
+}
+
+std::size_t PiecewiseConstantDrift::segment_index(Time t) const {
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), t);
+  if (it == boundaries_.begin()) return 0;  // t < 0: extend the first segment
+  return static_cast<std::size_t>(it - boundaries_.begin()) - 1;
+}
+
+double PiecewiseConstantDrift::drift(Time t) const { return rates_[segment_index(t)]; }
+
+Duration PiecewiseConstantDrift::integrated(Time t) const {
+  const std::size_t k = segment_index(t);
+  return prefix_[k] + rates_[k] * (t - boundaries_[k]);
+}
+
+// -------------------------------------------------------------- random walk
+
+RandomWalkDrift::RandomWalkDrift(Rng rng, double initial_rate, Duration step_interval,
+                                 double step_sigma, double clamp)
+    : rng_(rng), step_interval_(step_interval), step_sigma_(step_sigma), clamp_(clamp) {
+  CS_REQUIRE(step_interval_ > 0.0, "step interval must be positive");
+  CS_REQUIRE(clamp_ >= 0.0, "clamp must be non-negative");
+  rates_.push_back(std::clamp(initial_rate, -clamp_, clamp_));
+  prefix_.push_back(0.0);
+}
+
+void RandomWalkDrift::extend_to(std::size_t idx) const {
+  while (rates_.size() <= idx) {
+    const double next =
+        std::clamp(rates_.back() + rng_.normal(0.0, step_sigma_), -clamp_, clamp_);
+    prefix_.push_back(prefix_.back() + rates_.back() * step_interval_);
+    rates_.push_back(next);
+  }
+}
+
+double RandomWalkDrift::drift(Time t) const {
+  CS_REQUIRE(t >= 0.0, "drift queried at negative time");
+  const auto k = static_cast<std::size_t>(t / step_interval_);
+  extend_to(k);
+  return rates_[k];
+}
+
+Duration RandomWalkDrift::integrated(Time t) const {
+  CS_REQUIRE(t >= 0.0, "integral queried at negative time");
+  const auto k = static_cast<std::size_t>(t / step_interval_);
+  extend_to(k);
+  return prefix_[k] + rates_[k] * (t - static_cast<double>(k) * step_interval_);
+}
+
+// --------------------------------------------------- Ornstein-Uhlenbeck
+
+OrnsteinUhlenbeckDrift::OrnsteinUhlenbeckDrift(Rng rng, double initial_rate, double mean,
+                                               double reversion, Duration step_interval,
+                                               double step_sigma)
+    : rng_(rng),
+      mean_(mean),
+      reversion_(reversion),
+      step_interval_(step_interval),
+      step_sigma_(step_sigma) {
+  CS_REQUIRE(step_interval_ > 0.0, "step interval must be positive");
+  CS_REQUIRE(reversion_ >= 0.0, "reversion must be non-negative");
+  CS_REQUIRE(reversion_ * step_interval_ < 1.0, "reversion too strong for the step size");
+  rates_.push_back(initial_rate);
+  prefix_.push_back(0.0);
+}
+
+void OrnsteinUhlenbeckDrift::extend_to(std::size_t idx) const {
+  while (rates_.size() <= idx) {
+    const double d = rates_.back();
+    const double next = d + reversion_ * (mean_ - d) * step_interval_ +
+                        rng_.normal(0.0, step_sigma_);
+    prefix_.push_back(prefix_.back() + d * step_interval_);
+    rates_.push_back(next);
+  }
+}
+
+double OrnsteinUhlenbeckDrift::drift(Time t) const {
+  CS_REQUIRE(t >= 0.0, "drift queried at negative time");
+  const auto k = static_cast<std::size_t>(t / step_interval_);
+  extend_to(k);
+  return rates_[k];
+}
+
+Duration OrnsteinUhlenbeckDrift::integrated(Time t) const {
+  CS_REQUIRE(t >= 0.0, "integral queried at negative time");
+  const auto k = static_cast<std::size_t>(t / step_interval_);
+  extend_to(k);
+  return prefix_[k] + rates_[k] * (t - static_cast<double>(k) * step_interval_);
+}
+
+// --------------------------------------------------------------- sinusoidal
+
+SinusoidalDrift::SinusoidalDrift(double amplitude, Duration period, double phase)
+    : amplitude_(amplitude), period_(period), phase_(phase) {
+  CS_REQUIRE(period_ > 0.0, "period must be positive");
+}
+
+double SinusoidalDrift::drift(Time t) const {
+  return amplitude_ * std::sin(2.0 * M_PI * t / period_ + phase_);
+}
+
+Duration SinusoidalDrift::integrated(Time t) const {
+  const double w = 2.0 * M_PI / period_;
+  return amplitude_ / w * (std::cos(phase_) - std::cos(w * t + phase_));
+}
+
+// ---------------------------------------------------------------- composite
+
+CompositeDrift::CompositeDrift(std::vector<std::unique_ptr<DriftModel>> parts)
+    : parts_(std::move(parts)) {
+  for (const auto& p : parts_) CS_REQUIRE(p != nullptr, "null component");
+}
+
+double CompositeDrift::drift(Time t) const {
+  double d = 0.0;
+  for (const auto& p : parts_) d += p->drift(t);
+  return d;
+}
+
+Duration CompositeDrift::integrated(Time t) const {
+  Duration d = 0.0;
+  for (const auto& p : parts_) d += p->integrated(t);
+  return d;
+}
+
+// --------------------------------------------------------------------- NTP
+
+NtpDisciplinedDrift::NtpDisciplinedDrift(Rng rng, std::unique_ptr<DriftModel> oscillator,
+                                         NtpParams params)
+    : rng_(rng), oscillator_(std::move(oscillator)), params_(params) {
+  CS_REQUIRE(oscillator_ != nullptr, "NTP model needs an oscillator");
+  CS_REQUIRE(params_.poll_interval > 0.0, "poll interval must be positive");
+  CS_REQUIRE(params_.correction_horizon > 0.0, "correction horizon must be positive");
+  // Start converged: the daemon's drift file already cancels the oscillator's
+  // frequency error, up to a small residual.
+  freq_corr_ = -oscillator_->drift(0.0) + rng_.normal(0.0, params_.initial_freq_error);
+  segments_.push_back({0.0, freq_corr_, 0.0});
+  next_poll_ = params_.poll_interval + rng_.uniform(-params_.poll_jitter, params_.poll_jitter);
+}
+
+void NtpDisciplinedDrift::extend_to(Time t) const {
+  while (next_poll_ <= t) {
+    const Segment& cur = segments_.back();
+    const Duration slew_integral = cur.prefix + cur.slew * (next_poll_ - cur.start);
+    // The true offset the daemon is chasing (relative to its reference, which
+    // we take to be true time) plus the network-limited estimation error.
+    const Duration true_offset = oscillator_->integrated(next_poll_) + slew_integral;
+    const Duration observed = true_offset + rng_.normal(0.0, params_.estimate_error_sigma);
+
+    // PLL-style persistent frequency correction plus a proportional slew that
+    // removes the observed offset over the correction horizon.
+    freq_corr_ -= params_.frequency_gain * observed / params_.poll_interval;
+    freq_corr_ = std::clamp(freq_corr_, -params_.max_slew, params_.max_slew);
+    const double slew = std::clamp(freq_corr_ - observed / params_.correction_horizon,
+                                   -params_.max_slew, params_.max_slew);
+
+    segments_.push_back({next_poll_, slew, slew_integral});
+    next_poll_ += params_.poll_interval + rng_.uniform(-params_.poll_jitter, params_.poll_jitter);
+  }
+}
+
+double NtpDisciplinedDrift::drift(Time t) const {
+  CS_REQUIRE(t >= 0.0, "drift queried at negative time");
+  extend_to(t);
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), t,
+                             [](Time v, const Segment& s) { return v < s.start; });
+  const Segment& seg = *(it - 1);
+  return oscillator_->drift(t) + seg.slew;
+}
+
+Duration NtpDisciplinedDrift::integrated(Time t) const {
+  CS_REQUIRE(t >= 0.0, "integral queried at negative time");
+  extend_to(t);
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), t,
+                             [](Time v, const Segment& s) { return v < s.start; });
+  const Segment& seg = *(it - 1);
+  return oscillator_->integrated(t) + seg.prefix + seg.slew * (t - seg.start);
+}
+
+}  // namespace chronosync

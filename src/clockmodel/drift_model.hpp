@@ -1,0 +1,191 @@
+// Clock drift processes.
+//
+// A drift model describes how fast a local oscillator runs relative to true
+// time: drift(t) is dimensionless (5e-6 == 5 ppm fast), and integrated(t) is
+// the accumulated extra local time since t = 0.  A clock's local time is then
+//
+//     local(t) = t + initial_offset + integrated(t).
+//
+// The paper's central observation is that drift is *not* constant: NTP
+// discipline introduces abrupt slew changes (Fig. 4(a)/(b)), and even hardware
+// oscillators wander with temperature (Fig. 5).  Each of those mechanisms is a
+// DriftModel here.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace chronosync {
+
+class DriftModel {
+ public:
+  virtual ~DriftModel() = default;
+
+  /// Instantaneous drift rate at true time t (dimensionless; +ppm = fast).
+  virtual double drift(Time t) const = 0;
+
+  /// Accumulated extra local time over [0, t]; must be consistent with
+  /// drift(): integrated' == drift, integrated(0) == 0.
+  virtual Duration integrated(Time t) const = 0;
+};
+
+/// Perfectly stable oscillator running a fixed rate off true time.
+class ConstantDrift final : public DriftModel {
+ public:
+  explicit ConstantDrift(double rate) : rate_(rate) {}
+  double drift(Time) const override { return rate_; }
+  Duration integrated(Time t) const override { return rate_ * t; }
+
+ private:
+  double rate_;
+};
+
+/// Piecewise-constant drift over explicit segments (DVFS steps, scripted
+/// scenarios, and the output representation of the NTP model).
+class PiecewiseConstantDrift final : public DriftModel {
+ public:
+  /// `boundaries` are segment start times, strictly increasing, starting at 0;
+  /// `rates[i]` applies on [boundaries[i], boundaries[i+1]).
+  PiecewiseConstantDrift(std::vector<Time> boundaries, std::vector<double> rates);
+
+  double drift(Time t) const override;
+  Duration integrated(Time t) const override;
+
+  std::size_t segments() const { return rates_.size(); }
+
+ private:
+  std::size_t segment_index(Time t) const;
+
+  std::vector<Time> boundaries_;
+  std::vector<double> rates_;
+  std::vector<Duration> prefix_;  ///< integrated() value at each boundary
+};
+
+/// Bounded random-walk drift: the rate takes a Gaussian step every
+/// `step_interval` seconds and is clamped to +/- `clamp`.  Models thermal
+/// wander of hardware oscillators (TSC/TB residuals in Fig. 5).
+///
+/// Steps are generated lazily from an owned RNG stream, so two model instances
+/// with the same seed produce identical trajectories regardless of query
+/// order (queries only ever extend the memoized prefix).
+class RandomWalkDrift final : public DriftModel {
+ public:
+  RandomWalkDrift(Rng rng, double initial_rate, Duration step_interval, double step_sigma,
+                  double clamp);
+
+  double drift(Time t) const override;
+  Duration integrated(Time t) const override;
+
+ private:
+  void extend_to(std::size_t idx) const;
+
+  mutable Rng rng_;
+  Duration step_interval_;
+  double step_sigma_;
+  double clamp_;
+  mutable std::vector<double> rates_;      ///< rate on segment k
+  mutable std::vector<Duration> prefix_;   ///< integrated at segment start k
+};
+
+/// Mean-reverting (Ornstein-Uhlenbeck) drift: like RandomWalkDrift, but the
+/// rate is pulled back toward `mean` with strength `reversion` per second.
+/// Models oscillators whose temperature-induced excursions decay instead of
+/// accumulating; the stationary rate spread is sigma / sqrt(2 * reversion *
+/// step_interval) around the mean.
+class OrnsteinUhlenbeckDrift final : public DriftModel {
+ public:
+  OrnsteinUhlenbeckDrift(Rng rng, double initial_rate, double mean, double reversion,
+                         Duration step_interval, double step_sigma);
+
+  double drift(Time t) const override;
+  Duration integrated(Time t) const override;
+
+ private:
+  void extend_to(std::size_t idx) const;
+
+  mutable Rng rng_;
+  double mean_;
+  double reversion_;
+  Duration step_interval_;
+  double step_sigma_;
+  mutable std::vector<double> rates_;
+  mutable std::vector<Duration> prefix_;
+};
+
+/// Sinusoidal drift (e.g. machine-room temperature cycles).
+class SinusoidalDrift final : public DriftModel {
+ public:
+  SinusoidalDrift(double amplitude, Duration period, double phase = 0.0);
+  double drift(Time t) const override;
+  Duration integrated(Time t) const override;
+
+ private:
+  double amplitude_;
+  Duration period_;
+  double phase_;
+};
+
+/// Sum of component models (e.g. constant oscillator error + thermal wander).
+class CompositeDrift final : public DriftModel {
+ public:
+  explicit CompositeDrift(std::vector<std::unique_ptr<DriftModel>> parts);
+  double drift(Time t) const override;
+  Duration integrated(Time t) const override;
+
+ private:
+  std::vector<std::unique_ptr<DriftModel>> parts_;
+};
+
+/// Parameters of the NTP discipline loop model.
+struct NtpParams {
+  Duration poll_interval = 256.0;   ///< seconds between daemon adjustments
+  Duration poll_jitter = 16.0;      ///< uniform jitter on the poll spacing
+  double estimate_error_sigma = 400 * units::us;  ///< network-limited offset estimate error
+  Duration correction_horizon = 900.0;  ///< offset is slewed out over this horizon
+  double frequency_gain = 0.3;      ///< PLL-style persistent frequency correction gain
+  double max_slew = 500 * units::ppm;   ///< adjtime()-style slew-rate limit
+  /// The daemon has been running long before the job starts, so its frequency
+  /// correction is already converged up to this residual error.
+  double initial_freq_error = 0.3 * units::ppm;
+};
+
+/// NTP-disciplined software clock (gettimeofday / default MPI_Wtime).
+///
+/// The daemon periodically estimates the clock's offset against a perfect
+/// reference, but the estimate carries network-limited error (~ms, Sec. II of
+/// the paper).  It then slews the clock to remove the *estimated* offset and
+/// updates a persistent frequency correction.  Because the estimate error is
+/// orders of magnitude larger than the microsecond accuracy tracing needs,
+/// the discipline loop manifests as piecewise-linear divergence with abrupt,
+/// effectively random slope changes of a few ppm — the exact morphology of
+/// Fig. 4(a)/(b), including the "turning point after which clocks stride away
+/// at a higher rate".
+class NtpDisciplinedDrift final : public DriftModel {
+ public:
+  /// `oscillator` is the undisciplined hardware drift the daemon fights.
+  NtpDisciplinedDrift(Rng rng, std::unique_ptr<DriftModel> oscillator, NtpParams params);
+
+  double drift(Time t) const override;
+  Duration integrated(Time t) const override;
+
+ private:
+  struct Segment {
+    Time start;
+    double slew;        ///< discipline-applied rate on this segment
+    Duration prefix;    ///< total integrated() at segment start
+  };
+
+  void extend_to(Time t) const;
+
+  mutable Rng rng_;
+  std::unique_ptr<DriftModel> oscillator_;
+  NtpParams params_;
+  mutable std::vector<Segment> segments_;
+  mutable Time next_poll_;
+  mutable double freq_corr_ = 0.0;
+};
+
+}  // namespace chronosync

@@ -1,0 +1,58 @@
+#include "clockmodel/sim_clock.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+SimClock::SimClock(Duration initial_offset, std::shared_ptr<const DriftModel> drift,
+                   Duration resolution, ClockReadNoise noise, Rng read_rng,
+                   Duration read_overhead)
+    : initial_offset_(initial_offset),
+      drift_(std::move(drift)),
+      resolution_(resolution),
+      noise_(noise),
+      rng_(read_rng),
+      read_overhead_(read_overhead) {
+  CS_REQUIRE(drift_ != nullptr, "clock needs a drift model");
+  CS_REQUIRE(resolution_ >= 0.0, "negative resolution");
+  CS_REQUIRE(read_overhead_ >= 0.0, "negative read overhead");
+}
+
+Time SimClock::local_time(Time true_t) const {
+  return true_t + initial_offset_ + drift_->integrated(true_t);
+}
+
+Time SimClock::read(Time true_t) {
+  Time t = local_time(true_t);
+  if (noise_.jitter_sigma > 0.0) t += rng_.normal(0.0, noise_.jitter_sigma);
+  if (noise_.outlier_prob > 0.0 && rng_.bernoulli(noise_.outlier_prob)) {
+    // OS preemption between the hardware read and its return delays the
+    // observed value: the spike is always positive.
+    t += rng_.exponential(1.0 / noise_.outlier_scale);
+  }
+  if (resolution_ > 0.0) t = std::floor(t / resolution_) * resolution_;
+  // Real timer wrappers clamp backwards steps so callers see monotone time.
+  if (t < last_read_) t = last_read_;
+  last_read_ = t;
+  return t;
+}
+
+Time SimClock::true_time_of(Time local_t, Time hint_lo, Time hint_hi) const {
+  // local_time is strictly increasing (|drift| << 1), so bisection converges.
+  Time lo = hint_lo, hi = hint_hi;
+  CS_REQUIRE(local_time(lo) <= local_t && local_time(hi) >= local_t,
+             "true_time_of: target outside bracket");
+  for (int i = 0; i < 200 && hi - lo > 1e-12; ++i) {
+    const Time mid = 0.5 * (lo + hi);
+    if (local_time(mid) < local_t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace chronosync

@@ -1,0 +1,64 @@
+// A simulated processor clock: offset + drift process + read imperfections.
+//
+// `local_time()` is the mathematically exact local time and is what the drift
+// experiments sample; `read()` is what a tracing library sees — quantized to
+// the timer resolution, perturbed by OS jitter, and forced monotone the way
+// real timer wrappers clamp backwards steps.
+#pragma once
+
+#include <memory>
+
+#include "clockmodel/drift_model.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace chronosync {
+
+struct ClockReadNoise {
+  double jitter_sigma = 0.0;     ///< Gaussian read noise (s)
+  double outlier_prob = 0.0;     ///< probability of an OS-preemption spike
+  double outlier_scale = 0.0;    ///< exponential scale of the spike (s)
+};
+
+class SimClock {
+ public:
+  /// `drift` may be shared between clocks on the same node/chip to model a
+  /// common oscillator.
+  SimClock(Duration initial_offset, std::shared_ptr<const DriftModel> drift,
+           Duration resolution, ClockReadNoise noise, Rng read_rng,
+           Duration read_overhead = 0.0);
+
+  /// Exact local time at true time t (no quantization or noise).
+  Time local_time(Time true_t) const;
+
+  /// Instantaneous drift rate at true time t.
+  double drift(Time true_t) const { return drift_->drift(true_t); }
+
+  /// One timer query as the tracing library performs it: quantized, jittered,
+  /// and never going backwards.  Stateful (consumes RNG, remembers the last
+  /// value), hence non-const.
+  Time read(Time true_t);
+
+  /// True-time cost of one read() call; simulation processes advance their
+  /// virtual time by this much per timestamp taken.
+  Duration read_overhead() const { return read_overhead_; }
+
+  Duration resolution() const { return resolution_; }
+  Duration initial_offset() const { return initial_offset_; }
+
+  /// Inverse of local_time(): the true time at which this clock shows
+  /// local `lt`.  Solved by bisection; used only by analyses/tests (the
+  /// synchronization algorithms never get to see this).
+  Time true_time_of(Time local_t, Time hint_lo = 0.0, Time hint_hi = 1e7) const;
+
+ private:
+  Duration initial_offset_;
+  std::shared_ptr<const DriftModel> drift_;
+  Duration resolution_;
+  ClockReadNoise noise_;
+  Rng rng_;
+  Duration read_overhead_;
+  Time last_read_ = -kTimeInfinity;
+};
+
+}  // namespace chronosync

@@ -1,0 +1,251 @@
+#include "clockmodel/timer_spec.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+std::string to_string(TimerKind k) {
+  switch (k) {
+    case TimerKind::PerfectGlobal: return "perfect-global";
+    case TimerKind::IntelTsc: return "intel-tsc";
+    case TimerKind::IbmTimeBase: return "ibm-time-base";
+    case TimerKind::IbmRtc: return "ibm-rtc";
+    case TimerKind::GettimeofdayNtp: return "gettimeofday";
+    case TimerKind::MpiWtime: return "mpi-wtime";
+    case TimerKind::CycleCounterDvfs: return "cycle-counter-dvfs";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Random piecewise-constant slowdown steps emulating DVFS transitions.
+std::unique_ptr<DriftModel> make_dvfs_drift(const TimerSpec& spec, Rng rng) {
+  // Pre-generate a generous horizon; chronosync experiments run <= 4000 s.
+  constexpr Time kHorizon = 2.0 * 3600.0;
+  std::vector<Time> bounds;
+  std::vector<double> rates;
+  Time t = 0.0;
+  while (t < kHorizon) {
+    bounds.push_back(t);
+    const auto level = rng.uniform_int(0, spec.dvfs_levels - 1);
+    rates.push_back(-spec.dvfs_max_slowdown * static_cast<double>(level) /
+                    static_cast<double>(spec.dvfs_levels - 1));
+    t += rng.exponential(1.0 / spec.dvfs_mean_segment);
+  }
+  return std::make_unique<PiecewiseConstantDrift>(std::move(bounds), std::move(rates));
+}
+
+}  // namespace
+
+double draw_base_rate(const TimerSpec& spec, const RngTree& node_rng) {
+  if (spec.base_drift_max <= 0.0) return 0.0;
+  Rng r = node_rng.stream("base-rate");
+  return r.uniform(-spec.base_drift_max, spec.base_drift_max);
+}
+
+std::unique_ptr<DriftModel> make_oscillator_drift(const TimerSpec& spec,
+                                                  const RngTree& group_rng, double base_rate) {
+  std::vector<std::unique_ptr<DriftModel>> parts;
+
+  if (spec.dvfs) {
+    parts.push_back(make_dvfs_drift(spec, group_rng.stream("dvfs")));
+  }
+
+  double rate = base_rate;
+  if (spec.intra_node_drift_sigma > 0.0) {
+    Rng r = group_rng.stream("intra-rate");
+    rate += r.normal(0.0, spec.intra_node_drift_sigma);
+  }
+  parts.push_back(std::make_unique<ConstantDrift>(rate));
+
+  if (spec.wander_sigma > 0.0) {
+    parts.push_back(std::make_unique<RandomWalkDrift>(group_rng.stream("wander"), 0.0,
+                                                      spec.wander_interval, spec.wander_sigma,
+                                                      spec.wander_clamp));
+  }
+  if (spec.thermal_amplitude > 0.0) {
+    Rng r = group_rng.stream("thermal-phase");
+    parts.push_back(std::make_unique<SinusoidalDrift>(spec.thermal_amplitude,
+                                                      spec.thermal_period,
+                                                      r.uniform(0.0, 2.0 * M_PI)));
+  }
+  if (parts.size() == 1) return std::move(parts.front());
+  return std::make_unique<CompositeDrift>(std::move(parts));
+}
+
+std::shared_ptr<const DriftModel> make_group_drift(const TimerSpec& spec,
+                                                   const RngTree& group_rng, double base_rate) {
+  auto osc = make_oscillator_drift(spec, group_rng, base_rate);
+  if (!spec.ntp_disciplined) return std::shared_ptr<const DriftModel>(std::move(osc));
+  return std::make_shared<NtpDisciplinedDrift>(group_rng.stream("ntp"), std::move(osc),
+                                               spec.ntp);
+}
+
+namespace timer_specs {
+
+TimerSpec perfect() {
+  TimerSpec s;
+  s.kind = TimerKind::PerfectGlobal;
+  s.name = "perfect";
+  return s;
+}
+
+TimerSpec intel_tsc() {
+  TimerSpec s;
+  s.kind = TimerKind::IntelTsc;
+  s.name = "intel-tsc";
+  s.scope = OscillatorScope::PerNode;
+  s.base_drift_max = 50 * units::ppm;
+  s.wander_sigma = 3.5e-9;        // thermal wander: ~4 us residual @300 s,
+  s.wander_interval = 10.0;       // ~50-100 us residual @3600 s after interp.
+  s.wander_clamp = 0.5 * units::ppm;
+  s.thermal_amplitude = 0.03 * units::ppm;
+  s.thermal_period = 900.0;
+  s.resolution = 1.0 / 3.0e9;     // one tick of a 3.0 GHz counter
+  s.noise = {3 * units::ns, 2e-5, 0.5 * units::us};
+  s.read_overhead = 0.01 * units::us;
+  s.node_offset_sigma = 0.5;      // counters start at processor reset
+  s.chip_offset_sigma = 0.05 * units::us;
+  s.core_offset_sigma = 0.03 * units::us;
+  return s;
+}
+
+TimerSpec ibm_time_base() {
+  TimerSpec s = intel_tsc();
+  s.kind = TimerKind::IbmTimeBase;
+  s.name = "ibm-time-base";
+  s.base_drift_max = 40 * units::ppm;
+  s.wander_sigma = 1.6e-9;        // the TB residuals in Fig. 5(b) are smaller
+  s.wander_clamp = 0.35 * units::ppm;
+  s.resolution = 1.0 / 512.0e6;   // ~512 MHz time base
+  s.noise = {5 * units::ns, 1e-4, 2 * units::us};
+  s.read_overhead = 0.02 * units::us;
+  return s;
+}
+
+TimerSpec ibm_rtc() {
+  TimerSpec s = ibm_time_base();
+  s.kind = TimerKind::IbmRtc;
+  s.name = "ibm-rtc";
+  s.resolution = 1 * units::ns;   // seconds + nanoseconds register pair
+  s.read_overhead = 0.03 * units::us;
+  return s;
+}
+
+TimerSpec gettimeofday_ntp() {
+  TimerSpec s;
+  s.kind = TimerKind::GettimeofdayNtp;
+  s.name = "gettimeofday";
+  s.scope = OscillatorScope::PerNode;  // one system clock per OS instance
+  s.base_drift_max = 30 * units::ppm;
+  s.wander_sigma = 2.0e-9;
+  s.wander_interval = 10.0;
+  s.wander_clamp = 0.4 * units::ppm;
+  s.ntp_disciplined = true;
+  s.ntp.poll_interval = 256.0;
+  s.ntp.poll_jitter = 32.0;
+  s.ntp.estimate_error_sigma = 300 * units::us;
+  s.ntp.correction_horizon = 900.0;
+  s.ntp.frequency_gain = 0.3;
+  s.resolution = 1 * units::us;   // microsecond struct timeval
+  s.noise = {20 * units::ns, 3e-4, 3 * units::us};
+  s.read_overhead = 0.05 * units::us;
+  s.node_offset_sigma = 1 * units::ms;  // NTP keeps absolute offsets ~ms
+  s.chip_offset_sigma = 0.0;      // one clock per node: no intra-node spread
+  s.core_offset_sigma = 0.0;
+  return s;
+}
+
+TimerSpec opteron_gettimeofday() {
+  TimerSpec s = gettimeofday_ntp();
+  s.name = "gettimeofday-opteron";
+  // The Catamount/SeaStar environment of Fig. 5(c) shows the largest residual
+  // deviations: poorer NTP estimates and a shorter correction horizon.
+  s.ntp.poll_interval = 192.0;
+  s.ntp.estimate_error_sigma = 800 * units::us;
+  s.ntp.correction_horizon = 450.0;
+  s.wander_sigma = 3.0e-9;
+  return s;
+}
+
+TimerSpec mpi_wtime() {
+  TimerSpec s = gettimeofday_ntp();
+  s.kind = TimerKind::MpiWtime;
+  s.name = "mpi-wtime";
+  // Open MPI's default MPI_Wtime() is gettimeofday() plus wrapper overhead;
+  // Fig. 4(a) shows the fastest divergence, so the discipline loop here is
+  // modeled with a shorter horizon and noisier estimates.
+  s.ntp.poll_interval = 128.0;
+  s.ntp.poll_jitter = 16.0;
+  s.ntp.estimate_error_sigma = 500 * units::us;
+  s.ntp.correction_horizon = 600.0;
+  s.noise = {30 * units::ns, 3e-4, 3 * units::us};
+  s.read_overhead = 0.08 * units::us;
+  return s;
+}
+
+TimerSpec cycle_counter_dvfs() {
+  TimerSpec s;
+  s.kind = TimerKind::CycleCounterDvfs;
+  s.name = "cycle-counter-dvfs";
+  s.scope = OscillatorScope::PerCore;  // each core scales independently
+  s.base_drift_max = 50 * units::ppm;
+  s.dvfs = true;
+  s.dvfs_mean_segment = 30.0;
+  s.dvfs_max_slowdown = 1000 * units::ppm;
+  s.resolution = 1.0 / 3.0e9;
+  s.noise = {3 * units::ns, 1e-4, 2 * units::us};
+  s.read_overhead = 0.005 * units::us;
+  s.node_offset_sigma = 0.5;
+  s.chip_offset_sigma = 0.1 * units::us;
+  s.core_offset_sigma = 0.05 * units::us;
+  return s;
+}
+
+TimerSpec itanium_tsc() {
+  TimerSpec s;
+  s.kind = TimerKind::IntelTsc;
+  s.name = "itanium-itc";
+  // Each chip carries its own interval time counter: small systematic offset
+  // and drift between chips of one SMP node -- the mechanism behind the
+  // OpenMP violations of Fig. 3 / Fig. 8.
+  s.scope = OscillatorScope::PerChip;
+  s.base_drift_max = 30 * units::ppm;      // shared node board clock base
+  s.intra_node_drift_sigma = 0.002 * units::ppm;
+  s.wander_sigma = 1.0e-9;
+  s.wander_clamp = 0.2 * units::ppm;
+  s.resolution = 1.0 / 1.6e9;
+  s.noise = {15 * units::ns, 2e-4, 1 * units::us};
+  s.read_overhead = 0.01 * units::us;
+  s.node_offset_sigma = 0.0;               // single node
+  s.chip_offset_sigma = 0.12 * units::us;  // ITCs aligned only coarsely
+  s.core_offset_sigma = 0.03 * units::us;
+  return s;
+}
+
+std::vector<TimerSpec> all() {
+  return {perfect(),      intel_tsc(),          ibm_time_base(),
+          ibm_rtc(),      gettimeofday_ntp(),   opteron_gettimeofday(),
+          mpi_wtime(),    cycle_counter_dvfs(), itanium_tsc()};
+}
+
+TimerSpec by_name(const std::string& name) {
+  for (TimerSpec& spec : all()) {
+    if (spec.name == name) return spec;
+  }
+  // Convenience aliases.
+  if (name == "tsc") return intel_tsc();
+  if (name == "tb") return ibm_time_base();
+  std::string known;
+  for (const TimerSpec& spec : all()) known += " " + spec.name;
+  CS_REQUIRE(false, "unknown timer '" + name + "'; known:" + known);
+  return perfect();  // unreachable
+}
+
+}  // namespace timer_specs
+
+}  // namespace chronosync

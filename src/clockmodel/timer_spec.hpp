@@ -1,0 +1,111 @@
+// Timer technology descriptions.
+//
+// A TimerSpec bundles everything that distinguishes the paper's timers —
+// Intel TSC, IBM time base, gettimeofday()+NTP, MPI_Wtime(), a DVFS-afflicted
+// cycle counter — into one parameter set from which ClockEnsemble builds
+// correlated per-rank clocks.  The magnitudes are calibrated so the
+// reproduction benches show the paper's shapes (see DESIGN.md §2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clockmodel/drift_model.hpp"
+#include "clockmodel/sim_clock.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace chronosync {
+
+enum class TimerKind {
+  PerfectGlobal,     ///< ideal global clock (testing / Blue Gene analogue)
+  IntelTsc,          ///< hardware timestamp counter register
+  IbmTimeBase,       ///< PowerPC time base register
+  IbmRtc,            ///< real-time clock register (s + ns)
+  GettimeofdayNtp,   ///< system clock, NTP disciplined
+  MpiWtime,          ///< Open MPI default: gettimeofday under the hood
+  CycleCounterDvfs,  ///< raw cycle counter exposed to frequency scaling
+};
+
+std::string to_string(TimerKind k);
+
+/// Which clocks share one physical oscillator.
+enum class OscillatorScope { PerNode, PerChip, PerCore };
+
+struct TimerSpec {
+  TimerKind kind = TimerKind::PerfectGlobal;
+  std::string name = "perfect";
+
+  // -- oscillator ----------------------------------------------------------
+  OscillatorScope scope = OscillatorScope::PerNode;
+  /// Constant drift per oscillator group, uniform in +/- this bound.
+  double base_drift_max = 0.0;
+  /// Extra constant-drift mismatch between oscillators inside one node
+  /// (only meaningful for PerChip/PerCore scopes).
+  double intra_node_drift_sigma = 0.0;
+  /// Thermal wander: bounded random walk on the rate.
+  double wander_sigma = 0.0;        ///< per-step std-dev of the rate
+  Duration wander_interval = 10.0;  ///< seconds per step
+  double wander_clamp = 0.0;        ///< absolute bound on the walk component
+  /// Slow sinusoidal component (machine-room temperature cycling).
+  double thermal_amplitude = 0.0;
+  Duration thermal_period = 600.0;
+
+  // -- discipline ----------------------------------------------------------
+  bool ntp_disciplined = false;
+  NtpParams ntp;
+
+  // -- DVFS (cycle counters only) ------------------------------------------
+  bool dvfs = false;
+  Duration dvfs_mean_segment = 30.0;  ///< mean dwell time per frequency step
+  double dvfs_max_slowdown = 1000 * units::ppm;
+  int dvfs_levels = 4;
+
+  // -- read path -------------------------------------------------------------
+  Duration resolution = 0.0;
+  ClockReadNoise noise;
+  Duration read_overhead = 0.0;
+
+  // -- offsets ---------------------------------------------------------------
+  Duration node_offset_sigma = 0.0;  ///< initial offset between nodes
+  Duration chip_offset_sigma = 0.0;  ///< extra offset per chip within a node
+  Duration core_offset_sigma = 0.0;  ///< extra offset per core within a chip
+};
+
+/// Draws the node-level base oscillator rate (uniform in +/- base_drift_max).
+double draw_base_rate(const TimerSpec& spec, const RngTree& node_rng);
+
+/// Builds the oscillator-group drift model for one group (node, chip, or
+/// core per spec.scope), *excluding* NTP discipline.  `base_rate` is the
+/// node-level rate from draw_base_rate(); the group adds its intra-node
+/// deviation and wander on top, so chips of one node stay tightly coupled.
+std::unique_ptr<DriftModel> make_oscillator_drift(const TimerSpec& spec,
+                                                  const RngTree& group_rng, double base_rate);
+
+/// Full drift model for one oscillator group including discipline/DVFS.
+std::shared_ptr<const DriftModel> make_group_drift(const TimerSpec& spec,
+                                                   const RngTree& group_rng, double base_rate);
+
+namespace timer_specs {
+
+TimerSpec perfect();
+TimerSpec intel_tsc();          ///< Xeon cluster hardware clock
+TimerSpec ibm_time_base();      ///< PowerPC cluster hardware clock
+TimerSpec ibm_rtc();            ///< POWER real-time clock
+TimerSpec gettimeofday_ntp();   ///< Xeon cluster system clock
+TimerSpec opteron_gettimeofday();  ///< Jaguar's system clock (worst in Fig. 5)
+TimerSpec mpi_wtime();          ///< Open MPI default MPI_Wtime()
+TimerSpec cycle_counter_dvfs(); ///< power-managed cycle counter
+TimerSpec itanium_tsc();        ///< per-chip ITC on the Itanium SMP node
+
+/// All presets, for sweeps and CLI listings.
+std::vector<TimerSpec> all();
+
+/// Preset lookup by its `name` field (e.g. "intel-tsc", "gettimeofday");
+/// throws std::invalid_argument for unknown names.
+TimerSpec by_name(const std::string& name);
+
+}  // namespace timer_specs
+
+}  // namespace chronosync

@@ -1,0 +1,55 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      options_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      continue;
+    }
+    // `--name value` if the next token is not itself an option; else a flag.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[std::string(arg)] = argv[++i];
+    } else {
+      options_[std::string(arg)] = "1";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return options_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::uint64_t Cli::get_seed(std::uint64_t fallback) const {
+  return static_cast<std::uint64_t>(get_int("seed", static_cast<std::int64_t>(fallback)));
+}
+
+}  // namespace chronosync

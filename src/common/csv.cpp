@@ -1,0 +1,43 @@
+#include "common/csv.hpp"
+
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+namespace {
+std::string join(const std::vector<std::string>& cells) {
+  std::string s;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) s += ',';
+    s += cells[i];
+  }
+  return s;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  CS_REQUIRE(out_.good(), "cannot open CSV output: " + path);
+  CS_REQUIRE(columns_ > 0, "CSV needs at least one column");
+  out_ << join(header) << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+  CS_REQUIRE(values.size() == columns_, "CSV row width mismatch");
+  std::ostringstream os;
+  os.precision(12);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << ',';
+    os << values[i];
+  }
+  out_ << os.str() << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& values) {
+  CS_REQUIRE(values.size() == columns_, "CSV row width mismatch");
+  out_ << join(values) << '\n';
+}
+
+}  // namespace chronosync

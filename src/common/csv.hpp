@@ -1,0 +1,27 @@
+// Minimal CSV writer; the figure-reproduction benches emit their series as CSV
+// (alongside the ASCII rendering) so the curves can be plotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace chronosync {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row; throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<double>& values);
+  void add_row(const std::vector<std::string>& values);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace chronosync

@@ -1,0 +1,42 @@
+// Precondition / invariant checking macros.
+//
+// CS_REQUIRE is for caller-facing preconditions on public APIs and throws
+// std::invalid_argument; CS_ENSURE is for internal invariants and throws
+// std::logic_error.  Both are always on: the simulator's correctness matters
+// more than the last few percent of speed, and a silently-corrupt trace is
+// worse than a crash.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace chronosync::detail {
+
+[[noreturn]] inline void fail_require(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void fail_ensure(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace chronosync::detail
+
+#define CS_REQUIRE(expr, msg)                                                   \
+  do {                                                                          \
+    if (!(expr)) ::chronosync::detail::fail_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define CS_ENSURE(expr, msg)                                                    \
+  do {                                                                          \
+    if (!(expr)) ::chronosync::detail::fail_ensure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

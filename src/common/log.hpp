@@ -1,0 +1,40 @@
+// Leveled logging to stderr.  Default level is Warn so library output never
+// pollutes the bench tables; binaries raise it with --verbose.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace chronosync {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace chronosync
+
+#define CS_LOG_DEBUG ::chronosync::detail::LogLine(::chronosync::LogLevel::Debug)
+#define CS_LOG_INFO ::chronosync::detail::LogLine(::chronosync::LogLevel::Info)
+#define CS_LOG_WARN ::chronosync::detail::LogLine(::chronosync::LogLevel::Warn)
+#define CS_LOG_ERROR ::chronosync::detail::LogLine(::chronosync::LogLevel::Error)

@@ -1,0 +1,109 @@
+#include "common/mathutil.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+LinearFit fit_line(const std::vector<Point2>& pts) {
+  CS_REQUIRE(pts.size() >= 2, "fit_line needs at least two points");
+  double sx = 0.0, sy = 0.0;
+  for (const auto& p : pts) {
+    sx += p.x;
+    sy += p.y;
+  }
+  const double n = static_cast<double>(pts.size());
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0, sxy = 0.0;
+  for (const auto& p : pts) {
+    sxx += (p.x - mx) * (p.x - mx);
+    sxy += (p.x - mx) * (p.y - my);
+  }
+  CS_REQUIRE(sxx > 0.0, "fit_line needs two distinct x values");
+  LinearFit f;
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  f.n = pts.size();
+  double ss = 0.0;
+  for (const auto& p : pts) {
+    const double r = p.y - f(p.x);
+    ss += r * r;
+  }
+  f.residual_stddev = pts.size() > 2 ? std::sqrt(ss / (n - 2.0)) : 0.0;
+  return f;
+}
+
+namespace {
+
+double cross(const Point2& o, const Point2& a, const Point2& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+std::vector<Point2> half_hull(std::vector<Point2> pts, bool lower) {
+  std::sort(pts.begin(), pts.end(), [](const Point2& a, const Point2& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  std::vector<Point2> hull;
+  for (const auto& p : pts) {
+    while (hull.size() >= 2) {
+      const double c = cross(hull[hull.size() - 2], hull.back(), p);
+      const bool keep = lower ? c > 0.0 : c < 0.0;
+      if (keep) break;
+      hull.pop_back();
+    }
+    hull.push_back(p);
+  }
+  return hull;
+}
+
+}  // namespace
+
+std::vector<Point2> lower_convex_hull(std::vector<Point2> pts) {
+  return half_hull(std::move(pts), /*lower=*/true);
+}
+
+std::vector<Point2> upper_convex_hull(std::vector<Point2> pts) {
+  return half_hull(std::move(pts), /*lower=*/false);
+}
+
+PiecewiseLinear::PiecewiseLinear(std::vector<Point2> knots) : knots_(std::move(knots)) {
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    CS_REQUIRE(knots_[i].x > knots_[i - 1].x, "piecewise knots must be strictly increasing in x");
+  }
+}
+
+void PiecewiseLinear::append(double x, double y) {
+  CS_REQUIRE(knots_.empty() || x > knots_.back().x,
+             "piecewise knots must be strictly increasing in x");
+  knots_.push_back({x, y});
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  CS_REQUIRE(!knots_.empty(), "evaluating empty piecewise function");
+  if (knots_.size() == 1) return knots_.front().y;
+  // Find the segment; extrapolate boundary segments outside the range.
+  auto it = std::lower_bound(knots_.begin(), knots_.end(), x,
+                             [](const Point2& k, double v) { return k.x < v; });
+  std::size_t hi = static_cast<std::size_t>(it - knots_.begin());
+  hi = std::clamp<std::size_t>(hi, 1, knots_.size() - 1);
+  const Point2& a = knots_[hi - 1];
+  const Point2& b = knots_[hi];
+  const double t = (x - a.x) / (b.x - a.x);
+  return lerp(a.y, b.y, t);
+}
+
+double PiecewiseLinear::slope_at(double x) const {
+  CS_REQUIRE(knots_.size() >= 2, "slope of degenerate piecewise function");
+  auto it = std::lower_bound(knots_.begin(), knots_.end(), x,
+                             [](const Point2& k, double v) { return k.x < v; });
+  std::size_t hi = static_cast<std::size_t>(it - knots_.begin());
+  hi = std::clamp<std::size_t>(hi, 1, knots_.size() - 1);
+  const Point2& a = knots_[hi - 1];
+  const Point2& b = knots_[hi];
+  return (b.y - a.y) / (b.x - a.x);
+}
+
+}  // namespace chronosync

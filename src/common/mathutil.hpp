@@ -1,0 +1,67 @@
+// Numerical building blocks for synchronization algorithms:
+//   * least-squares line fitting (Duda's regression method, Eq. 3 parameters),
+//   * convex hulls of point sets (Duda's hull method for one-sided bounds),
+//   * piecewise-linear functions (drift integrals, interpolation tables).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace chronosync {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Result of an ordinary least-squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  std::size_t n = 0;
+  /// Residual standard deviation around the fitted line.
+  double residual_stddev = 0.0;
+
+  double operator()(double x) const { return slope * x + intercept; }
+};
+
+/// Ordinary least squares over the given points (requires n >= 2 with at
+/// least two distinct x values).
+LinearFit fit_line(const std::vector<Point2>& pts);
+
+/// Lower convex hull of a point set, left to right (Andrew monotone chain).
+/// The hull supports Duda's bound: all points lie on or above the returned
+/// polyline.
+std::vector<Point2> lower_convex_hull(std::vector<Point2> pts);
+
+/// Upper convex hull of a point set, left to right.
+std::vector<Point2> upper_convex_hull(std::vector<Point2> pts);
+
+/// A continuous piecewise-linear function defined by knots sorted by x.
+/// Evaluation outside the knot range extrapolates the boundary segment, which
+/// is exactly the behaviour of linear offset interpolation applied outside the
+/// measurement interval.
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+  explicit PiecewiseLinear(std::vector<Point2> knots);
+
+  /// Adds a knot; x must be strictly greater than the last knot's x.
+  void append(double x, double y);
+
+  double operator()(double x) const;
+  bool empty() const { return knots_.empty(); }
+  std::size_t size() const { return knots_.size(); }
+  const std::vector<Point2>& knots() const { return knots_; }
+
+  /// Slope of the segment containing x (boundary segments extended).
+  double slope_at(double x) const;
+
+ private:
+  std::vector<Point2> knots_;
+};
+
+/// Linear interpolation helper.
+inline double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+}  // namespace chronosync

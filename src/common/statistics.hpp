@@ -1,0 +1,76 @@
+// Streaming and batch statistics used by latency probes, deviation analyses,
+// and the experiment reports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace chronosync {
+
+/// Numerically stable running mean/variance (Welford) with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  /// Merges another accumulator (parallel reduction; Chan et al. update).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch percentile over a copy of the samples (linear interpolation between
+/// closest ranks, the same convention as numpy's default).
+double percentile(std::vector<double> samples, double p);
+
+/// Fixed-bin histogram over [lo, hi); samples outside are clamped to the
+/// boundary bins so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// Multi-line ASCII rendering (for report output).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Summary of a sample vector: n, mean, stddev, min, percentiles, max.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(const std::vector<double>& samples);
+
+}  // namespace chronosync

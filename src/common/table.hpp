@@ -1,0 +1,28 @@
+// ASCII table rendering for the benchmark harness, so every reproduced table
+// and figure prints in a shape directly comparable to the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chronosync {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision for use in add_row.
+  static std::string num(double v, int precision = 2);
+  /// Scientific notation, as used by the paper's std.dev. columns.
+  static std::string sci(double v, int precision = 2);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace chronosync

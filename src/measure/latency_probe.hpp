@@ -1,0 +1,32 @@
+// Message and collective latency measurement (Table II).
+//
+// Ping-pong between rank 0 and rank 1 measures one-way latency as RTT/2;
+// the collective probe times an allreduce on all ranks.  Each estimate is the
+// average of `reps_per_estimate` operations; repeating the estimate
+// `estimates` times yields the mean and standard deviation the paper's
+// Table II reports (the std-dev there is the spread of the *averaged*
+// estimates, which is why it is orders of magnitude below the mean).
+#pragma once
+
+#include "common/statistics.hpp"
+#include "mpisim/job.hpp"
+
+namespace chronosync {
+
+struct LatencyProbeResult {
+  RunningStats one_way;  ///< statistics over the averaged estimates (seconds)
+};
+
+struct LatencyProbeConfig {
+  int estimates = 10;
+  int reps_per_estimate = 1000;
+  std::uint32_t bytes = 0;
+};
+
+/// Measures p2p latency between ranks 0 and 1 of `job` (run on a fresh job).
+LatencyProbeResult measure_p2p_latency(Job& job, const LatencyProbeConfig& cfg);
+
+/// Measures the latency of an allreduce across all ranks of `job`.
+LatencyProbeResult measure_allreduce_latency(Job& job, const LatencyProbeConfig& cfg);
+
+}  // namespace chronosync

@@ -1,0 +1,89 @@
+#include "measure/offset_probe.hpp"
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+namespace {
+constexpr Tag kProbeRequestTag = 900001 % (1 << 20);  // user tag space
+constexpr Tag kProbeReplyTag = 900002 % (1 << 20);
+constexpr std::uint32_t kProbeBytes = 8;
+}  // namespace
+
+void OffsetStore::add(Rank worker, const OffsetMeasurement& m) {
+  CS_REQUIRE(worker >= 0 && worker < ranks(), "worker rank out of range");
+  samples_[static_cast<std::size_t>(worker)].push_back(m);
+}
+
+const std::vector<OffsetMeasurement>& OffsetStore::of(Rank worker) const {
+  CS_REQUIRE(worker >= 0 && worker < ranks(), "worker rank out of range");
+  return samples_[static_cast<std::size_t>(worker)];
+}
+
+Coro<void> probe_offsets(Proc& p, OffsetStore& store, int pings) {
+  CS_REQUIRE(pings > 0, "need at least one ping");
+  // Probing happens outside tracing windows (inside MPI_Init/Finalize);
+  // suspend tracing for its duration.
+  const bool was_tracing = p.tracing();
+  p.set_tracing(false);
+
+  if (p.rank() == 0) {
+    store.add(0, {p.wtime(), 0.0, 0.0});
+    for (Rank w = 1; w < p.nranks(); ++w) {
+      OffsetMeasurement best;
+      best.rtt = kTimeInfinity;
+      for (int k = 0; k < pings; ++k) {
+        const Time t1 = p.wtime();
+        co_await p.send(w, kProbeRequestTag, kProbeBytes);
+        Message reply = co_await p.recv(w, kProbeReplyTag);
+        const Time t2 = p.wtime();
+        const Time t0 = reply.data.at(0);
+        const Duration rtt = t2 - t1;
+        if (rtt < best.rtt) {
+          best.worker_time = t0;
+          best.offset = t1 + rtt / 2.0 - t0;  // Eq. 2
+          best.rtt = rtt;
+        }
+      }
+      store.add(w, best);
+    }
+  } else {
+    for (int k = 0; k < pings; ++k) {
+      co_await p.recv(0, kProbeRequestTag);
+      // Built outside the co_await: GCC 12 rejects initializer lists inside
+      // await expressions ("array used as initializer").
+      std::vector<double> reply(1, p.wtime());
+      co_await p.send(0, kProbeReplyTag, kProbeBytes, std::move(reply));
+    }
+  }
+
+  // Keep ranks aligned so the probe batch has a well-defined end.
+  co_await p.barrier();
+  p.set_tracing(was_tracing);
+}
+
+OffsetMeasurement direct_probe(SimClock& master, SimClock& worker,
+                               const HierarchicalLatencyModel& latency, CommDomain domain,
+                               Time when, int pings, Rng& rng) {
+  CS_REQUIRE(pings > 0, "need at least one ping");
+  OffsetMeasurement best;
+  best.rtt = kTimeInfinity;
+  Time t = when;
+  for (int k = 0; k < pings; ++k) {
+    const Duration d1 = latency.sample(domain, 8, rng);
+    const Duration d2 = latency.sample(domain, 8, rng);
+    const Time t1 = master.read(t);
+    const Time t0 = worker.read(t + d1);
+    const Time t2 = master.read(t + d1 + d2);
+    const Duration rtt = t2 - t1;
+    if (rtt < best.rtt) {
+      best.worker_time = t0;
+      best.offset = t1 + rtt / 2.0 - t0;
+      best.rtt = rtt;
+    }
+    t += d1 + d2;  // consecutive pings advance true time
+  }
+  return best;
+}
+
+}  // namespace chronosync

@@ -1,0 +1,61 @@
+// Remote clock offset measurement (Cristian's probabilistic technique, Eq. 2).
+//
+// The master (rank 0) pings a worker; the worker replies with its current
+// local time t0; the master notes its local send time t1 and receive time t2.
+// Assuming symmetric delays, the master-minus-worker offset at worker time t0
+// is
+//
+//     o = t1 + (t2 - t1)/2 - t0                                       (Eq. 2)
+//
+// and the estimate's error is bounded by half the round-trip asymmetry, so
+// the probe repeats `pings` times and keeps the minimum-RTT sample.
+//
+// Two implementations are provided:
+//  * probe_offsets()  — runs *inside* a simulated job as real messages (used
+//    by the application benches: the probe perturbs the run, as in Scalasca's
+//    MPI_Init/MPI_Finalize measurements);
+//  * direct_probe()   — closed-form simulation of one probe between two
+//    SimClocks at a given true time (used by the clock-deviation benches and
+//    tests, where no application is running).
+#pragma once
+
+#include <vector>
+
+#include "clockmodel/sim_clock.hpp"
+#include "common/rng.hpp"
+#include "mpisim/proc.hpp"
+#include "topology/latency_model.hpp"
+
+namespace chronosync {
+
+struct OffsetMeasurement {
+  Time worker_time = 0.0;   ///< w: worker-local time of the sample
+  Duration offset = 0.0;    ///< o: master time minus worker time (Eq. 2)
+  Duration rtt = 0.0;       ///< round-trip time of the selected ping
+};
+
+/// Chronological offset measurements per rank, as a tool like Scalasca keeps
+/// them (one batch at MPI_Init, one at MPI_Finalize, possibly more).
+class OffsetStore {
+ public:
+  explicit OffsetStore(int ranks) : samples_(static_cast<std::size_t>(ranks)) {}
+
+  void add(Rank worker, const OffsetMeasurement& m);
+  const std::vector<OffsetMeasurement>& of(Rank worker) const;
+  int ranks() const { return static_cast<int>(samples_.size()); }
+
+ private:
+  std::vector<std::vector<OffsetMeasurement>> samples_;
+};
+
+/// SPMD coroutine: every rank of the job calls this at the same program
+/// point.  Rank 0 probes each worker `pings` times and stores the best
+/// sample; workers answer.  Rank 0's own entry records a zero offset.
+[[nodiscard]] Coro<void> probe_offsets(Proc& p, OffsetStore& store, int pings = 10);
+
+/// Closed-form probe between two clocks at true time `when` (no engine).
+OffsetMeasurement direct_probe(SimClock& master, SimClock& worker,
+                               const HierarchicalLatencyModel& latency, CommDomain domain,
+                               Time when, int pings, Rng& rng);
+
+}  // namespace chronosync

@@ -1,0 +1,18 @@
+#include "measure/periodic.hpp"
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+Coro<void> with_periodic_probes(Proc& p, OffsetStore& store, int batches,
+                                std::function<Coro<void>(Proc&, int phase)> phase_body,
+                                int pings) {
+  CS_REQUIRE(batches >= 2, "need at least the init and finalize batches");
+  co_await probe_offsets(p, store, pings);
+  for (int phase = 0; phase < batches - 1; ++phase) {
+    co_await phase_body(p, phase);
+    co_await probe_offsets(p, store, pings);
+  }
+}
+
+}  // namespace chronosync

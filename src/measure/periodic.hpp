@@ -1,0 +1,27 @@
+// Periodic offset measurement (the approach of Doleschal et al., ref. [17]):
+// instead of probing only at initialization and finalization, the run is
+// divided into phases with a probe batch between every two — the input
+// PiecewiseInterpolation needs to track non-constant drift.
+#pragma once
+
+#include <functional>
+
+#include "measure/offset_probe.hpp"
+#include "mpisim/proc.hpp"
+
+namespace chronosync {
+
+/// SPMD helper: executes `batches` offset-probe batches with the given phase
+/// body between consecutive batches (so `batches - 1` phases run).  Tracing
+/// is suspended during each probe, as in probe_offsets().
+///
+///     job.run([&](Proc& p) {
+///       return with_periodic_probes(p, store, 5, [&](Proc& p, int phase) {
+///         return my_phase(p, phase);
+///       });
+///     });
+[[nodiscard]] Coro<void> with_periodic_probes(
+    Proc& p, OffsetStore& store, int batches,
+    std::function<Coro<void>(Proc&, int phase)> phase_body, int pings = 10);
+
+}  // namespace chronosync

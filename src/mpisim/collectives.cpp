@@ -1,0 +1,349 @@
+// Collective algorithms over the internal point-to-point layer.
+//
+// The algorithms mirror common MPI implementations (dissemination barrier,
+// binomial broadcast/reduce, recursive-doubling allreduce, ring allgather,
+// shifted pairwise alltoall) so the *timing* of collective events shows the
+// realistic skew the paper's analysis depends on.  Internal traffic is not
+// traced; the trace records one CollBegin/CollEnd pair per member per
+// instance, as Scalasca does.
+//
+// Every operation runs on a Communicator: algorithms work in communicator
+// ranks and translate to world ranks only when messages are sent.  Instance
+// ids combine the communicator id and a per-communicator sequence number.
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "mpisim/job.hpp"
+#include "mpisim/proc.hpp"
+
+namespace chronosync {
+
+namespace {
+
+/// Number of tags each collective instance may use.
+constexpr Tag kTagsPerInstance = 4;
+
+const char* mpi_region_name(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::Barrier: return "MPI_Barrier";
+    case CollectiveKind::Bcast: return "MPI_Bcast";
+    case CollectiveKind::Reduce: return "MPI_Reduce";
+    case CollectiveKind::Allreduce: return "MPI_Allreduce";
+    case CollectiveKind::Gather: return "MPI_Gather";
+    case CollectiveKind::Scatter: return "MPI_Scatter";
+    case CollectiveKind::Allgather: return "MPI_Allgather";
+    case CollectiveKind::Alltoall: return "MPI_Alltoall";
+  }
+  return "MPI_Collective";
+}
+
+/// Spreads instance ids across the internal tag range (mixing both the
+/// communicator id in the high half and the sequence number).
+Tag instance_tag(std::int64_t cid) {
+  std::uint64_t h = static_cast<std::uint64_t>(cid);
+  h = splitmix64(h);
+  return kInternalTagBase +
+         static_cast<Tag>((h % (kInternalTagRange / kTagsPerInstance)) * kTagsPerInstance);
+}
+
+}  // namespace
+
+const Communicator& Proc::comm_world() const { return job_.world_; }
+
+Coro<void> Proc::coll_impl(const Communicator& comm, CollectiveKind kind, int root,
+                           std::uint32_t bytes) {
+  CS_REQUIRE(root >= 0 && root < comm.size(), "collective root out of range");
+  const int my = comm.rank_of(rank_);
+  CS_REQUIRE(my >= 0, "rank is not a member of the communicator");
+
+  const std::int64_t seq = coll_seq_[comm.id()]++;
+  const std::int64_t cid = (static_cast<std::int64_t>(comm.id()) << 32) | seq;
+  const Tag base = instance_tag(cid);
+
+  mpi_enter(coll_region_[static_cast<std::size_t>(kind)], mpi_region_name(kind));
+
+  Event b;
+  b.type = EventType::CollBegin;
+  b.coll = kind;
+  b.coll_id = cid;
+  b.root = comm.world_rank(root);
+  b.bytes = bytes;
+  record(b);
+
+  if (comm.size() > 1) {
+    switch (kind) {
+      case CollectiveKind::Barrier: co_await run_barrier(comm, my, base); break;
+      case CollectiveKind::Bcast: co_await run_bcast(comm, my, root, bytes, base); break;
+      case CollectiveKind::Reduce: co_await run_reduce(comm, my, root, bytes, base); break;
+      case CollectiveKind::Allreduce: co_await run_allreduce(comm, my, bytes, base); break;
+      case CollectiveKind::Gather: co_await run_gather(comm, my, root, bytes, base); break;
+      case CollectiveKind::Scatter: co_await run_scatter(comm, my, root, bytes, base); break;
+      case CollectiveKind::Allgather: co_await run_allgather(comm, my, bytes, base); break;
+      case CollectiveKind::Alltoall: co_await run_alltoall(comm, my, bytes, base); break;
+    }
+  }
+
+  Event e;
+  e.type = EventType::CollEnd;
+  e.coll = kind;
+  e.coll_id = cid;
+  e.root = comm.world_rank(root);
+  e.bytes = bytes;
+  record(e);
+
+  mpi_exit(coll_region_[static_cast<std::size_t>(kind)]);
+}
+
+// World-communicator conveniences.
+Coro<void> Proc::barrier() { return coll_impl(comm_world(), CollectiveKind::Barrier, 0, 0); }
+Coro<void> Proc::bcast(Rank root, std::uint32_t bytes) {
+  return coll_impl(comm_world(), CollectiveKind::Bcast, root, bytes);
+}
+Coro<void> Proc::reduce(Rank root, std::uint32_t bytes) {
+  return coll_impl(comm_world(), CollectiveKind::Reduce, root, bytes);
+}
+Coro<void> Proc::allreduce(std::uint32_t bytes) {
+  return coll_impl(comm_world(), CollectiveKind::Allreduce, 0, bytes);
+}
+Coro<void> Proc::gather(Rank root, std::uint32_t bytes) {
+  return coll_impl(comm_world(), CollectiveKind::Gather, root, bytes);
+}
+Coro<void> Proc::scatter(Rank root, std::uint32_t bytes) {
+  return coll_impl(comm_world(), CollectiveKind::Scatter, root, bytes);
+}
+Coro<void> Proc::allgather(std::uint32_t bytes) {
+  return coll_impl(comm_world(), CollectiveKind::Allgather, 0, bytes);
+}
+Coro<void> Proc::alltoall(std::uint32_t bytes) {
+  return coll_impl(comm_world(), CollectiveKind::Alltoall, 0, bytes);
+}
+
+// Sub-communicator variants.
+Coro<void> Proc::barrier(const Communicator& comm) {
+  return coll_impl(comm, CollectiveKind::Barrier, 0, 0);
+}
+Coro<void> Proc::bcast(const Communicator& comm, int root, std::uint32_t bytes) {
+  return coll_impl(comm, CollectiveKind::Bcast, root, bytes);
+}
+Coro<void> Proc::reduce(const Communicator& comm, int root, std::uint32_t bytes) {
+  return coll_impl(comm, CollectiveKind::Reduce, root, bytes);
+}
+Coro<void> Proc::allreduce(const Communicator& comm, std::uint32_t bytes) {
+  return coll_impl(comm, CollectiveKind::Allreduce, 0, bytes);
+}
+Coro<void> Proc::gather(const Communicator& comm, int root, std::uint32_t bytes) {
+  return coll_impl(comm, CollectiveKind::Gather, root, bytes);
+}
+Coro<void> Proc::scatter(const Communicator& comm, int root, std::uint32_t bytes) {
+  return coll_impl(comm, CollectiveKind::Scatter, root, bytes);
+}
+Coro<void> Proc::allgather(const Communicator& comm, std::uint32_t bytes) {
+  return coll_impl(comm, CollectiveKind::Allgather, 0, bytes);
+}
+Coro<void> Proc::alltoall(const Communicator& comm, std::uint32_t bytes) {
+  return coll_impl(comm, CollectiveKind::Alltoall, 0, bytes);
+}
+
+// ----------------------------------------------------------------- barrier
+
+Coro<void> Proc::run_barrier(const Communicator& comm, int r, Tag base) {
+  // Dissemination barrier: in round k, notify rank+2^k and wait for rank-2^k.
+  const int n = comm.size();
+  for (int k = 1; k < n; k <<= 1) {
+    const Rank to = comm.world_rank((r + k) % n);
+    const Rank from = comm.world_rank((r - k % n + n) % n);
+    co_await isend_internal(to, base, 0);
+    co_await recv_internal(from, base);
+    co_await engine().delay(job_.cfg_.coll_round_overhead);
+  }
+}
+
+// ------------------------------------------------------------------- bcast
+
+Coro<void> Proc::run_bcast(const Communicator& comm, int r, int root, std::uint32_t bytes,
+                           Tag base) {
+  // Binomial tree rooted at `root` (virtual rank 0).
+  const int n = comm.size();
+  const int vr = (r - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (vr & mask) {
+      const Rank parent = comm.world_rank(((vr - mask) + root) % n);
+      co_await recv_internal(parent, base);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < n) {
+      const Rank child = comm.world_rank(((vr + mask) + root) % n);
+      co_await isend_internal(child, base, bytes);
+    }
+    mask >>= 1;
+  }
+  co_await engine().delay(job_.cfg_.coll_round_overhead);
+}
+
+// ------------------------------------------------------------------ reduce
+
+Coro<void> Proc::run_reduce(const Communicator& comm, int r, int root, std::uint32_t bytes,
+                            Tag base) {
+  // Binomial tree, leaves to root.
+  const int n = comm.size();
+  const int vr = (r - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if ((vr & mask) == 0) {
+      if (vr + mask < n) {
+        const Rank child = comm.world_rank(((vr + mask) + root) % n);
+        co_await recv_internal(child, base);
+        co_await engine().delay(job_.cfg_.coll_round_overhead);  // combine cost
+      }
+      mask <<= 1;
+    } else {
+      const Rank parent = comm.world_rank(((vr - mask) + root) % n);
+      co_await isend_internal(parent, base, bytes);
+      break;
+    }
+  }
+}
+
+// --------------------------------------------------------------- allreduce
+
+Coro<void> Proc::run_allreduce(const Communicator& comm, int r, std::uint32_t bytes,
+                               Tag base) {
+  const int n = comm.size();
+  if ((n & (n - 1)) == 0) {
+    // Recursive doubling: exchange with rank ^ 2^k each round.
+    for (int mask = 1; mask < n; mask <<= 1) {
+      const Rank partner = comm.world_rank(r ^ mask);
+      co_await isend_internal(partner, base, bytes);
+      co_await recv_internal(partner, base);
+      co_await engine().delay(job_.cfg_.coll_round_overhead);
+    }
+  } else {
+    // Non-power-of-two: reduce to 0, then broadcast.
+    co_await run_reduce(comm, r, 0, bytes, base);
+    co_await run_bcast(comm, r, 0, bytes, base + 1);
+  }
+}
+
+// ------------------------------------------------------------ gather/scatter
+
+Coro<void> Proc::run_gather(const Communicator& comm, int r, int root, std::uint32_t bytes,
+                            Tag base) {
+  if (r == root) {
+    for (int m = 0; m < comm.size(); ++m) {
+      if (m == root) continue;
+      co_await recv_internal(comm.world_rank(m), base);
+    }
+  } else {
+    co_await isend_internal(comm.world_rank(root), base, bytes);
+  }
+  co_await engine().delay(job_.cfg_.coll_round_overhead);
+}
+
+Coro<void> Proc::run_scatter(const Communicator& comm, int r, int root, std::uint32_t bytes,
+                             Tag base) {
+  if (r == root) {
+    for (int m = 0; m < comm.size(); ++m) {
+      if (m == root) continue;
+      co_await isend_internal(comm.world_rank(m), base, bytes);
+    }
+  } else {
+    co_await recv_internal(comm.world_rank(root), base);
+  }
+  co_await engine().delay(job_.cfg_.coll_round_overhead);
+}
+
+// -------------------------------------------------------- allgather/alltoall
+
+Coro<void> Proc::run_allgather(const Communicator& comm, int r, std::uint32_t bytes,
+                               Tag base) {
+  // Ring: n-1 rounds passing blocks to the right neighbour.  Matching relies
+  // on the transport's per-pair FIFO order (non-overtaking).
+  const int n = comm.size();
+  const Rank right = comm.world_rank((r + 1) % n);
+  const Rank left = comm.world_rank((r - 1 + n) % n);
+  for (int round = 0; round < n - 1; ++round) {
+    co_await isend_internal(right, base, bytes);
+    co_await recv_internal(left, base);
+    co_await engine().delay(job_.cfg_.coll_round_overhead);
+  }
+}
+
+Coro<void> Proc::run_alltoall(const Communicator& comm, int r, std::uint32_t bytes, Tag base) {
+  // Shifted pairwise exchange: round i talks to rank +/- i.
+  const int n = comm.size();
+  for (int i = 1; i < n; ++i) {
+    const Rank to = comm.world_rank((r + i) % n);
+    const Rank from = comm.world_rank((r - i + n) % n);
+    co_await isend_internal(to, base, bytes);
+    co_await recv_internal(from, base);
+    co_await engine().delay(job_.cfg_.coll_round_overhead);
+  }
+}
+
+// ---------------------------------------------------------------- comm split
+
+Coro<Communicator> Proc::split(const Communicator& parent, int color, int key) {
+  const int my = parent.rank_of(rank_);
+  CS_REQUIRE(my >= 0, "rank is not a member of the parent communicator");
+  const std::int64_t seq = split_seq_[parent.id()]++;
+  const Tag base = instance_tag((static_cast<std::int64_t>(parent.id()) << 32) |
+                                (seq ^ 0x5157000000000000LL));
+  const int n = parent.size();
+  const Rank leader = parent.world_rank(0);
+
+  // Gather (member rank, color, key) at the parent's rank 0, then broadcast
+  // the full list; everyone derives the groups locally and identically.
+  std::vector<double> table;  // flattened triples
+  if (my == 0) {
+    table.reserve(static_cast<std::size_t>(n) * 3);
+    table.push_back(0.0);
+    table.push_back(color);
+    table.push_back(key);
+    for (int m = 1; m < n; ++m) {
+      Message msg = co_await recv_impl(kAnySource, base, /*traced=*/false);
+      table.insert(table.end(), msg.data.begin(), msg.data.end());
+    }
+    for (int m = 1; m < n; ++m) {
+      std::vector<double> copy = table;
+      co_await send_impl(parent.world_rank(m), base + 1, 16u * static_cast<std::uint32_t>(n),
+                         std::move(copy), /*traced=*/false);
+    }
+  } else {
+    std::vector<double> mine = {static_cast<double>(my), static_cast<double>(color),
+                                static_cast<double>(key)};
+    co_await send_impl(leader, base, 16, std::move(mine), /*traced=*/false);
+    Message msg = co_await recv_impl(leader, base + 1, /*traced=*/false);
+    table = std::move(msg.data);
+  }
+
+  // My color group, ordered by (key, parent rank) as MPI_Comm_split does.
+  struct Entry {
+    int parent_rank;
+    int key;
+  };
+  std::vector<Entry> group;
+  for (std::size_t i = 0; i + 3 <= table.size(); i += 3) {
+    const int pr = static_cast<int>(table[i]);
+    const int c = static_cast<int>(table[i + 1]);
+    const int k = static_cast<int>(table[i + 2]);
+    if (c == color) group.push_back({pr, k});
+  }
+  std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.parent_rank < b.parent_rank;
+  });
+  std::vector<Rank> members;
+  members.reserve(group.size());
+  for (const Entry& e : group) members.push_back(parent.world_rank(e.parent_rank));
+
+  // A consistent id: every member asks the job registry with the same key.
+  const std::int32_t id = job_.comm_id_for(parent.id(), seq, color);
+  co_return Communicator(id, std::move(members));
+}
+
+}  // namespace chronosync

@@ -1,0 +1,26 @@
+#include "mpisim/comm.hpp"
+
+#include <numeric>
+
+namespace chronosync {
+
+Communicator Communicator::world(int nranks) {
+  CS_REQUIRE(nranks > 0, "world communicator needs ranks");
+  std::vector<Rank> all(static_cast<std::size_t>(nranks));
+  std::iota(all.begin(), all.end(), 0);
+  return Communicator(0, std::move(all));
+}
+
+Communicator::Communicator(std::int32_t id, std::vector<Rank> members) : id_(id) {
+  CS_REQUIRE(!members.empty(), "communicator needs members");
+  members_ = std::make_shared<const std::vector<Rank>>(std::move(members));
+}
+
+int Communicator::rank_of(Rank world) const {
+  for (std::size_t i = 0; i < members_->size(); ++i) {
+    if ((*members_)[i] == world) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace chronosync

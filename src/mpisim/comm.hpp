@@ -1,0 +1,51 @@
+// Communicators: ordered process groups with their own collective context.
+//
+// Mirrors MPI semantics: the world communicator spans all ranks; split()
+// partitions a parent communicator by color, ordering members by (key,
+// parent rank).  Collective operations on a communicator involve exactly its
+// members, and collective instances are identified by (communicator id,
+// per-communicator sequence number), so traces of multi-communicator codes
+// group correctly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/types.hpp"
+
+namespace chronosync {
+
+class Communicator {
+ public:
+  /// The world communicator over `nranks` ranks (id 0).
+  static Communicator world(int nranks);
+
+  /// A communicator with explicit members (world ranks, in rank order of the
+  /// new communicator).  Ids must be allocated consistently on all ranks;
+  /// Proc::split() does this automatically.
+  Communicator(std::int32_t id, std::vector<Rank> members);
+
+  std::int32_t id() const { return id_; }
+  int size() const { return static_cast<int>(members_->size()); }
+
+  /// World rank of communicator rank `r`.
+  Rank world_rank(int r) const {
+    CS_REQUIRE(r >= 0 && r < size(), "communicator rank out of range");
+    return (*members_)[static_cast<std::size_t>(r)];
+  }
+
+  /// Communicator rank of a world rank; -1 if not a member.
+  int rank_of(Rank world) const;
+
+  bool contains(Rank world) const { return rank_of(world) >= 0; }
+
+  const std::vector<Rank>& members() const { return *members_; }
+
+ private:
+  std::int32_t id_ = 0;
+  std::shared_ptr<const std::vector<Rank>> members_;
+};
+
+}  // namespace chronosync

@@ -1,0 +1,108 @@
+#include "mpisim/job.hpp"
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+namespace {
+
+std::array<Duration, 3> domain_minimums(const HierarchicalLatencyModel& lat) {
+  return {lat.min_latency(CommDomain::SameChip), lat.min_latency(CommDomain::SameNode),
+          lat.min_latency(CommDomain::CrossNode)};
+}
+
+}  // namespace
+
+Job::Job(JobConfig cfg)
+    : cfg_(std::move(cfg)),
+      clocks_(cfg_.placement, cfg_.timer, RngTree(cfg_.seed).child("clocks")),
+      rng_(RngTree(cfg_.seed)),
+      net_rng_(rng_.stream("net")),
+      trace_(cfg_.placement, domain_minimums(cfg_.latency), cfg_.timer.name),
+      world_(Communicator::world(cfg_.placement.ranks())) {
+  const int n = cfg_.placement.ranks();
+  CS_REQUIRE(n > 0, "job needs at least one rank");
+
+  // Two ranks on one core would need a scheduler model we deliberately do
+  // not have; reject such placements.
+  std::set<std::tuple<int, int, int>> used;
+  for (Rank r = 0; r < n; ++r) {
+    const CoreLocation& loc = cfg_.placement.location(r);
+    CS_REQUIRE(used.insert({loc.node, loc.chip, loc.core}).second,
+               "placement puts two ranks on one core");
+  }
+
+  procs_.reserve(static_cast<std::size_t>(n));
+  for (Rank r = 0; r < n; ++r) {
+    const RngTree proc_rng = rng_.child("proc" + std::to_string(r));
+    procs_.push_back(std::make_unique<Proc>(*this, r, clocks_.clock(r),
+                                            proc_rng.stream("workload"),
+                                            proc_rng.stream("os-noise")));
+    procs_.back()->set_tracing(cfg_.start_tracing);
+  }
+  last_delivery_.assign(static_cast<std::size_t>(n),
+                        std::vector<Time>(static_cast<std::size_t>(n), -kTimeInfinity));
+}
+
+Proc& Job::proc(Rank r) {
+  CS_REQUIRE(r >= 0 && r < ranks(), "rank out of job range");
+  return *procs_[static_cast<std::size_t>(r)];
+}
+
+void Job::run(const std::function<Coro<void>(Proc&)>& main) {
+  for (Rank r = 0; r < ranks(); ++r) {
+    engine_.spawn(main(proc(r)));
+  }
+  engine_.run();
+  if (engine_.deadlocked()) {
+    std::ostringstream os;
+    os << "simulation deadlocked: " << engine_.completed() << "/" << engine_.spawned()
+       << " processes finished";
+    for (Rank r = 0; r < ranks(); ++r) {
+      const auto& mb = procs_[static_cast<std::size_t>(r)]->mailbox_;
+      if (mb.posted_count() > 0 || mb.unexpected_count() > 0) {
+        os << "; rank " << r << ": posted=" << mb.posted_count()
+           << " unexpected=" << mb.unexpected_count();
+      }
+    }
+    throw std::runtime_error(os.str());
+  }
+}
+
+Trace Job::take_trace() {
+  Trace out(cfg_.placement, domain_minimums(cfg_.latency), cfg_.timer.name);
+  std::swap(out, trace_);
+  return out;
+}
+
+std::int32_t Job::comm_id_for(std::int32_t parent_id, std::int64_t split_seq, int color) {
+  const auto key = std::make_tuple(parent_id, split_seq, color);
+  auto it = comm_ids_.find(key);
+  if (it == comm_ids_.end()) it = comm_ids_.emplace(key, next_comm_id_++).first;
+  return it->second;
+}
+
+void Job::transport_send(Rank src, Rank dst, Tag tag, std::uint32_t bytes,
+                         std::vector<double> data, std::int64_t id, Trigger* sender_ack,
+                         std::shared_ptr<void> ack_keepalive) {
+  CS_REQUIRE(dst >= 0 && dst < ranks(), "send to invalid rank");
+  CS_REQUIRE(dst != src, "self-messages are not modeled");
+
+  const Duration lat = cfg_.latency.sample(cfg_.placement.domain(src, dst), bytes, net_rng_);
+  Time& last = last_delivery_[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+  const Time arrival =
+      std::max(engine_.now() + lat, last + cfg_.msg_spacing);
+  last = arrival;
+
+  Message msg{src, tag, bytes, std::move(data), id, sender_ack, std::move(ack_keepalive)};
+  Proc* receiver = procs_[static_cast<std::size_t>(dst)].get();
+  engine_.schedule(arrival, [receiver, m = std::move(msg), arrival]() mutable {
+    receiver->mailbox_.deliver(std::move(m), arrival);
+  });
+}
+
+}  // namespace chronosync

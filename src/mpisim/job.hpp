@@ -1,0 +1,102 @@
+// A simulated MPI job: engine + clock ensemble + transport + trace collection.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "clockmodel/clock_ensemble.hpp"
+#include "clockmodel/timer_spec.hpp"
+#include "common/rng.hpp"
+#include "mpisim/proc.hpp"
+#include "sim/engine.hpp"
+#include "topology/latency_model.hpp"
+#include "trace/trace.hpp"
+
+namespace chronosync {
+
+struct JobConfig {
+  Placement placement;
+  TimerSpec timer = timer_specs::perfect();
+  HierarchicalLatencyModel latency = latencies::xeon_infiniband();
+  Duration send_overhead = 0.15 * units::us;   ///< local cost of a send call
+  Duration recv_overhead = 0.10 * units::us;   ///< local cost after matching
+  /// Per-round software cost inside collectives (reduction op, buffer
+  /// management).  Calibrated so a 4-node allreduce lands at Table II's
+  /// 12.86 us (2 recursive-doubling rounds of ~6.4 us each).
+  Duration coll_round_overhead = 1.9 * units::us;
+  Duration msg_spacing = 2 * units::ns;  ///< non-overtaking gap per (src,dst)
+  /// Messages above this size use a rendezvous protocol: the sender blocks
+  /// until the receiver has posted a matching receive (ready-to-send
+  /// handshake), as real MPI implementations do.  0 disables (all eager).
+  std::uint32_t rendezvous_threshold = 64 * 1024;
+  std::uint64_t seed = 42;
+  bool start_tracing = true;
+  /// PMPI-style tracing: wrap every traced MPI call in Enter/Exit events of
+  /// an "MPI_..." region, as interposition wrappers do.  Makes the
+  /// message-event-to-total-event census realistic (Fig. 7's back row).
+  bool record_mpi_regions = false;
+  /// OS jitter (Sec. III(c) of the paper): daemon/interrupt preemptions that
+  /// stretch compute phases.  Each compute(d) gains Poisson(rate * d)
+  /// preemptions of Exp(scale) duration each.
+  double os_noise_rate = 0.0;        ///< preemptions per second (0 = off)
+  Duration os_noise_scale = 50 * units::us;  ///< mean preemption length
+};
+
+class Job {
+ public:
+  explicit Job(JobConfig cfg);
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  int ranks() const { return static_cast<int>(procs_.size()); }
+  Engine& engine() { return engine_; }
+  Proc& proc(Rank r);
+  ClockEnsemble& clocks() { return clocks_; }
+  const JobConfig& config() const { return cfg_; }
+
+  /// Runs `main` as the body of every rank (SPMD) and drives the simulation
+  /// to completion.  Throws if any process threw or the job deadlocked.
+  void run(const std::function<Coro<void>(Proc&)>& main);
+
+  /// Moves the collected trace out of the job (call after run()).
+  Trace take_trace();
+
+  /// Trace being built (region interning during setup).
+  Trace& trace() { return trace_; }
+
+ private:
+  friend class Proc;
+
+  std::int64_t next_msg_id() { return msg_id_++; }
+
+  /// Consistent communicator-id allocation: every rank splitting the same
+  /// parent instance with any color asks with the same (parent, seq, color)
+  /// key and receives the same fresh id.
+  std::int32_t comm_id_for(std::int32_t parent_id, std::int64_t split_seq, int color);
+
+  /// Samples a latency and schedules mailbox delivery, enforcing
+  /// non-overtaking order per (src, dst) pair like a real interconnect.
+  /// `sender_ack` (rendezvous) fires when the receiver matches the message.
+  void transport_send(Rank src, Rank dst, Tag tag, std::uint32_t bytes,
+                      std::vector<double> data, std::int64_t id,
+                      Trigger* sender_ack = nullptr,
+                      std::shared_ptr<void> ack_keepalive = nullptr);
+
+  JobConfig cfg_;
+  Engine engine_;
+  ClockEnsemble clocks_;
+  RngTree rng_;
+  Rng net_rng_;
+  Trace trace_;
+  Communicator world_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  std::vector<std::vector<Time>> last_delivery_;
+  std::int64_t msg_id_ = 0;
+  std::map<std::tuple<std::int32_t, std::int64_t, int>, std::int32_t> comm_ids_;
+  std::int32_t next_comm_id_ = 1;  // 0 is the world
+};
+
+}  // namespace chronosync

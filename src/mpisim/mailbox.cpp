@@ -1,0 +1,42 @@
+#include "mpisim/mailbox.hpp"
+
+#include <utility>
+
+namespace chronosync {
+
+void Mailbox::deliver(Message msg, Time t) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (matches(it->src, it->tag, msg)) {
+      Trigger* ack = msg.sender_ack;
+      *it->out = std::move(msg);
+      *it->arrival = t;
+      if (it->complete) *it->complete = true;
+      Trigger* tr = it->tr;
+      const std::shared_ptr<void> keepalive = std::move(it->keepalive);
+      posted_.erase(it);
+      tr->fire(t);
+      if (ack) ack->fire(t);
+      return;
+    }
+  }
+  unexpected_.push_back({std::move(msg), t});
+}
+
+std::optional<std::pair<Message, Time>> Mailbox::try_match(Rank src, Tag tag, Time now) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (matches(src, tag, it->msg)) {
+      auto result = std::make_pair(std::move(it->msg), it->arrival);
+      unexpected_.erase(it);
+      if (result.first.sender_ack) result.first.sender_ack->fire(now);
+      return result;
+    }
+  }
+  return std::nullopt;
+}
+
+void Mailbox::post(Rank src, Tag tag, Message* out, Time* arrival, Trigger* tr,
+                   bool* complete, std::shared_ptr<void> keepalive) {
+  posted_.push_back({src, tag, out, arrival, tr, complete, std::move(keepalive)});
+}
+
+}  // namespace chronosync

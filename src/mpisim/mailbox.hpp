@@ -1,0 +1,60 @@
+// Per-rank message matching with MPI semantics: a receive names (source,
+// tag), either may be a wildcard, and matching follows arrival order for
+// unexpected messages and post order for pending receives.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "mpisim/message.hpp"
+#include "sim/engine.hpp"
+
+namespace chronosync {
+
+class Mailbox {
+ public:
+  /// Transport calls this when a message arrives at virtual time t.  If a
+  /// posted receive matches, its trigger fires at t.
+  void deliver(Message msg, Time t);
+
+  /// Receive-side fast path: match an already-arrived message at virtual
+  /// time `now`.  Returns the message and its arrival time; fires the
+  /// message's rendezvous acknowledgement, if any, at `now`.
+  std::optional<std::pair<Message, Time>> try_match(Rank src, Tag tag, Time now);
+
+  /// Registers a pending receive; when a matching message arrives, `*out`
+  /// and `*arrival` are filled, `*complete` (if given) is set, and `tr`
+  /// fires.  `keepalive` pins shared state (nonblocking requests) until
+  /// delivery.
+  void post(Rank src, Tag tag, Message* out, Time* arrival, Trigger* tr,
+            bool* complete = nullptr, std::shared_ptr<void> keepalive = nullptr);
+
+  std::size_t unexpected_count() const { return unexpected_.size(); }
+  std::size_t posted_count() const { return posted_.size(); }
+
+ private:
+  struct Arrived {
+    Message msg;
+    Time arrival;
+  };
+  struct Posted {
+    Rank src;
+    Tag tag;
+    Message* out;
+    Time* arrival;
+    Trigger* tr;
+    bool* complete;
+    std::shared_ptr<void> keepalive;
+  };
+
+  static bool matches(Rank want_src, Tag want_tag, const Message& m) {
+    return (want_src == kAnySource || want_src == m.src) &&
+           (want_tag == kAnyTag || want_tag == m.tag);
+  }
+
+  std::deque<Arrived> unexpected_;
+  std::deque<Posted> posted_;
+};
+
+}  // namespace chronosync

@@ -1,0 +1,33 @@
+// Message envelope of the simulated MPI layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace chronosync {
+
+class Trigger;
+
+/// User tags live below kInternalTagBase; the collective algorithms use the
+/// reserved range above it so internal traffic can never match user receives.
+inline constexpr Tag kInternalTagBase = 1 << 24;
+inline constexpr Tag kInternalTagRange = 1 << 22;
+
+struct Message {
+  Rank src = -1;
+  Tag tag = -1;
+  std::uint32_t bytes = 0;
+  /// Small inline payload for protocols that carry values (clock probing).
+  std::vector<double> data;
+  std::int64_t id = -1;
+  /// Rendezvous protocol: fired when the receiver matches this message, so
+  /// the (blocked) sender learns its partner has arrived.  Null for eager.
+  Trigger* sender_ack = nullptr;
+  /// Pins the state sender_ack points into (nonblocking rendezvous sends
+  /// whose Request the application may drop before completion).
+  std::shared_ptr<void> keepalive;
+};
+
+}  // namespace chronosync

@@ -1,0 +1,230 @@
+#include "mpisim/proc.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+#include "mpisim/job.hpp"
+
+namespace chronosync {
+
+Proc::Proc(Job& job, Rank rank, SimClock& clock, Rng workload_rng, Rng noise_rng)
+    : job_(job), rank_(rank), clock_(&clock), rng_(workload_rng), noise_rng_(noise_rng) {}
+
+int Proc::nranks() const { return job_.ranks(); }
+
+Time Proc::now() const { return job_.engine_.now(); }
+
+Engine& Proc::engine() const { return job_.engine_; }
+
+std::int32_t Proc::region(const std::string& name) { return job_.trace_.intern_region(name); }
+
+void Proc::record(Event e) {
+  if (!tracing_) return;
+  e.true_ts = now();
+  e.local_ts = clock_->read(e.true_ts);
+  job_.trace_.events(rank_).push_back(e);
+}
+
+void Proc::enter(std::int32_t region_id) {
+  Event e;
+  e.type = EventType::Enter;
+  e.region = region_id;
+  record(e);
+}
+
+void Proc::exit(std::int32_t region_id) {
+  Event e;
+  e.type = EventType::Exit;
+  e.region = region_id;
+  record(e);
+}
+
+Coro<void> Proc::compute(Duration d) {
+  CS_REQUIRE(d >= 0.0, "negative compute duration");
+  Duration total = d;
+  if (job_.cfg_.os_noise_rate > 0.0 && d > 0.0) {
+    // OS jitter: preemptions arrive as a Poisson process over the compute
+    // phase; each one stretches it by an exponential holdup.
+    Time next = noise_rng_.exponential(job_.cfg_.os_noise_rate);
+    while (next < d) {
+      total += noise_rng_.exponential(1.0 / job_.cfg_.os_noise_scale);
+      next += noise_rng_.exponential(job_.cfg_.os_noise_rate);
+    }
+  }
+  co_await engine().delay(total);
+}
+
+Coro<void> Proc::send(Rank dst, Tag tag, std::uint32_t bytes, std::vector<double> data) {
+  CS_REQUIRE(tag >= 0 && tag < kInternalTagBase, "user tag out of range");
+  return send_impl(dst, tag, bytes, std::move(data), /*traced=*/true);
+}
+
+Coro<Message> Proc::recv(Rank src, Tag tag) {
+  CS_REQUIRE(tag == kAnyTag || (tag >= 0 && tag < kInternalTagBase), "user tag out of range");
+  return recv_impl(src, tag, /*traced=*/true);
+}
+
+void Proc::mpi_enter(std::int32_t& cache, const char* name) {
+  if (!job_.cfg_.record_mpi_regions || !tracing_) return;
+  if (cache < 0) cache = job_.trace_.intern_region(name);
+  enter(cache);
+}
+
+void Proc::mpi_exit(std::int32_t region_id) {
+  if (!job_.cfg_.record_mpi_regions || !tracing_ || region_id < 0) return;
+  exit(region_id);
+}
+
+Coro<void> Proc::send_impl(Rank dst, Tag tag, std::uint32_t bytes, std::vector<double> data,
+                           bool traced) {
+  const std::int64_t id = job_.next_msg_id();
+  if (traced) mpi_enter(send_region_, "MPI_Send");
+  if (traced) {
+    Event e;
+    e.type = EventType::Send;
+    e.peer = dst;
+    e.tag = tag;
+    e.bytes = bytes;
+    e.msg_id = id;
+    record(e);
+  }
+  const bool rendezvous =
+      job_.cfg_.rendezvous_threshold > 0 && bytes >= job_.cfg_.rendezvous_threshold;
+  if (!rendezvous) {
+    job_.transport_send(rank_, dst, tag, bytes, std::move(data), id);
+    co_await engine().delay(job_.cfg_.send_overhead);
+  } else {
+    // Rendezvous: block until the receiver has matched the message, plus the
+    // return path of the clear-to-send handshake.
+    Trigger ack(engine());
+    job_.transport_send(rank_, dst, tag, bytes, std::move(data), id, &ack);
+    co_await ack;
+    const Duration back =
+        job_.cfg_.latency.min_latency(job_.cfg_.placement.domain(dst, rank_), 0);
+    co_await engine().delay(back + job_.cfg_.send_overhead);
+  }
+  if (traced) mpi_exit(send_region_);
+}
+
+Coro<Message> Proc::recv_impl(Rank src, Tag tag, bool traced) {
+  // PMPI wrappers time the whole blocking call: Enter fires at call time,
+  // before the wait.
+  if (traced) mpi_enter(recv_region_, "MPI_Recv");
+  Message msg;
+  if (auto hit = mailbox_.try_match(src, tag, now())) {
+    msg = std::move(hit->first);
+  } else {
+    Trigger tr(engine());
+    Time arrival = 0.0;
+    mailbox_.post(src, tag, &msg, &arrival, &tr);
+    co_await tr;
+  }
+  co_await engine().delay(job_.cfg_.recv_overhead);
+  if (traced) {
+    Event e;
+    e.type = EventType::Recv;
+    e.peer = msg.src;
+    e.tag = msg.tag;
+    e.bytes = msg.bytes;
+    e.msg_id = msg.id;
+    record(e);
+    mpi_exit(recv_region_);
+  }
+  co_return msg;
+}
+
+Request Proc::isend(Rank dst, Tag tag, std::uint32_t bytes, std::vector<double> data) {
+  CS_REQUIRE(tag >= 0 && tag < kInternalTagBase, "user tag out of range");
+  const std::int64_t id = job_.next_msg_id();
+  mpi_enter(isend_region_, "MPI_Isend");
+  if (tracing_) {
+    Event e;
+    e.type = EventType::Send;
+    e.peer = dst;
+    e.tag = tag;
+    e.bytes = bytes;
+    e.msg_id = id;
+    record(e);
+  }
+  mpi_exit(isend_region_);
+
+  auto state = std::make_shared<RequestState>(engine());
+  const bool rendezvous =
+      job_.cfg_.rendezvous_threshold > 0 && bytes >= job_.cfg_.rendezvous_threshold;
+  if (rendezvous) {
+    // The request's trigger doubles as the rendezvous acknowledgement; the
+    // mailbox fires it when the receiver matches.  The message pins the
+    // state in case the application drops the Request before completion.
+    job_.transport_send(rank_, dst, tag, bytes, std::move(data), id, &state->trigger,
+                        state);
+  } else {
+    job_.transport_send(rank_, dst, tag, bytes, std::move(data), id);
+    const Time done_at = now() + job_.cfg_.send_overhead;
+    engine().schedule(done_at, [state, done_at] {
+      state->complete = true;
+      state->completion_time = done_at;
+      state->trigger.fire(done_at);
+    });
+  }
+  return Request(std::move(state));
+}
+
+Request Proc::irecv(Rank src, Tag tag) {
+  CS_REQUIRE(tag == kAnyTag || (tag >= 0 && tag < kInternalTagBase), "user tag out of range");
+  mpi_enter(irecv_region_, "MPI_Irecv");
+  auto state = std::make_shared<RequestState>(engine());
+  state->is_recv = true;
+  if (auto hit = mailbox_.try_match(src, tag, now())) {
+    state->message = std::move(hit->first);
+    state->completion_time = hit->second;
+    state->complete = true;
+    state->trigger.fire(now());
+  } else {
+    mailbox_.post(src, tag, &state->message, &state->completion_time, &state->trigger,
+                  &state->complete, state);
+  }
+  mpi_exit(irecv_region_);
+  return Request(state);
+}
+
+Coro<Message> Proc::wait(Request req) {
+  CS_REQUIRE(req.valid(), "waiting on an empty request");
+  RequestState& state = *req.state_;
+  mpi_enter(wait_region_, "MPI_Wait");
+  if (!state.trigger.fired()) {
+    co_await state.trigger;
+  }
+  state.complete = true;  // rendezvous acks fire the trigger without the flag
+  if (state.is_recv) {
+    co_await engine().delay(job_.cfg_.recv_overhead);
+    if (tracing_ && !state.recv_recorded) {
+      Event e;
+      e.type = EventType::Recv;
+      e.peer = state.message.src;
+      e.tag = state.message.tag;
+      e.bytes = state.message.bytes;
+      e.msg_id = state.message.id;
+      record(e);
+      state.recv_recorded = true;
+    }
+  }
+  mpi_exit(wait_region_);
+  co_return state.message;
+}
+
+Coro<void> Proc::waitall(std::vector<Request> reqs) {
+  for (auto& r : reqs) {
+    (void)co_await wait(std::move(r));
+  }
+}
+
+Coro<void> Proc::isend_internal(Rank dst, Tag tag, std::uint32_t bytes) {
+  return send_impl(dst, tag, bytes, {}, /*traced=*/false);
+}
+
+Coro<void> Proc::recv_internal(Rank src, Tag tag) {
+  Coro<Message> r = recv_impl(src, tag, /*traced=*/false);
+  co_await std::move(r);
+}
+
+}  // namespace chronosync

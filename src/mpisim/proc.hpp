@@ -1,0 +1,172 @@
+// The per-rank process context: what a simulated MPI process program sees.
+//
+// Workloads are coroutines over this API, in the shape of real MPI code:
+//
+//     Coro<void> worker(Proc& p) {
+//       p.enter(region);
+//       co_await p.compute(150 * units::us);
+//       co_await p.send((p.rank() + 1) % p.nranks(), /*tag=*/0, 1024);
+//       Message m = co_await p.recv(kAnySource, 0);
+//       co_await p.allreduce(8);
+//       p.exit(region);
+//     }
+//
+// Every traced operation records events with timestamps read from the rank's
+// simulated local clock, exactly as a PMPI wrapper library would.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "clockmodel/sim_clock.hpp"
+#include "common/rng.hpp"
+#include "mpisim/comm.hpp"
+#include "mpisim/mailbox.hpp"
+#include "mpisim/message.hpp"
+#include "mpisim/request.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "trace/event.hpp"
+
+namespace chronosync {
+
+class Job;
+
+class Proc {
+ public:
+  Proc(Job& job, Rank rank, SimClock& clock, Rng workload_rng, Rng noise_rng);
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+
+  Rank rank() const { return rank_; }
+  int nranks() const;
+
+  /// Current virtual (true) time; the process cannot observe this directly —
+  /// it is the simulator's view.  Programs should use wtime().
+  Time now() const;
+
+  /// Reads the rank-local clock (quantized + noisy), like MPI_Wtime().
+  Time wtime() { return clock_->read(now()); }
+
+  /// Workload-private random stream (deterministic per rank).
+  Rng& rng() { return rng_; }
+
+  // -- tracing control -------------------------------------------------------
+  void set_tracing(bool on) { tracing_ = on; }
+  bool tracing() const { return tracing_; }
+  /// Interns a region name in the job-wide table.
+  std::int32_t region(const std::string& name);
+  void enter(std::int32_t region_id);
+  void exit(std::int32_t region_id);
+
+  // -- local work --------------------------------------------------------------
+  /// Occupies the process for d seconds of virtual time.
+  [[nodiscard]] Coro<void> compute(Duration d);
+
+  // -- point-to-point ---------------------------------------------------------
+  /// Eager blocking send; completes locally after the send overhead.
+  [[nodiscard]] Coro<void> send(Rank dst, Tag tag, std::uint32_t bytes,
+                                std::vector<double> data = {});
+  /// Blocking receive; src/tag may be kAnySource/kAnyTag.
+  [[nodiscard]] Coro<Message> recv(Rank src, Tag tag);
+
+  // -- nonblocking point-to-point ----------------------------------------------
+  /// Starts an eager send; the Send event is recorded at call time (as a
+  /// PMPI wrapper records MPI_Isend).  The request completes after the local
+  /// send overhead.
+  Request isend(Rank dst, Tag tag, std::uint32_t bytes, std::vector<double> data = {});
+  /// Posts a receive; completes when a matching message has been delivered.
+  Request irecv(Rank src, Tag tag);
+  /// Blocks until the request completes.  For receive requests the Recv
+  /// event is recorded at completion (as a wrapper records it in MPI_Wait)
+  /// and the message is returned.
+  [[nodiscard]] Coro<Message> wait(Request req);
+  /// Waits for all requests (completion order is irrelevant).
+  [[nodiscard]] Coro<void> waitall(std::vector<Request> reqs);
+
+  // -- collectives --------------------------------------------------------------
+  // The no-communicator overloads run on MPI_COMM_WORLD; roots are ranks of
+  // the communicator the operation runs on.
+  const Communicator& comm_world() const;
+  [[nodiscard]] Coro<void> barrier();
+  [[nodiscard]] Coro<void> bcast(Rank root, std::uint32_t bytes);
+  [[nodiscard]] Coro<void> reduce(Rank root, std::uint32_t bytes);
+  [[nodiscard]] Coro<void> allreduce(std::uint32_t bytes);
+  [[nodiscard]] Coro<void> gather(Rank root, std::uint32_t bytes);
+  [[nodiscard]] Coro<void> scatter(Rank root, std::uint32_t bytes);
+  [[nodiscard]] Coro<void> allgather(std::uint32_t bytes);
+  [[nodiscard]] Coro<void> alltoall(std::uint32_t bytes);
+  [[nodiscard]] Coro<void> barrier(const Communicator& comm);
+  [[nodiscard]] Coro<void> bcast(const Communicator& comm, int root, std::uint32_t bytes);
+  [[nodiscard]] Coro<void> reduce(const Communicator& comm, int root, std::uint32_t bytes);
+  [[nodiscard]] Coro<void> allreduce(const Communicator& comm, std::uint32_t bytes);
+  [[nodiscard]] Coro<void> gather(const Communicator& comm, int root, std::uint32_t bytes);
+  [[nodiscard]] Coro<void> scatter(const Communicator& comm, int root, std::uint32_t bytes);
+  [[nodiscard]] Coro<void> allgather(const Communicator& comm, std::uint32_t bytes);
+  [[nodiscard]] Coro<void> alltoall(const Communicator& comm, std::uint32_t bytes);
+
+  /// MPI_Comm_split: collective over `parent`; every member calls it with
+  /// its (color, key) and receives the communicator of its color group.
+  [[nodiscard]] Coro<Communicator> split(const Communicator& parent, int color, int key);
+
+ private:
+  friend class Job;
+
+  Engine& engine() const;
+  void record(Event e);
+  /// Enter/Exit of the MPI function region when PMPI emulation is on.
+  void mpi_enter(std::int32_t& cache, const char* name);
+  void mpi_exit(std::int32_t region_id);
+
+  [[nodiscard]] Coro<void> send_impl(Rank dst, Tag tag, std::uint32_t bytes,
+                                     std::vector<double> data, bool traced);
+  [[nodiscard]] Coro<Message> recv_impl(Rank src, Tag tag, bool traced);
+
+  /// Shared collective wrapper: records CollBegin/CollEnd around the
+  /// algorithm and allocates the instance id + internal tag space.  `root`
+  /// is a communicator rank.
+  [[nodiscard]] Coro<void> coll_impl(const Communicator& comm, CollectiveKind kind, int root,
+                                     std::uint32_t bytes);
+
+  // Internal (untraced) traffic of the collective algorithms.
+  [[nodiscard]] Coro<void> isend_internal(Rank dst, Tag tag, std::uint32_t bytes);
+  [[nodiscard]] Coro<void> recv_internal(Rank src, Tag tag);
+
+  // Collective algorithms; `r` is this process's communicator rank.
+  [[nodiscard]] Coro<void> run_barrier(const Communicator& comm, int r, Tag base);
+  [[nodiscard]] Coro<void> run_bcast(const Communicator& comm, int r, int root,
+                                     std::uint32_t bytes, Tag base);
+  [[nodiscard]] Coro<void> run_reduce(const Communicator& comm, int r, int root,
+                                      std::uint32_t bytes, Tag base);
+  [[nodiscard]] Coro<void> run_allreduce(const Communicator& comm, int r, std::uint32_t bytes,
+                                         Tag base);
+  [[nodiscard]] Coro<void> run_gather(const Communicator& comm, int r, int root,
+                                      std::uint32_t bytes, Tag base);
+  [[nodiscard]] Coro<void> run_scatter(const Communicator& comm, int r, int root,
+                                       std::uint32_t bytes, Tag base);
+  [[nodiscard]] Coro<void> run_allgather(const Communicator& comm, int r, std::uint32_t bytes,
+                                         Tag base);
+  [[nodiscard]] Coro<void> run_alltoall(const Communicator& comm, int r, std::uint32_t bytes,
+                                        Tag base);
+
+  Job& job_;
+  Rank rank_;
+  SimClock* clock_;
+  Rng rng_;
+  Rng noise_rng_;  ///< OS-jitter stream, separate so it never perturbs rng_
+  Mailbox mailbox_;
+  bool tracing_ = true;
+  std::map<std::int32_t, std::int64_t> coll_seq_;   ///< per communicator id
+  std::map<std::int32_t, std::int64_t> split_seq_;  ///< per parent communicator
+  // Lazily interned PMPI region ids.
+  std::int32_t send_region_ = -1;
+  std::int32_t recv_region_ = -1;
+  std::int32_t isend_region_ = -1;
+  std::int32_t irecv_region_ = -1;
+  std::int32_t wait_region_ = -1;
+  std::int32_t coll_region_[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+};
+
+}  // namespace chronosync

@@ -1,0 +1,51 @@
+// Nonblocking communication requests (MPI_Isend / MPI_Irecv / MPI_Wait).
+//
+// A request is a handle to an in-flight operation.  Isend completes locally
+// after the send overhead (eager protocol); Irecv completes when a matching
+// message has been delivered and consumed.  Waiting on an already-complete
+// request costs nothing; waitall() completes in any order.
+#pragma once
+
+#include <memory>
+
+#include "common/expect.hpp"
+#include "mpisim/message.hpp"
+#include "sim/engine.hpp"
+
+namespace chronosync {
+
+class Proc;
+
+/// Shared state of one nonblocking operation.
+struct RequestState {
+  explicit RequestState(Engine& e) : trigger(e) {}
+  Trigger trigger;
+  bool complete = false;
+  bool is_recv = false;
+  bool recv_recorded = false;  ///< Recv event emitted by a wait() already
+  Message message;             ///< filled for receives
+  Time completion_time = 0.0;
+};
+
+/// Move-only request handle returned by isend()/irecv().
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<RequestState> state) : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  bool complete() const { return state_ && state_->complete; }
+
+  /// The received message; only valid after completion of an irecv request.
+  const Message& message() const {
+    CS_REQUIRE(state_ && state_->complete && state_->is_recv,
+               "message() requires a completed receive request");
+    return state_->message;
+  }
+
+ private:
+  friend class Proc;
+  std::shared_ptr<RequestState> state_;
+};
+
+}  // namespace chronosync

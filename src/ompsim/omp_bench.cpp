@@ -1,0 +1,136 @@
+#include "ompsim/omp_bench.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+namespace {
+
+/// Binary-tree depth of thread i in wakeup/signal fan-out (master = 0).
+int tree_level(int thread) {
+  int level = 0;
+  while (thread > 0) {
+    thread = (thread - 1) / 2;
+    ++level;
+  }
+  return level;
+}
+
+}  // namespace
+
+Placement omp_thread_placement(const ClusterSpec& node, int threads) {
+  CS_REQUIRE(threads >= 1 && threads <= node.cores_per_node(),
+             "thread count exceeds the node");
+  std::vector<CoreLocation> locs;
+  locs.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    // Scatter across chips first, as OS load balancing does: with few
+    // threads every thread sits on its own chip (own drifting ITC), which is
+    // what exposes the Fig. 3 / Fig. 8 violations at low thread counts.
+    locs.push_back({0, t % node.chips_per_node, t / node.chips_per_node});
+  }
+  return Placement(std::move(locs));
+}
+
+Duration omp_barrier_latency(const OmpBenchConfig& cfg, int threads) {
+  return cfg.barrier_release_coeff * static_cast<double>(threads) *
+         static_cast<double>(threads);
+}
+
+OmpBenchResult run_omp_benchmark(const OmpBenchConfig& cfg) {
+  CS_REQUIRE(cfg.threads >= 1, "need at least one thread");
+  CS_REQUIRE(cfg.regions >= 1, "need at least one region");
+
+  const Placement threads_placement = omp_thread_placement(cfg.node, cfg.threads);
+  const RngTree rng_root{cfg.seed};
+  auto clocks = std::make_shared<ClockEnsemble>(threads_placement, cfg.timer,
+                                                rng_root.child("clocks"));
+  Rng noise = rng_root.stream("omp-noise");
+
+  // The *process* occupies core 0; threads are identified per event.  The
+  // domain minimums are the guaranteed shared-memory signalling latencies
+  // (l_min for the OpenMP clock condition); they must not exceed the
+  // smallest synchronization gap the runtime model can produce.
+  Trace trace(Placement({{0, 0, 0}}),
+              {0.01 * units::us, 0.02 * units::us, 1.0 * units::us}, cfg.timer.name);
+  const std::int32_t region_id = trace.intern_region("parallel_for");
+
+  auto jitter = [&] { return std::abs(noise.normal(0.0, cfg.sched_jitter)); };
+
+  std::vector<Event> events;  // across all threads; sorted by true time below
+  auto emit = [&](EventType type, ThreadId thread, Time true_t, std::int32_t instance) {
+    Event e;
+    e.type = type;
+    e.thread = thread;
+    e.true_ts = true_t;
+    e.local_ts = clocks->clock(thread).read(true_t);
+    e.omp_instance = instance;
+    if (type == EventType::Enter || type == EventType::Exit) e.region = region_id;
+    events.push_back(e);
+  };
+
+  const Duration join_cost = cfg.join_cost_coeff * static_cast<double>(cfg.threads) *
+                             static_cast<double>(cfg.threads);
+  const Duration release_cost = omp_barrier_latency(cfg, cfg.threads);
+
+  Time t = 1.0 * units::ms;  // job start
+  for (int k = 0; k < cfg.regions; ++k) {
+    // Master forks; workers wake along a binary tree.
+    const Time fork_t = t + jitter();
+    emit(EventType::Fork, 0, fork_t, k);
+
+    // Team startup grows with the thread count (runtime bookkeeping and
+    // wakeup contention), like the other synchronization latencies.
+    const Duration fork_base = cfg.fork_base_coeff * static_cast<double>(cfg.threads) *
+                               static_cast<double>(cfg.threads);
+    std::vector<Time> start(static_cast<std::size_t>(cfg.threads));
+    std::vector<Time> barrier_enter(static_cast<std::size_t>(cfg.threads));
+    for (int th = 0; th < cfg.threads; ++th) {
+      start[static_cast<std::size_t>(th)] =
+          fork_t + (th == 0 ? 0.0 : fork_base + cfg.fork_wake_per_level * tree_level(th)) +
+          jitter();
+      emit(EventType::Enter, th, start[static_cast<std::size_t>(th)], k);
+    }
+
+    // Chunk work, then arrival at the implicit barrier.
+    Time last_arrival = -kTimeInfinity;
+    for (int th = 0; th < cfg.threads; ++th) {
+      const Duration work = std::max(
+          0.0, noise.normal(cfg.work_mean, cfg.work_imbalance * cfg.work_mean));
+      barrier_enter[static_cast<std::size_t>(th)] =
+          start[static_cast<std::size_t>(th)] + work + jitter();
+      emit(EventType::BarrierEnter, th, barrier_enter[static_cast<std::size_t>(th)], k);
+      last_arrival = std::max(last_arrival, barrier_enter[static_cast<std::size_t>(th)]);
+    }
+
+    // Release once all arrived; the signal fans out along the tree.
+    const Time release = last_arrival + release_cost;
+    Time last_exit = -kTimeInfinity;
+    for (int th = 0; th < cfg.threads; ++th) {
+      const Time exit_t = release + cfg.exit_signal_per_level * tree_level(th) + jitter();
+      emit(EventType::BarrierExit, th, exit_t, k);
+      const Time region_end = exit_t + jitter();
+      emit(EventType::Exit, th, region_end, k);
+      last_exit = std::max(last_exit, region_end);
+    }
+
+    // Join on the master after the region is fully torn down.
+    const Time join_t = last_exit + join_cost + jitter();
+    emit(EventType::Join, 0, join_t, k);
+
+    t = join_t + cfg.region_gap;
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.true_ts < b.true_ts; });
+  trace.events(0) = std::move(events);
+
+  return {std::move(trace), std::move(clocks)};
+}
+
+}  // namespace chronosync

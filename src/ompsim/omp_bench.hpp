@@ -1,0 +1,66 @@
+// OpenMP SMP-node simulation in the POMP event model.
+//
+// Reproduces the paper's Fig. 3 / Fig. 8 experiment: a loop whose body is a
+// single parallel-for construct, executed by 4..16 threads on an SMP node
+// whose chips carry individually-drifting, imperfectly-aligned timestamp
+// counters.  Per region instance the runtime model is:
+//
+//   fork (master) -> tree wakeup of workers -> per-thread chunk work
+//   -> implicit barrier (gather, release, tree signal) -> join (master)
+//
+// Synchronization latencies grow with the thread count, while the clock
+// disagreement between cores does not — which is exactly why the paper finds
+// *fewer* violations at higher thread counts.
+//
+// Threads of one process share a trace location; events carry thread ids.
+#pragma once
+
+#include "clockmodel/clock_ensemble.hpp"
+#include "clockmodel/timer_spec.hpp"
+#include "common/rng.hpp"
+#include "topology/cluster.hpp"
+#include "trace/trace.hpp"
+
+namespace chronosync {
+
+struct OmpBenchConfig {
+  int threads = 4;
+  int regions = 1000;            ///< loop iterations (one parallel-for each)
+  Duration work_mean = 5 * units::us;   ///< per-thread chunk duration
+  double work_imbalance = 0.10;  ///< relative spread of chunk durations
+
+  // Runtime cost model.  Exponents > 1 make synchronization latency rise
+  // faster than linearly with the thread count (cache-line contention),
+  // producing Fig. 8's drop in violations at high thread counts.
+  Duration fork_wake_per_level = 0.08 * units::us;  ///< tree wakeup per level
+  Duration fork_base_coeff = 0.007 * units::us;     ///< team startup, * threads^2
+  Duration barrier_release_coeff = 0.0035 * units::us;  ///< * threads^2
+  Duration exit_signal_per_level = 0.03 * units::us;    ///< release fan-out
+  Duration join_cost_coeff = 0.0035 * units::us;        ///< * threads^2
+  Duration region_gap = 2 * units::us;   ///< serial time between regions
+  Duration sched_jitter = 0.02 * units::us;  ///< per-event OS noise (true time)
+
+  ClusterSpec node = clusters::itanium_smp_node();
+  TimerSpec timer = timer_specs::itanium_tsc();
+  std::uint64_t seed = 42;
+};
+
+struct OmpBenchResult {
+  Trace trace;
+  /// Clock ensemble used for the threads (thread i = ensemble rank i), kept
+  /// for deviation inspection.
+  std::shared_ptr<ClockEnsemble> thread_clocks;
+};
+
+/// Runs the benchmark and returns the POMP trace (single location, per-event
+/// thread ids, omp_instance grouping).
+OmpBenchResult run_omp_benchmark(const OmpBenchConfig& cfg);
+
+/// The model's barrier completion latency for a given thread count.
+Duration omp_barrier_latency(const OmpBenchConfig& cfg, int threads);
+
+/// Maps threads onto the node's cores scattered across chips first
+/// (thread i -> chip i % chips_per_node), mirroring OS load balancing.
+Placement omp_thread_placement(const ClusterSpec& node, int threads);
+
+}  // namespace chronosync

@@ -1,0 +1,129 @@
+// Deterministic discrete-event engine.
+//
+// The engine owns a time-ordered queue of pending resumptions.  Entries with
+// equal timestamps fire in insertion order (a monotone sequence number breaks
+// ties), so a simulation is a pure function of its inputs and seeds.
+//
+// Top-level simulation processes are Coro<void> bodies handed to spawn();
+// the engine drives them to completion in run().  Inside a process, awaiting
+// Delay suspends until virtual time has advanced, and Trigger is the one-shot
+// synchronization primitive everything else (message delivery, barrier
+// release) is built from.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/task.hpp"
+
+namespace chronosync {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  Time now() const { return now_; }
+
+  /// Schedules a coroutine resumption at absolute time t (>= now).
+  void schedule(Time t, std::coroutine_handle<> h);
+
+  /// Schedules a plain callback at absolute time t (>= now).
+  void schedule(Time t, std::function<void()> fn);
+
+  /// Registers a top-level process whose body starts at `start`.
+  void spawn(Coro<void> task, Time start = 0.0);
+
+  /// Runs until the queue drains (all processes finished or deadlocked) or
+  /// `max_events` resumptions have fired.  Rethrows the first exception a
+  /// process produced.  Returns the number of resumptions processed.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Number of spawned processes that have finished.
+  int completed() const { return completed_; }
+  int spawned() const { return static_cast<int>(spawned_); }
+
+  /// True if run() drained the queue with unfinished processes (deadlock).
+  bool deadlocked() const { return deadlocked_; }
+
+  /// Awaitable: suspend the current coroutine for `d` seconds of virtual time.
+  auto delay(Duration d) {
+    struct Awaiter {
+      Engine* e;
+      Duration d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { e->schedule(e->now_ + d, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+ private:
+  struct DetachedRunner;  // drives one spawned task, reports completion
+
+  struct Item {
+    Time t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;       // exactly one of h / fn is set
+    std::function<void()> fn;
+  };
+  struct ItemOrder {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.t != b.t) return a.t > b.t;  // min-heap
+      return a.seq > b.seq;
+    }
+  };
+
+  void record_error(std::exception_ptr e);
+
+  std::priority_queue<Item, std::vector<Item>, ItemOrder> queue_;
+  Time now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t spawned_ = 0;
+  int completed_ = 0;
+  bool deadlocked_ = false;
+  std::exception_ptr error_;
+  std::vector<std::coroutine_handle<>> detached_;  // frames to destroy on teardown
+};
+
+/// One-shot completion event.  A coroutine co_awaits it; later, some other
+/// actor fires it at a virtual time >= now, which resumes the waiter at that
+/// time.  Firing before anyone waits is allowed (the value is latched).
+class Trigger {
+ public:
+  explicit Trigger(Engine& e) : engine_(&e) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  bool fired() const { return fired_; }
+
+  /// Fires the trigger at absolute virtual time t (>= now).
+  void fire(Time t);
+
+  auto operator co_await() {
+    struct Awaiter {
+      Trigger* tr;
+      bool await_ready() const noexcept { return tr->fired_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        CS_ENSURE(!tr->waiter_, "Trigger supports a single waiter");
+        tr->waiter_ = h;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine* engine_;
+  bool fired_ = false;
+  Time fire_time_ = 0.0;
+  std::coroutine_handle<> waiter_;
+};
+
+}  // namespace chronosync

@@ -1,0 +1,166 @@
+// Coroutine task types for simulation processes.
+//
+// Coro<T> is a lazy task: creating it does not run anything; awaiting it
+// starts the body and symmetric-transfers control back to the awaiter when
+// the body finishes.  Simulated MPI processes are ordinary functions
+//
+//     Coro<void> worker(Proc& p) {
+//       co_await p.compute(10 * units::us);
+//       co_await p.send(1, /*tag=*/0, /*bytes=*/8);
+//       Message m = co_await p.recv(1, 0);
+//     }
+//
+// which keeps workload code in the shape of real MPI code.  The discrete-
+// event Engine (engine.hpp) owns top-level tasks and resumes them as virtual
+// time advances.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+template <typename T>
+class Coro;
+
+namespace detail {
+
+template <typename T>
+struct CoroPromiseBase {
+  std::coroutine_handle<> continuation;  // resumed when this task completes
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<P> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// Lazy coroutine task returning T.  Move-only; owns the coroutine frame.
+template <typename T = void>
+class [[nodiscard]] Coro {
+ public:
+  struct promise_type : detail::CoroPromiseBase<T> {
+    std::optional<T> value;
+    Coro get_return_object() {
+      return Coro(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Coro() = default;
+  explicit Coro(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Coro(Coro&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Coro& operator=(Coro&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Coro(const Coro&) = delete;
+  Coro& operator=(const Coro&) = delete;
+  ~Coro() { destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+
+  /// Awaiting a Coro starts its body (symmetric transfer) and resumes the
+  /// awaiter when the body co_returns.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) noexcept {
+        h.promise().continuation = caller;
+        return h;
+      }
+      T await_resume() {
+        if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+        CS_ENSURE(h.promise().value.has_value(), "coroutine completed without a value");
+        return std::move(*h.promise().value);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+template <>
+class [[nodiscard]] Coro<void> {
+ public:
+  struct promise_type : detail::CoroPromiseBase<void> {
+    Coro get_return_object() {
+      return Coro(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() noexcept {}
+  };
+
+  Coro() = default;
+  explicit Coro(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Coro(Coro&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Coro& operator=(Coro&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Coro(const Coro&) = delete;
+  Coro& operator=(const Coro&) = delete;
+  ~Coro() { destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) noexcept {
+        h.promise().continuation = caller;
+        return h;
+      }
+      void await_resume() {
+        if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace chronosync

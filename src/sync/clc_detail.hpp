@@ -1,0 +1,29 @@
+// Internal pieces of the CLC shared between the sequential and the parallel
+// implementation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sync/clc.hpp"
+#include "sync/replay.hpp"
+#include "trace/trace.hpp"
+
+namespace chronosync::clc_detail {
+
+struct ForwardPassResult {
+  std::vector<Time> lc;        ///< corrected timestamp per global event index
+  std::vector<Duration> jump;  ///< jump size per event (0 if no violation)
+  std::size_t violations_repaired = 0;
+  Duration max_jump = 0.0;
+  Duration total_jump = 0.0;
+};
+
+ForwardPassResult forward_pass(const Trace& trace, const ReplaySchedule& schedule,
+                               const TimestampArray& input, const ClcOptions& options);
+
+/// Applies backward amortization in place on the forward result.
+void backward_pass(const Trace& trace, const ReplaySchedule& schedule, ForwardPassResult& fwd,
+                   const ClcOptions& options);
+
+}  // namespace chronosync::clc_detail

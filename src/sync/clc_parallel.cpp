@@ -1,0 +1,190 @@
+#include "sync/clc_parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "sync/clc_detail.hpp"
+
+namespace chronosync {
+
+namespace {
+
+struct SharedState {
+  std::vector<Time> lc;
+  std::vector<Duration> jump;
+  std::vector<std::atomic<std::uint8_t>> done;
+
+  // Progress wakeup channel for threads blocked on a remote send.
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::uint64_t progress = 0;
+
+  explicit SharedState(std::size_t events) : lc(events, 0.0), jump(events, 0.0), done(events) {
+    for (auto& d : done) d.store(0, std::memory_order_relaxed);
+  }
+
+  void publish() {
+    {
+      std::lock_guard<std::mutex> lk(mutex);
+      ++progress;
+    }
+    cv.notify_all();
+  }
+};
+
+struct RankCursor {
+  Rank rank;
+  std::uint32_t next = 0;
+  bool has_prev = false;
+  Time prev_input = 0.0;
+  Time prev_lc = 0.0;
+};
+
+/// One worker's forward replay over its ranks.
+void forward_worker(const Trace& trace, const ReplaySchedule& schedule,
+                    const TimestampArray& input, const ClcOptions& options,
+                    std::vector<RankCursor>& mine, SharedState& shared,
+                    clc_detail::ForwardPassResult& stats_out) {
+  auto ready = [&](const RankCursor& c) {
+    const std::uint32_t g = schedule.global_index({c.rank, c.next});
+    for (const auto& edge : schedule.incoming(g)) {
+      if (!shared.done[edge.source].load(std::memory_order_acquire)) return false;
+    }
+    return true;
+  };
+
+  std::size_t remaining = 0;
+  for (const auto& c : mine) {
+    remaining += trace.events(c.rank).size() - c.next;
+  }
+
+  while (remaining > 0) {
+    bool advanced = false;
+    for (auto& c : mine) {
+      const auto n = static_cast<std::uint32_t>(trace.events(c.rank).size());
+      bool drained_any = false;
+      while (c.next < n && ready(c)) {
+        const EventRef ref{c.rank, c.next};
+        const std::uint32_t g = schedule.global_index(ref);
+        const Time t = input.at(ref);
+
+        Time cand = t;
+        if (c.has_prev) {
+          const Duration dt = std::max(0.0, t - c.prev_input);
+          const Duration carried =
+              std::max(0.0, (c.prev_lc - c.prev_input) - options.forward_decay * dt);
+          cand = std::max(t + carried, c.prev_lc);
+        }
+        Time bound = -kTimeInfinity;
+        for (const auto& edge : schedule.incoming(g)) {
+          bound = std::max(bound, shared.lc[edge.source] + edge.l_min);
+        }
+        Time lc = cand;
+        if (bound > cand) {
+          lc = bound;
+          const Duration jump = bound - cand;
+          shared.jump[g] = jump;
+          ++stats_out.violations_repaired;
+          stats_out.max_jump = std::max(stats_out.max_jump, jump);
+          stats_out.total_jump += jump;
+        }
+        shared.lc[g] = lc;
+        shared.done[g].store(1, std::memory_order_release);
+
+        c.prev_input = t;
+        c.prev_lc = lc;
+        c.has_prev = true;
+        ++c.next;
+        --remaining;
+        advanced = true;
+        drained_any = true;
+      }
+      if (drained_any) shared.publish();
+    }
+
+    if (!advanced && remaining > 0) {
+      // All of this worker's ranks are blocked on remote sends; wait for
+      // someone to publish progress, re-checking readiness under the lock to
+      // avoid a missed wakeup.
+      std::unique_lock<std::mutex> lk(shared.mutex);
+      const std::uint64_t seen = shared.progress;
+      bool any_ready = false;
+      for (auto& c : mine) {
+        if (c.next < trace.events(c.rank).size() && ready(c)) {
+          any_ready = true;
+          break;
+        }
+      }
+      if (!any_ready) {
+        shared.cv.wait(lk, [&] { return shared.progress != seen; });
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ClcResult controlled_logical_clock_parallel(const Trace& trace, const ReplaySchedule& schedule,
+                                            const TimestampArray& input,
+                                            const ClcOptions& options, int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 2;
+  }
+  threads = std::min(threads, trace.ranks());
+  CS_REQUIRE(threads >= 1, "need at least one thread");
+
+  SharedState shared(schedule.events());
+
+  // Round-robin rank ownership keeps neighbouring ranks on different
+  // threads, which shortens blocking chains for nearest-neighbour patterns.
+  std::vector<std::vector<RankCursor>> owned(static_cast<std::size_t>(threads));
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    owned[static_cast<std::size_t>(r % threads)].push_back({r, 0, false, 0.0, 0.0});
+  }
+
+  std::vector<clc_detail::ForwardPassResult> stats(static_cast<std::size_t>(threads));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      forward_worker(trace, schedule, input, options, owned[static_cast<std::size_t>(t)],
+                     shared, stats[static_cast<std::size_t>(t)]);
+      shared.publish();  // final wakeup so peers blocked on us re-check
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  clc_detail::ForwardPassResult fwd;
+  fwd.lc = std::move(shared.lc);
+  fwd.jump = std::move(shared.jump);
+  for (const auto& s : stats) {
+    fwd.violations_repaired += s.violations_repaired;
+    fwd.max_jump = std::max(fwd.max_jump, s.max_jump);
+    fwd.total_jump += s.total_jump;
+  }
+
+  if (options.backward_amortization) {
+    clc_detail::backward_pass(trace, schedule, fwd, options);
+  }
+
+  ClcResult result;
+  result.corrected = input;
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    auto& v = result.corrected.of_rank(r);
+    for (std::uint32_t i = 0; i < v.size(); ++i) {
+      v[i] = fwd.lc[schedule.global_index({r, i})];
+    }
+  }
+  result.violations_repaired = fwd.violations_repaired;
+  result.max_jump = fwd.max_jump;
+  result.total_jump = fwd.total_jump;
+  return result;
+}
+
+}  // namespace chronosync

@@ -1,0 +1,21 @@
+// Parallel replay-based CLC (ref. [31] of the paper).
+//
+// The forward pass is re-run as a parallel replay: worker threads own
+// disjoint sets of ranks and replay their events in program order, blocking
+// when a receive's constraining send has not been computed yet.  Because the
+// corrected timestamp of an event is a pure function of its constraint
+// sources and the per-process state, the parallel result is bit-identical to
+// the sequential algorithm, regardless of thread schedule.
+#pragma once
+
+#include "sync/clc.hpp"
+
+namespace chronosync {
+
+/// Same contract and result as controlled_logical_clock(), computed with
+/// `threads` worker threads (0 = hardware concurrency).
+ClcResult controlled_logical_clock_parallel(const Trace& trace, const ReplaySchedule& schedule,
+                                            const TimestampArray& input,
+                                            const ClcOptions& options = {}, int threads = 0);
+
+}  // namespace chronosync

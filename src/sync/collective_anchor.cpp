@@ -1,0 +1,78 @@
+#include "sync/collective_anchor.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+CollectiveAnchorCorrection CollectiveAnchorCorrection::build(const Trace& trace) {
+  CollectiveAnchorCorrection corr;
+  const int n = trace.ranks();
+  corr.maps_.resize(static_cast<std::size_t>(n));
+
+  // Collect (worker_time, offset interval midpoint) anchors per rank.
+  std::vector<std::vector<Point2>> anchors(static_cast<std::size_t>(n));
+
+  for (const auto& inst : trace.collect_collectives()) {
+    if (flavor_of(inst.kind) != CollectiveFlavor::NToN) continue;
+
+    // Per-rank begin/end timestamps of this instance.
+    std::map<Rank, Time> begin, end;
+    for (const auto& ref : inst.begins) begin[ref.proc] = trace.at(ref).local_ts;
+    for (const auto& ref : inst.ends) end[ref.proc] = trace.at(ref).local_ts;
+    if (!begin.count(0) || !end.count(0)) continue;  // master not involved
+
+    for (const auto& [w, wbegin] : begin) {
+      if (w == 0 || !end.count(w)) continue;
+      const Duration l_min = trace.min_latency(0, w);
+      // delta = master local - worker local at a common instant.
+      //   end_w   >= (begin_0 in w's clock) + l_min  ->  delta <= end_w - begin_0 ... sign care:
+      //   master begin -> worker end:  end_w - delta_shift ...
+      // Lower bound: master's end is at least worker's begin + l_min:
+      //   end_0 >= wbegin + delta + l_min  ->  delta <= end_0 - wbegin - l_min
+      // Upper bound mirrored:
+      //   end_w >= begin_0 - delta + l_min ->  delta >= begin_0 + l_min - end_w
+      const Duration upper = end.at(0) - wbegin - l_min;
+      const Duration lower = begin.at(0) + l_min - end.at(w);
+      if (upper < lower) continue;  // inconsistent instance (should not happen)
+      const Duration mid = 0.5 * (lower + upper);
+      // Anchor at the middle of the worker's participation window.
+      const Time wmid = 0.5 * (wbegin + end.at(w));
+      anchors[static_cast<std::size_t>(w)].push_back({wmid, mid});
+    }
+  }
+
+  for (Rank w = 0; w < n; ++w) {
+    auto& pts = anchors[static_cast<std::size_t>(w)];
+    std::sort(pts.begin(), pts.end(), [](const Point2& a, const Point2& b) {
+      return a.x < b.x;
+    });
+    PiecewiseLinear map;
+    for (const auto& p : pts) {
+      // Knot: worker local time -> estimated master time.
+      if (!map.empty() && p.x <= map.knots().back().x) continue;
+      map.append(p.x, p.x + p.y);
+    }
+    corr.maps_[static_cast<std::size_t>(w)] = std::move(map);
+  }
+  return corr;
+}
+
+Time CollectiveAnchorCorrection::correct(Rank r, Time local_ts) const {
+  CS_REQUIRE(r >= 0 && static_cast<std::size_t>(r) < maps_.size(), "rank out of range");
+  const PiecewiseLinear& map = maps_[static_cast<std::size_t>(r)];
+  if (map.size() < 2) {
+    // No or a single anchor: constant-offset correction at best.
+    return map.empty() ? local_ts : local_ts + (map.knots().front().y - map.knots().front().x);
+  }
+  return map(local_ts);
+}
+
+std::size_t CollectiveAnchorCorrection::anchors(Rank r) const {
+  CS_REQUIRE(r >= 0 && static_cast<std::size_t>(r) < maps_.size(), "rank out of range");
+  return maps_[static_cast<std::size_t>(r)].size();
+}
+
+}  // namespace chronosync

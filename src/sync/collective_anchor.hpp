@@ -1,0 +1,45 @@
+// Collective-anchored synchronization (Babaoglu & Drummond, refs. [22]/[23]).
+//
+// Their observation: if the application performs a full message exchange
+// among all processors "in sufficiently short intervals", clocks can be
+// synchronized at (almost) no extra cost — the exchange itself bounds every
+// pairwise offset.  chronosync's N-to-N collectives (barrier, allreduce,
+// allgather, alltoall) are exactly such exchanges: within one instance,
+// every member's end happens after every other member's begin, so for ranks
+// a (master) and b,
+//
+//     end_b   >= begin_a + l_min   ->   delta_ab <= end_b's bound
+//     end_a   >= begin_b + l_min   ->   delta_ab >= ...
+//
+// Each instance therefore yields an interval estimate of the master-minus-
+// worker offset at that moment; chaining the interval midpoints across
+// instances gives a piecewise-linear correction that tracks non-constant
+// drift wherever the application synchronizes globally.
+#pragma once
+
+#include <memory>
+
+#include "common/mathutil.hpp"
+#include "sync/correction.hpp"
+#include "trace/trace.hpp"
+
+namespace chronosync {
+
+class CollectiveAnchorCorrection final : public TimestampCorrection {
+ public:
+  /// Builds the correction from all N-to-N collective instances that include
+  /// both the master (rank 0) and the respective worker.  Workers that never
+  /// share such a collective with the master keep the identity correction.
+  static CollectiveAnchorCorrection build(const Trace& trace);
+
+  Time correct(Rank r, Time local_ts) const override;
+
+  /// Number of anchor points (collective instances) used per rank.
+  std::size_t anchors(Rank r) const;
+
+ private:
+  CollectiveAnchorCorrection() = default;
+  std::vector<PiecewiseLinear> maps_;  ///< worker local time -> master time
+};
+
+}  // namespace chronosync

@@ -1,0 +1,13 @@
+#include "sync/correction.hpp"
+
+namespace chronosync {
+
+TimestampArray apply_correction(const Trace& trace, const TimestampCorrection& c) {
+  TimestampArray out = TimestampArray::from_local(trace);
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    for (Time& t : out.of_rank(r)) t = c.correct(r, t);
+  }
+  return out;
+}
+
+}  // namespace chronosync

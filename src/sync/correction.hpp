@@ -1,0 +1,33 @@
+// Timestamp correction interface.
+//
+// A correction maps a rank's local timestamp onto the (estimated) global time
+// of the master clock.  Corrections are pure functions, so they can be
+// applied non-destructively to a trace, compared against each other, and
+// composed with the CLC postprocessing step.
+#pragma once
+
+#include <memory>
+
+#include "common/types.hpp"
+#include "trace/trace.hpp"
+
+namespace chronosync {
+
+class TimestampCorrection {
+ public:
+  virtual ~TimestampCorrection() = default;
+
+  /// Estimated master/global time for a local timestamp of rank r.
+  virtual Time correct(Rank r, Time local_ts) const = 0;
+};
+
+/// No-op correction (raw local timestamps).
+class IdentityCorrection final : public TimestampCorrection {
+ public:
+  Time correct(Rank, Time local_ts) const override { return local_ts; }
+};
+
+/// Applies a correction to every event of a trace.
+TimestampArray apply_correction(const Trace& trace, const TimestampCorrection& c);
+
+}  // namespace chronosync

@@ -1,0 +1,241 @@
+#include "sync/error_estimation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "common/expect.hpp"
+#include "common/log.hpp"
+
+namespace chronosync {
+
+std::string to_string(EstimationMethod m) {
+  switch (m) {
+    case EstimationMethod::Regression: return "regression";
+    case EstimationMethod::ConvexHull: return "convex-hull";
+    case EstimationMethod::MinMax: return "min-max";
+  }
+  return "?";
+}
+
+namespace {
+
+/// delta_ab must lie above `lower` and below `upper` (point clouds in
+/// (approximate time, bound) coordinates).
+struct BoundClouds {
+  std::vector<Point2> lower;
+  std::vector<Point2> upper;
+};
+
+BoundClouds gather_bounds(const Trace& trace, const std::vector<MessageRecord>& messages,
+                          Rank a, Rank b) {
+  BoundClouds clouds;
+  const Duration l_min = trace.min_latency(a, b);
+  for (const auto& m : messages) {
+    const Time x = trace.at(m.send).local_ts;
+    const Time y = trace.at(m.recv).local_ts;
+    if (m.send.proc == a && m.recv.proc == b) {
+      clouds.lower.push_back({x, x - y + l_min});
+    } else if (m.send.proc == b && m.recv.proc == a) {
+      clouds.upper.push_back({y, y - x - l_min});
+    }
+  }
+  return clouds;
+}
+
+LinearFit fit_constant(double value, std::size_t n) {
+  LinearFit f;
+  f.slope = 0.0;
+  f.intercept = value;
+  f.n = n;
+  return f;
+}
+
+/// Least-squares fit that degrades gracefully for tiny clouds.
+LinearFit robust_fit(const std::vector<Point2>& pts) {
+  CS_ENSURE(!pts.empty(), "fitting an empty cloud");
+  if (pts.size() == 1) return fit_constant(pts.front().y, 1);
+  // All x equal would make the regression singular; fall back to a constant.
+  const double x0 = pts.front().x;
+  bool distinct = false;
+  for (const auto& p : pts) {
+    if (p.x != x0) {
+      distinct = true;
+      break;
+    }
+  }
+  if (!distinct) {
+    double sum = 0.0;
+    for (const auto& p : pts) sum += p.y;
+    return fit_constant(sum / static_cast<double>(pts.size()), pts.size());
+  }
+  return fit_line(pts);
+}
+
+LinearFit average_lines(const LinearFit& lo, const LinearFit& hi) {
+  LinearFit f;
+  f.slope = 0.5 * (lo.slope + hi.slope);
+  f.intercept = 0.5 * (lo.intercept + hi.intercept);
+  f.n = lo.n + hi.n;
+  return f;
+}
+
+LinearFit estimate_regression(const BoundClouds& clouds) {
+  return average_lines(robust_fit(clouds.lower), robust_fit(clouds.upper));
+}
+
+LinearFit estimate_convex_hull(const BoundClouds& clouds) {
+  // The feasible band's floor is the upper convex hull of the lower bounds;
+  // its ceiling is the lower convex hull of the upper bounds.  A line fitted
+  // through each support chain weights the extremal (tightest) samples only.
+  const std::vector<Point2> floor_chain = upper_convex_hull(clouds.lower);
+  const std::vector<Point2> ceil_chain = lower_convex_hull(clouds.upper);
+  return average_lines(robust_fit(floor_chain), robust_fit(ceil_chain));
+}
+
+LinearFit estimate_minmax(const BoundClouds& clouds) {
+  // Hofmann: tightest bounds within the first and the last quarter of the
+  // common time range give two midpoints; the estimate is the line through
+  // them.
+  Time lo_t = std::numeric_limits<Time>::infinity();
+  Time hi_t = -std::numeric_limits<Time>::infinity();
+  for (const auto& p : clouds.lower) {
+    lo_t = std::min(lo_t, p.x);
+    hi_t = std::max(hi_t, p.x);
+  }
+  for (const auto& p : clouds.upper) {
+    lo_t = std::min(lo_t, p.x);
+    hi_t = std::max(hi_t, p.x);
+  }
+  const Time span = hi_t - lo_t;
+
+  // The midpoint's time coordinate must be that of the extreme samples
+  // themselves: averaging over the whole window would pair an early-window
+  // bound value with a mid-window time and bias the slope under drift.
+  auto window_mid = [&](Time wlo, Time whi) -> std::optional<Point2> {
+    const Point2* best_lower = nullptr;
+    const Point2* best_upper = nullptr;
+    for (const auto& p : clouds.lower) {
+      if (p.x >= wlo && p.x <= whi && (!best_lower || p.y > best_lower->y)) best_lower = &p;
+    }
+    for (const auto& p : clouds.upper) {
+      if (p.x >= wlo && p.x <= whi && (!best_upper || p.y < best_upper->y)) best_upper = &p;
+    }
+    if (!best_lower || !best_upper) return std::nullopt;
+    return Point2{0.5 * (best_lower->x + best_upper->x),
+                  0.5 * (best_lower->y + best_upper->y)};
+  };
+
+  const auto first = window_mid(lo_t, lo_t + span / 4.0);
+  const auto last = window_mid(hi_t - span / 4.0, hi_t);
+  if (!first || !last || last->x <= first->x) {
+    // Not enough spread for a slope estimate: fall back to the regression.
+    return estimate_regression(clouds);
+  }
+  LinearFit f;
+  f.slope = (last->y - first->y) / (last->x - first->x);
+  f.intercept = first->y - f.slope * first->x;
+  f.n = clouds.lower.size() + clouds.upper.size();
+  return f;
+}
+
+}  // namespace
+
+std::optional<PairEstimate> estimate_pair(const Trace& trace,
+                                          const std::vector<MessageRecord>& messages, Rank a,
+                                          Rank b, EstimationMethod method) {
+  BoundClouds clouds = gather_bounds(trace, messages, a, b);
+  if (clouds.lower.empty() || clouds.upper.empty()) return std::nullopt;
+
+  PairEstimate est;
+  est.a = a;
+  est.b = b;
+  est.messages_ab = clouds.lower.size();
+  est.messages_ba = clouds.upper.size();
+  switch (method) {
+    case EstimationMethod::Regression: est.line = estimate_regression(clouds); break;
+    case EstimationMethod::ConvexHull: est.line = estimate_convex_hull(clouds); break;
+    case EstimationMethod::MinMax: est.line = estimate_minmax(clouds); break;
+  }
+  return est;
+}
+
+ErrorEstimationCorrection ErrorEstimationCorrection::build(
+    const Trace& trace, const std::vector<MessageRecord>& messages, EstimationMethod method) {
+  const int n = trace.ranks();
+
+  // Count traffic per unordered pair to pick the best-supported edges.
+  std::map<std::pair<Rank, Rank>, std::pair<std::size_t, std::size_t>> traffic;
+  for (const auto& m : messages) {
+    Rank s = m.send.proc, r = m.recv.proc;
+    const bool forward = s < r;
+    auto key = forward ? std::make_pair(s, r) : std::make_pair(r, s);
+    auto& [ab, ba] = traffic[key];
+    (forward ? ab : ba) += 1;
+  }
+
+  // Maximum-traffic spanning tree from rank 0 (Prim); edges need both
+  // directions, as one-sided traffic bounds the offset only from one side.
+  struct Edge {
+    Rank to;
+    std::size_t weight;
+  };
+  std::vector<std::vector<Edge>> adj(static_cast<std::size_t>(n));
+  for (const auto& [key, counts] : traffic) {
+    if (counts.first == 0 || counts.second == 0) continue;
+    const std::size_t w = counts.first + counts.second;
+    adj[static_cast<std::size_t>(key.first)].push_back({key.second, w});
+    adj[static_cast<std::size_t>(key.second)].push_back({key.first, w});
+  }
+
+  ErrorEstimationCorrection corr;
+  corr.delta_to_master_.assign(static_cast<std::size_t>(n), fit_constant(0.0, 0));
+
+  std::vector<bool> reached(static_cast<std::size_t>(n), false);
+  reached[0] = true;
+  // Max-heap on traffic weight; deterministic tie-break on rank.
+  using Cand = std::tuple<std::size_t, Rank, Rank>;  // weight, from, to
+  std::priority_queue<Cand> heap;
+  for (const auto& e : adj[0]) heap.push({e.weight, 0, e.to});
+
+  while (!heap.empty()) {
+    auto [w, from, to] = heap.top();
+    heap.pop();
+    if (reached[static_cast<std::size_t>(to)]) continue;
+    // delta_to_master_[r](t) estimates L_0(t) - L_r(t).  For the tree edge
+    // (from -> to): L_0 - L_to = (L_0 - L_from) + delta_{from,to}.
+    auto est = estimate_pair(trace, messages, from, to, method);
+    if (!est) continue;
+    LinearFit combined;
+    const LinearFit& parent = corr.delta_to_master_[static_cast<std::size_t>(from)];
+    combined.slope = parent.slope + est->line.slope;
+    combined.intercept = parent.intercept + est->line.intercept;
+    combined.n = est->line.n;
+    corr.delta_to_master_[static_cast<std::size_t>(to)] = combined;
+    reached[static_cast<std::size_t>(to)] = true;
+    for (const auto& e : adj[static_cast<std::size_t>(to)]) {
+      if (!reached[static_cast<std::size_t>(e.to)]) heap.push({e.weight, to, e.to});
+    }
+  }
+
+  for (Rank r = 0; r < n; ++r) {
+    if (!reached[static_cast<std::size_t>(r)]) corr.unreachable_.push_back(r);
+  }
+  if (!corr.unreachable_.empty()) {
+    CS_LOG_WARN << corr.unreachable_.size()
+                << " ranks unreachable via bidirectional traffic; left uncorrected";
+  }
+  return corr;
+}
+
+Time ErrorEstimationCorrection::correct(Rank r, Time local_ts) const {
+  CS_REQUIRE(r >= 0 && static_cast<std::size_t>(r) < delta_to_master_.size(),
+             "rank out of range");
+  // master = local + delta_to_master(local); evaluating the line at the local
+  // timestamp instead of true time costs only a second-order (drift^2) error.
+  return local_ts + delta_to_master_[static_cast<std::size_t>(r)](local_ts);
+}
+
+}  // namespace chronosync

@@ -1,0 +1,72 @@
+// Message-based error estimation (Sec. V of the paper).
+//
+// The send/receive timestamps of the application's own messages bound the
+// pairwise clock difference: a message a->b sent at local x and received at
+// local y implies, with delta_ab(t) = L_a(t) - L_b(t),
+//
+//     delta_ab >= x - y + l_min        (from a->b traffic: lower bound)
+//     delta_ab <= y' - x' - l_min      (from b->a traffic: upper bound)
+//
+// The estimators differ in how they pick a line inside the feasible band:
+//   * Regression  (Duda):      least-squares line through each bound cloud,
+//                              then the medial line of the two fits;
+//   * ConvexHull  (Duda):      hull of each cloud facing the band, medial
+//                              line between the two support chains;
+//   * MinMax      (Hofmann):   tightest bound in the first and last time
+//                              window, line through the two midpoints.
+//
+// Pairwise estimates are chained to the master (rank 0) along a spanning
+// tree that prefers message-rich pairs (Jezequel's construction).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/mathutil.hpp"
+#include "sync/correction.hpp"
+#include "trace/trace.hpp"
+
+namespace chronosync {
+
+enum class EstimationMethod { Regression, ConvexHull, MinMax };
+
+std::string to_string(EstimationMethod m);
+
+/// Linear estimate of delta_ab(t) = L_a(t) - L_b(t) on edge (a, b).
+struct PairEstimate {
+  Rank a = -1;
+  Rank b = -1;
+  LinearFit line;               ///< delta_ab as a function of (approx.) time
+  std::size_t messages_ab = 0;  ///< samples contributing the lower bound
+  std::size_t messages_ba = 0;  ///< samples contributing the upper bound
+};
+
+/// Estimates one pair from the matched messages between a and b.
+/// Returns nullopt when either direction has no traffic.
+std::optional<PairEstimate> estimate_pair(const Trace& trace,
+                                          const std::vector<MessageRecord>& messages, Rank a,
+                                          Rank b, EstimationMethod method);
+
+/// Per-rank linear correction to the master built by chaining pair estimates
+/// along a maximum-traffic spanning tree.
+class ErrorEstimationCorrection final : public TimestampCorrection {
+ public:
+  /// Builds the correction from a trace.  Ranks unreachable from rank 0 via
+  /// bidirectional traffic keep the identity correction.
+  static ErrorEstimationCorrection build(const Trace& trace,
+                                         const std::vector<MessageRecord>& messages,
+                                         EstimationMethod method);
+
+  Time correct(Rank r, Time local_ts) const override;
+
+  /// Ranks that could not be chained to the master.
+  const std::vector<Rank>& unreachable() const { return unreachable_; }
+
+ private:
+  ErrorEstimationCorrection() = default;
+  /// Per-rank line: master_time = local + line(local).
+  std::vector<LinearFit> delta_to_master_;
+  std::vector<Rank> unreachable_;
+};
+
+}  // namespace chronosync

@@ -1,0 +1,64 @@
+#include "sync/interpolation.hpp"
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+LinearInterpolation::LinearInterpolation(std::vector<RankParams> params)
+    : params_(std::move(params)) {
+  CS_REQUIRE(!params_.empty(), "interpolation needs at least one rank");
+  for (const auto& p : params_) {
+    CS_REQUIRE(p.w2 > p.w1, "interpolation interval must have positive length");
+  }
+}
+
+LinearInterpolation LinearInterpolation::from_store(const OffsetStore& store) {
+  std::vector<RankParams> params(static_cast<std::size_t>(store.ranks()));
+  for (Rank r = 0; r < store.ranks(); ++r) {
+    const auto& samples = store.of(r);
+    CS_REQUIRE(samples.size() >= 2, "linear interpolation needs two measurements per rank");
+    auto& p = params[static_cast<std::size_t>(r)];
+    p.w1 = samples.front().worker_time;
+    p.o1 = samples.front().offset;
+    p.w2 = samples.back().worker_time;
+    p.o2 = samples.back().offset;
+  }
+  return LinearInterpolation(std::move(params));
+}
+
+Time LinearInterpolation::correct(Rank r, Time local_ts) const {
+  const RankParams& p = params(r);
+  // Eq. 3 of the paper.
+  return local_ts + (p.o2 - p.o1) / (p.w2 - p.w1) * (local_ts - p.w1) + p.o1;
+}
+
+const LinearInterpolation::RankParams& LinearInterpolation::params(Rank r) const {
+  CS_REQUIRE(r >= 0 && static_cast<std::size_t>(r) < params_.size(), "rank out of range");
+  return params_[static_cast<std::size_t>(r)];
+}
+
+PiecewiseInterpolation::PiecewiseInterpolation(std::vector<PiecewiseLinear> maps)
+    : maps_(std::move(maps)) {}
+
+PiecewiseInterpolation PiecewiseInterpolation::from_store(const OffsetStore& store) {
+  std::vector<PiecewiseLinear> maps;
+  maps.reserve(static_cast<std::size_t>(store.ranks()));
+  for (Rank r = 0; r < store.ranks(); ++r) {
+    const auto& samples = store.of(r);
+    CS_REQUIRE(samples.size() >= 2, "piecewise interpolation needs two measurements per rank");
+    PiecewiseLinear map;
+    for (const auto& s : samples) {
+      // Knot: worker local time -> estimated master time at that instant.
+      map.append(s.worker_time, s.worker_time + s.offset);
+    }
+    maps.push_back(std::move(map));
+  }
+  return PiecewiseInterpolation(std::move(maps));
+}
+
+Time PiecewiseInterpolation::correct(Rank r, Time local_ts) const {
+  CS_REQUIRE(r >= 0 && static_cast<std::size_t>(r) < maps_.size(), "rank out of range");
+  return maps_[static_cast<std::size_t>(r)](local_ts);
+}
+
+}  // namespace chronosync

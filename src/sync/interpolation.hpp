@@ -1,0 +1,60 @@
+// Linear offset interpolation (Eq. 3) and its piecewise generalization.
+//
+// Given two offset measurements (w1, o1) and (w2, o2) per worker — typically
+// taken during MPI_Init and MPI_Finalize — the master time for a worker
+// timestamp t is
+//
+//     m(t) = t + (o2 - o1)/(w2 - w1) * (t - w1) + o1                  (Eq. 3)
+//
+// This removes the initial offset and the *mean* drift over the measurement
+// interval; the paper's central result is that the residual (non-constant
+// drift) still violates the clock condition on longer runs.
+//
+// PiecewiseInterpolation consumes more than two measurements (the approach of
+// ref. [17]: periodic measurements during global synchronization points) and
+// interpolates linearly between consecutive ones.
+#pragma once
+
+#include <vector>
+
+#include "common/mathutil.hpp"
+#include "measure/offset_probe.hpp"
+#include "sync/correction.hpp"
+
+namespace chronosync {
+
+class LinearInterpolation final : public TimestampCorrection {
+ public:
+  struct RankParams {
+    Time w1 = 0.0;
+    Duration o1 = 0.0;
+    Time w2 = 1.0;
+    Duration o2 = 0.0;
+  };
+
+  explicit LinearInterpolation(std::vector<RankParams> params);
+
+  /// Uses each rank's first and last measurement (Scalasca's Init/Finalize).
+  static LinearInterpolation from_store(const OffsetStore& store);
+
+  Time correct(Rank r, Time local_ts) const override;
+
+  const RankParams& params(Rank r) const;
+
+ private:
+  std::vector<RankParams> params_;
+};
+
+class PiecewiseInterpolation final : public TimestampCorrection {
+ public:
+  /// One piecewise map per rank through all of its measurements.
+  static PiecewiseInterpolation from_store(const OffsetStore& store);
+
+  Time correct(Rank r, Time local_ts) const override;
+
+ private:
+  explicit PiecewiseInterpolation(std::vector<PiecewiseLinear> maps);
+  std::vector<PiecewiseLinear> maps_;
+};
+
+}  // namespace chronosync

@@ -1,0 +1,43 @@
+// Logical clocks: Lamport scalar clocks and Fidge/Mattern vector clocks.
+//
+// These are the classical devices (Sec. V) for recovering the *order* of
+// events when physical timestamps cannot be trusted.  Lamport clocks give a
+// total order consistent with happened-before; vector clocks characterize
+// happened-before exactly and therefore also detect concurrency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sync/replay.hpp"
+#include "trace/trace.hpp"
+
+namespace chronosync {
+
+/// Lamport clock values for every event, indexed like the trace
+/// (result[rank][event_index]).
+std::vector<std::vector<std::uint64_t>> lamport_clocks(const Trace& trace,
+                                                       const ReplaySchedule& schedule);
+
+/// Vector clocks for every event.  Memory is O(events * ranks); intended for
+/// analysis of moderate traces and for validating other algorithms.
+class VectorClockIndex {
+ public:
+  VectorClockIndex(const Trace& trace, const ReplaySchedule& schedule);
+
+  /// Component-wise vector clock of an event.
+  const std::vector<std::uint64_t>& clock(const EventRef& ref) const;
+
+  /// True iff a happened-before b (strictly precedes in the causal order).
+  bool happened_before(const EventRef& a, const EventRef& b) const;
+
+  /// True iff neither a -> b nor b -> a (the events are concurrent).
+  bool concurrent(const EventRef& a, const EventRef& b) const;
+
+ private:
+  const ReplaySchedule* schedule_;
+  int ranks_;
+  std::vector<std::vector<std::uint64_t>> clocks_;  ///< [global index][rank]
+};
+
+}  // namespace chronosync

@@ -1,0 +1,35 @@
+// Node-coupled CLC — the paper's second open problem.
+//
+// Sec. VI: "if the timestamp of a process is modified in the course of
+// applying the algorithm, timestamps of processes co-located on the same SMP
+// node that are close to the modified time may need to be modified as well"
+// — because co-located processes read the *same* (or tightly coupled)
+// physical clock, a correction deduced from one process's messages is
+// evidence about its neighbours' timestamps too.
+//
+// This extension post-processes a CLC result: per SMP node, each rank's
+// correction profile (correction amount as a function of its input
+// timestamp) is lifted to the envelope of all co-located ranks' profiles, so
+// a jump discovered on one rank also advances its node neighbours near that
+// time.  Safety is preserved exactly as in backward amortization: events are
+// only moved forward, sends stay capped below their receives, and
+// per-process order is maintained.
+#pragma once
+
+#include "sync/clc.hpp"
+#include "sync/replay.hpp"
+
+namespace chronosync {
+
+struct NodeCoupledClcResult {
+  ClcResult clc;                    ///< final corrected timestamps
+  std::size_t coupled_moves = 0;    ///< events moved by coupling (beyond CLC)
+  Duration max_coupled_shift = 0.0; ///< largest additional shift (s)
+};
+
+/// Runs the CLC and then couples co-located ranks' corrections.
+NodeCoupledClcResult node_coupled_clc(const Trace& trace, const ReplaySchedule& schedule,
+                                      const TimestampArray& input,
+                                      const ClcOptions& options = {});
+
+}  // namespace chronosync

@@ -1,0 +1,25 @@
+#include "sync/offset_alignment.hpp"
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+OffsetAlignment::OffsetAlignment(std::vector<Duration> offsets) : offsets_(std::move(offsets)) {
+  CS_REQUIRE(!offsets_.empty(), "alignment needs at least one rank");
+}
+
+OffsetAlignment OffsetAlignment::from_store(const OffsetStore& store) {
+  std::vector<Duration> offsets(static_cast<std::size_t>(store.ranks()));
+  for (Rank r = 0; r < store.ranks(); ++r) {
+    CS_REQUIRE(!store.of(r).empty(), "no offset measurement for rank");
+    offsets[static_cast<std::size_t>(r)] = store.of(r).front().offset;
+  }
+  return OffsetAlignment(std::move(offsets));
+}
+
+Time OffsetAlignment::correct(Rank r, Time local_ts) const {
+  CS_REQUIRE(r >= 0 && static_cast<std::size_t>(r) < offsets_.size(), "rank out of range");
+  return local_ts + offsets_[static_cast<std::size_t>(r)];
+}
+
+}  // namespace chronosync

@@ -1,0 +1,27 @@
+// Offset alignment: subtract per-rank initial offsets so all clocks "start
+// from zero" relative to the master.  This is step (i) of the paper's
+// evaluation (Fig. 4) — it removes the initial offset but none of the drift.
+#pragma once
+
+#include <vector>
+
+#include "measure/offset_probe.hpp"
+#include "sync/correction.hpp"
+
+namespace chronosync {
+
+class OffsetAlignment final : public TimestampCorrection {
+ public:
+  /// offsets[r] is the master-minus-worker offset measured at start.
+  explicit OffsetAlignment(std::vector<Duration> offsets);
+
+  /// Uses each rank's first measurement in the store.
+  static OffsetAlignment from_store(const OffsetStore& store);
+
+  Time correct(Rank r, Time local_ts) const override;
+
+ private:
+  std::vector<Duration> offsets_;
+};
+
+}  // namespace chronosync

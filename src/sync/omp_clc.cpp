@@ -1,0 +1,109 @@
+#include "sync/omp_clc.hpp"
+
+#include <map>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+Trace split_omp_threads(const Trace& omp_trace, const Placement& thread_placement, Rank loc) {
+  // The minimum shared-memory synchronization latencies play the role of
+  // l_min; they are inherited from the source trace's domain minimums.
+  Trace out(thread_placement, omp_trace.domain_min_latency(),
+            omp_trace.timer_name());
+  for (const auto& name : omp_trace.regions()) out.intern_region(name);
+
+  for (const Event& e : omp_trace.events(loc)) {
+    CS_REQUIRE(e.thread >= 0 && e.thread < thread_placement.ranks(),
+               "event thread outside the thread placement");
+    out.events(e.thread).push_back(e);
+  }
+  return out;
+}
+
+std::vector<LogicalMessage> derive_omp_logical_messages(const Trace& thread_trace) {
+  struct InstanceAcc {
+    EventRef fork{-1, 0};
+    EventRef join{-1, 0};
+    std::map<ThreadId, EventRef> first_of_thread;
+    std::map<ThreadId, EventRef> last_of_thread;
+    std::vector<EventRef> barrier_enters;
+    std::vector<EventRef> barrier_exits;
+  };
+  std::map<std::int32_t, InstanceAcc> instances;
+
+  for (Rank r = 0; r < thread_trace.ranks(); ++r) {
+    const auto& ev = thread_trace.events(r);
+    for (std::uint32_t i = 0; i < ev.size(); ++i) {
+      const Event& e = ev[i];
+      if (e.omp_instance < 0) continue;
+      auto& acc = instances[e.omp_instance];
+      const EventRef ref{r, i};
+      if (!acc.first_of_thread.count(e.thread)) acc.first_of_thread[e.thread] = ref;
+      acc.last_of_thread[e.thread] = ref;
+      switch (e.type) {
+        case EventType::Fork: acc.fork = ref; break;
+        case EventType::Join: acc.join = ref; break;
+        case EventType::BarrierEnter: acc.barrier_enters.push_back(ref); break;
+        case EventType::BarrierExit: acc.barrier_exits.push_back(ref); break;
+        default: break;
+      }
+    }
+  }
+
+  std::vector<LogicalMessage> out;
+  for (const auto& [id, acc] : instances) {
+    // fork -> first event of every other thread (1-to-N).
+    if (acc.fork.proc >= 0) {
+      for (const auto& [thread, first] : acc.first_of_thread) {
+        if (first == acc.fork) continue;
+        if (thread == thread_trace.at(acc.fork).thread) continue;
+        out.push_back({acc.fork, first, id});
+      }
+    }
+    // last event of every other thread -> join (N-to-1).
+    if (acc.join.proc >= 0) {
+      for (const auto& [thread, last] : acc.last_of_thread) {
+        if (last == acc.join) continue;
+        if (thread == thread_trace.at(acc.join).thread) continue;
+        out.push_back({last, acc.join, id});
+      }
+    }
+    // barrier enter(i) -> barrier exit(j), i != j (N-to-N).
+    for (const auto& enter : acc.barrier_enters) {
+      for (const auto& exit : acc.barrier_exits) {
+        if (thread_trace.at(enter).thread == thread_trace.at(exit).thread) continue;
+        out.push_back({enter, exit, id});
+      }
+    }
+  }
+  return out;
+}
+
+OmpClcResult omp_controlled_logical_clock(const Trace& omp_trace,
+                                          const Placement& thread_placement,
+                                          const ClcOptions& options, Rank loc) {
+  const Trace threads = split_omp_threads(omp_trace, thread_placement, loc);
+  const auto logical = derive_omp_logical_messages(threads);
+  const ReplaySchedule schedule(threads, {}, logical);
+  const ClcResult clc = controlled_logical_clock(threads, schedule,
+                                                 TimestampArray::from_local(threads), options);
+
+  // Merge back: replay the same split order to map thread-local indexes onto
+  // the original event sequence.
+  OmpClcResult result;
+  result.corrected = TimestampArray::from_local(omp_trace);
+  std::vector<std::uint32_t> cursor(static_cast<std::size_t>(thread_placement.ranks()), 0);
+  const auto& events = omp_trace.events(loc);
+  for (std::uint32_t i = 0; i < events.size(); ++i) {
+    const ThreadId th = events[i].thread;
+    result.corrected.at({loc, i}) =
+        clc.corrected.at({th, cursor[static_cast<std::size_t>(th)]++});
+  }
+  result.violations_repaired = clc.violations_repaired;
+  result.max_jump = clc.max_jump;
+  return result;
+}
+
+}  // namespace chronosync

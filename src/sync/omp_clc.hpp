@@ -1,0 +1,45 @@
+// CLC extension to OpenMP (shared-memory) traces.
+//
+// The paper's conclusion names this as an open limitation of the CLC: "the
+// non-observance of shared-memory clock conditions related to OpenMP
+// constructs".  This module closes that gap for POMP traces by mapping the
+// OpenMP happened-before rules onto logical messages, exactly as the
+// collective extension does for MPI collectives:
+//
+//   * fork -> first event of every worker thread in the region   (1-to-N)
+//   * last event of every thread in the region -> join           (N-to-1)
+//   * barrier enter(i) -> barrier exit(j) for all i != j         (N-to-N)
+//
+// Threads of the (single-location) OpenMP trace are split into per-thread
+// pseudo-processes so the CLC's program-order constraint applies per thread,
+// then the corrected timestamps are merged back into trace layout.
+#pragma once
+
+#include "sync/clc.hpp"
+#include "topology/pinning.hpp"
+#include "trace/logical_messages.hpp"
+#include "trace/trace.hpp"
+
+namespace chronosync {
+
+/// Splits a single-location POMP trace into one pseudo-rank per thread.
+/// `thread_placement` supplies the per-thread core locations (it determines
+/// the minimum synchronization latencies used as l_min).
+Trace split_omp_threads(const Trace& omp_trace, const Placement& thread_placement, Rank loc = 0);
+
+/// Derives the POMP happened-before edges on a thread-split trace.
+std::vector<LogicalMessage> derive_omp_logical_messages(const Trace& thread_trace);
+
+struct OmpClcResult {
+  TimestampArray corrected;  ///< in the layout of the *original* trace
+  std::size_t violations_repaired = 0;
+  Duration max_jump = 0.0;
+};
+
+/// Runs the CLC with OpenMP semantics over a POMP trace and returns corrected
+/// timestamps in the original single-location layout.
+OmpClcResult omp_controlled_logical_clock(const Trace& omp_trace,
+                                          const Placement& thread_placement,
+                                          const ClcOptions& options = {}, Rank loc = 0);
+
+}  // namespace chronosync

@@ -1,0 +1,130 @@
+#include "sync/replay.hpp"
+
+#include <deque>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+ReplaySchedule::ReplaySchedule(const Trace& trace, const std::vector<MessageRecord>& messages,
+                               const std::vector<LogicalMessage>& logical)
+    : trace_(&trace) {
+  const int n = trace.ranks();
+  prefix_.resize(static_cast<std::size_t>(n) + 1);
+  prefix_[0] = 0;
+  for (Rank r = 0; r < n; ++r) {
+    prefix_[static_cast<std::size_t>(r) + 1] =
+        prefix_[static_cast<std::size_t>(r)] +
+        static_cast<std::uint32_t>(trace.events(r).size());
+  }
+  total_ = prefix_.back();
+  in_.resize(total_);
+  out_.resize(total_);
+
+  for (const auto& m : messages) {
+    add_edge(global_index(m.send), global_index(m.recv),
+             trace.min_latency(m.send.proc, m.recv.proc));
+  }
+  for (const auto& lm : logical) {
+    add_edge(global_index(lm.send), global_index(lm.recv),
+             trace.min_latency(lm.send.proc, lm.recv.proc));
+  }
+}
+
+std::uint32_t ReplaySchedule::global_index(const EventRef& ref) const {
+  CS_REQUIRE(ref.proc >= 0 && ref.proc < trace_->ranks(), "rank out of range");
+  return prefix_[static_cast<std::size_t>(ref.proc)] + ref.index;
+}
+
+EventRef ReplaySchedule::event_ref(std::uint32_t gidx) const {
+  CS_REQUIRE(gidx < total_, "global index out of range");
+  // prefix_ is sorted; find the rank containing gidx.
+  Rank lo = 0, hi = trace_->ranks() - 1;
+  while (lo < hi) {
+    const Rank mid = (lo + hi + 1) / 2;
+    if (prefix_[static_cast<std::size_t>(mid)] <= gidx) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return {lo, gidx - prefix_[static_cast<std::size_t>(lo)]};
+}
+
+void ReplaySchedule::add_edge(std::uint32_t src, std::uint32_t dst, Duration l_min) {
+  in_[dst].push_back({src, l_min});
+  out_[src].push_back(dst);
+}
+
+const std::vector<ReplaySchedule::ConstraintEdge>& ReplaySchedule::incoming(
+    std::uint32_t gidx) const {
+  CS_REQUIRE(gidx < total_, "global index out of range");
+  return in_[gidx];
+}
+
+const std::vector<std::uint32_t>& ReplaySchedule::outgoing(std::uint32_t gidx) const {
+  CS_REQUIRE(gidx < total_, "global index out of range");
+  return out_[gidx];
+}
+
+void ReplaySchedule::replay(
+    const std::function<void(std::uint32_t, const EventRef&)>& visit) const {
+  const int n = trace_->ranks();
+
+  // Remaining unvisited constraint sources per event.
+  std::vector<std::uint32_t> pending(total_);
+  for (std::uint32_t g = 0; g < total_; ++g) {
+    pending[g] = static_cast<std::uint32_t>(in_[g].size());
+  }
+
+  std::vector<std::uint32_t> cursor(static_cast<std::size_t>(n), 0);
+  std::vector<char> queued(static_cast<std::size_t>(n), 0);
+  std::deque<Rank> ready;
+
+  auto cursor_gidx = [&](Rank r) {
+    return prefix_[static_cast<std::size_t>(r)] + cursor[static_cast<std::size_t>(r)];
+  };
+  auto enqueue_if_ready = [&](Rank r) {
+    const auto c = cursor[static_cast<std::size_t>(r)];
+    if (c >= trace_->events(r).size()) return;
+    if (pending[cursor_gidx(r)] != 0) return;
+    if (queued[static_cast<std::size_t>(r)]) return;
+    queued[static_cast<std::size_t>(r)] = 1;
+    ready.push_back(r);
+  };
+
+  for (Rank r = 0; r < n; ++r) enqueue_if_ready(r);
+
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const Rank r = ready.front();
+    ready.pop_front();
+    queued[static_cast<std::size_t>(r)] = 0;
+
+    // Drain this process until its next event is blocked.
+    while (cursor[static_cast<std::size_t>(r)] < trace_->events(r).size() &&
+           pending[cursor_gidx(r)] == 0) {
+      const std::uint32_t g = cursor_gidx(r);
+      const EventRef ref{r, cursor[static_cast<std::size_t>(r)]};
+      visit(g, ref);
+      ++visited;
+      ++cursor[static_cast<std::size_t>(r)];
+      for (std::uint32_t dep : out_[g]) {
+        CS_ENSURE(pending[dep] > 0, "dependency counting corrupted");
+        --pending[dep];
+        if (pending[dep] == 0) {
+          // The dependent becomes processable only once its process cursor
+          // reaches it; check and enqueue the owning process.
+          const EventRef dref = event_ref(dep);
+          if (cursor[static_cast<std::size_t>(dref.proc)] == dref.index) {
+            enqueue_if_ready(dref.proc);
+          }
+        }
+      }
+    }
+  }
+
+  CS_ENSURE(visited == total_, "constraint graph has a cycle or dangling dependency");
+}
+
+}  // namespace chronosync

@@ -1,0 +1,53 @@
+// Dependency-ordered trace replay.
+//
+// The happened-before constraints of a trace form a DAG: per-process program
+// order plus one edge per (possibly logical) message from its send to its
+// receive.  ReplaySchedule builds dense indexes over that DAG and replays the
+// trace so every event is visited after all of its constraint sources — the
+// traversal the logical-clock algorithms and the CLC need.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "trace/logical_messages.hpp"
+#include "trace/trace.hpp"
+
+namespace chronosync {
+
+class ReplaySchedule {
+ public:
+  /// Constraint edge: the target's timestamp must be >= source's + l_min.
+  struct ConstraintEdge {
+    std::uint32_t source = 0;  ///< global event index
+    Duration l_min = 0.0;
+  };
+
+  ReplaySchedule(const Trace& trace, const std::vector<MessageRecord>& messages,
+                 const std::vector<LogicalMessage>& logical);
+
+  std::size_t events() const { return total_; }
+  std::uint32_t global_index(const EventRef& ref) const;
+  EventRef event_ref(std::uint32_t gidx) const;
+
+  /// Incoming constraints of one event (empty for non-receives).
+  const std::vector<ConstraintEdge>& incoming(std::uint32_t gidx) const;
+  /// Events constrained by this one.
+  const std::vector<std::uint32_t>& outgoing(std::uint32_t gidx) const;
+
+  /// Visits every event in a dependency-respecting order.  Throws if the
+  /// constraint graph has a cycle (a malformed trace).
+  void replay(const std::function<void(std::uint32_t, const EventRef&)>& visit) const;
+
+ private:
+  void add_edge(std::uint32_t src, std::uint32_t dst, Duration l_min);
+
+  const Trace* trace_;
+  std::vector<std::uint32_t> prefix_;  ///< global index of each rank's event 0
+  std::size_t total_ = 0;
+  std::vector<std::vector<ConstraintEdge>> in_;
+  std::vector<std::vector<std::uint32_t>> out_;
+};
+
+}  // namespace chronosync

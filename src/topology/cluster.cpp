@@ -1,0 +1,13 @@
+#include "topology/cluster.hpp"
+
+namespace chronosync::clusters {
+
+ClusterSpec xeon_rwth() { return {"xeon-rwth", 62, 2, 4}; }
+
+ClusterSpec powerpc_marenostrum() { return {"powerpc-marenostrum", 2560, 2, 2}; }
+
+ClusterSpec opteron_jaguar() { return {"opteron-jaguar", 3744, 1, 2}; }
+
+ClusterSpec itanium_smp_node() { return {"itanium-smp", 1, 4, 4}; }
+
+}  // namespace chronosync::clusters

@@ -1,0 +1,38 @@
+// Cluster hardware descriptions: a machine is nodes x chips x cores.
+// Presets correspond to the three evaluation platforms of the paper plus the
+// Itanium SMP node used for the OpenMP experiments.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace chronosync {
+
+struct ClusterSpec {
+  std::string name;
+  int nodes = 1;
+  int chips_per_node = 1;
+  int cores_per_chip = 1;
+
+  int cores_per_node() const { return chips_per_node * cores_per_chip; }
+  int total_cores() const { return nodes * cores_per_node(); }
+};
+
+namespace clusters {
+
+/// RWTH Aachen Xeon cluster: 62 nodes, 2 quad-core Xeons @3.0 GHz, InfiniBand.
+ClusterSpec xeon_rwth();
+
+/// BSC MareNostrum: 2560 JS21 blades, 2 dual-core PowerPC 970MP @2.3 GHz, Myrinet.
+ClusterSpec powerpc_marenostrum();
+
+/// ORNL Jaguar (XT3 partition): 3744 nodes, 1 dual-core Opteron @2.6 GHz, SeaStar.
+ClusterSpec opteron_jaguar();
+
+/// Single Itanium SMP node with 4 chips x 4 cores (the Fig. 3 / Fig. 8 system).
+ClusterSpec itanium_smp_node();
+
+}  // namespace clusters
+
+}  // namespace chronosync

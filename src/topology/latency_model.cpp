@@ -1,0 +1,77 @@
+#include "topology/latency_model.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+HierarchicalLatencyModel::HierarchicalLatencyModel(LinkParams same_chip, LinkParams same_node,
+                                                   LinkParams cross_node)
+    : params_{same_chip, same_node, cross_node} {
+  for (const auto& p : params_) {
+    CS_REQUIRE(p.base > 0.0, "latency floor must be positive");
+    CS_REQUIRE(p.per_byte >= 0.0 && p.jitter_sigma >= 0.0, "negative latency parameter");
+  }
+}
+
+const LinkParams& HierarchicalLatencyModel::params(CommDomain d) const {
+  CS_REQUIRE(d != CommDomain::SameCore, "messages between co-located ranks are not modeled");
+  return params_[static_cast<std::size_t>(d) - 1];
+}
+
+Duration HierarchicalLatencyModel::min_latency(CommDomain d, std::size_t bytes) const {
+  const LinkParams& p = params(d);
+  return p.base + p.per_byte * static_cast<double>(bytes);
+}
+
+Duration HierarchicalLatencyModel::sample(CommDomain d, std::size_t bytes, Rng& rng) const {
+  const LinkParams& p = params(d);
+  const Duration floor = min_latency(d, bytes);
+  // Multiplicative lognormal jitter keeps the sample >= the deterministic
+  // floor: exp(|N|) >= 1.
+  Duration lat = floor * std::exp(std::abs(rng.normal(0.0, p.jitter_sigma)));
+  if (p.tail_prob > 0.0 && rng.bernoulli(p.tail_prob)) {
+    lat += rng.exponential(1.0 / p.tail_scale);
+  }
+  return lat;
+}
+
+Duration HierarchicalLatencyModel::min_latency(const CoreLocation& a, const CoreLocation& b,
+                                               std::size_t bytes) const {
+  return min_latency(classify(a, b), bytes);
+}
+
+Duration HierarchicalLatencyModel::sample(const CoreLocation& a, const CoreLocation& b,
+                                          std::size_t bytes, Rng& rng) const {
+  return sample(classify(a, b), bytes, rng);
+}
+
+namespace latencies {
+
+HierarchicalLatencyModel xeon_infiniband() {
+  // Bases reproduce Table II: 0.47 / 0.86 / 4.29 us.  Per-byte costs
+  // correspond to ~5 GB/s shared-memory copies and ~1.4 GB/s InfiniBand DDR.
+  LinkParams chip{0.47 * units::us, 0.2e-9, 0.010, 0.0005, 3.0 * units::us};
+  LinkParams node{0.86 * units::us, 0.25e-9, 0.012, 0.0005, 3.0 * units::us};
+  LinkParams net{4.29 * units::us, 0.7e-9, 0.020, 0.0010, 8.0 * units::us};
+  return {chip, node, net};
+}
+
+HierarchicalLatencyModel powerpc_myrinet() {
+  LinkParams chip{0.55 * units::us, 0.25e-9, 0.010, 0.0005, 3.0 * units::us};
+  LinkParams node{0.95 * units::us, 0.3e-9, 0.012, 0.0005, 3.0 * units::us};
+  LinkParams net{5.8 * units::us, 0.9e-9, 0.030, 0.0015, 10.0 * units::us};
+  return {chip, node, net};
+}
+
+HierarchicalLatencyModel opteron_seastar() {
+  LinkParams chip{0.50 * units::us, 0.22e-9, 0.010, 0.0005, 3.0 * units::us};
+  LinkParams node{0.90 * units::us, 0.28e-9, 0.012, 0.0005, 3.0 * units::us};
+  LinkParams net{6.5 * units::us, 0.8e-9, 0.035, 0.0015, 12.0 * units::us};
+  return {chip, node, net};
+}
+
+}  // namespace latencies
+
+}  // namespace chronosync

@@ -1,0 +1,63 @@
+// Hierarchical message latency model.
+//
+// Table II of the paper gives the Xeon cluster's measured point-to-point
+// latencies per communication domain (0.47 us same-chip, 0.86 us same-node,
+// 4.29 us cross-node).  The clock condition compares timestamp error against
+// exactly these numbers, so the model exposes both the deterministic minimum
+// (`min_latency`, the l_min of Eq. 1) and a stochastic per-message sample.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "topology/pinning.hpp"
+
+namespace chronosync {
+
+/// Per-domain latency parameters.
+struct LinkParams {
+  Duration base = 0.0;        ///< zero-byte latency floor (s)
+  double per_byte = 0.0;      ///< transfer cost per payload byte (s/B)
+  double jitter_sigma = 0.0;  ///< lognormal sigma of the multiplicative jitter
+  double tail_prob = 0.0;     ///< probability of a congestion/OS tail event
+  Duration tail_scale = 0.0;  ///< exponential scale of the tail delay (s)
+};
+
+class HierarchicalLatencyModel {
+ public:
+  HierarchicalLatencyModel(LinkParams same_chip, LinkParams same_node, LinkParams cross_node);
+
+  const LinkParams& params(CommDomain d) const;
+
+  /// Deterministic minimum latency for a message of `bytes` in domain `d`;
+  /// this is the l_min the clock condition uses.
+  Duration min_latency(CommDomain d, std::size_t bytes = 0) const;
+
+  /// One stochastic latency draw (>= min_latency by construction).
+  Duration sample(CommDomain d, std::size_t bytes, Rng& rng) const;
+
+  /// Convenience overloads resolving the domain from locations.
+  Duration min_latency(const CoreLocation& a, const CoreLocation& b, std::size_t bytes = 0) const;
+  Duration sample(const CoreLocation& a, const CoreLocation& b, std::size_t bytes,
+                  Rng& rng) const;
+
+ private:
+  std::array<LinkParams, 3> params_;  // indexed SameChip, SameNode, CrossNode
+};
+
+namespace latencies {
+
+/// Xeon/InfiniBand parameters calibrated to Table II.
+HierarchicalLatencyModel xeon_infiniband();
+
+/// PowerPC/Myrinet (MareNostrum): slightly higher cross-node latency.
+HierarchicalLatencyModel powerpc_myrinet();
+
+/// Opteron/SeaStar (Jaguar XT3) 3-D torus.
+HierarchicalLatencyModel opteron_seastar();
+
+}  // namespace latencies
+
+}  // namespace chronosync

@@ -1,0 +1,57 @@
+#include "trace/logical_messages.hpp"
+
+namespace chronosync {
+
+std::vector<LogicalMessage> derive_logical_messages(
+    const Trace& /*trace*/, const std::vector<CollectiveInstance>& collectives) {
+  std::vector<LogicalMessage> out;
+  for (const auto& inst : collectives) {
+    const CollectiveFlavor flavor = flavor_of(inst.kind);
+    auto begin_of = [&](Rank r) -> const EventRef* {
+      for (const auto& ref : inst.begins) {
+        if (ref.proc == r) return &ref;
+      }
+      return nullptr;
+    };
+
+    switch (flavor) {
+      case CollectiveFlavor::OneToN: {
+        const EventRef* root_begin = begin_of(inst.root);
+        if (!root_begin) break;
+        for (const auto& end : inst.ends) {
+          if (end.proc == inst.root) continue;
+          out.push_back({*root_begin, end, inst.coll_id});
+        }
+        break;
+      }
+      case CollectiveFlavor::NToOne: {
+        const EventRef* root_end = nullptr;
+        for (const auto& end : inst.ends) {
+          if (end.proc == inst.root) root_end = &end;
+        }
+        if (!root_end) break;
+        for (const auto& begin : inst.begins) {
+          if (begin.proc == inst.root) continue;
+          out.push_back({begin, *root_end, inst.coll_id});
+        }
+        break;
+      }
+      case CollectiveFlavor::NToN: {
+        for (const auto& begin : inst.begins) {
+          for (const auto& end : inst.ends) {
+            if (begin.proc == end.proc) continue;
+            out.push_back({begin, end, inst.coll_id});
+          }
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<LogicalMessage> derive_logical_messages(const Trace& trace) {
+  return derive_logical_messages(trace, trace.collect_collectives());
+}
+
+}  // namespace chronosync

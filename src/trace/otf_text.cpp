@@ -1,0 +1,140 @@
+#include "trace/otf_text.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+namespace {
+
+const std::map<std::string, EventType>& event_names() {
+  static const std::map<std::string, EventType> names = {
+      {"ENTER", EventType::Enter},
+      {"EXIT", EventType::Exit},
+      {"SEND", EventType::Send},
+      {"RECV", EventType::Recv},
+      {"COLL_BEGIN", EventType::CollBegin},
+      {"COLL_END", EventType::CollEnd},
+      {"FORK", EventType::Fork},
+      {"JOIN", EventType::Join},
+      {"BARR_ENTER", EventType::BarrierEnter},
+      {"BARR_EXIT", EventType::BarrierExit},
+  };
+  return names;
+}
+
+}  // namespace
+
+void write_text_trace(const Trace& trace, std::ostream& out) {
+  out << "CSTXT 1\n";
+  out << "TIMER " << trace.timer_name() << '\n';
+  out << std::setprecision(17);
+  out << "LATENCY";
+  for (Duration d : trace.domain_min_latency()) out << ' ' << d;
+  out << '\n';
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    const CoreLocation& loc = trace.placement().location(r);
+    out << "RANK " << r << ' ' << loc.node << ' ' << loc.chip << ' ' << loc.core << '\n';
+  }
+  for (std::size_t i = 0; i < trace.regions().size(); ++i) {
+    out << "REGION " << i << ' ' << trace.regions()[i] << '\n';
+  }
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    for (const Event& e : trace.events(r)) {
+      out << "EV " << r << ' ' << to_string(e.type) << ' ' << e.local_ts << ' ' << e.true_ts
+          << ' ' << e.region << ' ' << e.peer << ' ' << e.tag << ' ' << e.bytes << ' '
+          << e.msg_id << ' ' << static_cast<int>(e.coll) << ' ' << e.coll_id << ' ' << e.root
+          << ' ' << e.omp_instance << ' ' << e.thread << '\n';
+    }
+  }
+  CS_REQUIRE(out.good(), "text trace write failed");
+}
+
+void write_text_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream f(path);
+  CS_REQUIRE(f.good(), "cannot open text trace for writing: " + path);
+  write_text_trace(trace, f);
+}
+
+Trace read_text_trace(std::istream& in) {
+  std::string line;
+  CS_REQUIRE(std::getline(in, line) && line.rfind("CSTXT 1", 0) == 0,
+             "not a chronosync text trace");
+
+  std::string timer = "unknown";
+  std::array<Duration, 3> lat{1e-6, 1e-6, 1e-6};
+  std::vector<CoreLocation> locs;
+  std::vector<std::pair<std::size_t, std::string>> regions;
+  struct PendingEvent {
+    Rank rank;
+    Event event;
+  };
+  std::vector<PendingEvent> events;
+
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "TIMER") {
+      ls >> timer;
+    } else if (kind == "LATENCY") {
+      ls >> lat[0] >> lat[1] >> lat[2];
+    } else if (kind == "RANK") {
+      int id = 0;
+      CoreLocation loc;
+      ls >> id >> loc.node >> loc.chip >> loc.core;
+      CS_REQUIRE(id == static_cast<int>(locs.size()), "RANK records out of order");
+      locs.push_back(loc);
+    } else if (kind == "REGION") {
+      std::size_t id = 0;
+      ls >> id;
+      std::string name;
+      std::getline(ls, name);
+      if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+      regions.emplace_back(id, name);
+    } else if (kind == "EV") {
+      PendingEvent pe;
+      std::string type_name;
+      int coll = 0;
+      ls >> pe.rank >> type_name >> pe.event.local_ts >> pe.event.true_ts >>
+          pe.event.region >> pe.event.peer >> pe.event.tag >> pe.event.bytes >>
+          pe.event.msg_id >> coll >> pe.event.coll_id >> pe.event.root >>
+          pe.event.omp_instance >> pe.event.thread;
+      CS_REQUIRE(!ls.fail(), "malformed EV record: " + line);
+      auto it = event_names().find(type_name);
+      CS_REQUIRE(it != event_names().end(), "unknown event type: " + type_name);
+      pe.event.type = it->second;
+      pe.event.coll = static_cast<CollectiveKind>(coll);
+      events.push_back(pe);
+    } else {
+      CS_REQUIRE(false, "unknown record kind: " + kind);
+    }
+  }
+  CS_REQUIRE(!locs.empty(), "text trace without RANK records");
+
+  Trace trace(Placement(std::move(locs)), lat, timer);
+  for (const auto& [id, name] : regions) {
+    const auto got = trace.intern_region(name);
+    CS_REQUIRE(static_cast<std::size_t>(got) == id, "REGION records out of order");
+  }
+  for (auto& pe : events) {
+    CS_REQUIRE(pe.rank >= 0 && pe.rank < trace.ranks(), "EV rank out of range");
+    trace.events(pe.rank).push_back(pe.event);
+  }
+  return trace;
+}
+
+Trace read_text_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  CS_REQUIRE(f.good(), "cannot open text trace for reading: " + path);
+  return read_text_trace(f);
+}
+
+}  // namespace chronosync

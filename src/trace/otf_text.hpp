@@ -1,0 +1,29 @@
+// Line-based text trace format (OTF-style), for interop, diffing, and
+// debugging.  One record per line, whitespace-separated:
+//
+//   CSTXT 1
+//   TIMER <name>
+//   LATENCY <same-chip> <same-node> <cross-node>
+//   RANK <id> <node> <chip> <core>
+//   REGION <id> <name...>
+//   EV <rank> <type> <local_ts> <true_ts> <region> <peer> <tag> <bytes>
+//      <msg_id> <coll> <coll_id> <root> <omp_instance> <thread>
+//
+// Timestamps are printed with 17 significant digits, so a round trip is
+// exact for doubles.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace chronosync {
+
+void write_text_trace(const Trace& trace, std::ostream& out);
+void write_text_trace_file(const Trace& trace, const std::string& path);
+
+Trace read_text_trace(std::istream& in);
+Trace read_text_trace_file(const std::string& path);
+
+}  // namespace chronosync

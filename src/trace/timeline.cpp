@@ -1,0 +1,97 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+namespace {
+
+char glyph(EventType t) {
+  switch (t) {
+    case EventType::Enter: return 'E';
+    case EventType::Exit: return 'X';
+    case EventType::Send: return 'S';
+    case EventType::Recv: return 'R';
+    case EventType::CollBegin: return 'C';
+    case EventType::CollEnd: return 'c';
+    case EventType::Fork: return 'F';
+    case EventType::Join: return 'J';
+    case EventType::BarrierEnter: return 'b';
+    case EventType::BarrierExit: return 'e';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string render_timeline(const Trace& trace, const TimestampArray& timestamps,
+                            const TimelineOptions& options) {
+  CS_REQUIRE(options.width >= 10, "timeline too narrow");
+
+  Time lo = options.start;
+  Time hi = options.end;
+  if (hi <= lo) {
+    lo = std::numeric_limits<Time>::infinity();
+    hi = -std::numeric_limits<Time>::infinity();
+    for (Rank r = 0; r < trace.ranks(); ++r) {
+      const auto& ts = timestamps.of_rank(r);
+      if (ts.empty()) continue;
+      lo = std::min(lo, *std::min_element(ts.begin(), ts.end()));
+      hi = std::max(hi, *std::max_element(ts.begin(), ts.end()));
+    }
+    if (!(hi > lo)) {  // empty or single-instant trace
+      lo = 0.0;
+      hi = 1.0;
+    }
+  }
+  const double span = hi - lo;
+
+  std::ostringstream os;
+  os << "timeline [" << std::fixed << std::setprecision(6) << lo << " s .. " << hi
+     << " s], " << options.width << " cols, " << to_us(span / options.width)
+     << " us/col\n";
+
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    std::string lane(options.width, '-');
+    const auto& events = trace.events(r);
+    for (std::uint32_t i = 0; i < events.size(); ++i) {
+      const Time t = timestamps.at({r, i});
+      if (t < lo || t > hi) continue;
+      auto col = static_cast<std::size_t>((t - lo) / span * (options.width - 1));
+      col = std::min(col, options.width - 1);
+      lane[col] = lane[col] == '-' ? glyph(events[i].type) : '*';
+    }
+    os << "rank " << std::setw(3) << r << " |" << lane << "|\n";
+  }
+
+  if (options.max_messages > 0) {
+    const auto msgs = trace.match_messages();
+    std::size_t shown = 0, backwards = 0;
+    std::ostringstream rows;
+    for (const auto& m : msgs) {
+      const Time ts = timestamps.at(m.send);
+      const Time tr = timestamps.at(m.recv);
+      const bool in_window =
+          (ts >= lo && ts <= hi) || (tr >= lo && tr <= hi);
+      if (!in_window) continue;
+      if (tr < ts) ++backwards;
+      if (shown < options.max_messages) {
+        rows << "  " << m.send.proc << " -> " << m.recv.proc << "  flight "
+             << std::setprecision(3) << to_us(tr - ts) << " us"
+             << (tr < ts ? "  <-- ARROW POINTS BACKWARD" : "") << '\n';
+        ++shown;
+      }
+    }
+    os << "messages in window (" << shown << " shown, " << backwards
+       << " pointing backward):\n"
+       << rows.str();
+  }
+  return os.str();
+}
+
+}  // namespace chronosync

@@ -1,0 +1,29 @@
+// ASCII time-line rendering of traces.
+//
+// A poor man's Vampir (ref. [11]): one lane per rank with event glyphs, plus
+// a message table that flags "arrows pointing backward in time" — the
+// paper's canonical symptom of clock-condition violations in visualizers.
+//
+// Glyphs: E enter, X exit, S send, R recv, C collective begin, c collective
+// end, F fork, J join, b barrier enter, e barrier exit, * several events in
+// one column.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace chronosync {
+
+struct TimelineOptions {
+  Time start = 0.0;           ///< window start (timestamp units)
+  Time end = 0.0;             ///< window end; end <= start -> auto-fit whole trace
+  std::size_t width = 96;     ///< characters per lane
+  std::size_t max_messages = 20;  ///< rows in the message table (0 = none)
+};
+
+/// Renders the trace's events under the given timestamps.
+std::string render_timeline(const Trace& trace, const TimestampArray& timestamps,
+                            const TimelineOptions& options = {});
+
+}  // namespace chronosync

@@ -1,0 +1,193 @@
+#include "trace/trace_io.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43535452;  // "CSTR"
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::ostream& o, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  o.write(b, 4);
+}
+
+void put_u64(std::ostream& o, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  o.write(b, 8);
+}
+
+void put_i64(std::ostream& o, std::int64_t v) { put_u64(o, std::bit_cast<std::uint64_t>(v)); }
+void put_i32(std::ostream& o, std::int32_t v) { put_u32(o, std::bit_cast<std::uint32_t>(v)); }
+void put_f64(std::ostream& o, double v) { put_u64(o, std::bit_cast<std::uint64_t>(v)); }
+
+void put_str(std::ostream& o, const std::string& s) {
+  put_u32(o, static_cast<std::uint32_t>(s.size()));
+  o.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::uint32_t get_u32(std::istream& i) {
+  char b[4];
+  i.read(b, 4);
+  CS_REQUIRE(i.good(), "truncated trace stream");
+  std::uint32_t v;
+  std::memcpy(&v, b, 4);
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& i) {
+  char b[8];
+  i.read(b, 8);
+  CS_REQUIRE(i.good(), "truncated trace stream");
+  std::uint64_t v;
+  std::memcpy(&v, b, 8);
+  return v;
+}
+
+std::int64_t get_i64(std::istream& i) { return std::bit_cast<std::int64_t>(get_u64(i)); }
+std::int32_t get_i32(std::istream& i) { return std::bit_cast<std::int32_t>(get_u32(i)); }
+double get_f64(std::istream& i) { return std::bit_cast<double>(get_u64(i)); }
+
+std::string get_str(std::istream& i) {
+  const auto n = get_u32(i);
+  std::string s(n, '\0');
+  i.read(s.data(), n);
+  CS_REQUIRE(i.good(), "truncated trace stream");
+  return s;
+}
+
+}  // namespace
+
+void write_trace(const Trace& trace, std::ostream& out) {
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+  put_str(out, trace.timer_name());
+
+  put_u32(out, static_cast<std::uint32_t>(trace.ranks()));
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    const CoreLocation& loc = trace.placement().location(r);
+    put_i32(out, loc.node);
+    put_i32(out, loc.chip);
+    put_i32(out, loc.core);
+  }
+  for (Duration d : trace.domain_min_latency()) put_f64(out, d);
+
+  put_u32(out, static_cast<std::uint32_t>(trace.regions().size()));
+  for (const auto& name : trace.regions()) put_str(out, name);
+
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    const auto& ev = trace.events(r);
+    put_u64(out, ev.size());
+    for (const Event& e : ev) {
+      put_u32(out, static_cast<std::uint32_t>(e.type));
+      put_f64(out, e.local_ts);
+      put_f64(out, e.true_ts);
+      put_i32(out, e.region);
+      put_i32(out, e.peer);
+      put_i32(out, e.tag);
+      put_u32(out, e.bytes);
+      put_i64(out, e.msg_id);
+      put_u32(out, static_cast<std::uint32_t>(e.coll));
+      put_i64(out, e.coll_id);
+      put_i32(out, e.root);
+      put_i32(out, e.omp_instance);
+      put_i32(out, e.thread);
+    }
+  }
+  CS_REQUIRE(out.good(), "trace write failed");
+}
+
+void write_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  CS_REQUIRE(f.good(), "cannot open trace file for writing: " + path);
+  write_trace(trace, f);
+}
+
+Trace read_trace(std::istream& in) {
+  CS_REQUIRE(get_u32(in) == kMagic, "not a chronosync trace stream");
+  CS_REQUIRE(get_u32(in) == kVersion, "unsupported trace version");
+  const std::string timer = get_str(in);
+
+  const auto nranks = get_u32(in);
+  std::vector<CoreLocation> locs(nranks);
+  for (auto& loc : locs) {
+    loc.node = get_i32(in);
+    loc.chip = get_i32(in);
+    loc.core = get_i32(in);
+  }
+  std::array<Duration, 3> lat{};
+  for (auto& d : lat) d = get_f64(in);
+
+  Trace trace(Placement(std::move(locs)), lat, timer);
+
+  const auto nregions = get_u32(in);
+  for (std::uint32_t i = 0; i < nregions; ++i) trace.intern_region(get_str(in));
+
+  for (Rank r = 0; r < static_cast<Rank>(nranks); ++r) {
+    const auto n = get_u64(in);
+    auto& ev = trace.events(r);
+    ev.resize(n);
+    for (auto& e : ev) {
+      e.type = static_cast<EventType>(get_u32(in));
+      e.local_ts = get_f64(in);
+      e.true_ts = get_f64(in);
+      e.region = get_i32(in);
+      e.peer = get_i32(in);
+      e.tag = get_i32(in);
+      e.bytes = get_u32(in);
+      e.msg_id = get_i64(in);
+      e.coll = static_cast<CollectiveKind>(get_u32(in));
+      e.coll_id = get_i64(in);
+      e.root = get_i32(in);
+      e.omp_instance = get_i32(in);
+      e.thread = get_i32(in);
+    }
+  }
+  return trace;
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  CS_REQUIRE(f.good(), "cannot open trace file for reading: " + path);
+  return read_trace(f);
+}
+
+std::string dump_trace(const Trace& trace, std::size_t max_events_per_rank) {
+  std::ostringstream os;
+  os << "trace: timer=" << trace.timer_name() << " ranks=" << trace.ranks()
+     << " events=" << trace.total_events() << '\n';
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    const auto& ev = trace.events(r);
+    os << "rank " << r << " (" << ev.size() << " events)\n";
+    for (std::size_t i = 0; i < std::min(ev.size(), max_events_per_rank); ++i) {
+      const Event& e = ev[i];
+      os << "  [" << std::setw(6) << i << "] " << std::fixed << std::setprecision(9)
+         << e.local_ts << "  " << to_string(e.type);
+      if (e.type == EventType::Send || e.type == EventType::Recv) {
+        os << " peer=" << e.peer << " tag=" << e.tag << " bytes=" << e.bytes
+           << " id=" << e.msg_id;
+      } else if (e.type == EventType::CollBegin || e.type == EventType::CollEnd) {
+        os << " " << to_string(e.coll) << " id=" << e.coll_id;
+      } else if (e.type == EventType::Enter || e.type == EventType::Exit) {
+        if (e.region >= 0) os << " region=" << trace.region_name(e.region);
+      }
+      os << '\n';
+    }
+    if (ev.size() > max_events_per_rank) os << "  ...\n";
+  }
+  return os.str();
+}
+
+}  // namespace chronosync

@@ -1,0 +1,25 @@
+// Binary trace serialization plus a human-readable dump.
+//
+// The format is a simple versioned container ("CSTR"): metadata (timer name,
+// placement, minimum latencies, region table) followed by per-rank event
+// arrays.  Numbers are little-endian fixed-width; doubles are IEEE-754 bit
+// patterns.  Round-tripping a trace is exact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace chronosync {
+
+void write_trace(const Trace& trace, std::ostream& out);
+void write_trace_file(const Trace& trace, const std::string& path);
+
+Trace read_trace(std::istream& in);
+Trace read_trace_file(const std::string& path);
+
+/// Text rendering of the first `max_events_per_rank` events of each rank.
+std::string dump_trace(const Trace& trace, std::size_t max_events_per_rank = 50);
+
+}  // namespace chronosync

@@ -1,0 +1,84 @@
+#include "workload/pop.hpp"
+
+#include <array>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+namespace {
+
+constexpr Tag kHaloTag = 101;
+
+struct Grid2D {
+  int px, py;
+  int x(Rank r) const { return r % px; }
+  int y(Rank r) const { return r / px; }
+  static int wrap(int v, int n) { return ((v % n) + n) % n; }
+  Rank at(int gx, int gy) const { return wrap(gy, py) * px + wrap(gx, px); }
+};
+
+}  // namespace
+
+Coro<void> pop_rank(Proc& p, const PopConfig& cfg, OffsetStore& store) {
+  const Grid2D grid{cfg.px, cfg.py};
+  CS_REQUIRE(cfg.px * cfg.py == p.nranks(), "grid does not match rank count");
+  CS_REQUIRE(0 <= cfg.traced_begin && cfg.traced_begin <= cfg.traced_end &&
+                 cfg.traced_end <= cfg.total_iterations,
+             "bad tracing window");
+
+  const int gx = grid.x(p.rank());
+  const int gy = grid.y(p.rank());
+  const std::array<Rank, 4> neighbors = {
+      grid.at(gx - 1, gy), grid.at(gx + 1, gy), grid.at(gx, gy - 1), grid.at(gx, gy + 1)};
+
+  const std::int32_t step_region = p.region("pop_step");
+
+  // MPI_Init: Scalasca measures offsets here.
+  p.set_tracing(false);
+  co_await probe_offsets(p, store, cfg.probe_pings);
+
+  // Fast-forward the untraced leading iterations as equivalent compute time,
+  // then resynchronize (the real code would stay loosely coupled through its
+  // halo dependencies).
+  if (cfg.traced_begin > 0) {
+    co_await p.compute(cfg.iter_compute * cfg.traced_begin);
+    co_await p.barrier();
+  }
+
+  p.set_tracing(true);
+  for (int it = cfg.traced_begin; it < cfg.traced_end; ++it) {
+    p.enter(step_region);
+    const Duration work = std::max(
+        0.0, p.rng().normal(cfg.iter_compute, cfg.compute_imbalance * cfg.iter_compute));
+    co_await p.compute(work);
+    // Halo exchange, POP style: post receives, start sends, wait for all.
+    std::vector<Request> reqs;
+    reqs.reserve(2 * neighbors.size());
+    for (Rank nb : neighbors) reqs.push_back(p.irecv(nb, kHaloTag));
+    for (Rank nb : neighbors) reqs.push_back(p.isend(nb, kHaloTag, cfg.halo_bytes));
+    co_await p.waitall(std::move(reqs));
+    // Global diagnostics.
+    co_await p.allreduce(cfg.reduce_bytes);
+    p.exit(step_region);
+  }
+  p.set_tracing(false);
+
+  if (cfg.traced_end < cfg.total_iterations) {
+    co_await p.compute(cfg.iter_compute * (cfg.total_iterations - cfg.traced_end));
+    co_await p.barrier();
+  }
+
+  // MPI_Finalize: second offset measurement.
+  co_await probe_offsets(p, store, cfg.probe_pings);
+}
+
+AppRunResult run_pop(const PopConfig& cfg, JobConfig job_cfg) {
+  job_cfg.start_tracing = false;
+  Job job(std::move(job_cfg));
+  OffsetStore store(job.ranks());
+  job.run([&](Proc& p) { return pop_rank(p, cfg, store); });
+  return {job.take_trace(), std::move(store)};
+}
+
+}  // namespace chronosync

@@ -1,0 +1,43 @@
+// POP proxy workload.
+//
+// The Parallel Ocean Program's communication signature, as exercised in the
+// paper's Fig. 7 experiment: a 2-D domain decomposition doing a boundary
+// (halo) exchange with its four torus neighbours plus a global allreduce
+// (energy diagnostics) every iteration.  The paper traced iterations
+// 3500..5500 of a 9000-iteration mref run (~25 min); untraced leading and
+// trailing iterations are fast-forwarded as equivalent compute time, which
+// preserves both the virtual-time span (clock drift accrues identically) and
+// the ~full-run interpolation interval.
+#pragma once
+
+#include "measure/offset_probe.hpp"
+#include "mpisim/job.hpp"
+
+namespace chronosync {
+
+struct PopConfig {
+  int px = 8;                     ///< process grid (px * py ranks)
+  int py = 4;
+  int total_iterations = 9000;
+  int traced_begin = 3500;        ///< first traced iteration
+  int traced_end = 5500;          ///< one past the last traced iteration
+  Duration iter_compute = 150 * units::ms;  ///< per-iteration compute
+  double compute_imbalance = 0.02;          ///< relative spread across ranks
+  std::uint32_t halo_bytes = 16 * 1024;
+  std::uint32_t reduce_bytes = 8;
+  int probe_pings = 10;           ///< Cristian pings per worker per batch
+};
+
+struct AppRunResult {
+  Trace trace;
+  OffsetStore offsets;  ///< measurements taken at init and finalize
+};
+
+/// Builds and runs a full POP job (offset probe, fast-forward, traced phase,
+/// fast-forward, offset probe) and returns the trace plus the offset store.
+AppRunResult run_pop(const PopConfig& cfg, JobConfig job_cfg);
+
+/// The SPMD body, exposed for direct use on an existing Job.
+[[nodiscard]] Coro<void> pop_rank(Proc& p, const PopConfig& cfg, OffsetStore& store);
+
+}  // namespace chronosync

@@ -1,0 +1,104 @@
+#include "workload/smg2000.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+namespace {
+
+constexpr Tag kSmgTag = 202;
+
+struct Grid2D {
+  int px, py;
+  int x(Rank r) const { return r % px; }
+  int y(Rank r) const { return r / px; }
+  static int wrap(int v, int n) { return ((v % n) + n) % n; }
+  Rank at(int gx, int gy) const { return wrap(gy, py) * px + wrap(gx, px); }
+};
+
+}  // namespace
+
+Coro<void> smg_rank(Proc& p, const SmgConfig& cfg, OffsetStore& store) {
+  const Grid2D grid{cfg.px, cfg.py};
+  CS_REQUIRE(cfg.px * cfg.py == p.nranks(), "grid does not match rank count");
+
+  const int gx = grid.x(p.rank());
+  const int gy = grid.y(p.rank());
+  const std::int32_t cycle_region = p.region("smg_vcycle");
+  const std::int32_t setup_region = p.region("smg_setup");
+
+  // Partners at distance 2^level in both grid dimensions: the long-range
+  // pattern that distinguishes SMG2000 from stencil codes.
+  auto partners_at = [&](int level) {
+    const int d = 1 << level;
+    std::vector<Rank> out = {grid.at(gx - d, gy), grid.at(gx + d, gy),
+                             grid.at(gx, gy - d), grid.at(gx, gy + d)};
+    // Deduplicate partners that wrap onto each other (small grids, large d)
+    // and drop self-partners.
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    out.erase(std::remove(out.begin(), out.end(), p.rank()), out.end());
+    return out;
+  };
+
+  auto exchange_level = [&](int level) -> Coro<void> {
+    const auto partners = partners_at(level);
+    const std::uint32_t bytes =
+        std::max<std::uint32_t>(64, cfg.level_bytes >> static_cast<unsigned>(level));
+    for (Rank nb : partners) co_await p.send(nb, kSmgTag, bytes);
+    for (Rank nb : partners) co_await p.recv(nb, kSmgTag);
+    co_await p.compute(std::max(
+        0.0, p.rng().normal(cfg.level_compute / static_cast<double>(1 << level),
+                            0.05 * cfg.level_compute)));
+  };
+
+  // MPI_Init with offset measurement, then the pre-phase sleep.
+  p.set_tracing(false);
+  co_await probe_offsets(p, store, cfg.probe_pings);
+  co_await p.compute(cfg.pre_sleep);
+  co_await p.barrier();
+
+  p.set_tracing(true);
+
+  // Setup: coefficient exchange across several level distances.
+  p.enter(setup_region);
+  for (int s = 0; s < cfg.setup_exchanges; ++s) {
+    for (int level = 0; level < cfg.levels; ++level) {
+      co_await exchange_level(level);
+    }
+  }
+  co_await p.allreduce(8);
+  p.exit(setup_region);
+
+  // Solver: V-cycles down and up the level hierarchy, plus the residual
+  // norm's allreduce per iteration.
+  for (int it = 0; it < cfg.iterations; ++it) {
+    p.enter(cycle_region);
+    for (int level = 0; level < cfg.levels; ++level) {
+      co_await exchange_level(level);
+    }
+    for (int level = cfg.levels - 1; level >= 0; --level) {
+      co_await exchange_level(level);
+    }
+    co_await p.allreduce(8);
+    p.exit(cycle_region);
+  }
+  p.set_tracing(false);
+
+  co_await p.compute(cfg.post_sleep);
+  co_await p.barrier();
+  co_await probe_offsets(p, store, cfg.probe_pings);
+}
+
+AppRunResult run_smg(const SmgConfig& cfg, JobConfig job_cfg) {
+  job_cfg.start_tracing = false;
+  Job job(std::move(job_cfg));
+  OffsetStore store(job.ranks());
+  job.run([&](Proc& p) { return smg_rank(p, cfg, store); });
+  return {job.take_trace(), std::move(store)};
+}
+
+}  // namespace chronosync

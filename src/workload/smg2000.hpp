@@ -1,0 +1,35 @@
+// SMG2000 proxy workload.
+//
+// The ASC SMG2000 benchmark is a semicoarsening multigrid solver whose
+// signature property (for this paper) is a large volume of
+// *non-nearest-neighbour* point-to-point communication: every V-cycle level
+// talks to partners at doubling distances in the process grid.  The paper ran
+// a small problem (5 solver iterations) padded with sleeps so the main phase
+// sat ten minutes after initialization and ten minutes before finalization,
+// stretching Scalasca's interpolation interval to ~20 minutes.
+#pragma once
+
+#include "measure/offset_probe.hpp"
+#include "mpisim/job.hpp"
+#include "workload/pop.hpp"  // AppRunResult
+
+namespace chronosync {
+
+struct SmgConfig {
+  int px = 8;           ///< process grid (px * py ranks)
+  int py = 4;
+  int levels = 5;       ///< multigrid levels per cycle
+  int iterations = 5;   ///< solver iterations (V-cycles)
+  int setup_exchanges = 3;  ///< extra exchanges during setup phase
+  Duration level_compute = 2 * units::ms;   ///< finest-level smoothing time
+  std::uint32_t level_bytes = 8 * 1024;     ///< finest-level message size
+  Duration pre_sleep = 600.0;   ///< seconds before the main phase
+  Duration post_sleep = 600.0;  ///< seconds after the main phase
+  int probe_pings = 10;
+};
+
+AppRunResult run_smg(const SmgConfig& cfg, JobConfig job_cfg);
+
+[[nodiscard]] Coro<void> smg_rank(Proc& p, const SmgConfig& cfg, OffsetStore& store);
+
+}  // namespace chronosync

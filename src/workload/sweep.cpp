@@ -1,0 +1,50 @@
+#include "workload/sweep.hpp"
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+namespace {
+constexpr Tag kSweepTag = 303;
+}
+
+Coro<void> sweep_rank(Proc& p, const SweepConfig& cfg, OffsetStore& store) {
+  const int n = p.nranks();
+  CS_REQUIRE(n >= 2, "sweep needs at least two ranks");
+  Rng shifts(cfg.shift_seed);  // identical on every rank by construction
+  const std::int32_t region = p.region("sweep_round");
+
+  if (cfg.probe) {
+    p.set_tracing(false);
+    co_await probe_offsets(p, store, cfg.probe_pings);
+    p.set_tracing(true);
+  }
+
+  for (int round = 0; round < cfg.rounds; ++round) {
+    const auto s = static_cast<Rank>(shifts.uniform_int(1, n - 1));
+    const Duration gap = shifts.uniform(cfg.gap_mean * (1.0 - cfg.gap_spread),
+                                        cfg.gap_mean * (1.0 + cfg.gap_spread));
+    p.enter(region);
+    co_await p.compute(gap);
+    co_await p.send((p.rank() + s) % n, kSweepTag, cfg.bytes);
+    co_await p.recv((p.rank() - s + n) % n, kSweepTag);
+    if (cfg.collective_every > 0 && (round + 1) % cfg.collective_every == 0) {
+      co_await p.barrier();
+    }
+    p.exit(region);
+  }
+
+  if (cfg.probe) {
+    p.set_tracing(false);
+    co_await probe_offsets(p, store, cfg.probe_pings);
+  }
+}
+
+AppRunResult run_sweep(const SweepConfig& cfg, JobConfig job_cfg) {
+  Job job(std::move(job_cfg));
+  OffsetStore store(job.ranks());
+  job.run([&](Proc& p) { return sweep_rank(p, cfg, store); });
+  return {job.take_trace(), std::move(store)};
+}
+
+}  // namespace chronosync

@@ -1,0 +1,31 @@
+// Randomized-shift sweep workload.
+//
+// A deterministic deadlock-free random traffic generator: every round all
+// ranks send to (rank + s) mod n and receive from (rank - s) mod n, with the
+// shift sequence s drawn from a seed shared by all ranks.  Gives dense,
+// bidirectional pairwise traffic — the input the error-estimation
+// synchronizers need — without any coordination protocol.
+#pragma once
+
+#include "measure/offset_probe.hpp"
+#include "mpisim/job.hpp"
+#include "workload/pop.hpp"  // AppRunResult
+
+namespace chronosync {
+
+struct SweepConfig {
+  int rounds = 200;
+  std::uint32_t bytes = 512;
+  Duration gap_mean = 50 * units::us;   ///< compute time between rounds
+  double gap_spread = 0.3;              ///< relative spread of the gaps
+  std::uint64_t shift_seed = 7;         ///< shared shift sequence seed
+  int collective_every = 0;             ///< >0: barrier every k rounds
+  int probe_pings = 10;
+  bool probe = true;                    ///< measure offsets at init/finalize
+};
+
+AppRunResult run_sweep(const SweepConfig& cfg, JobConfig job_cfg);
+
+[[nodiscard]] Coro<void> sweep_rank(Proc& p, const SweepConfig& cfg, OffsetStore& store);
+
+}  // namespace chronosync

@@ -1,0 +1,65 @@
+#include "workload/sweep3d.hpp"
+
+#include <array>
+
+#include "common/expect.hpp"
+
+namespace chronosync {
+
+namespace {
+constexpr Tag kFaceTag = 404;
+}
+
+Coro<void> sweep3d_rank(Proc& p, const Sweep3dConfig& cfg, OffsetStore& store) {
+  CS_REQUIRE(cfg.px * cfg.py == p.nranks(), "grid does not match rank count");
+  const int gx = p.rank() % cfg.px;
+  const int gy = p.rank() / cfg.px;
+  const std::int32_t sweep_region = p.region("sweep_octant");
+
+  p.set_tracing(false);
+  co_await probe_offsets(p, store, cfg.probe_pings);
+  p.set_tracing(true);
+
+  // The four octants of a 2-D sweep: (+x,+y), (-x,+y), (+x,-y), (-x,-y).
+  const std::array<std::pair<int, int>, 4> dirs = {{{1, 1}, {-1, 1}, {1, -1}, {-1, -1}}};
+
+  for (int it = 0; it < cfg.iterations; ++it) {
+    for (int o = 0; o < cfg.octants && o < 4; ++o) {
+      const auto [dx, dy] = dirs[static_cast<std::size_t>(o)];
+      // Upstream neighbours (where the wavefront comes from).
+      const int ux = gx - dx;
+      const int uy = gy - dy;
+      // Downstream neighbours (where it continues to).
+      const int wx = gx + dx;
+      const int wy = gy + dy;
+
+      p.enter(sweep_region);
+      for (int block = 0; block < cfg.angles_per_block; ++block) {
+        // Wait for the incoming faces of this k-block (no torus: boundary
+        // ranks start the wavefront).
+        if (ux >= 0 && ux < cfg.px) co_await p.recv(gy * cfg.px + ux, kFaceTag);
+        if (uy >= 0 && uy < cfg.py) co_await p.recv(uy * cfg.px + gx, kFaceTag);
+        co_await p.compute(std::max(
+            0.0, p.rng().normal(cfg.block_compute, cfg.compute_imbalance * cfg.block_compute)));
+        if (wx >= 0 && wx < cfg.px) co_await p.send(gy * cfg.px + wx, kFaceTag, cfg.face_bytes);
+        if (wy >= 0 && wy < cfg.py) co_await p.send(wy * cfg.px + gx, kFaceTag, cfg.face_bytes);
+      }
+      p.exit(sweep_region);
+    }
+    // Convergence check at the end of every source iteration.
+    co_await p.allreduce(8);
+  }
+
+  p.set_tracing(false);
+  co_await probe_offsets(p, store, cfg.probe_pings);
+}
+
+AppRunResult run_sweep3d(const Sweep3dConfig& cfg, JobConfig job_cfg) {
+  job_cfg.start_tracing = false;
+  Job job(std::move(job_cfg));
+  OffsetStore store(job.ranks());
+  job.run([&](Proc& p) { return sweep3d_rank(p, cfg, store); });
+  return {job.take_trace(), std::move(store)};
+}
+
+}  // namespace chronosync

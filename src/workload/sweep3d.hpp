@@ -1,0 +1,33 @@
+// Sweep3D-style wavefront proxy.
+//
+// The ASCI Sweep3D transport kernel pipelines diagonal wavefronts across a
+// 2-D process grid: each rank receives from its upstream neighbours (west
+// and north for the (+x,+y) octant), computes, and forwards to the
+// downstream ones.  Traces are dominated by long serial dependency chains —
+// the hardest shape for timestamp correction, because a single violated
+// receive propagates its correction down the whole pipeline.
+#pragma once
+
+#include "measure/offset_probe.hpp"
+#include "mpisim/job.hpp"
+#include "workload/pop.hpp"  // AppRunResult
+
+namespace chronosync {
+
+struct Sweep3dConfig {
+  int px = 4;                 ///< process grid (px * py ranks)
+  int py = 4;
+  int octants = 4;            ///< sweep directions per iteration
+  int iterations = 10;        ///< outer (source) iterations
+  int angles_per_block = 6;   ///< pipelining depth (k-blocks per octant)
+  Duration block_compute = 500 * units::us;
+  double compute_imbalance = 0.05;
+  std::uint32_t face_bytes = 4096;
+  int probe_pings = 10;
+};
+
+AppRunResult run_sweep3d(const Sweep3dConfig& cfg, JobConfig job_cfg);
+
+[[nodiscard]] Coro<void> sweep3d_rank(Proc& p, const Sweep3dConfig& cfg, OffsetStore& store);
+
+}  // namespace chronosync

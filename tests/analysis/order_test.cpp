@@ -1,0 +1,90 @@
+#include "analysis/order.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sync/clc.hpp"
+#include "sync/interpolation.hpp"
+#include "workload/sweep.hpp"
+
+namespace chronosync {
+namespace {
+
+AppRunResult drifting_run() {
+  SweepConfig cfg;
+  cfg.rounds = 150;
+  cfg.gap_mean = 2.0;
+  cfg.collective_every = 30;
+  JobConfig job;
+  job.placement = pinning::inter_node(clusters::xeon_rwth(), 6);
+  job.timer = timer_specs::intel_tsc();
+  job.seed = 13;
+  return run_sweep(cfg, std::move(job));
+}
+
+TEST(OrderConsistency, TruthIsPerfectlyOrdered) {
+  auto res = drifting_run();
+  const auto oc = order_consistency(res.trace, TimestampArray::from_truth(res.trace));
+  EXPECT_GT(oc.pairs_sampled, 1000u);
+  EXPECT_EQ(oc.misordered, 0u);
+}
+
+TEST(OrderConsistency, RawClocksHeavilyMisordered) {
+  auto res = drifting_run();
+  const auto oc = order_consistency(res.trace, TimestampArray::from_local(res.trace));
+  EXPECT_GT(oc.misordered_fraction(), 0.01);
+  // Among immediate neighbours (the pairs a timeline actually juxtaposes),
+  // ~0.5 s offsets scramble the order almost completely.
+  const auto close = order_consistency(res.trace, TimestampArray::from_local(res.trace),
+                                       20000, 1, 1e-7, /*neighborhood=*/4);
+  EXPECT_GT(close.misordered_fraction(), 0.2);
+  EXPECT_GT(close.misordered_fraction(), oc.misordered_fraction());
+}
+
+TEST(OrderConsistency, CorrectionImprovesOrdering) {
+  auto res = drifting_run();
+  const auto raw = order_consistency(res.trace, TimestampArray::from_local(res.trace));
+  const auto interp =
+      apply_correction(res.trace, LinearInterpolation::from_store(res.offsets));
+  const auto fixed = order_consistency(res.trace, interp);
+  EXPECT_LT(fixed.misordered_fraction(), raw.misordered_fraction() / 10.0);
+}
+
+TEST(OrderConsistency, ClcDoesNotDegradeOrdering) {
+  auto res = drifting_run();
+  const auto interp =
+      apply_correction(res.trace, LinearInterpolation::from_store(res.offsets));
+  const auto msgs = res.trace.match_messages();
+  const auto logical = derive_logical_messages(res.trace);
+  const ReplaySchedule schedule(res.trace, msgs, logical);
+  const ClcResult clc = controlled_logical_clock(res.trace, schedule, interp);
+  const auto before = order_consistency(res.trace, interp);
+  const auto after = order_consistency(res.trace, clc.corrected);
+  EXPECT_LE(after.misordered_fraction(), before.misordered_fraction() * 1.2 + 1e-3);
+}
+
+TEST(OrderConsistency, ResolutionSkipsTies) {
+  auto res = drifting_run();
+  const auto coarse =
+      order_consistency(res.trace, TimestampArray::from_truth(res.trace), 5000, 1, 1.0);
+  const auto fine =
+      order_consistency(res.trace, TimestampArray::from_truth(res.trace), 5000, 1, 1e-9);
+  EXPECT_LT(coarse.pairs_sampled, fine.pairs_sampled);
+}
+
+TEST(OrderConsistency, DeterministicForSeed) {
+  auto res = drifting_run();
+  const auto a = order_consistency(res.trace, TimestampArray::from_local(res.trace), 5000, 7);
+  const auto b = order_consistency(res.trace, TimestampArray::from_local(res.trace), 5000, 7);
+  EXPECT_EQ(a.misordered, b.misordered);
+  EXPECT_EQ(a.pairs_sampled, b.pairs_sampled);
+}
+
+TEST(OrderConsistency, EmptyTraceSafe) {
+  Trace t(pinning::inter_node(clusters::xeon_rwth(), 2), {1e-6, 1e-6, 1e-6}, "test");
+  const auto oc = order_consistency(t, TimestampArray::from_local(t));
+  EXPECT_EQ(oc.pairs_sampled, 0u);
+  EXPECT_DOUBLE_EQ(oc.misordered_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace chronosync

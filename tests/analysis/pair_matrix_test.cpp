@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/clock_condition.hpp"
+#include "clockmodel/timer_spec.hpp"
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+Event make_event(EventType ty, Time t, std::int64_t id, Rank peer) {
+  Event e;
+  e.type = ty;
+  e.local_ts = e.true_ts = t;
+  e.msg_id = id;
+  e.peer = peer;
+  return e;
+}
+
+Trace three_rank_trace() {
+  Trace t(pinning::inter_node(clusters::xeon_rwth(), 3), {0.47e-6, 0.86e-6, 4.29e-6}, "test");
+  // 0 -> 1: fine; 0 -> 1: violated; 1 -> 2: violated; 2 -> 0: fine.
+  t.events(0).push_back(make_event(EventType::Send, 1.0, 0, 1));
+  t.events(0).push_back(make_event(EventType::Send, 2.0, 1, 1));
+  t.events(1).push_back(make_event(EventType::Recv, 1.1, 0, 0));
+  t.events(1).push_back(make_event(EventType::Recv, 1.9, 1, 0));
+  t.events(1).push_back(make_event(EventType::Send, 3.0, 2, 2));
+  t.events(2).push_back(make_event(EventType::Recv, 2.5, 2, 1));
+  t.events(2).push_back(make_event(EventType::Send, 4.0, 3, 0));
+  t.events(0).push_back(make_event(EventType::Recv, 4.1, 3, 2));
+  return t;
+}
+
+TEST(PairMatrix, CountsPerDirectedPair) {
+  Trace t = three_rank_trace();
+  const auto msgs = t.match_messages();
+  const auto m = per_pair_violations(t, TimestampArray::from_local(t), msgs);
+  EXPECT_EQ(m.messages[0][1], 2u);
+  EXPECT_EQ(m.violations[0][1], 1u);
+  EXPECT_EQ(m.messages[1][2], 1u);
+  EXPECT_EQ(m.violations[1][2], 1u);
+  EXPECT_EQ(m.messages[2][0], 1u);
+  EXPECT_EQ(m.violations[2][0], 0u);
+  EXPECT_EQ(m.messages[1][0], 0u);
+}
+
+TEST(PairMatrix, WorstPairsSorted) {
+  Trace t = three_rank_trace();
+  // Make 0 -> 1 worse: add another violated message.
+  t.events(0).push_back(make_event(EventType::Send, 5.0, 4, 1));
+  t.events(1).push_back(make_event(EventType::Recv, 4.9, 4, 0));
+  const auto m = per_pair_violations(t, TimestampArray::from_local(t), t.match_messages());
+  const auto worst = m.worst_pairs();
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_EQ(std::get<0>(worst[0]), 0);
+  EXPECT_EQ(std::get<1>(worst[0]), 1);
+  EXPECT_EQ(std::get<2>(worst[0]), 2u);
+  EXPECT_EQ(std::get<2>(worst[1]), 1u);
+}
+
+TEST(PairMatrix, CleanTraceEmptyWorstList) {
+  Trace t(pinning::inter_node(clusters::xeon_rwth(), 2), {0.47e-6, 0.86e-6, 4.29e-6}, "test");
+  t.events(0).push_back(make_event(EventType::Send, 1.0, 0, 1));
+  t.events(1).push_back(make_event(EventType::Recv, 1.1, 0, 0));
+  const auto m = per_pair_violations(t, TimestampArray::from_local(t), t.match_messages());
+  EXPECT_TRUE(m.worst_pairs().empty());
+}
+
+TEST(TimerRegistry, ByNameAndAliases) {
+  EXPECT_EQ(timer_specs::by_name("intel-tsc").kind, TimerKind::IntelTsc);
+  EXPECT_EQ(timer_specs::by_name("tsc").kind, TimerKind::IntelTsc);
+  EXPECT_EQ(timer_specs::by_name("tb").kind, TimerKind::IbmTimeBase);
+  EXPECT_EQ(timer_specs::by_name("mpi-wtime").kind, TimerKind::MpiWtime);
+  EXPECT_THROW(timer_specs::by_name("sundial"), std::invalid_argument);
+}
+
+TEST(TimerRegistry, AllHasUniqueNames) {
+  const auto specs = timer_specs::all();
+  EXPECT_GE(specs.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& s : specs) names.insert(s.name);
+  EXPECT_EQ(names.size(), specs.size());
+}
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,108 @@
+#include "analysis/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+Trace make_trace() {
+  Trace t(pinning::inter_node(clusters::xeon_rwth(), 2), {0.47e-6, 0.86e-6, 4.29e-6}, "test");
+  const auto main_r = t.intern_region("main");
+  const auto halo_r = t.intern_region("halo");
+  auto ev = [&](Rank r, EventType ty, Time time, std::int32_t region = -1,
+                std::int64_t id = -1, Rank peer = -1, std::uint32_t bytes = 0) {
+    Event e;
+    e.type = ty;
+    e.local_ts = e.true_ts = time;
+    e.region = region;
+    e.msg_id = id;
+    e.peer = peer;
+    e.bytes = bytes;
+    t.events(r).push_back(e);
+  };
+  // rank 0: main [1, 5] containing halo [2, 3]; one send.
+  ev(0, EventType::Enter, 1.0, main_r);
+  ev(0, EventType::Enter, 2.0, halo_r);
+  ev(0, EventType::Send, 2.5, -1, 0, 1, 1024);
+  ev(0, EventType::Exit, 3.0, halo_r);
+  ev(0, EventType::Exit, 5.0, main_r);
+  // rank 1: main [1, 4]; matching recv.
+  ev(1, EventType::Enter, 1.0, main_r);
+  ev(1, EventType::Recv, 2.6, -1, 0, 0, 1024);
+  ev(1, EventType::Exit, 4.0, main_r);
+  return t;
+}
+
+TEST(Profile, RegionTimesAndVisits) {
+  Trace t = make_trace();
+  const auto prof = profile_trace(t, TimestampArray::from_local(t));
+  ASSERT_EQ(prof.regions.size(), 2u);
+  // main: (5-1) + (4-1) = 7 s inclusive; halo: 1 s.
+  EXPECT_EQ(prof.regions[0].name, "main");
+  EXPECT_DOUBLE_EQ(prof.regions[0].inclusive_time, 7.0);
+  EXPECT_EQ(prof.regions[0].visits, 2u);
+  EXPECT_EQ(prof.regions[1].name, "halo");
+  EXPECT_DOUBLE_EQ(prof.regions[1].inclusive_time, 1.0);
+  EXPECT_EQ(prof.unbalanced_enters, 0u);
+}
+
+TEST(Profile, MessageStatsAndTraffic) {
+  Trace t = make_trace();
+  const auto prof = profile_trace(t, TimestampArray::from_local(t));
+  EXPECT_EQ(prof.p2p.messages, 1u);
+  EXPECT_EQ(prof.p2p.bytes, 1024u);
+  EXPECT_NEAR(prof.p2p.flight_time.mean(), 0.1, 1e-12);
+  EXPECT_EQ(prof.traffic[0][1], 1u);
+  EXPECT_EQ(prof.traffic[1][0], 0u);
+}
+
+TEST(Profile, NegativeFlightTimeVisible) {
+  Trace t = make_trace();
+  // A reversed message distorts the profile: flight time goes negative.
+  t.events(1)[1].local_ts = 2.0;
+  const auto prof = profile_trace(t, TimestampArray::from_local(t));
+  EXPECT_LT(prof.p2p.flight_time.min(), 0.0);
+}
+
+TEST(Profile, UnbalancedRegionsCounted) {
+  Trace t = make_trace();
+  t.events(0).pop_back();  // drop the final Exit
+  const auto prof = profile_trace(t, TimestampArray::from_local(t));
+  EXPECT_EQ(prof.unbalanced_enters, 1u);
+}
+
+TEST(Profile, FormatMentionsRegions) {
+  Trace t = make_trace();
+  const auto prof = profile_trace(t, TimestampArray::from_local(t));
+  const std::string s = format_profile(prof);
+  EXPECT_NE(s.find("main"), std::string::npos);
+  EXPECT_NE(s.find("1 messages"), std::string::npos);
+}
+
+TEST(Slice, KeepsOnlyWindowEvents) {
+  Trace t = make_trace();
+  Trace cut = slice_trace(t, TimestampArray::from_local(t), 1.5, 3.5);
+  // rank0: halo enter/exit + send; rank1: recv.
+  EXPECT_EQ(cut.events(0).size(), 3u);
+  EXPECT_EQ(cut.events(1).size(), 1u);
+  EXPECT_EQ(cut.regions().size(), t.regions().size());
+}
+
+TEST(Slice, HalfMatchedMessagesDropAtEdges) {
+  Trace t = make_trace();
+  // Window contains the send but not the recv.
+  Trace cut = slice_trace(t, TimestampArray::from_local(t), 2.4, 2.55);
+  EXPECT_EQ(cut.events(0).size(), 1u);
+  EXPECT_TRUE(cut.match_messages().empty());
+}
+
+TEST(Slice, WindowValidation) {
+  Trace t = make_trace();
+  EXPECT_THROW(slice_trace(t, TimestampArray::from_local(t), 2.0, 2.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chronosync

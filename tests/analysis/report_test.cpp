@@ -1,0 +1,59 @@
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chronosync {
+namespace {
+
+TEST(Report, ClockConditionMentionsKeyNumbers) {
+  ClockConditionReport rep;
+  rep.total_events = 100;
+  rep.message_events = 40;
+  rep.p2p_messages = 20;
+  rep.p2p_reversed = 3;
+  rep.p2p_violations = 5;
+  rep.p2p_worst = 12e-6;
+  rep.logical_messages = 10;
+  const std::string s = format_report(rep);
+  EXPECT_NE(s.find("100 total"), std::string::npos);
+  EXPECT_NE(s.find("reversed 3"), std::string::npos);
+  EXPECT_NE(s.find("violated 5"), std::string::npos);
+  EXPECT_NE(s.find("12.000 us"), std::string::npos);
+}
+
+TEST(Report, CleanReportOmitsWorst) {
+  ClockConditionReport rep;
+  rep.p2p_messages = 5;
+  const std::string s = format_report(rep);
+  EXPECT_EQ(s.find("worst"), std::string::npos);
+}
+
+TEST(Report, OmpSemanticsPercentages) {
+  OmpSemanticsReport rep;
+  rep.regions = 200;
+  rep.with_any = 100;
+  rep.with_exit = 50;
+  const std::string s = format_report(rep);
+  EXPECT_NE(s.find("200 parallel regions"), std::string::npos);
+  EXPECT_NE(s.find("50.0 %"), std::string::npos);
+  EXPECT_NE(s.find("25.0 %"), std::string::npos);
+}
+
+TEST(Report, IntervalDistortion) {
+  IntervalDistortion d;
+  d.absolute.add(1e-6);
+  d.absolute.add(3e-6);
+  d.intervals = 2;
+  const std::string s = format_report(d);
+  EXPECT_NE(s.find("2 intervals"), std::string::npos);
+  EXPECT_NE(s.find("mean 2.0000 us"), std::string::npos);
+  EXPECT_NE(s.find("max 3.0000 us"), std::string::npos);
+}
+
+TEST(Report, EmptyDistortion) {
+  IntervalDistortion d;
+  EXPECT_NE(format_report(d).find("0 intervals"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,156 @@
+#include "clockmodel/drift_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace chronosync {
+namespace {
+
+TEST(ConstantDrift, IntegratesLinearly) {
+  ConstantDrift d(5 * units::ppm);
+  EXPECT_DOUBLE_EQ(d.drift(0.0), 5e-6);
+  EXPECT_DOUBLE_EQ(d.drift(1000.0), 5e-6);
+  EXPECT_DOUBLE_EQ(d.integrated(1000.0), 5e-3);
+  EXPECT_DOUBLE_EQ(d.integrated(0.0), 0.0);
+}
+
+TEST(PiecewiseConstantDrift, SegmentsAndPrefix) {
+  PiecewiseConstantDrift d({0.0, 10.0, 20.0}, {1e-6, -1e-6, 2e-6});
+  EXPECT_DOUBLE_EQ(d.drift(5.0), 1e-6);
+  EXPECT_DOUBLE_EQ(d.drift(10.0), -1e-6);
+  EXPECT_DOUBLE_EQ(d.drift(25.0), 2e-6);
+  EXPECT_NEAR(d.integrated(10.0), 1e-5, 1e-18);
+  EXPECT_NEAR(d.integrated(20.0), 0.0, 1e-18);
+  EXPECT_NEAR(d.integrated(30.0), 2e-5, 1e-18);
+}
+
+TEST(PiecewiseConstantDrift, Validation) {
+  EXPECT_THROW(PiecewiseConstantDrift({}, {}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseConstantDrift({1.0}, {1e-6}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseConstantDrift({0.0, 0.0}, {1e-6, 2e-6}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseConstantDrift({0.0}, {1e-6, 2e-6}), std::invalid_argument);
+}
+
+TEST(RandomWalkDrift, DeterministicGivenSeed) {
+  RandomWalkDrift a(Rng(5), 0.0, 10.0, 1e-9, 1e-6);
+  RandomWalkDrift b(Rng(5), 0.0, 10.0, 1e-9, 1e-6);
+  for (Time t : {0.0, 100.0, 55.0, 1000.0, 3.0}) {
+    EXPECT_DOUBLE_EQ(a.drift(t), b.drift(t));
+    EXPECT_DOUBLE_EQ(a.integrated(t), b.integrated(t));
+  }
+}
+
+TEST(RandomWalkDrift, QueryOrderIndependent) {
+  RandomWalkDrift a(Rng(5), 0.0, 10.0, 1e-9, 1e-6);
+  RandomWalkDrift b(Rng(5), 0.0, 10.0, 1e-9, 1e-6);
+  const double a_late = a.integrated(2000.0);  // extend a first
+  (void)b.integrated(50.0);                    // extend b in small steps
+  (void)b.integrated(700.0);
+  const double b_late = b.integrated(2000.0);
+  EXPECT_DOUBLE_EQ(a_late, b_late);
+}
+
+TEST(RandomWalkDrift, RespectsClamp) {
+  RandomWalkDrift d(Rng(7), 0.0, 1.0, 1e-6, 2e-6);
+  for (int k = 0; k < 5000; ++k) {
+    EXPECT_LE(std::abs(d.drift(static_cast<Time>(k))), 2e-6 + 1e-18);
+  }
+}
+
+TEST(RandomWalkDrift, IntegralConsistentWithRate) {
+  RandomWalkDrift d(Rng(11), 0.0, 10.0, 1e-9, 1e-6);
+  // integrated must be the running integral of drift: check on segment
+  // midpoints: integrated(t + h) - integrated(t) == drift(t) * h within a
+  // segment.
+  for (Time t : {5.0, 105.0, 1005.0}) {
+    const double got = d.integrated(t + 2.0) - d.integrated(t);
+    EXPECT_NEAR(got, d.drift(t) * 2.0, 1e-18);
+  }
+}
+
+TEST(RandomWalkDrift, InitialRateApplies) {
+  RandomWalkDrift d(Rng(1), 5e-6, 10.0, 0.0, 1e-5);
+  EXPECT_DOUBLE_EQ(d.drift(0.0), 5e-6);
+  EXPECT_DOUBLE_EQ(d.drift(500.0), 5e-6);  // zero sigma: never changes
+  EXPECT_NEAR(d.integrated(100.0), 5e-4, 1e-15);
+}
+
+TEST(SinusoidalDrift, IntegralMatchesDerivative) {
+  SinusoidalDrift d(1e-7, 600.0, 0.3);
+  const double h = 1e-3;
+  for (Time t : {0.0, 100.0, 299.5, 571.0}) {
+    const double numeric = (d.integrated(t + h) - d.integrated(t - h)) / (2 * h);
+    EXPECT_NEAR(numeric, d.drift(t), 1e-12);
+  }
+  EXPECT_NEAR(d.integrated(0.0), 0.0, 1e-18);
+}
+
+TEST(SinusoidalDrift, PeriodicIntegralReturnsToZero) {
+  SinusoidalDrift d(1e-7, 600.0, 0.0);
+  EXPECT_NEAR(d.integrated(600.0), 0.0, 1e-15);
+}
+
+TEST(CompositeDrift, Sums) {
+  std::vector<std::unique_ptr<DriftModel>> parts;
+  parts.push_back(std::make_unique<ConstantDrift>(1e-6));
+  parts.push_back(std::make_unique<ConstantDrift>(2e-6));
+  CompositeDrift d(std::move(parts));
+  EXPECT_DOUBLE_EQ(d.drift(5.0), 3e-6);
+  EXPECT_DOUBLE_EQ(d.integrated(10.0), 3e-5);
+}
+
+TEST(NtpDisciplinedDrift, BoundedOffsetOverLongRun) {
+  // NTP's whole job: the disciplined clock must not diverge unboundedly even
+  // with a 30 ppm oscillator error.
+  NtpParams params;
+  NtpDisciplinedDrift d(Rng(3), std::make_unique<ConstantDrift>(30 * units::ppm), params);
+  for (Time t : {300.0, 1800.0, 3600.0}) {
+    EXPECT_LT(std::abs(d.integrated(t)), 20e-3) << "at t=" << t;
+  }
+}
+
+TEST(NtpDisciplinedDrift, StartsNearlyConverged) {
+  NtpParams params;
+  params.initial_freq_error = 0.1 * units::ppm;
+  NtpDisciplinedDrift d(Rng(3), std::make_unique<ConstantDrift>(30 * units::ppm), params);
+  // Effective drift at t=0 is the oscillator plus the converged frequency
+  // correction: within a few times the residual error.
+  EXPECT_LT(std::abs(d.drift(0.0)), 1 * units::ppm);
+}
+
+TEST(NtpDisciplinedDrift, SlopeChangesAtPolls) {
+  NtpParams params;
+  params.poll_interval = 100.0;
+  params.poll_jitter = 0.0;
+  NtpDisciplinedDrift d(Rng(17), std::make_unique<ConstantDrift>(10 * units::ppm), params);
+  // Drift is piecewise constant between polls and changes across them.
+  const double d1 = d.drift(150.0);
+  const double d2 = d.drift(199.0);
+  const double d3 = d.drift(201.0);
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_NE(d2, d3);
+}
+
+TEST(NtpDisciplinedDrift, IntegralContinuousAcrossPolls) {
+  NtpParams params;
+  params.poll_interval = 100.0;
+  params.poll_jitter = 0.0;
+  NtpDisciplinedDrift d(Rng(17), std::make_unique<ConstantDrift>(10 * units::ppm), params);
+  const double before = d.integrated(100.0 - 1e-6);
+  const double after = d.integrated(100.0 + 1e-6);
+  EXPECT_NEAR(before, after, 1e-9);
+}
+
+TEST(NtpDisciplinedDrift, DeterministicGivenSeed) {
+  NtpParams params;
+  NtpDisciplinedDrift a(Rng(21), std::make_unique<ConstantDrift>(5 * units::ppm), params);
+  NtpDisciplinedDrift b(Rng(21), std::make_unique<ConstantDrift>(5 * units::ppm), params);
+  (void)a.integrated(3000.0);  // different query order
+  for (Time t : {100.0, 2000.0, 2500.0}) {
+    EXPECT_DOUBLE_EQ(a.integrated(t), b.integrated(t));
+  }
+}
+
+}  // namespace
+}  // namespace chronosync

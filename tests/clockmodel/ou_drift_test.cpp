@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clockmodel/drift_model.hpp"
+#include "common/statistics.hpp"
+
+namespace chronosync {
+namespace {
+
+TEST(OrnsteinUhlenbeckDrift, DeterministicGivenSeed) {
+  OrnsteinUhlenbeckDrift a(Rng(3), 0.0, 0.0, 0.01, 10.0, 1e-9);
+  OrnsteinUhlenbeckDrift b(Rng(3), 0.0, 0.0, 0.01, 10.0, 1e-9);
+  (void)a.integrated(5000.0);  // different extension order
+  for (Time t : {100.0, 2500.0, 777.0}) {
+    EXPECT_DOUBLE_EQ(a.drift(t), b.drift(t));
+    EXPECT_DOUBLE_EQ(a.integrated(t), b.integrated(t));
+  }
+}
+
+TEST(OrnsteinUhlenbeckDrift, RevertsTowardMean) {
+  // Start far from the mean with zero noise: pure exponential decay.
+  OrnsteinUhlenbeckDrift d(Rng(1), 100e-6, 0.0, 0.05, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(d.drift(0.0), 100e-6);
+  EXPECT_LT(d.drift(50.0), 100e-6 * 0.2);
+  EXPECT_LT(d.drift(200.0), 1e-6);
+}
+
+TEST(OrnsteinUhlenbeckDrift, StationarySpreadBounded) {
+  // With reversion, excursions stay near the stationary sigma instead of
+  // growing like the plain random walk.
+  const double step_sigma = 1e-9;
+  const double reversion = 0.02;
+  const double stationary = step_sigma / std::sqrt(2.0 * reversion * 10.0);
+  OrnsteinUhlenbeckDrift d(Rng(7), 0.0, 0.0, reversion, 10.0, step_sigma);
+  RunningStats stats;
+  for (int k = 0; k < 20000; ++k) stats.add(d.drift(10.0 * k));
+  EXPECT_LT(std::abs(stats.mean()), 3.0 * stationary);
+  EXPECT_NEAR(stats.stddev(), stationary, stationary);  // right order of magnitude
+}
+
+TEST(OrnsteinUhlenbeckDrift, IntegralConsistentWithRate) {
+  OrnsteinUhlenbeckDrift d(Rng(11), 2e-6, 0.0, 0.01, 10.0, 1e-9);
+  for (Time t : {5.0, 105.0, 1005.0}) {
+    const double got = d.integrated(t + 2.0) - d.integrated(t);
+    EXPECT_NEAR(got, d.drift(t) * 2.0, 1e-15);
+  }
+}
+
+TEST(OrnsteinUhlenbeckDrift, ParameterValidation) {
+  EXPECT_THROW(OrnsteinUhlenbeckDrift(Rng(1), 0.0, 0.0, 0.01, 0.0, 1e-9),
+               std::invalid_argument);
+  EXPECT_THROW(OrnsteinUhlenbeckDrift(Rng(1), 0.0, 0.0, -0.1, 1.0, 1e-9),
+               std::invalid_argument);
+  EXPECT_THROW(OrnsteinUhlenbeckDrift(Rng(1), 0.0, 0.0, 2.0, 1.0, 1e-9),
+               std::invalid_argument);
+}
+
+TEST(OrnsteinUhlenbeckDrift, NonzeroMeanTracked) {
+  OrnsteinUhlenbeckDrift d(Rng(13), 0.0, 5e-6, 0.05, 1.0, 0.0);
+  EXPECT_NEAR(d.drift(300.0), 5e-6, 1e-7);
+}
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,93 @@
+#include "clockmodel/sim_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace chronosync {
+namespace {
+
+std::shared_ptr<const DriftModel> constant(double rate) {
+  return std::make_shared<ConstantDrift>(rate);
+}
+
+TEST(SimClock, LocalTimeAppliesOffsetAndDrift) {
+  SimClock c(0.5, constant(10 * units::ppm), 0.0, {}, Rng(1));
+  EXPECT_DOUBLE_EQ(c.local_time(0.0), 0.5);
+  EXPECT_NEAR(c.local_time(1000.0), 1000.5 + 0.01, 1e-12);
+}
+
+TEST(SimClock, ReadWithoutNoiseEqualsLocalTime) {
+  SimClock c(0.0, constant(0.0), 0.0, {}, Rng(1));
+  EXPECT_DOUBLE_EQ(c.read(5.0), 5.0);
+}
+
+TEST(SimClock, QuantizationFloorsToResolution) {
+  SimClock c(0.0, constant(0.0), 1e-6, {}, Rng(1));
+  EXPECT_DOUBLE_EQ(c.read(5.0000014), 5.000001);
+}
+
+TEST(SimClock, ReadsAreMonotone) {
+  ClockReadNoise noise{50 * units::ns, 0.01, 2 * units::us};
+  SimClock c(0.0, constant(0.0), 0.0, noise, Rng(5));
+  Time prev = -1.0;
+  for (int i = 0; i < 10000; ++i) {
+    const Time t = c.read(static_cast<double>(i) * 1e-6);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(SimClock, JitterHasExpectedScale) {
+  ClockReadNoise noise{100 * units::ns, 0.0, 0.0};
+  SimClock c(0.0, constant(0.0), 0.0, noise, Rng(7));
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    // Wide spacing so monotonicity clamping never hides the noise.
+    const Time t = static_cast<double>(i);
+    const double err = c.read(t) - t;
+    sq += err * err;
+  }
+  EXPECT_NEAR(std::sqrt(sq / n), 100e-9, 15e-9);
+}
+
+TEST(SimClock, OutliersArePositive) {
+  ClockReadNoise noise{0.0, 1.0, 1 * units::us};  // always outlier
+  SimClock c(0.0, constant(0.0), 0.0, noise, Rng(9));
+  for (int i = 0; i < 100; ++i) {
+    const Time t = static_cast<double>(i);
+    EXPECT_GT(c.read(t), t);
+  }
+}
+
+TEST(SimClock, TrueTimeOfInvertsLocalTime) {
+  SimClock c(0.25, constant(25 * units::ppm), 0.0, {}, Rng(1));
+  const Time t = 1234.5;
+  const Time lt = c.local_time(t);
+  EXPECT_NEAR(c.true_time_of(lt, 0.0, 1e5), t, 1e-9);
+}
+
+TEST(SimClock, TrueTimeOfRejectsBadBracket) {
+  SimClock c(0.0, constant(0.0), 0.0, {}, Rng(1));
+  EXPECT_THROW(c.true_time_of(50.0, 100.0, 200.0), std::invalid_argument);
+}
+
+TEST(SimClock, SharedDriftModelGivesIdenticalDriftComponent) {
+  auto shared = constant(3 * units::ppm);
+  SimClock a(1.0, shared, 0.0, {}, Rng(1));
+  SimClock b(2.0, shared, 0.0, {}, Rng(2));
+  // Deviation between the two clocks is exactly the offset difference.
+  for (Time t : {0.0, 100.0, 5000.0}) {
+    EXPECT_NEAR(a.local_time(t) - b.local_time(t), -1.0, 1e-12);
+  }
+}
+
+TEST(SimClock, ValidatesParameters) {
+  EXPECT_THROW(SimClock(0.0, nullptr, 0.0, {}, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(SimClock(0.0, constant(0.0), -1.0, {}, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(SimClock(0.0, constant(0.0), 0.0, {}, Rng(1), -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chronosync

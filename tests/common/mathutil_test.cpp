@@ -1,0 +1,117 @@
+#include "common/mathutil.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace chronosync {
+namespace {
+
+TEST(FitLine, ExactLine) {
+  std::vector<Point2> pts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back({static_cast<double>(i), 3.0 * i + 1.0});
+  }
+  const LinearFit f = fit_line(pts);
+  EXPECT_NEAR(f.slope, 3.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.residual_stddev, 0.0, 1e-9);
+}
+
+TEST(FitLine, NoisyLineRecoversSlope) {
+  Rng r(5);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(0.0, 100.0);
+    pts.push_back({x, 2.0 * x - 7.0 + r.normal(0.0, 0.5)});
+  }
+  const LinearFit f = fit_line(pts);
+  EXPECT_NEAR(f.slope, 2.0, 0.01);
+  EXPECT_NEAR(f.intercept, -7.0, 0.5);
+  EXPECT_NEAR(f.residual_stddev, 0.5, 0.05);
+}
+
+TEST(FitLine, RejectsDegenerate) {
+  EXPECT_THROW(fit_line({{1.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(fit_line({{1.0, 2.0}, {1.0, 3.0}}), std::invalid_argument);
+}
+
+TEST(ConvexHull, LowerHullOfSquare) {
+  // Monotone chain runs from the lexicographically first to the last point,
+  // so the right edge's top corner terminates the chain.
+  std::vector<Point2> pts = {{0, 0}, {1, 1}, {0, 1}, {1, 0}, {0.5, 0.5}};
+  const auto hull = lower_convex_hull(pts);
+  ASSERT_EQ(hull.size(), 3u);
+  EXPECT_DOUBLE_EQ(hull[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(hull[0].y, 0.0);
+  EXPECT_DOUBLE_EQ(hull[1].x, 1.0);
+  EXPECT_DOUBLE_EQ(hull[1].y, 0.0);
+  EXPECT_DOUBLE_EQ(hull[2].y, 1.0);
+}
+
+TEST(ConvexHull, UpperHullOfSquare) {
+  std::vector<Point2> pts = {{0, 0}, {1, 1}, {0, 1}, {1, 0}, {0.5, 0.2}};
+  const auto hull = upper_convex_hull(pts);
+  ASSERT_EQ(hull.size(), 3u);
+  EXPECT_DOUBLE_EQ(hull[0].y, 0.0);  // chain starts at (0,0)
+  EXPECT_DOUBLE_EQ(hull[1].y, 1.0);  // rises to (0,1)
+  EXPECT_DOUBLE_EQ(hull[2].y, 1.0);  // ends at (1,1); (0.5,0.2) is inside
+}
+
+TEST(ConvexHull, AllPointsAboveLowerHull) {
+  Rng r(9);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({r.uniform(0.0, 10.0), r.normal(0.0, 1.0)});
+  }
+  const auto hull = lower_convex_hull(pts);
+  PiecewiseLinear env(hull);
+  for (const auto& p : pts) {
+    EXPECT_GE(p.y, env(p.x) - 1e-9);
+  }
+}
+
+TEST(ConvexHull, KeepsCollinearEndpoints) {
+  std::vector<Point2> pts = {{0, 0}, {1, 1}, {2, 2}};
+  const auto hull = lower_convex_hull(pts);
+  EXPECT_GE(hull.size(), 2u);
+  EXPECT_DOUBLE_EQ(hull.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(hull.back().x, 2.0);
+}
+
+TEST(PiecewiseLinear, InterpolatesAndExtrapolates) {
+  PiecewiseLinear f({{0.0, 0.0}, {10.0, 20.0}, {20.0, 20.0}});
+  EXPECT_DOUBLE_EQ(f(5.0), 10.0);
+  EXPECT_DOUBLE_EQ(f(15.0), 20.0);
+  EXPECT_DOUBLE_EQ(f(-5.0), -10.0);  // extrapolates first segment
+  EXPECT_DOUBLE_EQ(f(30.0), 20.0);   // extrapolates last (flat) segment
+}
+
+TEST(PiecewiseLinear, SlopeAt) {
+  PiecewiseLinear f({{0.0, 0.0}, {10.0, 20.0}, {20.0, 20.0}});
+  EXPECT_DOUBLE_EQ(f.slope_at(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.slope_at(15.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.slope_at(100.0), 0.0);
+}
+
+TEST(PiecewiseLinear, AppendEnforcesOrder) {
+  PiecewiseLinear f;
+  f.append(0.0, 1.0);
+  f.append(1.0, 2.0);
+  EXPECT_THROW(f.append(1.0, 3.0), std::invalid_argument);
+  EXPECT_THROW(f.append(0.5, 3.0), std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, SingleKnotIsConstant) {
+  PiecewiseLinear f({{5.0, 7.0}});
+  EXPECT_DOUBLE_EQ(f(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 7.0);
+}
+
+TEST(PiecewiseLinear, EmptyThrows) {
+  PiecewiseLinear f;
+  EXPECT_THROW(f(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chronosync

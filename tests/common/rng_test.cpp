@@ -1,0 +1,166 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace chronosync {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_int(0, 5));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntRejectsReversedBounds) {
+  Rng r(13);
+  EXPECT_THROW(r.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(17);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng r(19);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, NormalRejectsNegativeStddev) {
+  Rng r(19);
+  EXPECT_THROW(r.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(23);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng r(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(r.exponential(1.0), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (r.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng r(31);
+  std::vector<double> v;
+  for (int i = 0; i < 50001; ++i) v.push_back(r.lognormal(1.0, 0.5));
+  std::sort(v.begin(), v.end());
+  // Median of lognormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(v[v.size() / 2], std::exp(1.0), 0.05);
+}
+
+TEST(RngTree, NamedStreamsAreStable) {
+  RngTree t(99);
+  EXPECT_EQ(t.derive("alpha"), t.derive("alpha"));
+  EXPECT_NE(t.derive("alpha"), t.derive("beta"));
+}
+
+TEST(RngTree, ChildTreesAreIndependentNamespaces) {
+  RngTree t(99);
+  EXPECT_NE(t.child("a").derive("x"), t.child("b").derive("x"));
+  EXPECT_NE(t.derive("a"), t.child("a").derive("a"));
+}
+
+TEST(RngTree, SameSeedSameHierarchy) {
+  RngTree a(5), b(5);
+  EXPECT_EQ(a.child("n1").child("c2").derive("wander"),
+            b.child("n1").child("c2").derive("wander"));
+}
+
+TEST(RngTree, StreamsFromDifferentNamesDecorrelate) {
+  RngTree t(1);
+  Rng a = t.stream("s1");
+  Rng b = t.stream("s2");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(HashName, DistinctShortNames) {
+  EXPECT_NE(hash_name("a"), hash_name("b"));
+  EXPECT_NE(hash_name(""), hash_name("a"));
+  EXPECT_EQ(hash_name("node1"), hash_name("node1"));
+}
+
+}  // namespace
+}  // namespace chronosync

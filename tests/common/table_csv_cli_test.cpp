@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/expect.hpp"
+#include "common/table.hpp"
+
+namespace chronosync {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"latency", "4.29"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("latency"), std::string::npos);
+  EXPECT_NE(s.find("4.29"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsWidthMismatch) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(AsciiTable, NumberFormatting) {
+  EXPECT_EQ(AsciiTable::num(4.288, 2), "4.29");
+  EXPECT_EQ(AsciiTable::sci(0.00098, 2), "9.80e-04");
+}
+
+TEST(CsvWriter, WritesRows) {
+  const std::string path = testing::TempDir() + "/cs_test.csv";
+  {
+    CsvWriter w(path, {"t", "dev"});
+    w.add_row({1.0, 2.5});
+    w.add_row(std::vector<std::string>{"x", "y"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,dev");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsWidthMismatch) {
+  const std::string path = testing::TempDir() + "/cs_test2.csv";
+  CsvWriter w(path, {"a"});
+  EXPECT_THROW(w.add_row({1.0, 2.0}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ParsesForms) {
+  const char* argv[] = {"prog", "--seed", "7", "--runtime=300", "input.txt", "--verbose"};
+  Cli cli(6, argv);
+  EXPECT_EQ(cli.get_int("seed", 0), 7);
+  EXPECT_EQ(cli.get_int("runtime", 0), 300);
+  EXPECT_TRUE(cli.has("verbose"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+}
+
+TEST(Cli, OptionConsumesFollowingValue) {
+  // `--flag token` treats the token as the flag's value; a bare token is
+  // positional only when not preceded by a valueless option.
+  const char* argv[] = {"prog", "--verbose", "input.txt"};
+  Cli cli(3, argv);
+  EXPECT_EQ(cli.get("verbose", ""), "input.txt");
+  EXPECT_TRUE(cli.positional().empty());
+}
+
+TEST(Cli, Defaults) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get("missing", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(cli.get_seed(42), 42u);
+}
+
+TEST(Cli, SeedOption) {
+  const char* argv[] = {"prog", "--seed=99"};
+  Cli cli(2, argv);
+  EXPECT_EQ(cli.get_seed(), 99u);
+}
+
+TEST(Expect, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(CS_REQUIRE(false, "msg"), std::invalid_argument);
+  EXPECT_NO_THROW(CS_REQUIRE(true, "msg"));
+}
+
+TEST(Expect, EnsureThrowsLogicError) {
+  EXPECT_THROW(CS_ENSURE(false, "msg"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace chronosync

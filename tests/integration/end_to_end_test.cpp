@@ -1,0 +1,196 @@
+// End-to-end integration: simulate an application on drifting clocks, apply
+// the paper's synchronization pipeline, and verify the paper's qualitative
+// claims hold in the reproduction.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/clock_condition.hpp"
+#include "trace/trace_io.hpp"
+#include "analysis/interval_stats.hpp"
+#include "sync/clc.hpp"
+#include "sync/clc_parallel.hpp"
+#include "sync/error_estimation.hpp"
+#include "sync/interpolation.hpp"
+#include "sync/offset_alignment.hpp"
+#include "workload/sweep.hpp"
+
+namespace chronosync {
+namespace {
+
+/// A sweep run on TSC clocks across nodes, long enough for wander to bite.
+AppRunResult drifting_run(std::uint64_t seed, int rounds = 400,
+                          Duration gap = 2.0 /*s*/) {
+  SweepConfig cfg;
+  cfg.rounds = rounds;
+  cfg.gap_mean = gap;
+  cfg.collective_every = 50;
+  JobConfig job;
+  job.placement = pinning::inter_node(clusters::xeon_rwth(), 8);
+  job.timer = timer_specs::intel_tsc();
+  job.seed = seed;
+  return run_sweep(cfg, std::move(job));
+}
+
+TEST(EndToEnd, RawTimestampsAreUnusableAcrossNodes) {
+  auto res = drifting_run(1);
+  const auto raw = TimestampArray::from_local(res.trace);
+  const auto rep = check_clock_condition(res.trace, raw);
+  // Unsynchronized hardware counters start ~seconds apart: nearly everything
+  // is inconsistent.
+  EXPECT_GT(rep.p2p_reversed_pct(), 10.0);
+}
+
+TEST(EndToEnd, LinearInterpolationHelpsButDoesNotEliminate) {
+  // The paper's core finding: linear offset interpolation removes offset and
+  // mean drift (pairwise sync error drops by orders of magnitude), yet
+  // clock-condition violations remain on longer runs.
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    auto res = drifting_run(seed, 500, 4.0);  // ~2000 s run
+    const auto msgs = res.trace.match_messages();
+    const auto raw_ts = TimestampArray::from_local(res.trace);
+    const LinearInterpolation interp = LinearInterpolation::from_store(res.offsets);
+    const auto fixed_ts = apply_correction(res.trace, interp);
+
+    const auto raw_err = message_sync_error(res.trace, raw_ts, msgs);
+    const auto fix_err = message_sync_error(res.trace, fixed_ts, msgs);
+    // Raw TSC values start ~0.5 s apart; interpolation brings pairs to the
+    // residual-wander level (tens of us).
+    EXPECT_GT(raw_err.mean(), 1 * units::ms) << seed;
+    EXPECT_LT(fix_err.mean(), raw_err.mean() / 100.0) << seed;
+
+    const auto rep = check_clock_condition(res.trace, fixed_ts, msgs,
+                                           derive_logical_messages(res.trace));
+    EXPECT_GT(rep.violations(), 0u) << seed;  // but still not violation-free
+  }
+}
+
+TEST(EndToEnd, ClcRemovesAllRemainingViolations) {
+  auto res = drifting_run(21, 500, 4.0);
+  const LinearInterpolation interp = LinearInterpolation::from_store(res.offsets);
+  const auto pre = apply_correction(res.trace, interp);
+
+  const auto msgs = res.trace.match_messages();
+  const auto logical = derive_logical_messages(res.trace);
+  const ReplaySchedule schedule(res.trace, msgs, logical);
+  const ClcResult clc = controlled_logical_clock(res.trace, schedule, pre);
+
+  const auto rep = check_clock_condition(res.trace, clc.corrected, msgs, logical);
+  EXPECT_EQ(rep.violations(), 0u);
+  EXPECT_EQ(rep.p2p_reversed, 0u);
+  EXPECT_EQ(rep.logical_reversed, 0u);
+}
+
+TEST(EndToEnd, ClcPreservesIntervalsApproximately) {
+  auto res = drifting_run(31, 300, 2.0);
+  const LinearInterpolation interp = LinearInterpolation::from_store(res.offsets);
+  const auto pre = apply_correction(res.trace, interp);
+  const auto msgs = res.trace.match_messages();
+  const auto logical = derive_logical_messages(res.trace);
+  const ReplaySchedule schedule(res.trace, msgs, logical);
+  const ClcResult clc = controlled_logical_clock(res.trace, schedule, pre);
+
+  const auto dist = interval_distortion(res.trace, pre, clc.corrected);
+  // Typical intervals are seconds; CLC corrections are microseconds.
+  EXPECT_LT(dist.absolute.mean(), 50 * units::us);
+}
+
+TEST(EndToEnd, ClcImprovesAccuracyAgainstGroundTruth) {
+  auto res = drifting_run(41, 300, 2.0);
+  const LinearInterpolation interp = LinearInterpolation::from_store(res.offsets);
+  const auto pre = apply_correction(res.trace, interp);
+  const auto msgs = res.trace.match_messages();
+  const auto logical = derive_logical_messages(res.trace);
+  const ReplaySchedule schedule(res.trace, msgs, logical);
+  const ClcResult clc = controlled_logical_clock(res.trace, schedule, pre);
+
+  // CLC must not *hurt* overall accuracy relative to its input.
+  const auto pre_err = truth_error(res.trace, pre);
+  const auto clc_err = truth_error(res.trace, clc.corrected);
+  EXPECT_LE(clc_err.mean(), pre_err.mean() * 1.5);
+}
+
+TEST(EndToEnd, ParallelClcAgreesOnRealTrace) {
+  auto res = drifting_run(51, 200, 2.0);
+  const LinearInterpolation interp = LinearInterpolation::from_store(res.offsets);
+  const auto pre = apply_correction(res.trace, interp);
+  const auto msgs = res.trace.match_messages();
+  const auto logical = derive_logical_messages(res.trace);
+  const ReplaySchedule schedule(res.trace, msgs, logical);
+
+  const ClcResult seq = controlled_logical_clock(res.trace, schedule, pre);
+  const ClcResult par = controlled_logical_clock_parallel(res.trace, schedule, pre, {}, 4);
+  EXPECT_EQ(seq.violations_repaired, par.violations_repaired);
+  for (Rank r = 0; r < res.trace.ranks(); ++r) {
+    for (std::uint32_t i = 0; i < res.trace.events(r).size(); ++i) {
+      ASSERT_DOUBLE_EQ(seq.corrected.at({r, i}), par.corrected.at({r, i}));
+    }
+  }
+}
+
+TEST(EndToEnd, ErrorEstimationAlsoReducesSyncError) {
+  auto res = drifting_run(61, 400, 1.0);
+  const auto msgs = res.trace.match_messages();
+  const auto raw_err =
+      message_sync_error(res.trace, TimestampArray::from_local(res.trace), msgs);
+  const auto corr =
+      ErrorEstimationCorrection::build(res.trace, msgs, EstimationMethod::Regression);
+  const auto fix_err =
+      message_sync_error(res.trace, apply_correction(res.trace, corr), msgs);
+  // A per-pair fitted line removes offset and mean drift from the
+  // application's own messages.
+  EXPECT_LT(fix_err.mean(), raw_err.mean() / 100.0);
+}
+
+TEST(EndToEnd, PiecewiseBeatsLinearWithMidRunMeasurements) {
+  // Extension experiment (ref. [17]): periodic offset measurement during the
+  // run lets piecewise interpolation track non-constant drift.
+  SweepConfig cfg;
+  cfg.rounds = 300;
+  cfg.gap_mean = 4.0;
+  JobConfig job;
+  job.placement = pinning::inter_node(clusters::xeon_rwth(), 4);
+  job.timer = timer_specs::gettimeofday_ntp();  // the nastiest drift shape
+  job.seed = 71;
+  Job j(std::move(job));
+  OffsetStore store(j.ranks());
+  j.run([&](Proc& p) -> Coro<void> {
+    p.set_tracing(false);
+    co_await probe_offsets(p, store, 10);
+    p.set_tracing(true);
+    for (int block = 0; block < 6; ++block) {
+      for (int round = 0; round < cfg.rounds / 6; ++round) {
+        co_await p.compute(cfg.gap_mean);
+        co_await p.send((p.rank() + 1) % p.nranks(), 1, 256);
+        co_await p.recv((p.rank() + p.nranks() - 1) % p.nranks(), 1);
+      }
+      p.set_tracing(false);
+      co_await probe_offsets(p, store, 10);  // periodic mid-run measurement
+      p.set_tracing(true);
+    }
+  });
+  Trace trace = j.take_trace();
+
+  const auto msgs = trace.match_messages();
+  const LinearInterpolation lin = LinearInterpolation::from_store(store);
+  const PiecewiseInterpolation pw = PiecewiseInterpolation::from_store(store);
+  // Pairwise sync error isolates worker-vs-master error (truth_error would be
+  // dominated by the master clock's own drift, which no correction can see).
+  const auto lin_err = message_sync_error(trace, apply_correction(trace, lin), msgs);
+  const auto pw_err = message_sync_error(trace, apply_correction(trace, pw), msgs);
+  EXPECT_LT(pw_err.mean(), lin_err.mean());
+}
+
+TEST(EndToEnd, TraceSurvivesSerializationPipeline) {
+  auto res = drifting_run(81, 50, 0.1);
+  std::stringstream buf;
+  write_trace(res.trace, buf);
+  Trace back = read_trace(buf);
+  const auto a = check_clock_condition(res.trace, TimestampArray::from_local(res.trace));
+  const auto b = check_clock_condition(back, TimestampArray::from_local(back));
+  EXPECT_EQ(a.p2p_violations, b.p2p_violations);
+  EXPECT_EQ(a.total_events, b.total_events);
+}
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "measure/latency_probe.hpp"
+#include "measure/offset_probe.hpp"
+#include "mpisim/job.hpp"
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+JobConfig probe_job(int ranks, TimerSpec timer) {
+  JobConfig cfg;
+  cfg.placement = pinning::inter_node(clusters::xeon_rwth(), ranks);
+  cfg.timer = std::move(timer);
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(OffsetStore, AddAndRetrieve) {
+  OffsetStore store(3);
+  store.add(1, {10.0, 0.5, 9e-6});
+  store.add(1, {20.0, 0.6, 9e-6});
+  EXPECT_EQ(store.of(1).size(), 2u);
+  EXPECT_DOUBLE_EQ(store.of(1)[0].offset, 0.5);
+  EXPECT_TRUE(store.of(2).empty());
+  EXPECT_THROW(store.of(3), std::invalid_argument);
+  EXPECT_THROW(store.add(-1, {}), std::invalid_argument);
+}
+
+TEST(OffsetProbe, MeasuresKnownStaticOffsets) {
+  // With drift-free clocks and known constant offsets, Cristian's method
+  // must recover the offsets to within the network asymmetry (<< 5 us).
+  TimerSpec spec = timer_specs::perfect();
+  spec.node_offset_sigma = 10 * units::ms;  // big static offsets
+  Job job(probe_job(4, spec));
+  OffsetStore store(4);
+  job.run([&](Proc& p) { return probe_offsets(p, store, 20); });
+
+  for (Rank w = 1; w < 4; ++w) {
+    ASSERT_EQ(store.of(w).size(), 1u);
+    // True offset is master.local - worker.local (drift-free: constant).
+    const Duration truth =
+        job.clocks().clock(0).local_time(0.0) - job.clocks().clock(w).local_time(0.0);
+    EXPECT_NEAR(store.of(w)[0].offset, truth, 5 * units::us);
+  }
+}
+
+TEST(OffsetProbe, RttIsPlausible) {
+  Job job(probe_job(2, timer_specs::perfect()));
+  OffsetStore store(2);
+  job.run([&](Proc& p) { return probe_offsets(p, store, 10); });
+  const Duration rtt = store.of(1)[0].rtt;
+  EXPECT_GT(rtt, 2 * 4.29 * units::us);
+  EXPECT_LT(rtt, 6 * 4.29 * units::us);
+}
+
+TEST(OffsetProbe, MasterEntryIsZero) {
+  Job job(probe_job(2, timer_specs::perfect()));
+  OffsetStore store(2);
+  job.run([&](Proc& p) { return probe_offsets(p, store, 5); });
+  ASSERT_EQ(store.of(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(store.of(0)[0].offset, 0.0);
+}
+
+TEST(OffsetProbe, DoesNotTrace) {
+  Job job(probe_job(3, timer_specs::perfect()));
+  OffsetStore store(3);
+  job.run([&](Proc& p) { return probe_offsets(p, store, 5); });
+  EXPECT_EQ(job.take_trace().total_events(), 0u);
+}
+
+TEST(DirectProbe, RecoversStaticOffset) {
+  auto drift = std::make_shared<ConstantDrift>(0.0);
+  SimClock master(0.0, drift, 0.0, {}, Rng(1));
+  SimClock worker(-3 * units::ms, drift, 0.0, {}, Rng(2));
+  const HierarchicalLatencyModel lat = latencies::xeon_infiniband();
+  Rng rng(5);
+  const OffsetMeasurement m =
+      direct_probe(master, worker, lat, CommDomain::CrossNode, 100.0, 20, rng);
+  EXPECT_NEAR(m.offset, 3 * units::ms, 2 * units::us);
+  EXPECT_GT(m.worker_time, 0.0);
+}
+
+TEST(DirectProbe, MorePingsTightenTheEstimate) {
+  auto drift = std::make_shared<ConstantDrift>(0.0);
+  const HierarchicalLatencyModel lat = latencies::xeon_infiniband();
+  double err1 = 0.0, err20 = 0.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    // Fresh clocks per probe: read() is stateful (monotone clamping).
+    Rng r1(100 + trial), r20(200 + trial);
+    {
+      SimClock master(0.0, drift, 0.0, {}, Rng(1));
+      SimClock worker(0.0, drift, 0.0, {}, Rng(2));
+      err1 +=
+          std::abs(direct_probe(master, worker, lat, CommDomain::CrossNode, 10.0, 1, r1).offset);
+    }
+    {
+      SimClock master(0.0, drift, 0.0, {}, Rng(1));
+      SimClock worker(0.0, drift, 0.0, {}, Rng(2));
+      err20 += std::abs(
+          direct_probe(master, worker, lat, CommDomain::CrossNode, 10.0, 20, r20).offset);
+    }
+  }
+  EXPECT_LT(err20, err1);
+}
+
+TEST(LatencyProbe, P2PMatchesTableIIInterNode) {
+  Job job(probe_job(2, timer_specs::perfect()));
+  LatencyProbeConfig cfg;
+  cfg.estimates = 5;
+  cfg.reps_per_estimate = 200;
+  const auto res = measure_p2p_latency(job, cfg);
+  EXPECT_EQ(res.one_way.count(), 5u);
+  // One-way estimate includes per-message overheads; must sit a little above
+  // the 4.29 us floor.
+  EXPECT_GT(res.one_way.mean(), 4.29 * units::us);
+  EXPECT_LT(res.one_way.mean(), 8 * units::us);
+  // The paper's tiny std-devs come from averaging: ours must also be far
+  // below the mean.
+  EXPECT_LT(res.one_way.stddev(), 0.1 * res.one_way.mean());
+}
+
+TEST(LatencyProbe, HierarchyOrdering) {
+  LatencyProbeConfig cfg;
+  cfg.estimates = 3;
+  cfg.reps_per_estimate = 100;
+
+  JobConfig node_cfg;
+  node_cfg.placement = pinning::inter_chip(clusters::xeon_rwth(), 2);
+  Job node_job(std::move(node_cfg));
+  const double inter_chip = measure_p2p_latency(node_job, cfg).one_way.mean();
+
+  JobConfig core_cfg;
+  core_cfg.placement = pinning::inter_core(clusters::xeon_rwth(), 2);
+  Job core_job(std::move(core_cfg));
+  const double inter_core = measure_p2p_latency(core_job, cfg).one_way.mean();
+
+  Job net_job(probe_job(2, timer_specs::perfect()));
+  const double inter_node = measure_p2p_latency(net_job, cfg).one_way.mean();
+
+  EXPECT_LT(inter_core, inter_chip);
+  EXPECT_LT(inter_chip, inter_node);
+}
+
+TEST(LatencyProbe, AllreduceAboveP2P) {
+  Job job(probe_job(4, timer_specs::perfect()));
+  LatencyProbeConfig cfg;
+  cfg.estimates = 3;
+  cfg.reps_per_estimate = 50;
+  const auto res = measure_allreduce_latency(job, cfg);
+  EXPECT_GT(res.one_way.mean(), 4.29 * units::us);
+  EXPECT_LT(res.one_way.mean(), 40 * units::us);
+}
+
+}  // namespace
+}  // namespace chronosync

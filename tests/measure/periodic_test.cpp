@@ -1,0 +1,74 @@
+#include "measure/periodic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpisim/job.hpp"
+#include "sync/interpolation.hpp"
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+JobConfig small_job(int ranks) {
+  JobConfig cfg;
+  cfg.placement = pinning::inter_node(clusters::xeon_rwth(), ranks);
+  cfg.timer = timer_specs::gettimeofday_ntp();
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(PeriodicProbes, RunsBatchesAndPhases) {
+  Job job(small_job(4));
+  OffsetStore store(4);
+  std::vector<int> phases_seen(4, 0);
+  job.run([&](Proc& p) -> Coro<void> {
+    co_await with_periodic_probes(p, store, 5, [&](Proc& q, int) -> Coro<void> {
+      ++phases_seen[static_cast<std::size_t>(q.rank())];
+      co_await q.compute(1.0);
+    });
+  });
+  for (int c : phases_seen) EXPECT_EQ(c, 4);  // batches - 1 phases
+  for (Rank r = 0; r < 4; ++r) EXPECT_EQ(store.of(r).size(), 5u);
+}
+
+TEST(PeriodicProbes, FeedsPiecewiseInterpolation) {
+  Job job(small_job(4));
+  OffsetStore store(4);
+  job.run([&](Proc& p) -> Coro<void> {
+    co_await with_periodic_probes(p, store, 4, [](Proc& q, int) -> Coro<void> {
+      co_await q.compute(200.0);
+    });
+  });
+  const PiecewiseInterpolation pw = PiecewiseInterpolation::from_store(store);
+  // Four strictly increasing knots per rank: correction evaluates everywhere.
+  for (Rank r = 0; r < 4; ++r) {
+    EXPECT_NO_THROW((void)pw.correct(r, 300.0));
+  }
+}
+
+TEST(PeriodicProbes, RejectsFewerThanTwoBatches) {
+  Job job(small_job(2));
+  OffsetStore store(2);
+  EXPECT_THROW(job.run([&](Proc& p) -> Coro<void> {
+    co_await with_periodic_probes(p, store, 1, [](Proc& q, int) -> Coro<void> {
+      co_await q.compute(1.0);
+    });
+  }),
+               std::invalid_argument);
+}
+
+TEST(PeriodicProbes, PhaseIndexIncrements) {
+  Job job(small_job(2));
+  OffsetStore store(2);
+  std::vector<int> seen;
+  job.run([&](Proc& p) -> Coro<void> {
+    co_await with_periodic_probes(p, store, 4, [&](Proc& q, int phase) -> Coro<void> {
+      if (q.rank() == 0) seen.push_back(phase);
+      co_await q.compute(0.1);
+    });
+  });
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,167 @@
+#include "mpisim/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mpisim/job.hpp"
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+JobConfig small_job(int ranks) {
+  JobConfig cfg;
+  cfg.placement = pinning::inter_node(clusters::xeon_rwth(), ranks);
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(Communicator, WorldCoversAllRanks) {
+  const Communicator w = Communicator::world(5);
+  EXPECT_EQ(w.id(), 0);
+  EXPECT_EQ(w.size(), 5);
+  for (Rank r = 0; r < 5; ++r) {
+    EXPECT_EQ(w.world_rank(r), r);
+    EXPECT_EQ(w.rank_of(r), r);
+    EXPECT_TRUE(w.contains(r));
+  }
+  EXPECT_EQ(w.rank_of(5), -1);
+}
+
+TEST(Communicator, ExplicitMembers) {
+  const Communicator c(3, {4, 1, 7});
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_EQ(c.world_rank(0), 4);
+  EXPECT_EQ(c.rank_of(7), 2);
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_THROW(c.world_rank(3), std::invalid_argument);
+}
+
+TEST(Communicator, ValidationRejectsEmpty) {
+  EXPECT_THROW(Communicator(1, {}), std::invalid_argument);
+  EXPECT_THROW(Communicator::world(0), std::invalid_argument);
+}
+
+TEST(CommSplit, PartitionsByColorOrderedByKey) {
+  Job job(small_job(6));
+  std::vector<Communicator> results(6, Communicator::world(1));
+  job.run([&](Proc& p) -> Coro<void> {
+    // Even ranks color 0, odd ranks color 1; key reverses rank order.
+    const int color = p.rank() % 2;
+    const int key = -p.rank();
+    results[static_cast<std::size_t>(p.rank())] =
+        co_await p.split(p.comm_world(), color, key);
+  });
+  // Even group reversed by key: {4, 2, 0}.
+  EXPECT_EQ(results[0].members(), (std::vector<Rank>{4, 2, 0}));
+  EXPECT_EQ(results[1].members(), (std::vector<Rank>{5, 3, 1}));
+  // All members of one color share the same id; colors differ.
+  EXPECT_EQ(results[0].id(), results[2].id());
+  EXPECT_EQ(results[1].id(), results[3].id());
+  EXPECT_NE(results[0].id(), results[1].id());
+  EXPECT_NE(results[0].id(), 0);
+}
+
+TEST(CommSplit, SubCollectivesRunOnGroups) {
+  Job job(small_job(8));
+  job.run([&](Proc& p) -> Coro<void> {
+    const Communicator row = co_await p.split(p.comm_world(), p.rank() / 4, p.rank());
+    co_await p.barrier(row);
+    co_await p.allreduce(row, 8);
+    co_await p.bcast(row, 0, 64);
+  });
+  Trace t = job.take_trace();
+  const auto insts = t.collect_collectives();
+  // 2 groups x 3 collectives.
+  ASSERT_EQ(insts.size(), 6u);
+  std::map<CollectiveKind, int> counts;
+  for (const auto& inst : insts) {
+    EXPECT_EQ(inst.begins.size(), 4u);
+    ++counts[inst.kind];
+  }
+  EXPECT_EQ(counts[CollectiveKind::Barrier], 2);
+  EXPECT_EQ(counts[CollectiveKind::Allreduce], 2);
+  EXPECT_EQ(counts[CollectiveKind::Bcast], 2);
+}
+
+TEST(CommSplit, SubCollectiveSemanticsHold) {
+  Job job(small_job(8));
+  job.run([&](Proc& p) -> Coro<void> {
+    const Communicator half = co_await p.split(p.comm_world(), p.rank() < 4 ? 0 : 1, p.rank());
+    co_await p.compute(p.rng().uniform(0.0, 20e-6));
+    co_await p.barrier(half);
+  });
+  Trace t = job.take_trace();
+  for (const auto& inst : t.collect_collectives()) {
+    Time max_begin = -kTimeInfinity, min_end = kTimeInfinity;
+    for (const auto& b : inst.begins) max_begin = std::max(max_begin, t.at(b).true_ts);
+    for (const auto& e : inst.ends) min_end = std::min(min_end, t.at(e).true_ts);
+    EXPECT_GE(min_end, max_begin);
+  }
+}
+
+TEST(CommSplit, ConcurrentRowAndColumnComms) {
+  // 4x2 grid: row comms and column comms used back to back.
+  Job job(small_job(8));
+  job.run([&](Proc& p) -> Coro<void> {
+    const int row = p.rank() / 4;
+    const int col = p.rank() % 4;
+    const Communicator row_comm = co_await p.split(p.comm_world(), row, col);
+    const Communicator col_comm = co_await p.split(p.comm_world(), col, row);
+    for (int i = 0; i < 5; ++i) {
+      co_await p.allreduce(row_comm, 8);
+      co_await p.allreduce(col_comm, 8);
+    }
+  });
+  Trace t = job.take_trace();
+  // 2 rows x 5 + 4 cols x 5 = 30 instances, each complete.
+  const auto insts = t.collect_collectives();
+  EXPECT_EQ(insts.size(), 30u);
+  for (const auto& inst : insts) {
+    EXPECT_TRUE(inst.begins.size() == 4u || inst.begins.size() == 2u);
+    EXPECT_EQ(inst.begins.size(), inst.ends.size());
+  }
+}
+
+TEST(CommSplit, RootedSubCollectiveRecordsWorldRoot) {
+  Job job(small_job(4));
+  job.run([&](Proc& p) -> Coro<void> {
+    const Communicator high = co_await p.split(p.comm_world(), p.rank() / 2, p.rank());
+    co_await p.bcast(high, 1, 32);  // root = communicator rank 1
+  });
+  Trace t = job.take_trace();
+  for (const auto& inst : t.collect_collectives()) {
+    // Group {0,1} -> world root 1; group {2,3} -> world root 3.
+    EXPECT_TRUE(inst.root == 1 || inst.root == 3);
+  }
+}
+
+TEST(CommSplit, NonMemberCollectiveRejected) {
+  Job job(small_job(4));
+  EXPECT_THROW(job.run([&](Proc& p) -> Coro<void> {
+    const Communicator sub = co_await p.split(p.comm_world(), p.rank() % 2, 0);
+    // Every rank tries a collective on rank 0's communicator object; members
+    // of the other color are not members.
+    if (p.rank() == 1) {
+      const Communicator wrong(sub.id() + 100, {0, 2});
+      co_await p.barrier(wrong);
+    }
+  }),
+               std::invalid_argument);
+}
+
+TEST(CommSplit, SplitOfSplit) {
+  Job job(small_job(8));
+  std::vector<int> sizes(8, 0);
+  job.run([&](Proc& p) -> Coro<void> {
+    const Communicator half = co_await p.split(p.comm_world(), p.rank() / 4, p.rank());
+    const Communicator quarter = co_await p.split(half, half.rank_of(p.rank()) / 2, 0);
+    sizes[static_cast<std::size_t>(p.rank())] = quarter.size();
+    co_await p.barrier(quarter);
+  });
+  for (int s : sizes) EXPECT_EQ(s, 2);
+}
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "mpisim/job.hpp"
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+JobConfig small_job(int ranks) {
+  JobConfig cfg;
+  cfg.placement = pinning::inter_node(clusters::xeon_rwth(), ranks);
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(Nonblocking, IsendWaitCompletesLocally) {
+  Job job(small_job(2));
+  Time waited_at = -1.0, started_at = -1.0;
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      started_at = p.now();
+      Request r = p.isend(1, 1, 64);
+      (void)co_await p.wait(std::move(r));
+      waited_at = p.now();
+    } else {
+      co_await p.recv(0, 1);
+    }
+  });
+  // The send request completes after the local overhead, far below the
+  // network latency.
+  EXPECT_GT(waited_at, started_at);
+  EXPECT_LT(waited_at - started_at, 1 * units::us);
+}
+
+TEST(Nonblocking, IrecvBeforeArrival) {
+  Job job(small_job(2));
+  std::vector<double> got;
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      Request r = p.irecv(1, 7);
+      Message m = co_await p.wait(std::move(r));
+      got = m.data;
+    } else {
+      co_await p.compute(50 * units::us);
+      std::vector<double> payload(1, 9.5);
+      co_await p.send(0, 7, 8, std::move(payload));
+    }
+  });
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_DOUBLE_EQ(got[0], 9.5);
+}
+
+TEST(Nonblocking, IrecvAfterArrivalMatchesUnexpected) {
+  Job job(small_job(2));
+  Rank src = -1;
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      co_await p.compute(100 * units::us);  // message already arrived
+      Request r = p.irecv(kAnySource, kAnyTag);
+      Message m = co_await p.wait(std::move(r));
+      src = m.src;
+    } else {
+      co_await p.send(0, 3, 8);
+    }
+  });
+  EXPECT_EQ(src, 1);
+}
+
+TEST(Nonblocking, WaitallHandlesMixedRequests) {
+  Job job(small_job(3));
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      std::vector<Request> reqs;
+      reqs.push_back(p.irecv(1, 1));
+      reqs.push_back(p.irecv(2, 1));
+      reqs.push_back(p.isend(1, 2, 16));
+      reqs.push_back(p.isend(2, 2, 16));
+      co_await p.waitall(std::move(reqs));
+    } else {
+      Request r = p.irecv(0, 2);
+      co_await p.send(0, 1, 16);
+      (void)co_await p.wait(std::move(r));
+    }
+  });
+  Trace t = job.take_trace();
+  EXPECT_EQ(t.match_messages().size(), 4u);
+}
+
+TEST(Nonblocking, RecvEventRecordedAtWait) {
+  Job job(small_job(2));
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      Request r = p.irecv(1, 1);
+      co_await p.compute(200 * units::us);  // delay the wait well past arrival
+      (void)co_await p.wait(std::move(r));
+    } else {
+      co_await p.send(0, 1, 8);
+    }
+  });
+  Trace t = job.take_trace();
+  ASSERT_EQ(t.events(0).size(), 1u);
+  const Event& recv = t.events(0)[0];
+  EXPECT_EQ(recv.type, EventType::Recv);
+  // Scalasca-like: the Recv is timestamped in the wait, after the compute.
+  EXPECT_GE(recv.true_ts, 200 * units::us);
+}
+
+TEST(Nonblocking, MessageAccessorRequiresCompletion) {
+  Job job(small_job(2));
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      Request r = p.irecv(1, 1);
+      EXPECT_FALSE(r.complete());
+      EXPECT_THROW((void)r.message(), std::invalid_argument);
+      Message m = co_await p.wait(std::move(r));
+      EXPECT_EQ(m.src, 1);
+    } else {
+      co_await p.send(0, 1, 8);
+    }
+  });
+}
+
+TEST(Nonblocking, DroppedRequestDoesNotCrash) {
+  // A posted irecv abandoned by the application: the mailbox keepalive must
+  // hold the state until delivery.
+  Job job(small_job(2));
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      { Request r = p.irecv(1, 1); }  // dropped immediately
+      co_await p.compute(100 * units::us);
+    } else {
+      co_await p.send(0, 1, 8);
+    }
+  });
+  SUCCEED();
+}
+
+TEST(Nonblocking, WaitOnEmptyRequestRejected) {
+  Job job(small_job(2));
+  EXPECT_THROW(job.run([&](Proc& p) -> Coro<void> {
+    Request r;
+    (void)co_await p.wait(std::move(r));
+  }),
+               std::invalid_argument);
+}
+
+TEST(Nonblocking, PmpiRegionsWrapNonblockingCalls) {
+  JobConfig cfg = small_job(2);
+  cfg.record_mpi_regions = true;
+  Job job(std::move(cfg));
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      Request r = p.irecv(1, 1);
+      (void)co_await p.wait(std::move(r));
+    } else {
+      Request s = p.isend(0, 1, 8);
+      (void)co_await p.wait(std::move(s));
+    }
+  });
+  Trace t = job.take_trace();
+  // rank0: Enter(Irecv) Exit + Enter(Wait) Recv Exit = 5 events.
+  ASSERT_EQ(t.events(0).size(), 5u);
+  EXPECT_EQ(t.events(0)[0].type, EventType::Enter);
+  EXPECT_EQ(t.region_name(t.events(0)[0].region), "MPI_Irecv");
+  EXPECT_EQ(t.events(0)[3].type, EventType::Recv);
+  // rank1: Enter(Isend) Send Exit + Enter(Wait) Exit = 5 events.
+  ASSERT_EQ(t.events(1).size(), 5u);
+  EXPECT_EQ(t.region_name(t.events(1)[0].region), "MPI_Isend");
+  EXPECT_EQ(t.events(1)[1].type, EventType::Send);
+}
+
+TEST(Nonblocking, HaloPatternDeadlockFree) {
+  // All ranks post receives then sends: the classic pattern that deadlocks
+  // with blocking recv-first ordering.
+  Job job(small_job(6));
+  job.run([&](Proc& p) -> Coro<void> {
+    const int n = p.nranks();
+    for (int it = 0; it < 20; ++it) {
+      std::vector<Request> reqs;
+      reqs.push_back(p.irecv((p.rank() + 1) % n, 1));
+      reqs.push_back(p.irecv((p.rank() + n - 1) % n, 1));
+      reqs.push_back(p.isend((p.rank() + 1) % n, 1, 128));
+      reqs.push_back(p.isend((p.rank() + n - 1) % n, 1, 128));
+      co_await p.waitall(std::move(reqs));
+    }
+  });
+  Trace t = job.take_trace();
+  EXPECT_EQ(t.match_messages().size(), 6u * 20u * 2u);
+}
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "common/statistics.hpp"
+#include "mpisim/job.hpp"
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+Time run_compute(double noise_rate, Duration noise_scale, std::uint64_t seed) {
+  JobConfig cfg;
+  cfg.placement = pinning::inter_node(clusters::xeon_rwth(), 1);
+  cfg.os_noise_rate = noise_rate;
+  cfg.os_noise_scale = noise_scale;
+  cfg.seed = seed;
+  Job job(std::move(cfg));
+  job.run([&](Proc& p) -> Coro<void> { co_await p.compute(1.0); });
+  return job.engine().now();
+}
+
+TEST(OsNoise, OffByDefaultIsExact) {
+  EXPECT_DOUBLE_EQ(run_compute(0.0, 50e-6, 1), 1.0);
+}
+
+TEST(OsNoise, StretchesComputeByExpectedAmount) {
+  // 100 preemptions/s of mean 1 ms each stretch 1 s of compute by ~10%.
+  RunningStats stretch;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    stretch.add(run_compute(100.0, 1e-3, seed) - 1.0);
+  }
+  EXPECT_NEAR(stretch.mean(), 0.1, 0.03);
+  EXPECT_GT(stretch.min(), 0.0);
+}
+
+TEST(OsNoise, DeterministicPerSeed) {
+  EXPECT_DOUBLE_EQ(run_compute(100.0, 1e-3, 5), run_compute(100.0, 1e-3, 5));
+  EXPECT_NE(run_compute(100.0, 1e-3, 5), run_compute(100.0, 1e-3, 6));
+}
+
+TEST(OsNoise, DoesNotPerturbWorkloadRngStream) {
+  auto first_draw = [](double rate) {
+    JobConfig cfg;
+    cfg.placement = pinning::inter_node(clusters::xeon_rwth(), 1);
+    cfg.os_noise_rate = rate;
+    cfg.seed = 9;
+    Job job(std::move(cfg));
+    double draw = 0.0;
+    job.run([&](Proc& p) -> Coro<void> {
+      co_await p.compute(1.0);
+      draw = p.rng().uniform();
+    });
+    return draw;
+  };
+  EXPECT_DOUBLE_EQ(first_draw(0.0), first_draw(500.0));
+}
+
+TEST(OsNoise, SkewsCollectiveArrival) {
+  // With OS noise, identical compute phases finish at different times, so a
+  // barrier's begin events spread out (the jitter mechanism of Sec. III(c)).
+  auto barrier_spread = [](double rate) {
+    JobConfig cfg;
+    cfg.placement = pinning::inter_node(clusters::xeon_rwth(), 8);
+    cfg.os_noise_rate = rate;
+    cfg.os_noise_scale = 100e-6;
+    cfg.seed = 3;
+    Job job(std::move(cfg));
+    job.run([&](Proc& p) -> Coro<void> {
+      co_await p.compute(0.5);
+      co_await p.barrier();
+    });
+    Trace t = job.take_trace();
+    Time lo = kTimeInfinity, hi = -kTimeInfinity;
+    for (Rank r = 0; r < 8; ++r) {
+      for (const Event& e : t.events(r)) {
+        if (e.type != EventType::CollBegin) continue;
+        lo = std::min(lo, e.true_ts);
+        hi = std::max(hi, e.true_ts);
+      }
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(barrier_spread(200.0), barrier_spread(0.0));
+  EXPECT_GT(barrier_spread(200.0), 100e-6);
+}
+
+}  // namespace
+}  // namespace chronosync

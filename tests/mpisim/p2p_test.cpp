@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "mpisim/job.hpp"
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+JobConfig small_job(int ranks, TimerSpec timer = timer_specs::perfect()) {
+  JobConfig cfg;
+  cfg.placement = pinning::inter_node(clusters::xeon_rwth(), ranks);
+  cfg.timer = std::move(timer);
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(P2P, MessageArrivesAfterMinLatency) {
+  Job job(small_job(2));
+  Time recv_done = -1.0, send_start = -1.0;
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      send_start = p.now();
+      co_await p.send(1, 5, 64);
+    } else {
+      co_await p.recv(0, 5);
+      recv_done = p.now();
+    }
+  });
+  EXPECT_GE(recv_done, send_start + 4.29 * units::us);
+}
+
+TEST(P2P, PayloadDataRoundTrips) {
+  Job job(small_job(2));
+  std::vector<double> got;
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      std::vector<double> payload = {3.14, 2.71};
+      co_await p.send(1, 1, 16, std::move(payload));
+    } else {
+      Message m = co_await p.recv(0, 1);
+      got = m.data;
+    }
+  });
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_DOUBLE_EQ(got[0], 3.14);
+  EXPECT_DOUBLE_EQ(got[1], 2.71);
+}
+
+TEST(P2P, MessageFieldsArriveIntact) {
+  Job job(small_job(3));
+  Message seen;
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 2) {
+      co_await p.send(1, 9, 128);
+    } else if (p.rank() == 1) {
+      seen = co_await p.recv(kAnySource, kAnyTag);
+    }
+    co_return;
+  });
+  EXPECT_EQ(seen.src, 2);
+  EXPECT_EQ(seen.tag, 9);
+  EXPECT_EQ(seen.bytes, 128u);
+}
+
+TEST(P2P, NonOvertakingSameSourceSameTag) {
+  Job job(small_job(2));
+  std::vector<double> order;
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      for (int i = 0; i < 20; ++i) {
+        std::vector<double> payload(1, static_cast<double>(i));
+        co_await p.send(1, 3, 8, std::move(payload));
+      }
+    } else {
+      for (int i = 0; i < 20; ++i) {
+        Message m = co_await p.recv(0, 3);
+        order.push_back(m.data[0]);
+      }
+    }
+  });
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(P2P, TagSelectivity) {
+  Job job(small_job(2));
+  std::vector<double> got;
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      std::vector<double> one(1, 1.0), two(1, 2.0);
+      co_await p.send(1, 10, 8, std::move(one));
+      co_await p.send(1, 20, 8, std::move(two));
+    } else {
+      Message m20 = co_await p.recv(0, 20);  // posted for tag 20 first
+      Message m10 = co_await p.recv(0, 10);
+      got = {m20.data[0], m10.data[0]};
+    }
+  });
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_DOUBLE_EQ(got[0], 2.0);
+  EXPECT_DOUBLE_EQ(got[1], 1.0);
+}
+
+TEST(P2P, WildcardSourceMatchesArrivalOrder) {
+  Job job(small_job(3));
+  std::vector<Rank> sources;
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      Message a = co_await p.recv(kAnySource, 7);
+      Message b = co_await p.recv(kAnySource, 7);
+      sources = {a.src, b.src};
+    } else {
+      // rank 2 delays so rank 1's message arrives first
+      if (p.rank() == 2) co_await p.compute(100 * units::us);
+      co_await p.send(0, 7, 8);
+    }
+  });
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_EQ(sources[0], 1);
+  EXPECT_EQ(sources[1], 2);
+}
+
+TEST(P2P, TracedEventsRecorded) {
+  Job job(small_job(2));
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      co_await p.send(1, 5, 64);
+    } else {
+      co_await p.recv(0, 5);
+    }
+  });
+  Trace t = job.take_trace();
+  ASSERT_EQ(t.events(0).size(), 1u);
+  ASSERT_EQ(t.events(1).size(), 1u);
+  EXPECT_EQ(t.events(0)[0].type, EventType::Send);
+  EXPECT_EQ(t.events(1)[0].type, EventType::Recv);
+  EXPECT_EQ(t.events(0)[0].msg_id, t.events(1)[0].msg_id);
+}
+
+TEST(P2P, TracingOffRecordsNothing) {
+  Job job(small_job(2));
+  job.run([&](Proc& p) -> Coro<void> {
+    p.set_tracing(false);
+    if (p.rank() == 0) {
+      co_await p.send(1, 5, 64);
+    } else {
+      co_await p.recv(0, 5);
+    }
+  });
+  Trace t = job.take_trace();
+  EXPECT_EQ(t.total_events(), 0u);
+}
+
+TEST(P2P, GroundTruthNeverViolatesClockCondition) {
+  // The simulation itself must be causal: with *perfect* clocks the trace
+  // can never violate Eq. 1.
+  JobConfig cfg = small_job(4);
+  Job job(std::move(cfg));
+  job.run([&](Proc& p) -> Coro<void> {
+    for (int i = 0; i < 50; ++i) {
+      const Rank to = (p.rank() + 1) % p.nranks();
+      const Rank from = (p.rank() + p.nranks() - 1) % p.nranks();
+      co_await p.send(to, 1, 256);
+      co_await p.recv(from, 1);
+    }
+  });
+  Trace t = job.take_trace();
+  for (const auto& m : t.match_messages()) {
+    const Duration l_min = t.min_latency(m.send.proc, m.recv.proc);
+    EXPECT_GE(t.at(m.recv).true_ts, t.at(m.send).true_ts + l_min - 1e-12);
+    EXPECT_GE(t.at(m.recv).local_ts, t.at(m.send).local_ts + l_min - 1e-9);
+  }
+}
+
+TEST(P2P, DeadlockIsReported) {
+  Job job(small_job(2));
+  EXPECT_THROW(job.run([&](Proc& p) -> Coro<void> {
+    co_await p.recv((p.rank() + 1) % 2, 1);  // both wait, nobody sends
+  }),
+               std::runtime_error);
+}
+
+TEST(P2P, SelfSendRejected) {
+  Job job(small_job(2));
+  EXPECT_THROW(job.run([&](Proc& p) -> Coro<void> {
+    co_await p.send(p.rank(), 1, 8);
+  }),
+               std::invalid_argument);
+}
+
+TEST(P2P, UserTagRangeEnforced) {
+  Job job(small_job(2));
+  EXPECT_THROW(job.run([&](Proc& p) -> Coro<void> {
+    co_await p.send((p.rank() + 1) % 2, kInternalTagBase + 1, 8);
+  }),
+               std::invalid_argument);
+}
+
+TEST(P2P, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Job job(small_job(4, timer_specs::intel_tsc()));
+    job.run([&](Proc& p) -> Coro<void> {
+      for (int i = 0; i < 20; ++i) {
+        const Rank to = (p.rank() + 1) % p.nranks();
+        const Rank from = (p.rank() + p.nranks() - 1) % p.nranks();
+        co_await p.send(to, 1, 64);
+        co_await p.recv(from, 1);
+        co_await p.compute(p.rng().uniform(1e-6, 5e-6));
+      }
+    });
+    return job.take_trace();
+  };
+  Trace a = run_once();
+  Trace b = run_once();
+  ASSERT_EQ(a.total_events(), b.total_events());
+  for (Rank r = 0; r < a.ranks(); ++r) {
+    for (std::size_t i = 0; i < a.events(r).size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.events(r)[i].local_ts, b.events(r)[i].local_ts);
+      EXPECT_DOUBLE_EQ(a.events(r)[i].true_ts, b.events(r)[i].true_ts);
+    }
+  }
+}
+
+TEST(P2P, PlacementRejectsSharedCore) {
+  JobConfig cfg;
+  cfg.placement = Placement({{0, 0, 0}, {0, 0, 0}});
+  EXPECT_THROW(Job job(std::move(cfg)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chronosync

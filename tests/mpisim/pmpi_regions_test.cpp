@@ -1,0 +1,137 @@
+// PMPI region-wrapping (record_mpi_regions): event structure of the traced
+// MPI calls matches what interposition wrappers produce.
+#include <gtest/gtest.h>
+
+#include "mpisim/job.hpp"
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+JobConfig pmpi_job(int ranks) {
+  JobConfig cfg;
+  cfg.placement = pinning::inter_node(clusters::xeon_rwth(), ranks);
+  cfg.record_mpi_regions = true;
+  cfg.seed = 42;
+  return cfg;
+}
+
+std::vector<std::string> event_shape(const Trace& t, Rank r) {
+  std::vector<std::string> out;
+  for (const Event& e : t.events(r)) {
+    if (e.type == EventType::Enter) {
+      out.push_back("E:" + t.region_name(e.region));
+    } else if (e.type == EventType::Exit) {
+      out.push_back("X:" + t.region_name(e.region));
+    } else {
+      out.push_back(to_string(e.type));
+    }
+  }
+  return out;
+}
+
+TEST(PmpiRegions, BlockingSendRecvShape) {
+  Job job(pmpi_job(2));
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      co_await p.send(1, 1, 64);
+    } else {
+      co_await p.recv(0, 1);
+    }
+  });
+  Trace t = job.take_trace();
+  EXPECT_EQ(event_shape(t, 0),
+            (std::vector<std::string>{"E:MPI_Send", "SEND", "X:MPI_Send"}));
+  EXPECT_EQ(event_shape(t, 1),
+            (std::vector<std::string>{"E:MPI_Recv", "RECV", "X:MPI_Recv"}));
+}
+
+TEST(PmpiRegions, RecvEnterTimestampedAtCallNotMatch) {
+  Job job(pmpi_job(2));
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      co_await p.compute(500 * units::us);
+      co_await p.send(1, 1, 64);
+    } else {
+      co_await p.recv(0, 1);  // blocks ~500 us
+    }
+  });
+  Trace t = job.take_trace();
+  const auto& recv_events = t.events(1);
+  ASSERT_EQ(recv_events.size(), 3u);
+  // Enter at ~0; Recv and Exit after the sender got around to it.
+  EXPECT_LT(recv_events[0].true_ts, 10 * units::us);
+  EXPECT_GT(recv_events[1].true_ts, 490 * units::us);
+  // The blocking time is visible as the Enter->Recv gap, which is exactly
+  // what wait-state analyses (Scalasca's "Late Sender") quantify.
+  EXPECT_GT(recv_events[1].true_ts - recv_events[0].true_ts, 400 * units::us);
+}
+
+TEST(PmpiRegions, CollectiveShape) {
+  Job job(pmpi_job(4));
+  job.run([&](Proc& p) -> Coro<void> { co_await p.allreduce(8); });
+  Trace t = job.take_trace();
+  for (Rank r = 0; r < 4; ++r) {
+    EXPECT_EQ(event_shape(t, r),
+              (std::vector<std::string>{"E:MPI_Allreduce", "COLL_BEGIN", "COLL_END",
+                                        "X:MPI_Allreduce"}))
+        << r;
+  }
+}
+
+TEST(PmpiRegions, RegionsOffByDefault) {
+  JobConfig cfg = pmpi_job(2);
+  cfg.record_mpi_regions = false;
+  Job job(std::move(cfg));
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      co_await p.send(1, 1, 64);
+    } else {
+      co_await p.recv(0, 1);
+    }
+  });
+  Trace t = job.take_trace();
+  EXPECT_EQ(event_shape(t, 0), (std::vector<std::string>{"SEND"}));
+}
+
+TEST(PmpiRegions, UntracedInternalTrafficStaysInvisible) {
+  Job job(pmpi_job(4));
+  job.run([&](Proc& p) -> Coro<void> {
+    p.set_tracing(false);
+    co_await p.barrier();
+    p.set_tracing(true);
+    co_await p.barrier();
+  });
+  Trace t = job.take_trace();
+  // Only the traced barrier appears: 4 events per rank.
+  for (Rank r = 0; r < 4; ++r) EXPECT_EQ(t.events(r).size(), 4u);
+  EXPECT_EQ(t.collect_collectives().size(), 1u);
+}
+
+TEST(PmpiRegions, CensusMatchesScalascaShape) {
+  // With wrapping on, message-transfer events are exactly 1/3 of the MPI
+  // events (Enter + transfer + Exit per p2p call).
+  Job job(pmpi_job(2));
+  job.run([&](Proc& p) -> Coro<void> {
+    for (int i = 0; i < 25; ++i) {
+      if (p.rank() == 0) {
+        co_await p.send(1, 1, 64);
+        co_await p.recv(1, 2);
+      } else {
+        co_await p.recv(0, 1);
+        co_await p.send(0, 2, 64);
+      }
+    }
+  });
+  Trace t = job.take_trace();
+  std::size_t transfer = 0;
+  for (Rank r = 0; r < 2; ++r) {
+    for (const Event& e : t.events(r)) {
+      if (e.type == EventType::Send || e.type == EventType::Recv) ++transfer;
+    }
+  }
+  EXPECT_EQ(t.total_events(), 3 * transfer);
+}
+
+}  // namespace
+}  // namespace chronosync

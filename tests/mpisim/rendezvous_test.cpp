@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "mpisim/job.hpp"
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+JobConfig job_with_threshold(std::uint32_t threshold, int ranks = 2) {
+  JobConfig cfg;
+  cfg.placement = pinning::inter_node(clusters::xeon_rwth(), ranks);
+  cfg.rendezvous_threshold = threshold;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(Rendezvous, SmallMessagesStayEager) {
+  Job job(job_with_threshold(64 * 1024));
+  Time send_done = -1.0;
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      const Time t0 = p.now();
+      co_await p.send(1, 1, 1024);  // below threshold
+      send_done = p.now() - t0;
+    } else {
+      co_await p.compute(500 * units::us);  // receiver arrives late
+      co_await p.recv(0, 1);
+    }
+  });
+  // Eager: the sender returns after the local overhead, long before the
+  // receiver shows up.
+  EXPECT_LT(send_done, 1 * units::us);
+}
+
+TEST(Rendezvous, LargeSendBlocksUntilReceiverArrives) {
+  Job job(job_with_threshold(64 * 1024));
+  Time send_done = -1.0;
+  const Duration receiver_delay = 500 * units::us;
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      const Time t0 = p.now();
+      co_await p.send(1, 1, 1024 * 1024);  // 1 MiB: rendezvous
+      send_done = p.now() - t0;
+    } else {
+      co_await p.compute(receiver_delay);
+      co_await p.recv(0, 1);
+    }
+  });
+  // Synchronous semantics: the sender cannot complete before the receiver
+  // posted its receive.
+  EXPECT_GT(send_done, receiver_delay * 0.9);
+}
+
+TEST(Rendezvous, ReceiverFirstCompletesPromptly) {
+  Job job(job_with_threshold(64 * 1024));
+  Time send_done = -1.0;
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      co_await p.compute(200 * units::us);  // receiver is already waiting
+      const Time t0 = p.now();
+      co_await p.send(1, 1, 1024 * 1024);
+      send_done = p.now() - t0;
+    } else {
+      co_await p.recv(0, 1);
+    }
+  });
+  // One message flight + the CTS return path; far below a millisecond.
+  EXPECT_GT(send_done, 4.29 * units::us);
+  EXPECT_LT(send_done, 5 * units::ms);
+}
+
+TEST(Rendezvous, ZeroThresholdDisables) {
+  Job job(job_with_threshold(0));
+  Time send_done = -1.0;
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      const Time t0 = p.now();
+      co_await p.send(1, 1, 8 * 1024 * 1024);
+      send_done = p.now() - t0;
+    } else {
+      co_await p.compute(1 * units::ms);
+      co_await p.recv(0, 1);
+    }
+  });
+  EXPECT_LT(send_done, 1 * units::us);  // all eager
+}
+
+TEST(Rendezvous, NonblockingLargeSendCompletesAtMatch) {
+  Job job(job_with_threshold(64 * 1024));
+  Time wait_done = -1.0;
+  const Duration receiver_delay = 300 * units::us;
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      Request r = p.isend(1, 1, 256 * 1024);
+      const Time t0 = p.now();
+      (void)co_await p.wait(std::move(r));
+      wait_done = p.now() - t0;
+    } else {
+      co_await p.compute(receiver_delay);
+      co_await p.recv(0, 1);
+    }
+  });
+  EXPECT_GT(wait_done, receiver_delay * 0.9);
+}
+
+TEST(Rendezvous, DroppedLargeIsendRequestIsSafe) {
+  Job job(job_with_threshold(64 * 1024));
+  job.run([&](Proc& p) -> Coro<void> {
+    if (p.rank() == 0) {
+      { Request r = p.isend(1, 1, 256 * 1024); }  // dropped before completion
+      co_await p.compute(1 * units::ms);
+    } else {
+      co_await p.recv(0, 1);
+    }
+  });
+  SUCCEED();
+}
+
+TEST(Rendezvous, TraceStillCausallyConsistent) {
+  Job job(job_with_threshold(32 * 1024, 4));
+  job.run([&](Proc& p) -> Coro<void> {
+    for (int i = 0; i < 10; ++i) {
+      const Rank to = (p.rank() + 1) % p.nranks();
+      const Rank from = (p.rank() + p.nranks() - 1) % p.nranks();
+      Request r = p.irecv(from, 1);
+      co_await p.send(to, 1, 64 * 1024);  // rendezvous both ways
+      (void)co_await p.wait(std::move(r));
+    }
+  });
+  Trace t = job.take_trace();
+  EXPECT_EQ(t.match_messages().size(), 40u);
+  for (const auto& m : t.match_messages()) {
+    EXPECT_GE(t.at(m.recv).true_ts,
+              t.at(m.send).true_ts + t.min_latency(m.send.proc, m.recv.proc) - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace chronosync

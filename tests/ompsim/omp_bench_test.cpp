@@ -1,0 +1,115 @@
+#include "ompsim/omp_bench.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/omp_semantics.hpp"
+
+namespace chronosync {
+namespace {
+
+TEST(OmpThreadPlacement, ScattersAcrossChips) {
+  const ClusterSpec node = clusters::itanium_smp_node();
+  const Placement p = omp_thread_placement(node, 8);
+  EXPECT_EQ(p.location(0).chip, 0);
+  EXPECT_EQ(p.location(3).chip, 3);
+  EXPECT_EQ(p.location(4).chip, 0);
+  EXPECT_EQ(p.location(4).core, 1);
+  EXPECT_EQ(p.location(7).chip, 3);
+  // Four threads land on four distinct chips (the Fig. 8 low-thread case).
+  const Placement four = omp_thread_placement(node, 4);
+  for (Rank a = 0; a < 4; ++a) {
+    for (Rank b = a + 1; b < 4; ++b) {
+      EXPECT_EQ(four.domain(a, b), CommDomain::SameNode);
+    }
+  }
+  EXPECT_THROW(omp_thread_placement(node, 17), std::invalid_argument);
+}
+
+TEST(OmpBench, ProducesExpectedEventCounts) {
+  OmpBenchConfig cfg;
+  cfg.threads = 4;
+  cfg.regions = 10;
+  const auto res = run_omp_benchmark(cfg);
+  // Per region: fork + join + threads * (enter, barr-enter, barr-exit, exit).
+  EXPECT_EQ(res.trace.total_events(), 10u * (2 + 4u * 4));
+}
+
+TEST(OmpBench, GroundTruthIsSemanticallyClean) {
+  // With ground-truth timestamps no POMP rule may be violated: the runtime
+  // model itself is causal; only clock error creates violations.
+  OmpBenchConfig cfg;
+  cfg.threads = 8;
+  cfg.regions = 200;
+  const auto res = run_omp_benchmark(cfg);
+  const auto rep =
+      check_omp_semantics(res.trace, TimestampArray::from_truth(res.trace));
+  EXPECT_EQ(rep.with_any, 0u);
+  EXPECT_EQ(rep.regions, 200u);
+}
+
+TEST(OmpBench, MeasuredTimestampsShowViolationsAtFourThreads) {
+  OmpBenchConfig cfg;
+  cfg.threads = 4;
+  cfg.regions = 300;
+  cfg.seed = 5;
+  const auto res = run_omp_benchmark(cfg);
+  const auto rep =
+      check_omp_semantics(res.trace, TimestampArray::from_local(res.trace));
+  // The Fig. 8 effect: a large share of regions affected at 4 threads.
+  EXPECT_GT(rep.any_pct(), 20.0);
+}
+
+TEST(OmpBench, ViolationsDropWithThreadCount) {
+  double pct4 = 0.0, pct16 = 0.0;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    for (int threads : {4, 16}) {
+      OmpBenchConfig cfg;
+      cfg.threads = threads;
+      cfg.regions = 200;
+      cfg.seed = seed;
+      const auto res = run_omp_benchmark(cfg);
+      const auto rep =
+          check_omp_semantics(res.trace, TimestampArray::from_local(res.trace));
+      (threads == 4 ? pct4 : pct16) += rep.any_pct() / 3.0;
+    }
+  }
+  EXPECT_GT(pct4, pct16);
+}
+
+TEST(OmpBench, BarrierLatencyGrowsWithThreads) {
+  OmpBenchConfig cfg;
+  EXPECT_LT(omp_barrier_latency(cfg, 4), omp_barrier_latency(cfg, 8));
+  EXPECT_LT(omp_barrier_latency(cfg, 8), omp_barrier_latency(cfg, 16));
+}
+
+TEST(OmpBench, DeterministicForSeed) {
+  OmpBenchConfig cfg;
+  cfg.threads = 4;
+  cfg.regions = 20;
+  const auto a = run_omp_benchmark(cfg);
+  const auto b = run_omp_benchmark(cfg);
+  ASSERT_EQ(a.trace.total_events(), b.trace.total_events());
+  for (std::size_t i = 0; i < a.trace.events(0).size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.trace.events(0)[i].local_ts, b.trace.events(0)[i].local_ts);
+  }
+}
+
+TEST(OmpBench, TraceValidates) {
+  OmpBenchConfig cfg;
+  cfg.threads = 6;
+  cfg.regions = 50;
+  const auto res = run_omp_benchmark(cfg);
+  EXPECT_NO_THROW(res.trace.validate());
+}
+
+TEST(OmpBench, ConfigValidation) {
+  OmpBenchConfig cfg;
+  cfg.threads = 0;
+  EXPECT_THROW(run_omp_benchmark(cfg), std::invalid_argument);
+  cfg.threads = 4;
+  cfg.regions = 0;
+  EXPECT_THROW(run_omp_benchmark(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,119 @@
+// Property suite: CLC invariants over a sweep of seeds, rank counts, and
+// timer technologies.  For every configuration the algorithm must
+//   1. remove every clock-condition violation (p2p and collective),
+//   2. never move an event backwards relative to its input timestamp,
+//   3. keep per-process timestamps monotone,
+//   4. agree bit-exactly with the parallel replay implementation,
+//   5. leave violation-free traces untouched.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/clock_condition.hpp"
+#include "sync/clc.hpp"
+#include "sync/clc_parallel.hpp"
+#include "sync/interpolation.hpp"
+#include "workload/sweep.hpp"
+
+namespace chronosync {
+namespace {
+
+enum class TimerChoice { Tsc, Gettimeofday, MpiWtime };
+
+TimerSpec make_timer(TimerChoice c) {
+  switch (c) {
+    case TimerChoice::Tsc: return timer_specs::intel_tsc();
+    case TimerChoice::Gettimeofday: return timer_specs::gettimeofday_ntp();
+    case TimerChoice::MpiWtime: return timer_specs::mpi_wtime();
+  }
+  return timer_specs::perfect();
+}
+
+using ClcParam = std::tuple<std::uint64_t /*seed*/, int /*ranks*/, TimerChoice>;
+
+class ClcProperty : public testing::TestWithParam<ClcParam> {
+ protected:
+  AppRunResult run() const {
+    const auto [seed, ranks, timer] = GetParam();
+    SweepConfig cfg;
+    cfg.rounds = 150;
+    cfg.gap_mean = 3.0;
+    cfg.collective_every = 25;
+    JobConfig job;
+    job.placement = pinning::inter_node(clusters::xeon_rwth(), ranks);
+    job.timer = make_timer(timer);
+    job.seed = seed;
+    return run_sweep(cfg, std::move(job));
+  }
+};
+
+TEST_P(ClcProperty, RepairsEverythingWithoutRegression) {
+  AppRunResult res = run();
+  const auto msgs = res.trace.match_messages();
+  const auto logical = derive_logical_messages(res.trace);
+  const ReplaySchedule schedule(res.trace, msgs, logical);
+  const auto input =
+      apply_correction(res.trace, LinearInterpolation::from_store(res.offsets));
+
+  const ClcResult clc = controlled_logical_clock(res.trace, schedule, input);
+
+  // (1) no violations remain
+  const auto rep = check_clock_condition(res.trace, clc.corrected, msgs, logical);
+  EXPECT_EQ(rep.violations(), 0u);
+
+  for (Rank r = 0; r < res.trace.ranks(); ++r) {
+    const auto& in = input.of_rank(r);
+    const auto& out = clc.corrected.of_rank(r);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      // (2) only forward moves
+      EXPECT_GE(out[i], in[i] - 1e-12) << "rank " << r << " idx " << i;
+      // (3) monotone per process
+      if (i > 0) EXPECT_GE(out[i], out[i - 1]) << "rank " << r << " idx " << i;
+    }
+  }
+}
+
+TEST_P(ClcProperty, ParallelMatchesSequential) {
+  AppRunResult res = run();
+  const auto msgs = res.trace.match_messages();
+  const auto logical = derive_logical_messages(res.trace);
+  const ReplaySchedule schedule(res.trace, msgs, logical);
+  const auto input =
+      apply_correction(res.trace, LinearInterpolation::from_store(res.offsets));
+
+  const ClcResult seq = controlled_logical_clock(res.trace, schedule, input);
+  const ClcResult par = controlled_logical_clock_parallel(res.trace, schedule, input, {}, 3);
+  EXPECT_EQ(seq.violations_repaired, par.violations_repaired);
+  for (Rank r = 0; r < res.trace.ranks(); ++r) {
+    for (std::uint32_t i = 0; i < res.trace.events(r).size(); ++i) {
+      ASSERT_DOUBLE_EQ(seq.corrected.at({r, i}), par.corrected.at({r, i}));
+    }
+  }
+}
+
+TEST_P(ClcProperty, GroundTruthIsFixedPoint) {
+  AppRunResult res = run();
+  const auto msgs = res.trace.match_messages();
+  const auto logical = derive_logical_messages(res.trace);
+  const ReplaySchedule schedule(res.trace, msgs, logical);
+  const auto truth = TimestampArray::from_truth(res.trace);
+
+  // (5) the causal ground truth has no violations, so CLC must be identity.
+  const ClcResult clc = controlled_logical_clock(res.trace, schedule, truth);
+  EXPECT_EQ(clc.violations_repaired, 0u);
+  for (Rank r = 0; r < res.trace.ranks(); ++r) {
+    for (std::uint32_t i = 0; i < res.trace.events(r).size(); ++i) {
+      ASSERT_DOUBLE_EQ(clc.corrected.at({r, i}), truth.at({r, i}));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClcProperty,
+    testing::Combine(testing::Values<std::uint64_t>(1, 2, 3),
+                     testing::Values(2, 5, 8),
+                     testing::Values(TimerChoice::Tsc, TimerChoice::Gettimeofday,
+                                     TimerChoice::MpiWtime)));
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,86 @@
+// Property suite: every collective kind, across rank counts, must satisfy
+// its flavour's happened-before semantics in ground truth and produce a
+// complete, well-formed trace instance.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mpisim/job.hpp"
+#include "topology/cluster.hpp"
+#include "trace/logical_messages.hpp"
+
+namespace chronosync {
+namespace {
+
+using CollParam = std::tuple<CollectiveKind, int /*ranks*/>;
+
+class CollectiveProperty : public testing::TestWithParam<CollParam> {
+ protected:
+  Trace run() const {
+    const auto [kind, ranks] = GetParam();
+    JobConfig cfg;
+    cfg.placement = pinning::inter_node(clusters::xeon_rwth(), ranks);
+    cfg.seed = 42;
+    Job job(std::move(cfg));
+    job.run([&, kind = kind](Proc& p) -> Coro<void> {
+      // Random per-rank skew before the operation, like real imbalance.
+      co_await p.compute(p.rng().uniform(0.0, 20e-6));
+      switch (kind) {
+        case CollectiveKind::Barrier: co_await p.barrier(); break;
+        case CollectiveKind::Bcast: co_await p.bcast(1 % p.nranks(), 512); break;
+        case CollectiveKind::Reduce: co_await p.reduce(0, 512); break;
+        case CollectiveKind::Allreduce: co_await p.allreduce(64); break;
+        case CollectiveKind::Gather: co_await p.gather(0, 256); break;
+        case CollectiveKind::Scatter: co_await p.scatter(0, 256); break;
+        case CollectiveKind::Allgather: co_await p.allgather(128); break;
+        case CollectiveKind::Alltoall: co_await p.alltoall(64); break;
+      }
+    });
+    return job.take_trace();
+  }
+};
+
+TEST_P(CollectiveProperty, InstanceComplete) {
+  const auto [kind, ranks] = GetParam();
+  Trace t = run();
+  const auto insts = t.collect_collectives();
+  ASSERT_EQ(insts.size(), 1u);
+  EXPECT_EQ(insts[0].kind, kind);
+  EXPECT_EQ(insts[0].begins.size(), static_cast<std::size_t>(ranks));
+  EXPECT_EQ(insts[0].ends.size(), static_cast<std::size_t>(ranks));
+}
+
+TEST_P(CollectiveProperty, GroundTruthSatisfiesLogicalMessages) {
+  Trace t = run();
+  for (const auto& lm : derive_logical_messages(t)) {
+    const Duration l_min = t.min_latency(lm.send.proc, lm.recv.proc);
+    EXPECT_GE(t.at(lm.recv).true_ts, t.at(lm.send).true_ts + l_min - 1e-12)
+        << to_string(t.at(lm.send).coll) << " " << lm.send.proc << "->" << lm.recv.proc;
+  }
+}
+
+TEST_P(CollectiveProperty, EveryEndAfterOwnBegin) {
+  Trace t = run();
+  const auto insts = t.collect_collectives();
+  for (const auto& begin : insts[0].begins) {
+    for (const auto& end : insts[0].ends) {
+      if (begin.proc != end.proc) continue;
+      EXPECT_GT(t.at(end).true_ts, t.at(begin).true_ts);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSizes, CollectiveProperty,
+    testing::Combine(testing::Values(CollectiveKind::Barrier, CollectiveKind::Bcast,
+                                     CollectiveKind::Reduce, CollectiveKind::Allreduce,
+                                     CollectiveKind::Gather, CollectiveKind::Scatter,
+                                     CollectiveKind::Allgather, CollectiveKind::Alltoall),
+                     testing::Values(2, 3, 4, 7, 8, 16)),
+    [](const testing::TestParamInfo<CollParam>& info) {
+      return to_string(std::get<0>(info.param)) + "_x" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,118 @@
+// Property suite: every drift model must satisfy the DriftModel contract —
+// integrated() is the running integral of drift(), starts at zero, is
+// continuous, and the model is deterministic and query-order independent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "clockmodel/drift_model.hpp"
+
+namespace chronosync {
+namespace {
+
+struct ModelCase {
+  std::string name;
+  std::function<std::unique_ptr<DriftModel>(std::uint64_t seed)> make;
+};
+
+std::vector<ModelCase> model_cases() {
+  return {
+      {"constant",
+       [](std::uint64_t) { return std::make_unique<ConstantDrift>(12 * units::ppm); }},
+      {"piecewise",
+       [](std::uint64_t) {
+         return std::make_unique<PiecewiseConstantDrift>(
+             std::vector<Time>{0.0, 100.0, 250.0, 1000.0},
+             std::vector<double>{1e-6, -2e-6, 0.5e-6, 3e-6});
+       }},
+      {"random-walk",
+       [](std::uint64_t seed) {
+         return std::make_unique<RandomWalkDrift>(Rng(seed), 1e-6, 10.0, 2e-9, 1e-6);
+       }},
+      {"ornstein-uhlenbeck",
+       [](std::uint64_t seed) {
+         return std::make_unique<OrnsteinUhlenbeckDrift>(Rng(seed), 1e-6, 0.0, 0.01, 10.0,
+                                                         2e-9);
+       }},
+      {"sinusoidal",
+       [](std::uint64_t) { return std::make_unique<SinusoidalDrift>(1e-7, 600.0, 0.7); }},
+      {"composite",
+       [](std::uint64_t seed) {
+         std::vector<std::unique_ptr<DriftModel>> parts;
+         parts.push_back(std::make_unique<ConstantDrift>(5e-6));
+         parts.push_back(std::make_unique<RandomWalkDrift>(Rng(seed), 0.0, 10.0, 1e-9, 1e-6));
+         return std::make_unique<CompositeDrift>(std::move(parts));
+       }},
+      {"ntp",
+       [](std::uint64_t seed) {
+         NtpParams params;
+         return std::make_unique<NtpDisciplinedDrift>(
+             Rng(seed), std::make_unique<ConstantDrift>(20 * units::ppm), params);
+       }},
+  };
+}
+
+class DriftContract : public testing::TestWithParam<std::size_t> {
+ protected:
+  const ModelCase& c() const { return cases_[GetParam()]; }
+  static std::vector<ModelCase> cases_;
+};
+std::vector<ModelCase> DriftContract::cases_ = model_cases();
+
+TEST_P(DriftContract, IntegralStartsAtZero) {
+  auto m = c().make(42);
+  EXPECT_NEAR(m->integrated(0.0), 0.0, 1e-18);
+}
+
+TEST_P(DriftContract, IntegralIsRunningIntegralOfRate) {
+  auto m = c().make(42);
+  // Check integrated' == drift at many points via symmetric differences,
+  // skipping points too close to a potential segment boundary.
+  for (double t = 3.14; t < 2000.0; t += 97.3) {
+    const double h = 1e-4;
+    const double numeric = (m->integrated(t + h) - m->integrated(t - h)) / (2 * h);
+    EXPECT_NEAR(numeric, m->drift(t), 1e-9) << c().name << " at t=" << t;
+  }
+}
+
+TEST_P(DriftContract, IntegralIsContinuous) {
+  auto m = c().make(42);
+  for (double t = 1.0; t < 2000.0; t += 33.7) {
+    const double before = m->integrated(t - 1e-9);
+    const double after = m->integrated(t + 1e-9);
+    EXPECT_NEAR(before, after, 1e-12) << c().name << " at t=" << t;
+  }
+}
+
+TEST_P(DriftContract, DeterministicAndOrderIndependent) {
+  auto a = c().make(7);
+  auto b = c().make(7);
+  (void)a.get()->integrated(3000.0);  // extend a far ahead first
+  for (double t = 0.5; t < 3000.0; t += 211.0) {
+    EXPECT_DOUBLE_EQ(a->drift(t), b->drift(t)) << c().name;
+    EXPECT_DOUBLE_EQ(a->integrated(t), b->integrated(t)) << c().name;
+  }
+}
+
+TEST_P(DriftContract, RatesStaySane) {
+  auto m = c().make(42);
+  for (double t = 0.0; t < 4000.0; t += 13.7) {
+    EXPECT_LT(std::abs(m->drift(t)), 1e-3) << c().name;  // < 1000 ppm always
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, DriftContract,
+                         testing::Range<std::size_t>(0, model_cases().size()),
+                         [](const testing::TestParamInfo<std::size_t>& info) {
+                           std::string name = model_cases()[info.param].name;
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,108 @@
+// Property suite: every timer preset must build a ClockEnsemble that honours
+// the SimClock contract — strictly increasing local time, monotone reads,
+// bounded drift rates, determinism — and the correlation structure promised
+// by its oscillator scope.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clockmodel/clock_ensemble.hpp"
+#include "clockmodel/timer_spec.hpp"
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+class TimerPresetContract : public testing::TestWithParam<std::size_t> {
+ protected:
+  static std::vector<TimerSpec> specs_;
+  const TimerSpec& spec() const { return specs_[GetParam()]; }
+
+  Placement mixed_placement() const {
+    // Two ranks on node 0 (different chips), one on node 1.
+    return Placement({{0, 0, 0}, {0, 1, 0}, {1, 0, 0}});
+  }
+};
+std::vector<TimerSpec> TimerPresetContract::specs_ = timer_specs::all();
+
+TEST_P(TimerPresetContract, LocalTimeStrictlyIncreases) {
+  ClockEnsemble ens(mixed_placement(), spec(), RngTree(3));
+  for (Rank r = 0; r < 3; ++r) {
+    Time prev = ens.clock(r).local_time(0.0);
+    for (Time t = 0.5; t < 4000.0; t += 13.7) {
+      const Time now = ens.clock(r).local_time(t);
+      EXPECT_GT(now, prev) << spec().name << " rank " << r << " t=" << t;
+      prev = now;
+    }
+  }
+}
+
+TEST_P(TimerPresetContract, ReadsAreMonotone) {
+  ClockEnsemble ens(mixed_placement(), spec(), RngTree(4));
+  for (Rank r = 0; r < 3; ++r) {
+    Time prev = -kTimeInfinity;
+    for (Time t = 0.0; t < 50.0; t += 0.01) {
+      const Time now = ens.clock(r).read(t);
+      EXPECT_GE(now, prev) << spec().name;
+      prev = now;
+    }
+  }
+}
+
+TEST_P(TimerPresetContract, DriftRatesBounded) {
+  ClockEnsemble ens(mixed_placement(), spec(), RngTree(5));
+  // Even the DVFS-afflicted cycle counter stays within ~1100 ppm of true
+  // rate; NTP slews are capped at 500 ppm.
+  for (Rank r = 0; r < 3; ++r) {
+    for (Time t = 0.0; t < 4000.0; t += 111.1) {
+      EXPECT_LT(std::abs(ens.clock(r).drift(t)), 1.2e-3) << spec().name;
+    }
+  }
+}
+
+TEST_P(TimerPresetContract, DeterministicAcrossConstruction) {
+  ClockEnsemble a(mixed_placement(), spec(), RngTree(6));
+  ClockEnsemble b(mixed_placement(), spec(), RngTree(6));
+  for (Rank r = 0; r < 3; ++r) {
+    for (Time t : {0.0, 123.4, 2718.2}) {
+      EXPECT_DOUBLE_EQ(a.clock(r).local_time(t), b.clock(r).local_time(t)) << spec().name;
+    }
+  }
+}
+
+TEST_P(TimerPresetContract, IntraNodeTighterThanCrossNode) {
+  if (spec().kind == TimerKind::PerfectGlobal) GTEST_SKIP();
+  ClockEnsemble ens(mixed_placement(), spec(), RngTree(7));
+  // Relative drift accumulated over an hour: ranks 0/1 share the node (for
+  // PerNode scopes, the oscillator), rank 2 lives elsewhere.
+  auto wander = [&](Rank a, Rank b) {
+    return std::abs(ens.deviation(a, b, 3600.0) - ens.deviation(a, b, 0.0));
+  };
+  EXPECT_LE(wander(0, 1), wander(0, 2) + 1 * units::us) << spec().name;
+}
+
+TEST_P(TimerPresetContract, DeviationContinuityUnderSampling) {
+  ClockEnsemble ens(mixed_placement(), spec(), RngTree(8));
+  // Deviation change per second is bounded by the worst-case rate difference
+  // (~1100 ppm for DVFS counters, 500 ppm NTP slew): nothing *steps* the
+  // clock.
+  Duration prev = ens.deviation(2, 0, 0.0);
+  for (Time t = 1.0; t < 600.0; t += 1.0) {
+    const Duration now = ens.deviation(2, 0, t);
+    EXPECT_LT(std::abs(now - prev), 2.5e-3) << spec().name << " t=" << t;
+    prev = now;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, TimerPresetContract,
+                         testing::Range<std::size_t>(0, timer_specs::all().size()),
+                         [](const testing::TestParamInfo<std::size_t>& info) {
+                           std::string name = timer_specs::all()[info.param].name;
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace chronosync

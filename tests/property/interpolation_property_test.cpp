@@ -1,0 +1,84 @@
+// Property suite: linear offset interpolation (Eq. 3) inverts *any* affine
+// clock map exactly, for randomized offsets, drifts, and measurement points —
+// and degrades gracefully (bounded by measurement error) when the
+// measurements themselves carry Cristian-style errors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sync/interpolation.hpp"
+
+namespace chronosync {
+namespace {
+
+class AffineInversion : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AffineInversion, ExactForPerfectMeasurements) {
+  Rng rng(GetParam());
+  const double offset = rng.uniform(-1.0, 1.0);
+  const double drift = rng.uniform(-100e-6, 100e-6);
+  auto local = [&](Time t) { return t + offset + drift * t; };
+
+  const Time t1 = rng.uniform(0.0, 100.0);
+  const Time t2 = t1 + rng.uniform(100.0, 4000.0);
+  LinearInterpolation::RankParams p;
+  p.w1 = local(t1);
+  p.o1 = t1 - local(t1);
+  p.w2 = local(t2);
+  p.o2 = t2 - local(t2);
+  const LinearInterpolation interp({{0.0, 0.0, 1.0, 0.0}, p});
+
+  for (int k = 0; k < 50; ++k) {
+    const Time t = rng.uniform(0.0, 5000.0);  // also outside [t1, t2]
+    EXPECT_NEAR(interp.correct(1, local(t)), t, 1e-8);
+  }
+}
+
+TEST_P(AffineInversion, MeasurementErrorBoundsResidual) {
+  Rng rng(GetParam() + 1000);
+  const double offset = rng.uniform(-1e-3, 1e-3);
+  const double drift = rng.uniform(-50e-6, 50e-6);
+  auto local = [&](Time t) { return t + offset + drift * t; };
+
+  // Perturb the two offset measurements by up to +/- eps.
+  const double eps = 2e-6;
+  const Time t1 = 10.0, t2 = 1800.0;
+  LinearInterpolation::RankParams p;
+  p.w1 = local(t1);
+  p.o1 = t1 - local(t1) + rng.uniform(-eps, eps);
+  p.w2 = local(t2);
+  p.o2 = t2 - local(t2) + rng.uniform(-eps, eps);
+  const LinearInterpolation interp({{0.0, 0.0, 1.0, 0.0}, p});
+
+  // Inside the measurement interval, the residual of an affine clock is a
+  // convex combination of the two endpoint errors: |residual| <= eps.
+  for (int k = 0; k < 50; ++k) {
+    const Time t = rng.uniform(t1, t2);
+    EXPECT_LE(std::abs(interp.correct(1, local(t)) - t), eps + 1e-9);
+  }
+}
+
+TEST_P(AffineInversion, PiecewiseAgreesWithLinearOnTwoKnots) {
+  Rng rng(GetParam() + 2000);
+  const double offset = rng.uniform(-1e-2, 1e-2);
+  const double drift = rng.uniform(-80e-6, 80e-6);
+  auto local = [&](Time t) { return t + offset + drift * t; };
+
+  OffsetStore store(2);
+  for (Time t : {5.0, 1200.0}) {
+    store.add(0, {t, 0.0, 0.0});
+    store.add(1, {local(t), t - local(t), 0.0});
+  }
+  const LinearInterpolation lin = LinearInterpolation::from_store(store);
+  const PiecewiseInterpolation pw = PiecewiseInterpolation::from_store(store);
+  for (int k = 0; k < 30; ++k) {
+    const Time t = rng.uniform(0.0, 1500.0);
+    EXPECT_NEAR(lin.correct(1, local(t)), pw.correct(1, local(t)), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AffineInversion, testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace chronosync

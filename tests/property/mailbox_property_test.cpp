@@ -1,0 +1,131 @@
+// Property suite: the Mailbox's matching must agree with a straightforward
+// reference model (linear scan with MPI rules) over randomized sequences of
+// deliveries and receives, including wildcards.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "mpisim/mailbox.hpp"
+#include "sim/engine.hpp"
+
+namespace chronosync {
+namespace {
+
+/// Reference matcher: the MPI rules, written as naively as possible.
+struct ReferenceModel {
+  struct Arrived {
+    Message msg;
+    Time at;
+  };
+  struct Pending {
+    Rank src;
+    Tag tag;
+    int id;
+  };
+  std::deque<Arrived> unexpected;
+  std::deque<Pending> posted;
+  // (recv id, message id) pairs in match order.
+  std::vector<std::pair<int, std::int64_t>> matches;
+
+  static bool match(Rank ws, Tag wt, const Message& m) {
+    return (ws == kAnySource || ws == m.src) && (wt == kAnyTag || wt == m.tag);
+  }
+
+  void deliver(Message m, Time t) {
+    for (auto it = posted.begin(); it != posted.end(); ++it) {
+      if (match(it->src, it->tag, m)) {
+        matches.emplace_back(it->id, m.id);
+        posted.erase(it);
+        return;
+      }
+    }
+    unexpected.push_back({std::move(m), t});
+  }
+
+  void recv(Rank src, Tag tag, int id) {
+    for (auto it = unexpected.begin(); it != unexpected.end(); ++it) {
+      if (match(src, tag, it->msg)) {
+        matches.emplace_back(id, it->msg.id);
+        unexpected.erase(it);
+        return;
+      }
+    }
+    posted.push_back({src, tag, id});
+  }
+};
+
+class MailboxFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MailboxFuzz, AgreesWithReferenceModel) {
+  Rng rng(GetParam());
+  Engine engine;
+  Mailbox mailbox;
+  ReferenceModel model;
+
+  struct LiveRecv {
+    int id;
+    Message out;
+    Time arrival = 0.0;
+    bool complete = false;
+    std::unique_ptr<Trigger> trigger;
+  };
+  std::vector<std::unique_ptr<LiveRecv>> recvs;
+  std::vector<std::pair<int, std::int64_t>> matches;
+
+  std::int64_t next_msg = 0;
+  int next_recv = 0;
+  for (int step = 0; step < 400; ++step) {
+    if (rng.bernoulli(0.5)) {
+      Message m;
+      m.src = static_cast<Rank>(rng.uniform_int(0, 3));
+      m.tag = static_cast<Tag>(rng.uniform_int(0, 2));
+      m.id = next_msg++;
+      model.deliver(m, static_cast<Time>(step));
+      mailbox.deliver(m, static_cast<Time>(step));
+    } else {
+      const Rank src = rng.bernoulli(0.25) ? kAnySource : static_cast<Rank>(rng.uniform_int(0, 3));
+      const Tag tag = rng.bernoulli(0.25) ? kAnyTag : static_cast<Tag>(rng.uniform_int(0, 2));
+      const int id = next_recv++;
+      model.recv(src, tag, id);
+      if (auto hit = mailbox.try_match(src, tag, static_cast<Time>(step))) {
+        matches.emplace_back(id, hit->first.id);
+      } else {
+        auto live = std::make_unique<LiveRecv>();
+        live->id = id;
+        live->trigger = std::make_unique<Trigger>(engine);
+        mailbox.post(src, tag, &live->out, &live->arrival, live->trigger.get(),
+                     &live->complete);
+        recvs.push_back(std::move(live));
+      }
+    }
+    // Collect asynchronous completions in posting order for comparability.
+    for (auto& live : recvs) {
+      if (live && live->complete) {
+        matches.emplace_back(live->id, live->out.id);
+        live.reset();
+      }
+    }
+  }
+
+  // The reference records matches at the moment they happen; the mailbox via
+  // our collection loop. Sort both by recv id: each recv matches exactly one
+  // message, so order normalization is safe.
+  auto norm = [](std::vector<std::pair<int, std::int64_t>> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(norm(matches), norm(model.matches));
+  EXPECT_EQ(mailbox.unexpected_count(), model.unexpected.size());
+  EXPECT_EQ(mailbox.posted_count(),
+            static_cast<std::size_t>(std::count_if(
+                recvs.begin(), recvs.end(), [](const auto& r) { return r != nullptr; })));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MailboxFuzz, testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,90 @@
+// Property suite: the OpenMP runtime model across thread counts and seeds —
+// structural invariants, causal ground truth, and the OpenMP-CLC contract.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/omp_semantics.hpp"
+#include "ompsim/omp_bench.hpp"
+#include "sync/omp_clc.hpp"
+
+namespace chronosync {
+namespace {
+
+using Param = std::tuple<int /*threads*/, std::uint64_t /*seed*/>;
+
+class OmpProperty : public testing::TestWithParam<Param> {
+ protected:
+  OmpBenchResult run(int regions = 120) const {
+    const auto [threads, seed] = GetParam();
+    OmpBenchConfig cfg;
+    cfg.threads = threads;
+    cfg.regions = regions;
+    cfg.seed = seed;
+    return run_omp_benchmark(cfg);
+  }
+};
+
+TEST_P(OmpProperty, EventStructurePerRegion) {
+  const auto [threads, seed] = GetParam();
+  const auto res = run();
+  // Per region: fork + join + threads * (enter, barrier enter/exit, exit).
+  EXPECT_EQ(res.trace.total_events(), 120u * (2 + 4u * static_cast<unsigned>(threads)));
+  // Count forks = joins = regions.
+  std::size_t forks = 0, joins = 0;
+  for (const Event& e : res.trace.events(0)) {
+    forks += e.type == EventType::Fork;
+    joins += e.type == EventType::Join;
+  }
+  EXPECT_EQ(forks, 120u);
+  EXPECT_EQ(joins, 120u);
+}
+
+TEST_P(OmpProperty, GroundTruthSemanticallyClean) {
+  const auto res = run();
+  const auto rep = check_omp_semantics(res.trace, TimestampArray::from_truth(res.trace));
+  EXPECT_EQ(rep.with_any, 0u);
+}
+
+TEST_P(OmpProperty, PerThreadTimestampsMonotone) {
+  const auto res = run();
+  std::map<ThreadId, Time> last_local, last_true;
+  for (const Event& e : res.trace.events(0)) {
+    auto it = last_local.find(e.thread);
+    if (it != last_local.end()) {
+      EXPECT_GE(e.local_ts, it->second);
+      EXPECT_GE(e.true_ts, last_true[e.thread]);
+    }
+    last_local[e.thread] = e.local_ts;
+    last_true[e.thread] = e.true_ts;
+  }
+}
+
+TEST_P(OmpProperty, OmpClcAlwaysRepairs) {
+  const auto [threads, seed] = GetParam();
+  const auto res = run();
+  const Placement pl = omp_thread_placement(clusters::itanium_smp_node(), threads);
+  const OmpClcResult fixed = omp_controlled_logical_clock(res.trace, pl);
+  const auto after = check_omp_semantics(res.trace, fixed.corrected);
+  EXPECT_EQ(after.with_any, 0u);
+}
+
+TEST_P(OmpProperty, DeterministicForSeed) {
+  const auto a = run(30);
+  const auto b = run(30);
+  ASSERT_EQ(a.trace.total_events(), b.trace.total_events());
+  for (std::size_t i = 0; i < a.trace.events(0).size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.trace.events(0)[i].local_ts, b.trace.events(0)[i].local_ts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadsAndSeeds, OmpProperty,
+                         testing::Combine(testing::Values(2, 4, 8, 12, 16),
+                                          testing::Values<std::uint64_t>(1, 2, 3)),
+                         [](const testing::TestParamInfo<Param>& info) {
+                           return "t" + std::to_string(std::get<0>(info.param)) + "_s" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,236 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace chronosync {
+namespace {
+
+TEST(Engine, CallbacksFireInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(3.0, [&] { order.push_back(3); });
+  e.schedule(1.0, [&] { order.push_back(1); });
+  e.schedule(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, EqualTimesFireInInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(1.0, [&, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, PastTimesClampToNow) {
+  Engine e;
+  Time seen = -1.0;
+  e.schedule(5.0, [&] {
+    e.schedule(1.0, [&] { seen = e.now(); });  // in the past: fires "now"
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Engine, SimpleCoroutineDelays) {
+  Engine e;
+  std::vector<Time> stamps;
+  auto body = [&]() -> Coro<void> {
+    stamps.push_back(e.now());
+    co_await e.delay(2.0);
+    stamps.push_back(e.now());
+    co_await e.delay(3.0);
+    stamps.push_back(e.now());
+  };
+  e.spawn(body());
+  e.run();
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_DOUBLE_EQ(stamps[0], 0.0);
+  EXPECT_DOUBLE_EQ(stamps[1], 2.0);
+  EXPECT_DOUBLE_EQ(stamps[2], 5.0);
+  EXPECT_EQ(e.completed(), 1);
+  EXPECT_FALSE(e.deadlocked());
+}
+
+TEST(Engine, SpawnAtLaterTime) {
+  Engine e;
+  Time started = -1.0;
+  auto body = [&]() -> Coro<void> {
+    started = e.now();
+    co_return;
+  };
+  e.spawn(body(), 7.5);
+  e.run();
+  EXPECT_DOUBLE_EQ(started, 7.5);
+}
+
+TEST(Engine, NestedCoroutineCalls) {
+  Engine e;
+  std::vector<std::string> log;
+  struct Helper {
+    static Coro<int> inner(Engine& e, std::vector<std::string>& log) {
+      log.push_back("inner-start");
+      co_await e.delay(1.0);
+      log.push_back("inner-end");
+      co_return 42;
+    }
+    static Coro<void> outer(Engine& e, std::vector<std::string>& log) {
+      log.push_back("outer-start");
+      const int v = co_await inner(e, log);
+      log.push_back("outer-got-" + std::to_string(v));
+    }
+  };
+  e.spawn(Helper::outer(e, log));
+  e.run();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[3], "outer-got-42");
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+}
+
+TEST(Engine, DeeplyNestedCallsDoNotOverflow) {
+  Engine e;
+  struct Helper {
+    static Coro<int> countdown(Engine& e, int n) {
+      if (n == 0) co_return 0;
+      co_await e.delay(0.001);
+      const int v = co_await countdown(e, n - 1);
+      co_return v + 1;
+    }
+    static Coro<void> top(Engine& e, int* out) {
+      *out = co_await countdown(e, 5000);
+    }
+  };
+  int result = 0;
+  e.spawn(Helper::top(e, &result));
+  e.run();
+  EXPECT_EQ(result, 5000);
+}
+
+TEST(Engine, InterleavesProcesses) {
+  Engine e;
+  std::vector<int> order;
+  auto proc = [&](int id, double step) -> Coro<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await e.delay(step);
+      order.push_back(id);
+    }
+  };
+  e.spawn(proc(1, 1.0));  // fires at 1, 2, 3
+  e.spawn(proc(2, 1.5));  // fires at 1.5, 3, 4.5; at t=3 it was scheduled first
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+  EXPECT_EQ(e.completed(), 2);
+}
+
+TEST(Engine, TriggerResumesWaiterAtFireTime) {
+  Engine e;
+  Trigger tr(e);
+  Time resumed = -1.0;
+  auto waiter = [&]() -> Coro<void> {
+    co_await tr;
+    resumed = e.now();
+  };
+  e.spawn(waiter());
+  e.schedule(4.0, [&] { tr.fire(e.now()); });
+  e.run();
+  EXPECT_DOUBLE_EQ(resumed, 4.0);
+  EXPECT_TRUE(tr.fired());
+}
+
+TEST(Engine, TriggerFiredBeforeAwaitIsImmediate) {
+  Engine e;
+  Trigger tr(e);
+  Time resumed = -1.0;
+  auto waiter = [&]() -> Coro<void> {
+    co_await e.delay(5.0);
+    co_await tr;  // fired at t=1: ready immediately
+    resumed = e.now();
+  };
+  e.spawn(waiter());
+  e.schedule(1.0, [&] { tr.fire(e.now()); });
+  e.run();
+  EXPECT_DOUBLE_EQ(resumed, 5.0);
+}
+
+TEST(Engine, DeadlockDetected) {
+  Engine e;
+  Trigger tr(e);  // never fired
+  auto waiter = [&]() -> Coro<void> { co_await tr; };
+  e.spawn(waiter());
+  e.run();
+  EXPECT_TRUE(e.deadlocked());
+  EXPECT_EQ(e.completed(), 0);
+}
+
+TEST(Engine, ProcessExceptionPropagates) {
+  Engine e;
+  auto bad = [&]() -> Coro<void> {
+    co_await e.delay(1.0);
+    throw std::runtime_error("boom");
+  };
+  e.spawn(bad());
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+TEST(Engine, ExceptionInNestedCallPropagates) {
+  Engine e;
+  struct Helper {
+    static Coro<int> inner(Engine& e) {
+      co_await e.delay(1.0);
+      throw std::runtime_error("nested-boom");
+    }
+    static Coro<void> outer(Engine& e) {
+      (void)co_await inner(e);
+    }
+  };
+  e.spawn(Helper::outer(e));
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+TEST(Engine, MaxEventsBound) {
+  Engine e;
+  auto forever = [&]() -> Coro<void> {
+    for (;;) co_await e.delay(1.0);
+  };
+  e.spawn(forever());
+  const auto fired = e.run(100);
+  EXPECT_EQ(fired, 100u);
+}
+
+TEST(Engine, ManyProcessesComplete) {
+  Engine e;
+  int done = 0;
+  auto proc = [&](int hops) -> Coro<void> {
+    for (int i = 0; i < hops; ++i) co_await e.delay(0.5);
+    ++done;
+  };
+  for (int p = 0; p < 100; ++p) e.spawn(proc(p % 7 + 1));
+  e.run();
+  EXPECT_EQ(done, 100);
+  EXPECT_EQ(e.completed(), 100);
+}
+
+TEST(Engine, TeardownOfSuspendedProcessesIsClean) {
+  // Destroying an engine with still-suspended coroutines (deadlock) must not
+  // leak or crash; exercised under ASan in CI-like runs.
+  Engine e;
+  Trigger tr(e);
+  auto waiter = [&]() -> Coro<void> {
+    co_await tr;
+  };
+  e.spawn(waiter());
+  e.run();
+  EXPECT_TRUE(e.deadlocked());
+  // e's destructor runs here.
+}
+
+}  // namespace
+}  // namespace chronosync

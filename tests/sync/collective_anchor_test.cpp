@@ -1,0 +1,101 @@
+#include "sync/collective_anchor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/interval_stats.hpp"
+#include "sync/interpolation.hpp"
+#include "workload/sweep.hpp"
+
+namespace chronosync {
+namespace {
+
+AppRunResult barrier_heavy_run(std::uint64_t seed, TimerSpec timer, int rounds = 300) {
+  SweepConfig cfg;
+  cfg.rounds = rounds;
+  cfg.gap_mean = 2.0;
+  cfg.collective_every = 10;  // frequent full exchanges: Babaoglu's premise
+  JobConfig job;
+  job.placement = pinning::inter_node(clusters::xeon_rwth(), 8);
+  job.timer = std::move(timer);
+  job.seed = seed;
+  return run_sweep(cfg, std::move(job));
+}
+
+TEST(CollectiveAnchor, AnchorsCollectedPerRank) {
+  auto res = barrier_heavy_run(1, timer_specs::intel_tsc());
+  const auto corr = CollectiveAnchorCorrection::build(res.trace);
+  for (Rank r = 1; r < 8; ++r) {
+    EXPECT_GE(corr.anchors(r), 25u) << r;  // ~30 barriers in the run
+  }
+}
+
+TEST(CollectiveAnchor, RecoversDriftToMicroseconds) {
+  auto res = barrier_heavy_run(2, timer_specs::intel_tsc());
+  const auto msgs = res.trace.match_messages();
+  const auto raw_err =
+      message_sync_error(res.trace, TimestampArray::from_local(res.trace), msgs);
+  const auto corr = CollectiveAnchorCorrection::build(res.trace);
+  const auto fixed = apply_correction(res.trace, corr);
+  const auto err = message_sync_error(res.trace, fixed, msgs);
+  // Raw clocks are ~0.5 s apart; the anchors bring pairs to ~collective-skew
+  // accuracy.
+  EXPECT_LT(err.mean(), 100 * units::us);
+  EXPECT_LT(err.mean(), raw_err.mean() / 1000.0);
+}
+
+TEST(CollectiveAnchor, TracksNonConstantDriftBetterThanTwoPointLinear) {
+  // NTP clocks change slope mid-run; per-collective anchors follow, a single
+  // line cannot.  (This is the Babaoglu advantage the paper describes.)
+  auto res = barrier_heavy_run(3, timer_specs::gettimeofday_ntp(), 600);
+  const auto msgs = res.trace.match_messages();
+  const auto corr = CollectiveAnchorCorrection::build(res.trace);
+  const auto anchored_err =
+      message_sync_error(res.trace, apply_correction(res.trace, corr), msgs);
+  const LinearInterpolation lin = LinearInterpolation::from_store(res.offsets);
+  const auto linear_err =
+      message_sync_error(res.trace, apply_correction(res.trace, lin), msgs);
+  EXPECT_LT(anchored_err.mean(), linear_err.mean());
+}
+
+TEST(CollectiveAnchor, MasterIsIdentity) {
+  auto res = barrier_heavy_run(4, timer_specs::intel_tsc(), 100);
+  const auto corr = CollectiveAnchorCorrection::build(res.trace);
+  EXPECT_DOUBLE_EQ(corr.correct(0, 123.456), 123.456);
+}
+
+TEST(CollectiveAnchor, NoCollectivesMeansIdentity) {
+  SweepConfig cfg;
+  cfg.rounds = 50;
+  cfg.collective_every = 0;  // p2p only
+  JobConfig job;
+  job.placement = pinning::inter_node(clusters::xeon_rwth(), 4);
+  job.timer = timer_specs::intel_tsc();
+  job.seed = 5;
+  auto res = run_sweep(cfg, std::move(job));
+  const auto corr = CollectiveAnchorCorrection::build(res.trace);
+  for (Rank r = 0; r < 4; ++r) {
+    EXPECT_EQ(corr.anchors(r), 0u);
+    EXPECT_DOUBLE_EQ(corr.correct(r, 42.0), 42.0);
+  }
+}
+
+TEST(CollectiveAnchor, RootedCollectivesIgnored) {
+  // Bcast/reduce are not full exchanges and must not produce anchors.
+  JobConfig job;
+  job.placement = pinning::inter_node(clusters::xeon_rwth(), 4);
+  job.timer = timer_specs::intel_tsc();
+  job.seed = 6;
+  Job j(std::move(job));
+  j.run([&](Proc& p) -> Coro<void> {
+    for (int i = 0; i < 10; ++i) {
+      co_await p.bcast(0, 64);
+      co_await p.reduce(0, 64);
+    }
+  });
+  Trace trace = j.take_trace();
+  const auto corr = CollectiveAnchorCorrection::build(trace);
+  for (Rank r = 0; r < 4; ++r) EXPECT_EQ(corr.anchors(r), 0u);
+}
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,123 @@
+// Edge cases of the message-based error estimators: degenerate clouds,
+// collinear hull chains, disconnected rank graphs, extreme asymmetry.
+#include <gtest/gtest.h>
+
+#include "sync/error_estimation.hpp"
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+Trace base_trace(int ranks) {
+  return Trace(pinning::inter_node(clusters::xeon_rwth(), ranks),
+               {0.47e-6, 0.86e-6, 4.29e-6}, "test");
+}
+
+void add_message(Trace& t, Rank from, Rank to, Time send_ts, Time recv_ts,
+                 std::int64_t id) {
+  Event s;
+  s.type = EventType::Send;
+  s.peer = to;
+  s.msg_id = id;
+  s.local_ts = s.true_ts = send_ts;
+  t.events(from).push_back(s);
+  Event r = s;
+  r.type = EventType::Recv;
+  r.peer = from;
+  r.local_ts = r.true_ts = recv_ts;
+  t.events(to).push_back(r);
+}
+
+TEST(ErrorEstimationEdge, SingleMessageEachDirection) {
+  Trace t = base_trace(2);
+  add_message(t, 0, 1, 1.0, 1.00001, 0);
+  add_message(t, 1, 0, 2.0, 2.00001, 1);
+  const auto msgs = t.match_messages();
+  for (auto method : {EstimationMethod::Regression, EstimationMethod::ConvexHull,
+                      EstimationMethod::MinMax}) {
+    const auto est = estimate_pair(t, msgs, 0, 1, method);
+    ASSERT_TRUE(est.has_value()) << to_string(method);
+    // One bound each way at ~zero offset: estimate within the delay spread.
+    EXPECT_NEAR(est->line(1.5), 0.0, 10e-6) << to_string(method);
+  }
+}
+
+TEST(ErrorEstimationEdge, AllSamplesAtSameTime) {
+  // Same send timestamp for every message: the regression falls back to a
+  // constant instead of dividing by zero.
+  Trace t = base_trace(2);
+  for (int i = 0; i < 5; ++i) {
+    add_message(t, 0, 1, 1.0, 1.00001, 2 * i);
+    add_message(t, 1, 0, 1.0, 1.00001, 2 * i + 1);
+  }
+  const auto msgs = t.match_messages();
+  const auto est = estimate_pair(t, msgs, 0, 1, EstimationMethod::Regression);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(est->line.slope, 0.0);
+}
+
+TEST(ErrorEstimationEdge, CollinearBoundsConvexHull) {
+  // Perfectly regular traffic: all bound points collinear; the hull chains
+  // degenerate to their endpoints but the fit must still work.
+  Trace t = base_trace(2);
+  for (int i = 0; i < 10; ++i) {
+    const Time base = 1.0 + i;
+    add_message(t, 0, 1, base, base + 1e-5, 2 * i);
+    add_message(t, 1, 0, base + 0.5, base + 0.5 + 1e-5, 2 * i + 1);
+  }
+  const auto est =
+      estimate_pair(t, t.match_messages(), 0, 1, EstimationMethod::ConvexHull);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->line.slope, 0.0, 1e-9);
+  EXPECT_NEAR(est->line(5.0), 0.0, 1e-5);
+}
+
+TEST(ErrorEstimationEdge, HeavilyAsymmetricTraffic) {
+  // 100 messages one way, 1 the other: still a valid (if loose) estimate.
+  Trace t = base_trace(2);
+  for (int i = 0; i < 100; ++i) {
+    add_message(t, 0, 1, 1.0 + i * 0.1, 1.0 + i * 0.1 + 1e-5, i);
+  }
+  add_message(t, 1, 0, 5.0, 5.0 + 1e-5, 1000);
+  const auto est =
+      estimate_pair(t, t.match_messages(), 0, 1, EstimationMethod::Regression);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->messages_ab, 100u);
+  EXPECT_EQ(est->messages_ba, 1u);
+  EXPECT_NEAR(est->line(5.0), 0.0, 20e-6);
+}
+
+TEST(ErrorEstimationEdge, DisconnectedComponentsPartiallyCorrected) {
+  // Ranks {0,1} talk; ranks {2,3} talk; no bridge.  2 and 3 stay identity.
+  Trace t = base_trace(4);
+  for (int i = 0; i < 20; ++i) {
+    add_message(t, 0, 1, 1.0 + i, 1.0 + i + 1e-5, 4 * i);
+    add_message(t, 1, 0, 1.5 + i, 1.5 + i + 1e-5, 4 * i + 1);
+    add_message(t, 2, 3, 1.0 + i, 1.0 + i + 1e-5, 4 * i + 2);
+    add_message(t, 3, 2, 1.5 + i, 1.5 + i + 1e-5, 4 * i + 3);
+  }
+  const auto corr = ErrorEstimationCorrection::build(t, t.match_messages(),
+                                                     EstimationMethod::Regression);
+  ASSERT_EQ(corr.unreachable().size(), 2u);
+  EXPECT_DOUBLE_EQ(corr.correct(2, 9.0), 9.0);
+  EXPECT_DOUBLE_EQ(corr.correct(3, 9.0), 9.0);
+  EXPECT_NEAR(corr.correct(1, 9.0), 9.0, 1e-4);
+}
+
+TEST(ErrorEstimationEdge, StarTopologyChainsEveryLeaf) {
+  // Rank 0 talks to every other rank; estimation must reach all leaves.
+  Trace t = base_trace(5);
+  std::int64_t id = 0;
+  for (Rank leaf = 1; leaf < 5; ++leaf) {
+    for (int i = 0; i < 10; ++i) {
+      add_message(t, 0, leaf, 1.0 + i, 1.0 + i + 1e-5, id++);
+      add_message(t, leaf, 0, 1.5 + i, 1.5 + i + 1e-5, id++);
+    }
+  }
+  const auto corr = ErrorEstimationCorrection::build(t, t.match_messages(),
+                                                     EstimationMethod::MinMax);
+  EXPECT_TRUE(corr.unreachable().empty());
+}
+
+}  // namespace
+}  // namespace chronosync

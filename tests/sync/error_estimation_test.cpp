@@ -1,0 +1,193 @@
+#include "sync/error_estimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+/// Synthesizes a two-rank trace whose clocks differ by offset(t) =
+/// base + slope * t, with bidirectional messages and random true delays.
+struct PairFixture {
+  Trace trace{pinning::inter_node(clusters::xeon_rwth(), 2),
+              {0.47e-6, 0.86e-6, 4.29e-6},
+              "test"};
+  double base;
+  double slope;
+
+  PairFixture(double base_offset, double drift_slope, int messages, std::uint64_t seed = 7)
+      : base(base_offset), slope(drift_slope) {
+    Rng rng(seed);
+    const Duration l_min = 4.29e-6;
+    std::int64_t id = 0;
+    Time t = 1.0;
+    for (int i = 0; i < messages; ++i) {
+      // Alternate directions.
+      const Rank from = i % 2;
+      const Rank to = 1 - from;
+      const Duration delay = l_min + rng.exponential(1.0 / (2 * units::us));
+      const Time send_true = t;
+      const Time recv_true = t + delay;
+
+      Event s;
+      s.type = EventType::Send;
+      s.peer = to;
+      s.tag = 0;
+      s.msg_id = id;
+      s.true_ts = send_true;
+      s.local_ts = local(from, send_true);
+      trace.events(from).push_back(s);
+
+      Event r;
+      r.type = EventType::Recv;
+      r.peer = from;
+      r.tag = 0;
+      r.msg_id = id;
+      r.true_ts = recv_true;
+      r.local_ts = local(to, recv_true);
+      trace.events(to).push_back(r);
+
+      ++id;
+      t += rng.uniform(0.5, 2.0);
+    }
+  }
+
+  /// Rank 0 shows true time; rank 1 is offset by base + slope * t.
+  Time local(Rank rank, Time t) const {
+    return rank == 0 ? t : t + base + slope * t;
+  }
+};
+
+TEST(EstimatePair, RecoversConstantOffset) {
+  PairFixture fx(5 * units::ms, 0.0, 400);
+  const auto msgs = fx.trace.match_messages();
+  for (auto method :
+       {EstimationMethod::Regression, EstimationMethod::ConvexHull, EstimationMethod::MinMax}) {
+    const auto est = estimate_pair(fx.trace, msgs, 0, 1, method);
+    ASSERT_TRUE(est.has_value()) << to_string(method);
+    // delta_01(t) = L_0 - L_1 = -base.
+    EXPECT_NEAR(est->line(100.0), -5e-3, 3 * units::us) << to_string(method);
+  }
+}
+
+TEST(EstimatePair, RecoversDriftSlope) {
+  PairFixture fx(1 * units::ms, 20e-6, 600);
+  const auto msgs = fx.trace.match_messages();
+  for (auto method :
+       {EstimationMethod::Regression, EstimationMethod::ConvexHull, EstimationMethod::MinMax}) {
+    const auto est = estimate_pair(fx.trace, msgs, 0, 1, method);
+    ASSERT_TRUE(est.has_value());
+    EXPECT_NEAR(est->line.slope, -20e-6, 5e-6) << to_string(method);
+  }
+}
+
+TEST(EstimatePair, DirectionMattersForSign) {
+  PairFixture fx(2 * units::ms, 0.0, 300);
+  const auto msgs = fx.trace.match_messages();
+  const auto est01 = estimate_pair(fx.trace, msgs, 0, 1, EstimationMethod::Regression);
+  const auto est10 = estimate_pair(fx.trace, msgs, 1, 0, EstimationMethod::Regression);
+  ASSERT_TRUE(est01 && est10);
+  EXPECT_NEAR(est01->line(10.0), -est10->line(10.0), 5 * units::us);
+}
+
+TEST(EstimatePair, OneSidedTrafficGivesNothing) {
+  PairFixture fx(0.0, 0.0, 100);
+  // Strip all messages from 1 to 0.
+  auto msgs = fx.trace.match_messages();
+  std::erase_if(msgs, [](const MessageRecord& m) { return m.send.proc == 1; });
+  EXPECT_FALSE(estimate_pair(fx.trace, msgs, 0, 1, EstimationMethod::Regression).has_value());
+}
+
+TEST(EstimatePair, SampleCountsReported) {
+  PairFixture fx(0.0, 0.0, 100);
+  const auto est =
+      estimate_pair(fx.trace, fx.trace.match_messages(), 0, 1, EstimationMethod::Regression);
+  ASSERT_TRUE(est);
+  EXPECT_EQ(est->messages_ab + est->messages_ba, 100u);
+}
+
+TEST(ErrorEstimationCorrection, CorrectsTwoRankTrace) {
+  PairFixture fx(3 * units::ms, 15e-6, 500);
+  const auto msgs = fx.trace.match_messages();
+  const auto corr =
+      ErrorEstimationCorrection::build(fx.trace, msgs, EstimationMethod::Regression);
+  EXPECT_TRUE(corr.unreachable().empty());
+  // Corrected rank-1 timestamps must approximate true time.
+  for (Time t : {10.0, 100.0, 200.0}) {
+    EXPECT_NEAR(corr.correct(1, fx.local(1, t)), t, 5 * units::us);
+  }
+  // Rank 0 (master) is untouched.
+  EXPECT_DOUBLE_EQ(corr.correct(0, 55.0), 55.0);
+}
+
+TEST(ErrorEstimationCorrection, ChainsThroughSpanningTree) {
+  // Three ranks in a line: 0 <-> 1 <-> 2, no direct 0 <-> 2 traffic.  Rank 2
+  // must still be corrected by composing the two edges.
+  Trace trace(pinning::inter_node(clusters::xeon_rwth(), 3), {0.47e-6, 0.86e-6, 4.29e-6},
+              "test");
+  Rng rng(11);
+  const Duration l_min = 4.29e-6;
+  const double off1 = 2 * units::ms, off2 = 5 * units::ms;
+  auto local = [&](Rank r, Time t) {
+    return t + (r == 1 ? off1 : r == 2 ? off2 : 0.0);
+  };
+  std::int64_t id = 0;
+  Time t = 1.0;
+  for (int i = 0; i < 300; ++i) {
+    for (auto [a, b] : {std::pair<Rank, Rank>{0, 1}, {1, 2}}) {
+      const Rank from = i % 2 ? a : b;
+      const Rank to = i % 2 ? b : a;
+      const Duration delay = l_min + rng.exponential(1.0 / (2 * units::us));
+      Event s;
+      s.type = EventType::Send;
+      s.peer = to;
+      s.msg_id = id;
+      s.true_ts = t;
+      s.local_ts = local(from, t);
+      trace.events(from).push_back(s);
+      Event r;
+      r.type = EventType::Recv;
+      r.peer = from;
+      r.msg_id = id;
+      r.true_ts = t + delay;
+      r.local_ts = local(to, t + delay);
+      trace.events(to).push_back(r);
+      ++id;
+      t += rng.uniform(0.1, 0.5);
+    }
+  }
+  const auto corr = ErrorEstimationCorrection::build(trace, trace.match_messages(),
+                                                     EstimationMethod::Regression);
+  EXPECT_TRUE(corr.unreachable().empty());
+  EXPECT_NEAR(corr.correct(2, local(2, 50.0)), 50.0, 10 * units::us);
+}
+
+TEST(ErrorEstimationCorrection, UnreachableRanksKeptIdentity) {
+  // Rank 2 never talks: it must be flagged and left identity-corrected.
+  PairFixture fx(1 * units::ms, 0.0, 100);
+  Trace trace(pinning::inter_node(clusters::xeon_rwth(), 3), {0.47e-6, 0.86e-6, 4.29e-6},
+              "test");
+  for (Rank r = 0; r < 2; ++r) trace.events(r) = fx.trace.events(r);
+  const auto corr = ErrorEstimationCorrection::build(trace, trace.match_messages(),
+                                                     EstimationMethod::Regression);
+  ASSERT_EQ(corr.unreachable().size(), 1u);
+  EXPECT_EQ(corr.unreachable()[0], 2);
+  EXPECT_DOUBLE_EQ(corr.correct(2, 77.0), 77.0);
+}
+
+TEST(ErrorEstimationCorrection, ConvexHullAndMinMaxAlsoWork) {
+  PairFixture fx(4 * units::ms, 10e-6, 500);
+  const auto msgs = fx.trace.match_messages();
+  for (auto method : {EstimationMethod::ConvexHull, EstimationMethod::MinMax}) {
+    const auto corr = ErrorEstimationCorrection::build(fx.trace, msgs, method);
+    EXPECT_NEAR(corr.correct(1, fx.local(1, 150.0)), 150.0, 10 * units::us)
+        << to_string(method);
+  }
+}
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,150 @@
+#include "sync/interpolation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sync/offset_alignment.hpp"
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+TEST(OffsetAlignment, ShiftsByMeasuredOffset) {
+  OffsetAlignment align({0.0, 2.5, -1.0});
+  EXPECT_DOUBLE_EQ(align.correct(0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(align.correct(1, 10.0), 12.5);
+  EXPECT_DOUBLE_EQ(align.correct(2, 10.0), 9.0);
+  EXPECT_THROW(align.correct(3, 0.0), std::invalid_argument);
+}
+
+TEST(OffsetAlignment, FromStoreUsesFirstSample) {
+  OffsetStore store(2);
+  store.add(0, {0.0, 0.0, 0.0});
+  store.add(1, {5.0, 1.5, 1e-5});
+  store.add(1, {50.0, 1.9, 1e-5});  // later sample must be ignored
+  OffsetAlignment align = OffsetAlignment::from_store(store);
+  EXPECT_DOUBLE_EQ(align.correct(1, 0.0), 1.5);
+}
+
+TEST(OffsetAlignment, FromStoreRequiresSamples) {
+  OffsetStore store(2);
+  store.add(0, {0.0, 0.0, 0.0});
+  EXPECT_THROW(OffsetAlignment::from_store(store), std::invalid_argument);
+}
+
+TEST(LinearInterpolation, Eq3ExactAtMeasurementPoints) {
+  // (w1,o1) = (10, 1.0), (w2,o2) = (110, 2.0)
+  LinearInterpolation interp({{0.0, 0.0, 1.0, 0.0}, {10.0, 1.0, 110.0, 2.0}});
+  EXPECT_DOUBLE_EQ(interp.correct(1, 10.0), 11.0);    // w1 + o1
+  EXPECT_DOUBLE_EQ(interp.correct(1, 110.0), 112.0);  // w2 + o2
+}
+
+TEST(LinearInterpolation, InterpolatesBetween) {
+  LinearInterpolation interp({{0.0, 0.0, 1.0, 0.0}, {0.0, 0.0, 100.0, 1.0}});
+  // Offset grows linearly 0 -> 1 over [0, 100].
+  EXPECT_DOUBLE_EQ(interp.correct(1, 50.0), 50.5);
+}
+
+TEST(LinearInterpolation, ExtrapolatesOutside) {
+  LinearInterpolation interp({{0.0, 0.0, 1.0, 0.0}, {0.0, 0.0, 100.0, 1.0}});
+  EXPECT_DOUBLE_EQ(interp.correct(1, 200.0), 202.0);
+  EXPECT_DOUBLE_EQ(interp.correct(1, -100.0), -101.0);
+}
+
+TEST(LinearInterpolation, RemovesConstantDriftExactly) {
+  // Worker clock runs 10 ppm fast with 1 ms initial offset: two perfect
+  // offset measurements let Eq. 3 invert the affine map exactly.
+  const double drift = 10e-6;
+  const double off = 1e-3;
+  auto worker_local = [&](Time t) { return t + off + drift * t; };
+  // Master == true time.  Offsets measured at local times w = worker_local(t).
+  const Time t1 = 10.0, t2 = 3600.0;
+  LinearInterpolation::RankParams p;
+  p.w1 = worker_local(t1);
+  p.o1 = t1 - worker_local(t1);
+  p.w2 = worker_local(t2);
+  p.o2 = t2 - worker_local(t2);
+  LinearInterpolation interp({{0.0, 0.0, 1.0, 0.0}, p});
+  for (Time t : {100.0, 1000.0, 1800.0, 3000.0}) {
+    EXPECT_NEAR(interp.correct(1, worker_local(t)), t, 1e-9);
+  }
+}
+
+TEST(LinearInterpolation, RejectsDegenerateInterval) {
+  EXPECT_THROW(LinearInterpolation({{5.0, 0.0, 5.0, 0.0}}), std::invalid_argument);
+}
+
+TEST(LinearInterpolation, FromStoreUsesFirstAndLast) {
+  OffsetStore store(2);
+  store.add(0, {0.0, 0.0, 0.0});
+  store.add(0, {100.0, 0.0, 0.0});
+  store.add(1, {0.0, 1.0, 1e-5});
+  store.add(1, {50.0, 1.6, 1e-5});  // middle sample ignored by the linear map
+  store.add(1, {100.0, 2.0, 1e-5});
+  LinearInterpolation interp = LinearInterpolation::from_store(store);
+  EXPECT_DOUBLE_EQ(interp.params(1).o1, 1.0);
+  EXPECT_DOUBLE_EQ(interp.params(1).o2, 2.0);
+  EXPECT_DOUBLE_EQ(interp.correct(1, 0.0), 1.0);
+}
+
+TEST(LinearInterpolation, FromStoreNeedsTwoSamples) {
+  OffsetStore store(1);
+  store.add(0, {0.0, 0.0, 0.0});
+  EXPECT_THROW(LinearInterpolation::from_store(store), std::invalid_argument);
+}
+
+TEST(PiecewiseInterpolation, FollowsAllKnots) {
+  OffsetStore store(2);
+  store.add(0, {0.0, 0.0, 0.0});
+  store.add(0, {100.0, 0.0, 0.0});
+  store.add(1, {0.0, 0.0, 0.0});
+  store.add(1, {50.0, 1.0, 0.0});   // offset jumps to 1 by local 50
+  store.add(1, {100.0, 1.0, 0.0});  // then stays
+  PiecewiseInterpolation interp = PiecewiseInterpolation::from_store(store);
+  EXPECT_DOUBLE_EQ(interp.correct(1, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(interp.correct(1, 25.0), 25.5);   // halfway up the ramp
+  EXPECT_DOUBLE_EQ(interp.correct(1, 75.0), 76.0);   // flat segment
+  EXPECT_DOUBLE_EQ(interp.correct(1, 100.0), 101.0);
+}
+
+TEST(PiecewiseInterpolation, BeatsLinearOnPiecewiseDrift) {
+  // A clock with an abrupt drift change halfway (the NTP turning point of
+  // Fig. 4): piecewise interpolation with a mid-run measurement reconstructs
+  // it, the two-point linear map cannot.
+  auto worker_local = [](Time t) {
+    return t <= 500.0 ? t + 20e-6 * t : (500.0 + 20e-6 * 500.0) + (t - 500.0) * (1.0 - 30e-6);
+  };
+  OffsetStore store(2);
+  for (Time t : {0.0, 1000.0}) store.add(0, {t, 0.0, 0.0});
+  for (Time t : {0.0, 500.0, 1000.0}) {
+    store.add(1, {worker_local(t), t - worker_local(t), 0.0});
+  }
+  LinearInterpolation lin = LinearInterpolation::from_store(store);
+  PiecewiseInterpolation pw = PiecewiseInterpolation::from_store(store);
+  double lin_err = 0.0, pw_err = 0.0;
+  for (Time t = 50.0; t < 1000.0; t += 50.0) {
+    lin_err = std::max(lin_err, std::abs(lin.correct(1, worker_local(t)) - t));
+    pw_err = std::max(pw_err, std::abs(pw.correct(1, worker_local(t)) - t));
+  }
+  EXPECT_LT(pw_err, lin_err / 5.0);
+}
+
+TEST(IdentityCorrection, IsIdentity) {
+  IdentityCorrection id;
+  EXPECT_DOUBLE_EQ(id.correct(3, 42.0), 42.0);
+}
+
+TEST(ApplyCorrection, MapsAllEvents) {
+  Trace t(pinning::inter_node(clusters::xeon_rwth(), 2), {1e-6, 2e-6, 4e-6}, "test");
+  Event e;
+  e.type = EventType::Send;
+  e.msg_id = 1;
+  e.peer = 1;
+  e.local_ts = 10.0;
+  t.events(0).push_back(e);
+  OffsetAlignment align({0.5, 0.0});
+  auto ts = apply_correction(t, align);
+  EXPECT_DOUBLE_EQ(ts.at({0, 0}), 10.5);
+}
+
+}  // namespace
+}  // namespace chronosync

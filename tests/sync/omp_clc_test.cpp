@@ -1,0 +1,133 @@
+#include "sync/omp_clc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/omp_semantics.hpp"
+#include "ompsim/omp_bench.hpp"
+
+namespace chronosync {
+namespace {
+
+OmpBenchResult violated_bench(int threads = 4, int regions = 200, std::uint64_t seed = 5) {
+  OmpBenchConfig cfg;
+  cfg.threads = threads;
+  cfg.regions = regions;
+  cfg.seed = seed;
+  return run_omp_benchmark(cfg);
+}
+
+TEST(SplitOmpThreads, PartitionsByThread) {
+  const auto res = violated_bench(4, 10);
+  const Placement pl = omp_thread_placement(clusters::itanium_smp_node(), 4);
+  const Trace threads = split_omp_threads(res.trace, pl);
+  ASSERT_EQ(threads.ranks(), 4);
+  std::size_t total = 0;
+  for (Rank r = 0; r < 4; ++r) {
+    for (const Event& e : threads.events(r)) EXPECT_EQ(e.thread, r);
+    total += threads.events(r).size();
+  }
+  EXPECT_EQ(total, res.trace.total_events());
+  // Thread 0 carries fork+join+its 4 region events per instance.
+  EXPECT_EQ(threads.events(0).size(), 10u * 6u);
+  EXPECT_EQ(threads.events(1).size(), 10u * 4u);
+}
+
+TEST(SplitOmpThreads, PerThreadOrderPreserved) {
+  const auto res = violated_bench(4, 20);
+  const Placement pl = omp_thread_placement(clusters::itanium_smp_node(), 4);
+  const Trace threads = split_omp_threads(res.trace, pl);
+  for (Rank r = 0; r < 4; ++r) {
+    const auto& ev = threads.events(r);
+    for (std::size_t i = 1; i < ev.size(); ++i) {
+      EXPECT_GE(ev[i].local_ts, ev[i - 1].local_ts);
+    }
+  }
+}
+
+TEST(SplitOmpThreads, RejectsOutOfRangeThread) {
+  const auto res = violated_bench(4, 5);
+  const Placement pl = omp_thread_placement(clusters::itanium_smp_node(), 2);
+  EXPECT_THROW(split_omp_threads(res.trace, pl), std::invalid_argument);
+}
+
+TEST(DeriveOmpLogical, EdgeKindsPresent) {
+  const auto res = violated_bench(4, 1);
+  const Placement pl = omp_thread_placement(clusters::itanium_smp_node(), 4);
+  const Trace threads = split_omp_threads(res.trace, pl);
+  const auto logical = derive_omp_logical_messages(threads);
+  // fork->3 workers, 3 workers->join, barrier 4x3.
+  EXPECT_EQ(logical.size(), 3u + 3u + 12u);
+  for (const auto& lm : logical) {
+    EXPECT_NE(lm.send.proc, lm.recv.proc);
+  }
+}
+
+TEST(OmpClc, RemovesAllPompViolations) {
+  const auto res = violated_bench(4, 300);
+  const auto before =
+      check_omp_semantics(res.trace, TimestampArray::from_local(res.trace));
+  ASSERT_GT(before.with_any, 0u);  // the Fig. 8 scenario
+
+  const Placement pl = omp_thread_placement(clusters::itanium_smp_node(), 4);
+  const OmpClcResult fixed = omp_controlled_logical_clock(res.trace, pl);
+  EXPECT_GT(fixed.violations_repaired, 0u);
+
+  const auto after = check_omp_semantics(res.trace, fixed.corrected);
+  EXPECT_EQ(after.with_any, 0u);
+  EXPECT_EQ(after.with_entry, 0u);
+  EXPECT_EQ(after.with_exit, 0u);
+  EXPECT_EQ(after.with_barrier, 0u);
+}
+
+TEST(OmpClc, PerThreadMonotonicityPreserved) {
+  const auto res = violated_bench(8, 100, 9);
+  const Placement pl = omp_thread_placement(clusters::itanium_smp_node(), 8);
+  const OmpClcResult fixed = omp_controlled_logical_clock(res.trace, pl);
+  std::map<ThreadId, Time> last;
+  const auto& events = res.trace.events(0);
+  for (std::uint32_t i = 0; i < events.size(); ++i) {
+    const Time t = fixed.corrected.at({0, i});
+    auto it = last.find(events[i].thread);
+    if (it != last.end()) EXPECT_GE(t, it->second);
+    last[events[i].thread] = t;
+  }
+}
+
+TEST(OmpClc, CleanTraceUntouched) {
+  // Ground-truth timestamps have no violations: CLC must not move anything.
+  auto res = violated_bench(4, 50);
+  for (Event& e : res.trace.events(0)) e.local_ts = e.true_ts;
+  const Placement pl = omp_thread_placement(clusters::itanium_smp_node(), 4);
+  const OmpClcResult fixed = omp_controlled_logical_clock(res.trace, pl);
+  EXPECT_EQ(fixed.violations_repaired, 0u);
+  const auto& events = res.trace.events(0);
+  for (std::uint32_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fixed.corrected.at({0, i}), events[i].true_ts);
+  }
+}
+
+TEST(OmpClc, WorksAcrossThreadCounts) {
+  for (int threads : {4, 8, 12, 16}) {
+    const auto res = violated_bench(threads, 100, 11);
+    const Placement pl =
+        omp_thread_placement(clusters::itanium_smp_node(), threads);
+    const OmpClcResult fixed = omp_controlled_logical_clock(res.trace, pl);
+    const auto after = check_omp_semantics(res.trace, fixed.corrected);
+    EXPECT_EQ(after.with_any, 0u) << threads << " threads";
+  }
+}
+
+TEST(OmpClc, IntervalsApproximatelyPreserved) {
+  const auto res = violated_bench(4, 200);
+  const Placement pl = omp_thread_placement(clusters::itanium_smp_node(), 4);
+  const OmpClcResult fixed = omp_controlled_logical_clock(res.trace, pl);
+  // Corrections are sub-microsecond; corrected timestamps stay within ~1 us
+  // of the measured ones.
+  const auto& events = res.trace.events(0);
+  for (std::uint32_t i = 0; i < events.size(); ++i) {
+    EXPECT_NEAR(fixed.corrected.at({0, i}), events[i].local_ts, 1.5 * units::us);
+  }
+}
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "topology/cluster.hpp"
+#include "topology/latency_model.hpp"
+#include "topology/pinning.hpp"
+
+namespace chronosync {
+namespace {
+
+TEST(ClusterSpec, Presets) {
+  const ClusterSpec xeon = clusters::xeon_rwth();
+  EXPECT_EQ(xeon.nodes, 62);
+  EXPECT_EQ(xeon.cores_per_node(), 8);
+  EXPECT_EQ(xeon.total_cores(), 496);
+
+  const ClusterSpec it = clusters::itanium_smp_node();
+  EXPECT_EQ(it.nodes, 1);
+  EXPECT_EQ(it.chips_per_node, 4);
+  EXPECT_EQ(it.cores_per_chip, 4);
+}
+
+TEST(Classify, Domains) {
+  EXPECT_EQ(classify({0, 0, 0}, {0, 0, 0}), CommDomain::SameCore);
+  EXPECT_EQ(classify({0, 0, 0}, {0, 0, 1}), CommDomain::SameChip);
+  EXPECT_EQ(classify({0, 0, 0}, {0, 1, 0}), CommDomain::SameNode);
+  EXPECT_EQ(classify({0, 0, 0}, {1, 0, 0}), CommDomain::CrossNode);
+}
+
+TEST(Pinning, InterNodePlacesOnDistinctNodes) {
+  const Placement p = pinning::inter_node(clusters::xeon_rwth(), 4);
+  ASSERT_EQ(p.ranks(), 4);
+  for (Rank a = 0; a < 4; ++a) {
+    for (Rank b = a + 1; b < 4; ++b) {
+      EXPECT_EQ(p.domain(a, b), CommDomain::CrossNode);
+    }
+  }
+}
+
+TEST(Pinning, InterChipSameNodeDifferentChips) {
+  const Placement p = pinning::inter_chip(clusters::xeon_rwth(), 2);
+  EXPECT_EQ(p.domain(0, 1), CommDomain::SameNode);
+}
+
+TEST(Pinning, InterCoreSameChip) {
+  const Placement p = pinning::inter_core(clusters::xeon_rwth(), 4);
+  for (Rank a = 0; a < 4; ++a) {
+    for (Rank b = a + 1; b < 4; ++b) {
+      EXPECT_EQ(p.domain(a, b), CommDomain::SameChip);
+    }
+  }
+}
+
+TEST(Pinning, CapacityChecks) {
+  EXPECT_THROW(pinning::inter_chip(clusters::xeon_rwth(), 3), std::invalid_argument);
+  EXPECT_THROW(pinning::inter_core(clusters::xeon_rwth(), 5), std::invalid_argument);
+  EXPECT_THROW(pinning::inter_node(clusters::xeon_rwth(), 63), std::invalid_argument);
+}
+
+TEST(Pinning, BlockFillsHierarchically) {
+  const Placement p = pinning::block(clusters::xeon_rwth(), 10);
+  EXPECT_EQ(p.location(0).node, 0);
+  EXPECT_EQ(p.location(7).node, 0);
+  EXPECT_EQ(p.location(8).node, 1);
+  EXPECT_EQ(p.location(3).chip, 0);
+  EXPECT_EQ(p.location(4).chip, 1);
+}
+
+TEST(Pinning, SchedulerDefaultUsesAllRanksOnce) {
+  Rng rng(3);
+  const Placement p = pinning::scheduler_default(clusters::xeon_rwth(), 32, rng);
+  ASSERT_EQ(p.ranks(), 32);
+  // No two ranks on one core.
+  for (Rank a = 0; a < 32; ++a) {
+    for (Rank b = a + 1; b < 32; ++b) {
+      EXPECT_FALSE(p.location(a) == p.location(b));
+    }
+  }
+}
+
+TEST(Pinning, SchedulerDefaultIsSeedDependent) {
+  Rng r1(3), r2(4);
+  const Placement a = pinning::scheduler_default(clusters::xeon_rwth(), 8, r1);
+  const Placement b = pinning::scheduler_default(clusters::xeon_rwth(), 8, r2);
+  bool differs = false;
+  for (Rank r = 0; r < 8; ++r) {
+    if (!(a.location(r) == b.location(r))) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(LatencyModel, TableIIMinimums) {
+  const HierarchicalLatencyModel m = latencies::xeon_infiniband();
+  EXPECT_DOUBLE_EQ(m.min_latency(CommDomain::SameChip), 0.47e-6);
+  EXPECT_DOUBLE_EQ(m.min_latency(CommDomain::SameNode), 0.86e-6);
+  EXPECT_DOUBLE_EQ(m.min_latency(CommDomain::CrossNode), 4.29e-6);
+}
+
+TEST(LatencyModel, BytesIncreaseLatency) {
+  const HierarchicalLatencyModel m = latencies::xeon_infiniband();
+  EXPECT_GT(m.min_latency(CommDomain::CrossNode, 1 << 20),
+            m.min_latency(CommDomain::CrossNode, 0));
+}
+
+TEST(LatencyModel, SamplesNeverBelowMinimum) {
+  const HierarchicalLatencyModel m = latencies::xeon_infiniband();
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const Duration lat = m.sample(CommDomain::CrossNode, 1024, rng);
+    EXPECT_GE(lat, m.min_latency(CommDomain::CrossNode, 1024));
+  }
+}
+
+TEST(LatencyModel, SameCoreRejected) {
+  const HierarchicalLatencyModel m = latencies::xeon_infiniband();
+  EXPECT_THROW(m.min_latency(CommDomain::SameCore), std::invalid_argument);
+}
+
+TEST(LatencyModel, DomainOrdering) {
+  for (const auto& m : {latencies::xeon_infiniband(), latencies::powerpc_myrinet(),
+                        latencies::opteron_seastar()}) {
+    EXPECT_LT(m.min_latency(CommDomain::SameChip), m.min_latency(CommDomain::SameNode));
+    EXPECT_LT(m.min_latency(CommDomain::SameNode), m.min_latency(CommDomain::CrossNode));
+  }
+}
+
+TEST(Placement, RangeChecked) {
+  const Placement p = pinning::inter_node(clusters::xeon_rwth(), 2);
+  EXPECT_THROW(p.location(2), std::invalid_argument);
+  EXPECT_THROW(p.location(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chronosync

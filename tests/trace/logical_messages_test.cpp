@@ -1,0 +1,103 @@
+#include "trace/logical_messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+/// Builds a trace with one collective instance over `ranks` ranks.
+Trace coll_trace(int ranks, CollectiveKind kind, Rank root) {
+  Trace t(pinning::inter_node(clusters::xeon_rwth(), ranks), {0.47e-6, 0.86e-6, 4.29e-6},
+          "test");
+  for (Rank r = 0; r < ranks; ++r) {
+    Event b;
+    b.type = EventType::CollBegin;
+    b.coll = kind;
+    b.coll_id = 0;
+    b.root = root;
+    b.local_ts = b.true_ts = 1.0 + 0.001 * r;
+    Event e = b;
+    e.type = EventType::CollEnd;
+    e.local_ts = e.true_ts = 2.0 + 0.001 * r;
+    t.events(r).push_back(b);
+    t.events(r).push_back(e);
+  }
+  return t;
+}
+
+TEST(LogicalMessages, BcastIsOneToN) {
+  Trace t = coll_trace(4, CollectiveKind::Bcast, 1);
+  auto msgs = derive_logical_messages(t);
+  // root begin -> each non-root end: 3 messages.
+  ASSERT_EQ(msgs.size(), 3u);
+  for (const auto& m : msgs) {
+    EXPECT_EQ(m.send.proc, 1);
+    EXPECT_NE(m.recv.proc, 1);
+    EXPECT_EQ(t.at(m.send).type, EventType::CollBegin);
+    EXPECT_EQ(t.at(m.recv).type, EventType::CollEnd);
+  }
+}
+
+TEST(LogicalMessages, ReduceIsNToOne) {
+  Trace t = coll_trace(4, CollectiveKind::Reduce, 2);
+  auto msgs = derive_logical_messages(t);
+  ASSERT_EQ(msgs.size(), 3u);
+  for (const auto& m : msgs) {
+    EXPECT_NE(m.send.proc, 2);
+    EXPECT_EQ(m.recv.proc, 2);
+  }
+}
+
+TEST(LogicalMessages, BarrierIsNToN) {
+  Trace t = coll_trace(4, CollectiveKind::Barrier, 0);
+  auto msgs = derive_logical_messages(t);
+  // n*(n-1) ordered pairs.
+  EXPECT_EQ(msgs.size(), 12u);
+}
+
+TEST(LogicalMessages, AllreduceIsNToN) {
+  Trace t = coll_trace(3, CollectiveKind::Allreduce, 0);
+  EXPECT_EQ(derive_logical_messages(t).size(), 6u);
+}
+
+TEST(LogicalMessages, GatherScatterFlavors) {
+  EXPECT_EQ(derive_logical_messages(coll_trace(5, CollectiveKind::Gather, 0)).size(), 4u);
+  EXPECT_EQ(derive_logical_messages(coll_trace(5, CollectiveKind::Scatter, 0)).size(), 4u);
+}
+
+TEST(LogicalMessages, MultipleInstancesAccumulate) {
+  Trace t = coll_trace(3, CollectiveKind::Barrier, 0);
+  // Add a second instance.
+  for (Rank r = 0; r < 3; ++r) {
+    Event b;
+    b.type = EventType::CollBegin;
+    b.coll = CollectiveKind::Bcast;
+    b.coll_id = 1;
+    b.root = 0;
+    b.local_ts = b.true_ts = 3.0;
+    Event e = b;
+    e.type = EventType::CollEnd;
+    e.local_ts = e.true_ts = 4.0;
+    t.events(r).push_back(b);
+    t.events(r).push_back(e);
+  }
+  auto msgs = derive_logical_messages(t);
+  EXPECT_EQ(msgs.size(), 6u + 2u);
+}
+
+TEST(LogicalMessages, EmptyTraceGivesNone) {
+  Trace t(pinning::inter_node(clusters::xeon_rwth(), 2), {1e-6, 2e-6, 4e-6}, "test");
+  EXPECT_TRUE(derive_logical_messages(t).empty());
+}
+
+TEST(LogicalMessages, CollIdPropagated) {
+  Trace t = coll_trace(3, CollectiveKind::Allreduce, 0);
+  for (const auto& m : derive_logical_messages(t)) {
+    EXPECT_EQ(m.coll_id, 0);
+  }
+}
+
+}  // namespace
+}  // namespace chronosync

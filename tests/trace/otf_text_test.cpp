@@ -1,0 +1,108 @@
+#include "trace/otf_text.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "topology/cluster.hpp"
+#include "workload/sweep.hpp"
+
+namespace chronosync {
+namespace {
+
+Trace sample_trace() {
+  Trace t(pinning::inter_node(clusters::xeon_rwth(), 2), {0.47e-6, 0.86e-6, 4.29e-6},
+          "intel-tsc");
+  t.intern_region("main loop");  // name with a space
+  Event s;
+  s.type = EventType::Send;
+  s.peer = 1;
+  s.tag = 5;
+  s.bytes = 4096;
+  s.msg_id = 77;
+  s.local_ts = 1.2345678901234567;
+  s.true_ts = 1.23;
+  t.events(0).push_back(s);
+  Event c;
+  c.type = EventType::CollBegin;
+  c.coll = CollectiveKind::Alltoall;
+  c.coll_id = (static_cast<std::int64_t>(3) << 32) | 9;
+  c.root = 1;
+  c.local_ts = c.true_ts = 2.0;
+  t.events(1).push_back(c);
+  return t;
+}
+
+TEST(OtfText, RoundTripExact) {
+  Trace t = sample_trace();
+  std::stringstream buf;
+  write_text_trace(t, buf);
+  Trace u = read_text_trace(buf);
+
+  EXPECT_EQ(u.ranks(), 2);
+  EXPECT_EQ(u.timer_name(), "intel-tsc");
+  EXPECT_DOUBLE_EQ(u.min_latency(0, 1), 4.29e-6);
+  ASSERT_EQ(u.regions().size(), 1u);
+  EXPECT_EQ(u.region_name(0), "main loop");
+
+  const Event& s = u.events(0)[0];
+  EXPECT_EQ(s.type, EventType::Send);
+  EXPECT_EQ(s.msg_id, 77);
+  EXPECT_DOUBLE_EQ(s.local_ts, 1.2345678901234567);  // 17-digit exactness
+  const Event& c = u.events(1)[0];
+  EXPECT_EQ(c.coll, CollectiveKind::Alltoall);
+  EXPECT_EQ(c.coll_id, (static_cast<std::int64_t>(3) << 32) | 9);
+}
+
+TEST(OtfText, IsHumanReadable) {
+  Trace t = sample_trace();
+  std::stringstream buf;
+  write_text_trace(t, buf);
+  const std::string s = buf.str();
+  EXPECT_NE(s.find("CSTXT 1"), std::string::npos);
+  EXPECT_NE(s.find("EV 0 SEND "), std::string::npos);
+  EXPECT_NE(s.find("REGION 0 main loop"), std::string::npos);
+}
+
+TEST(OtfText, RejectsGarbageAndMalformed) {
+  std::stringstream nothead("hello world");
+  EXPECT_THROW(read_text_trace(nothead), std::invalid_argument);
+  std::stringstream malformed("CSTXT 1\nRANK 0 0 0 0\nEV 0 SEND oops\n");
+  EXPECT_THROW(read_text_trace(malformed), std::invalid_argument);
+  std::stringstream badkind("CSTXT 1\nRANK 0 0 0 0\nBOGUS 1 2 3\n");
+  EXPECT_THROW(read_text_trace(badkind), std::invalid_argument);
+}
+
+TEST(OtfText, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/cs_trace.txt";
+  Trace t = sample_trace();
+  write_text_trace_file(t, path);
+  Trace u = read_text_trace_file(path);
+  EXPECT_EQ(u.total_events(), t.total_events());
+  std::remove(path.c_str());
+}
+
+TEST(OtfText, RealTraceAnalyzesIdentically) {
+  SweepConfig cfg;
+  cfg.rounds = 40;
+  JobConfig job;
+  job.placement = pinning::inter_node(clusters::xeon_rwth(), 4);
+  job.timer = timer_specs::intel_tsc();
+  job.seed = 11;
+  AppRunResult res = run_sweep(cfg, std::move(job));
+
+  std::stringstream buf;
+  write_text_trace(res.trace, buf);
+  Trace back = read_text_trace(buf);
+  EXPECT_EQ(back.match_messages().size(), res.trace.match_messages().size());
+  for (Rank r = 0; r < 4; ++r) {
+    ASSERT_EQ(back.events(r).size(), res.trace.events(r).size());
+    for (std::size_t i = 0; i < back.events(r).size(); ++i) {
+      EXPECT_DOUBLE_EQ(back.events(r)[i].local_ts, res.trace.events(r)[i].local_ts);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,82 @@
+#include "trace/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+Trace two_rank_trace(Time recv_ts) {
+  Trace t(pinning::inter_node(clusters::xeon_rwth(), 2), {0.47e-6, 0.86e-6, 4.29e-6}, "test");
+  Event s;
+  s.type = EventType::Send;
+  s.peer = 1;
+  s.msg_id = 0;
+  s.local_ts = s.true_ts = 1.0;
+  t.events(0).push_back(s);
+  Event r = s;
+  r.type = EventType::Recv;
+  r.peer = 0;
+  r.local_ts = r.true_ts = recv_ts;
+  t.events(1).push_back(r);
+  return t;
+}
+
+TEST(Timeline, ContainsLanesAndGlyphs) {
+  Trace t = two_rank_trace(1.5);
+  const std::string out = render_timeline(t, TimestampArray::from_local(t));
+  EXPECT_NE(out.find("rank   0"), std::string::npos);
+  EXPECT_NE(out.find("rank   1"), std::string::npos);
+  EXPECT_NE(out.find('S'), std::string::npos);
+  EXPECT_NE(out.find('R'), std::string::npos);
+}
+
+TEST(Timeline, FlagsBackwardArrows) {
+  Trace t = two_rank_trace(0.5);  // reversed message
+  const std::string out = render_timeline(t, TimestampArray::from_local(t));
+  EXPECT_NE(out.find("ARROW POINTS BACKWARD"), std::string::npos);
+  EXPECT_NE(out.find("1 pointing backward"), std::string::npos);
+}
+
+TEST(Timeline, ConsistentMessageNotFlagged) {
+  Trace t = two_rank_trace(1.5);
+  const std::string out = render_timeline(t, TimestampArray::from_local(t));
+  EXPECT_EQ(out.find("ARROW POINTS BACKWARD"), std::string::npos);
+  EXPECT_NE(out.find("0 pointing backward"), std::string::npos);
+}
+
+TEST(Timeline, WindowRestriction) {
+  Trace t = two_rank_trace(1.5);
+  TimelineOptions opt;
+  opt.start = 10.0;
+  opt.end = 20.0;
+  const std::string out = render_timeline(t, TimestampArray::from_local(t), opt);
+  // No events inside the window: lanes stay empty.
+  EXPECT_EQ(out.find('S'), std::string::npos);
+}
+
+TEST(Timeline, EmptyTraceRenders) {
+  Trace t(pinning::inter_node(clusters::xeon_rwth(), 2), {0.47e-6, 0.86e-6, 4.29e-6}, "test");
+  const std::string out = render_timeline(t, TimestampArray::from_local(t));
+  EXPECT_NE(out.find("rank   0"), std::string::npos);
+}
+
+TEST(Timeline, MessageTableCanBeDisabled) {
+  Trace t = two_rank_trace(0.5);
+  TimelineOptions opt;
+  opt.max_messages = 0;
+  const std::string out = render_timeline(t, TimestampArray::from_local(t), opt);
+  EXPECT_EQ(out.find("messages in window"), std::string::npos);
+}
+
+TEST(Timeline, NarrowWidthRejected) {
+  Trace t = two_rank_trace(1.5);
+  TimelineOptions opt;
+  opt.width = 5;
+  EXPECT_THROW(render_timeline(t, TimestampArray::from_local(t), opt),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chronosync

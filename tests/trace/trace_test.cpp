@@ -1,0 +1,169 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+Trace make_trace(int ranks) {
+  return Trace(pinning::inter_node(clusters::xeon_rwth(), ranks),
+               {0.47e-6, 0.86e-6, 4.29e-6}, "test-timer");
+}
+
+Event send_event(Rank dst, std::int64_t id, Time ts) {
+  Event e;
+  e.type = EventType::Send;
+  e.peer = dst;
+  e.msg_id = id;
+  e.local_ts = ts;
+  e.true_ts = ts;
+  e.bytes = 64;
+  e.tag = 1;
+  return e;
+}
+
+Event recv_event(Rank src, std::int64_t id, Time ts) {
+  Event e;
+  e.type = EventType::Recv;
+  e.peer = src;
+  e.msg_id = id;
+  e.local_ts = ts;
+  e.true_ts = ts;
+  e.bytes = 64;
+  e.tag = 1;
+  return e;
+}
+
+TEST(Trace, MinLatencyByPlacement) {
+  Trace t = make_trace(2);
+  EXPECT_DOUBLE_EQ(t.min_latency(0, 1), 4.29e-6);
+  EXPECT_DOUBLE_EQ(t.min_latency(CommDomain::SameChip), 0.47e-6);
+}
+
+TEST(Trace, RegionInterning) {
+  Trace t = make_trace(1);
+  const auto a = t.intern_region("main");
+  const auto b = t.intern_region("loop");
+  const auto a2 = t.intern_region("main");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.region_name(a), "main");
+  EXPECT_THROW(t.region_name(99), std::invalid_argument);
+}
+
+TEST(Trace, MessageMatchingByMsgId) {
+  Trace t = make_trace(2);
+  t.events(0).push_back(send_event(1, 100, 1.0));
+  t.events(1).push_back(recv_event(0, 100, 1.1));
+  auto msgs = t.match_messages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].send.proc, 0);
+  EXPECT_EQ(msgs[0].recv.proc, 1);
+  EXPECT_EQ(msgs[0].bytes, 64u);
+}
+
+TEST(Trace, HalfMatchedMessagesDropped) {
+  Trace t = make_trace(2);
+  t.events(0).push_back(send_event(1, 100, 1.0));  // recv outside window
+  t.events(1).push_back(recv_event(0, 200, 1.1));  // send outside window
+  EXPECT_TRUE(t.match_messages().empty());
+}
+
+TEST(Trace, CollectiveGrouping) {
+  Trace t = make_trace(2);
+  for (Rank r = 0; r < 2; ++r) {
+    Event b;
+    b.type = EventType::CollBegin;
+    b.coll = CollectiveKind::Allreduce;
+    b.coll_id = 7;
+    b.local_ts = b.true_ts = 1.0;
+    Event e = b;
+    e.type = EventType::CollEnd;
+    e.local_ts = e.true_ts = 1.1;
+    t.events(r).push_back(b);
+    t.events(r).push_back(e);
+  }
+  auto insts = t.collect_collectives();
+  ASSERT_EQ(insts.size(), 1u);
+  EXPECT_EQ(insts[0].coll_id, 7);
+  EXPECT_EQ(insts[0].begins.size(), 2u);
+}
+
+TEST(Trace, PartialCollectiveInstancesSkipped) {
+  Trace t = make_trace(2);
+  Event b;
+  b.type = EventType::CollBegin;
+  b.coll = CollectiveKind::Barrier;
+  b.coll_id = 1;
+  t.events(0).push_back(b);  // no matching end anywhere
+  EXPECT_TRUE(t.collect_collectives().empty());
+}
+
+TEST(Trace, ValidateAcceptsMonotone) {
+  Trace t = make_trace(1);
+  t.events(0).push_back(send_event(0, 1, 1.0));
+  t.events(0).push_back(send_event(0, 2, 2.0));
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Trace, ValidateRejectsBackwardLocalTime) {
+  Trace t = make_trace(1);
+  t.events(0).push_back(send_event(0, 1, 2.0));
+  t.events(0).push_back(send_event(0, 2, 1.0));
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(Trace, TotalEvents) {
+  Trace t = make_trace(2);
+  t.events(0).push_back(send_event(1, 1, 1.0));
+  t.events(1).push_back(recv_event(0, 1, 1.1));
+  t.events(1).push_back(recv_event(0, 2, 1.2));
+  EXPECT_EQ(t.total_events(), 3u);
+}
+
+TEST(TimestampArray, FromLocalAndTruth) {
+  Trace t = make_trace(1);
+  Event e = send_event(0, 1, 5.0);
+  e.true_ts = 4.5;
+  t.events(0).push_back(e);
+  auto local = TimestampArray::from_local(t);
+  auto truth = TimestampArray::from_truth(t);
+  EXPECT_DOUBLE_EQ(local.at({0, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(truth.at({0, 0}), 4.5);
+}
+
+TEST(TimestampArray, MutationDoesNotTouchTrace) {
+  Trace t = make_trace(1);
+  t.events(0).push_back(send_event(0, 1, 5.0));
+  auto ts = TimestampArray::from_local(t);
+  ts.at({0, 0}) = 9.0;
+  EXPECT_DOUBLE_EQ(t.events(0)[0].local_ts, 5.0);
+  EXPECT_DOUBLE_EQ(ts.at({0, 0}), 9.0);
+}
+
+TEST(TimestampArray, RangeChecks) {
+  Trace t = make_trace(1);
+  auto ts = TimestampArray::from_local(t);
+  EXPECT_THROW(ts.at({0, 0}), std::invalid_argument);
+  EXPECT_THROW(ts.at({1, 0}), std::invalid_argument);
+}
+
+TEST(EventType, ToStringCoversAll) {
+  EXPECT_EQ(to_string(EventType::Send), "SEND");
+  EXPECT_EQ(to_string(EventType::BarrierExit), "BARR_EXIT");
+  EXPECT_EQ(to_string(CollectiveKind::Allreduce), "allreduce");
+}
+
+TEST(Flavor, Mapping) {
+  EXPECT_EQ(flavor_of(CollectiveKind::Bcast), CollectiveFlavor::OneToN);
+  EXPECT_EQ(flavor_of(CollectiveKind::Scatter), CollectiveFlavor::OneToN);
+  EXPECT_EQ(flavor_of(CollectiveKind::Reduce), CollectiveFlavor::NToOne);
+  EXPECT_EQ(flavor_of(CollectiveKind::Gather), CollectiveFlavor::NToOne);
+  EXPECT_EQ(flavor_of(CollectiveKind::Barrier), CollectiveFlavor::NToN);
+  EXPECT_EQ(flavor_of(CollectiveKind::Alltoall), CollectiveFlavor::NToN);
+}
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workload/pop.hpp"
+#include "workload/smg2000.hpp"
+#include "workload/sweep.hpp"
+
+namespace chronosync {
+namespace {
+
+JobConfig tiny_job(int ranks, TimerSpec timer = timer_specs::perfect()) {
+  JobConfig cfg;
+  Rng rng(17);
+  cfg.placement = pinning::scheduler_default(clusters::xeon_rwth(), ranks, rng);
+  cfg.timer = std::move(timer);
+  cfg.seed = 42;
+  return cfg;
+}
+
+PopConfig tiny_pop() {
+  PopConfig cfg;
+  cfg.px = 4;
+  cfg.py = 2;
+  cfg.total_iterations = 30;
+  cfg.traced_begin = 10;
+  cfg.traced_end = 20;
+  cfg.iter_compute = 200 * units::us;
+  return cfg;
+}
+
+TEST(PopWorkload, TracesOnlyTheWindow) {
+  auto res = run_pop(tiny_pop(), tiny_job(8));
+  // 10 traced iterations, each: enter + 4 sends + 4 recvs + coll begin/end + exit.
+  for (Rank r = 0; r < 8; ++r) {
+    EXPECT_EQ(res.trace.events(r).size(), 10u * 12u) << "rank " << r;
+  }
+}
+
+TEST(PopWorkload, OffsetsMeasuredTwice) {
+  auto res = run_pop(tiny_pop(), tiny_job(8));
+  for (Rank r = 0; r < 8; ++r) {
+    EXPECT_EQ(res.offsets.of(r).size(), 2u);
+  }
+}
+
+TEST(PopWorkload, MessagesMatchAndCollectivesComplete) {
+  auto res = run_pop(tiny_pop(), tiny_job(8));
+  EXPECT_EQ(res.trace.match_messages().size(), 8u * 10u * 4u);
+  EXPECT_EQ(res.trace.collect_collectives().size(), 10u);
+}
+
+// Truth-based check used by several workload tests.
+void expect_truth_clean(const Trace& trace) {
+  const auto msgs = trace.match_messages();
+  for (const auto& m : msgs) {
+    EXPECT_GE(trace.at(m.recv).true_ts,
+              trace.at(m.send).true_ts + trace.min_latency(m.send.proc, m.recv.proc) - 1e-12);
+  }
+}
+
+TEST(PopWorkload, TruthNeverViolates) {
+  auto res = run_pop(tiny_pop(), tiny_job(8));
+  expect_truth_clean(res.trace);
+}
+
+TEST(PopWorkload, ValidatesTraceInvariants) {
+  auto res = run_pop(tiny_pop(), tiny_job(8));
+  EXPECT_NO_THROW(res.trace.validate());
+}
+
+TEST(PopWorkload, GridMismatchRejected) {
+  PopConfig cfg = tiny_pop();
+  EXPECT_THROW(run_pop(cfg, tiny_job(6)), std::invalid_argument);
+}
+
+TEST(PopWorkload, BadWindowRejected) {
+  PopConfig cfg = tiny_pop();
+  cfg.traced_end = 50;  // beyond total_iterations
+  EXPECT_THROW(run_pop(cfg, tiny_job(8)), std::invalid_argument);
+}
+
+SmgConfig tiny_smg() {
+  SmgConfig cfg;
+  cfg.px = 4;
+  cfg.py = 2;
+  cfg.levels = 3;
+  cfg.iterations = 2;
+  cfg.setup_exchanges = 1;
+  cfg.level_compute = 100 * units::us;
+  cfg.pre_sleep = 0.5;
+  cfg.post_sleep = 0.5;
+  return cfg;
+}
+
+TEST(SmgWorkload, RunsAndTraces) {
+  auto res = run_smg(tiny_smg(), tiny_job(8));
+  EXPECT_GT(res.trace.total_events(), 0u);
+  EXPECT_GT(res.trace.match_messages().size(), 0u);
+  // Setup allreduce + one per iteration.
+  EXPECT_EQ(res.trace.collect_collectives().size(), 3u);
+  for (Rank r = 0; r < 8; ++r) EXPECT_EQ(res.offsets.of(r).size(), 2u);
+}
+
+TEST(SmgWorkload, HasLongRangePartners) {
+  auto res = run_smg(tiny_smg(), tiny_job(8));
+  // Some messages must span a grid distance > 1 (non-nearest-neighbour).
+  bool long_range = false;
+  for (const auto& m : res.trace.match_messages()) {
+    const int dx = std::abs(m.send.proc % 4 - m.recv.proc % 4);
+    if (dx > 1 && dx < 3) long_range = true;  // distance 2 in x
+  }
+  EXPECT_TRUE(long_range);
+}
+
+TEST(SmgWorkload, TruthNeverViolates) {
+  auto res = run_smg(tiny_smg(), tiny_job(8));
+  expect_truth_clean(res.trace);
+}
+
+TEST(SweepWorkload, BidirectionalTrafficEverywhere) {
+  SweepConfig cfg;
+  cfg.rounds = 100;
+  auto res = run_sweep(cfg, tiny_job(4));
+  // Every ordered pair should have seen traffic with 100 random shifts.
+  std::set<std::pair<Rank, Rank>> pairs;
+  for (const auto& m : res.trace.match_messages()) {
+    pairs.insert({m.send.proc, m.recv.proc});
+  }
+  EXPECT_EQ(pairs.size(), 12u);
+}
+
+TEST(SweepWorkload, MessageCountMatchesRounds) {
+  SweepConfig cfg;
+  cfg.rounds = 50;
+  auto res = run_sweep(cfg, tiny_job(4));
+  EXPECT_EQ(res.trace.match_messages().size(), 200u);
+}
+
+TEST(SweepWorkload, OptionalCollectives) {
+  SweepConfig cfg;
+  cfg.rounds = 20;
+  cfg.collective_every = 5;
+  auto res = run_sweep(cfg, tiny_job(4));
+  EXPECT_EQ(res.trace.collect_collectives().size(), 4u);
+}
+
+TEST(SweepWorkload, NoProbeMode) {
+  SweepConfig cfg;
+  cfg.rounds = 10;
+  cfg.probe = false;
+  auto res = run_sweep(cfg, tiny_job(4));
+  EXPECT_TRUE(res.offsets.of(1).empty());
+}
+
+TEST(SweepWorkload, TruthNeverViolates) {
+  SweepConfig cfg;
+  cfg.rounds = 100;
+  auto res = run_sweep(cfg, tiny_job(6, timer_specs::intel_tsc()));
+  expect_truth_clean(res.trace);
+}
+
+}  // namespace
+}  // namespace chronosync
