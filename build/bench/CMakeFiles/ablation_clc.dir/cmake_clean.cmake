@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_clc.dir/ablation_clc.cpp.o"
+  "CMakeFiles/ablation_clc.dir/ablation_clc.cpp.o.d"
+  "ablation_clc"
+  "ablation_clc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_omp_clc.dir/ablation_omp_clc.cpp.o"
+  "CMakeFiles/ablation_omp_clc.dir/ablation_omp_clc.cpp.o.d"
+  "ablation_omp_clc"
+  "ablation_omp_clc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_omp_clc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

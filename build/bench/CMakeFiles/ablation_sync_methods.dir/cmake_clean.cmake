@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync_methods.dir/ablation_sync_methods.cpp.o"
+  "CMakeFiles/ablation_sync_methods.dir/ablation_sync_methods.cpp.o.d"
+  "ablation_sync_methods"
+  "ablation_sync_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_fig2_illustrations.dir/fig1_fig2_illustrations.cpp.o"
+  "CMakeFiles/fig1_fig2_illustrations.dir/fig1_fig2_illustrations.cpp.o.d"
+  "fig1_fig2_illustrations"
+  "fig1_fig2_illustrations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_fig2_illustrations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

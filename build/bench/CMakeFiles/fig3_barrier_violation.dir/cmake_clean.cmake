@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_barrier_violation.dir/fig3_barrier_violation.cpp.o"
+  "CMakeFiles/fig3_barrier_violation.dir/fig3_barrier_violation.cpp.o.d"
+  "fig3_barrier_violation"
+  "fig3_barrier_violation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_barrier_violation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_timer_deviation.dir/fig4_timer_deviation.cpp.o"
+  "CMakeFiles/fig4_timer_deviation.dir/fig4_timer_deviation.cpp.o.d"
+  "fig4_timer_deviation"
+  "fig4_timer_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_timer_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

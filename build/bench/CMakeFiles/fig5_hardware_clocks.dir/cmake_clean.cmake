@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hardware_clocks.dir/fig5_hardware_clocks.cpp.o"
+  "CMakeFiles/fig5_hardware_clocks.dir/fig5_hardware_clocks.cpp.o.d"
+  "fig5_hardware_clocks"
+  "fig5_hardware_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hardware_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_short_run.dir/fig6_short_run.cpp.o"
+  "CMakeFiles/fig6_short_run.dir/fig6_short_run.cpp.o.d"
+  "fig6_short_run"
+  "fig6_short_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_short_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

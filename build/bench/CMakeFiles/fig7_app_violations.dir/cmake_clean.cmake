@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_app_violations.dir/fig7_app_violations.cpp.o"
+  "CMakeFiles/fig7_app_violations.dir/fig7_app_violations.cpp.o.d"
+  "fig7_app_violations"
+  "fig7_app_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_app_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

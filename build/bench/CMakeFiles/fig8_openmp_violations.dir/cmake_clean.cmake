@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_openmp_violations.dir/fig8_openmp_violations.cpp.o"
+  "CMakeFiles/fig8_openmp_violations.dir/fig8_openmp_violations.cpp.o.d"
+  "fig8_openmp_violations"
+  "fig8_openmp_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_openmp_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

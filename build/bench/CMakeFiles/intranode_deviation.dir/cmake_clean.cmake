@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intranode_deviation.dir/intranode_deviation.cpp.o"
+  "CMakeFiles/intranode_deviation.dir/intranode_deviation.cpp.o.d"
+  "intranode_deviation"
+  "intranode_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intranode_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_clc.dir/perf_clc.cpp.o"
+  "CMakeFiles/perf_clc.dir/perf_clc.cpp.o.d"
+  "perf_clc"
+  "perf_clc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_clc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

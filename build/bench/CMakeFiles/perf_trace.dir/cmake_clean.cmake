@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_trace.dir/perf_trace.cpp.o"
+  "CMakeFiles/perf_trace.dir/perf_trace.cpp.o.d"
+  "perf_trace"
+  "perf_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

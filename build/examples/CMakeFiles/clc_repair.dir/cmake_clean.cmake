@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_repair.dir/clc_repair.cpp.o"
+  "CMakeFiles/clc_repair.dir/clc_repair.cpp.o.d"
+  "clc_repair"
+  "clc_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_zoo.dir/clock_zoo.cpp.o"
+  "CMakeFiles/clock_zoo.dir/clock_zoo.cpp.o.d"
+  "clock_zoo"
+  "clock_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

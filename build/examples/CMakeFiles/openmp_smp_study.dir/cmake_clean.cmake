@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openmp_smp_study.dir/openmp_smp_study.cpp.o"
+  "CMakeFiles/openmp_smp_study.dir/openmp_smp_study.cpp.o.d"
+  "openmp_smp_study"
+  "openmp_smp_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openmp_smp_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

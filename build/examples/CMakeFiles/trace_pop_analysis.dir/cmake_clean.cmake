@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_pop_analysis.dir/trace_pop_analysis.cpp.o"
+  "CMakeFiles/trace_pop_analysis.dir/trace_pop_analysis.cpp.o.d"
+  "trace_pop_analysis"
+  "trace_pop_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_pop_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

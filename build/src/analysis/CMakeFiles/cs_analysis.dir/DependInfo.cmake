@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/clock_condition.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/clock_condition.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/clock_condition.cpp.o.d"
+  "/root/repo/src/analysis/deviation.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/deviation.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/deviation.cpp.o.d"
+  "/root/repo/src/analysis/interval_stats.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/interval_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/interval_stats.cpp.o.d"
+  "/root/repo/src/analysis/omp_semantics.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/omp_semantics.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/omp_semantics.cpp.o.d"
+  "/root/repo/src/analysis/order.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/order.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/order.cpp.o.d"
+  "/root/repo/src/analysis/profile.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/profile.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/profile.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/cs_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/clockmodel/CMakeFiles/cs_clockmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/cs_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/cs_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

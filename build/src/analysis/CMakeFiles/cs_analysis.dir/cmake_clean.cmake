@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_analysis.dir/clock_condition.cpp.o"
+  "CMakeFiles/cs_analysis.dir/clock_condition.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/deviation.cpp.o"
+  "CMakeFiles/cs_analysis.dir/deviation.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/interval_stats.cpp.o"
+  "CMakeFiles/cs_analysis.dir/interval_stats.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/omp_semantics.cpp.o"
+  "CMakeFiles/cs_analysis.dir/omp_semantics.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/order.cpp.o"
+  "CMakeFiles/cs_analysis.dir/order.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/profile.cpp.o"
+  "CMakeFiles/cs_analysis.dir/profile.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/report.cpp.o"
+  "CMakeFiles/cs_analysis.dir/report.cpp.o.d"
+  "libcs_analysis.a"
+  "libcs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

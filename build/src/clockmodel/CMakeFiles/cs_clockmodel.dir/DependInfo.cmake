@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clockmodel/clock_ensemble.cpp" "src/clockmodel/CMakeFiles/cs_clockmodel.dir/clock_ensemble.cpp.o" "gcc" "src/clockmodel/CMakeFiles/cs_clockmodel.dir/clock_ensemble.cpp.o.d"
+  "/root/repo/src/clockmodel/drift_model.cpp" "src/clockmodel/CMakeFiles/cs_clockmodel.dir/drift_model.cpp.o" "gcc" "src/clockmodel/CMakeFiles/cs_clockmodel.dir/drift_model.cpp.o.d"
+  "/root/repo/src/clockmodel/sim_clock.cpp" "src/clockmodel/CMakeFiles/cs_clockmodel.dir/sim_clock.cpp.o" "gcc" "src/clockmodel/CMakeFiles/cs_clockmodel.dir/sim_clock.cpp.o.d"
+  "/root/repo/src/clockmodel/timer_spec.cpp" "src/clockmodel/CMakeFiles/cs_clockmodel.dir/timer_spec.cpp.o" "gcc" "src/clockmodel/CMakeFiles/cs_clockmodel.dir/timer_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cs_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_clockmodel.dir/clock_ensemble.cpp.o"
+  "CMakeFiles/cs_clockmodel.dir/clock_ensemble.cpp.o.d"
+  "CMakeFiles/cs_clockmodel.dir/drift_model.cpp.o"
+  "CMakeFiles/cs_clockmodel.dir/drift_model.cpp.o.d"
+  "CMakeFiles/cs_clockmodel.dir/sim_clock.cpp.o"
+  "CMakeFiles/cs_clockmodel.dir/sim_clock.cpp.o.d"
+  "CMakeFiles/cs_clockmodel.dir/timer_spec.cpp.o"
+  "CMakeFiles/cs_clockmodel.dir/timer_spec.cpp.o.d"
+  "libcs_clockmodel.a"
+  "libcs_clockmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_clockmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_common.dir/cli.cpp.o"
+  "CMakeFiles/cs_common.dir/cli.cpp.o.d"
+  "CMakeFiles/cs_common.dir/csv.cpp.o"
+  "CMakeFiles/cs_common.dir/csv.cpp.o.d"
+  "CMakeFiles/cs_common.dir/log.cpp.o"
+  "CMakeFiles/cs_common.dir/log.cpp.o.d"
+  "CMakeFiles/cs_common.dir/mathutil.cpp.o"
+  "CMakeFiles/cs_common.dir/mathutil.cpp.o.d"
+  "CMakeFiles/cs_common.dir/rng.cpp.o"
+  "CMakeFiles/cs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cs_common.dir/statistics.cpp.o"
+  "CMakeFiles/cs_common.dir/statistics.cpp.o.d"
+  "CMakeFiles/cs_common.dir/table.cpp.o"
+  "CMakeFiles/cs_common.dir/table.cpp.o.d"
+  "libcs_common.a"
+  "libcs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_measure.dir/latency_probe.cpp.o"
+  "CMakeFiles/cs_measure.dir/latency_probe.cpp.o.d"
+  "CMakeFiles/cs_measure.dir/offset_probe.cpp.o"
+  "CMakeFiles/cs_measure.dir/offset_probe.cpp.o.d"
+  "CMakeFiles/cs_measure.dir/periodic.cpp.o"
+  "CMakeFiles/cs_measure.dir/periodic.cpp.o.d"
+  "libcs_measure.a"
+  "libcs_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpisim/collectives.cpp" "src/mpisim/CMakeFiles/cs_mpisim.dir/collectives.cpp.o" "gcc" "src/mpisim/CMakeFiles/cs_mpisim.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpisim/comm.cpp" "src/mpisim/CMakeFiles/cs_mpisim.dir/comm.cpp.o" "gcc" "src/mpisim/CMakeFiles/cs_mpisim.dir/comm.cpp.o.d"
+  "/root/repo/src/mpisim/job.cpp" "src/mpisim/CMakeFiles/cs_mpisim.dir/job.cpp.o" "gcc" "src/mpisim/CMakeFiles/cs_mpisim.dir/job.cpp.o.d"
+  "/root/repo/src/mpisim/mailbox.cpp" "src/mpisim/CMakeFiles/cs_mpisim.dir/mailbox.cpp.o" "gcc" "src/mpisim/CMakeFiles/cs_mpisim.dir/mailbox.cpp.o.d"
+  "/root/repo/src/mpisim/proc.cpp" "src/mpisim/CMakeFiles/cs_mpisim.dir/proc.cpp.o" "gcc" "src/mpisim/CMakeFiles/cs_mpisim.dir/proc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/clockmodel/CMakeFiles/cs_clockmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cs_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

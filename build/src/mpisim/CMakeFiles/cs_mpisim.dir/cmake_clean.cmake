@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_mpisim.dir/collectives.cpp.o"
+  "CMakeFiles/cs_mpisim.dir/collectives.cpp.o.d"
+  "CMakeFiles/cs_mpisim.dir/comm.cpp.o"
+  "CMakeFiles/cs_mpisim.dir/comm.cpp.o.d"
+  "CMakeFiles/cs_mpisim.dir/job.cpp.o"
+  "CMakeFiles/cs_mpisim.dir/job.cpp.o.d"
+  "CMakeFiles/cs_mpisim.dir/mailbox.cpp.o"
+  "CMakeFiles/cs_mpisim.dir/mailbox.cpp.o.d"
+  "CMakeFiles/cs_mpisim.dir/proc.cpp.o"
+  "CMakeFiles/cs_mpisim.dir/proc.cpp.o.d"
+  "libcs_mpisim.a"
+  "libcs_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_ompsim.dir/omp_bench.cpp.o"
+  "CMakeFiles/cs_ompsim.dir/omp_bench.cpp.o.d"
+  "libcs_ompsim.a"
+  "libcs_ompsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_ompsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/clc.cpp" "src/sync/CMakeFiles/cs_sync.dir/clc.cpp.o" "gcc" "src/sync/CMakeFiles/cs_sync.dir/clc.cpp.o.d"
+  "/root/repo/src/sync/clc_parallel.cpp" "src/sync/CMakeFiles/cs_sync.dir/clc_parallel.cpp.o" "gcc" "src/sync/CMakeFiles/cs_sync.dir/clc_parallel.cpp.o.d"
+  "/root/repo/src/sync/collective_anchor.cpp" "src/sync/CMakeFiles/cs_sync.dir/collective_anchor.cpp.o" "gcc" "src/sync/CMakeFiles/cs_sync.dir/collective_anchor.cpp.o.d"
+  "/root/repo/src/sync/correction.cpp" "src/sync/CMakeFiles/cs_sync.dir/correction.cpp.o" "gcc" "src/sync/CMakeFiles/cs_sync.dir/correction.cpp.o.d"
+  "/root/repo/src/sync/error_estimation.cpp" "src/sync/CMakeFiles/cs_sync.dir/error_estimation.cpp.o" "gcc" "src/sync/CMakeFiles/cs_sync.dir/error_estimation.cpp.o.d"
+  "/root/repo/src/sync/interpolation.cpp" "src/sync/CMakeFiles/cs_sync.dir/interpolation.cpp.o" "gcc" "src/sync/CMakeFiles/cs_sync.dir/interpolation.cpp.o.d"
+  "/root/repo/src/sync/logical_clock.cpp" "src/sync/CMakeFiles/cs_sync.dir/logical_clock.cpp.o" "gcc" "src/sync/CMakeFiles/cs_sync.dir/logical_clock.cpp.o.d"
+  "/root/repo/src/sync/node_coupling.cpp" "src/sync/CMakeFiles/cs_sync.dir/node_coupling.cpp.o" "gcc" "src/sync/CMakeFiles/cs_sync.dir/node_coupling.cpp.o.d"
+  "/root/repo/src/sync/offset_alignment.cpp" "src/sync/CMakeFiles/cs_sync.dir/offset_alignment.cpp.o" "gcc" "src/sync/CMakeFiles/cs_sync.dir/offset_alignment.cpp.o.d"
+  "/root/repo/src/sync/omp_clc.cpp" "src/sync/CMakeFiles/cs_sync.dir/omp_clc.cpp.o" "gcc" "src/sync/CMakeFiles/cs_sync.dir/omp_clc.cpp.o.d"
+  "/root/repo/src/sync/replay.cpp" "src/sync/CMakeFiles/cs_sync.dir/replay.cpp.o" "gcc" "src/sync/CMakeFiles/cs_sync.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/cs_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/cs_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clockmodel/CMakeFiles/cs_clockmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_sync.dir/clc.cpp.o"
+  "CMakeFiles/cs_sync.dir/clc.cpp.o.d"
+  "CMakeFiles/cs_sync.dir/clc_parallel.cpp.o"
+  "CMakeFiles/cs_sync.dir/clc_parallel.cpp.o.d"
+  "CMakeFiles/cs_sync.dir/collective_anchor.cpp.o"
+  "CMakeFiles/cs_sync.dir/collective_anchor.cpp.o.d"
+  "CMakeFiles/cs_sync.dir/correction.cpp.o"
+  "CMakeFiles/cs_sync.dir/correction.cpp.o.d"
+  "CMakeFiles/cs_sync.dir/error_estimation.cpp.o"
+  "CMakeFiles/cs_sync.dir/error_estimation.cpp.o.d"
+  "CMakeFiles/cs_sync.dir/interpolation.cpp.o"
+  "CMakeFiles/cs_sync.dir/interpolation.cpp.o.d"
+  "CMakeFiles/cs_sync.dir/logical_clock.cpp.o"
+  "CMakeFiles/cs_sync.dir/logical_clock.cpp.o.d"
+  "CMakeFiles/cs_sync.dir/node_coupling.cpp.o"
+  "CMakeFiles/cs_sync.dir/node_coupling.cpp.o.d"
+  "CMakeFiles/cs_sync.dir/offset_alignment.cpp.o"
+  "CMakeFiles/cs_sync.dir/offset_alignment.cpp.o.d"
+  "CMakeFiles/cs_sync.dir/omp_clc.cpp.o"
+  "CMakeFiles/cs_sync.dir/omp_clc.cpp.o.d"
+  "CMakeFiles/cs_sync.dir/replay.cpp.o"
+  "CMakeFiles/cs_sync.dir/replay.cpp.o.d"
+  "libcs_sync.a"
+  "libcs_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_topology.dir/cluster.cpp.o"
+  "CMakeFiles/cs_topology.dir/cluster.cpp.o.d"
+  "CMakeFiles/cs_topology.dir/latency_model.cpp.o"
+  "CMakeFiles/cs_topology.dir/latency_model.cpp.o.d"
+  "CMakeFiles/cs_topology.dir/pinning.cpp.o"
+  "CMakeFiles/cs_topology.dir/pinning.cpp.o.d"
+  "libcs_topology.a"
+  "libcs_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

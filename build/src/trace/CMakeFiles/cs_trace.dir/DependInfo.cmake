@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/logical_messages.cpp" "src/trace/CMakeFiles/cs_trace.dir/logical_messages.cpp.o" "gcc" "src/trace/CMakeFiles/cs_trace.dir/logical_messages.cpp.o.d"
+  "/root/repo/src/trace/otf_text.cpp" "src/trace/CMakeFiles/cs_trace.dir/otf_text.cpp.o" "gcc" "src/trace/CMakeFiles/cs_trace.dir/otf_text.cpp.o.d"
+  "/root/repo/src/trace/timeline.cpp" "src/trace/CMakeFiles/cs_trace.dir/timeline.cpp.o" "gcc" "src/trace/CMakeFiles/cs_trace.dir/timeline.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/cs_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/cs_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/cs_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/cs_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cs_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

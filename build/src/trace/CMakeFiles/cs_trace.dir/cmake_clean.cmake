@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_trace.dir/logical_messages.cpp.o"
+  "CMakeFiles/cs_trace.dir/logical_messages.cpp.o.d"
+  "CMakeFiles/cs_trace.dir/otf_text.cpp.o"
+  "CMakeFiles/cs_trace.dir/otf_text.cpp.o.d"
+  "CMakeFiles/cs_trace.dir/timeline.cpp.o"
+  "CMakeFiles/cs_trace.dir/timeline.cpp.o.d"
+  "CMakeFiles/cs_trace.dir/trace.cpp.o"
+  "CMakeFiles/cs_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/cs_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/cs_trace.dir/trace_io.cpp.o.d"
+  "libcs_trace.a"
+  "libcs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

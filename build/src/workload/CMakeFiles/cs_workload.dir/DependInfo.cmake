@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/pop.cpp" "src/workload/CMakeFiles/cs_workload.dir/pop.cpp.o" "gcc" "src/workload/CMakeFiles/cs_workload.dir/pop.cpp.o.d"
+  "/root/repo/src/workload/smg2000.cpp" "src/workload/CMakeFiles/cs_workload.dir/smg2000.cpp.o" "gcc" "src/workload/CMakeFiles/cs_workload.dir/smg2000.cpp.o.d"
+  "/root/repo/src/workload/sweep.cpp" "src/workload/CMakeFiles/cs_workload.dir/sweep.cpp.o" "gcc" "src/workload/CMakeFiles/cs_workload.dir/sweep.cpp.o.d"
+  "/root/repo/src/workload/sweep3d.cpp" "src/workload/CMakeFiles/cs_workload.dir/sweep3d.cpp.o" "gcc" "src/workload/CMakeFiles/cs_workload.dir/sweep3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/cs_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/cs_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/clockmodel/CMakeFiles/cs_clockmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cs_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_workload.dir/pop.cpp.o"
+  "CMakeFiles/cs_workload.dir/pop.cpp.o.d"
+  "CMakeFiles/cs_workload.dir/smg2000.cpp.o"
+  "CMakeFiles/cs_workload.dir/smg2000.cpp.o.d"
+  "CMakeFiles/cs_workload.dir/sweep.cpp.o"
+  "CMakeFiles/cs_workload.dir/sweep.cpp.o.d"
+  "CMakeFiles/cs_workload.dir/sweep3d.cpp.o"
+  "CMakeFiles/cs_workload.dir/sweep3d.cpp.o.d"
+  "libcs_workload.a"
+  "libcs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

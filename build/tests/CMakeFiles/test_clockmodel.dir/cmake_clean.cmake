@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clockmodel.dir/clockmodel/drift_model_test.cpp.o"
+  "CMakeFiles/test_clockmodel.dir/clockmodel/drift_model_test.cpp.o.d"
+  "CMakeFiles/test_clockmodel.dir/clockmodel/ensemble_test.cpp.o"
+  "CMakeFiles/test_clockmodel.dir/clockmodel/ensemble_test.cpp.o.d"
+  "CMakeFiles/test_clockmodel.dir/clockmodel/ou_drift_test.cpp.o"
+  "CMakeFiles/test_clockmodel.dir/clockmodel/ou_drift_test.cpp.o.d"
+  "CMakeFiles/test_clockmodel.dir/clockmodel/sim_clock_test.cpp.o"
+  "CMakeFiles/test_clockmodel.dir/clockmodel/sim_clock_test.cpp.o.d"
+  "test_clockmodel"
+  "test_clockmodel.pdb"
+  "test_clockmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clockmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/mathutil_test.cpp" "tests/CMakeFiles/test_common.dir/common/mathutil_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/mathutil_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/statistics_test.cpp" "tests/CMakeFiles/test_common.dir/common/statistics_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/statistics_test.cpp.o.d"
+  "/root/repo/tests/common/table_csv_cli_test.cpp" "tests/CMakeFiles/test_common.dir/common/table_csv_cli_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/table_csv_cli_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ompsim/CMakeFiles/cs_ompsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/cs_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/cs_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/cs_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clockmodel/CMakeFiles/cs_clockmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

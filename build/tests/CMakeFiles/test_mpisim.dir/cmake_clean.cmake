@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpisim.dir/mpisim/collectives_test.cpp.o"
+  "CMakeFiles/test_mpisim.dir/mpisim/collectives_test.cpp.o.d"
+  "CMakeFiles/test_mpisim.dir/mpisim/comm_test.cpp.o"
+  "CMakeFiles/test_mpisim.dir/mpisim/comm_test.cpp.o.d"
+  "CMakeFiles/test_mpisim.dir/mpisim/nonblocking_test.cpp.o"
+  "CMakeFiles/test_mpisim.dir/mpisim/nonblocking_test.cpp.o.d"
+  "CMakeFiles/test_mpisim.dir/mpisim/os_noise_test.cpp.o"
+  "CMakeFiles/test_mpisim.dir/mpisim/os_noise_test.cpp.o.d"
+  "CMakeFiles/test_mpisim.dir/mpisim/p2p_test.cpp.o"
+  "CMakeFiles/test_mpisim.dir/mpisim/p2p_test.cpp.o.d"
+  "CMakeFiles/test_mpisim.dir/mpisim/pmpi_regions_test.cpp.o"
+  "CMakeFiles/test_mpisim.dir/mpisim/pmpi_regions_test.cpp.o.d"
+  "CMakeFiles/test_mpisim.dir/mpisim/rendezvous_test.cpp.o"
+  "CMakeFiles/test_mpisim.dir/mpisim/rendezvous_test.cpp.o.d"
+  "test_mpisim"
+  "test_mpisim.pdb"
+  "test_mpisim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ompsim.dir/ompsim/omp_bench_test.cpp.o"
+  "CMakeFiles/test_ompsim.dir/ompsim/omp_bench_test.cpp.o.d"
+  "test_ompsim"
+  "test_ompsim.pdb"
+  "test_ompsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ompsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

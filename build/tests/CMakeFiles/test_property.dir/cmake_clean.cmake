@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/clc_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/clc_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/collectives_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/collectives_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/drift_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/drift_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/engine_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/engine_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/ensemble_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/ensemble_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/interpolation_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/interpolation_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/mailbox_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/mailbox_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/omp_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/omp_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/trace_roundtrip_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/trace_roundtrip_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/workload_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/workload_property_test.cpp.o.d"
+  "test_property"
+  "test_property.pdb"
+  "test_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

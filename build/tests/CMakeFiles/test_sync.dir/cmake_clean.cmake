@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync.dir/sync/clc_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/clc_test.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/collective_anchor_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/collective_anchor_test.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/error_estimation_edge_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/error_estimation_edge_test.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/error_estimation_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/error_estimation_test.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/interpolation_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/interpolation_test.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/logical_clock_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/logical_clock_test.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/node_coupling_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/node_coupling_test.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/omp_clc_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/omp_clc_test.cpp.o.d"
+  "test_sync"
+  "test_sync.pdb"
+  "test_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
