@@ -2,9 +2,11 @@
 // backward amortization pass.  Measures repaired violations, interval
 // distortion vs. the CLC input, and pairwise sync error.
 #include <iostream>
+#include <optional>
 
 #include "analysis/clock_condition.hpp"
 #include "analysis/interval_stats.hpp"
+#include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "sync/clc.hpp"
@@ -15,23 +17,28 @@ using namespace chronosync;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  benchkit::Harness harness(cli, "ablation_clc", {1, 0});
   SweepConfig workload;
   workload.rounds = static_cast<int>(cli.get_int("rounds", 600));
   workload.gap_mean = cli.get_double("gap", 3.0);
   workload.collective_every = 50;
 
   JobConfig job;
-  job.placement = pinning::inter_node(clusters::xeon_rwth(),
-                                      static_cast<int>(cli.get_int("ranks", 16)));
+  const int ranks = static_cast<int>(cli.get_int("ranks", 16));
+  job.placement = pinning::inter_node(clusters::xeon_rwth(), ranks);
   job.timer = timer_specs::intel_tsc();
   job.seed = cli.get_seed();
+  const benchkit::ConfigList base = {{"ranks", std::to_string(ranks)},
+                                     {"rounds", std::to_string(workload.rounds)}};
 
-  AppRunResult res = run_sweep(workload, std::move(job));
-  const auto msgs = res.trace.match_messages();
-  const auto logical = derive_logical_messages(res.trace);
-  const ReplaySchedule schedule(res.trace, msgs, logical);
+  std::optional<AppRunResult> res;
+  harness.time("sweep_simulation", base, 0,
+               [&] { res = run_sweep(workload, JobConfig(job)); });
+  const auto msgs = res->trace.match_messages();
+  const auto logical = derive_logical_messages(res->trace);
+  const ReplaySchedule schedule(res->trace, msgs, logical);
   const auto input =
-      apply_correction(res.trace, LinearInterpolation::from_store(res.offsets));
+      apply_correction(res->trace, LinearInterpolation::from_store(res->offsets));
 
   std::cout << "ABLATION -- CLC parameters (input: linear interpolation; "
             << msgs.size() << " messages)\n\n";
@@ -40,19 +47,29 @@ int main(int argc, char** argv) {
 
   for (double decay : {0.0, 0.01, 0.05, 0.2, 0.8}) {
     for (bool backward : {false, true}) {
+      benchkit::ConfigList config = base;
+      config.emplace_back("forward_decay", AsciiTable::num(decay, 2));
+      config.emplace_back("backward_amortization", backward ? "on" : "off");
       ClcOptions opt;
       opt.forward_decay = decay;
       opt.backward_amortization = backward;
-      const ClcResult clc = controlled_logical_clock(res.trace, schedule, input, opt);
-      const auto rep = check_clock_condition(res.trace, clc.corrected, msgs, logical);
+      std::optional<ClcResult> clc;
+      harness.time("clc_variant", config, static_cast<std::int64_t>(schedule.events()),
+                   [&] { clc = controlled_logical_clock(res->trace, schedule, input, opt); });
+      const auto rep = check_clock_condition(res->trace, clc->corrected, msgs, logical);
       if (rep.violations() != 0) {
         std::cerr << "unexpected: violations remain for decay=" << decay << "\n";
       }
-      const auto dist = interval_distortion(res.trace, input, clc.corrected);
-      const auto err = message_sync_error(res.trace, clc.corrected, msgs);
+      const auto dist = interval_distortion(res->trace, input, clc->corrected);
+      const auto err = message_sync_error(res->trace, clc->corrected, msgs);
+      harness.metric("clc_variant_quality", config,
+                     {{"violations_repaired", static_cast<double>(clc->violations_repaired)},
+                      {"max_jump_us", to_us(clc->max_jump)},
+                      {"interval_distortion_mean_us", to_us(dist.absolute.mean())},
+                      {"pair_sync_error_us", to_us(err.mean())}});
       table.add_row({AsciiTable::num(decay, 2), backward ? "on" : "off",
-                     std::to_string(clc.violations_repaired),
-                     AsciiTable::num(to_us(clc.max_jump), 3),
+                     std::to_string(clc->violations_repaired),
+                     AsciiTable::num(to_us(clc->max_jump), 3),
                      AsciiTable::num(to_us(dist.absolute.mean()), 4),
                      AsciiTable::num(to_us(err.mean()), 3)});
     }

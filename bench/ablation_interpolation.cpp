@@ -2,8 +2,10 @@
 // probe, and linear (two-point) vs. piecewise interpolation with mid-run
 // measurements (the approach of ref. [17]).
 #include <iostream>
+#include <optional>
 
 #include "analysis/interval_stats.hpp"
+#include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "measure/periodic.hpp"
@@ -43,7 +45,9 @@ AppRunResult run_with_batches(int batches, int pings, int rounds, std::uint64_t 
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  benchkit::Harness harness(cli, "ablation_interpolation", {1, 0});
   const int rounds = static_cast<int>(cli.get_int("rounds", 360));
+  const benchkit::ConfigList base = {{"rounds", std::to_string(rounds)}};
 
   std::cout << "ABLATION -- offset measurement strategy (gettimeofday+NTP clocks,\n"
                "8 ranks, ~" << rounds * 3 << " s run)\n\n";
@@ -54,17 +58,25 @@ int main(int argc, char** argv) {
   AsciiTable pings_table({"pings per probe", "mean |offset error| [us]", "worst [us]"});
   const HierarchicalLatencyModel lat = latencies::xeon_infiniband();
   for (int pings : {1, 2, 5, 10, 20}) {
+    benchkit::ConfigList config = base;
+    config.emplace_back("pings", std::to_string(pings));
     RunningStats err;
-    for (int trial = 0; trial < 300; ++trial) {
-      auto drift = std::make_shared<ConstantDrift>(0.0);
-      SimClock master(0.0, drift, 0.0, {}, Rng(1));
-      SimClock worker(-2 * units::ms, drift, 0.0, {}, Rng(2));
-      Rng rng(cli.get_seed() + static_cast<std::uint64_t>(trial) * 31 +
-              static_cast<std::uint64_t>(pings));
-      const auto m =
-          direct_probe(master, worker, lat, CommDomain::CrossNode, 5.0, pings, rng);
-      err.add(std::abs(m.offset - 2 * units::ms));
-    }
+    harness.time("cristian_probe_accuracy", config, 300, [&] {
+      err = RunningStats();
+      for (int trial = 0; trial < 300; ++trial) {
+        auto drift = std::make_shared<ConstantDrift>(0.0);
+        SimClock master(0.0, drift, 0.0, {}, Rng(1));
+        SimClock worker(-2 * units::ms, drift, 0.0, {}, Rng(2));
+        Rng rng(cli.get_seed() + static_cast<std::uint64_t>(trial) * 31 +
+                static_cast<std::uint64_t>(pings));
+        const auto m =
+            direct_probe(master, worker, lat, CommDomain::CrossNode, 5.0, pings, rng);
+        err.add(std::abs(m.offset - 2 * units::ms));
+      }
+    });
+    harness.metric("cristian_probe_error", config,
+                   {{"mean_abs_error_us", to_us(err.mean())},
+                    {"worst_abs_error_us", to_us(err.max())}});
     pings_table.add_row({std::to_string(pings), AsciiTable::num(to_us(err.mean()), 4),
                          AsciiTable::num(to_us(err.max()), 4)});
   }
@@ -76,16 +88,22 @@ int main(int argc, char** argv) {
   // uses all of them.
   AsciiTable batch_table({"probe batches", "linear err [us]", "piecewise err [us]"});
   for (int batches : {2, 3, 5, 9}) {
-    const auto res = run_with_batches(batches, 10, rounds, cli.get_seed() + 1);
-    const auto msgs = res.trace.match_messages();
+    benchkit::ConfigList config = base;
+    config.emplace_back("batches", std::to_string(batches));
+    std::optional<AppRunResult> res;
+    harness.time("sweep_with_probe_batches", config, 0,
+                 [&] { res = run_with_batches(batches, 10, rounds, cli.get_seed() + 1); });
+    const auto msgs = res->trace.match_messages();
     const auto lin =
-        apply_correction(res.trace, LinearInterpolation::from_store(res.offsets));
+        apply_correction(res->trace, LinearInterpolation::from_store(res->offsets));
     const auto pw =
-        apply_correction(res.trace, PiecewiseInterpolation::from_store(res.offsets));
-    batch_table.add_row(
-        {std::to_string(batches),
-         AsciiTable::num(to_us(message_sync_error(res.trace, lin, msgs).mean()), 3),
-         AsciiTable::num(to_us(message_sync_error(res.trace, pw, msgs).mean()), 3)});
+        apply_correction(res->trace, PiecewiseInterpolation::from_store(res->offsets));
+    const double lin_err = to_us(message_sync_error(res->trace, lin, msgs).mean());
+    const double pw_err = to_us(message_sync_error(res->trace, pw, msgs).mean());
+    harness.metric("interpolation_error", config,
+                   {{"linear_err_us", lin_err}, {"piecewise_err_us", pw_err}});
+    batch_table.add_row({std::to_string(batches), AsciiTable::num(lin_err, 3),
+                         AsciiTable::num(pw_err, 3)});
   }
   std::cout << "(2) probe batches over the run (ref. [17] style piecewise):\n"
             << batch_table.render()

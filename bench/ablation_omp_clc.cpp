@@ -6,8 +6,10 @@
 // and shows the violations before and after, plus the size of the applied
 // corrections.
 #include <iostream>
+#include <optional>
 
 #include "analysis/omp_semantics.hpp"
+#include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "ompsim/omp_bench.hpp"
@@ -17,6 +19,7 @@ using namespace chronosync;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  benchkit::Harness harness(cli, "ablation_omp_clc", {1, 0});
   const int regions = static_cast<int>(cli.get_int("regions", 500));
 
   std::cout << "ABLATION -- CLC extension to OpenMP (POMP) semantics\n"
@@ -25,6 +28,8 @@ int main(int argc, char** argv) {
   AsciiTable table({"threads", "violated regions before [%]", "after CLC [%]",
                     "receives moved", "max jump [us]", "max |shift| [us]"});
   for (int threads : {4, 8, 12, 16}) {
+    const benchkit::ConfigList config = {{"threads", std::to_string(threads)},
+                                         {"regions", std::to_string(regions)}};
     OmpBenchConfig cfg;
     cfg.threads = threads;
     cfg.regions = regions;
@@ -34,20 +39,28 @@ int main(int argc, char** argv) {
     const auto before =
         check_omp_semantics(res.trace, TimestampArray::from_local(res.trace));
     const Placement pl = omp_thread_placement(cfg.node, threads);
-    const OmpClcResult fixed = omp_controlled_logical_clock(res.trace, pl);
-    const auto after = check_omp_semantics(res.trace, fixed.corrected);
+    std::optional<OmpClcResult> fixed;
+    harness.time("omp_clc", config, regions,
+                 [&] { fixed = omp_controlled_logical_clock(res.trace, pl); });
+    const auto after = check_omp_semantics(res.trace, fixed->corrected);
 
     Duration max_shift = 0.0;
     const auto& events = res.trace.events(0);
     for (std::uint32_t i = 0; i < events.size(); ++i) {
       max_shift = std::max(max_shift,
-                           std::abs(fixed.corrected.at({0, i}) - events[i].local_ts));
+                           std::abs(fixed->corrected.at({0, i}) - events[i].local_ts));
     }
 
+    harness.metric("omp_clc_quality", config,
+                   {{"violated_before_pct", before.any_pct()},
+                    {"violated_after_pct", after.any_pct()},
+                    {"receives_moved", static_cast<double>(fixed->violations_repaired)},
+                    {"max_jump_us", to_us(fixed->max_jump)},
+                    {"max_shift_us", to_us(max_shift)}});
     table.add_row({std::to_string(threads), AsciiTable::num(before.any_pct(), 1),
                    AsciiTable::num(after.any_pct(), 1),
-                   std::to_string(fixed.violations_repaired),
-                   AsciiTable::num(to_us(fixed.max_jump), 3),
+                   std::to_string(fixed->violations_repaired),
+                   AsciiTable::num(to_us(fixed->max_jump), 3),
                    AsciiTable::num(to_us(max_shift), 3)});
   }
   std::cout << table.render()

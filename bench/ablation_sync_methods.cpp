@@ -2,12 +2,14 @@
 //
 // One drifting-clock run; for each method: remaining violations, reversed
 // percentage, pairwise sync error against ground truth, and runtime cost.
-#include <chrono>
+#include <cctype>
 #include <iostream>
+#include <optional>
 
 #include "analysis/clock_condition.hpp"
 #include "analysis/interval_stats.hpp"
 #include "analysis/order.hpp"
+#include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "sync/clc.hpp"
@@ -21,18 +23,38 @@
 
 using namespace chronosync;
 
+namespace {
+
+std::string slugify(const std::string& name) {
+  std::string slug;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  benchkit::Harness harness(cli, "ablation_sync_methods", {1, 0});
   SweepConfig workload;
   workload.rounds = static_cast<int>(cli.get_int("rounds", 600));
   workload.gap_mean = cli.get_double("gap", 3.0);
   workload.collective_every = 50;
 
   JobConfig job;
-  job.placement = pinning::inter_node(clusters::xeon_rwth(),
-                                      static_cast<int>(cli.get_int("ranks", 16)));
+  const int ranks = static_cast<int>(cli.get_int("ranks", 16));
+  job.placement = pinning::inter_node(clusters::xeon_rwth(), ranks);
   job.timer = timer_specs::intel_tsc();
   job.seed = cli.get_seed();
+  const benchkit::ConfigList base = {{"ranks", std::to_string(ranks)},
+                                     {"rounds", std::to_string(workload.rounds)}};
 
   std::cerr << "simulating...\n";
   AppRunResult res = run_sweep(workload, std::move(job));
@@ -43,20 +65,27 @@ int main(int argc, char** argv) {
   AsciiTable table({"method", "violations", "reversed [%]", "pair sync err [us]",
                     "misordered [%]", "time [ms]"});
   auto report = [&](const std::string& name, auto&& make_ts) {
-    const auto t0 = std::chrono::steady_clock::now();
-    const TimestampArray ts = make_ts();
-    const auto t1 = std::chrono::steady_clock::now();
-    const auto rep = check_clock_condition(res.trace, ts, msgs, logical);
-    const auto err = message_sync_error(res.trace, ts, msgs);
-    const auto order = order_consistency(res.trace, ts);
-    const double ms =
-        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() / 1000.0;
+    benchkit::ConfigList config = base;
+    config.emplace_back("method", name);
+    std::optional<TimestampArray> ts;
+    const auto& timing =
+        harness.time(slugify(name), config,
+                     static_cast<std::int64_t>(res.trace.total_events()),
+                     [&] { ts = make_ts(); });
+    const auto rep = check_clock_condition(res.trace, *ts, msgs, logical);
+    const auto err = message_sync_error(res.trace, *ts, msgs);
+    const auto order = order_consistency(res.trace, *ts);
+    harness.metric(slugify(name) + "_quality", config,
+                   {{"violations", static_cast<double>(rep.violations())},
+                    {"reversed_pct", rep.combined_reversed_pct()},
+                    {"pair_sync_error_us", to_us(err.mean())},
+                    {"misordered_pct", 100.0 * order.misordered_fraction()}});
     table.add_row({name, std::to_string(rep.violations()),
                    AsciiTable::num(rep.combined_reversed_pct(), 2),
                    AsciiTable::num(to_us(err.mean()), 3),
                    AsciiTable::num(100.0 * order.misordered_fraction(), 3),
-                   AsciiTable::num(ms, 1)});
-    return ts;
+                   AsciiTable::num(timing.wall_ns_p50 / 1e6, 1)});
+    return *ts;
   };
 
   report("raw local clocks", [&] { return TimestampArray::from_local(res.trace); });

@@ -8,7 +8,9 @@
 #include <algorithm>
 #include <iostream>
 
+#include "benchkit/benchkit.hpp"
 #include "clockmodel/sim_clock.hpp"
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "topology/cluster.hpp"
 #include "trace/timeline.hpp"
@@ -55,9 +57,11 @@ Trace omp_barrier(Time enter0, Time exit0, Time enter1, Time exit1) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  benchkit::Harness harness(cli, "fig1_fig2_illustrations", {1, 0});
+
   // ----------------------------------------------------------------- Fig. 1
-  std::cout << "FIG. 1 -- two clocks with an initial offset and different constant drifts\n\n";
   SimClock a(0.0, std::make_shared<ConstantDrift>(0.0), 0.0, {}, Rng(1));
   SimClock b(0.4, std::make_shared<ConstantDrift>(60 * units::ppm), 0.0, {}, Rng(2));
   AsciiTable fig1({"true time [s]", "clock A [s]", "clock B [s]", "offset B-A [ms]"});
@@ -66,30 +70,37 @@ int main() {
                   AsciiTable::num(b.local_time(t), 4),
                   AsciiTable::num(to_ms(b.local_time(t) - a.local_time(t)), 3)});
   }
-  std::cout << fig1.render()
+  std::cout << "FIG. 1 -- two clocks with an initial offset and different constant drifts\n\n"
+            << fig1.render()
             << "(the offset grows linearly: constant relative drift)\n\n";
+  harness.metric("fig1_constant_drift", {{"drift_ppm", "60"}},
+                 {{"offset_ms_at_1000s", to_ms(b.local_time(1000.0) - a.local_time(1000.0))}});
 
   // ----------------------------------------------------------------- Fig. 2
   TimelineOptions opt;
   opt.width = 64;
   opt.max_messages = 2;
 
-  std::cout << "FIG. 2(a) -- consistent message-passing trace:\n";
-  Trace a2 = mpi_pair(10e-6, 30e-6);
-  std::cout << render_timeline(a2, TimestampArray::from_local(a2), opt) << '\n';
+  std::string panels[4];
+  harness.time("render_panels", {}, 4, [&] {
+    Trace a2 = mpi_pair(10e-6, 30e-6);
+    panels[0] = render_timeline(a2, TimestampArray::from_local(a2), opt);
+    Trace b2 = mpi_pair(30e-6, 10e-6);
+    panels[1] = render_timeline(b2, TimestampArray::from_local(b2), opt);
+    TimelineOptions omp_opt = opt;
+    omp_opt.max_messages = 0;
+    Trace c2 = omp_barrier(10e-6, 30e-6, 15e-6, 32e-6);
+    panels[2] = render_timeline(c2, TimestampArray::from_local(c2), omp_opt);
+    Trace d2 = omp_barrier(10e-6, 15e-6, 20e-6, 25e-6);
+    panels[3] = render_timeline(d2, TimestampArray::from_local(d2), omp_opt);
+  });
 
-  std::cout << "FIG. 2(b) -- inconsistent: received before it was sent:\n";
-  Trace b2 = mpi_pair(30e-6, 10e-6);
-  std::cout << render_timeline(b2, TimestampArray::from_local(b2), opt) << '\n';
-
-  opt.max_messages = 0;
-  std::cout << "FIG. 2(c) -- consistent shared-memory barrier (executions overlap):\n";
-  Trace c2 = omp_barrier(10e-6, 30e-6, 15e-6, 32e-6);
-  std::cout << render_timeline(c2, TimestampArray::from_local(c2), opt) << '\n';
-
+  std::cout << "FIG. 2(a) -- consistent message-passing trace:\n" << panels[0] << '\n';
+  std::cout << "FIG. 2(b) -- inconsistent: received before it was sent:\n" << panels[1] << '\n';
+  std::cout << "FIG. 2(c) -- consistent shared-memory barrier (executions overlap):\n"
+            << panels[2] << '\n';
   std::cout << "FIG. 2(d) -- inconsistent: thread 0 leaves before thread 1 entered\n"
-               "(b = BARRIER ENTER, e = BARRIER EXIT):\n";
-  Trace d2 = omp_barrier(10e-6, 15e-6, 20e-6, 25e-6);
-  std::cout << render_timeline(d2, TimestampArray::from_local(d2), opt);
+               "(b = BARRIER ENTER, e = BARRIER EXIT):\n"
+            << panels[3];
   return 0;
 }

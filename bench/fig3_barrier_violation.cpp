@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/omp_semantics.hpp"
+#include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "ompsim/omp_bench.hpp"
@@ -18,13 +19,24 @@ using namespace chronosync;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  benchkit::Harness harness(cli, "fig3_barrier_violation", {1, 0});
   OmpBenchConfig cfg;
   cfg.threads = static_cast<int>(cli.get_int("threads", 4));
   cfg.regions = static_cast<int>(cli.get_int("regions", 500));
   cfg.seed = cli.get_seed();
+  const benchkit::ConfigList base = {{"threads", std::to_string(cfg.threads)},
+                                     {"regions", std::to_string(cfg.regions)}};
 
-  const auto res = run_omp_benchmark(cfg);
-  const auto rep = check_omp_semantics(res.trace, TimestampArray::from_local(res.trace));
+  OmpBenchResult res;
+  OmpSemanticsReport rep;
+  harness.time("omp_benchmark_and_check", base, cfg.regions, [&] {
+    res = run_omp_benchmark(cfg);
+    rep = check_omp_semantics(res.trace, TimestampArray::from_local(res.trace));
+  });
+  harness.metric("barrier_violations", base,
+                 {{"regions_with_barrier_violation", static_cast<double>(rep.with_barrier)},
+                  {"regions_with_any_violation", static_cast<double>(rep.with_any)},
+                  {"regions_total", static_cast<double>(rep.regions)}});
 
   std::cout << "FIG. 3 -- OpenMP barrier-semantics violation on the Itanium SMP node\n"
             << "(" << cfg.threads << " threads, " << cfg.regions << " regions, raw "
@@ -62,12 +74,12 @@ int main(int argc, char** argv) {
   std::sort(lines.begin(), lines.end(),
             [](const Line& a, const Line& b) { return a.local < b.local; });
 
-  const Time base = lines.front().local;
+  const Time base_ts = lines.front().local;
   const Time tbase = lines.front().truth;
   AsciiTable table({"thread", "event", "measured [us]", "true [us]"});
   for (const auto& l : lines) {
     table.add_row({"1:" + std::to_string(l.thread), to_string(l.type),
-                   AsciiTable::num(to_us(l.local - base), 3),
+                   AsciiTable::num(to_us(l.local - base_ts), 3),
                    AsciiTable::num(to_us(l.truth - tbase), 3)});
   }
   std::cout << table.render()

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "analysis/deviation.hpp"
+#include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
@@ -25,28 +26,35 @@ using namespace chronosync;
 namespace {
 
 void run_panel(const char* panel, const TimerSpec& spec, Duration duration,
-               const RngTree& rng) {
+               const RngTree& rng, benchkit::Harness& harness) {
   const int nranks = 4;
   const Placement pl = pinning::inter_node(clusters::xeon_rwth(), nranks);
-  ClockEnsemble ens(pl, spec, rng.child(spec.name));
   const HierarchicalLatencyModel lat = latencies::xeon_infiniband();
+  const benchkit::ConfigList config = {{"panel", panel},
+                                       {"timer", spec.name},
+                                       {"duration_s", std::to_string(duration)}};
 
-  // Initial offset alignment from a measured probe at t ~ 0.
-  Rng probe_rng = rng.child(spec.name).stream("probe");
-  std::vector<Duration> offsets(static_cast<std::size_t>(nranks), 0.0);
-  for (Rank w = 1; w < nranks; ++w) {
-    // Workers are probed sequentially (staggered start times), as a master
-    // process would: clock reads are stateful and must move forward.
-    const Time when = 0.01 * (w - 1);
-    offsets[static_cast<std::size_t>(w)] =
-        direct_probe(ens.clock(0), ens.clock(w), lat, CommDomain::CrossNode, when, 20,
-                     probe_rng)
-            .offset;
-  }
-  const OffsetAlignment align(std::move(offsets));
+  DeviationSeries series;
+  harness.time("panel_deviations", config, 0, [&] {
+    ClockEnsemble ens(pl, spec, rng.child(spec.name));
 
-  const Duration step = duration / 360.0;
-  const DeviationSeries series = sample_deviations(ens, align, duration, step);
+    // Initial offset alignment from a measured probe at t ~ 0.
+    Rng probe_rng = rng.child(spec.name).stream("probe");
+    std::vector<Duration> offsets(static_cast<std::size_t>(nranks), 0.0);
+    for (Rank w = 1; w < nranks; ++w) {
+      // Workers are probed sequentially (staggered start times), as a master
+      // process would: clock reads are stateful and must move forward.
+      const Time when = 0.01 * (w - 1);
+      offsets[static_cast<std::size_t>(w)] =
+          direct_probe(ens.clock(0), ens.clock(w), lat, CommDomain::CrossNode, when, 20,
+                       probe_rng)
+              .offset;
+    }
+    const OffsetAlignment align(std::move(offsets));
+
+    const Duration step = duration / 360.0;
+    series = sample_deviations(ens, align, duration, step);
+  });
 
   std::filesystem::create_directories("bench_out");
   const std::string csv_path =
@@ -88,6 +96,9 @@ void run_panel(const char* panel, const TimerSpec& spec, Duration duration,
       if (std::abs(inc[k] - inc[k - 1]) > 0.2 * units::us) ++turning_points;
     }
   }
+  harness.metric("panel_summary", config,
+                 {{"max_abs_deviation_us", to_us(max_abs_deviation(series))},
+                  {"turning_points", static_cast<double>(turning_points)}});
   std::cout << "max |deviation| " << AsciiTable::num(to_us(max_abs_deviation(series)), 1)
             << " us; slope turning points detected: " << turning_points << "\n"
             << "series: " << csv_path << "\n\n";
@@ -97,11 +108,13 @@ void run_panel(const char* panel, const TimerSpec& spec, Duration duration,
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  benchkit::Harness harness(cli, "fig4_timer_deviation", {1, 0});
   const RngTree rng(cli.get_seed());
   std::cout << "FIG. 4 -- Xeon cluster: clock deviations after initial offset alignment\n\n";
-  run_panel("a", timer_specs::mpi_wtime(), cli.get_double("short", 300.0), rng);
-  run_panel("b", timer_specs::gettimeofday_ntp(), cli.get_double("medium", 1800.0), rng);
-  run_panel("c", timer_specs::intel_tsc(), cli.get_double("long", 3600.0), rng);
+  run_panel("a", timer_specs::mpi_wtime(), cli.get_double("short", 300.0), rng, harness);
+  run_panel("b", timer_specs::gettimeofday_ntp(), cli.get_double("medium", 1800.0), rng,
+            harness);
+  run_panel("c", timer_specs::intel_tsc(), cli.get_double("long", 3600.0), rng, harness);
   std::cout << "Expected shapes: (a)/(b) piecewise-linear with abrupt slope changes\n"
                "(NTP slews); (c) nearly straight lines (constant hardware drift).\n";
   return 0;

@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "analysis/deviation.hpp"
+#include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
@@ -33,33 +34,41 @@ struct Panel {
   HierarchicalLatencyModel latency;
 };
 
-void run_panel(const Panel& panel, Duration duration, const RngTree& rng) {
+void run_panel(const Panel& panel, Duration duration, const RngTree& rng,
+               benchkit::Harness& harness) {
   const int nranks = 4;
-  const Placement pl = pinning::inter_node(panel.cluster, nranks);
-  ClockEnsemble ens(pl, panel.timer, rng.child(panel.id));
-  Rng probe_rng = rng.child(panel.id).stream("probe");
+  const benchkit::ConfigList config = {{"panel", panel.id},
+                                       {"cluster", panel.cluster_name},
+                                       {"timer", panel.timer.name},
+                                       {"duration_s", std::to_string(duration)}};
 
-  // Offset measurements at both ends (MPI_Init / MPI_Finalize).  All start
-  // probes precede all end probes: clock reads are stateful and must only
-  // move forward, like the real master process sweeping its workers.
-  std::vector<LinearInterpolation::RankParams> params(static_cast<std::size_t>(nranks));
-  params[0] = {0.0, 0.0, duration, 0.0};
-  for (Rank w = 1; w < nranks; ++w) {
-    const auto m1 = direct_probe(ens.clock(0), ens.clock(w), panel.latency,
-                                 CommDomain::CrossNode, 1.0 + 0.01 * w, 20, probe_rng);
-    params[static_cast<std::size_t>(w)].w1 = m1.worker_time;
-    params[static_cast<std::size_t>(w)].o1 = m1.offset;
-  }
-  for (Rank w = 1; w < nranks; ++w) {
-    const auto m2 = direct_probe(ens.clock(0), ens.clock(w), panel.latency,
-                                 CommDomain::CrossNode, duration - 1.0 + 0.01 * w, 20,
-                                 probe_rng);
-    params[static_cast<std::size_t>(w)].w2 = m2.worker_time;
-    params[static_cast<std::size_t>(w)].o2 = m2.offset;
-  }
-  const LinearInterpolation interp(std::move(params));
+  DeviationSeries series;
+  harness.time("panel_residuals", config, 0, [&] {
+    const Placement pl = pinning::inter_node(panel.cluster, nranks);
+    ClockEnsemble ens(pl, panel.timer, rng.child(panel.id));
+    Rng probe_rng = rng.child(panel.id).stream("probe");
 
-  const DeviationSeries series = sample_deviations(ens, interp, duration, duration / 360.0);
+    // Offset measurements at both ends (MPI_Init / MPI_Finalize).  All start
+    // probes precede all end probes: clock reads are stateful and must only
+    // move forward, like the real master process sweeping its workers.
+    std::vector<LinearInterpolation::RankParams> params(static_cast<std::size_t>(nranks));
+    params[0] = {0.0, 0.0, duration, 0.0};
+    for (Rank w = 1; w < nranks; ++w) {
+      const auto m1 = direct_probe(ens.clock(0), ens.clock(w), panel.latency,
+                                   CommDomain::CrossNode, 1.0 + 0.01 * w, 20, probe_rng);
+      params[static_cast<std::size_t>(w)].w1 = m1.worker_time;
+      params[static_cast<std::size_t>(w)].o1 = m1.offset;
+    }
+    for (Rank w = 1; w < nranks; ++w) {
+      const auto m2 = direct_probe(ens.clock(0), ens.clock(w), panel.latency,
+                                   CommDomain::CrossNode, duration - 1.0 + 0.01 * w, 20,
+                                   probe_rng);
+      params[static_cast<std::size_t>(w)].w2 = m2.worker_time;
+      params[static_cast<std::size_t>(w)].o2 = m2.offset;
+    }
+    const LinearInterpolation interp(std::move(params));
+    series = sample_deviations(ens, interp, duration, duration / 360.0);
+  });
   const Duration l_min = panel.latency.min_latency(CommDomain::CrossNode);
 
   std::filesystem::create_directories("bench_out");
@@ -79,6 +88,10 @@ void run_panel(const Panel& panel, Duration duration, const RngTree& rng) {
   }
 
   const Time exceed = first_exceedance(series, l_min);
+  harness.metric("panel_summary", config,
+                 {{"max_abs_residual_us", to_us(max_abs_deviation(series))},
+                  {"latency_floor_us", to_us(l_min)},
+                  {"first_exceedance_s", exceed}});
   std::cout << "Fig. 5(" << panel.id << ")  " << panel.cluster_name << ", "
             << panel.timer.name << ":\n";
   AsciiTable table({"t [s]", "rank1 [us]", "rank2 [us]", "rank3 [us]"});
@@ -101,6 +114,7 @@ void run_panel(const Panel& panel, Duration duration, const RngTree& rng) {
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  benchkit::Harness harness(cli, "fig5_hardware_clocks", {1, 0});
   const Duration duration = cli.get_double("duration", 3600.0);
   const RngTree rng(cli.get_seed());
 
@@ -114,7 +128,7 @@ int main(int argc, char** argv) {
       {"c", "Opteron cluster", clusters::opteron_jaguar(), timer_specs::opteron_gettimeofday(),
        latencies::opteron_seastar()},
   };
-  for (const auto& p : panels) run_panel(p, duration, rng);
+  for (const auto& p : panels) run_panel(p, duration, rng, harness);
 
   std::cout << "Expected shapes: residuals ~0 at both endpoints (interpolation anchors),\n"
                "bowed in between, crossing the message latency within minutes; the\n"

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "analysis/clock_condition.hpp"
+#include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "sync/interpolation.hpp"
@@ -56,14 +57,27 @@ JobConfig make_job(std::uint64_t seed) {
   return job;
 }
 
+benchkit::MetricList to_metrics(const AppStats& s) {
+  return {{"reversed_pct", s.reversed_pct},
+          {"p2p_reversed_pct", s.p2p_reversed_pct},
+          {"logical_reversed_pct", s.logical_reversed_pct},
+          {"message_event_pct", s.message_event_pct},
+          {"violation_pct", s.violation_pct}};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  benchkit::Harness harness(cli, "fig7_app_violations", {1, 0});
   const int runs = static_cast<int>(cli.get_int("runs", 3));
   // Scaled POP window: same ~25 min run shape, configurable for quick tests.
   const int pop_iters = static_cast<int>(cli.get_int("pop-iters", 9000));
   const int traced = static_cast<int>(cli.get_int("pop-traced", 2000));
+  const benchkit::ConfigList base = {{"runs", std::to_string(runs)},
+                                     {"pop_iters", std::to_string(pop_iters)},
+                                     {"pop_traced", std::to_string(traced)},
+                                     {"ranks", "32"}};
 
   AppStats smg_avg{}, pop_avg{};
   for (int run = 0; run < runs; ++run) {
@@ -72,7 +86,13 @@ int main(int argc, char** argv) {
     SmgConfig smg;
     smg.px = 8;
     smg.py = 4;
-    const AppStats s = analyze(run_smg(smg, make_job(seed)));
+    AppStats s{};
+    auto run_one_smg = [&] { s = analyze(run_smg(smg, make_job(seed))); };
+    if (run == 0) {
+      harness.time("smg2000_run_and_analyze", base, 0, run_one_smg);
+    } else {
+      run_one_smg();
+    }
     smg_avg.reversed_pct += s.reversed_pct / runs;
     smg_avg.p2p_reversed_pct += s.p2p_reversed_pct / runs;
     smg_avg.logical_reversed_pct += s.logical_reversed_pct / runs;
@@ -85,7 +105,13 @@ int main(int argc, char** argv) {
     pop.total_iterations = pop_iters;
     pop.traced_begin = (pop_iters - traced) / 2;
     pop.traced_end = pop.traced_begin + traced;
-    const AppStats p = analyze(run_pop(pop, make_job(seed + 1000)));
+    AppStats p{};
+    auto run_one_pop = [&] { p = analyze(run_pop(pop, make_job(seed + 1000))); };
+    if (run == 0) {
+      harness.time("pop_run_and_analyze", base, 0, run_one_pop);
+    } else {
+      run_one_pop();
+    }
     pop_avg.reversed_pct += p.reversed_pct / runs;
     pop_avg.p2p_reversed_pct += p.p2p_reversed_pct / runs;
     pop_avg.logical_reversed_pct += p.logical_reversed_pct / runs;
@@ -93,6 +119,8 @@ int main(int argc, char** argv) {
     pop_avg.violation_pct += p.violation_pct / runs;
     std::cerr << "run " << run + 1 << "/" << runs << " done\n";
   }
+  harness.metric("smg2000_averages", base, to_metrics(smg_avg));
+  harness.metric("pop_averages", base, to_metrics(pop_avg));
 
   std::cout << "FIG. 7 -- Xeon cluster, 32 processes, linear interpolation from\n"
                "MPI_Init/MPI_Finalize offset measurements; averages over "

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "analysis/omp_semantics.hpp"
+#include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "ompsim/omp_bench.hpp"
@@ -17,6 +18,7 @@ using namespace chronosync;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  benchkit::Harness harness(cli, "fig8_openmp_violations", {1, 0});
   const int regions = static_cast<int>(cli.get_int("regions", 1000));
   const int runs = static_cast<int>(cli.get_int("runs", 3));
 
@@ -26,21 +28,34 @@ int main(int argc, char** argv) {
   AsciiTable table({"threads", "any [%]", "entry [%]", "exit [%]", "barrier [%]",
                     "barrier latency [us]"});
   for (int threads : {4, 8, 12, 16}) {
+    const benchkit::ConfigList config = {{"threads", std::to_string(threads)},
+                                         {"regions", std::to_string(regions)},
+                                         {"runs", std::to_string(runs)}};
     double any = 0.0, entry = 0.0, exit_v = 0.0, barrier = 0.0;
     OmpBenchConfig cfg;
-    for (int run = 0; run < runs; ++run) {
-      cfg = OmpBenchConfig{};
-      cfg.threads = threads;
-      cfg.regions = regions;
-      cfg.seed = cli.get_seed() + static_cast<std::uint64_t>(run) * 7919;
-      const auto res = run_omp_benchmark(cfg);
-      const auto rep =
-          check_omp_semantics(res.trace, TimestampArray::from_local(res.trace));
-      any += rep.any_pct() / runs;
-      entry += rep.entry_pct() / runs;
-      exit_v += rep.exit_pct() / runs;
-      barrier += rep.barrier_pct() / runs;
-    }
+    harness.time("omp_violation_scan", config,
+                 static_cast<std::int64_t>(regions) * runs, [&] {
+                   any = entry = exit_v = barrier = 0.0;
+                   for (int run = 0; run < runs; ++run) {
+                     cfg = OmpBenchConfig{};
+                     cfg.threads = threads;
+                     cfg.regions = regions;
+                     cfg.seed = cli.get_seed() + static_cast<std::uint64_t>(run) * 7919;
+                     const auto res = run_omp_benchmark(cfg);
+                     const auto rep = check_omp_semantics(
+                         res.trace, TimestampArray::from_local(res.trace));
+                     any += rep.any_pct() / runs;
+                     entry += rep.entry_pct() / runs;
+                     exit_v += rep.exit_pct() / runs;
+                     barrier += rep.barrier_pct() / runs;
+                   }
+                 });
+    harness.metric("violation_percentages", config,
+                   {{"any_pct", any},
+                    {"entry_pct", entry},
+                    {"exit_pct", exit_v},
+                    {"barrier_pct", barrier},
+                    {"barrier_latency_us", to_us(omp_barrier_latency(cfg, threads))}});
     table.add_row({std::to_string(threads), AsciiTable::num(any, 1),
                    AsciiTable::num(entry, 1), AsciiTable::num(exit_v, 1),
                    AsciiTable::num(barrier, 1),

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "analysis/deviation.hpp"
+#include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "measure/offset_probe.hpp"
@@ -23,12 +24,16 @@ namespace {
 
 struct Setup {
   const char* name;
+  const char* slug;
   Placement placement;
   CommDomain domain;
 };
 
-void run_setup(const Setup& setup, Duration duration, const RngTree& rng, AsciiTable& table) {
+void run_setup(const Setup& setup, Duration duration, const RngTree& rng,
+               benchkit::Harness& harness, AsciiTable& table) {
   const int n = setup.placement.ranks();
+  const benchkit::ConfigList config = {{"setup", setup.slug},
+                                       {"duration_s", std::to_string(duration)}};
   // Clock reads are stateful (monotone clamping), so probing and each
   // measurement sweep get their own ensemble instance; the same seed
   // reproduces identical clock trajectories.
@@ -89,28 +94,39 @@ void run_setup(const Setup& setup, Duration duration, const RngTree& rng, AsciiT
     return std::make_pair(max_abs, max_swing);
   };
 
-  const auto [raw_abs, raw_swing] = measure(raw);
-  const auto [al_abs, al_swing] = measure(align);
-  const auto [in_abs, in_swing] = measure(interp);
-  table.add_row({setup.name, AsciiTable::num(to_us(raw_abs), 3),
-                 AsciiTable::num(to_us(raw_swing), 3), AsciiTable::num(to_us(al_abs), 3),
-                 AsciiTable::num(to_us(in_abs), 3)});
+  std::pair<Duration, Duration> raw_m, al_m, in_m;
+  harness.time("measure_deviations", config, 0, [&] {
+    raw_m = measure(raw);
+    al_m = measure(align);
+    in_m = measure(interp);
+  });
+  harness.metric("deviation_summary", config,
+                 {{"raw_max_abs_us", to_us(raw_m.first)},
+                  {"raw_swing_us", to_us(raw_m.second)},
+                  {"aligned_max_abs_us", to_us(al_m.first)},
+                  {"interpolated_max_abs_us", to_us(in_m.first)}});
+  table.add_row({setup.name, AsciiTable::num(to_us(raw_m.first), 3),
+                 AsciiTable::num(to_us(raw_m.second), 3), AsciiTable::num(to_us(al_m.first), 3),
+                 AsciiTable::num(to_us(in_m.first), 3)});
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  benchkit::Harness harness(cli, "intranode_deviation", {1, 0});
   const Duration duration = cli.get_double("duration", 3600.0);
   const RngTree rng(cli.get_seed());
   const ClusterSpec xeon = clusters::xeon_rwth();
 
   AsciiTable table({"co-location", "raw max |dev| [us]", "raw swing [us]",
                     "aligned max |dev| [us]", "interpolated max |dev| [us]"});
-  run_setup({"same chip (4 cores)", pinning::inter_core(xeon, 4), CommDomain::SameChip},
-            duration, rng, table);
-  run_setup({"same node, 2 chips", pinning::inter_chip(xeon, 2), CommDomain::SameNode},
-            duration, rng, table);
+  run_setup({"same chip (4 cores)", "same_chip", pinning::inter_core(xeon, 4),
+             CommDomain::SameChip},
+            duration, rng, harness, table);
+  run_setup({"same node, 2 chips", "same_node", pinning::inter_chip(xeon, 2),
+             CommDomain::SameNode},
+            duration, rng, harness, table);
 
   std::cout << "INTRA-NODE DEVIATIONS -- Xeon cluster, Intel TSC, " << duration
             << " s run\n\n"

@@ -1,13 +1,14 @@
 // Performance — CLC throughput (events/s), sequential vs. parallel replay
 // (ref. [31] parallelized the algorithm for large-scale traces).
-#include <benchmark/benchmark.h>
-
+#include "benchkit/benchkit.hpp"
+#include "common/cli.hpp"
 #include "sync/clc.hpp"
 #include "sync/clc_parallel.hpp"
 #include "sync/interpolation.hpp"
 #include "workload/sweep.hpp"
 
-namespace chronosync {
+using namespace chronosync;
+
 namespace {
 
 // ReplaySchedule keeps a pointer into the trace, so members are initialized
@@ -26,7 +27,7 @@ struct Fixture {
         schedule(trace, msgs, logical),
         input(apply_correction(trace, LinearInterpolation::from_store(res.offsets))) {}
 
-  static AppRunResult run(int ranks, int rounds) {
+  static AppRunResult run(int ranks, int rounds, std::uint64_t seed) {
     SweepConfig cfg;
     cfg.rounds = rounds;
     cfg.gap_mean = 0.01;
@@ -34,63 +35,48 @@ struct Fixture {
     JobConfig job;
     job.placement = pinning::inter_node(clusters::xeon_rwth(), ranks);
     job.timer = timer_specs::intel_tsc();
-    job.seed = 42;
+    job.seed = seed;
     return run_sweep(cfg, std::move(job));
   }
 };
 
-const Fixture& fixture() {
-  static Fixture fx(Fixture::run(16, 800));
-  return fx;
-}
-
-void BM_ClcSequential(benchmark::State& state) {
-  const Fixture& fx = fixture();
-  for (auto _ : state) {
-    auto result = controlled_logical_clock(fx.trace, fx.schedule, fx.input);
-    benchmark::DoNotOptimize(result.violations_repaired);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(fx.schedule.events()));
-}
-BENCHMARK(BM_ClcSequential)->Unit(benchmark::kMillisecond);
-
-void BM_ClcParallel(benchmark::State& state) {
-  const Fixture& fx = fixture();
-  const int threads = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    auto result =
-        controlled_logical_clock_parallel(fx.trace, fx.schedule, fx.input, {}, threads);
-    benchmark::DoNotOptimize(result.violations_repaired);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(fx.schedule.events()));
-}
-BENCHMARK(BM_ClcParallel)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
-
-void BM_ReplayScheduleBuild(benchmark::State& state) {
-  const Fixture& fx = fixture();
-  for (auto _ : state) {
-    ReplaySchedule schedule(fx.trace, fx.msgs, fx.logical);
-    benchmark::DoNotOptimize(schedule.events());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(fx.schedule.events()));
-}
-BENCHMARK(BM_ReplayScheduleBuild)->Unit(benchmark::kMillisecond);
-
-void BM_MessageMatching(benchmark::State& state) {
-  const Fixture& fx = fixture();
-  for (auto _ : state) {
-    auto msgs = fx.trace.match_messages();
-    benchmark::DoNotOptimize(msgs.size());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(fx.trace.total_events()));
-}
-BENCHMARK(BM_MessageMatching)->Unit(benchmark::kMillisecond);
-
 }  // namespace
-}  // namespace chronosync
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  benchkit::Harness harness(cli, "perf_clc");
+  const int ranks = static_cast<int>(cli.get_int("ranks", 16));
+  const int rounds = static_cast<int>(cli.get_int("rounds", 800));
+
+  const Fixture fx(Fixture::run(ranks, rounds, cli.get_seed()));
+  const auto events = static_cast<std::int64_t>(fx.schedule.events());
+  const benchkit::ConfigList base = {{"ranks", std::to_string(ranks)},
+                                     {"rounds", std::to_string(rounds)}};
+
+  harness.time("clc_sequential", base, events, [&] {
+    auto result = controlled_logical_clock(fx.trace, fx.schedule, fx.input);
+    benchkit::do_not_optimize(result.violations_repaired);
+  });
+
+  for (int threads : {1, 2, 4}) {
+    benchkit::ConfigList config = base;
+    config.emplace_back("threads", std::to_string(threads));
+    harness.time("clc_parallel", config, events, [&] {
+      auto result =
+          controlled_logical_clock_parallel(fx.trace, fx.schedule, fx.input, {}, threads);
+      benchkit::do_not_optimize(result.violations_repaired);
+    });
+  }
+
+  harness.time("replay_schedule_build", base, events, [&] {
+    ReplaySchedule schedule(fx.trace, fx.msgs, fx.logical);
+    benchkit::do_not_optimize(schedule.events());
+  });
+
+  harness.time("message_matching", base,
+               static_cast<std::int64_t>(fx.trace.total_events()), [&] {
+                 auto msgs = fx.trace.match_messages();
+                 benchkit::do_not_optimize(msgs.size());
+               });
+  return 0;
+}

@@ -1,109 +1,107 @@
 // Performance — discrete-event engine and MPI-simulation throughput: how many
 // simulated events/messages per second the substrate sustains.
-#include <benchmark/benchmark.h>
-
+#include "benchkit/benchkit.hpp"
+#include "common/cli.hpp"
 #include "mpisim/job.hpp"
 #include "sim/engine.hpp"
 #include "topology/cluster.hpp"
 
-namespace chronosync {
-namespace {
+using namespace chronosync;
 
-void BM_EngineDelayChain(benchmark::State& state) {
-  const int hops = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    Engine e;
-    auto proc = [&]() -> Coro<void> {
-      for (int i = 0; i < hops; ++i) co_await e.delay(1e-6);
-    };
-    e.spawn(proc());
-    const auto fired = e.run();
-    benchmark::DoNotOptimize(fired);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
-}
-BENCHMARK(BM_EngineDelayChain)->Arg(1000)->Arg(100000)->Unit(benchmark::kMillisecond);
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  benchkit::Harness harness(cli, "perf_engine");
+  const double scale = cli.get_double("scale", 1.0);
+  auto scaled = [scale](int n) {
+    return std::max(1, static_cast<int>(static_cast<double>(n) * scale));
+  };
 
-void BM_EngineManyProcesses(benchmark::State& state) {
-  const int procs = static_cast<int>(state.range(0));
-  constexpr int kHops = 100;
-  for (auto _ : state) {
-    Engine e;
-    auto proc = [&]() -> Coro<void> {
-      for (int i = 0; i < kHops; ++i) co_await e.delay(1e-6);
-    };
-    for (int p = 0; p < procs; ++p) e.spawn(proc());
-    const auto fired = e.run();
-    benchmark::DoNotOptimize(fired);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) *
-                          kHops);
-}
-BENCHMARK(BM_EngineManyProcesses)->Arg(32)->Arg(512)->Unit(benchmark::kMillisecond);
-
-void BM_P2PRoundTrips(benchmark::State& state) {
-  const int rounds = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    JobConfig cfg;
-    cfg.placement = pinning::inter_node(clusters::xeon_rwth(), 2);
-    Job job(std::move(cfg));
-    job.run([&](Proc& p) -> Coro<void> {
-      p.set_tracing(false);
-      if (p.rank() == 0) {
-        for (int i = 0; i < rounds; ++i) {
-          co_await p.send(1, 1, 64);
-          co_await p.recv(1, 1);
-        }
-      } else {
-        for (int i = 0; i < rounds; ++i) {
-          co_await p.recv(0, 1);
-          co_await p.send(0, 1, 64);
-        }
-      }
+  for (int hops : {scaled(1000), scaled(100000)}) {
+    harness.time("engine_delay_chain", {{"hops", std::to_string(hops)}}, hops, [&] {
+      Engine e;
+      auto proc = [&]() -> Coro<void> {
+        for (int i = 0; i < hops; ++i) co_await e.delay(1e-6);
+      };
+      e.spawn(proc());
+      const auto fired = e.run();
+      benchkit::do_not_optimize(fired);
     });
-    benchmark::DoNotOptimize(job.engine().now());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * state.range(0));
-}
-BENCHMARK(BM_P2PRoundTrips)->Arg(10000)->Unit(benchmark::kMillisecond);
 
-void BM_Allreduce32(benchmark::State& state) {
-  const int ops = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    JobConfig cfg;
-    cfg.placement = pinning::inter_node(clusters::xeon_rwth(), 32);
-    Job job(std::move(cfg));
-    job.run([&](Proc& p) -> Coro<void> {
-      p.set_tracing(false);
-      for (int i = 0; i < ops; ++i) co_await p.allreduce(8);
+  for (int procs : {scaled(32), scaled(512)}) {
+    constexpr int kHops = 100;
+    harness.time("engine_many_processes", {{"procs", std::to_string(procs)}},
+                 static_cast<std::int64_t>(procs) * kHops, [&] {
+                   Engine e;
+                   auto proc = [&]() -> Coro<void> {
+                     for (int i = 0; i < kHops; ++i) co_await e.delay(1e-6);
+                   };
+                   for (int p = 0; p < procs; ++p) e.spawn(proc());
+                   const auto fired = e.run();
+                   benchkit::do_not_optimize(fired);
+                 });
+  }
+
+  {
+    const int rounds = scaled(10000);
+    harness.time("p2p_round_trips", {{"rounds", std::to_string(rounds)}},
+                 2 * static_cast<std::int64_t>(rounds), [&] {
+                   JobConfig cfg;
+                   cfg.placement = pinning::inter_node(clusters::xeon_rwth(), 2);
+                   Job job(std::move(cfg));
+                   job.run([&](Proc& p) -> Coro<void> {
+                     p.set_tracing(false);
+                     if (p.rank() == 0) {
+                       for (int i = 0; i < rounds; ++i) {
+                         co_await p.send(1, 1, 64);
+                         co_await p.recv(1, 1);
+                       }
+                     } else {
+                       for (int i = 0; i < rounds; ++i) {
+                         co_await p.recv(0, 1);
+                         co_await p.send(0, 1, 64);
+                       }
+                     }
+                   });
+                   benchkit::do_not_optimize(job.engine().now());
+                 });
+  }
+
+  {
+    const int ops = scaled(200);
+    harness.time("allreduce_32ranks", {{"ops", std::to_string(ops)}}, ops, [&] {
+      JobConfig cfg;
+      cfg.placement = pinning::inter_node(clusters::xeon_rwth(), 32);
+      Job job(std::move(cfg));
+      job.run([&](Proc& p) -> Coro<void> {
+        p.set_tracing(false);
+        for (int i = 0; i < ops; ++i) co_await p.allreduce(8);
+      });
+      benchkit::do_not_optimize(job.engine().now());
     });
-    benchmark::DoNotOptimize(job.engine().now());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
-}
-BENCHMARK(BM_Allreduce32)->Arg(200)->Unit(benchmark::kMillisecond);
 
-void BM_TracedAppEventsPerSecond(benchmark::State& state) {
-  for (auto _ : state) {
-    JobConfig cfg;
-    cfg.placement = pinning::inter_node(clusters::xeon_rwth(), 8);
-    cfg.timer = timer_specs::intel_tsc();
-    Job job(std::move(cfg));
-    job.run([&](Proc& p) -> Coro<void> {
-      for (int i = 0; i < 500; ++i) {
-        co_await p.send((p.rank() + 1) % p.nranks(), 1, 256);
-        co_await p.recv((p.rank() + p.nranks() - 1) % p.nranks(), 1);
-      }
-    });
-    Trace t = job.take_trace();
-    benchmark::DoNotOptimize(t.total_events());
-    state.SetItemsProcessed(state.items_processed() +
-                            static_cast<std::int64_t>(t.total_events()));
+  {
+    const int rounds = scaled(500);
+    std::size_t traced_events = 0;
+    harness.time("traced_app_events", {{"rounds", std::to_string(rounds)}, {"ranks", "8"}},
+                 0, [&] {
+                   JobConfig cfg;
+                   cfg.placement = pinning::inter_node(clusters::xeon_rwth(), 8);
+                   cfg.timer = timer_specs::intel_tsc();
+                   Job job(std::move(cfg));
+                   job.run([&](Proc& p) -> Coro<void> {
+                     for (int i = 0; i < rounds; ++i) {
+                       co_await p.send((p.rank() + 1) % p.nranks(), 1, 256);
+                       co_await p.recv((p.rank() + p.nranks() - 1) % p.nranks(), 1);
+                     }
+                   });
+                   Trace t = job.take_trace();
+                   traced_events = t.total_events();
+                   benchkit::do_not_optimize(traced_events);
+                 });
+    harness.metric("traced_app_events_count", {{"rounds", std::to_string(rounds)}},
+                   {{"events", static_cast<double>(traced_events)}});
   }
+  return 0;
 }
-BENCHMARK(BM_TracedAppEventsPerSecond)->Unit(benchmark::kMillisecond);
-
-}  // namespace
-}  // namespace chronosync
-
-BENCHMARK_MAIN();

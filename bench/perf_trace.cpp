@@ -1,101 +1,85 @@
 // Performance — trace subsystem throughput: serialization (binary and text),
 // logical-message derivation, and timeline rendering.
-#include <benchmark/benchmark.h>
-
 #include <sstream>
 
+#include "benchkit/benchkit.hpp"
+#include "common/cli.hpp"
 #include "trace/logical_messages.hpp"
 #include "trace/otf_text.hpp"
 #include "trace/timeline.hpp"
 #include "trace/trace_io.hpp"
 #include "workload/sweep.hpp"
 
-namespace chronosync {
+using namespace chronosync;
+
 namespace {
 
-const Trace& fixture() {
-  static Trace trace = [] {
-    SweepConfig cfg;
-    cfg.rounds = 500;
-    cfg.gap_mean = 0.01;
-    cfg.collective_every = 25;
-    JobConfig job;
-    job.placement = pinning::inter_node(clusters::xeon_rwth(), 16);
-    job.timer = timer_specs::intel_tsc();
-    job.seed = 42;
-    return run_sweep(cfg, std::move(job)).trace;
-  }();
-  return trace;
+Trace make_fixture(int ranks, int rounds, std::uint64_t seed) {
+  SweepConfig cfg;
+  cfg.rounds = rounds;
+  cfg.gap_mean = 0.01;
+  cfg.collective_every = 25;
+  JobConfig job;
+  job.placement = pinning::inter_node(clusters::xeon_rwth(), ranks);
+  job.timer = timer_specs::intel_tsc();
+  job.seed = seed;
+  return run_sweep(cfg, std::move(job)).trace;
 }
-
-void BM_BinaryWrite(benchmark::State& state) {
-  const Trace& t = fixture();
-  for (auto _ : state) {
-    std::stringstream buf;
-    write_trace(t, buf);
-    benchmark::DoNotOptimize(buf.tellp());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(t.total_events()));
-}
-BENCHMARK(BM_BinaryWrite)->Unit(benchmark::kMillisecond);
-
-void BM_BinaryRoundTrip(benchmark::State& state) {
-  const Trace& t = fixture();
-  std::stringstream buf;
-  write_trace(t, buf);
-  const std::string blob = buf.str();
-  for (auto _ : state) {
-    std::stringstream in(blob);
-    Trace back = read_trace(in);
-    benchmark::DoNotOptimize(back.total_events());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(t.total_events()));
-}
-BENCHMARK(BM_BinaryRoundTrip)->Unit(benchmark::kMillisecond);
-
-void BM_TextRoundTrip(benchmark::State& state) {
-  const Trace& t = fixture();
-  std::stringstream buf;
-  write_text_trace(t, buf);
-  const std::string blob = buf.str();
-  for (auto _ : state) {
-    std::stringstream in(blob);
-    Trace back = read_text_trace(in);
-    benchmark::DoNotOptimize(back.total_events());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(t.total_events()));
-}
-BENCHMARK(BM_TextRoundTrip)->Unit(benchmark::kMillisecond);
-
-void BM_DeriveLogicalMessages(benchmark::State& state) {
-  const Trace& t = fixture();
-  for (auto _ : state) {
-    auto logical = derive_logical_messages(t);
-    benchmark::DoNotOptimize(logical.size());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(t.total_events()));
-}
-BENCHMARK(BM_DeriveLogicalMessages)->Unit(benchmark::kMillisecond);
-
-void BM_TimelineRender(benchmark::State& state) {
-  const Trace& t = fixture();
-  const auto ts = TimestampArray::from_local(t);
-  TimelineOptions opt;
-  opt.max_messages = 10;
-  for (auto _ : state) {
-    const std::string s = render_timeline(t, ts, opt);
-    benchmark::DoNotOptimize(s.size());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(t.total_events()));
-}
-BENCHMARK(BM_TimelineRender)->Unit(benchmark::kMillisecond);
 
 }  // namespace
-}  // namespace chronosync
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  benchkit::Harness harness(cli, "perf_trace");
+  const int ranks = static_cast<int>(cli.get_int("ranks", 16));
+  const int rounds = static_cast<int>(cli.get_int("rounds", 500));
+
+  const Trace t = make_fixture(ranks, rounds, cli.get_seed());
+  const auto events = static_cast<std::int64_t>(t.total_events());
+  const benchkit::ConfigList base = {{"ranks", std::to_string(ranks)},
+                                     {"rounds", std::to_string(rounds)}};
+
+  harness.time("binary_write", base, events, [&] {
+    std::stringstream buf;
+    write_trace(t, buf);
+    benchkit::do_not_optimize(buf.tellp());
+  });
+
+  {
+    std::stringstream buf;
+    write_trace(t, buf);
+    const std::string blob = buf.str();
+    harness.time("binary_round_trip", base, events, [&] {
+      std::stringstream in(blob);
+      Trace back = read_trace(in);
+      benchkit::do_not_optimize(back.total_events());
+    });
+  }
+
+  {
+    std::stringstream buf;
+    write_text_trace(t, buf);
+    const std::string blob = buf.str();
+    harness.time("text_round_trip", base, events, [&] {
+      std::stringstream in(blob);
+      Trace back = read_text_trace(in);
+      benchkit::do_not_optimize(back.total_events());
+    });
+  }
+
+  harness.time("derive_logical_messages", base, events, [&] {
+    auto logical = derive_logical_messages(t);
+    benchkit::do_not_optimize(logical.size());
+  });
+
+  {
+    const auto ts = TimestampArray::from_local(t);
+    TimelineOptions opt;
+    opt.max_messages = 10;
+    harness.time("timeline_render", base, events, [&] {
+      const std::string s = render_timeline(t, ts, opt);
+      benchkit::do_not_optimize(s.size());
+    });
+  }
+  return 0;
+}

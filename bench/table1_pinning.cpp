@@ -5,13 +5,17 @@
 // intended communication domain between every pair of ranks.
 #include <iostream>
 
+#include "benchkit/benchkit.hpp"
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "topology/cluster.hpp"
 #include "topology/pinning.hpp"
 
 using namespace chronosync;
 
-int main() {
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  benchkit::Harness harness(cli, "table1_pinning", {1, 0});
   const ClusterSpec xeon = clusters::xeon_rwth();
 
   struct Row {
@@ -25,6 +29,7 @@ int main() {
       {"Inter core", pinning::inter_core(xeon, 4), CommDomain::SameChip},
   };
 
+  int verified = 0;
   AsciiTable table({"setup", "process pinning", "pair domain", "verified"});
   for (const auto& row : rows) {
     bool ok = true;
@@ -33,6 +38,7 @@ int main() {
         ok = ok && row.placement.domain(a, b) == row.expected;
       }
     }
+    verified += ok ? 1 : 0;
     std::string pinning_desc;
     if (std::string(row.name) == "Inter node") {
       pinning_desc = "4 nodes, 1 process per node";
@@ -44,8 +50,12 @@ int main() {
     table.add_row({row.name, pinning_desc, to_string(row.expected), ok ? "yes" : "NO"});
   }
 
+  harness.metric("pinning_domains", {{"cluster", "xeon_rwth"}},
+                 {{"setups_verified", static_cast<double>(verified)},
+                  {"setups_total", static_cast<double>(std::size(rows))}});
+
   std::cout << "TABLE I -- Xeon cluster process pinnings (" << xeon.nodes << " nodes x "
             << xeon.chips_per_node << " chips x " << xeon.cores_per_chip << " cores)\n\n"
             << table.render();
-  return 0;
+  return verified == static_cast<int>(std::size(rows)) ? 0 : 1;
 }

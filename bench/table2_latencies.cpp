@@ -6,6 +6,7 @@
 // *averaged* estimates and therefore orders of magnitude below the means.
 #include <iostream>
 
+#include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "measure/latency_probe.hpp"
@@ -28,28 +29,43 @@ LatencyProbeResult probe(Placement placement, const LatencyProbeConfig& cfg, boo
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  benchkit::Harness harness(cli, "table2_latencies", {1, 0});
   const ClusterSpec xeon = clusters::xeon_rwth();
   LatencyProbeConfig cfg;
   cfg.estimates = static_cast<int>(cli.get_int("estimates", 10));
-  cfg.reps_per_estimate = static_cast<int>(cli.get_int("reps", 1000));
+  cfg.reps_per_estimate = static_cast<int>(cli.get_int("probe-reps", 1000));
   const std::uint64_t seed = cli.get_seed();
+  const benchkit::ConfigList base = {{"estimates", std::to_string(cfg.estimates)},
+                                     {"probe_reps", std::to_string(cfg.reps_per_estimate)}};
 
   struct Row {
     const char* name;
+    const char* slug;
     Placement placement;
     bool collective;
     double paper_mean_us;
   };
   const Row rows[] = {
-      {"Inter node message latency", pinning::inter_node(xeon, 2), false, 4.29},
-      {"Inter chip message latency", pinning::inter_chip(xeon, 2), false, 0.86},
-      {"Inter core message latency", pinning::inter_core(xeon, 2), false, 0.47},
-      {"Inter node collective latency", pinning::inter_node(xeon, 4), true, 12.86},
+      {"Inter node message latency", "inter_node_p2p", pinning::inter_node(xeon, 2), false,
+       4.29},
+      {"Inter chip message latency", "inter_chip_p2p", pinning::inter_chip(xeon, 2), false,
+       0.86},
+      {"Inter core message latency", "inter_core_p2p", pinning::inter_core(xeon, 2), false,
+       0.47},
+      {"Inter node collective latency", "inter_node_allreduce", pinning::inter_node(xeon, 4),
+       true, 12.86},
   };
 
   AsciiTable table({"setup", "mean [us]", "std. dev. [us]", "paper mean [us]"});
   for (const auto& row : rows) {
-    const auto res = probe(row.placement, cfg, row.collective, seed);
+    LatencyProbeResult res;
+    harness.time(row.slug, base,
+                 static_cast<std::int64_t>(cfg.estimates) * cfg.reps_per_estimate,
+                 [&] { res = probe(row.placement, cfg, row.collective, seed); });
+    harness.metric(std::string(row.slug) + "_latency", base,
+                   {{"mean_us", to_us(res.one_way.mean())},
+                    {"stddev_us", to_us(res.one_way.stddev())},
+                    {"paper_mean_us", row.paper_mean_us}});
     table.add_row({row.name, AsciiTable::num(to_us(res.one_way.mean()), 2),
                    AsciiTable::sci(to_us(res.one_way.stddev()), 2),
                    AsciiTable::num(row.paper_mean_us, 2)});

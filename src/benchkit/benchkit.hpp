@@ -1,0 +1,8 @@
+// Umbrella header for the benchmark/observability kit: include this from
+// bench binaries and use benchkit::Harness.
+#pragma once
+
+#include "benchkit/json.hpp"      // IWYU pragma: export
+#include "benchkit/metrics.hpp"   // IWYU pragma: export
+#include "benchkit/reporter.hpp"  // IWYU pragma: export
+#include "benchkit/runner.hpp"    // IWYU pragma: export

@@ -1,0 +1,332 @@
+#include "benchkit/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/expect.hpp"
+
+namespace chronosync::benchkit {
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.type_ = Type::Object;
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.type_ = Type::Array;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  CS_REQUIRE(type_ == Type::Bool, "not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  CS_REQUIRE(type_ == Type::Number, "not a number");
+  return num_;
+}
+
+const std::string& JsonValue::as_string() const {
+  CS_REQUIRE(type_ == Type::String, "not a string");
+  return str_;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  CS_REQUIRE(type_ == Type::Object, "set() on non-object");
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  CS_REQUIRE(type_ == Type::Object, "find() on non-object");
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  CS_REQUIRE(type_ == Type::Object, "members() on non-object");
+  return members_;
+}
+
+JsonValue& JsonValue::push_back(JsonValue value) {
+  CS_REQUIRE(type_ == Type::Array, "push_back() on non-array");
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  CS_REQUIRE(type_ == Type::Array, "items() on non-array");
+  return items_;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void dump_number(std::ostringstream& os, double n) {
+  if (std::isfinite(n) && n == std::floor(n) && std::abs(n) < 9.007199254740992e15) {
+    os << static_cast<std::int64_t>(n);
+  } else if (std::isfinite(n)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", n);
+    os << buf;
+  } else {
+    // JSON has no inf/nan; null is the conventional stand-in.
+    os << "null";
+  }
+}
+
+void dump_value(std::ostringstream& os, const JsonValue& v) {
+  switch (v.type()) {
+    case JsonValue::Type::Null: os << "null"; break;
+    case JsonValue::Type::Bool: os << (v.as_bool() ? "true" : "false"); break;
+    case JsonValue::Type::Number: dump_number(os, v.as_number()); break;
+    case JsonValue::Type::String: os << json_escape(v.as_string()); break;
+    case JsonValue::Type::Object: {
+      os << '{';
+      bool first = true;
+      for (const auto& [k, m] : v.members()) {
+        if (!first) os << ',';
+        first = false;
+        os << json_escape(k) << ':';
+        dump_value(os, m);
+      }
+      os << '}';
+      break;
+    }
+    case JsonValue::Type::Array: {
+      os << '[';
+      bool first = true;
+      for (const auto& item : v.items()) {
+        if (!first) os << ',';
+        first = false;
+        dump_value(os, item);
+      }
+      os << ']';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at offset " + std::to_string(pos_) + ": " +
+                             what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return JsonValue(string());
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') {
+      literal("null");
+      return JsonValue();
+    }
+    return number();
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad literal");
+      ++pos_;
+    }
+  }
+
+  JsonValue boolean() {
+    if (peek() == 't') {
+      literal("true");
+      return JsonValue(true);
+    }
+    literal("false");
+    return JsonValue(false);
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("invalid number");
+    const std::string tok = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) fail("invalid number '" + tok + "'");
+    return JsonValue(v);
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          const unsigned code =
+              static_cast<unsigned>(std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
+          pos_ += 4;
+          // UTF-8 encode the BMP code point (surrogate pairs are not needed
+          // for the reporter's ASCII-ish payloads but pass through as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    return out;
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      obj.set(key, value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return obj;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    while (true) {
+      arr.push_back(value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return arr;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::dump() const {
+  std::ostringstream os;
+  dump_value(os, *this);
+  return os.str();
+}
+
+JsonValue JsonValue::parse(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace chronosync::benchkit

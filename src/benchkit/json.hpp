@@ -1,0 +1,71 @@
+// Minimal JSON value with serialization and parsing, used by the benchmark
+// reporter (writing schema-versioned records) and the trajectory tooling /
+// tests (reading them back).  Objects preserve insertion order so that
+// same-seed runs emit byte-identical key sequences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace chronosync::benchkit {
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Object, Array };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+  JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+  JsonValue(double n) : type_(Type::Number), num_(n) {}
+  JsonValue(std::int64_t n) : type_(Type::Number), num_(static_cast<double>(n)) {}
+  JsonValue(int n) : type_(Type::Number), num_(n) {}
+  JsonValue(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  JsonValue(const char* s) : type_(Type::String), str_(s) {}
+
+  static JsonValue object();
+  static JsonValue array();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_object() const { return type_ == Type::Object; }
+  bool is_array() const { return type_ == Type::Array; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Appends (or replaces) an object member; requires is_object().
+  JsonValue& set(const std::string& key, JsonValue value);
+  /// Pointer to the member value, or nullptr; requires is_object().
+  const JsonValue* find(const std::string& key) const;
+  const std::vector<Member>& members() const;
+
+  /// Appends an array element; requires is_array().
+  JsonValue& push_back(JsonValue value);
+  const std::vector<JsonValue>& items() const;
+
+  /// Compact single-line serialization (integral numbers without a decimal
+  /// point, everything else round-trippable via %.17g).
+  std::string dump() const;
+
+  /// Parses one JSON document; throws std::runtime_error on malformed input
+  /// or trailing garbage.
+  static JsonValue parse(const std::string& text);
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Member> members_;
+  std::vector<JsonValue> items_;
+};
+
+/// Escapes a string for embedding in a JSON document (adds the quotes).
+std::string json_escape(const std::string& s);
+
+}  // namespace chronosync::benchkit

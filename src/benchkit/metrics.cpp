@@ -1,0 +1,103 @@
+#include "benchkit/metrics.hpp"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+namespace chronosync::benchkit {
+
+namespace {
+
+// Constant-initialized, so safe to bump from allocations during static init.
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+ResourceUsage sample_resource_usage() {
+  ResourceUsage usage;
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    usage.peak_rss_bytes = static_cast<std::int64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+  }
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    long total = 0, resident = 0;
+    if (std::fscanf(f, "%ld %ld", &total, &resident) == 2) {
+      usage.current_rss_bytes =
+          static_cast<std::int64_t>(resident) * static_cast<std::int64_t>(sysconf(_SC_PAGESIZE));
+    }
+    std::fclose(f);
+  }
+  return usage;
+}
+
+AllocationTotals allocation_totals() {
+  return {g_alloc_bytes.load(std::memory_order_relaxed),
+          g_alloc_count.load(std::memory_order_relaxed)};
+}
+
+}  // namespace chronosync::benchkit
+
+// Counting replacements of the global allocation functions.  They live in the
+// same translation unit as allocation_totals() so that linking any benchkit
+// user pulls them in from the static archive.  Allocation goes through
+// malloc/posix_memalign and deallocation through free, which keeps sanitizer
+// allocator interception consistent (malloc pairs with free).
+void* operator new(std::size_t size) {
+  if (void* p = chronosync::benchkit::counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = chronosync::benchkit::counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return chronosync::benchkit::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return chronosync::benchkit::counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = chronosync::benchkit::counted_aligned_alloc(size, static_cast<std::size_t>(align)))
+    return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = chronosync::benchkit::counted_aligned_alloc(size, static_cast<std::size_t>(align)))
+    return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }

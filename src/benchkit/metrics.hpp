@@ -1,0 +1,28 @@
+// Process-level resource counters sampled around benchmark iterations:
+// resident-set size from the kernel and heap-allocation totals from
+// counting replacements of the global allocation functions.
+#pragma once
+
+#include <cstdint>
+
+namespace chronosync::benchkit {
+
+struct ResourceUsage {
+  /// High-water-mark RSS (ru_maxrss), in bytes.
+  std::int64_t peak_rss_bytes = 0;
+  /// Current RSS from /proc/self/statm, in bytes (0 where unavailable).
+  std::int64_t current_rss_bytes = 0;
+};
+
+ResourceUsage sample_resource_usage();
+
+struct AllocationTotals {
+  /// Bytes requested through operator new since process start (monotonic;
+  /// frees are not subtracted — diff two samples to meter a region).
+  std::uint64_t bytes = 0;
+  std::uint64_t count = 0;
+};
+
+AllocationTotals allocation_totals();
+
+}  // namespace chronosync::benchkit

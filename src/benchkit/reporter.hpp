@@ -1,0 +1,58 @@
+// Structured, schema-versioned benchmark records and the JSON-lines reporter
+// that appends them to a trajectory file (BENCH_*.json).  One record per
+// measurement; records from different binaries/runs concatenate freely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchkit/json.hpp"
+
+namespace chronosync::benchkit {
+
+/// Bump when the record layout changes incompatibly; consumers must check it.
+inline constexpr int kSchemaVersion = 1;
+
+using ConfigList = std::vector<std::pair<std::string, std::string>>;
+using MetricList = std::vector<std::pair<std::string, double>>;
+
+struct BenchRecord {
+  std::string suite;   // binary-level grouping, e.g. "perf_clc"
+  std::string name;    // measurement within the suite, e.g. "clc_sequential"
+  std::string kind;    // "timing" (wall_ns_* populated) or "metric"
+  ConfigList config;   // knobs that identify the configuration, as strings
+  std::int64_t iters = 0;
+  double wall_ns_p50 = 0.0;
+  double wall_ns_p90 = 0.0;
+  double wall_ns_min = 0.0;
+  double throughput = 0.0;  // items per second at the p50 time; 0 if n/a
+  MetricList metrics;       // named scalar results (figure/table numbers)
+  std::int64_t peak_rss_bytes = 0;
+  std::int64_t alloc_bytes_per_iter = 0;
+  std::string git_sha;
+  std::int64_t timestamp = 0;  // unix seconds
+};
+
+JsonValue to_json(const BenchRecord& record);
+
+/// Parses one JSON-lines record back; throws on schema_version mismatch or
+/// missing keys (used by tests and trajectory tooling).
+BenchRecord record_from_json(const JsonValue& value);
+
+/// Appends records to a JSON-lines file, creating parent directories.  Each
+/// append opens/closes the file so concurrent bench binaries interleave at
+/// line granularity and a crash keeps the prefix.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string path) : path_(std::move(path)) {}
+
+  void append(const BenchRecord& record) const;
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace chronosync::benchkit

@@ -1,0 +1,113 @@
+#include "benchkit/runner.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+
+#include "benchkit/metrics.hpp"
+#include "common/expect.hpp"
+#include "common/statistics.hpp"
+
+#ifndef CHRONOSYNC_GIT_SHA
+#define CHRONOSYNC_GIT_SHA "unknown"
+#endif
+
+namespace chronosync::benchkit {
+
+Harness::Harness(const Cli& cli, std::string suite, HarnessDefaults defaults)
+    : suite_(std::move(suite)),
+      reps_(static_cast<int>(cli.get_int("reps", defaults.reps))),
+      warmup_(static_cast<int>(cli.get_int("warmup", defaults.warmup))),
+      seed_(cli.get_seed()),
+      json_path_(cli.get("json", "")) {
+  CS_REQUIRE(reps_ >= 1, "--reps must be >= 1");
+  CS_REQUIRE(warmup_ >= 0, "--warmup must be >= 0");
+}
+
+std::string Harness::git_sha() {
+  if (const char* env = std::getenv("CHRONOSYNC_GIT_SHA"); env && *env) return env;
+  return CHRONOSYNC_GIT_SHA;
+}
+
+std::string format_ns(double ns) {
+  char buf[64];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.0f ns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f us", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f s", ns / 1e9);
+  }
+  return buf;
+}
+
+const BenchRecord& Harness::finish(BenchRecord record) {
+  record.suite = suite_;
+  bool has_seed = false;
+  for (const auto& [k, v] : record.config) has_seed = has_seed || k == "seed";
+  if (!has_seed) record.config.emplace_back("seed", std::to_string(seed_));
+  record.peak_rss_bytes = sample_resource_usage().peak_rss_bytes;
+  record.git_sha = git_sha();
+  record.timestamp = static_cast<std::int64_t>(std::time(nullptr));
+  records_.push_back(std::move(record));
+  if (json_enabled()) JsonReporter(json_path_).append(records_.back());
+  return records_.back();
+}
+
+BenchRecord Harness::time(const std::string& name, ConfigList config,
+                          std::int64_t items_per_iter, const std::function<void()>& fn) {
+  for (int i = 0; i < warmup_; ++i) fn();
+
+  std::vector<double> wall_ns;
+  wall_ns.reserve(static_cast<std::size_t>(reps_));
+  const AllocationTotals alloc_before = allocation_totals();
+  for (int i = 0; i < reps_; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    wall_ns.push_back(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  }
+  const AllocationTotals alloc_after = allocation_totals();
+
+  BenchRecord rec;
+  rec.name = name;
+  rec.kind = "timing";
+  rec.config = std::move(config);
+  rec.iters = reps_;
+  rec.wall_ns_p50 = percentile(wall_ns, 50.0);
+  rec.wall_ns_p90 = percentile(wall_ns, 90.0);
+  rec.wall_ns_min = percentile(wall_ns, 0.0);
+  if (items_per_iter > 0 && rec.wall_ns_p50 > 0.0) {
+    rec.throughput = static_cast<double>(items_per_iter) / (rec.wall_ns_p50 * 1e-9);
+  }
+  rec.alloc_bytes_per_iter = static_cast<std::int64_t>(
+      (alloc_after.bytes - alloc_before.bytes) / static_cast<std::uint64_t>(reps_));
+
+  const BenchRecord& out = finish(std::move(rec));
+  std::cerr << "[bench] " << suite_ << '/' << name << ": p50 " << format_ns(out.wall_ns_p50)
+            << ", min " << format_ns(out.wall_ns_min);
+  if (out.throughput > 0.0) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3g", out.throughput);
+    std::cerr << ", " << buf << " items/s";
+  }
+  std::cerr << " (" << reps_ << " reps)\n";
+  return out;
+}
+
+BenchRecord Harness::metric(const std::string& name, ConfigList config,
+                            MetricList metrics) {
+  BenchRecord rec;
+  rec.name = name;
+  rec.kind = "metric";
+  rec.config = std::move(config);
+  rec.metrics = std::move(metrics);
+  return finish(std::move(rec));
+}
+
+}  // namespace chronosync::benchkit

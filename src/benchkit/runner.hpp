@@ -1,0 +1,75 @@
+// The bench harness every binary under bench/ runs on: warmup + repeated
+// timing with robust statistics (p50/p90/min over reps), resource counters,
+// and optional JSON-lines reporting via --json <path>.
+//
+// Standard CLI contract (parsed from the binary's Cli):
+//   --json <path>   append schema-versioned records to <path>
+//   --reps <n>      timed repetitions per measurement (default 5)
+//   --warmup <n>    untimed warmup repetitions (default 1)
+//   --seed <n>      carried into every record's config for reproducibility
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "benchkit/reporter.hpp"
+#include "common/cli.hpp"
+
+namespace chronosync::benchkit {
+
+/// Per-binary defaults, overridden by --reps / --warmup.  Perf binaries keep
+/// the repetition-heavy default; figure/table reproductions pass {1, 0} so
+/// their default wall time stays what it was before the harness existed.
+struct HarnessDefaults {
+  int reps = 5;
+  int warmup = 1;
+};
+
+class Harness {
+ public:
+  Harness(const Cli& cli, std::string suite, HarnessDefaults defaults = {});
+
+  /// Runs `fn` warmup() untimed + reps() timed times and records wall-time
+  /// percentiles across the timed repetitions.  `items_per_iter` > 0 also
+  /// derives a throughput (items per second at the p50 time).  Prints a
+  /// one-line summary to stderr (stdout belongs to the figure/table text).
+  BenchRecord time(const std::string& name, ConfigList config, std::int64_t items_per_iter,
+                   const std::function<void()>& fn);
+
+  /// Records scalar results (figure/table numbers) without timing.
+  BenchRecord metric(const std::string& name, ConfigList config, MetricList metrics);
+
+  int reps() const { return reps_; }
+  int warmup() const { return warmup_; }
+  bool json_enabled() const { return !json_path_.empty(); }
+  const std::string& suite() const { return suite_; }
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+  /// Build-time git revision (CHRONOSYNC_GIT_SHA), overridable through the
+  /// environment variable of the same name; "unknown" when outside git.
+  static std::string git_sha();
+
+ private:
+  const BenchRecord& finish(BenchRecord record);
+
+  std::string suite_;
+  int reps_;
+  int warmup_;
+  std::uint64_t seed_;
+  std::string json_path_;
+  std::vector<BenchRecord> records_;
+};
+
+/// "12.3 us" style rendering of a nanosecond quantity.
+std::string format_ns(double ns);
+
+/// Keeps `value` observable so the optimizer cannot elide the computation
+/// that produced it.
+template <class T>
+inline void do_not_optimize(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+}  // namespace chronosync::benchkit

@@ -1,0 +1,87 @@
+#include "benchkit/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace chronosync::benchkit {
+namespace {
+
+TEST(JsonValue, DumpsScalars) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(-3.5).dump(), "-3.5");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonValue, IntegralNumbersHaveNoDecimalPoint) {
+  EXPECT_EQ(JsonValue(1e6).dump(), "1000000");
+  EXPECT_EQ(JsonValue(std::int64_t{1234567890123}).dump(), "1234567890123");
+}
+
+TEST(JsonValue, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(JsonValue, EscapesStrings) {
+  EXPECT_EQ(JsonValue("a\"b\\c\n").dump(), "\"a\\\"b\\\\c\\n\"");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::object();
+  obj.set("zebra", 1).set("alpha", 2).set("mid", "x");
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":\"x\"}");
+  obj.set("alpha", 9);  // replace keeps position
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":9,\"mid\":\"x\"}");
+  ASSERT_NE(obj.find("mid"), nullptr);
+  EXPECT_EQ(obj.find("mid")->as_string(), "x");
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(JsonValue, RoundTripsNestedDocument) {
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1).push_back("two");
+  JsonValue inner = JsonValue::object();
+  inner.set("k", true);
+  arr.push_back(inner);
+  JsonValue doc = JsonValue::object();
+  doc.set("list", arr).set("pi", 3.25).set("none", JsonValue());
+
+  const std::string text = doc.dump();
+  const JsonValue back = JsonValue::parse(text);
+  EXPECT_EQ(back.dump(), text);
+  ASSERT_TRUE(back.find("list")->is_array());
+  EXPECT_EQ(back.find("list")->items().size(), 3u);
+  EXPECT_TRUE(back.find("list")->items()[2].find("k")->as_bool());
+  EXPECT_DOUBLE_EQ(back.find("pi")->as_number(), 3.25);
+  EXPECT_TRUE(back.find("none")->is_null());
+}
+
+TEST(JsonValue, ParsesWhitespaceAndEscapes) {
+  const JsonValue v = JsonValue::parse("  { \"a\" : [ 1 , -2.5e2 ], \"b\\n\" : \"\\u0041\" } ");
+  EXPECT_DOUBLE_EQ(v.find("a")->items()[1].as_number(), -250.0);
+  EXPECT_EQ(v.find("b\n")->as_string(), "A");
+}
+
+TEST(JsonValue, ParseRejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("nul"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  EXPECT_THROW(JsonValue(1.0).as_string(), std::invalid_argument);
+  EXPECT_THROW(JsonValue("x").as_number(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chronosync::benchkit

@@ -58,7 +58,9 @@ TEST(Collectives, BcastRootFirst) {
     if (b.proc == 2) root_begin = t.at(b).true_ts;
   }
   for (const auto& e : insts[0].ends) {
-    if (e.proc != 2) EXPECT_GT(t.at(e).true_ts, root_begin);
+    if (e.proc != 2) {
+      EXPECT_GT(t.at(e).true_ts, root_begin);
+    }
   }
 }
 

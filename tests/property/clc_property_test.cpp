@@ -68,7 +68,9 @@ TEST_P(ClcProperty, RepairsEverythingWithoutRegression) {
       // (2) only forward moves
       EXPECT_GE(out[i], in[i] - 1e-12) << "rank " << r << " idx " << i;
       // (3) monotone per process
-      if (i > 0) EXPECT_GE(out[i], out[i - 1]) << "rank " << r << " idx " << i;
+      if (i > 0) {
+        EXPECT_GE(out[i], out[i - 1]) << "rank " << r << " idx " << i;
+      }
     }
   }
 }

@@ -77,9 +77,9 @@ INSTANTIATE_TEST_SUITE_P(
                                      CollectiveKind::Gather, CollectiveKind::Scatter,
                                      CollectiveKind::Allgather, CollectiveKind::Alltoall),
                      testing::Values(2, 3, 4, 7, 8, 16)),
-    [](const testing::TestParamInfo<CollParam>& info) {
-      return to_string(std::get<0>(info.param)) + "_x" +
-             std::to_string(std::get<1>(info.param));
+    [](const testing::TestParamInfo<CollParam>& tpi) {
+      return to_string(std::get<0>(tpi.param)) + "_x" +
+             std::to_string(std::get<1>(tpi.param));
     });
 
 }  // namespace

@@ -106,8 +106,8 @@ TEST_P(DriftContract, RatesStaySane) {
 
 INSTANTIATE_TEST_SUITE_P(AllModels, DriftContract,
                          testing::Range<std::size_t>(0, model_cases().size()),
-                         [](const testing::TestParamInfo<std::size_t>& info) {
-                           std::string name = model_cases()[info.param].name;
+                         [](const testing::TestParamInfo<std::size_t>& tpi) {
+                           std::string name = model_cases()[tpi.param].name;
                            for (char& ch : name) {
                              if (ch == '-') ch = '_';
                            }

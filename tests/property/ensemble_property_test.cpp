@@ -96,8 +96,8 @@ TEST_P(TimerPresetContract, DeviationContinuityUnderSampling) {
 
 INSTANTIATE_TEST_SUITE_P(AllPresets, TimerPresetContract,
                          testing::Range<std::size_t>(0, timer_specs::all().size()),
-                         [](const testing::TestParamInfo<std::size_t>& info) {
-                           std::string name = timer_specs::all()[info.param].name;
+                         [](const testing::TestParamInfo<std::size_t>& tpi) {
+                           std::string name = timer_specs::all()[tpi.param].name;
                            for (char& ch : name) {
                              if (ch == '-') ch = '_';
                            }

@@ -81,9 +81,9 @@ TEST_P(OmpProperty, DeterministicForSeed) {
 INSTANTIATE_TEST_SUITE_P(ThreadsAndSeeds, OmpProperty,
                          testing::Combine(testing::Values(2, 4, 8, 12, 16),
                                           testing::Values<std::uint64_t>(1, 2, 3)),
-                         [](const testing::TestParamInfo<Param>& info) {
-                           return "t" + std::to_string(std::get<0>(info.param)) + "_s" +
-                                  std::to_string(std::get<1>(info.param));
+                         [](const testing::TestParamInfo<Param>& tpi) {
+                           return "t" + std::to_string(std::get<0>(tpi.param)) + "_s" +
+                                  std::to_string(std::get<1>(tpi.param));
                          });
 
 }  // namespace

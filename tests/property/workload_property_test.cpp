@@ -145,10 +145,10 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Combine(testing::Values(App::Pop, App::Smg, App::Sweep3d, App::RandomSweep),
                      testing::Values(TimerChoice::Tsc, TimerChoice::Gettimeofday),
                      testing::Values<std::uint64_t>(1, 2)),
-    [](const testing::TestParamInfo<Param>& info) {
-      return std::string(app_name(std::get<0>(info.param))) +
-             (std::get<1>(info.param) == TimerChoice::Tsc ? "_tsc" : "_gtod") + "_s" +
-             std::to_string(std::get<2>(info.param));
+    [](const testing::TestParamInfo<Param>& tpi) {
+      return std::string(app_name(std::get<0>(tpi.param))) +
+             (std::get<1>(tpi.param) == TimerChoice::Tsc ? "_tsc" : "_gtod") + "_s" +
+             std::to_string(std::get<2>(tpi.param));
     });
 
 }  // namespace

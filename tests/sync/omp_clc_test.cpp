@@ -88,7 +88,9 @@ TEST(OmpClc, PerThreadMonotonicityPreserved) {
   for (std::uint32_t i = 0; i < events.size(); ++i) {
     const Time t = fixed.corrected.at({0, i});
     auto it = last.find(events[i].thread);
-    if (it != last.end()) EXPECT_GE(t, it->second);
+    if (it != last.end()) {
+      EXPECT_GE(t, it->second);
+    }
     last[events[i].thread] = t;
   }
 }
