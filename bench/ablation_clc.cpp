@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
       std::optional<ClcResult> clc;
       harness.time("clc_variant", config, static_cast<std::int64_t>(schedule.events()),
                    [&] { clc = controlled_logical_clock(res->trace, schedule, input, opt); });
-      const auto rep = check_clock_condition(res->trace, clc->corrected, msgs, logical);
+      const auto rep = check_clock_condition(res->trace, clc->corrected, schedule);
       if (rep.violations() != 0) {
         std::cerr << "unexpected: violations remain for decay=" << decay << "\n";
       }

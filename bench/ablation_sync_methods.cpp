@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
         harness.time(slugify(name), config,
                      static_cast<std::int64_t>(res.trace.total_events()),
                      [&] { ts = make_ts(); });
-    const auto rep = check_clock_condition(res.trace, *ts, msgs, logical);
+    const auto rep = check_clock_condition(res.trace, *ts, schedule);
     const auto err = message_sync_error(res.trace, *ts, msgs);
     const auto order = order_consistency(res.trace, *ts);
     harness.metric(slugify(name) + "_quality", config,

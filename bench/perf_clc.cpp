@@ -1,5 +1,6 @@
 // Performance — CLC throughput (events/s), sequential vs. parallel replay
 // (ref. [31] parallelized the algorithm for large-scale traces).
+#include "analysis/clock_condition.hpp"
 #include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
 #include "sync/clc.hpp"
@@ -58,7 +59,7 @@ int main(int argc, char** argv) {
     benchkit::do_not_optimize(result.violations_repaired);
   });
 
-  for (int threads : {1, 2, 4}) {
+  for (int threads : {1, 2, 4, 8}) {
     benchkit::ConfigList config = base;
     config.emplace_back("threads", std::to_string(threads));
     harness.time("clc_parallel", config, events, [&] {
@@ -78,5 +79,16 @@ int main(int argc, char** argv) {
                  auto msgs = fx.trace.match_messages();
                  benchkit::do_not_optimize(msgs.size());
                });
+
+  // Violation analysis: the message-(re)matching path vs. the single-pass
+  // scan over the schedule's CSR edges.
+  harness.time("clock_condition_full", base, events, [&] {
+    auto rep = check_clock_condition(fx.trace, fx.input);
+    benchkit::do_not_optimize(rep.p2p_violations);
+  });
+  harness.time("clock_condition_scan", base, events, [&] {
+    auto rep = check_clock_condition(fx.trace, fx.input, fx.schedule);
+    benchkit::do_not_optimize(rep.p2p_violations);
+  });
   return 0;
 }

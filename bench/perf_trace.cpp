@@ -4,6 +4,7 @@
 
 #include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
+#include "sync/replay.hpp"
 #include "trace/logical_messages.hpp"
 #include "trace/otf_text.hpp"
 #include "trace/timeline.hpp"
@@ -71,6 +72,20 @@ int main(int argc, char** argv) {
     auto logical = derive_logical_messages(t);
     benchkit::do_not_optimize(logical.size());
   });
+
+  // Dependency-ordered traversal throughput over the CSR schedule — the
+  // common substrate of every replay-based consumer (CLC, logical clocks,
+  // violation scans).
+  {
+    const auto msgs = t.match_messages();
+    const auto logical = derive_logical_messages(t);
+    const ReplaySchedule schedule(t, msgs, logical);
+    harness.time("replay_visit", base, static_cast<std::int64_t>(schedule.events()), [&] {
+      std::uint64_t acc = 0;
+      schedule.replay([&](std::uint32_t g, EventRef) { acc += g; });
+      benchkit::do_not_optimize(acc);
+    });
+  }
 
   {
     const auto ts = TimestampArray::from_local(t);

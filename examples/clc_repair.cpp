@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
 
   AsciiTable table({"method", "violations", "reversed [%]", "truth error [us]"});
   auto report = [&](const std::string& name, const TimestampArray& ts) {
-    const auto rep = check_clock_condition(res.trace, ts, msgs, logical);
+    const auto rep = check_clock_condition(res.trace, ts, schedule);
     const auto err = truth_error(res.trace, ts);
     table.add_row({name, std::to_string(rep.violations()),
                    AsciiTable::num(rep.combined_reversed_pct(), 3),

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   const auto logical = derive_logical_messages(res.trace);
   const ReplaySchedule schedule(res.trace, msgs, logical);
   const ClcResult clc = controlled_logical_clock(res.trace, schedule, interpolated);
-  const auto fixed = check_clock_condition(res.trace, clc.corrected, msgs, logical);
+  const auto fixed = check_clock_condition(res.trace, clc.corrected, schedule);
   std::cout << "\nafter CLC:\n"
             << "  violations: " << fixed.violations() << ", repaired " << clc.violations_repaired
             << " receives, max jump " << to_us(clc.max_jump) << " us\n";

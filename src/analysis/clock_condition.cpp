@@ -78,6 +78,63 @@ ClockConditionReport check_clock_condition(const Trace& trace,
                                derive_logical_messages(trace));
 }
 
+ClockConditionReport check_clock_condition(const Trace& trace,
+                                           const TimestampArray& timestamps,
+                                           const ReplaySchedule& schedule) {
+  ClockConditionReport rep;
+
+  // Flatten the per-rank timestamp rows into global-index order once, so the
+  // edge scan below reads both endpoints with plain array lookups.
+  const auto total = static_cast<std::uint32_t>(schedule.events());
+  std::vector<Time> flat(total);
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    const auto& row = timestamps.of_rank(r);
+    const std::uint32_t base = schedule.rank_begin(r);
+    for (std::uint32_t i = 0; i < row.size(); ++i) flat[base + i] = row[i];
+  }
+
+  // One pass over the CSR incoming-edge arrays; each constraint edge is
+  // exactly one matched p2p or derived logical message.
+  for (std::uint32_t g = 0; g < total; ++g) {
+    const Time tr = flat[g];
+    for (const auto& edge : schedule.incoming(g)) {
+      const Time ts = flat[edge.source];
+      if (edge.logical) {
+        ++rep.logical_messages;
+        if (tr < ts) ++rep.logical_reversed;
+        if (tr < ts + edge.l_min) {
+          ++rep.logical_violations;
+          rep.logical_worst = std::max(rep.logical_worst, ts + edge.l_min - tr);
+        }
+      } else {
+        ++rep.p2p_messages;
+        if (tr < ts) ++rep.p2p_reversed;
+        if (tr < ts + edge.l_min) {
+          ++rep.p2p_violations;
+          rep.p2p_worst = std::max(rep.p2p_worst, ts + edge.l_min - tr);
+        }
+      }
+    }
+  }
+
+  rep.total_events = trace.total_events();
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    for (const Event& e : trace.events(r)) {
+      switch (e.type) {
+        case EventType::Send:
+        case EventType::Recv:
+        case EventType::CollBegin:
+        case EventType::CollEnd:
+          ++rep.message_events;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return rep;
+}
+
 std::vector<std::tuple<Rank, Rank, std::size_t>> PairViolationMatrix::worst_pairs() const {
   std::vector<std::tuple<Rank, Rank, std::size_t>> out;
   for (std::size_t s = 0; s < violations.size(); ++s) {

@@ -11,6 +11,7 @@
 #include <tuple>
 #include <vector>
 
+#include "sync/replay.hpp"
 #include "trace/logical_messages.hpp"
 #include "trace/trace.hpp"
 
@@ -52,6 +53,14 @@ ClockConditionReport check_clock_condition(const Trace& trace,
 /// Convenience: builds the message/collective indexes itself.
 ClockConditionReport check_clock_condition(const Trace& trace,
                                            const TimestampArray& timestamps);
+
+/// Fast path: a single pass over the CSR constraint edges of an
+/// already-built ReplaySchedule instead of re-matching messages and
+/// re-deriving collectives.  Produces the same report as the message-list
+/// overload when the schedule was built from the same message/logical lists.
+ClockConditionReport check_clock_condition(const Trace& trace,
+                                           const TimestampArray& timestamps,
+                                           const ReplaySchedule& schedule);
 
 /// Per-(src, dst) message and violation counts — localizes which links
 /// suffer, as a tool would highlight offending process pairs.

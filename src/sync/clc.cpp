@@ -51,11 +51,7 @@ ForwardPassResult forward_pass(const Trace& trace, const ReplaySchedule& schedul
     Time lc = cand;
     if (bound > cand) {
       lc = bound;
-      const Duration jump = bound - cand;
-      res.jump[g] = jump;
-      ++res.violations_repaired;
-      res.max_jump = std::max(res.max_jump, jump);
-      res.total_jump += jump;
+      res.jump[g] = bound - cand;
     }
 
     res.lc[g] = lc;
@@ -64,7 +60,24 @@ ForwardPassResult forward_pass(const Trace& trace, const ReplaySchedule& schedul
     st.has_prev = true;
   });
 
+  finalize_stats(res);
   return res;
+}
+
+void finalize_stats(ForwardPassResult& fwd) {
+  // Jump aggregates are derived from the jump[] array in global-index order,
+  // so serial and parallel replays (whose per-event jumps are bit-identical)
+  // report bit-identical statistics regardless of visit or thread order.
+  fwd.violations_repaired = 0;
+  fwd.max_jump = 0.0;
+  fwd.total_jump = 0.0;
+  for (const Duration j : fwd.jump) {
+    if (j > 0.0) {
+      ++fwd.violations_repaired;
+      fwd.max_jump = std::max(fwd.max_jump, j);
+      fwd.total_jump += j;
+    }
+  }
 }
 
 void backward_pass(const Trace& trace, const ReplaySchedule& schedule,
@@ -130,6 +143,13 @@ void backward_pass(const Trace& trace, const ReplaySchedule& schedule,
 
 ClcResult controlled_logical_clock(const Trace& trace, const ReplaySchedule& schedule,
                                    const TimestampArray& input, const ClcOptions& options) {
+  if (trace.ranks() == 0 || schedule.events() == 0) {
+    // Nothing to replay: hand the input back unchanged (0-rank and 0-event
+    // traces used to trip thread-count assertions downstream).
+    ClcResult empty;
+    empty.corrected = input;
+    return empty;
+  }
   clc_detail::ForwardPassResult fwd =
       clc_detail::forward_pass(trace, schedule, input, options);
   if (options.backward_amortization) {

@@ -22,6 +22,11 @@ struct ForwardPassResult {
 ForwardPassResult forward_pass(const Trace& trace, const ReplaySchedule& schedule,
                                const TimestampArray& input, const ClcOptions& options);
 
+/// Recomputes the jump aggregates (count, max, total) from the per-event
+/// jump[] array in global-index order — deterministic across replay orders
+/// and thread counts.
+void finalize_stats(ForwardPassResult& fwd);
+
 /// Applies backward amortization in place on the forward result.
 void backward_pass(const Trace& trace, const ReplaySchedule& schedule, ForwardPassResult& fwd,
                    const ClcOptions& options);

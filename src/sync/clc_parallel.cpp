@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -14,64 +13,135 @@ namespace chronosync {
 
 namespace {
 
+// The parallel forward pass replays each rank's event stream on its owning
+// worker thread.  Cross-rank constraint edges are the only synchronization
+// points: an event may be processed once every constraining send has been
+// *published* by its owner.
+//
+// Publication is epoch-based: one cache-line-padded atomic counter per rank
+// holds the number of that rank's events whose corrected timestamps are
+// visible (the counter store/loads carry the release/acquire edge covering
+// the lc[] writes).  Owners publish once per drained run — not per event.
+//
+// Wakeups are per-thread doorbells (an eventcount), not a global
+// mutex/condition_variable: a worker whose ranks are all blocked re-checks
+// readiness against its doorbell value and then waits on the doorbell alone.
+// A publisher of rank X rings only the doorbells of *sleeping* threads that
+// own a rank constrained by X (the subscriber list is precomputed from the
+// CSR edges), so a publication wakes exactly the threads whose blocking
+// edges it can satisfy.
+//
+// Waiting on the blocking edge's counter directly would be even narrower but
+// has a liveness hole when a thread owns several ranks: a publication can
+// make one of its *other* ranks runnable while it sleeps on a counter that
+// never advances.  The doorbell covers "any of my ranks may have become
+// ready" with a single waitable word per thread.
+struct alignas(64) RankProgress {
+  std::atomic<std::uint32_t> completed{0};
+};
+
+struct alignas(64) Doorbell {
+  std::atomic<std::uint64_t> epoch{0};
+  std::atomic<std::uint8_t> asleep{0};
+};
+
 struct SharedState {
   std::vector<Time> lc;
   std::vector<Duration> jump;
-  std::vector<std::atomic<std::uint8_t>> done;
+  std::vector<RankProgress> progress;  // one epoch counter per rank
+  std::vector<Doorbell> doorbell;      // one per worker thread
+  // subscribers[x]: worker threads owning a rank constrained by rank x.
+  std::vector<std::vector<int>> subscribers;
 
-  // Progress wakeup channel for threads blocked on a remote send.
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::uint64_t progress = 0;
-
-  explicit SharedState(std::size_t events) : lc(events, 0.0), jump(events, 0.0), done(events) {
-    for (auto& d : done) d.store(0, std::memory_order_relaxed);
-  }
-
-  void publish() {
-    {
-      std::lock_guard<std::mutex> lk(mutex);
-      ++progress;
-    }
-    cv.notify_all();
-  }
+  SharedState(std::size_t events, std::size_t ranks, std::size_t threads)
+      : lc(events, 0.0), jump(events, 0.0), progress(ranks), doorbell(threads) {}
 };
 
 struct RankCursor {
   Rank rank;
-  std::uint32_t next = 0;
+  std::uint32_t next = 0;       ///< events processed (locally visible)
+  std::uint32_t published = 0;  ///< events published to other threads
   bool has_prev = false;
   Time prev_input = 0.0;
   Time prev_lc = 0.0;
 };
 
 /// One worker's forward replay over its ranks.
-void forward_worker(const Trace& trace, const ReplaySchedule& schedule,
-                    const TimestampArray& input, const ClcOptions& options,
-                    std::vector<RankCursor>& mine, SharedState& shared,
-                    clc_detail::ForwardPassResult& stats_out) {
+void forward_worker(const ReplaySchedule& schedule, const TimestampArray& input,
+                    const ClcOptions& options, int self,
+                    std::vector<RankCursor>& mine, const std::vector<char>& owned_by_me,
+                    SharedState& shared) {
+  // Local view of our own ranks' progress, so self-edges never touch atomics.
+  std::vector<std::uint32_t> self_next(owned_by_me.size(), 0);
+
+  // seq_cst loads cost the same as acquire on mainstream targets and make
+  // the sleep protocol's "publisher sees my asleep flag or I see its
+  // counter" argument a plain total-order one.
+  auto edge_done = [&](std::uint32_t src) {
+    const Rank rs = schedule.rank_of(src);
+    const std::uint32_t is = src - schedule.rank_begin(rs);
+    if (owned_by_me[static_cast<std::size_t>(rs)]) {
+      return self_next[static_cast<std::size_t>(rs)] > is;
+    }
+    return shared.progress[static_cast<std::size_t>(rs)].completed.load(
+               std::memory_order_seq_cst) > is;
+  };
   auto ready = [&](const RankCursor& c) {
-    const std::uint32_t g = schedule.global_index({c.rank, c.next});
+    const std::uint32_t g = schedule.rank_begin(c.rank) + c.next;
     for (const auto& edge : schedule.incoming(g)) {
-      if (!shared.done[edge.source].load(std::memory_order_acquire)) return false;
+      if (!edge_done(edge.source)) return false;
+    }
+    return true;
+  };
+  // Readiness check and clock-condition bound in one sweep over the event's
+  // incoming edges; `bound` is only meaningful when the return value is true.
+  auto ready_bound = [&](std::uint32_t g, Time& bound) {
+    bound = -kTimeInfinity;
+    for (const auto& edge : schedule.incoming(g)) {
+      if (!edge_done(edge.source)) return false;
+      bound = std::max(bound, shared.lc[edge.source] + edge.l_min);
     }
     return true;
   };
 
+  auto publish = [&](RankCursor& c) {
+    // Batched publication: one store + a ring of the (usually empty) set of
+    // sleeping subscriber threads per drained run, never per event.
+    auto& ctr = shared.progress[static_cast<std::size_t>(c.rank)].completed;
+    ctr.store(c.next, std::memory_order_seq_cst);
+    c.published = c.next;
+    for (const int t : shared.subscribers[static_cast<std::size_t>(c.rank)]) {
+      if (t == self) continue;
+      auto& bell = shared.doorbell[static_cast<std::size_t>(t)];
+      if (bell.asleep.load(std::memory_order_seq_cst) != 0) {
+        bell.epoch.fetch_add(1, std::memory_order_seq_cst);
+        bell.epoch.notify_one();
+      }
+    }
+  };
+
   std::size_t remaining = 0;
   for (const auto& c : mine) {
-    remaining += trace.events(c.rank).size() - c.next;
+    remaining += schedule.rank_size(c.rank) - c.next;
   }
 
+  auto& bell = shared.doorbell[static_cast<std::size_t>(self)];
+  // Blocked workers yield a few times before committing to a futex sleep:
+  // on oversubscribed machines the publisher usually runs within one
+  // quantum, which turns most sleep/ring/wake syscall triples into a single
+  // yield; on idle cores the bounded spin costs microseconds at worst.
+  const int max_spins = 4 * static_cast<int>(shared.doorbell.size());
+  int spins = 0;
   while (remaining > 0) {
     bool advanced = false;
     for (auto& c : mine) {
-      const auto n = static_cast<std::uint32_t>(trace.events(c.rank).size());
-      bool drained_any = false;
-      while (c.next < n && ready(c)) {
-        const EventRef ref{c.rank, c.next};
-        const std::uint32_t g = schedule.global_index(ref);
-        const Time t = input.at(ref);
+      const std::uint32_t n = schedule.rank_size(c.rank);
+      const std::uint32_t base = schedule.rank_begin(c.rank);
+      const std::vector<Time>& in_row = input.of_rank(c.rank);
+      Time bound;
+      while (c.next < n && ready_bound(base + c.next, bound)) {
+        const std::uint32_t g = base + c.next;
+        const Time t = in_row[c.next];
 
         Time cand = t;
         if (c.has_prev) {
@@ -80,49 +150,48 @@ void forward_worker(const Trace& trace, const ReplaySchedule& schedule,
               std::max(0.0, (c.prev_lc - c.prev_input) - options.forward_decay * dt);
           cand = std::max(t + carried, c.prev_lc);
         }
-        Time bound = -kTimeInfinity;
-        for (const auto& edge : schedule.incoming(g)) {
-          bound = std::max(bound, shared.lc[edge.source] + edge.l_min);
-        }
         Time lc = cand;
         if (bound > cand) {
           lc = bound;
-          const Duration jump = bound - cand;
-          shared.jump[g] = jump;
-          ++stats_out.violations_repaired;
-          stats_out.max_jump = std::max(stats_out.max_jump, jump);
-          stats_out.total_jump += jump;
+          shared.jump[g] = bound - cand;
         }
         shared.lc[g] = lc;
-        shared.done[g].store(1, std::memory_order_release);
 
         c.prev_input = t;
         c.prev_lc = lc;
         c.has_prev = true;
         ++c.next;
+        self_next[static_cast<std::size_t>(c.rank)] = c.next;
         --remaining;
         advanced = true;
-        drained_any = true;
       }
-      if (drained_any) shared.publish();
+      if (c.next != c.published) publish(c);
     }
 
-    if (!advanced && remaining > 0) {
-      // All of this worker's ranks are blocked on remote sends; wait for
-      // someone to publish progress, re-checking readiness under the lock to
-      // avoid a missed wakeup.
-      std::unique_lock<std::mutex> lk(shared.mutex);
-      const std::uint64_t seen = shared.progress;
+    if (advanced) {
+      spins = 0;
+    } else if (remaining > 0) {
+      if (spins < max_spins) {
+        ++spins;
+        std::this_thread::yield();
+        continue;
+      }
+      // All owned ranks are blocked on remote sends.  Announce the sleep,
+      // re-check readiness (a publisher either saw the asleep flag and rings
+      // the doorbell, or its counter store precedes our re-check and we see
+      // it — no missed wakeup either way), then wait on the doorbell.
+      const std::uint64_t seen = bell.epoch.load(std::memory_order_seq_cst);
+      bell.asleep.store(1, std::memory_order_seq_cst);
       bool any_ready = false;
-      for (auto& c : mine) {
-        if (c.next < trace.events(c.rank).size() && ready(c)) {
+      for (const auto& c : mine) {
+        if (c.next < schedule.rank_size(c.rank) && ready(c)) {
           any_ready = true;
           break;
         }
       }
-      if (!any_ready) {
-        shared.cv.wait(lk, [&] { return shared.progress != seen; });
-      }
+      if (!any_ready) bell.epoch.wait(seen, std::memory_order_seq_cst);
+      bell.asleep.store(0, std::memory_order_seq_cst);
+      spins = 0;
     }
   }
 }
@@ -132,30 +201,64 @@ void forward_worker(const Trace& trace, const ReplaySchedule& schedule,
 ClcResult controlled_logical_clock_parallel(const Trace& trace, const ReplaySchedule& schedule,
                                             const TimestampArray& input,
                                             const ClcOptions& options, int threads) {
+  if (trace.ranks() == 0 || schedule.events() == 0) {
+    // Empty traces: nothing to replay, and clamping threads to the rank count
+    // must not end up demanding a zero-thread pool.
+    ClcResult empty;
+    empty.corrected = input;
+    return empty;
+  }
+  CS_REQUIRE(options.forward_decay >= 0.0 && options.forward_decay < 1.0,
+             "forward_decay must be in [0, 1)");
+
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 2;
   }
-  threads = std::min(threads, trace.ranks());
-  CS_REQUIRE(threads >= 1, "need at least one thread");
+  threads = std::max(1, std::min(threads, trace.ranks()));
 
-  SharedState shared(schedule.events());
+  SharedState shared(schedule.events(), static_cast<std::size_t>(trace.ranks()),
+                     static_cast<std::size_t>(threads));
 
   // Round-robin rank ownership keeps neighbouring ranks on different
   // threads, which shortens blocking chains for nearest-neighbour patterns.
   std::vector<std::vector<RankCursor>> owned(static_cast<std::size_t>(threads));
+  std::vector<std::vector<char>> owned_by(
+      static_cast<std::size_t>(threads),
+      std::vector<char>(static_cast<std::size_t>(trace.ranks()), 0));
   for (Rank r = 0; r < trace.ranks(); ++r) {
-    owned[static_cast<std::size_t>(r % threads)].push_back({r, 0, false, 0.0, 0.0});
+    const auto t = static_cast<std::size_t>(r % threads);
+    owned[t].push_back({r, 0, 0, false, 0.0, 0.0});
+    owned_by[t][static_cast<std::size_t>(r)] = 1;
   }
 
-  std::vector<clc_detail::ForwardPassResult> stats(static_cast<std::size_t>(threads));
+  // Subscriber lists: thread t subscribes to rank x when some edge runs from
+  // an event of x into an event of a rank t owns.
+  {
+    std::vector<char> seen(static_cast<std::size_t>(trace.ranks()) *
+                               static_cast<std::size_t>(threads),
+                           0);
+    shared.subscribers.resize(static_cast<std::size_t>(trace.ranks()));
+    for (std::uint32_t g = 0; g < schedule.events(); ++g) {
+      const int owner = static_cast<int>(schedule.rank_of(g)) % threads;
+      for (const auto& edge : schedule.incoming(g)) {
+        const auto x = static_cast<std::size_t>(schedule.rank_of(edge.source));
+        auto& flag = seen[x * static_cast<std::size_t>(threads) +
+                          static_cast<std::size_t>(owner)];
+        if (!flag) {
+          flag = 1;
+          shared.subscribers[x].push_back(owner);
+        }
+      }
+    }
+  }
+
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     pool.emplace_back([&, t] {
-      forward_worker(trace, schedule, input, options, owned[static_cast<std::size_t>(t)],
-                     shared, stats[static_cast<std::size_t>(t)]);
-      shared.publish();  // final wakeup so peers blocked on us re-check
+      forward_worker(schedule, input, options, t, owned[static_cast<std::size_t>(t)],
+                     owned_by[static_cast<std::size_t>(t)], shared);
     });
   }
   for (auto& th : pool) th.join();
@@ -163,11 +266,10 @@ ClcResult controlled_logical_clock_parallel(const Trace& trace, const ReplaySche
   clc_detail::ForwardPassResult fwd;
   fwd.lc = std::move(shared.lc);
   fwd.jump = std::move(shared.jump);
-  for (const auto& s : stats) {
-    fwd.violations_repaired += s.violations_repaired;
-    fwd.max_jump = std::max(fwd.max_jump, s.max_jump);
-    fwd.total_jump += s.total_jump;
-  }
+  // Aggregates come from the deterministic per-event jump[] array, never from
+  // per-thread accumulation, so the reported statistics are independent of
+  // the thread count and bit-identical to the sequential implementation.
+  clc_detail::finalize_stats(fwd);
 
   if (options.backward_amortization) {
     clc_detail::backward_pass(trace, schedule, fwd, options);
@@ -177,8 +279,9 @@ ClcResult controlled_logical_clock_parallel(const Trace& trace, const ReplaySche
   result.corrected = input;
   for (Rank r = 0; r < trace.ranks(); ++r) {
     auto& v = result.corrected.of_rank(r);
+    const std::uint32_t base = schedule.rank_begin(r);
     for (std::uint32_t i = 0; i < v.size(); ++i) {
-      v[i] = fwd.lc[schedule.global_index({r, i})];
+      v[i] = fwd.lc[base + i];
     }
   }
   result.violations_repaired = fwd.violations_repaired;

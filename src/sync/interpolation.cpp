@@ -1,6 +1,7 @@
 #include "sync/interpolation.hpp"
 
 #include "common/expect.hpp"
+#include "common/log.hpp"
 
 namespace chronosync {
 
@@ -22,6 +23,17 @@ LinearInterpolation LinearInterpolation::from_store(const OffsetStore& store) {
     p.o1 = samples.front().offset;
     p.w2 = samples.back().worker_time;
     p.o2 = samples.back().offset;
+    if (!(p.w2 > p.w1)) {
+      // Degenerate interval: the init and final probes share a worker_time
+      // (e.g. an aborted run whose probes all landed in one batch).  Eq. 3's
+      // drift term is undefined, so align this rank by the first measured
+      // offset alone instead of crashing with an opaque precondition.
+      CS_LOG_WARN << "LinearInterpolation: rank " << r
+                  << " has a degenerate measurement interval (w1 == w2 == " << p.w1
+                  << "); falling back to pure offset alignment for this rank";
+      p.w2 = p.w1 + 1.0;
+      p.o2 = p.o1;
+    }
   }
   return LinearInterpolation(std::move(params));
 }

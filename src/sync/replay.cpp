@@ -1,9 +1,5 @@
 #include "sync/replay.hpp"
 
-#include <deque>
-
-#include "common/expect.hpp"
-
 namespace chronosync {
 
 ReplaySchedule::ReplaySchedule(const Trace& trace, const std::vector<MessageRecord>& messages,
@@ -18,16 +14,54 @@ ReplaySchedule::ReplaySchedule(const Trace& trace, const std::vector<MessageReco
         static_cast<std::uint32_t>(trace.events(r).size());
   }
   total_ = prefix_.back();
-  in_.resize(total_);
-  out_.resize(total_);
 
-  for (const auto& m : messages) {
-    add_edge(global_index(m.send), global_index(m.recv),
-             trace.min_latency(m.send.proc, m.recv.proc));
+  rank_of_.resize(total_);
+  for (Rank r = 0; r < n; ++r) {
+    for (std::uint32_t g = prefix_[static_cast<std::size_t>(r)];
+         g < prefix_[static_cast<std::size_t>(r) + 1]; ++g) {
+      rank_of_[g] = r;
+    }
   }
+
+  // CSR build: count degrees, prefix-sum into offsets, then fill.  Filling
+  // iterates p2p messages before logical ones, so each event's incoming edges
+  // keep that order.
+  const std::size_t m = messages.size() + logical.size();
+  std::vector<std::uint32_t> src(m), dst(m);
+  std::vector<Duration> lmin(m);
+  std::size_t k = 0;
+  for (const auto& msg : messages) {
+    src[k] = global_index(msg.send);
+    dst[k] = global_index(msg.recv);
+    lmin[k] = trace.min_latency(msg.send.proc, msg.recv.proc);
+    ++k;
+  }
+  const std::size_t first_logical = k;
   for (const auto& lm : logical) {
-    add_edge(global_index(lm.send), global_index(lm.recv),
-             trace.min_latency(lm.send.proc, lm.recv.proc));
+    src[k] = global_index(lm.send);
+    dst[k] = global_index(lm.recv);
+    lmin[k] = trace.min_latency(lm.send.proc, lm.recv.proc);
+    ++k;
+  }
+
+  in_off_.assign(total_ + 1, 0);
+  out_off_.assign(total_ + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    ++in_off_[dst[e] + 1];
+    ++out_off_[src[e] + 1];
+  }
+  for (std::size_t g = 0; g < total_; ++g) {
+    in_off_[g + 1] += in_off_[g];
+    out_off_[g + 1] += out_off_[g];
+  }
+
+  in_edges_.resize(m);
+  out_edges_.resize(m);
+  std::vector<std::uint32_t> in_fill(in_off_.begin(), in_off_.end() - 1);
+  std::vector<std::uint32_t> out_fill(out_off_.begin(), out_off_.end() - 1);
+  for (std::size_t e = 0; e < m; ++e) {
+    in_edges_[in_fill[dst[e]]++] = {src[e], e >= first_logical, lmin[e]};
+    out_edges_[out_fill[src[e]]++] = dst[e];
   }
 }
 
@@ -38,93 +72,8 @@ std::uint32_t ReplaySchedule::global_index(const EventRef& ref) const {
 
 EventRef ReplaySchedule::event_ref(std::uint32_t gidx) const {
   CS_REQUIRE(gidx < total_, "global index out of range");
-  // prefix_ is sorted; find the rank containing gidx.
-  Rank lo = 0, hi = trace_->ranks() - 1;
-  while (lo < hi) {
-    const Rank mid = (lo + hi + 1) / 2;
-    if (prefix_[static_cast<std::size_t>(mid)] <= gidx) {
-      lo = mid;
-    } else {
-      hi = mid - 1;
-    }
-  }
-  return {lo, gidx - prefix_[static_cast<std::size_t>(lo)]};
-}
-
-void ReplaySchedule::add_edge(std::uint32_t src, std::uint32_t dst, Duration l_min) {
-  in_[dst].push_back({src, l_min});
-  out_[src].push_back(dst);
-}
-
-const std::vector<ReplaySchedule::ConstraintEdge>& ReplaySchedule::incoming(
-    std::uint32_t gidx) const {
-  CS_REQUIRE(gidx < total_, "global index out of range");
-  return in_[gidx];
-}
-
-const std::vector<std::uint32_t>& ReplaySchedule::outgoing(std::uint32_t gidx) const {
-  CS_REQUIRE(gidx < total_, "global index out of range");
-  return out_[gidx];
-}
-
-void ReplaySchedule::replay(
-    const std::function<void(std::uint32_t, const EventRef&)>& visit) const {
-  const int n = trace_->ranks();
-
-  // Remaining unvisited constraint sources per event.
-  std::vector<std::uint32_t> pending(total_);
-  for (std::uint32_t g = 0; g < total_; ++g) {
-    pending[g] = static_cast<std::uint32_t>(in_[g].size());
-  }
-
-  std::vector<std::uint32_t> cursor(static_cast<std::size_t>(n), 0);
-  std::vector<char> queued(static_cast<std::size_t>(n), 0);
-  std::deque<Rank> ready;
-
-  auto cursor_gidx = [&](Rank r) {
-    return prefix_[static_cast<std::size_t>(r)] + cursor[static_cast<std::size_t>(r)];
-  };
-  auto enqueue_if_ready = [&](Rank r) {
-    const auto c = cursor[static_cast<std::size_t>(r)];
-    if (c >= trace_->events(r).size()) return;
-    if (pending[cursor_gidx(r)] != 0) return;
-    if (queued[static_cast<std::size_t>(r)]) return;
-    queued[static_cast<std::size_t>(r)] = 1;
-    ready.push_back(r);
-  };
-
-  for (Rank r = 0; r < n; ++r) enqueue_if_ready(r);
-
-  std::size_t visited = 0;
-  while (!ready.empty()) {
-    const Rank r = ready.front();
-    ready.pop_front();
-    queued[static_cast<std::size_t>(r)] = 0;
-
-    // Drain this process until its next event is blocked.
-    while (cursor[static_cast<std::size_t>(r)] < trace_->events(r).size() &&
-           pending[cursor_gidx(r)] == 0) {
-      const std::uint32_t g = cursor_gidx(r);
-      const EventRef ref{r, cursor[static_cast<std::size_t>(r)]};
-      visit(g, ref);
-      ++visited;
-      ++cursor[static_cast<std::size_t>(r)];
-      for (std::uint32_t dep : out_[g]) {
-        CS_ENSURE(pending[dep] > 0, "dependency counting corrupted");
-        --pending[dep];
-        if (pending[dep] == 0) {
-          // The dependent becomes processable only once its process cursor
-          // reaches it; check and enqueue the owning process.
-          const EventRef dref = event_ref(dep);
-          if (cursor[static_cast<std::size_t>(dref.proc)] == dref.index) {
-            enqueue_if_ready(dref.proc);
-          }
-        }
-      }
-    }
-  }
-
-  CS_ENSURE(visited == total_, "constraint graph has a cycle or dangling dependency");
+  const Rank r = rank_of_[gidx];
+  return {r, gidx - prefix_[static_cast<std::size_t>(r)]};
 }
 
 }  // namespace chronosync

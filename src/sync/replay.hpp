@@ -5,12 +5,19 @@
 // receive.  ReplaySchedule builds dense indexes over that DAG and replays the
 // trace so every event is visited after all of its constraint sources — the
 // traversal the logical-clock algorithms and the CLC need.
+//
+// Storage is a flat CSR (compressed sparse row) layout: events are numbered
+// globally with each rank's events contiguous (global = rank_begin(r) + i),
+// and the incoming/outgoing constraint edges of all events live in two flat
+// arrays sliced by offset tables.  This keeps the replay hot path free of
+// per-event vector indirections and makes rank/index recovery O(1).
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <span>
 #include <vector>
 
+#include "common/expect.hpp"
 #include "trace/logical_messages.hpp"
 #include "trace/trace.hpp"
 
@@ -20,7 +27,8 @@ class ReplaySchedule {
  public:
   /// Constraint edge: the target's timestamp must be >= source's + l_min.
   struct ConstraintEdge {
-    std::uint32_t source = 0;  ///< global event index
+    std::uint32_t source = 0;   ///< global event index
+    bool logical = false;       ///< derived from a collective, not a p2p message
     Duration l_min = 0.0;
   };
 
@@ -28,26 +36,114 @@ class ReplaySchedule {
                  const std::vector<LogicalMessage>& logical);
 
   std::size_t events() const { return total_; }
+  /// Total number of constraint edges (p2p + logical).
+  std::size_t edges() const { return in_edges_.size(); }
+
   std::uint32_t global_index(const EventRef& ref) const;
   EventRef event_ref(std::uint32_t gidx) const;
 
+  /// Rank owning a global event index (O(1)).
+  Rank rank_of(std::uint32_t gidx) const {
+    CS_REQUIRE(gidx < total_, "global index out of range");
+    return rank_of_[gidx];
+  }
+  /// Global index of rank r's event 0.
+  std::uint32_t rank_begin(Rank r) const {
+    return prefix_[static_cast<std::size_t>(r)];
+  }
+  /// Number of events of rank r.
+  std::uint32_t rank_size(Rank r) const {
+    return prefix_[static_cast<std::size_t>(r) + 1] - prefix_[static_cast<std::size_t>(r)];
+  }
+
   /// Incoming constraints of one event (empty for non-receives).
-  const std::vector<ConstraintEdge>& incoming(std::uint32_t gidx) const;
+  std::span<const ConstraintEdge> incoming(std::uint32_t gidx) const {
+    CS_REQUIRE(gidx < total_, "global index out of range");
+    return {in_edges_.data() + in_off_[gidx], in_off_[gidx + 1] - in_off_[gidx]};
+  }
   /// Events constrained by this one.
-  const std::vector<std::uint32_t>& outgoing(std::uint32_t gidx) const;
+  std::span<const std::uint32_t> outgoing(std::uint32_t gidx) const {
+    CS_REQUIRE(gidx < total_, "global index out of range");
+    return {out_edges_.data() + out_off_[gidx], out_off_[gidx + 1] - out_off_[gidx]};
+  }
 
   /// Visits every event in a dependency-respecting order.  Throws if the
   /// constraint graph has a cycle (a malformed trace).
-  void replay(const std::function<void(std::uint32_t, const EventRef&)>& visit) const;
+  template <class Visit>
+  void replay(Visit&& visit) const;
 
  private:
-  void add_edge(std::uint32_t src, std::uint32_t dst, Duration l_min);
-
   const Trace* trace_;
   std::vector<std::uint32_t> prefix_;  ///< global index of each rank's event 0
   std::size_t total_ = 0;
-  std::vector<std::vector<ConstraintEdge>> in_;
-  std::vector<std::vector<std::uint32_t>> out_;
+  std::vector<Rank> rank_of_;          ///< owning rank per global index
+
+  // CSR adjacency: edges of event g live at [off[g], off[g+1]).
+  std::vector<std::uint32_t> in_off_;
+  std::vector<ConstraintEdge> in_edges_;
+  std::vector<std::uint32_t> out_off_;
+  std::vector<std::uint32_t> out_edges_;
 };
+
+template <class Visit>
+void ReplaySchedule::replay(Visit&& visit) const {
+  const int n = trace_->ranks();
+
+  // Remaining unvisited constraint sources per event.
+  std::vector<std::uint32_t> pending(total_);
+  for (std::uint32_t g = 0; g < total_; ++g) {
+    pending[g] = in_off_[g + 1] - in_off_[g];
+  }
+
+  std::vector<std::uint32_t> cursor(static_cast<std::size_t>(n), 0);
+  std::vector<char> queued(static_cast<std::size_t>(n), 0);
+  // FIFO of runnable ranks; a plain vector with a head index (total enqueues
+  // are bounded by the edge count, so the tail never rewinds).
+  std::vector<Rank> ready;
+  ready.reserve(static_cast<std::size_t>(n));
+  std::size_t head = 0;
+
+  auto cursor_gidx = [&](Rank r) {
+    return prefix_[static_cast<std::size_t>(r)] + cursor[static_cast<std::size_t>(r)];
+  };
+  auto enqueue_if_ready = [&](Rank r) {
+    const auto c = cursor[static_cast<std::size_t>(r)];
+    if (c >= rank_size(r)) return;
+    if (pending[cursor_gidx(r)] != 0) return;
+    if (queued[static_cast<std::size_t>(r)]) return;
+    queued[static_cast<std::size_t>(r)] = 1;
+    ready.push_back(r);
+  };
+
+  for (Rank r = 0; r < n; ++r) enqueue_if_ready(r);
+
+  std::size_t visited = 0;
+  while (head < ready.size()) {
+    const Rank r = ready[head++];
+    queued[static_cast<std::size_t>(r)] = 0;
+
+    // Drain this process until its next event is blocked.
+    while (cursor[static_cast<std::size_t>(r)] < rank_size(r) &&
+           pending[cursor_gidx(r)] == 0) {
+      const std::uint32_t g = cursor_gidx(r);
+      const EventRef ref{r, cursor[static_cast<std::size_t>(r)]};
+      visit(g, ref);
+      ++visited;
+      ++cursor[static_cast<std::size_t>(r)];
+      for (std::uint32_t dep : outgoing(g)) {
+        CS_ENSURE(pending[dep] > 0, "dependency counting corrupted");
+        --pending[dep];
+        if (pending[dep] == 0) {
+          // The dependent becomes processable only once its process cursor
+          // reaches it; check and enqueue the owning process.
+          const Rank dr = rank_of_[dep];
+          if (cursor_gidx(dr) == dep) enqueue_if_ready(dr);
+        }
+      }
+    }
+  }
+
+  CS_ENSURE(visited == total_, "constraint graph has a cycle or dangling dependency");
+}
 
 }  // namespace chronosync

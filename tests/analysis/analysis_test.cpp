@@ -63,6 +63,48 @@ TEST(ClockCondition, LogicalMessagesChecked) {
   EXPECT_DOUBLE_EQ(rep.combined_reversed_pct(), 50.0);
 }
 
+TEST(ClockCondition, ScanOverloadMatchesMessageListPath) {
+  // The single-pass scan over an already-built ReplaySchedule's CSR edges
+  // must reproduce the message-matching overload field for field — p2p and
+  // logical alike.
+  Trace trace(pinning::inter_node(clusters::xeon_rwth(), 2), {0.47e-6, 0.86e-6, 4.29e-6},
+              "test");
+  trace.events(0).push_back(make_event(EventType::Send, 1.0, 0, 1));
+  trace.events(0).push_back(make_event(EventType::Send, 2.0, 1, 1));
+  trace.events(0).push_back(make_event(EventType::Send, 3.0, 2, 1));
+  trace.events(1).push_back(make_event(EventType::Recv, 1.001, 0, 0));
+  trace.events(1).push_back(make_event(EventType::Recv, 2.000001, 1, 0));
+  trace.events(1).push_back(make_event(EventType::Recv, 2.9, 2, 0));
+  for (Rank r = 0; r < 2; ++r) {
+    Event b = make_event(EventType::CollBegin, r == 0 ? 4.0 : 3.9);
+    b.coll = CollectiveKind::Barrier;
+    b.coll_id = 0;
+    Event e = make_event(EventType::CollEnd, r == 0 ? 4.1 : 3.95);
+    e.coll = CollectiveKind::Barrier;
+    e.coll_id = 0;
+    trace.events(r).push_back(b);
+    trace.events(r).push_back(e);
+  }
+
+  const auto msgs = trace.match_messages();
+  const auto logical = derive_logical_messages(trace);
+  const ReplaySchedule schedule(trace, msgs, logical);
+  const auto ts = TimestampArray::from_local(trace);
+
+  const auto full = check_clock_condition(trace, ts, msgs, logical);
+  const auto scan = check_clock_condition(trace, ts, schedule);
+  EXPECT_EQ(scan.p2p_messages, full.p2p_messages);
+  EXPECT_EQ(scan.p2p_reversed, full.p2p_reversed);
+  EXPECT_EQ(scan.p2p_violations, full.p2p_violations);
+  EXPECT_DOUBLE_EQ(scan.p2p_worst, full.p2p_worst);
+  EXPECT_EQ(scan.logical_messages, full.logical_messages);
+  EXPECT_EQ(scan.logical_reversed, full.logical_reversed);
+  EXPECT_EQ(scan.logical_violations, full.logical_violations);
+  EXPECT_DOUBLE_EQ(scan.logical_worst, full.logical_worst);
+  EXPECT_EQ(scan.total_events, full.total_events);
+  EXPECT_EQ(scan.message_events, full.message_events);
+}
+
 TEST(ClockCondition, EmptyTraceIsClean) {
   Trace trace(pinning::inter_node(clusters::xeon_rwth(), 2), {0.47e-6, 0.86e-6, 4.29e-6},
               "test");

@@ -110,6 +110,37 @@ TEST_P(ClcProperty, GroundTruthIsFixedPoint) {
   }
 }
 
+TEST_P(ClcProperty, BackwardAmortizationNeverReintroducesViolations) {
+  // The pre-jump linear ramp redistributes each jump over earlier events.
+  // Whatever slope is chosen, it must never (a) recreate a clock-condition
+  // violation the forward pass just repaired, nor (b) invert the local order
+  // of any process — across random traces, seeds, and timer technologies.
+  AppRunResult res = run();
+  const auto msgs = res.trace.match_messages();
+  const auto logical = derive_logical_messages(res.trace);
+  const ReplaySchedule schedule(res.trace, msgs, logical);
+  const auto input =
+      apply_correction(res.trace, LinearInterpolation::from_store(res.offsets));
+
+  for (const double slope : {0.01, 0.05, 0.5}) {
+    ClcOptions opt;
+    opt.backward_amortization = true;
+    opt.backward_slope = slope;
+    const ClcResult clc = controlled_logical_clock(res.trace, schedule, input, opt);
+
+    const auto rep = check_clock_condition(res.trace, clc.corrected, msgs, logical);
+    EXPECT_EQ(rep.violations(), 0u) << "slope=" << slope;
+
+    for (Rank r = 0; r < res.trace.ranks(); ++r) {
+      const auto& out = clc.corrected.of_rank(r);
+      for (std::size_t i = 1; i < out.size(); ++i) {
+        ASSERT_GE(out[i], out[i - 1])
+            << "slope=" << slope << " rank=" << r << " idx=" << i;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sweep, ClcProperty,
     testing::Combine(testing::Values<std::uint64_t>(1, 2, 3),

@@ -265,6 +265,63 @@ TEST(ParallelClc, MatchesSequentialBitExact) {
   }
 }
 
+TEST(Clc, ZeroRankTraceReturnsInputUnchanged) {
+  // Regression: a trace with no ranks used to trip the thread-count
+  // precondition in the parallel path; both paths must be graceful no-ops.
+  Trace trace(pinning::inter_node(clusters::xeon_rwth(), 0),
+              {0.47e-6, 0.86e-6, 4.29e-6}, "test");
+  const ReplaySchedule s(trace, {}, {});
+  const auto input = TimestampArray::from_local(trace);
+
+  const ClcResult seq = controlled_logical_clock(trace, s, input);
+  EXPECT_EQ(seq.violations_repaired, 0u);
+  EXPECT_EQ(seq.corrected.ranks(), 0);
+
+  for (int threads : {0, 1, 8}) {
+    const ClcResult par = controlled_logical_clock_parallel(trace, s, input, {}, threads);
+    EXPECT_EQ(par.violations_repaired, 0u) << "threads=" << threads;
+    EXPECT_EQ(par.corrected.ranks(), 0) << "threads=" << threads;
+  }
+}
+
+TEST(Clc, EventlessTraceReturnsInputUnchanged) {
+  // Ranks exist but none recorded an event: the schedule is empty and the
+  // result must be the input, with zeroed statistics.
+  Trace trace(pinning::inter_node(clusters::xeon_rwth(), 4),
+              {0.47e-6, 0.86e-6, 4.29e-6}, "test");
+  const ReplaySchedule s(trace, trace.match_messages(), {});
+  ASSERT_EQ(s.events(), 0u);
+  const auto input = TimestampArray::from_local(trace);
+
+  const ClcResult seq = controlled_logical_clock(trace, s, input);
+  EXPECT_EQ(seq.violations_repaired, 0u);
+  EXPECT_DOUBLE_EQ(seq.total_jump, 0.0);
+
+  for (int threads : {0, 1, 8}) {
+    const ClcResult par = controlled_logical_clock_parallel(trace, s, input, {}, threads);
+    EXPECT_EQ(par.violations_repaired, 0u) << "threads=" << threads;
+    EXPECT_EQ(par.corrected.ranks(), trace.ranks()) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelClc, StatisticsIndependentOfThreadCount) {
+  // Aggregates are derived from the final jump[] array in global-event
+  // order, so they must be bit-identical to the sequential run for every
+  // thread count — not merely close.
+  Trace trace = random_trace(8, 50, 7);
+  const auto msgs = trace.match_messages();
+  const ReplaySchedule s(trace, msgs, {});
+  const auto input = TimestampArray::from_local(trace);
+  const ClcResult seq = controlled_logical_clock(trace, s, input);
+  ASSERT_GT(seq.violations_repaired, 0u);
+  for (int threads : {1, 2, 3, 4, 8}) {
+    const ClcResult par = controlled_logical_clock_parallel(trace, s, input, {}, threads);
+    EXPECT_EQ(par.violations_repaired, seq.violations_repaired) << threads;
+    EXPECT_EQ(par.max_jump, seq.max_jump) << threads;
+    EXPECT_EQ(par.total_jump, seq.total_jump) << threads;
+  }
+}
+
 TEST(ParallelClc, RepairsEverything) {
   Trace trace = random_trace(6, 60, 123);
   const auto msgs = trace.match_messages();

@@ -86,6 +86,25 @@ TEST(LinearInterpolation, FromStoreUsesFirstAndLast) {
   EXPECT_DOUBLE_EQ(interp.correct(1, 0.0), 1.0);
 }
 
+TEST(LinearInterpolation, FromStoreDegenerateIntervalFallsBackToOffset) {
+  // Regression: when a rank's first and last probes share a worker_time
+  // (e.g. an aborted run whose probes landed in one batch), Eq. 3's drift
+  // term is undefined and from_store used to abort.  It now falls back to
+  // pure offset alignment for that rank.
+  OffsetStore store(2);
+  store.add(0, {0.0, 0.0, 0.0});
+  store.add(0, {100.0, 0.0, 0.0});
+  store.add(1, {5.0, 1.5, 1e-5});
+  store.add(1, {5.0, 1.9, 1e-5});  // same worker_time: zero-length interval
+  LinearInterpolation interp = LinearInterpolation::from_store(store);
+  // Pure offset: the first measured offset shifts every timestamp, with no
+  // drift term regardless of how far the query is from the probe.
+  EXPECT_DOUBLE_EQ(interp.correct(1, 5.0), 6.5);
+  EXPECT_DOUBLE_EQ(interp.correct(1, 1000.0), 1001.5);
+  // The healthy rank is untouched by the fallback.
+  EXPECT_DOUBLE_EQ(interp.correct(0, 50.0), 50.0);
+}
+
 TEST(LinearInterpolation, FromStoreNeedsTwoSamples) {
   OffsetStore store(1);
   store.add(0, {0.0, 0.0, 0.0});
