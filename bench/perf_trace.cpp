@@ -1,12 +1,25 @@
-// Performance — trace subsystem throughput: serialization (binary and text),
-// logical-message derivation, and timeline rendering.
+// Performance — trace subsystem throughput: serialization (binary v1/v2 and
+// text), logical-message derivation, timeline rendering, and the out-of-core
+// streaming scan.
+//
+// The streaming section runs FIRST and compares resident memory of the two
+// clock-condition pipelines over the same ≥1M-event v2 file: peak RSS is a
+// process-wide high-water mark, so the bounded-memory stage must be metered
+// before anything materializes a large trace.
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 
+#include "analysis/clock_condition.hpp"
+#include "analysis/clock_condition_stream.hpp"
 #include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
+#include "common/expect.hpp"
 #include "sync/replay.hpp"
 #include "trace/logical_messages.hpp"
 #include "trace/otf_text.hpp"
+#include "trace/stream_io.hpp"
 #include "trace/timeline.hpp"
 #include "trace/trace_io.hpp"
 #include "workload/sweep.hpp"
@@ -27,6 +40,132 @@ Trace make_fixture(int ranks, int rounds, std::uint64_t seed) {
   return run_sweep(cfg, std::move(job)).trace;
 }
 
+/// Writes a synthetic trace of ~`total` events rank-by-rank through
+/// TraceWriter without ever materializing a Trace: resident memory stays at
+/// one Event regardless of the trace size.  Every tenth event pair is a
+/// matched cross-rank message (rank r event i=_8 sends to rank r+1, whose
+/// i=_9 receives it), so the streaming scan has real pairing work to do; one
+/// message in 16 is timestamped in violation of the clock condition.
+std::uint64_t write_synthetic_stream(const std::string& path, int ranks,
+                                     std::uint64_t total) {
+  TraceMeta meta;
+  meta.placement = pinning::inter_node(clusters::xeon_rwth(), ranks);
+  meta.domain_min_latency = {0.47e-6, 0.86e-6, 4.29e-6};
+  meta.timer_name = "synthetic-stream";
+  meta.regions = {"compute"};
+
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  CS_REQUIRE(f.good(), "cannot open streaming bench file: " + path);
+  TraceWriter w(f, meta);
+  const std::uint64_t per_rank = total / static_cast<std::uint64_t>(ranks);
+  constexpr double kStep = 1e-5;  // > inter-node l_min, so matched pairs obey Eq. 1
+  for (int r = 0; r < ranks; ++r) {
+    const int prev = (r + ranks - 1) % ranks;
+    for (std::uint64_t i = 0; i < per_rank; ++i) {
+      Event e;
+      e.local_ts = static_cast<double>(i) * kStep;
+      e.thread = 0;
+      switch (i % 10) {
+        case 8:
+          e.type = EventType::Send;
+          e.peer = (r + 1) % ranks;
+          e.tag = 1;
+          e.bytes = 8192;
+          e.msg_id = static_cast<std::int64_t>(per_rank) * r + static_cast<std::int64_t>(i);
+          break;
+        case 9:
+          e.type = EventType::Recv;
+          e.peer = prev;
+          e.msg_id =
+              static_cast<std::int64_t>(per_rank) * prev + static_cast<std::int64_t>(i - 1);
+          // Every 16th message arrives before it was sent (a reversal).
+          if ((i / 10) % 16 == 0) e.local_ts = static_cast<double>(i - 1) * kStep - 1e-7;
+          break;
+        default:
+          e.type = (i % 2 == 0) ? EventType::Enter : EventType::Exit;
+          e.region = 0;
+          break;
+      }
+      e.true_ts = e.local_ts;
+      w.append(r, e);
+    }
+  }
+  w.finish();
+  return w.events_written();
+}
+
+void require_reports_equal(const ClockConditionReport& a, const ClockConditionReport& b) {
+  CS_ENSURE(a.p2p_messages == b.p2p_messages && a.p2p_reversed == b.p2p_reversed &&
+                a.p2p_violations == b.p2p_violations &&
+                a.logical_messages == b.logical_messages &&
+                a.logical_violations == b.logical_violations &&
+                a.total_events == b.total_events && a.message_events == b.message_events,
+            "streaming scan diverges from the in-memory pipeline");
+}
+
+/// Out-of-core section: generation throughput, streaming-scan throughput, and
+/// the resident-memory comparison against the in-memory loader.
+void run_streaming_section(benchkit::Harness& harness, std::uint64_t stream_events) {
+  using benchkit::allocation_totals;
+  using benchkit::sample_resource_usage;
+
+  const int ranks = 8;
+  const std::string file = "bench_stream_trace.v2";
+  const benchkit::ConfigList cfg = {{"stream_events", std::to_string(stream_events)},
+                                    {"stream_ranks", std::to_string(ranks)}};
+
+  std::uint64_t written = 0;
+  harness.time("v2_stream_write", cfg, static_cast<std::int64_t>(stream_events), [&] {
+    written = write_synthetic_stream(file, ranks, stream_events);
+    benchkit::do_not_optimize(written);
+  });
+
+  // One metered pass: allocation and RSS deltas of the bounded-memory scan.
+  const auto rss_before = sample_resource_usage();
+  const auto alloc_before = allocation_totals();
+  const ClockConditionReport streamed = scan_clock_condition_file(file);
+  const auto rss_after = sample_resource_usage();
+  const auto alloc_after = allocation_totals();
+  harness.metric(
+      "v2_stream_scan_memory", cfg,
+      {{"events", static_cast<double>(written)},
+       {"alloc_bytes", static_cast<double>(alloc_after.bytes - alloc_before.bytes)},
+       {"current_rss_delta_bytes",
+        static_cast<double>(rss_after.current_rss_bytes - rss_before.current_rss_bytes)},
+       {"peak_rss_bytes", static_cast<double>(rss_after.peak_rss_bytes)},
+       {"p2p_messages", static_cast<double>(streamed.p2p_messages)},
+       {"p2p_reversed", static_cast<double>(streamed.p2p_reversed)}});
+
+  harness.time("v2_stream_scan", cfg, static_cast<std::int64_t>(written), [&] {
+    const auto rep = scan_clock_condition_file(file);
+    benchkit::do_not_optimize(rep.p2p_messages);
+  });
+
+  // The in-memory pipeline over the same file, metered the same way.  Runs
+  // after the streaming stage so its footprint cannot inflate the streaming
+  // peak-RSS sample.
+  const auto rss_mem_before = sample_resource_usage();
+  const auto alloc_mem_before = allocation_totals();
+  {
+    const Trace t = read_trace_file(file);
+    const ClockConditionReport in_memory =
+        check_clock_condition(t, TimestampArray::from_local(t));
+    const auto rss_mem_after = sample_resource_usage();
+    const auto alloc_mem_after = allocation_totals();
+    require_reports_equal(streamed, in_memory);
+    harness.metric(
+        "inmemory_scan_memory", cfg,
+        {{"events", static_cast<double>(t.total_events())},
+         {"alloc_bytes",
+          static_cast<double>(alloc_mem_after.bytes - alloc_mem_before.bytes)},
+         {"current_rss_delta_bytes",
+          static_cast<double>(rss_mem_after.current_rss_bytes -
+                              rss_mem_before.current_rss_bytes)},
+         {"peak_rss_bytes", static_cast<double>(rss_mem_after.peak_rss_bytes)}});
+  }
+  std::remove(file.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -34,6 +173,12 @@ int main(int argc, char** argv) {
   benchkit::Harness harness(cli, "perf_trace");
   const int ranks = static_cast<int>(cli.get_int("ranks", 16));
   const int rounds = static_cast<int>(cli.get_int("rounds", 500));
+  const auto stream_events =
+      static_cast<std::uint64_t>(cli.get_int("stream-events", 1000000));
+
+  // Before any in-memory fixture exists: the peak-RSS comparison needs the
+  // streaming stage to run in a small process.
+  if (stream_events > 0) run_streaming_section(harness, stream_events);
 
   const Trace t = make_fixture(ranks, rounds, cli.get_seed());
   const auto events = static_cast<std::int64_t>(t.total_events());
@@ -46,6 +191,12 @@ int main(int argc, char** argv) {
     benchkit::do_not_optimize(buf.tellp());
   });
 
+  harness.time("v2_write", base, events, [&] {
+    std::stringstream buf;
+    write_trace_v2(t, buf);
+    benchkit::do_not_optimize(buf.tellp());
+  });
+
   {
     std::stringstream buf;
     write_trace(t, buf);
@@ -55,6 +206,35 @@ int main(int argc, char** argv) {
       Trace back = read_trace(in);
       benchkit::do_not_optimize(back.total_events());
     });
+  }
+
+  {
+    std::stringstream buf;
+    write_trace_v2(t, buf);
+    const std::string blob = buf.str();
+    harness.time("v2_round_trip", base, events, [&] {
+      std::stringstream in(blob);
+      Trace back = read_trace(in);
+      benchkit::do_not_optimize(back.total_events());
+    });
+  }
+
+  // Encoded-size comparison of the three formats over the same fixture.
+  {
+    std::stringstream v1;
+    std::stringstream v2;
+    std::stringstream txt;
+    write_trace(t, v1);
+    write_trace_v2(t, v2);
+    write_text_trace(t, txt);
+    const auto v1_bytes = static_cast<double>(v1.str().size());
+    const auto v2_bytes = static_cast<double>(v2.str().size());
+    harness.metric("format_sizes", base,
+                   {{"v1_bytes", v1_bytes},
+                    {"v2_bytes", v2_bytes},
+                    {"text_bytes", static_cast<double>(txt.str().size())},
+                    {"v2_over_v1", v2_bytes / v1_bytes},
+                    {"events", static_cast<double>(events)}});
   }
 
   {

@@ -1,0 +1,182 @@
+#include "analysis/clock_condition_stream.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "trace/trace_io.hpp"
+
+namespace chronosync {
+
+namespace {
+
+/// Both endpoints of a point-to-point message, keyed by msg_id.
+struct MsgEndpoints {
+  Rank send_rank = -1;
+  Rank recv_rank = -1;
+  Time send_ts = 0.0;
+  Time recv_ts = 0.0;
+};
+
+/// One collective instance, keyed by coll_id.  Mirrors what
+/// Trace::collect_collectives keeps: kind/root overwritten by every
+/// participating event (last one wins), begins/ends in trace (rank-major)
+/// order.
+struct CollInstance {
+  CollectiveKind kind{};
+  Rank root = -1;
+  std::vector<std::pair<Rank, Time>> begins;
+  std::vector<std::pair<Rank, Time>> ends;
+};
+
+void check_edge(Time ts, Time tr, Duration l_min, std::size_t& reversed,
+                std::size_t& violations, Duration& worst) {
+  if (tr < ts) ++reversed;
+  if (tr < ts + l_min) {
+    ++violations;
+    worst = std::max(worst, ts + l_min - tr);
+  }
+}
+
+}  // namespace
+
+ClockConditionReport scan_clock_condition(TraceReader& reader) {
+  const TraceMeta& meta = reader.meta();
+  ClockConditionReport rep;
+
+  std::unordered_map<std::int64_t, MsgEndpoints> msgs;
+  std::unordered_map<std::int64_t, CollInstance> colls;
+
+  EventBlock block;
+  while (reader.next(block)) {
+    for (const Event& e : block.events) {
+      ++rep.total_events;
+      switch (e.type) {
+        case EventType::Send: {
+          ++rep.message_events;
+          auto& m = msgs[e.msg_id];
+          m.send_rank = block.rank;
+          m.send_ts = e.local_ts;
+          break;
+        }
+        case EventType::Recv: {
+          ++rep.message_events;
+          auto& m = msgs[e.msg_id];
+          m.recv_rank = block.rank;
+          m.recv_ts = e.local_ts;
+          break;
+        }
+        case EventType::CollBegin: {
+          ++rep.message_events;
+          auto& inst = colls[e.coll_id];
+          inst.kind = e.coll;
+          inst.root = e.root;
+          inst.begins.emplace_back(block.rank, e.local_ts);
+          break;
+        }
+        case EventType::CollEnd: {
+          ++rep.message_events;
+          auto& inst = colls[e.coll_id];
+          inst.kind = e.coll;
+          inst.root = e.root;
+          inst.ends.emplace_back(block.rank, e.local_ts);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  // Point-to-point: half-matched messages (tracing-window edges) are dropped,
+  // exactly as Trace::match_messages does.
+  for (const auto& [id, m] : msgs) {
+    if (m.send_rank < 0 || m.recv_rank < 0) continue;
+    ++rep.p2p_messages;
+    const Duration l_min = meta.min_latency(m.send_rank, m.recv_rank);
+    check_edge(m.send_ts, m.recv_ts, l_min, rep.p2p_reversed, rep.p2p_violations, rep.p2p_worst);
+  }
+
+  // Collectives mapped onto logical messages, mirroring
+  // derive_logical_messages' flavour rules.
+  for (const auto& [id, inst] : colls) {
+    if (inst.begins.empty() || inst.begins.size() != inst.ends.size()) continue;  // partial
+    switch (flavor_of(inst.kind)) {
+      case CollectiveFlavor::OneToN: {
+        const std::pair<Rank, Time>* root_begin = nullptr;
+        for (const auto& b : inst.begins) {
+          if (b.first == inst.root) {
+            root_begin = &b;
+            break;
+          }
+        }
+        if (!root_begin) break;
+        for (const auto& end : inst.ends) {
+          if (end.first == inst.root) continue;
+          ++rep.logical_messages;
+          const Duration l_min = meta.min_latency(root_begin->first, end.first);
+          check_edge(root_begin->second, end.second, l_min, rep.logical_reversed,
+                     rep.logical_violations, rep.logical_worst);
+        }
+        break;
+      }
+      case CollectiveFlavor::NToOne: {
+        const std::pair<Rank, Time>* root_end = nullptr;
+        for (const auto& end : inst.ends) {
+          if (end.first == inst.root) root_end = &end;  // last one wins
+        }
+        if (!root_end) break;
+        for (const auto& b : inst.begins) {
+          if (b.first == inst.root) continue;
+          ++rep.logical_messages;
+          const Duration l_min = meta.min_latency(b.first, root_end->first);
+          check_edge(b.second, root_end->second, l_min, rep.logical_reversed,
+                     rep.logical_violations, rep.logical_worst);
+        }
+        break;
+      }
+      case CollectiveFlavor::NToN: {
+        for (const auto& b : inst.begins) {
+          for (const auto& end : inst.ends) {
+            if (b.first == end.first) continue;
+            ++rep.logical_messages;
+            const Duration l_min = meta.min_latency(b.first, end.first);
+            check_edge(b.second, end.second, l_min, rep.logical_reversed,
+                       rep.logical_violations, rep.logical_worst);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return rep;
+}
+
+ClockConditionReport scan_clock_condition_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    throw TraceIoError(TraceIoErrorKind::Io, "cannot open trace file for reading: " + path);
+  }
+  // Sniff the container version: v2 streams, v1 falls back to the loader.
+  char header[8];
+  f.read(header, 8);
+  if (f.gcount() != 8) {
+    throw TraceIoError(TraceIoErrorKind::Truncated, "trace file shorter than its header");
+  }
+  f.seekg(0);
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&version, header + 4, 4);
+  if (magic == 0x43535452 && version == 2) {
+    TraceReader reader(f);
+    return scan_clock_condition(reader);
+  }
+  const Trace trace = read_trace_file(path);
+  return check_clock_condition(trace, TimestampArray::from_local(trace));
+}
+
+}  // namespace chronosync

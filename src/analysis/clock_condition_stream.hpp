@@ -1,0 +1,32 @@
+// Out-of-core clock-condition analysis over trace files.
+//
+// The in-memory pipeline (read_trace -> match_messages -> derive_logical_...
+// -> check_clock_condition) materializes every event, the message index, and
+// a timestamp array — ~150 bytes per event.  The streaming scan consumes a v2
+// trace chunk-by-chunk through TraceReader and keeps only the per-message
+// pairing state (message endpoints by msg_id, collective instances by
+// coll_id), so resident memory is bounded by the number of *messages*, not
+// events — on region-dominated traces orders of magnitude smaller, and never
+// the full 150 bytes/event of the loader.
+//
+// The report is identical (same counts, same worst-case slack) to
+//   check_clock_condition(trace, TimestampArray::from_local(trace))
+// on the materialized trace; a test asserts the equivalence.
+#pragma once
+
+#include <string>
+
+#include "analysis/clock_condition.hpp"
+#include "trace/stream_io.hpp"
+
+namespace chronosync {
+
+/// Scans the remaining events of `reader` (local timestamps, Eq. 1 over p2p
+/// and logical messages) without materializing a Trace.
+ClockConditionReport scan_clock_condition(TraceReader& reader);
+
+/// Opens `path` and scans it.  v2 files stream with bounded memory; v1 files
+/// (no chunking) fall back to the in-memory loader transparently.
+ClockConditionReport scan_clock_condition_file(const std::string& path);
+
+}  // namespace chronosync

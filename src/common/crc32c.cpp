@@ -1,0 +1,58 @@
+#include "common/crc32c.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace chronosync {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+struct Tables {
+  // tab[k][b]: CRC of byte b followed by k zero bytes; slicing-by-8 consumes
+  // eight input bytes per iteration with eight independent table lookups.
+  std::array<std::array<std::uint32_t, 256>, 8> tab{};
+
+  Tables() {
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      std::uint32_t crc = b;
+      for (int k = 0; k < 8; ++k) crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      tab[0][b] = crc;
+    }
+    for (std::size_t k = 1; k < 8; ++k) {
+      for (std::uint32_t b = 0; b < 256; ++b) {
+        tab[k][b] = (tab[k - 1][b] >> 8) ^ tab[0][tab[k - 1][b] & 0xFFu];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t n) {
+  const auto& tab = tables().tab;
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = tab[7][lo & 0xFFu] ^ tab[6][(lo >> 8) & 0xFFu] ^ tab[5][(lo >> 16) & 0xFFu] ^
+          tab[4][lo >> 24] ^ tab[3][hi & 0xFFu] ^ tab[2][(hi >> 8) & 0xFFu] ^
+          tab[1][(hi >> 16) & 0xFFu] ^ tab[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) crc = (crc >> 8) ^ tab[0][(crc ^ *p++) & 0xFFu];
+  return ~crc;
+}
+
+}  // namespace chronosync

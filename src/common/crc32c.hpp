@@ -1,0 +1,18 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum guarding trace container chunks.  Chosen over CRC32 (zlib) for its
+// better error-detection properties on short records; computed in software
+// with slicing-by-8 tables, fast enough that trace encoding dominates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace chronosync {
+
+/// Extends a running CRC32C over `n` more bytes.  Start from 0; feed the
+/// previous return value to continue.  The init/final inversions are handled
+/// internally, so partial results compose:
+///   crc32c(crc32c(0, a, na), b, nb) == crc32c(0, ab, na + nb).
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t n);
+
+}  // namespace chronosync

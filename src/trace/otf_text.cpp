@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/expect.hpp"
+#include "trace/trace_io_error.hpp"
 
 namespace chronosync {
 
@@ -27,6 +28,21 @@ const std::map<std::string, EventType>& event_names() {
       {"BARR_EXIT", EventType::BarrierExit},
   };
   return names;
+}
+
+[[noreturn]] void fail_line(std::size_t lineno, const std::string& msg) {
+  throw TraceIoError(TraceIoErrorKind::Malformed,
+                     "text trace line " + std::to_string(lineno) + ": " + msg);
+}
+
+/// The record's fields must be fully consumed: trailing non-space characters
+/// mean extra fields, which a strict reader rejects rather than ignores.
+void require_complete(std::istringstream& ls, std::size_t lineno, const char* record) {
+  if (ls.fail()) fail_line(lineno, std::string(record) + " record with missing or bad fields");
+  std::string extra;
+  if (ls >> extra) {
+    fail_line(lineno, std::string(record) + " record with trailing fields: '" + extra + "'");
+  }
 }
 
 }  // namespace
@@ -58,14 +74,18 @@ void write_text_trace(const Trace& trace, std::ostream& out) {
 
 void write_text_trace_file(const Trace& trace, const std::string& path) {
   std::ofstream f(path);
-  CS_REQUIRE(f.good(), "cannot open text trace for writing: " + path);
+  if (!f.good()) {
+    throw TraceIoError(TraceIoErrorKind::Io, "cannot open text trace for writing: " + path);
+  }
   write_text_trace(trace, f);
 }
 
 Trace read_text_trace(std::istream& in) {
   std::string line;
-  CS_REQUIRE(std::getline(in, line) && line.rfind("CSTXT 1", 0) == 0,
-             "not a chronosync text trace");
+  std::size_t lineno = 1;
+  if (!std::getline(in, line) || line.rfind("CSTXT 1", 0) != 0) {
+    throw TraceIoError(TraceIoErrorKind::BadMagic, "not a chronosync text trace");
+  }
 
   std::string timer = "unknown";
   std::array<Duration, 3> lat{1e-6, 1e-6, 1e-6};
@@ -73,59 +93,78 @@ Trace read_text_trace(std::istream& in) {
   std::vector<std::pair<std::size_t, std::string>> regions;
   struct PendingEvent {
     Rank rank;
+    std::size_t lineno;
     Event event;
   };
   std::vector<PendingEvent> events;
 
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     std::string kind;
     ls >> kind;
     if (kind == "TIMER") {
       ls >> timer;
+      if (ls.fail()) fail_line(lineno, "TIMER record missing the timer name");
     } else if (kind == "LATENCY") {
       ls >> lat[0] >> lat[1] >> lat[2];
+      require_complete(ls, lineno, "LATENCY");
     } else if (kind == "RANK") {
       int id = 0;
       CoreLocation loc;
       ls >> id >> loc.node >> loc.chip >> loc.core;
-      CS_REQUIRE(id == static_cast<int>(locs.size()), "RANK records out of order");
+      require_complete(ls, lineno, "RANK");
+      if (id != static_cast<int>(locs.size())) fail_line(lineno, "RANK records out of order");
       locs.push_back(loc);
     } else if (kind == "REGION") {
       std::size_t id = 0;
       ls >> id;
+      if (ls.fail()) fail_line(lineno, "REGION record missing the id");
       std::string name;
       std::getline(ls, name);
       if (!name.empty() && name.front() == ' ') name.erase(0, 1);
       regions.emplace_back(id, name);
     } else if (kind == "EV") {
       PendingEvent pe;
+      pe.lineno = lineno;
       std::string type_name;
       int coll = 0;
       ls >> pe.rank >> type_name >> pe.event.local_ts >> pe.event.true_ts >>
           pe.event.region >> pe.event.peer >> pe.event.tag >> pe.event.bytes >>
           pe.event.msg_id >> coll >> pe.event.coll_id >> pe.event.root >>
           pe.event.omp_instance >> pe.event.thread;
-      CS_REQUIRE(!ls.fail(), "malformed EV record: " + line);
+      require_complete(ls, lineno, "EV");
       auto it = event_names().find(type_name);
-      CS_REQUIRE(it != event_names().end(), "unknown event type: " + type_name);
+      if (it == event_names().end()) fail_line(lineno, "unknown event type '" + type_name + "'");
+      if (coll < 0 || coll > static_cast<int>(CollectiveKind::Alltoall)) {
+        fail_line(lineno, "collective kind " + std::to_string(coll) + " out of range");
+      }
       pe.event.type = it->second;
       pe.event.coll = static_cast<CollectiveKind>(coll);
       events.push_back(pe);
     } else {
-      CS_REQUIRE(false, "unknown record kind: " + kind);
+      fail_line(lineno, "unknown record kind '" + kind + "'");
     }
   }
-  CS_REQUIRE(!locs.empty(), "text trace without RANK records");
+  if (locs.empty()) {
+    throw TraceIoError(TraceIoErrorKind::Malformed, "text trace without RANK records");
+  }
 
   Trace trace(Placement(std::move(locs)), lat, timer);
   for (const auto& [id, name] : regions) {
     const auto got = trace.intern_region(name);
-    CS_REQUIRE(static_cast<std::size_t>(got) == id, "REGION records out of order");
+    if (static_cast<std::size_t>(got) != id) {
+      throw TraceIoError(TraceIoErrorKind::Malformed,
+                         "REGION records out of order or duplicated (id " + std::to_string(id) +
+                             ")");
+    }
   }
   for (auto& pe : events) {
-    CS_REQUIRE(pe.rank >= 0 && pe.rank < trace.ranks(), "EV rank out of range");
+    if (pe.rank < 0 || pe.rank >= trace.ranks()) {
+      fail_line(pe.lineno, "EV rank " + std::to_string(pe.rank) + " outside the " +
+                               std::to_string(trace.ranks()) + " declared RANK records");
+    }
     trace.events(pe.rank).push_back(pe.event);
   }
   return trace;
@@ -133,7 +172,9 @@ Trace read_text_trace(std::istream& in) {
 
 Trace read_text_trace_file(const std::string& path) {
   std::ifstream f(path);
-  CS_REQUIRE(f.good(), "cannot open text trace for reading: " + path);
+  if (!f.good()) {
+    throw TraceIoError(TraceIoErrorKind::Io, "cannot open text trace for reading: " + path);
+  }
   return read_text_trace(f);
 }
 

@@ -11,6 +11,11 @@
 //
 // Timestamps are printed with 17 significant digits, so a round trip is
 // exact for doubles.
+//
+// The reader is strict: records with missing, malformed, or trailing fields,
+// unknown record kinds, out-of-range collective kinds, or EV ranks outside
+// the declared RANK records raise a line-numbered TraceIoError
+// (trace/trace_io_error.hpp) instead of being silently accepted.
 #pragma once
 
 #include <iosfwd>

@@ -1,0 +1,475 @@
+#include "trace/stream_io.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "common/crc32c.hpp"
+#include "common/expect.hpp"
+#include "common/varint.hpp"
+
+namespace chronosync {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43535452;  // "CSTR", shared with v1
+constexpr std::uint32_t kVersion = 2;
+
+constexpr std::uint8_t kChunkMeta = 'M';
+constexpr std::uint8_t kChunkEvents = 'E';
+constexpr std::uint8_t kChunkFooter = 'Z';
+
+/// Hard ceiling on a chunk payload; rejects forged lengths before allocation
+/// even on non-seekable streams.
+constexpr std::uint32_t kMaxChunkPayload = 1u << 26;  // 64 MiB
+
+/// Smallest possible encoded event: type byte + 12 one-byte varints.
+constexpr std::uint64_t kMinEncodedEvent = 13;
+
+constexpr std::uint8_t kMaxEventType = static_cast<std::uint8_t>(EventType::BarrierExit);
+constexpr std::uint8_t kMaxCollKind = static_cast<std::uint8_t>(CollectiveKind::Alltoall);
+
+void put_raw32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_raw64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_raw64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+[[noreturn]] void malformed(const std::string& msg) {
+  throw TraceIoError(TraceIoErrorKind::Malformed, msg);
+}
+
+std::uint64_t get_uv(const std::uint8_t** p, const std::uint8_t* end, const char* what) {
+  std::uint64_t v = 0;
+  if (!get_uvarint(p, end, v)) malformed(std::string(what) + ": bad varint");
+  return v;
+}
+
+std::int64_t get_sv(const std::uint8_t** p, const std::uint8_t* end, const char* what) {
+  std::int64_t v = 0;
+  if (!get_svarint(p, end, v)) malformed(std::string(what) + ": bad varint");
+  return v;
+}
+
+std::int32_t get_sv32(const std::uint8_t** p, const std::uint8_t* end, const char* what) {
+  const std::int64_t v = get_sv(p, end, what);
+  if (v < std::numeric_limits<std::int32_t>::min() ||
+      v > std::numeric_limits<std::int32_t>::max()) {
+    malformed(std::string(what) + ": value out of 32-bit range");
+  }
+  return static_cast<std::int32_t>(v);
+}
+
+std::uint64_t get_raw64(const std::uint8_t** p, const std::uint8_t* end, const char* what) {
+  if (end - *p < 8) malformed(std::string(what) + ": truncated 8-byte field");
+  std::uint64_t v;
+  std::memcpy(&v, *p, 8);
+  *p += 8;
+  return v;
+}
+
+}  // namespace
+
+// -- TraceMeta ----------------------------------------------------------------
+
+Duration TraceMeta::min_latency(Rank a, Rank b) const {
+  const CommDomain d = placement.domain(a, b);
+  CS_REQUIRE(d != CommDomain::SameCore, "no latency between co-located ranks");
+  return domain_min_latency[static_cast<std::size_t>(d) - 1];
+}
+
+TraceMeta TraceMeta::of(const Trace& trace) {
+  TraceMeta m;
+  m.placement = trace.placement();
+  m.domain_min_latency = trace.domain_min_latency();
+  m.timer_name = trace.timer_name();
+  m.regions = trace.regions();
+  return m;
+}
+
+// -- TraceWriter --------------------------------------------------------------
+
+TraceWriter::TraceWriter(std::ostream& out, TraceMeta meta, std::size_t events_per_chunk)
+    : out_(out), ranks_(meta.ranks()), events_per_chunk_(events_per_chunk) {
+  CS_REQUIRE(events_per_chunk_ > 0, "events_per_chunk must be positive");
+  CS_REQUIRE(events_per_chunk_ <= kMaxChunkPayload / 128,
+             "events_per_chunk too large for the chunk payload limit");
+
+  // File header.
+  char header[8];
+  std::memcpy(header, &kMagic, 4);
+  std::memcpy(header + 4, &kVersion, 4);
+  out_.write(header, 8);
+  file_crc_ = crc32c(file_crc_, header, 8);
+  bytes_written_ += 8;
+
+  // Meta chunk.
+  std::vector<std::uint8_t> body;
+  put_uvarint(body, meta.timer_name.size());
+  body.insert(body.end(), meta.timer_name.begin(), meta.timer_name.end());
+  put_uvarint(body, static_cast<std::uint64_t>(ranks_));
+  for (Rank r = 0; r < ranks_; ++r) {
+    const CoreLocation& loc = meta.placement.location(r);
+    put_svarint(body, loc.node);
+    put_svarint(body, loc.chip);
+    put_svarint(body, loc.core);
+  }
+  for (Duration d : meta.domain_min_latency) put_f64(body, d);
+  put_uvarint(body, meta.regions.size());
+  for (const std::string& name : meta.regions) {
+    put_uvarint(body, name.size());
+    body.insert(body.end(), name.begin(), name.end());
+  }
+  emit_chunk(kChunkMeta, {}, body);
+}
+
+void TraceWriter::append(Rank rank, const Event& e) {
+  CS_REQUIRE(!finished_, "append on a finished TraceWriter");
+  CS_REQUIRE(rank >= 0 && rank < ranks_, "rank outside the placement");
+  if (body_events_ == 0) {
+    CS_REQUIRE(rank >= pending_rank_, "events must be appended rank-major");
+    pending_rank_ = rank;
+  } else if (rank != pending_rank_) {
+    CS_REQUIRE(rank > pending_rank_, "events must be appended rank-major");
+    flush_chunk();
+    pending_rank_ = rank;
+  }
+
+  const auto type = static_cast<std::uint8_t>(e.type);
+  const auto coll = static_cast<std::uint8_t>(e.coll);
+  CS_REQUIRE(type <= kMaxEventType && coll <= kMaxCollKind, "event with invalid enum value");
+
+  const std::uint64_t local_bits = std::bit_cast<std::uint64_t>(e.local_ts);
+  const std::uint64_t true_bits = std::bit_cast<std::uint64_t>(e.true_ts);
+  body_.push_back(type);
+  put_svarint(body_, static_cast<std::int64_t>(local_bits - prev_.local_bits));
+  put_svarint(body_, static_cast<std::int64_t>(true_bits - prev_.true_bits));
+  put_svarint(body_, e.region);
+  put_svarint(body_, e.peer);
+  put_svarint(body_, e.tag);
+  put_uvarint(body_, e.bytes);
+  put_svarint(body_, e.msg_id - prev_.msg_id);
+  body_.push_back(coll);
+  put_svarint(body_, e.coll_id - prev_.coll_id);
+  put_svarint(body_, e.root);
+  put_svarint(body_, e.omp_instance);
+  put_svarint(body_, e.thread);
+  prev_ = {local_bits, true_bits, e.msg_id, e.coll_id};
+
+  ++body_events_;
+  ++total_events_;
+  if (body_events_ >= events_per_chunk_) flush_chunk();
+}
+
+void TraceWriter::flush_chunk() {
+  if (body_events_ == 0) return;
+  std::vector<std::uint8_t> head;
+  put_uvarint(head, chunk_seq_);
+  put_uvarint(head, static_cast<std::uint64_t>(pending_rank_));
+  put_uvarint(head, body_events_);
+  emit_chunk(kChunkEvents, head, body_);
+  ++chunk_seq_;
+  body_.clear();
+  body_events_ = 0;
+  prev_ = {};
+}
+
+void TraceWriter::emit_chunk(std::uint8_t kind, const std::vector<std::uint8_t>& head,
+                             const std::vector<std::uint8_t>& body) {
+  const std::uint64_t len64 = head.size() + body.size();
+  CS_ENSURE(len64 <= kMaxChunkPayload, "chunk payload exceeds the format limit");
+  const auto len = static_cast<std::uint32_t>(len64);
+
+  char hdr[5];
+  hdr[0] = static_cast<char>(kind);
+  std::memcpy(hdr + 1, &len, 4);
+
+  std::uint32_t crc = crc32c(0, hdr, 5);
+  crc = crc32c(crc, head.data(), head.size());
+  crc = crc32c(crc, body.data(), body.size());
+
+  out_.write(hdr, 5);
+  out_.write(reinterpret_cast<const char*>(head.data()),
+             static_cast<std::streamsize>(head.size()));
+  out_.write(reinterpret_cast<const char*>(body.data()),
+             static_cast<std::streamsize>(body.size()));
+  char crc_bytes[4];
+  std::memcpy(crc_bytes, &crc, 4);
+  out_.write(crc_bytes, 4);
+  if (!out_.good()) throw TraceIoError(TraceIoErrorKind::Io, "trace write failed");
+
+  file_crc_ = crc32c(file_crc_, hdr, 5);
+  file_crc_ = crc32c(file_crc_, head.data(), head.size());
+  file_crc_ = crc32c(file_crc_, body.data(), body.size());
+  file_crc_ = crc32c(file_crc_, crc_bytes, 4);
+  bytes_written_ += 5 + len64 + 4;
+}
+
+void TraceWriter::finish() {
+  CS_REQUIRE(!finished_, "finish on a finished TraceWriter");
+  flush_chunk();
+  std::vector<std::uint8_t> body;
+  put_uvarint(body, chunk_seq_);
+  put_uvarint(body, total_events_);
+  put_raw32(body, file_crc_);
+  emit_chunk(kChunkFooter, {}, body);
+  out_.flush();
+  if (!out_.good()) throw TraceIoError(TraceIoErrorKind::Io, "trace write failed");
+  finished_ = true;
+}
+
+// -- TraceReader --------------------------------------------------------------
+
+TraceReader::TraceReader(std::istream& in, bool header_consumed) : src_(in) {
+  char header[8];
+  std::memcpy(header, &kMagic, 4);
+  std::memcpy(header + 4, &kVersion, 4);
+  if (!header_consumed) {
+    const std::uint32_t magic = src_.get_u32("trace header");
+    if (magic != kMagic) {
+      throw TraceIoError(TraceIoErrorKind::BadMagic, "not a chronosync trace stream");
+    }
+    const std::uint32_t version = src_.get_u32("trace header");
+    if (version != kVersion) {
+      throw TraceIoError(TraceIoErrorKind::BadVersion,
+                         "expected container version 2, found " + std::to_string(version));
+    }
+  }
+  // The file CRC covers the 8 header bytes; a dispatcher that consumed them
+  // already verified their values, so fold the known constants.
+  file_crc_ = crc32c(file_crc_, header, 8);
+
+  if (read_chunk() != kChunkMeta) {
+    malformed("first chunk must be the meta chunk");
+  }
+  parse_meta();
+}
+
+std::uint8_t TraceReader::read_chunk() {
+  const std::uint8_t kind = src_.get_u8("chunk header");
+  const std::uint32_t len = src_.get_u32("chunk header");
+  if (len > kMaxChunkPayload) {
+    malformed("chunk payload length " + std::to_string(len) + " exceeds the 64 MiB limit");
+  }
+  src_.need(static_cast<std::uint64_t>(len) + 4, "chunk payload");
+  payload_.resize(len);
+  src_.read_exact(payload_.data(), len, "chunk payload");
+  const std::uint32_t stored = src_.get_u32("chunk checksum");
+
+  char hdr[5];
+  hdr[0] = static_cast<char>(kind);
+  std::memcpy(hdr + 1, &len, 4);
+  std::uint32_t crc = crc32c(0, hdr, 5);
+  crc = crc32c(crc, payload_.data(), payload_.size());
+  if (crc != stored) {
+    throw TraceIoError(TraceIoErrorKind::BadChecksum,
+                       "chunk checksum mismatch (kind '" + std::string(1, static_cast<char>(kind)) +
+                           "')");
+  }
+
+  if (kind != kChunkFooter) {
+    // The footer's CRC field covers every byte before the footer chunk.
+    char crc_bytes[4];
+    std::memcpy(crc_bytes, &stored, 4);
+    file_crc_ = crc32c(file_crc_, hdr, 5);
+    file_crc_ = crc32c(file_crc_, payload_.data(), payload_.size());
+    file_crc_ = crc32c(file_crc_, crc_bytes, 4);
+  }
+  return kind;
+}
+
+void TraceReader::parse_meta() {
+  const std::uint8_t* p = payload_.data();
+  const std::uint8_t* end = p + payload_.size();
+
+  const std::uint64_t timer_len = get_uv(&p, end, "meta timer");
+  if (timer_len > static_cast<std::uint64_t>(end - p)) malformed("meta timer name overruns chunk");
+  meta_.timer_name.assign(reinterpret_cast<const char*>(p), timer_len);
+  p += timer_len;
+
+  const std::uint64_t nranks = get_uv(&p, end, "meta rank count");
+  // Each rank location needs at least three varint bytes.
+  if (nranks > static_cast<std::uint64_t>(end - p) / 3) {
+    malformed("meta rank count " + std::to_string(nranks) + " overruns chunk");
+  }
+  std::vector<CoreLocation> locs(static_cast<std::size_t>(nranks));
+  for (auto& loc : locs) {
+    loc.node = get_sv32(&p, end, "meta placement");
+    loc.chip = get_sv32(&p, end, "meta placement");
+    loc.core = get_sv32(&p, end, "meta placement");
+  }
+  meta_.placement = Placement(std::move(locs));
+
+  for (auto& d : meta_.domain_min_latency) {
+    d = std::bit_cast<double>(get_raw64(&p, end, "meta latency"));
+  }
+
+  const std::uint64_t nregions = get_uv(&p, end, "meta region count");
+  if (nregions > static_cast<std::uint64_t>(end - p)) {
+    malformed("meta region count " + std::to_string(nregions) + " overruns chunk");
+  }
+  meta_.regions.reserve(static_cast<std::size_t>(nregions));
+  for (std::uint64_t i = 0; i < nregions; ++i) {
+    const std::uint64_t len = get_uv(&p, end, "meta region name");
+    if (len > static_cast<std::uint64_t>(end - p)) malformed("meta region name overruns chunk");
+    meta_.regions.emplace_back(reinterpret_cast<const char*>(p), len);
+    p += len;
+  }
+  if (p != end) malformed("trailing bytes in meta chunk");
+}
+
+bool TraceReader::next(EventBlock& block) {
+  if (done_) return false;
+  const std::uint8_t kind = read_chunk();
+  if (kind == kChunkFooter) {
+    parse_footer();
+    done_ = true;
+    return false;
+  }
+  if (kind == kChunkMeta) malformed("duplicate meta chunk");
+  if (kind != kChunkEvents) {
+    malformed("unknown chunk kind '" + std::string(1, static_cast<char>(kind)) + "'");
+  }
+
+  const std::uint8_t* p = payload_.data();
+  const std::uint8_t* end = p + payload_.size();
+
+  const std::uint64_t seq = get_uv(&p, end, "event chunk sequence");
+  if (seq != event_chunks_seen_) {
+    malformed("event chunk out of sequence (duplicated, dropped, or reordered chunk): expected " +
+              std::to_string(event_chunks_seen_) + ", found " + std::to_string(seq));
+  }
+  const std::uint64_t rank64 = get_uv(&p, end, "event chunk rank");
+  if (rank64 >= static_cast<std::uint64_t>(ranks())) {
+    malformed("event chunk rank " + std::to_string(rank64) + " outside the placement");
+  }
+  const auto rank = static_cast<Rank>(rank64);
+  if (rank < last_rank_) malformed("event chunks out of rank order");
+
+  const std::uint64_t count = get_uv(&p, end, "event chunk count");
+  if (count == 0) malformed("empty event chunk");
+  if (count > static_cast<std::uint64_t>(end - p) / kMinEncodedEvent) {
+    malformed("event chunk count " + std::to_string(count) + " overruns chunk");
+  }
+
+  block.rank = rank;
+  block.events.clear();
+  block.events.reserve(static_cast<std::size_t>(count));
+  std::uint64_t prev_local = 0;
+  std::uint64_t prev_true = 0;
+  std::int64_t prev_msg = 0;
+  std::int64_t prev_coll = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (p == end) malformed("event chunk ends mid-event");
+    Event e;
+    const std::uint8_t type = *p++;
+    if (type > kMaxEventType) malformed("invalid event type " + std::to_string(type));
+    e.type = static_cast<EventType>(type);
+    prev_local += static_cast<std::uint64_t>(get_sv(&p, end, "event local_ts"));
+    prev_true += static_cast<std::uint64_t>(get_sv(&p, end, "event true_ts"));
+    e.local_ts = std::bit_cast<double>(prev_local);
+    e.true_ts = std::bit_cast<double>(prev_true);
+    e.region = get_sv32(&p, end, "event region");
+    e.peer = get_sv32(&p, end, "event peer");
+    e.tag = get_sv32(&p, end, "event tag");
+    const std::uint64_t bytes = get_uv(&p, end, "event bytes");
+    if (bytes > std::numeric_limits<std::uint32_t>::max()) malformed("event bytes out of range");
+    e.bytes = static_cast<std::uint32_t>(bytes);
+    prev_msg += get_sv(&p, end, "event msg_id");
+    e.msg_id = prev_msg;
+    if (p == end) malformed("event chunk ends mid-event");
+    const std::uint8_t coll = *p++;
+    if (coll > kMaxCollKind) malformed("invalid collective kind " + std::to_string(coll));
+    e.coll = static_cast<CollectiveKind>(coll);
+    prev_coll += get_sv(&p, end, "event coll_id");
+    e.coll_id = prev_coll;
+    e.root = get_sv32(&p, end, "event root");
+    e.omp_instance = get_sv32(&p, end, "event omp_instance");
+    e.thread = get_sv32(&p, end, "event thread");
+    block.events.push_back(e);
+  }
+  if (p != end) malformed("trailing bytes in event chunk");
+
+  ++event_chunks_seen_;
+  events_read_ += count;
+  last_rank_ = rank;
+  return true;
+}
+
+void TraceReader::parse_footer() {
+  const std::uint8_t* p = payload_.data();
+  const std::uint8_t* end = p + payload_.size();
+  const std::uint64_t nchunks = get_uv(&p, end, "footer chunk count");
+  if (nchunks != event_chunks_seen_) {
+    malformed("footer event-chunk count " + std::to_string(nchunks) + " != " +
+              std::to_string(event_chunks_seen_) + " chunks read");
+  }
+  const std::uint64_t total = get_uv(&p, end, "footer event total");
+  if (total != events_read_) {
+    malformed("footer event total " + std::to_string(total) + " != " +
+              std::to_string(events_read_) + " events read");
+  }
+  if (end - p != 4) malformed("footer payload has wrong size");
+  std::uint32_t stored;
+  std::memcpy(&stored, p, 4);
+  if (stored != file_crc_) {
+    throw TraceIoError(TraceIoErrorKind::BadChecksum, "whole-file checksum mismatch");
+  }
+  if (!src_.exhausted()) malformed("trailing data after trace footer");
+}
+
+// -- conveniences -------------------------------------------------------------
+
+void write_trace_v2(const Trace& trace, std::ostream& out, std::size_t events_per_chunk) {
+  TraceWriter w(out, TraceMeta::of(trace), events_per_chunk);
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    for (const Event& e : trace.events(r)) w.append(r, e);
+  }
+  w.finish();
+}
+
+void write_trace_v2_file(const Trace& trace, const std::string& path,
+                         std::size_t events_per_chunk) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f.good()) {
+    throw TraceIoError(TraceIoErrorKind::Io, "cannot open trace file for writing: " + path);
+  }
+  write_trace_v2(trace, f, events_per_chunk);
+}
+
+Trace read_trace_v2(TraceReader& reader) {
+  const TraceMeta& meta = reader.meta();
+  Trace trace(meta.placement, meta.domain_min_latency, meta.timer_name);
+  for (std::size_t i = 0; i < meta.regions.size(); ++i) {
+    const std::int32_t got = trace.intern_region(meta.regions[i]);
+    if (static_cast<std::size_t>(got) != i) malformed("duplicate region name in meta chunk");
+  }
+  EventBlock block;
+  while (reader.next(block)) {
+    auto& ev = trace.events(block.rank);
+    ev.insert(ev.end(), block.events.begin(), block.events.end());
+  }
+  return trace;
+}
+
+Trace read_trace_v2(std::istream& in) {
+  TraceReader reader(in);
+  return read_trace_v2(reader);
+}
+
+Trace read_trace_v2_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    throw TraceIoError(TraceIoErrorKind::Io, "cannot open trace file for reading: " + path);
+  }
+  return read_trace_v2(f);
+}
+
+}  // namespace chronosync

@@ -1,0 +1,171 @@
+// Streaming, checksummed trace container — format v2.
+//
+// Motivation: the v1 "CSTR" container loads a whole trace into RAM and trusts
+// on-disk counts blindly.  Long runs (1800–3600 s, the regime where drift
+// effects appear) produce multi-million-event traces; v2 makes them durable,
+// verifiable, and consumable with bounded memory.
+//
+// On-disk layout (all integers little-endian; `uv` = unsigned LEB128 varint,
+// `sv` = zigzag LEB128 varint; doubles are IEEE-754 bit patterns):
+//
+//   file   := magic(u32 "CSTR") version(u32 = 2) meta event* footer
+//   chunk  := kind(u8) payload_len(u32) payload crc32c(u32)
+//
+// Every chunk carries a CRC32C over kind + payload_len + payload.  Kinds:
+//
+//   'M' meta    exactly one, first:
+//                 uv timer_len, timer bytes
+//                 uv nranks; per rank: sv node, sv chip, sv core
+//                 f64 lat[SameChip] f64 lat[SameNode] f64 lat[CrossNode]
+//                 uv nregions; per region: uv len, bytes
+//   'E' events  one rank's events (rank-major, non-decreasing rank order):
+//                 uv seq (0-based event-chunk index, catches duplicated or
+//                         reordered chunks)
+//                 uv rank, uv count (1 .. events_per_chunk)
+//                 per event (delta state resets per chunk):
+//                   u8 type
+//                   sv delta(bits(local_ts)) sv delta(bits(true_ts))
+//                   sv region  sv peer  sv tag  uv bytes
+//                   sv delta(msg_id)  u8 coll  sv delta(coll_id)
+//                   sv root  sv omp_instance  sv thread
+//   'Z' footer  last: uv event_chunk_count, uv total_events,
+//               u32 crc32c of every file byte before this chunk
+//
+// Timestamps delta-encode their u64 bit patterns: within a rank timestamps
+// are (near-)monotone, so consecutive bit patterns are close and the zigzag
+// delta is short.  Round trips are bit-exact for every finite double.
+//
+// The reader validates every length/count against the bytes actually
+// available before allocating, verifies each chunk's CRC before parsing it,
+// and throws TraceIoError on any malformed input — never crashes or UB.  v1
+// files remain readable through the same read_trace()/read_trace_file() entry
+// points, which dispatch on the version field.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "topology/pinning.hpp"
+#include "trace/io_util.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_io_error.hpp"
+
+namespace chronosync {
+
+/// Trace-level metadata, available before (and without) reading any event.
+struct TraceMeta {
+  Placement placement;
+  std::array<Duration, 3> domain_min_latency{};
+  std::string timer_name;
+  std::vector<std::string> regions;
+
+  int ranks() const { return placement.ranks(); }
+  /// Minimum message latency between two ranks (mirrors Trace::min_latency).
+  Duration min_latency(Rank a, Rank b) const;
+
+  static TraceMeta of(const Trace& trace);
+};
+
+inline constexpr std::size_t kDefaultEventsPerChunk = 16384;
+
+/// Incremental v2 writer.  Events must be appended rank-major (all of rank 0,
+/// then rank 1, ...); chunks are cut every `events_per_chunk` events or on a
+/// rank change.  finish() seals the file with the footer; a writer destroyed
+/// without finish() leaves a truncated file, which the reader rejects.
+class TraceWriter {
+ public:
+  TraceWriter(std::ostream& out, TraceMeta meta,
+              std::size_t events_per_chunk = kDefaultEventsPerChunk);
+  ~TraceWriter() = default;
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void append(Rank rank, const Event& e);
+  void finish();
+
+  bool finished() const { return finished_; }
+  std::uint64_t events_written() const { return total_events_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  struct DeltaState {
+    std::uint64_t local_bits = 0;
+    std::uint64_t true_bits = 0;
+    std::int64_t msg_id = 0;
+    std::int64_t coll_id = 0;
+  };
+
+  void flush_chunk();
+  void emit_chunk(std::uint8_t kind, const std::vector<std::uint8_t>& head,
+                  const std::vector<std::uint8_t>& body);
+
+  std::ostream& out_;
+  int ranks_;
+  std::size_t events_per_chunk_;
+  std::vector<std::uint8_t> body_;  // encoded events of the pending chunk
+  std::size_t body_events_ = 0;
+  Rank pending_rank_ = 0;
+  DeltaState prev_{};
+  std::uint64_t chunk_seq_ = 0;
+  std::uint64_t total_events_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint32_t file_crc_ = 0;
+  bool finished_ = false;
+};
+
+/// One decoded event chunk: `events` holds rank `rank`'s next events in trace
+/// order.  The vector's capacity is reused across next() calls, so a reader's
+/// resident set stays bounded by the largest chunk, not the trace.
+struct EventBlock {
+  Rank rank = -1;
+  std::vector<Event> events;
+};
+
+/// Streaming v2 reader: validates the header and meta chunk on construction,
+/// then yields event blocks rank-by-rank via next().  next() returns false
+/// only after the footer verified the chunk sequence, the event total, and
+/// the whole-file CRC.
+class TraceReader {
+ public:
+  /// `header_consumed` is for dispatchers that already read and verified the
+  /// 8-byte magic/version header (read_trace does).
+  explicit TraceReader(std::istream& in, bool header_consumed = false);
+
+  const TraceMeta& meta() const { return meta_; }
+  int ranks() const { return meta_.ranks(); }
+
+  bool next(EventBlock& block);
+
+  std::uint64_t events_read() const { return events_read_; }
+
+ private:
+  std::uint8_t read_chunk();
+  void parse_meta();
+  void parse_footer();
+
+  traceio::ByteSource src_;
+  TraceMeta meta_;
+  std::vector<std::uint8_t> payload_;  // reused chunk buffer
+  std::uint32_t file_crc_ = 0;
+  std::uint64_t event_chunks_seen_ = 0;
+  std::uint64_t events_read_ = 0;
+  Rank last_rank_ = 0;
+  bool done_ = false;
+};
+
+// -- whole-trace conveniences -------------------------------------------------
+
+void write_trace_v2(const Trace& trace, std::ostream& out,
+                    std::size_t events_per_chunk = kDefaultEventsPerChunk);
+void write_trace_v2_file(const Trace& trace, const std::string& path,
+                         std::size_t events_per_chunk = kDefaultEventsPerChunk);
+
+/// Materializes the rest of `reader` into a Trace.
+Trace read_trace_v2(TraceReader& reader);
+Trace read_trace_v2(std::istream& in);
+Trace read_trace_v2_file(const std::string& path);
+
+}  // namespace chronosync

@@ -1,79 +1,130 @@
 #include "trace/trace_io.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
-#include <istream>
-#include <ostream>
+#include <limits>
 #include <sstream>
 
-#include "common/expect.hpp"
+#include "trace/io_util.hpp"
+#include "trace/stream_io.hpp"
+#include "trace/trace_io_error.hpp"
 
 namespace chronosync {
 
 namespace {
 
+using traceio::ByteSource;
+
 constexpr std::uint32_t kMagic = 0x43535452;  // "CSTR"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionV1 = 1;
+constexpr std::uint32_t kVersionV2 = 2;
 
-void put_u32(std::ostream& o, std::uint32_t v) {
-  char b[4];
-  std::memcpy(b, &v, 4);
-  o.write(b, 4);
+/// Fixed on-disk size of one v1 event record.
+constexpr std::uint64_t kV1EventBytes = 4 + 8 + 8 + 4 + 4 + 4 + 4 + 8 + 4 + 8 + 4 + 4 + 4;
+
+constexpr std::uint32_t kMaxEventType = static_cast<std::uint32_t>(EventType::BarrierExit);
+constexpr std::uint32_t kMaxCollKind = static_cast<std::uint32_t>(CollectiveKind::Alltoall);
+
+[[noreturn]] void malformed(const std::string& msg) {
+  throw TraceIoError(TraceIoErrorKind::Malformed, msg);
 }
 
-void put_u64(std::ostream& o, std::uint64_t v) {
-  char b[8];
-  std::memcpy(b, &v, 8);
-  o.write(b, 8);
+std::string get_str(ByteSource& src, const char* what) {
+  const std::uint32_t n = src.get_u32(what);
+  return src.get_string(n, what);
 }
 
-void put_i64(std::ostream& o, std::int64_t v) { put_u64(o, std::bit_cast<std::uint64_t>(v)); }
-void put_i32(std::ostream& o, std::int32_t v) { put_u32(o, std::bit_cast<std::uint32_t>(v)); }
-void put_f64(std::ostream& o, double v) { put_u64(o, std::bit_cast<std::uint64_t>(v)); }
-
-void put_str(std::ostream& o, const std::string& s) {
-  put_u32(o, static_cast<std::uint32_t>(s.size()));
-  o.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::uint32_t get_u32(std::istream& i) {
-  char b[4];
-  i.read(b, 4);
-  CS_REQUIRE(i.good(), "truncated trace stream");
+std::uint32_t read_u32_field(const unsigned char* b) {
   std::uint32_t v;
   std::memcpy(&v, b, 4);
   return v;
 }
 
-std::uint64_t get_u64(std::istream& i) {
-  char b[8];
-  i.read(b, 8);
-  CS_REQUIRE(i.good(), "truncated trace stream");
+std::uint64_t read_u64_field(const unsigned char* b) {
   std::uint64_t v;
   std::memcpy(&v, b, 8);
   return v;
 }
 
-std::int64_t get_i64(std::istream& i) { return std::bit_cast<std::int64_t>(get_u64(i)); }
-std::int32_t get_i32(std::istream& i) { return std::bit_cast<std::int32_t>(get_u32(i)); }
-double get_f64(std::istream& i) { return std::bit_cast<double>(get_u64(i)); }
+/// Body of a v1 trace, magic and version already consumed and verified.
+Trace read_trace_v1_body(ByteSource& src) {
+  const std::string timer = get_str(src, "timer name");
 
-std::string get_str(std::istream& i) {
-  const auto n = get_u32(i);
-  std::string s(n, '\0');
-  i.read(s.data(), n);
-  CS_REQUIRE(i.good(), "truncated trace stream");
-  return s;
+  const std::uint32_t nranks = src.get_u32("rank count");
+  // Each rank carries a 12-byte placement record plus an 8-byte event count.
+  src.need(static_cast<std::uint64_t>(nranks) * 12, "placement table");
+  std::vector<CoreLocation> locs;
+  locs.reserve(std::min<std::uint32_t>(nranks, 1u << 16));
+  for (std::uint32_t r = 0; r < nranks; ++r) {
+    CoreLocation loc;
+    loc.node = src.get_i32("placement");
+    loc.chip = src.get_i32("placement");
+    loc.core = src.get_i32("placement");
+    locs.push_back(loc);
+  }
+  std::array<Duration, 3> lat{};
+  for (auto& d : lat) d = src.get_f64("latency table");
+
+  Trace trace(Placement(std::move(locs)), lat, timer);
+
+  const std::uint32_t nregions = src.get_u32("region count");
+  // Each region record is at least a 4-byte length field.
+  src.need(static_cast<std::uint64_t>(nregions) * 4, "region table");
+  for (std::uint32_t i = 0; i < nregions; ++i) {
+    const std::int32_t got = trace.intern_region(get_str(src, "region name"));
+    if (static_cast<std::uint32_t>(got) != i) malformed("duplicate region name in region table");
+  }
+
+  for (Rank r = 0; r < static_cast<Rank>(nranks); ++r) {
+    const std::uint64_t n = src.get_u64("event count");
+    if (n > std::numeric_limits<std::uint64_t>::max() / kV1EventBytes) {
+      malformed("event count " + std::to_string(n) + " of rank " + std::to_string(r) +
+                " is absurd");
+    }
+    src.need(n * kV1EventBytes, "event array");
+    auto& ev = trace.events(r);
+    // Reserve conservatively: on non-seekable streams the count could not be
+    // validated, so cap the speculative allocation and let push_back grow.
+    ev.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, 1u << 16)));
+    unsigned char rec[kV1EventBytes];
+    for (std::uint64_t i = 0; i < n; ++i) {
+      src.read_exact(rec, sizeof rec, "event record");
+      Event e;
+      const std::uint32_t type = read_u32_field(rec);
+      if (type > kMaxEventType) malformed("invalid event type " + std::to_string(type));
+      e.type = static_cast<EventType>(type);
+      e.local_ts = std::bit_cast<double>(read_u64_field(rec + 4));
+      e.true_ts = std::bit_cast<double>(read_u64_field(rec + 12));
+      e.region = std::bit_cast<std::int32_t>(read_u32_field(rec + 20));
+      e.peer = std::bit_cast<std::int32_t>(read_u32_field(rec + 24));
+      e.tag = std::bit_cast<std::int32_t>(read_u32_field(rec + 28));
+      e.bytes = read_u32_field(rec + 32);
+      e.msg_id = std::bit_cast<std::int64_t>(read_u64_field(rec + 36));
+      const std::uint32_t coll = read_u32_field(rec + 44);
+      if (coll > kMaxCollKind) malformed("invalid collective kind " + std::to_string(coll));
+      e.coll = static_cast<CollectiveKind>(coll);
+      e.coll_id = std::bit_cast<std::int64_t>(read_u64_field(rec + 48));
+      e.root = std::bit_cast<std::int32_t>(read_u32_field(rec + 56));
+      e.omp_instance = std::bit_cast<std::int32_t>(read_u32_field(rec + 60));
+      e.thread = std::bit_cast<std::int32_t>(read_u32_field(rec + 64));
+      ev.push_back(e);
+    }
+  }
+  return trace;
 }
 
 }  // namespace
 
 void write_trace(const Trace& trace, std::ostream& out) {
+  using namespace traceio;
   put_u32(out, kMagic);
-  put_u32(out, kVersion);
-  put_str(out, trace.timer_name());
+  put_u32(out, kVersionV1);
+  put_u32(out, static_cast<std::uint32_t>(trace.timer_name().size()));
+  out.write(trace.timer_name().data(),
+            static_cast<std::streamsize>(trace.timer_name().size()));
 
   put_u32(out, static_cast<std::uint32_t>(trace.ranks()));
   for (Rank r = 0; r < trace.ranks(); ++r) {
@@ -85,7 +136,10 @@ void write_trace(const Trace& trace, std::ostream& out) {
   for (Duration d : trace.domain_min_latency()) put_f64(out, d);
 
   put_u32(out, static_cast<std::uint32_t>(trace.regions().size()));
-  for (const auto& name : trace.regions()) put_str(out, name);
+  for (const auto& name : trace.regions()) {
+    put_u32(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
 
   for (Rank r = 0; r < trace.ranks(); ++r) {
     const auto& ev = trace.events(r);
@@ -106,61 +160,37 @@ void write_trace(const Trace& trace, std::ostream& out) {
       put_i32(out, e.thread);
     }
   }
-  CS_REQUIRE(out.good(), "trace write failed");
+  if (!out.good()) throw TraceIoError(TraceIoErrorKind::Io, "trace write failed");
 }
 
 void write_trace_file(const Trace& trace, const std::string& path) {
   std::ofstream f(path, std::ios::binary);
-  CS_REQUIRE(f.good(), "cannot open trace file for writing: " + path);
+  if (!f.good()) {
+    throw TraceIoError(TraceIoErrorKind::Io, "cannot open trace file for writing: " + path);
+  }
   write_trace(trace, f);
 }
 
 Trace read_trace(std::istream& in) {
-  CS_REQUIRE(get_u32(in) == kMagic, "not a chronosync trace stream");
-  CS_REQUIRE(get_u32(in) == kVersion, "unsupported trace version");
-  const std::string timer = get_str(in);
-
-  const auto nranks = get_u32(in);
-  std::vector<CoreLocation> locs(nranks);
-  for (auto& loc : locs) {
-    loc.node = get_i32(in);
-    loc.chip = get_i32(in);
-    loc.core = get_i32(in);
+  ByteSource src(in);
+  if (src.get_u32("trace header") != kMagic) {
+    throw TraceIoError(TraceIoErrorKind::BadMagic, "not a chronosync trace stream");
   }
-  std::array<Duration, 3> lat{};
-  for (auto& d : lat) d = get_f64(in);
-
-  Trace trace(Placement(std::move(locs)), lat, timer);
-
-  const auto nregions = get_u32(in);
-  for (std::uint32_t i = 0; i < nregions; ++i) trace.intern_region(get_str(in));
-
-  for (Rank r = 0; r < static_cast<Rank>(nranks); ++r) {
-    const auto n = get_u64(in);
-    auto& ev = trace.events(r);
-    ev.resize(n);
-    for (auto& e : ev) {
-      e.type = static_cast<EventType>(get_u32(in));
-      e.local_ts = get_f64(in);
-      e.true_ts = get_f64(in);
-      e.region = get_i32(in);
-      e.peer = get_i32(in);
-      e.tag = get_i32(in);
-      e.bytes = get_u32(in);
-      e.msg_id = get_i64(in);
-      e.coll = static_cast<CollectiveKind>(get_u32(in));
-      e.coll_id = get_i64(in);
-      e.root = get_i32(in);
-      e.omp_instance = get_i32(in);
-      e.thread = get_i32(in);
-    }
+  const std::uint32_t version = src.get_u32("trace header");
+  if (version == kVersionV1) return read_trace_v1_body(src);
+  if (version == kVersionV2) {
+    TraceReader reader(in, /*header_consumed=*/true);
+    return read_trace_v2(reader);
   }
-  return trace;
+  throw TraceIoError(TraceIoErrorKind::BadVersion,
+                     "unsupported trace container version " + std::to_string(version));
 }
 
 Trace read_trace_file(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
-  CS_REQUIRE(f.good(), "cannot open trace file for reading: " + path);
+  if (!f.good()) {
+    throw TraceIoError(TraceIoErrorKind::Io, "cannot open trace file for reading: " + path);
+  }
   return read_trace(f);
 }
 

@@ -1,9 +1,16 @@
 // Binary trace serialization plus a human-readable dump.
 //
-// The format is a simple versioned container ("CSTR"): metadata (timer name,
+// write_trace emits container version 1 ("CSTR" v1): metadata (timer name,
 // placement, minimum latencies, region table) followed by per-rank event
 // arrays.  Numbers are little-endian fixed-width; doubles are IEEE-754 bit
 // patterns.  Round-tripping a trace is exact.
+//
+// read_trace dispatches on the version field and reads both v1 and the
+// chunked, checksummed, streamable v2 container (trace/stream_io.hpp) —
+// prefer TraceWriter/write_trace_v2 for new files.  All read paths are
+// hardened: every length/count is validated against the available bytes
+// before allocation, and any malformed input raises TraceIoError
+// (trace/trace_io_error.hpp) instead of crashing or over-allocating.
 #pragma once
 
 #include <iosfwd>

@@ -1,0 +1,50 @@
+// Typed error for every malformed-input path of the trace readers.
+//
+// Derives from std::invalid_argument so long-standing call sites (and tests)
+// that catch the old CS_REQUIRE exception keep working, while new code can
+// catch TraceIoError and switch on the kind.  Readers guarantee that *any*
+// byte stream — truncated, bit-flipped, adversarial — either parses or throws
+// exactly this type: no crashes, no aborts, no unchecked allocations.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace chronosync {
+
+enum class TraceIoErrorKind {
+  BadMagic,     ///< stream does not start with a known trace signature
+  BadVersion,   ///< container version this build cannot read
+  Truncated,    ///< stream ended before a complete structure
+  BadChecksum,  ///< CRC32C mismatch on a chunk or the whole file
+  Malformed,    ///< structurally invalid contents (counts, ranges, framing)
+  Io,           ///< underlying stream/file failure (open, read, write)
+};
+
+std::string to_string(TraceIoErrorKind k);
+
+class TraceIoError : public std::invalid_argument {
+ public:
+  TraceIoError(TraceIoErrorKind kind, const std::string& message)
+      : std::invalid_argument("trace i/o error [" + to_string(kind) + "]: " + message),
+        kind_(kind) {}
+
+  TraceIoErrorKind kind() const { return kind_; }
+
+ private:
+  TraceIoErrorKind kind_;
+};
+
+inline std::string to_string(TraceIoErrorKind k) {
+  switch (k) {
+    case TraceIoErrorKind::BadMagic: return "bad-magic";
+    case TraceIoErrorKind::BadVersion: return "bad-version";
+    case TraceIoErrorKind::Truncated: return "truncated";
+    case TraceIoErrorKind::BadChecksum: return "bad-checksum";
+    case TraceIoErrorKind::Malformed: return "malformed";
+    case TraceIoErrorKind::Io: return "io";
+  }
+  return "?";
+}
+
+}  // namespace chronosync

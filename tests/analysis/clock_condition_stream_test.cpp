@@ -1,0 +1,82 @@
+#include "analysis/clock_condition_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "../testutil/random_trace.hpp"
+#include "analysis/clock_condition.hpp"
+#include "topology/cluster.hpp"
+#include "trace/stream_io.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_io_error.hpp"
+#include "workload/sweep.hpp"
+
+namespace chronosync {
+namespace {
+
+void expect_reports_equal(const ClockConditionReport& a, const ClockConditionReport& b) {
+  EXPECT_EQ(a.p2p_messages, b.p2p_messages);
+  EXPECT_EQ(a.p2p_reversed, b.p2p_reversed);
+  EXPECT_EQ(a.p2p_violations, b.p2p_violations);
+  EXPECT_DOUBLE_EQ(a.p2p_worst, b.p2p_worst);
+  EXPECT_EQ(a.logical_messages, b.logical_messages);
+  EXPECT_EQ(a.logical_reversed, b.logical_reversed);
+  EXPECT_EQ(a.logical_violations, b.logical_violations);
+  EXPECT_DOUBLE_EQ(a.logical_worst, b.logical_worst);
+  EXPECT_EQ(a.total_events, b.total_events);
+  EXPECT_EQ(a.message_events, b.message_events);
+}
+
+TEST(ClockConditionStream, RealWorkloadStreamedEqualsInMemory) {
+  // A sweep run produces a trace with real message and collective traffic.
+  SweepConfig cfg;
+  cfg.rounds = 30;
+  JobConfig job;
+  job.placement = pinning::inter_node(clusters::xeon_rwth(), 4);
+  job.timer = timer_specs::intel_tsc();
+  job.seed = 5;
+  AppRunResult res = run_sweep(cfg, std::move(job));
+
+  std::stringstream buf;
+  write_trace_v2(res.trace, buf, /*events_per_chunk=*/64);
+  TraceReader reader(buf);
+  const auto streamed = scan_clock_condition(reader);
+  const auto in_memory =
+      check_clock_condition(res.trace, TimestampArray::from_local(res.trace));
+  EXPECT_GT(streamed.p2p_messages, 0u);
+  expect_reports_equal(streamed, in_memory);
+}
+
+TEST(ClockConditionStream, V2FileIsScannedStreamed) {
+  const std::string path = testing::TempDir() + "/cs_ccstream_v2.bin";
+  const Trace t = testutil::random_trace(9);
+  write_trace_v2_file(t, path);
+  const auto streamed = scan_clock_condition_file(path);
+  const auto in_memory = check_clock_condition(t, TimestampArray::from_local(t));
+  expect_reports_equal(streamed, in_memory);
+  std::remove(path.c_str());
+}
+
+TEST(ClockConditionStream, V1FileFallsBackToInMemoryLoad) {
+  const std::string path = testing::TempDir() + "/cs_ccstream_v1.bin";
+  const Trace t = testutil::random_trace(10);
+  write_trace_file(t, path);  // legacy v1 container
+  const auto scanned = scan_clock_condition_file(path);
+  const auto in_memory = check_clock_condition(t, TimestampArray::from_local(t));
+  expect_reports_equal(scanned, in_memory);
+  std::remove(path.c_str());
+}
+
+TEST(ClockConditionStream, MissingFileThrowsIoError) {
+  try {
+    scan_clock_condition_file("/nonexistent/path/stream.bin");
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& e) {
+    EXPECT_EQ(e.kind(), TraceIoErrorKind::Io);
+  }
+}
+
+}  // namespace
+}  // namespace chronosync

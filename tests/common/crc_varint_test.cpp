@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/crc32c.hpp"
+#include "common/varint.hpp"
+
+namespace chronosync {
+namespace {
+
+// RFC 3720 appendix B.4 test vectors (iSCSI CRC32C).
+TEST(Crc32c, KnownVectors) {
+  EXPECT_EQ(crc32c(0, "", 0), 0u);
+  const std::string check = "123456789";
+  EXPECT_EQ(crc32c(0, check.data(), check.size()), 0xE3069283u);
+  const std::vector<std::uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(crc32c(0, zeros.data(), zeros.size()), 0x8A9136AAu);
+  const std::vector<std::uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(crc32c(0, ones.data(), ones.size()), 0x62A8AB43u);
+  std::vector<std::uint8_t> ascending(32);
+  for (std::size_t i = 0; i < 32; ++i) ascending[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(crc32c(0, ascending.data(), ascending.size()), 0x46DD794Eu);
+}
+
+TEST(Crc32c, PartialUpdatesCompose) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = crc32c(0, data.data(), data.size());
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t crc = crc32c(0, data.data(), split);
+    crc = crc32c(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  std::string data = "chronosync trace chunk payload";
+  const std::uint32_t clean = crc32c(0, data.data(), data.size());
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] = static_cast<char>(data[byte] ^ (1 << bit));
+      EXPECT_NE(crc32c(0, data.data(), data.size()), clean)
+          << "undetected flip at byte " << byte << " bit " << bit;
+      data[byte] = static_cast<char>(data[byte] ^ (1 << bit));
+    }
+  }
+}
+
+TEST(Varint, UnsignedRoundTripAcrossBoundaries) {
+  const std::uint64_t cases[] = {
+      0,      1,          127,        128,         16383,
+      16384,  2097151,    2097152,    268435455,   268435456,
+      1u << 31, (1ull << 32) - 1, 1ull << 32, (1ull << 56) - 1, 1ull << 56,
+      std::numeric_limits<std::uint64_t>::max() - 1,
+      std::numeric_limits<std::uint64_t>::max(),
+  };
+  for (std::uint64_t v : cases) {
+    std::vector<std::uint8_t> buf;
+    put_uvarint(buf, v);
+    EXPECT_LE(buf.size(), 10u);
+    const std::uint8_t* cur = buf.data();
+    std::uint64_t back = 0;
+    ASSERT_TRUE(get_uvarint(&cur, buf.data() + buf.size(), back)) << v;
+    EXPECT_EQ(back, v);
+    EXPECT_EQ(cur, buf.data() + buf.size()) << "decoder did not consume everything";
+  }
+}
+
+TEST(Varint, SignedRoundTripIncludingExtremes) {
+  const std::int64_t cases[] = {
+      0,  1,  -1, 63, -64, 64,  -65, 8191, -8192,
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min(),
+  };
+  for (std::int64_t v : cases) {
+    std::vector<std::uint8_t> buf;
+    put_svarint(buf, v);
+    const std::uint8_t* cur = buf.data();
+    std::int64_t back = 0;
+    ASSERT_TRUE(get_svarint(&cur, buf.data() + buf.size(), back)) << v;
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(Varint, ZigzagKeepsSmallMagnitudesSmall) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  for (std::int64_t v = -300; v <= 300; ++v) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+  std::vector<std::uint8_t> buf;
+  put_svarint(buf, -3);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(Varint, DecoderRejectsTruncation) {
+  std::vector<std::uint8_t> buf;
+  put_uvarint(buf, std::numeric_limits<std::uint64_t>::max());
+  for (std::size_t n = 0; n < buf.size(); ++n) {
+    const std::uint8_t* cur = buf.data();
+    std::uint64_t out = 0;
+    EXPECT_FALSE(get_uvarint(&cur, buf.data() + n, out)) << "prefix " << n;
+  }
+}
+
+TEST(Varint, DecoderRejectsOverlongEncodings) {
+  // Eleven continuation bytes: more than a u64 can hold.
+  std::vector<std::uint8_t> overlong(11, 0x80);
+  overlong.push_back(0x00);
+  const std::uint8_t* cur = overlong.data();
+  std::uint64_t out = 0;
+  EXPECT_FALSE(get_uvarint(&cur, overlong.data() + overlong.size(), out));
+
+  // Exactly ten bytes but the last one carries bits beyond bit 63.
+  std::vector<std::uint8_t> toobig(9, 0x80);
+  toobig.push_back(0x02);
+  cur = toobig.data();
+  EXPECT_FALSE(get_uvarint(&cur, toobig.data() + toobig.size(), out));
+
+  // Ten bytes whose final byte fits (bit 63 only) decode fine.
+  std::vector<std::uint8_t> maxenc;
+  put_uvarint(maxenc, std::numeric_limits<std::uint64_t>::max());
+  ASSERT_EQ(maxenc.size(), 10u);
+  cur = maxenc.data();
+  EXPECT_TRUE(get_uvarint(&cur, maxenc.data() + maxenc.size(), out));
+  EXPECT_EQ(out, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Varint, DecoderLeavesTrailingBytes) {
+  std::vector<std::uint8_t> buf;
+  put_uvarint(buf, 300);
+  put_uvarint(buf, 7);
+  const std::uint8_t* cur = buf.data();
+  const std::uint8_t* end = buf.data() + buf.size();
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  ASSERT_TRUE(get_uvarint(&cur, end, a));
+  ASSERT_TRUE(get_uvarint(&cur, end, b));
+  EXPECT_EQ(a, 300u);
+  EXPECT_EQ(b, 7u);
+  EXPECT_EQ(cur, end);
+}
+
+}  // namespace
+}  // namespace chronosync

@@ -1,117 +1,54 @@
-// Property suite: both trace serializations (binary and text) round-trip
-// randomized traces exactly, and postmortem analyses are invariant under a
-// round trip.
+// Property suite: all three trace serializations (binary v1, binary v2,
+// text) round-trip randomized traces bit-exactly, the formats agree with each
+// other (differential loads), and postmortem analyses — including the
+// streaming out-of-core scan — are invariant under a round trip.
 #include <gtest/gtest.h>
 
 #include <sstream>
 
+#include "../testutil/random_trace.hpp"
 #include "analysis/clock_condition.hpp"
-#include "common/rng.hpp"
-#include "topology/cluster.hpp"
+#include "analysis/clock_condition_stream.hpp"
 #include "trace/otf_text.hpp"
+#include "trace/stream_io.hpp"
 #include "trace/trace_io.hpp"
 
 namespace chronosync {
 namespace {
 
-/// Generates a random but structurally valid trace.
-Trace random_trace(std::uint64_t seed) {
-  Rng rng(seed);
-  const int ranks = static_cast<int>(rng.uniform_int(1, 6));
-  Trace t(pinning::block(clusters::xeon_rwth(), ranks),
-          {rng.uniform(1e-7, 1e-6), rng.uniform(1e-6, 2e-6), rng.uniform(2e-6, 9e-6)},
-          "fuzz-timer");
-  const int nregions = static_cast<int>(rng.uniform_int(0, 4));
-  for (int i = 0; i < nregions; ++i) t.intern_region("region_" + std::to_string(i));
-
-  // Message ids are rank-scoped so a random Recv can never pair with a Send
-  // on the same rank (self-messages have no defined latency).
-  std::vector<std::int64_t> next_send(static_cast<std::size_t>(ranks), 0);
-  for (Rank r = 0; r < ranks; ++r) {
-    Time now = rng.uniform(0.0, 1.0);
-    const int n = static_cast<int>(rng.uniform_int(0, 60));
-    for (int i = 0; i < n; ++i) {
-      Event e;
-      const int kind = static_cast<int>(rng.uniform_int(0, 4));
-      switch (kind) {
-        case 0:
-          e.type = EventType::Enter;
-          e.region = nregions ? static_cast<std::int32_t>(rng.uniform_int(0, nregions - 1)) : -1;
-          break;
-        case 1:
-          e.type = EventType::Exit;
-          e.region = nregions ? static_cast<std::int32_t>(rng.uniform_int(0, nregions - 1)) : -1;
-          break;
-        case 2:
-          e.type = EventType::Send;
-          e.peer = static_cast<Rank>(rng.uniform_int(0, ranks - 1));
-          e.tag = static_cast<Tag>(rng.uniform_int(0, 9));
-          e.bytes = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
-          e.msg_id = 1000000LL * r + next_send[static_cast<std::size_t>(r)]++;
-          break;
-        case 3: {
-          e.type = EventType::Recv;
-          e.peer = static_cast<Rank>(rng.uniform_int(0, ranks - 1));
-          // Maybe match a send of another rank; otherwise stay half-matched.
-          const Rank other = static_cast<Rank>(rng.uniform_int(0, ranks - 1));
-          const std::int64_t sent = next_send[static_cast<std::size_t>(other)];
-          e.msg_id = (other != r && sent > 0 && rng.bernoulli(0.5))
-                         ? 1000000LL * other + rng.uniform_int(0, sent - 1)
-                         : 1000000000LL + 1000000LL * r +
-                               next_send[static_cast<std::size_t>(r)]++;
-          break;
-        }
-        default:
-          e.type = EventType::CollBegin;
-          e.coll = static_cast<CollectiveKind>(rng.uniform_int(0, 7));
-          e.coll_id = rng.uniform_int(0, 5);
-          e.root = 0;
-          break;
-      }
-      now += rng.uniform(0.0, 1e-3);
-      e.local_ts = now;
-      e.true_ts = now + rng.normal(0.0, 1e-6);
-      e.thread = static_cast<ThreadId>(rng.uniform_int(0, 2));
-      t.events(r).push_back(e);
-    }
-  }
-  return t;
-}
-
-bool traces_equal(const Trace& a, const Trace& b) {
-  if (a.ranks() != b.ranks() || a.timer_name() != b.timer_name()) return false;
-  if (a.regions() != b.regions()) return false;
-  for (int d = 0; d < 3; ++d) {
-    if (a.domain_min_latency()[static_cast<std::size_t>(d)] !=
-        b.domain_min_latency()[static_cast<std::size_t>(d)]) {
-      return false;
-    }
-  }
-  for (Rank r = 0; r < a.ranks(); ++r) {
-    const auto& ea = a.events(r);
-    const auto& eb = b.events(r);
-    if (ea.size() != eb.size()) return false;
-    for (std::size_t i = 0; i < ea.size(); ++i) {
-      const Event& x = ea[i];
-      const Event& y = eb[i];
-      if (x.type != y.type || x.local_ts != y.local_ts || x.true_ts != y.true_ts ||
-          x.region != y.region || x.peer != y.peer || x.tag != y.tag || x.bytes != y.bytes ||
-          x.msg_id != y.msg_id || x.coll != y.coll || x.coll_id != y.coll_id ||
-          x.root != y.root || x.omp_instance != y.omp_instance || x.thread != y.thread) {
-        return false;
-      }
-    }
-  }
-  return true;
-}
+using testutil::random_trace;
+using testutil::traces_equal;
 
 class TraceRoundTrip : public testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(TraceRoundTrip, BinaryExact) {
+TEST_P(TraceRoundTrip, BinaryV1Exact) {
   Trace t = random_trace(GetParam());
   std::stringstream buf;
   write_trace(t, buf);
   EXPECT_TRUE(traces_equal(t, read_trace(buf)));
+}
+
+TEST_P(TraceRoundTrip, BinaryV2Exact) {
+  Trace t = random_trace(GetParam());
+  std::stringstream buf;
+  write_trace_v2(t, buf);
+  EXPECT_TRUE(traces_equal(t, read_trace_v2(buf)));
+}
+
+TEST_P(TraceRoundTrip, BinaryV2ExactThroughDispatch) {
+  // v2 blobs read back through the generic read_trace entry point too.
+  Trace t = random_trace(GetParam());
+  std::stringstream buf;
+  write_trace_v2(t, buf);
+  EXPECT_TRUE(traces_equal(t, read_trace(buf)));
+}
+
+TEST_P(TraceRoundTrip, BinaryV2SmallChunksExact) {
+  // Tiny chunks force many chunk boundaries and per-chunk delta resets.
+  Trace t = random_trace(GetParam());
+  std::stringstream buf;
+  write_trace_v2(t, buf, /*events_per_chunk=*/3);
+  EXPECT_TRUE(traces_equal(t, read_trace_v2(buf)));
 }
 
 TEST_P(TraceRoundTrip, TextExact) {
@@ -119,6 +56,42 @@ TEST_P(TraceRoundTrip, TextExact) {
   std::stringstream buf;
   write_text_trace(t, buf);
   EXPECT_TRUE(traces_equal(t, read_text_trace(buf)));
+}
+
+TEST_P(TraceRoundTrip, DifferentialBinaryVsText) {
+  // The binary and text loads of one trace must produce identical objects.
+  Trace t = random_trace(GetParam());
+  std::stringstream bin;
+  std::stringstream bin2;
+  std::stringstream txt;
+  write_trace(t, bin);
+  write_trace_v2(t, bin2);
+  write_text_trace(t, txt);
+  const Trace from_v1 = read_trace(bin);
+  const Trace from_v2 = read_trace(bin2);
+  const Trace from_txt = read_text_trace(txt);
+  EXPECT_TRUE(traces_equal(from_v1, from_txt));
+  EXPECT_TRUE(traces_equal(from_v1, from_v2));
+}
+
+TEST_P(TraceRoundTrip, ExtremeDoublesAllFormats) {
+  // Signed zeros, denormals, and range-end doubles survive every format.
+  Trace t = random_trace(GetParam(), /*extreme_doubles=*/true);
+  {
+    std::stringstream buf;
+    write_trace(t, buf);
+    EXPECT_TRUE(traces_equal(t, read_trace(buf)));
+  }
+  {
+    std::stringstream buf;
+    write_trace_v2(t, buf);
+    EXPECT_TRUE(traces_equal(t, read_trace_v2(buf)));
+  }
+  {
+    std::stringstream buf;
+    write_text_trace(t, buf);
+    EXPECT_TRUE(traces_equal(t, read_text_trace(buf)));
+  }
 }
 
 TEST_P(TraceRoundTrip, AnalysisInvariant) {
@@ -132,6 +105,26 @@ TEST_P(TraceRoundTrip, AnalysisInvariant) {
   EXPECT_EQ(a.p2p_violations, b.p2p_violations);
   EXPECT_EQ(a.logical_violations, b.logical_violations);
   EXPECT_EQ(a.total_events, b.total_events);
+}
+
+TEST_P(TraceRoundTrip, StreamingScanMatchesInMemory) {
+  // The out-of-core scan over a v2 stream equals the in-memory pipeline.
+  Trace t = random_trace(GetParam());
+  std::stringstream buf;
+  write_trace_v2(t, buf, /*events_per_chunk=*/7);
+  TraceReader reader(buf);
+  const auto streamed = scan_clock_condition(reader);
+  const auto in_memory = check_clock_condition(t, TimestampArray::from_local(t));
+  EXPECT_EQ(streamed.p2p_messages, in_memory.p2p_messages);
+  EXPECT_EQ(streamed.p2p_reversed, in_memory.p2p_reversed);
+  EXPECT_EQ(streamed.p2p_violations, in_memory.p2p_violations);
+  EXPECT_DOUBLE_EQ(streamed.p2p_worst, in_memory.p2p_worst);
+  EXPECT_EQ(streamed.logical_messages, in_memory.logical_messages);
+  EXPECT_EQ(streamed.logical_reversed, in_memory.logical_reversed);
+  EXPECT_EQ(streamed.logical_violations, in_memory.logical_violations);
+  EXPECT_DOUBLE_EQ(streamed.logical_worst, in_memory.logical_worst);
+  EXPECT_EQ(streamed.total_events, in_memory.total_events);
+  EXPECT_EQ(streamed.message_events, in_memory.message_events);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceRoundTrip, testing::Range<std::uint64_t>(1, 21));

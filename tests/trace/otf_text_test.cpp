@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "topology/cluster.hpp"
+#include "trace/trace_io_error.hpp"
 #include "workload/sweep.hpp"
 
 namespace chronosync {
@@ -72,6 +73,88 @@ TEST(OtfText, RejectsGarbageAndMalformed) {
   EXPECT_THROW(read_text_trace(malformed), std::invalid_argument);
   std::stringstream badkind("CSTXT 1\nRANK 0 0 0 0\nBOGUS 1 2 3\n");
   EXPECT_THROW(read_text_trace(badkind), std::invalid_argument);
+}
+
+// Strict-reader regressions: every malformed record is rejected with the
+// 1-based line number where it occurs, instead of being silently skipped or
+// parsed as zeros.
+std::string expect_text_error(const std::string& body) {
+  std::stringstream in(body);
+  try {
+    read_text_trace(in);
+    ADD_FAILURE() << "expected TraceIoError for:\n" << body;
+    return {};
+  } catch (const TraceIoError& e) {
+    EXPECT_EQ(e.kind(), TraceIoErrorKind::Malformed) << e.what();
+    return e.what();
+  }
+}
+
+TEST(OtfText, MissingEvFieldsReportLineNumber) {
+  const std::string msg = expect_text_error(
+      "CSTXT 1\n"
+      "RANK 0 0 0 0\n"
+      "EV 0 SEND 1.0 1.0 -1 1\n");  // only 6 of 14 EV fields
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("EV"), std::string::npos) << msg;
+}
+
+TEST(OtfText, TrailingEvFieldsAreRejected) {
+  const std::string msg = expect_text_error(
+      "CSTXT 1\n"
+      "RANK 0 0 0 0\n"
+      "EV 0 ENTER 1.0 1.0 -1 -1 -1 0 -1 0 -1 -1 -1 0 EXTRA\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("trailing"), std::string::npos) << msg;
+}
+
+TEST(OtfText, UnknownEventTypeReportsLineNumber) {
+  const std::string msg = expect_text_error(
+      "CSTXT 1\n"
+      "RANK 0 0 0 0\n"
+      "\n"  // blank lines do not confuse the line counter
+      "EV 0 TELEPORT 1.0 1.0 -1 -1 -1 0 -1 0 -1 -1 -1 0\n");
+  EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("TELEPORT"), std::string::npos) << msg;
+}
+
+TEST(OtfText, CollKindOutOfRangeReportsLineNumber) {
+  const std::string msg = expect_text_error(
+      "CSTXT 1\n"
+      "RANK 0 0 0 0\n"
+      "EV 0 COLL_BEGIN 1.0 1.0 -1 -1 -1 0 -1 99 -1 -1 -1 0\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+}
+
+TEST(OtfText, EvRankOutOfRangeReportsItsOwnLine) {
+  // The rank check is deferred until all RANK records are known, but the
+  // error still points at the offending EV line.
+  const std::string msg = expect_text_error(
+      "CSTXT 1\n"
+      "RANK 0 0 0 0\n"
+      "EV 7 ENTER 1.0 1.0 -1 -1 -1 0 -1 0 -1 -1 -1 0\n"
+      "RANK 1 0 0 1\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank 7"), std::string::npos) << msg;
+}
+
+TEST(OtfText, MalformedRankAndLatencyRecordsAreRejected) {
+  const std::string m1 = expect_text_error("CSTXT 1\nRANK 0 0 zero 0\n");
+  EXPECT_NE(m1.find("line 2"), std::string::npos) << m1;
+  const std::string m2 = expect_text_error("CSTXT 1\nLATENCY 1e-7 2e-7\nRANK 0 0 0 0\n");
+  EXPECT_NE(m2.find("line 2"), std::string::npos) << m2;
+  const std::string m3 = expect_text_error("CSTXT 1\nRANK 1 0 0 0\n");  // ids not 0..n-1
+  EXPECT_NE(m3.find("out of order"), std::string::npos) << m3;
+}
+
+TEST(OtfText, MissingTimerNameIsRejected) {
+  const std::string msg = expect_text_error("CSTXT 1\nTIMER\nRANK 0 0 0 0\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(OtfText, NoRankRecordsIsRejected) {
+  expect_text_error("CSTXT 1\nTIMER tsc\n");
 }
 
 TEST(OtfText, FileRoundTrip) {

@@ -1,0 +1,287 @@
+#include "trace/stream_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "topology/cluster.hpp"
+#include "trace/trace_io.hpp"
+
+namespace chronosync {
+namespace {
+
+Trace sample_trace() {
+  Trace t(pinning::inter_node(clusters::xeon_rwth(), 3), {0.47e-6, 0.86e-6, 4.29e-6},
+          "intel-tsc");
+  t.intern_region("main");
+  t.intern_region("halo");
+  Event s;
+  s.type = EventType::Send;
+  s.peer = 1;
+  s.tag = 5;
+  s.bytes = 4096;
+  s.msg_id = 77;
+  s.local_ts = 1.25;
+  s.true_ts = 1.24;
+  t.events(0).push_back(s);
+  Event r = s;
+  r.type = EventType::Recv;
+  r.peer = 0;
+  r.local_ts = 1.26;
+  t.events(1).push_back(r);
+  Event c;
+  c.type = EventType::CollBegin;
+  c.coll = CollectiveKind::Allreduce;
+  c.coll_id = 3;
+  c.root = 0;
+  c.local_ts = 2.0;
+  c.true_ts = 2.0;
+  t.events(2).push_back(c);
+  return t;
+}
+
+Trace bulk_trace(int ranks, int events_per_rank) {
+  Trace t(pinning::block(clusters::xeon_rwth(), ranks), {1e-7, 1e-6, 5e-6}, "bulk");
+  t.intern_region("loop");
+  for (Rank r = 0; r < ranks; ++r) {
+    for (int i = 0; i < events_per_rank; ++i) {
+      Event e;
+      e.type = (i % 2 == 0) ? EventType::Enter : EventType::Exit;
+      e.region = 0;
+      e.local_ts = 0.5 + i * 1e-6 + r * 1e-8;
+      e.true_ts = e.local_ts + 1e-9;
+      e.thread = i % 3;
+      t.events(r).push_back(e);
+    }
+  }
+  return t;
+}
+
+TEST(StreamIo, RoundTripExact) {
+  const Trace t = sample_trace();
+  std::stringstream buf;
+  write_trace_v2(t, buf);
+  const Trace u = read_trace_v2(buf);
+  EXPECT_EQ(u.ranks(), 3);
+  EXPECT_EQ(u.timer_name(), "intel-tsc");
+  EXPECT_EQ(u.total_events(), t.total_events());
+  EXPECT_EQ(u.regions().size(), 2u);
+  EXPECT_EQ(u.region_name(1), "halo");
+  const Event& s = u.events(0)[0];
+  EXPECT_EQ(s.type, EventType::Send);
+  EXPECT_EQ(s.msg_id, 77);
+  EXPECT_DOUBLE_EQ(s.local_ts, 1.25);
+  const Event& c = u.events(2)[0];
+  EXPECT_EQ(c.coll, CollectiveKind::Allreduce);
+  EXPECT_EQ(c.coll_id, 3);
+}
+
+TEST(StreamIo, DispatchReadsV2) {
+  const Trace t = sample_trace();
+  std::stringstream buf;
+  write_trace_v2(t, buf);
+  const Trace u = read_trace(buf);  // generic entry point
+  EXPECT_EQ(u.total_events(), t.total_events());
+}
+
+TEST(StreamIo, DispatchStillReadsV1) {
+  const Trace t = sample_trace();
+  std::stringstream buf;
+  write_trace(t, buf);  // legacy v1 writer
+  const Trace u = read_trace(buf);
+  EXPECT_EQ(u.total_events(), t.total_events());
+  EXPECT_EQ(u.timer_name(), "intel-tsc");
+}
+
+TEST(StreamIo, MetaAvailableBeforeEvents) {
+  const Trace t = sample_trace();
+  std::stringstream buf;
+  write_trace_v2(t, buf);
+  TraceReader reader(buf);
+  EXPECT_EQ(reader.ranks(), 3);
+  EXPECT_EQ(reader.meta().timer_name, "intel-tsc");
+  EXPECT_EQ(reader.meta().regions.size(), 2u);
+  EXPECT_DOUBLE_EQ(reader.meta().domain_min_latency[2], 4.29e-6);
+  EXPECT_EQ(reader.events_read(), 0u);
+}
+
+TEST(StreamIo, StreamsRankByRank) {
+  const Trace t = bulk_trace(4, 100);
+  std::stringstream buf;
+  write_trace_v2(t, buf, /*events_per_chunk=*/32);
+  TraceReader reader(buf);
+  EventBlock block;
+  Rank last = 0;
+  std::uint64_t total = 0;
+  while (reader.next(block)) {
+    EXPECT_GE(block.rank, last);
+    EXPECT_FALSE(block.events.empty());
+    EXPECT_LE(block.events.size(), 32u);
+    last = block.rank;
+    total += block.events.size();
+  }
+  EXPECT_EQ(total, 400u);
+  EXPECT_EQ(reader.events_read(), 400u);
+  // After the footer, next() keeps returning false.
+  EXPECT_FALSE(reader.next(block));
+}
+
+TEST(StreamIo, EmptyRanksAndZeroRankTraces) {
+  // A trace whose ranks have no events.
+  Trace empty_events(pinning::block(clusters::xeon_rwth(), 3), {1e-7, 1e-6, 5e-6}, "idle");
+  {
+    std::stringstream buf;
+    write_trace_v2(empty_events, buf);
+    const Trace u = read_trace_v2(buf);
+    EXPECT_EQ(u.ranks(), 3);
+    EXPECT_EQ(u.total_events(), 0u);
+  }
+  // A default-constructed, zero-rank trace.
+  {
+    const Trace zero;
+    std::stringstream buf;
+    write_trace_v2(zero, buf);
+    const Trace u = read_trace_v2(buf);
+    EXPECT_EQ(u.ranks(), 0);
+    EXPECT_EQ(u.total_events(), 0u);
+  }
+}
+
+TEST(StreamIo, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/cs_trace_v2.bin";
+  const Trace t = bulk_trace(2, 50);
+  write_trace_v2_file(t, path);
+  const Trace u = read_trace_v2_file(path);
+  EXPECT_EQ(u.total_events(), t.total_events());
+  // The generic file entry point dispatches on the version field too.
+  const Trace v = read_trace_file(path);
+  EXPECT_EQ(v.total_events(), t.total_events());
+  std::remove(path.c_str());
+}
+
+TEST(StreamIo, WriterEnforcesRankMajorOrder) {
+  std::stringstream buf;
+  TraceWriter w(buf, TraceMeta::of(sample_trace()));
+  Event e;
+  e.type = EventType::Enter;
+  w.append(2, e);
+  EXPECT_THROW(w.append(1, e), std::invalid_argument);  // rank going backwards
+  EXPECT_THROW(w.append(3, e), std::invalid_argument);  // rank outside placement
+  w.finish();
+  EXPECT_THROW(w.append(2, e), std::invalid_argument);  // append after finish
+  EXPECT_THROW(w.finish(), std::invalid_argument);      // double finish
+}
+
+TEST(StreamIo, UnfinishedWriterLeavesRejectedFile) {
+  std::stringstream buf;
+  {
+    TraceWriter w(buf, TraceMeta::of(sample_trace()));
+    Event e;
+    e.type = EventType::Enter;
+    w.append(0, e);
+    // no finish(): footer missing
+  }
+  EXPECT_THROW(read_trace_v2(buf), TraceIoError);
+}
+
+TEST(StreamIo, RejectsGarbage) {
+  std::stringstream buf("this is definitely not a trace at all");
+  try {
+    read_trace_v2(buf);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& e) {
+    EXPECT_EQ(e.kind(), TraceIoErrorKind::BadMagic);
+  }
+}
+
+TEST(StreamIo, RejectsV1HeaderThroughV2Reader) {
+  const Trace t = sample_trace();
+  std::stringstream buf;
+  write_trace(t, buf);
+  try {
+    read_trace_v2(buf);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& e) {
+    EXPECT_EQ(e.kind(), TraceIoErrorKind::BadVersion);
+  }
+}
+
+TEST(StreamIo, RejectsTruncationAnywhere) {
+  const Trace t = sample_trace();
+  std::stringstream buf;
+  write_trace_v2(t, buf);
+  const std::string blob = buf.str();
+  // Every strict prefix must be rejected: the footer (count + whole-file CRC)
+  // makes truncation detectable at any byte.
+  for (std::size_t n = 0; n < blob.size(); ++n) {
+    std::stringstream cut(blob.substr(0, n));
+    EXPECT_THROW(read_trace_v2(cut), TraceIoError) << "prefix length " << n;
+  }
+}
+
+TEST(StreamIo, RejectsSingleBitFlipAnywhere) {
+  const Trace t = sample_trace();
+  std::stringstream buf;
+  write_trace_v2(t, buf);
+  const std::string blob = buf.str();
+  for (std::size_t byte = 0; byte < blob.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = blob;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      std::stringstream in(mutated);
+      EXPECT_THROW(read_trace_v2(in), TraceIoError)
+          << "flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(StreamIo, RejectsTrailingData) {
+  const Trace t = sample_trace();
+  std::stringstream buf;
+  write_trace_v2(t, buf);
+  std::string blob = buf.str();
+  blob += "extra";
+  std::stringstream in(blob);
+  try {
+    read_trace_v2(in);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& e) {
+    EXPECT_EQ(e.kind(), TraceIoErrorKind::Malformed);
+  }
+}
+
+TEST(StreamIo, MissingFileThrowsIoError) {
+  try {
+    read_trace_v2_file("/nonexistent/path/trace_v2.bin");
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& e) {
+    EXPECT_EQ(e.kind(), TraceIoErrorKind::Io);
+  }
+}
+
+TEST(StreamIo, V2IsSmallerThanV1) {
+  // Delta + varint encoding should beat the fixed-width v1 layout on a
+  // realistic monotone-timestamp trace.
+  const Trace t = bulk_trace(4, 2000);
+  std::stringstream v1;
+  std::stringstream v2;
+  write_trace(t, v1);
+  write_trace_v2(t, v2);
+  EXPECT_LT(v2.str().size(), v1.str().size() / 2);
+}
+
+TEST(StreamIo, BytesWrittenMatchesStream) {
+  const Trace t = sample_trace();
+  std::stringstream buf;
+  TraceWriter w(buf, TraceMeta::of(t));
+  for (Rank r = 0; r < t.ranks(); ++r) {
+    for (const Event& e : t.events(r)) w.append(r, e);
+  }
+  w.finish();
+  EXPECT_EQ(w.bytes_written(), buf.str().size());
+  EXPECT_EQ(w.events_written(), t.total_events());
+}
+
+}  // namespace
+}  // namespace chronosync

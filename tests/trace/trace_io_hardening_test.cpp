@@ -1,0 +1,228 @@
+// Hardening regressions for the v1 binary reader: truncation at every byte
+// (hence every section boundary), forged count/length fields that used to
+// trigger unchecked huge allocations, and non-seekable streams where the
+// total size cannot be validated up front.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <streambuf>
+
+#include "topology/cluster.hpp"
+#include "trace/stream_io.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_io_error.hpp"
+
+namespace chronosync {
+namespace {
+
+Trace sample_trace() {
+  Trace t(pinning::inter_node(clusters::xeon_rwth(), 3), {0.47e-6, 0.86e-6, 4.29e-6},
+          "intel-tsc");
+  t.intern_region("main");
+  t.intern_region("halo");
+  Event s;
+  s.type = EventType::Send;
+  s.peer = 1;
+  s.tag = 5;
+  s.bytes = 4096;
+  s.msg_id = 77;
+  s.local_ts = 1.25;
+  s.true_ts = 1.24;
+  t.events(0).push_back(s);
+  Event r = s;
+  r.type = EventType::Recv;
+  r.peer = 0;
+  r.local_ts = 1.26;
+  t.events(1).push_back(r);
+  Event c;
+  c.type = EventType::CollBegin;
+  c.coll = CollectiveKind::Allreduce;
+  c.coll_id = 3;
+  c.root = 0;
+  c.local_ts = 2.0;
+  c.true_ts = 2.0;
+  t.events(2).push_back(c);
+  return t;
+}
+
+std::string v1_blob() {
+  std::stringstream buf;
+  write_trace(sample_trace(), buf);
+  return buf.str();
+}
+
+// v1 layout offsets of the sample trace (timer "intel-tsc", 3 ranks,
+// regions "main"/"halo", one 68-byte event per rank).
+constexpr std::size_t kOffTimerLen = 8;
+constexpr std::size_t kOffRankCount = 12 + 9;                            // 21
+constexpr std::size_t kOffRegionCount = kOffRankCount + 4 + 3 * 12 + 24; // 85
+constexpr std::size_t kOffRegion0Len = kOffRegionCount + 4;              // 89
+constexpr std::size_t kOffRank0EventCount = kOffRegion0Len + 8 + 8;      // 105
+
+std::string patch_u32(std::string blob, std::size_t off, std::uint32_t v) {
+  std::memcpy(blob.data() + off, &v, 4);
+  return blob;
+}
+
+std::string patch_u64(std::string blob, std::size_t off, std::uint64_t v) {
+  std::memcpy(blob.data() + off, &v, 8);
+  return blob;
+}
+
+/// A streambuf that refuses to seek: ByteSource cannot learn the stream size
+/// and must fall back to incremental, allocation-bounded reads.
+class UnseekableStringBuf : public std::streambuf {
+ public:
+  explicit UnseekableStringBuf(std::string data) : data_(std::move(data)) {}
+
+ protected:
+  int_type underflow() override {
+    if (pos_ >= data_.size()) return traits_type::eof();
+    const std::size_t n = std::min<std::size_t>(sizeof buf_, data_.size() - pos_);
+    std::memcpy(buf_, data_.data() + pos_, n);
+    setg(buf_, buf_, buf_ + n);
+    pos_ += n;
+    return traits_type::to_int_type(buf_[0]);
+  }
+
+ private:
+  std::string data_;
+  std::size_t pos_ = 0;
+  char buf_[64];
+};
+
+TEST(TraceIoHardening, SanityOffsetsMatchFormat) {
+  // If the sample trace or the v1 layout changes, the patch offsets above
+  // must be revisited; this guards them.
+  const std::string blob = v1_blob();
+  ASSERT_EQ(blob.size(), kOffRank0EventCount + 3 * 8 + 3 * 68);
+  std::uint32_t timer_len;
+  std::memcpy(&timer_len, blob.data() + kOffTimerLen, 4);
+  ASSERT_EQ(timer_len, 9u);
+  std::uint32_t nranks;
+  std::memcpy(&nranks, blob.data() + kOffRankCount, 4);
+  ASSERT_EQ(nranks, 3u);
+  std::uint32_t nregions;
+  std::memcpy(&nregions, blob.data() + kOffRegionCount, 4);
+  ASSERT_EQ(nregions, 2u);
+}
+
+TEST(TraceIoHardening, TruncationAtEveryByteIsRejected) {
+  // Covers every section boundary: header, timer, placement, latencies,
+  // region table, per-rank counts, and event payloads.
+  const std::string blob = v1_blob();
+  for (std::size_t n = 0; n < blob.size(); ++n) {
+    std::stringstream cut(blob.substr(0, n));
+    EXPECT_THROW(read_trace(cut), TraceIoError) << "prefix length " << n;
+  }
+}
+
+TEST(TraceIoHardening, ForgedTimerLengthIsRejected) {
+  std::stringstream in(patch_u32(v1_blob(), kOffTimerLen, 0xFFFFFFFFu));
+  try {
+    read_trace(in);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& e) {
+    EXPECT_EQ(e.kind(), TraceIoErrorKind::Truncated);
+  }
+}
+
+TEST(TraceIoHardening, ForgedRankCountIsRejected) {
+  std::stringstream in(patch_u32(v1_blob(), kOffRankCount, 0x7FFFFFFFu));
+  try {
+    read_trace(in);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& e) {
+    EXPECT_EQ(e.kind(), TraceIoErrorKind::Truncated);
+  }
+}
+
+TEST(TraceIoHardening, ForgedRegionCountIsRejected) {
+  std::stringstream in(patch_u32(v1_blob(), kOffRegionCount, 0x40000000u));
+  EXPECT_THROW(read_trace(in), TraceIoError);
+}
+
+TEST(TraceIoHardening, ForgedRegionNameLengthIsRejected) {
+  std::stringstream in(patch_u32(v1_blob(), kOffRegion0Len, 0xFFFFFF00u));
+  EXPECT_THROW(read_trace(in), TraceIoError);
+}
+
+TEST(TraceIoHardening, ForgedEventCountIsRejected) {
+  // A count of 2^32 events would previously resize() ~350 GB up front.
+  std::stringstream in(patch_u64(v1_blob(), kOffRank0EventCount, 1ull << 32));
+  try {
+    read_trace(in);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& e) {
+    EXPECT_EQ(e.kind(), TraceIoErrorKind::Truncated);
+  }
+}
+
+TEST(TraceIoHardening, AbsurdEventCountIsRejected) {
+  // Large enough that count * event_size overflows 64 bits.
+  std::stringstream in(patch_u64(v1_blob(), kOffRank0EventCount, ~0ull));
+  try {
+    read_trace(in);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& e) {
+    EXPECT_EQ(e.kind(), TraceIoErrorKind::Malformed);
+  }
+}
+
+TEST(TraceIoHardening, InvalidEventTypeIsRejected) {
+  // First u32 of rank 0's first event record.
+  std::stringstream in(patch_u32(v1_blob(), kOffRank0EventCount + 8, 250u));
+  try {
+    read_trace(in);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& e) {
+    EXPECT_EQ(e.kind(), TraceIoErrorKind::Malformed);
+  }
+}
+
+TEST(TraceIoHardening, UnseekableStreamParsesValidTrace) {
+  UnseekableStringBuf sb(v1_blob());
+  std::istream in(&sb);
+  const Trace u = read_trace(in);
+  EXPECT_EQ(u.ranks(), 3);
+  EXPECT_EQ(u.total_events(), 3u);
+}
+
+TEST(TraceIoHardening, UnseekableStreamParsesValidV2Trace) {
+  std::stringstream buf;
+  write_trace_v2(sample_trace(), buf);
+  UnseekableStringBuf sb(buf.str());
+  std::istream in(&sb);
+  const Trace u = read_trace(in);
+  EXPECT_EQ(u.total_events(), 3u);
+}
+
+TEST(TraceIoHardening, UnseekableStreamRejectsForgedCountsQuickly) {
+  // Without a known stream size the reader cannot pre-validate, but reads
+  // stay incremental: a forged giant count fails at EOF instead of
+  // triggering a giant allocation.
+  {
+    UnseekableStringBuf sb(patch_u32(v1_blob(), kOffTimerLen, 0xFFFFFFFFu));
+    std::istream in(&sb);
+    EXPECT_THROW(read_trace(in), TraceIoError);
+  }
+  {
+    UnseekableStringBuf sb(patch_u64(v1_blob(), kOffRank0EventCount, 1ull << 40));
+    std::istream in(&sb);
+    EXPECT_THROW(read_trace(in), TraceIoError);
+  }
+}
+
+TEST(TraceIoHardening, UnknownVersionIsRejected) {
+  std::stringstream in(patch_u32(v1_blob(), 4, 99u));
+  try {
+    read_trace(in);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& e) {
+    EXPECT_EQ(e.kind(), TraceIoErrorKind::BadVersion);
+  }
+}
+
+}  // namespace
+}  // namespace chronosync
