@@ -9,8 +9,10 @@
 #include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "common/expect.hpp"
 #include "sync/clc.hpp"
 #include "sync/interpolation.hpp"
+#include "verify/invariants.hpp"
 #include "workload/sweep.hpp"
 
 using namespace chronosync;
@@ -59,6 +61,14 @@ int main(int argc, char** argv) {
       const auto rep = check_clock_condition(res->trace, clc->corrected, schedule);
       if (rep.violations() != 0) {
         std::cerr << "unexpected: violations remain for decay=" << decay << "\n";
+      }
+      if (cli.has("verify")) {
+        // Every variant, whatever its decay, must restore Eq. 1 exactly and
+        // never move an event before its input timestamp.
+        const verify::InvariantChecker checker(res->trace, schedule);
+        const auto audit = checker.check_correction(input, clc->corrected);
+        if (!audit.ok()) std::cerr << audit.summary();
+        CS_ENSURE(audit.ok(), "CLC variant violates the paper invariants");
       }
       const auto dist = interval_distortion(res->trace, input, clc->corrected);
       const auto err = message_sync_error(res->trace, clc->corrected, msgs);

@@ -17,8 +17,10 @@
 #include "sync/collective_anchor.hpp"
 #include "sync/error_estimation.hpp"
 #include "sync/interpolation.hpp"
+#include "common/expect.hpp"
 #include "sync/node_coupling.hpp"
 #include "sync/offset_alignment.hpp"
+#include "verify/invariants.hpp"
 #include "workload/sweep.hpp"
 
 using namespace chronosync;
@@ -64,7 +66,16 @@ int main(int argc, char** argv) {
 
   AsciiTable table({"method", "violations", "reversed [%]", "pair sync err [us]",
                     "misordered [%]", "time [ms]"});
-  auto report = [&](const std::string& name, auto&& make_ts) {
+
+  // Opt-in audits: CLC-family outputs must satisfy Eq. 1 exactly; everything
+  // else is only held to the structural invariants (finiteness, local order)
+  // since pre-sync methods are allowed to leave clock-condition violations.
+  verify::VerifyOptions structural_opt;
+  structural_opt.clock_condition_slack = kTimeInfinity;
+  const verify::InvariantChecker strict_checker(res.trace, schedule);
+  const verify::InvariantChecker structural_checker(res.trace, schedule, structural_opt);
+
+  auto report = [&](const std::string& name, bool restores_clock, auto&& make_ts) {
     benchkit::ConfigList config = base;
     config.emplace_back("method", name);
     std::optional<TimestampArray> ts;
@@ -85,36 +96,43 @@ int main(int argc, char** argv) {
                    AsciiTable::num(to_us(err.mean()), 3),
                    AsciiTable::num(100.0 * order.misordered_fraction(), 3),
                    AsciiTable::num(timing.wall_ns_p50 / 1e6, 1)});
+    if (cli.has("verify")) {
+      const auto& checker = restores_clock ? strict_checker : structural_checker;
+      const auto audit = checker.check(*ts);
+      if (!audit.ok()) std::cerr << name << ":\n" << audit.summary();
+      CS_ENSURE(audit.ok(), "method \"" + name + "\" violates its invariants");
+    }
     return *ts;
   };
 
-  report("raw local clocks", [&] { return TimestampArray::from_local(res.trace); });
-  report("offset alignment", [&] {
+  report("raw local clocks", false,
+         [&] { return TimestampArray::from_local(res.trace); });
+  report("offset alignment", false, [&] {
     return apply_correction(res.trace, OffsetAlignment::from_store(res.offsets));
   });
-  const auto interp = report("linear interpolation (Eq. 3)", [&] {
+  const auto interp = report("linear interpolation (Eq. 3)", false, [&] {
     return apply_correction(res.trace, LinearInterpolation::from_store(res.offsets));
   });
   for (auto method : {EstimationMethod::Regression, EstimationMethod::ConvexHull,
                       EstimationMethod::MinMax}) {
-    report("error estimation: " + to_string(method), [&] {
+    report("error estimation: " + to_string(method), false, [&] {
       return apply_correction(res.trace,
                               ErrorEstimationCorrection::build(res.trace, msgs, method));
     });
   }
-  report("interpolation + CLC", [&] {
+  report("interpolation + CLC", true, [&] {
     return controlled_logical_clock(res.trace, schedule, interp).corrected;
   });
-  report("interpolation + parallel CLC", [&] {
+  report("interpolation + parallel CLC", true, [&] {
     return controlled_logical_clock_parallel(res.trace, schedule, interp).corrected;
   });
-  report("collective anchors (Babaoglu)", [&] {
+  report("collective anchors (Babaoglu)", false, [&] {
     return apply_correction(res.trace, CollectiveAnchorCorrection::build(res.trace));
   });
-  report("interpolation + node-coupled CLC", [&] {
+  report("interpolation + node-coupled CLC", true, [&] {
     return node_coupled_clc(res.trace, schedule, interp).clc.corrected;
   });
-  report("CLC on raw clocks (no pre-sync)", [&] {
+  report("CLC on raw clocks (no pre-sync)", true, [&] {
     return controlled_logical_clock(res.trace, schedule,
                                     TimestampArray::from_local(res.trace))
         .corrected;

@@ -1,11 +1,15 @@
 // Performance — CLC throughput (events/s), sequential vs. parallel replay
 // (ref. [31] parallelized the algorithm for large-scale traces).
+#include <iostream>
+
 #include "analysis/clock_condition.hpp"
 #include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
+#include "common/expect.hpp"
 #include "sync/clc.hpp"
 #include "sync/clc_parallel.hpp"
 #include "sync/interpolation.hpp"
+#include "verify/invariants.hpp"
 #include "workload/sweep.hpp"
 
 using namespace chronosync;
@@ -90,5 +94,24 @@ int main(int argc, char** argv) {
     auto rep = check_clock_condition(fx.trace, fx.input, fx.schedule);
     benchkit::do_not_optimize(rep.p2p_violations);
   });
+
+  // Opt-in invariant audit of the measured results: CLC output must satisfy
+  // Eq. 1 exactly, never move an event backward, and serial/parallel must be
+  // bit-identical.
+  if (cli.has("verify")) {
+    const auto serial = controlled_logical_clock(fx.trace, fx.schedule, fx.input);
+    const auto parallel =
+        controlled_logical_clock_parallel(fx.trace, fx.schedule, fx.input);
+    const verify::InvariantChecker checker(fx.trace, fx.schedule);
+    const auto audit = checker.check_correction(fx.input, serial.corrected);
+    if (!audit.ok()) std::cerr << audit.summary();
+    CS_ENSURE(audit.ok(), "CLC output violates the paper invariants");
+    for (Rank r = 0; r < fx.trace.ranks(); ++r) {
+      CS_ENSURE(serial.corrected.of_rank(r) == parallel.corrected.of_rank(r),
+                "parallel CLC diverges from the sequential reference");
+    }
+    std::cerr << "verify: CLC invariants hold (" << audit.events_checked << " events, "
+              << audit.edges_checked << " edges)\n";
+  }
   return 0;
 }

@@ -22,6 +22,8 @@
 #include "trace/stream_io.hpp"
 #include "trace/timeline.hpp"
 #include "trace/trace_io.hpp"
+#include "verify/differential.hpp"
+#include "verify/invariants.hpp"
 #include "workload/sweep.hpp"
 
 using namespace chronosync;
@@ -275,6 +277,26 @@ int main(int argc, char** argv) {
       const std::string s = render_timeline(t, ts, opt);
       benchkit::do_not_optimize(s.size());
     });
+  }
+
+  // Opt-in audit: the fixture's local timestamps must be structurally sound
+  // (finite, locally ordered) and the three clock-condition scanners must
+  // agree on it field-for-field.
+  if (cli.has("verify")) {
+    const auto msgs = t.match_messages();
+    const auto logical = derive_logical_messages(t);
+    const ReplaySchedule schedule(t, msgs, logical);
+    verify::VerifyOptions vopt;
+    vopt.clock_condition_slack = kTimeInfinity;  // raw clocks do violate Eq. 1
+    const verify::InvariantChecker checker(t, schedule, vopt);
+    const auto audit = checker.check(TimestampArray::from_local(t));
+    if (!audit.ok()) std::fprintf(stderr, "%s", audit.summary().c_str());
+    CS_ENSURE(audit.ok(), "trace fixture violates structural invariants");
+    std::vector<std::string> failures;
+    verify::cross_check_scans(t, schedule, failures);
+    for (const auto& f : failures) std::fprintf(stderr, "FAIL %s\n", f.c_str());
+    CS_ENSURE(failures.empty(), "clock-condition scanners diverge");
+    std::fprintf(stderr, "verify: trace invariants + scanner cross-check ok\n");
   }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "common/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <string_view>
 
@@ -39,13 +40,33 @@ std::string Cli::get(const std::string& name, const std::string& fallback) const
 std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
   auto it = options_.find(name);
   if (it == options_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  // Full-consumption parse: strtoll with a discarded endptr silently returns
+  // 0 on garbage and a partial value on trailing junk ("--reps=abc" ran 0
+  // reps, "--reps=5x" ran 5).  Malformed numbers must fail loudly, naming
+  // the option.
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const std::int64_t v = std::strtoll(s, &end, 10);
+  CS_REQUIRE(end != s && *end == '\0',
+             "option --" + name + " expects an integer, got \"" + it->second + "\"");
+  CS_REQUIRE(errno != ERANGE,
+             "option --" + name + " is out of range: \"" + it->second + "\"");
+  return v;
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {
   auto it = options_.find(name);
   if (it == options_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  CS_REQUIRE(end != s && *end == '\0',
+             "option --" + name + " expects a number, got \"" + it->second + "\"");
+  CS_REQUIRE(errno != ERANGE,
+             "option --" + name + " is out of range: \"" + it->second + "\"");
+  return v;
 }
 
 std::uint64_t Cli::get_seed(std::uint64_t fallback) const {

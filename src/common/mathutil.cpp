@@ -46,8 +46,22 @@ std::vector<Point2> half_hull(std::vector<Point2> pts, bool lower) {
   std::sort(pts.begin(), pts.end(), [](const Point2& a, const Point2& b) {
     return a.x < b.x || (a.x == b.x && a.y < b.y);
   });
-  std::vector<Point2> hull;
+  // Collapse equal-x runs to the chain's tight extreme (min y for the lower
+  // chain, max y for the upper) so the result is strictly increasing in x and
+  // directly usable as a PiecewiseLinear envelope.  Duplicate points — and
+  // vertical stacks in general — otherwise survive into the chain, because
+  // the cross product of coincident-x points is zero.
+  std::vector<Point2> filtered;
+  filtered.reserve(pts.size());
   for (const auto& p : pts) {
+    if (!filtered.empty() && filtered.back().x == p.x) {
+      if (!lower) filtered.back() = p;  // sorted by y: last of the run is max
+      continue;
+    }
+    filtered.push_back(p);
+  }
+  std::vector<Point2> hull;
+  for (const auto& p : filtered) {
     while (hull.size() >= 2) {
       const double c = cross(hull[hull.size() - 2], hull.back(), p);
       const bool keep = lower ? c > 0.0 : c < 0.0;

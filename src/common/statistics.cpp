@@ -75,10 +75,20 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) 
 }
 
 void Histogram::add(double x) {
+  if (std::isnan(x)) {
+    // NaN compares false against every bound, so it can neither be clamped
+    // nor binned; it lands in a dedicated counter instead of vanishing.
+    ++invalid_;
+    return;
+  }
   const double span = hi_ - lo_;
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span * static_cast<double>(counts_.size()));
-  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  // Clamp while still in floating point: casting a value outside
+  // ptrdiff_t's range (e.g. from an infinite or huge sample) is undefined
+  // behavior, flagged by -fsanitize=float-cast-overflow.
+  const double pos =
+      std::clamp((x - lo_) / span * static_cast<double>(counts_.size()), 0.0,
+                 static_cast<double>(counts_.size() - 1));
+  ++counts_[static_cast<std::size_t>(pos)];
   ++total_;
 }
 

@@ -38,7 +38,8 @@ class RunningStats {
 double percentile(std::vector<double> samples, double p);
 
 /// Fixed-bin histogram over [lo, hi); samples outside are clamped to the
-/// boundary bins so nothing is silently dropped.
+/// boundary bins so nothing is silently dropped.  NaN samples cannot be
+/// clamped; they are tallied in invalid() instead of a bin.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -47,6 +48,8 @@ class Histogram {
   std::size_t bin_count(std::size_t i) const;
   std::size_t bins() const { return counts_.size(); }
   std::size_t total() const { return total_; }
+  /// NaN samples seen by add(); never counted in total() or any bin.
+  std::size_t invalid() const { return invalid_; }
   double bin_lo(std::size_t i) const;
   double bin_hi(std::size_t i) const;
 
@@ -57,6 +60,7 @@ class Histogram {
   double lo_, hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t invalid_ = 0;
 };
 
 /// Summary of a sample vector: n, mean, stddev, min, percentiles, max.

@@ -192,13 +192,28 @@ ErrorEstimationCorrection ErrorEstimationCorrection::build(
 
   ErrorEstimationCorrection corr;
   corr.delta_to_master_.assign(static_cast<std::size_t>(n), fit_constant(0.0, 0));
+  corr.parent_.assign(static_cast<std::size_t>(n), -1);
 
   std::vector<bool> reached(static_cast<std::size_t>(n), false);
-  reached[0] = true;
-  // Max-heap on traffic weight; deterministic tie-break on rank.
-  using Cand = std::tuple<std::size_t, Rank, Rank>;  // weight, from, to
+  if (n > 0) reached[0] = true;
+  // Max-heap on traffic weight; deterministic tie-break on rank: among
+  // equal-weight candidates the *smallest* (from, to) pair wins, so the heap
+  // order inverts the rank comparisons (a plain tuple max-heap would prefer
+  // the largest ranks).
+  struct Cand {
+    std::size_t weight;
+    Rank from;
+    Rank to;
+    bool operator<(const Cand& o) const {
+      if (weight != o.weight) return weight < o.weight;
+      if (from != o.from) return from > o.from;
+      return to > o.to;
+    }
+  };
   std::priority_queue<Cand> heap;
-  for (const auto& e : adj[0]) heap.push({e.weight, 0, e.to});
+  if (n > 0) {
+    for (const auto& e : adj[0]) heap.push({e.weight, 0, e.to});
+  }
 
   while (!heap.empty()) {
     auto [w, from, to] = heap.top();
@@ -214,6 +229,7 @@ ErrorEstimationCorrection ErrorEstimationCorrection::build(
     combined.intercept = parent.intercept + est->line.intercept;
     combined.n = est->line.n;
     corr.delta_to_master_[static_cast<std::size_t>(to)] = combined;
+    corr.parent_[static_cast<std::size_t>(to)] = from;
     reached[static_cast<std::size_t>(to)] = true;
     for (const auto& e : adj[static_cast<std::size_t>(to)]) {
       if (!reached[static_cast<std::size_t>(e.to)]) heap.push({e.weight, to, e.to});

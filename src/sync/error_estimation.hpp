@@ -62,11 +62,17 @@ class ErrorEstimationCorrection final : public TimestampCorrection {
   /// Ranks that could not be chained to the master.
   const std::vector<Rank>& unreachable() const { return unreachable_; }
 
+  /// Spanning-tree parent per rank (-1 for the master and unreachable
+  /// ranks).  The tree is deterministic: equal-traffic candidate edges are
+  /// broken toward the smallest (from, to) pair.
+  const std::vector<Rank>& tree_parent() const { return parent_; }
+
  private:
   ErrorEstimationCorrection() = default;
   /// Per-rank line: master_time = local + line(local).
   std::vector<LinearFit> delta_to_master_;
   std::vector<Rank> unreachable_;
+  std::vector<Rank> parent_;
 };
 
 }  // namespace chronosync

@@ -59,9 +59,31 @@ PiecewiseInterpolation PiecewiseInterpolation::from_store(const OffsetStore& sto
     const auto& samples = store.of(r);
     CS_REQUIRE(samples.size() >= 2, "piecewise interpolation needs two measurements per rank");
     PiecewiseLinear map;
+    std::size_t dropped = 0;
     for (const auto& s : samples) {
       // Knot: worker local time -> estimated master time at that instant.
+      // Probes taken in one batch can share a worker_time (the degenerate
+      // case LinearInterpolation::from_store already tolerates); appending
+      // the duplicate would abort on PiecewiseLinear's strictly-increasing
+      // precondition, so keep the first sample of each instant only.
+      if (map.size() > 0 && !(s.worker_time > map.knots().back().x)) {
+        ++dropped;
+        continue;
+      }
       map.append(s.worker_time, s.worker_time + s.offset);
+    }
+    if (dropped > 0) {
+      CS_LOG_WARN << "PiecewiseInterpolation: rank " << r << " dropped " << dropped
+                  << " offset sample(s) with duplicate worker_time; keeping the first "
+                     "sample of each instant";
+    }
+    if (map.size() == 1) {
+      // Every probe of this rank landed on one instant: mirror the linear
+      // fallback and degrade to pure offset alignment (unit slope).
+      CS_LOG_WARN << "PiecewiseInterpolation: rank " << r
+                  << " has a degenerate measurement interval (all samples at worker_time "
+                  << map.knots().back().x << "); falling back to pure offset alignment";
+      map.append(map.knots().back().x + 1.0, map.knots().back().y + 1.0);
     }
     maps.push_back(std::move(map));
   }

@@ -1,0 +1,220 @@
+#include "verify/differential.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include "analysis/clock_condition.hpp"
+#include "analysis/clock_condition_stream.hpp"
+#include "common/expect.hpp"
+#include "common/log.hpp"
+#include "sync/clc.hpp"
+#include "sync/clc_parallel.hpp"
+#include "sync/error_estimation.hpp"
+#include "sync/interpolation.hpp"
+#include "sync/offset_alignment.hpp"
+#include "trace/logical_messages.hpp"
+#include "trace/stream_io.hpp"
+
+namespace chronosync::verify {
+
+namespace {
+
+/// Pairs contracted to agree bit-for-bit regardless of input.
+constexpr std::pair<const char*, const char*> kExactContracts[] = {
+    {"interpolation+clc-serial", "interpolation+clc-parallel"},
+};
+
+bool must_match_exactly(const std::string& a, const std::string& b) {
+  for (const auto& [x, y] : kExactContracts) {
+    if ((a == x && b == y) || (a == y && b == x)) return true;
+  }
+  return false;
+}
+
+bool store_has_two_samples_per_rank(const OffsetStore& offsets) {
+  for (Rank r = 0; r < offsets.ranks(); ++r) {
+    if (offsets.of(r).size() < 2) return false;
+  }
+  return offsets.ranks() > 0;
+}
+
+}  // namespace
+
+std::vector<MethodOutput> run_all_methods(const Trace& trace, const OffsetStore& offsets,
+                                          const std::vector<MessageRecord>& messages,
+                                          const ReplaySchedule& schedule) {
+  std::vector<MethodOutput> out;
+  out.push_back({"raw", TimestampArray::from_local(trace), false});
+
+  const bool have_probes = store_has_two_samples_per_rank(offsets);
+  if (offsets.ranks() == trace.ranks() && have_probes) {
+    out.push_back({"offset-alignment",
+                   apply_correction(trace, OffsetAlignment::from_store(offsets)), false});
+    out.push_back({"linear-interpolation",
+                   apply_correction(trace, LinearInterpolation::from_store(offsets)), false});
+    out.push_back(
+        {"piecewise-interpolation",
+         apply_correction(trace, PiecewiseInterpolation::from_store(offsets)), false});
+  } else {
+    CS_LOG_WARN << "differential: offset store incomplete; skipping the "
+                   "probe-based corrections";
+  }
+
+  for (const auto method : {EstimationMethod::Regression, EstimationMethod::ConvexHull,
+                            EstimationMethod::MinMax}) {
+    out.push_back(
+        {"error-estimation-" + to_string(method),
+         apply_correction(trace, ErrorEstimationCorrection::build(trace, messages, method)),
+         false});
+  }
+
+  const TimestampArray input =
+      have_probes && offsets.ranks() == trace.ranks()
+          ? apply_correction(trace, LinearInterpolation::from_store(offsets))
+          : TimestampArray::from_local(trace);
+  out.push_back({"interpolation+clc-serial",
+                 controlled_logical_clock(trace, schedule, input).corrected, true});
+  out.push_back({"interpolation+clc-parallel",
+                 controlled_logical_clock_parallel(trace, schedule, input).corrected, true});
+  return out;
+}
+
+DifferentialReport compare_methods(const Trace& trace,
+                                   const std::vector<MethodOutput>& outputs,
+                                   double tolerance) {
+  CS_REQUIRE(tolerance >= 0.0, "tolerance must be non-negative");
+  DifferentialReport report;
+  for (std::size_t a = 0; a < outputs.size(); ++a) {
+    for (std::size_t b = a + 1; b < outputs.size(); ++b) {
+      PairDivergence d;
+      d.method_a = outputs[a].name;
+      d.method_b = outputs[b].name;
+      d.must_match = must_match_exactly(d.method_a, d.method_b);
+      for (Rank r = 0; r < trace.ranks(); ++r) {
+        const auto& ta = outputs[a].ts.of_rank(r);
+        const auto& tb = outputs[b].ts.of_rank(r);
+        CS_REQUIRE(ta.size() == tb.size(), "method outputs differ in shape");
+        for (std::uint32_t i = 0; i < ta.size(); ++i) {
+          ++d.events;
+          const bool identical = std::bit_cast<std::uint64_t>(ta[i]) ==
+                                 std::bit_cast<std::uint64_t>(tb[i]);
+          const double diff = identical ? 0.0 : std::abs(ta[i] - tb[i]);
+          const double limit = d.must_match ? 0.0 : tolerance;
+          if (!identical && !(diff <= limit)) ++d.above_tolerance;
+          if (diff > d.max_abs_diff || (d.events == 1)) {
+            d.max_abs_diff = diff;
+            d.worst = {r, i};
+          }
+        }
+      }
+      if (d.must_match && d.above_tolerance > 0) {
+        std::ostringstream os;
+        os << d.method_a << " vs " << d.method_b << ": contracted bit-identical but "
+           << d.above_tolerance << " event(s) diverge (max " << d.max_abs_diff
+           << " s at rank " << d.worst.proc << " event " << d.worst.index << ")";
+        report.failures.push_back(os.str());
+      }
+      report.pairs.push_back(std::move(d));
+    }
+  }
+  return report;
+}
+
+namespace {
+
+void compare_reports(const char* what, const ClockConditionReport& a,
+                     const ClockConditionReport& b, std::vector<std::string>& failures) {
+  auto mismatch = [&](const char* field, double x, double y) {
+    std::ostringstream os;
+    os << what << ": " << field << " diverges (" << x << " vs " << y << ")";
+    failures.push_back(os.str());
+  };
+  if (a.p2p_messages != b.p2p_messages)
+    mismatch("p2p_messages", static_cast<double>(a.p2p_messages),
+             static_cast<double>(b.p2p_messages));
+  if (a.p2p_reversed != b.p2p_reversed)
+    mismatch("p2p_reversed", static_cast<double>(a.p2p_reversed),
+             static_cast<double>(b.p2p_reversed));
+  if (a.p2p_violations != b.p2p_violations)
+    mismatch("p2p_violations", static_cast<double>(a.p2p_violations),
+             static_cast<double>(b.p2p_violations));
+  if (a.p2p_worst != b.p2p_worst) mismatch("p2p_worst", a.p2p_worst, b.p2p_worst);
+  if (a.logical_messages != b.logical_messages)
+    mismatch("logical_messages", static_cast<double>(a.logical_messages),
+             static_cast<double>(b.logical_messages));
+  if (a.logical_reversed != b.logical_reversed)
+    mismatch("logical_reversed", static_cast<double>(a.logical_reversed),
+             static_cast<double>(b.logical_reversed));
+  if (a.logical_violations != b.logical_violations)
+    mismatch("logical_violations", static_cast<double>(a.logical_violations),
+             static_cast<double>(b.logical_violations));
+  if (a.logical_worst != b.logical_worst)
+    mismatch("logical_worst", a.logical_worst, b.logical_worst);
+  if (a.total_events != b.total_events)
+    mismatch("total_events", static_cast<double>(a.total_events),
+             static_cast<double>(b.total_events));
+  if (a.message_events != b.message_events)
+    mismatch("message_events", static_cast<double>(a.message_events),
+             static_cast<double>(b.message_events));
+}
+
+}  // namespace
+
+std::size_t cross_check_scans(const Trace& trace, const ReplaySchedule& schedule,
+                              std::vector<std::string>& failures) {
+  const TimestampArray local = TimestampArray::from_local(trace);
+  const ClockConditionReport full = check_clock_condition(trace, local);
+  const ClockConditionReport csr = check_clock_condition(trace, local, schedule);
+  compare_reports("full vs CSR scan", full, csr, failures);
+
+  std::stringstream v2;
+  write_trace_v2(trace, v2);
+  TraceReader reader(v2);
+  const ClockConditionReport streamed = scan_clock_condition(reader);
+  compare_reports("in-memory vs streaming scan", full, streamed, failures);
+  return 2;
+}
+
+std::string DifferentialReport::summary() const {
+  std::ostringstream os;
+  os << "differential: " << pairs.size() << " method pair(s), " << failures.size()
+     << " contract failure(s)\n";
+  for (const auto& p : pairs) {
+    os << "  " << p.method_a << " vs " << p.method_b << ": max |diff| "
+       << p.max_abs_diff << " s, " << p.above_tolerance << "/" << p.events
+       << " above tolerance" << (p.must_match ? " [must match]" : "") << "\n";
+  }
+  for (const auto& f : failures) os << "  FAIL " << f << "\n";
+  return os.str();
+}
+
+DifferentialReport run_differential_suite(const Trace& trace, const OffsetStore& offsets,
+                                          double tolerance) {
+  const auto messages = trace.match_messages();
+  const auto logical = derive_logical_messages(trace);
+  const ReplaySchedule schedule(trace, messages, logical);
+
+  const auto outputs = run_all_methods(trace, offsets, messages, schedule);
+  DifferentialReport report = compare_methods(trace, outputs, tolerance);
+  cross_check_scans(trace, schedule, report.failures);
+
+  // Invariant audit: CLC outputs must be exactly clean; every other method
+  // must at least keep timestamps finite and local order intact.
+  for (const auto& m : outputs) {
+    VerifyOptions opt;
+    opt.clock_condition_slack = m.restores_clock_condition ? 0.0 : kTimeInfinity;
+    const InvariantChecker checker(trace, schedule, opt);
+    const VerifyReport audit = checker.check(m.ts);
+    if (!audit.ok()) {
+      std::ostringstream os;
+      os << m.name << ": invariant audit found " << audit.total() << " violation(s)\n"
+         << audit.summary();
+      report.failures.push_back(os.str());
+    }
+  }
+  return report;
+}
+
+}  // namespace chronosync::verify

@@ -1,0 +1,83 @@
+// Differential cross-checks across the correction stack.
+//
+// Independent implementations that promise the same answer are the cheapest
+// oracle this codebase has: the serial and parallel CLC must agree
+// bit-for-bit, the three clock-condition scanners (message re-matching, CSR
+// schedule scan, out-of-core v2 stream scan) must produce identical reports,
+// and the interpolation family collapses to pairwise-identical corrections on
+// degenerate inputs.  This module runs every correction method on one trace,
+// compares all outputs pairwise, and checks the declared equivalences — a
+// divergence above tolerance is a bug in one of the implementations, not a
+// property of the data.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "measure/offset_probe.hpp"
+#include "sync/replay.hpp"
+#include "trace/trace.hpp"
+#include "verify/invariants.hpp"
+
+namespace chronosync::verify {
+
+/// One correction method's output on the shared trace.
+struct MethodOutput {
+  std::string name;
+  TimestampArray ts;
+  /// True for methods contracted to leave zero clock-condition violations
+  /// (the CLC family); their outputs are audited with zero slack.
+  bool restores_clock_condition = false;
+};
+
+/// Runs every available correction method on one trace: offset alignment,
+/// linear/piecewise interpolation, the three error-estimation variants, and
+/// serial + parallel CLC over the interpolated input.  Methods whose
+/// preconditions the fixture cannot meet (e.g. no offset store) are skipped.
+std::vector<MethodOutput> run_all_methods(const Trace& trace, const OffsetStore& offsets,
+                                          const std::vector<MessageRecord>& messages,
+                                          const ReplaySchedule& schedule);
+
+/// Pairwise divergence between two timestamp arrays of identical shape.
+struct PairDivergence {
+  std::string method_a;
+  std::string method_b;
+  std::size_t events = 0;
+  std::size_t above_tolerance = 0;  ///< events where |a - b| > tolerance
+  double max_abs_diff = 0.0;
+  EventRef worst{};                 ///< event attaining max_abs_diff
+  /// True when the pair is contracted to agree within tolerance (e.g. CLC
+  /// serial vs parallel at tolerance 0) — then above_tolerance > 0 is a bug.
+  bool must_match = false;
+};
+
+struct DifferentialReport {
+  std::vector<PairDivergence> pairs;      ///< all method pairs, audit order
+  std::vector<std::string> failures;      ///< human-readable contract breaches
+
+  bool ok() const { return failures.empty(); }
+  std::string summary() const;
+};
+
+/// Compares every pair of method outputs.  `tolerance` applies to
+/// informational pairs; must-match pairs (identical `name` prefix rules are
+/// not used — the caller's contract list below is) are compared exactly.
+DifferentialReport compare_methods(const Trace& trace,
+                                   const std::vector<MethodOutput>& outputs,
+                                   double tolerance);
+
+/// Cross-checks the three clock-condition scanners on the trace's local
+/// timestamps: full message re-matching, single-pass CSR scan, and the
+/// streaming v2 scan over an in-memory serialization.  Appends any field
+/// mismatch to `failures` and returns the number of comparisons made.
+std::size_t cross_check_scans(const Trace& trace, const ReplaySchedule& schedule,
+                              std::vector<std::string>& failures);
+
+/// The full differential suite: run_all_methods + compare_methods +
+/// cross_check_scans + an invariant audit of every CLC output (zero slack)
+/// with `audit_slack` applied to the non-exact methods.
+DifferentialReport run_differential_suite(const Trace& trace, const OffsetStore& offsets,
+                                          double tolerance = 1e-9);
+
+}  // namespace chronosync::verify

@@ -1,0 +1,132 @@
+#include "verify/fault_injection.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace chronosync::verify {
+
+std::string to_string(FaultClass f) {
+  switch (f) {
+    case FaultClass::ProbeOutlier: return "probe-outlier";
+    case FaultClass::DuplicateProbes: return "duplicate-probes";
+    case FaultClass::ClockStep: return "clock-step";
+    case FaultClass::OneSidedTraffic: return "one-sided-traffic";
+    case FaultClass::EmptyRanks: return "empty-ranks";
+  }
+  return "?";
+}
+
+std::vector<FaultClass> all_fault_classes() {
+  return {FaultClass::ProbeOutlier, FaultClass::DuplicateProbes, FaultClass::ClockStep,
+          FaultClass::OneSidedTraffic, FaultClass::EmptyRanks};
+}
+
+namespace {
+
+OffsetStore rebuild_sorted(int ranks,
+                           std::vector<std::vector<OffsetMeasurement>> samples) {
+  OffsetStore out(ranks);
+  for (Rank r = 0; r < ranks; ++r) {
+    auto& v = samples[static_cast<std::size_t>(r)];
+    std::stable_sort(v.begin(), v.end(),
+                     [](const OffsetMeasurement& a, const OffsetMeasurement& b) {
+                       return a.worker_time < b.worker_time;
+                     });
+    for (const auto& m : v) out.add(r, m);
+  }
+  return out;
+}
+
+std::vector<std::vector<OffsetMeasurement>> copy_samples(const OffsetStore& store) {
+  std::vector<std::vector<OffsetMeasurement>> samples(
+      static_cast<std::size_t>(store.ranks()));
+  for (Rank r = 0; r < store.ranks(); ++r) {
+    samples[static_cast<std::size_t>(r)] = store.of(r);
+  }
+  return samples;
+}
+
+}  // namespace
+
+OffsetStore with_probe_outliers(const OffsetStore& store, Duration magnitude,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  auto samples = copy_samples(store);
+  for (auto& v : samples) {
+    if (v.empty()) continue;
+    OffsetMeasurement outlier = v.front();
+    const Time w1 = v.front().worker_time;
+    const Time w2 = v.back().worker_time;
+    // Strictly inside the interval (or just after a degenerate one), so the
+    // first/last samples the linear map consumes stay untouched.
+    outlier.worker_time = w2 > w1 ? w1 + (w2 - w1) * rng.uniform(0.25, 0.75) : w1 + 1e-6;
+    outlier.offset += magnitude * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+    outlier.rtt += std::abs(magnitude);  // an asymmetric, slow ping
+    v.push_back(outlier);
+  }
+  return rebuild_sorted(store.ranks(), std::move(samples));
+}
+
+OffsetStore with_duplicate_probes(const OffsetStore& store, int copies) {
+  CS_REQUIRE(copies >= 1, "need at least one duplicate");
+  auto samples = copy_samples(store);
+  for (auto& v : samples) {
+    if (v.empty()) continue;
+    for (int c = 0; c < copies; ++c) {
+      OffsetMeasurement dup = v.front();
+      // Same worker_time, spread offsets: the exact batched-probe shape.
+      dup.offset += static_cast<double>(c + 1) * 1e-7;
+      v.push_back(dup);
+    }
+  }
+  return rebuild_sorted(store.ranks(), std::move(samples));
+}
+
+OffsetStore with_collapsed_probes(const OffsetStore& store) {
+  auto samples = copy_samples(store);
+  for (auto& v : samples) {
+    for (auto& m : v) {
+      if (!v.empty()) m.worker_time = v.front().worker_time;
+    }
+  }
+  return rebuild_sorted(store.ranks(), std::move(samples));
+}
+
+Trace with_clock_step(const Trace& trace, Rank victim, Time after_local, Duration step) {
+  CS_REQUIRE(victim >= 0 && victim < trace.ranks(), "victim rank out of range");
+  CS_REQUIRE(step >= 0.0, "negative steps would break local monotonicity");
+  Trace out = trace;
+  for (Event& e : out.events(victim)) {
+    if (e.local_ts >= after_local) e.local_ts += step;
+  }
+  return out;
+}
+
+Trace with_one_sided_traffic(const Trace& trace) {
+  Trace out = trace;
+  for (Rank r = 0; r < out.ranks(); ++r) {
+    auto& events = out.events(r);
+    events.erase(std::remove_if(events.begin(), events.end(),
+                                [&](const Event& e) {
+                                  // Drop high->low messages at both endpoints.
+                                  if (e.type == EventType::Send) return e.peer < r;
+                                  if (e.type == EventType::Recv) return e.peer > r;
+                                  return false;
+                                }),
+                 events.end());
+  }
+  return out;
+}
+
+Trace with_empty_ranks(const Trace& trace, int stride) {
+  CS_REQUIRE(stride >= 2, "stride must keep at least the master rank populated");
+  Trace out = trace;
+  for (Rank r = 1; r < out.ranks(); r += stride) {
+    out.events(r).clear();
+  }
+  return out;
+}
+
+}  // namespace chronosync::verify

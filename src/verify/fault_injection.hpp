@@ -1,0 +1,63 @@
+// Deterministic fault injection for the correction stack.
+//
+// The bugs that survive in synchronization code live in degenerate inputs: a
+// probe batch whose samples share one worker_time, an outlier RTT that drags
+// the interpolation line, a clock stepped mid-run, traffic that only flows
+// one way, ranks that never logged an event.  These generators perturb a
+// healthy (trace, offset store) fixture into exactly those shapes — pure
+// functions of their seed, so every failure they expose replays bit-for-bit.
+//
+// The generators return perturbed *copies*; the fixture stays reusable
+// across fault classes.  chronocheck --faults drives the whole correction
+// pipeline through every class and requires a typed report or a typed error,
+// never a crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "measure/offset_probe.hpp"
+#include "trace/trace.hpp"
+
+namespace chronosync::verify {
+
+enum class FaultClass {
+  ProbeOutlier,      ///< one probe sample per rank dragged far off the line
+  DuplicateProbes,   ///< batched probes: equal worker_time samples per rank
+  ClockStep,         ///< one rank's clock steps forward mid-run
+  OneSidedTraffic,   ///< all traffic of one direction removed
+  EmptyRanks,        ///< some ranks have no events at all
+};
+
+std::string to_string(FaultClass f);
+std::vector<FaultClass> all_fault_classes();
+
+/// Adds one outlier sample per rank: `magnitude` seconds of extra offset at
+/// a worker_time strictly inside the rank's measurement interval.
+OffsetStore with_probe_outliers(const OffsetStore& store, Duration magnitude,
+                                std::uint64_t seed);
+
+/// Duplicates each rank's first sample `copies` times at the *same*
+/// worker_time but with spread offsets — the batched-probe degeneracy that
+/// used to abort PiecewiseInterpolation::from_store.
+OffsetStore with_duplicate_probes(const OffsetStore& store, int copies = 2);
+
+/// Collapses every rank's samples onto a single worker_time (an aborted run
+/// whose probes all landed in one batch) — the fully degenerate store.
+OffsetStore with_collapsed_probes(const OffsetStore& store);
+
+/// Steps rank `victim`'s local clock forward by `step` (> 0 keeps local
+/// monotonicity) for every event at local_ts >= `after_local`.
+Trace with_clock_step(const Trace& trace, Rank victim, Time after_local, Duration step);
+
+/// Removes every Send whose destination rank is below the source (and its
+/// matched Recv), leaving only one-directional p2p traffic — the input on
+/// which error estimation must report unreachable ranks, not crash.
+Trace with_one_sided_traffic(const Trace& trace);
+
+/// Erases all events of every `stride`-th rank (starting at rank 1), giving
+/// a trace with empty ranks but unchanged placement.
+Trace with_empty_ranks(const Trace& trace, int stride = 2);
+
+}  // namespace chronosync::verify

@@ -37,25 +37,24 @@ TEST(FitLine, RejectsDegenerate) {
 }
 
 TEST(ConvexHull, LowerHullOfSquare) {
-  // Monotone chain runs from the lexicographically first to the last point,
-  // so the right edge's top corner terminates the chain.
+  // The chains are envelopes over x, not closed polygons: a vertical edge
+  // collapses to its extreme for the chain's side, so the lower hull of the
+  // unit square is just its bottom edge.
   std::vector<Point2> pts = {{0, 0}, {1, 1}, {0, 1}, {1, 0}, {0.5, 0.5}};
   const auto hull = lower_convex_hull(pts);
-  ASSERT_EQ(hull.size(), 3u);
+  ASSERT_EQ(hull.size(), 2u);
   EXPECT_DOUBLE_EQ(hull[0].x, 0.0);
   EXPECT_DOUBLE_EQ(hull[0].y, 0.0);
   EXPECT_DOUBLE_EQ(hull[1].x, 1.0);
   EXPECT_DOUBLE_EQ(hull[1].y, 0.0);
-  EXPECT_DOUBLE_EQ(hull[2].y, 1.0);
 }
 
 TEST(ConvexHull, UpperHullOfSquare) {
   std::vector<Point2> pts = {{0, 0}, {1, 1}, {0, 1}, {1, 0}, {0.5, 0.2}};
   const auto hull = upper_convex_hull(pts);
-  ASSERT_EQ(hull.size(), 3u);
-  EXPECT_DOUBLE_EQ(hull[0].y, 0.0);  // chain starts at (0,0)
-  EXPECT_DOUBLE_EQ(hull[1].y, 1.0);  // rises to (0,1)
-  EXPECT_DOUBLE_EQ(hull[2].y, 1.0);  // ends at (1,1); (0.5,0.2) is inside
+  ASSERT_EQ(hull.size(), 2u);
+  EXPECT_DOUBLE_EQ(hull[0].y, 1.0);  // top edge: (0,1) ...
+  EXPECT_DOUBLE_EQ(hull[1].y, 1.0);  // ... to (1,1); interior points are below
 }
 
 TEST(ConvexHull, AllPointsAboveLowerHull) {
@@ -77,6 +76,47 @@ TEST(ConvexHull, KeepsCollinearEndpoints) {
   EXPECT_GE(hull.size(), 2u);
   EXPECT_DOUBLE_EQ(hull.front().x, 0.0);
   EXPECT_DOUBLE_EQ(hull.back().x, 2.0);
+}
+
+// Degenerate clouds the error-estimation bound construction feeds in: the
+// hull must always come back non-empty and usable as an envelope.
+TEST(ConvexHull, DuplicatePointsCollapse) {
+  std::vector<Point2> pts = {{1.0, 2.0}, {1.0, 2.0}, {1.0, 2.0}};
+  const auto lower = lower_convex_hull(pts);
+  const auto upper = upper_convex_hull(pts);
+  ASSERT_FALSE(lower.empty());
+  ASSERT_FALSE(upper.empty());
+  PiecewiseLinear env(lower);
+  EXPECT_DOUBLE_EQ(env(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(env(5.0), 2.0);  // single effective knot extrapolates flat
+}
+
+TEST(ConvexHull, TwoPointsAreTheHull) {
+  std::vector<Point2> pts = {{0.0, 1.0}, {2.0, 3.0}};
+  const auto lower = lower_convex_hull(pts);
+  ASSERT_GE(lower.size(), 2u);
+  EXPECT_DOUBLE_EQ(lower.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(lower.back().x, 2.0);
+  PiecewiseLinear env(lower);
+  EXPECT_DOUBLE_EQ(env(1.0), 2.0);
+}
+
+TEST(ConvexHull, VerticalStackKeepsExtremes) {
+  // All points share one x: the lower hull must expose the minimum y and the
+  // upper hull the maximum y, without an empty or unordered chain.
+  std::vector<Point2> pts = {{3.0, 5.0}, {3.0, 1.0}, {3.0, 9.0}};
+  const auto lower = lower_convex_hull(pts);
+  const auto upper = upper_convex_hull(pts);
+  ASSERT_FALSE(lower.empty());
+  ASSERT_FALSE(upper.empty());
+  EXPECT_DOUBLE_EQ(PiecewiseLinear(lower)(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(PiecewiseLinear(upper)(3.0), 9.0);
+}
+
+TEST(ConvexHull, SinglePointHull) {
+  const auto hull = lower_convex_hull({{4.0, 2.0}});
+  ASSERT_EQ(hull.size(), 1u);
+  EXPECT_DOUBLE_EQ(PiecewiseLinear(hull)(0.0), 2.0);
 }
 
 TEST(PiecewiseLinear, InterpolatesAndExtrapolates) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.hpp"
 
@@ -94,6 +95,30 @@ TEST(Histogram, BinEdges) {
   EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
   EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
   EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+// Regression: add() used to cast the raw bin position to std::size_t before
+// clamping, which is UB for NaN and for values far outside the range.  The
+// cast now happens after clamping, and NaN lands in a dedicated counter.
+TEST(Histogram, NanGoesToInvalidCounter) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::nan(""));
+  h.add(5.0);
+  EXPECT_EQ(h.invalid(), 1u);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+}
+
+TEST(Histogram, InfinitiesClampToEndBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(1e300);
+  h.add(-1e300);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.invalid(), 0u);
 }
 
 TEST(Histogram, RenderContainsCounts) {

@@ -88,6 +88,49 @@ TEST(Cli, SeedOption) {
   EXPECT_EQ(cli.get_seed(), 99u);
 }
 
+// Regression: get_int used to atoll() the value, so "--reps=abc" silently
+// became 0 and "--reps=10x" became 10.  Both must be rejected now.
+TEST(Cli, GetIntRejectsNonNumeric) {
+  const char* argv[] = {"prog", "--reps=abc"};
+  Cli cli(2, argv);
+  EXPECT_THROW(cli.get_int("reps", 1), std::invalid_argument);
+}
+
+TEST(Cli, GetIntRejectsTrailingGarbage) {
+  const char* argv[] = {"prog", "--reps=10x"};
+  Cli cli(2, argv);
+  EXPECT_THROW(cli.get_int("reps", 1), std::invalid_argument);
+}
+
+TEST(Cli, GetDoubleRejectsNonNumeric) {
+  const char* argv[] = {"prog", "--gap=fast", "--tol=1.5e"};
+  Cli cli(3, argv);
+  EXPECT_THROW(cli.get_double("gap", 1.0), std::invalid_argument);
+  EXPECT_THROW(cli.get_double("tol", 1.0), std::invalid_argument);
+}
+
+TEST(Cli, GetIntRejectsEmptyValue) {
+  const char* argv[] = {"prog", "--reps="};
+  Cli cli(2, argv);
+  EXPECT_THROW(cli.get_int("reps", 1), std::invalid_argument);
+}
+
+TEST(Cli, NegativeValuesParse) {
+  // "--offset -3" (separate token) and "--offset=-3" must both yield -3,
+  // not treat the value as a stray positional.
+  const char* argv[] = {"prog", "--offset", "-3", "--scale=-2.5"};
+  Cli cli(4, argv);
+  EXPECT_EQ(cli.get_int("offset", 0), -3);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale", 0.0), -2.5);
+  EXPECT_TRUE(cli.positional().empty());
+}
+
+TEST(Cli, GetIntRejectsOutOfRange) {
+  const char* argv[] = {"prog", "--big=99999999999999999999999"};
+  Cli cli(2, argv);
+  EXPECT_THROW(cli.get_int("big", 0), std::invalid_argument);
+}
+
 TEST(Expect, RequireThrowsInvalidArgument) {
   EXPECT_THROW(CS_REQUIRE(false, "msg"), std::invalid_argument);
   EXPECT_NO_THROW(CS_REQUIRE(true, "msg"));

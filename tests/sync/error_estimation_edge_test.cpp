@@ -104,6 +104,33 @@ TEST(ErrorEstimationEdge, DisconnectedComponentsPartiallyCorrected) {
   EXPECT_NEAR(corr.correct(1, 9.0), 9.0, 1e-4);
 }
 
+TEST(ErrorEstimationEdge, SpanningTreeTieBreakIsDeterministic) {
+  // Regression: with equal traffic on every edge, the old tuple max-heap
+  // preferred the *largest* ranks, so the tree shape depended on nothing but
+  // heap internals.  Ties now resolve to the smallest (from, to) pair: in an
+  // equal-weight triangle both leaves chain directly to the master.
+  Trace t = base_trace(3);
+  std::int64_t id = 0;
+  const std::pair<Rank, Rank> pairs[] = {{0, 1}, {0, 2}, {1, 2}};
+  for (auto [a, b] : pairs) {
+    for (int i = 0; i < 10; ++i) {
+      add_message(t, a, b, 1.0 + i, 1.0 + i + 1e-5, id++);
+      add_message(t, b, a, 1.5 + i, 1.5 + i + 1e-5, id++);
+    }
+  }
+  const auto corr = ErrorEstimationCorrection::build(t, t.match_messages(),
+                                                     EstimationMethod::Regression);
+  ASSERT_EQ(corr.tree_parent().size(), 3u);
+  EXPECT_EQ(corr.tree_parent()[0], -1);  // master is the root
+  EXPECT_EQ(corr.tree_parent()[1], 0);
+  EXPECT_EQ(corr.tree_parent()[2], 0);
+
+  // Same trace, same build: byte-identical tree on every run.
+  const auto again = ErrorEstimationCorrection::build(t, t.match_messages(),
+                                                      EstimationMethod::Regression);
+  EXPECT_EQ(corr.tree_parent(), again.tree_parent());
+}
+
 TEST(ErrorEstimationEdge, StarTopologyChainsEveryLeaf) {
   // Rank 0 talks to every other rank; estimation must reach all leaves.
   Trace t = base_trace(5);

@@ -125,6 +125,37 @@ TEST(PiecewiseInterpolation, FollowsAllKnots) {
   EXPECT_DOUBLE_EQ(interp.correct(1, 100.0), 101.0);
 }
 
+TEST(PiecewiseInterpolation, FromStoreDropsDuplicateWorkerTimes) {
+  // Regression: a batched probe pair sharing one worker_time used to abort
+  // from_store (PiecewiseLinear rejects non-increasing knots).  Duplicates
+  // are dropped now; the first sample of each batch wins.
+  OffsetStore store(2);
+  store.add(0, {0.0, 0.0, 0.0});
+  store.add(0, {100.0, 0.0, 0.0});
+  store.add(1, {0.0, 0.0, 0.0});
+  store.add(1, {50.0, 1.0, 0.0});
+  store.add(1, {50.0, 9.0, 0.0});  // duplicate worker_time: must be ignored
+  store.add(1, {100.0, 1.0, 0.0});
+  PiecewiseInterpolation interp = PiecewiseInterpolation::from_store(store);
+  EXPECT_DOUBLE_EQ(interp.correct(1, 25.0), 25.5);
+  EXPECT_DOUBLE_EQ(interp.correct(1, 75.0), 76.0);
+  EXPECT_DOUBLE_EQ(interp.correct(1, 100.0), 101.0);
+}
+
+TEST(PiecewiseInterpolation, FromStoreDegenerateIntervalFallsBackToOffset) {
+  // All of a rank's probes in one batch: mirrors the linear fallback — pure
+  // offset alignment from the first sample, unit slope everywhere.
+  OffsetStore store(2);
+  store.add(0, {0.0, 0.0, 0.0});
+  store.add(0, {100.0, 0.0, 0.0});
+  store.add(1, {5.0, 1.5, 1e-5});
+  store.add(1, {5.0, 1.9, 1e-5});
+  PiecewiseInterpolation interp = PiecewiseInterpolation::from_store(store);
+  EXPECT_DOUBLE_EQ(interp.correct(1, 5.0), 6.5);
+  EXPECT_DOUBLE_EQ(interp.correct(1, 1000.0), 1001.5);
+  EXPECT_DOUBLE_EQ(interp.correct(0, 50.0), 50.0);
+}
+
 TEST(PiecewiseInterpolation, BeatsLinearOnPiecewiseDrift) {
   // A clock with an abrupt drift change halfway (the NTP turning point of
   // Fig. 4): piecewise interpolation with a mid-run measurement reconstructs

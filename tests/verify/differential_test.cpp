@@ -1,0 +1,90 @@
+// Differential cross-checks: a healthy simulated run must come back clean,
+// and a seeded divergence in a contracted-identical pair must be caught.
+#include "verify/differential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/logical_messages.hpp"
+#include "workload/sweep.hpp"
+
+namespace chronosync {
+namespace {
+
+AppRunResult small_fixture(std::uint64_t seed = 42) {
+  SweepConfig cfg;
+  cfg.rounds = 60;
+  cfg.gap_mean = 3.0;  // long gaps: drift accumulates, Eq. 1 violations appear
+  cfg.collective_every = 20;
+  JobConfig job;
+  job.placement = pinning::inter_node(clusters::xeon_rwth(), 4);
+  job.timer = timer_specs::intel_tsc();
+  job.seed = seed;
+  return run_sweep(cfg, std::move(job));
+}
+
+TEST(Differential, RunAllMethodsIncludesClcContractPair) {
+  const AppRunResult res = small_fixture();
+  const auto msgs = res.trace.match_messages();
+  const auto logical = derive_logical_messages(res.trace);
+  const ReplaySchedule schedule(res.trace, msgs, logical);
+  const auto outputs = verify::run_all_methods(res.trace, res.offsets, msgs, schedule);
+
+  bool serial = false, parallel = false;
+  for (const auto& m : outputs) {
+    if (m.name == "interpolation+clc-serial") serial = m.restores_clock_condition;
+    if (m.name == "interpolation+clc-parallel") parallel = m.restores_clock_condition;
+    ASSERT_EQ(m.ts.ranks(), res.trace.ranks()) << m.name;
+  }
+  EXPECT_TRUE(serial);
+  EXPECT_TRUE(parallel);
+  EXPECT_GE(outputs.size(), 7u);  // raw + 3 probe-based + 3 estimators + 2 CLC
+}
+
+TEST(Differential, HealthyFixtureIsClean) {
+  const AppRunResult res = small_fixture();
+  const auto report = verify::run_differential_suite(res.trace, res.offsets);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_FALSE(report.pairs.empty());
+}
+
+TEST(Differential, SeededDivergenceInContractPairIsCaught) {
+  const AppRunResult res = small_fixture();
+  const auto msgs = res.trace.match_messages();
+  const auto logical = derive_logical_messages(res.trace);
+  const ReplaySchedule schedule(res.trace, msgs, logical);
+  auto outputs = verify::run_all_methods(res.trace, res.offsets, msgs, schedule);
+
+  for (auto& m : outputs) {
+    if (m.name != "interpolation+clc-parallel") continue;
+    for (Rank r = 0; r < m.ts.ranks(); ++r) {
+      if (!m.ts.of_rank(r).empty()) {
+        m.ts.of_rank(r).front() += 1e-3;  // simulate a miscompiled thread
+        break;
+      }
+    }
+  }
+  const auto report = verify::compare_methods(res.trace, outputs, 1e-9);
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_NE(report.failures.front().find("clc"), std::string::npos)
+      << report.failures.front();
+}
+
+TEST(Differential, ScannersAgreeOnFixture) {
+  const AppRunResult res = small_fixture();
+  const auto msgs = res.trace.match_messages();
+  const auto logical = derive_logical_messages(res.trace);
+  const ReplaySchedule schedule(res.trace, msgs, logical);
+  std::vector<std::string> failures;
+  const std::size_t comparisons = verify::cross_check_scans(res.trace, schedule, failures);
+  EXPECT_EQ(comparisons, 2u);
+  EXPECT_TRUE(failures.empty()) << failures.front();
+}
+
+TEST(Differential, ToleranceMustBeNonNegative) {
+  const AppRunResult res = small_fixture();
+  EXPECT_THROW(verify::compare_methods(res.trace, {}, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,152 @@
+// Fault injectors: deterministic, shape-preserving, and consumable by the
+// correction stack without crashes.
+#include "verify/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sync/interpolation.hpp"
+#include "topology/cluster.hpp"
+
+namespace chronosync {
+namespace {
+
+OffsetStore healthy_store() {
+  OffsetStore store(2);
+  store.add(0, {0.0, 0.0, 0.0});
+  store.add(0, {100.0, 0.0, 0.0});
+  store.add(1, {10.0, 1.0, 1e-5});
+  store.add(1, {90.0, 2.0, 1e-5});
+  return store;
+}
+
+Trace base_trace(int ranks) {
+  return Trace(pinning::inter_node(clusters::xeon_rwth(), ranks),
+               {0.47e-6, 0.86e-6, 4.29e-6}, "test");
+}
+
+void add_message(Trace& t, Rank from, Rank to, Time send_ts, Time recv_ts,
+                 std::int64_t id) {
+  Event s;
+  s.type = EventType::Send;
+  s.peer = to;
+  s.msg_id = id;
+  s.local_ts = s.true_ts = send_ts;
+  t.events(from).push_back(s);
+  Event r = s;
+  r.type = EventType::Recv;
+  r.peer = from;
+  r.local_ts = r.true_ts = recv_ts;
+  t.events(to).push_back(r);
+}
+
+TEST(FaultInjection, OutliersAreDeterministic) {
+  const OffsetStore store = healthy_store();
+  const OffsetStore a = verify::with_probe_outliers(store, 1e-3, 7);
+  const OffsetStore b = verify::with_probe_outliers(store, 1e-3, 7);
+  for (Rank r = 0; r < store.ranks(); ++r) {
+    ASSERT_EQ(a.of(r).size(), b.of(r).size());
+    for (std::size_t i = 0; i < a.of(r).size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.of(r)[i].worker_time, b.of(r)[i].worker_time);
+      EXPECT_DOUBLE_EQ(a.of(r)[i].offset, b.of(r)[i].offset);
+    }
+  }
+}
+
+TEST(FaultInjection, OutlierStaysStrictlyInsideInterval) {
+  const OffsetStore store = healthy_store();
+  const OffsetStore out = verify::with_probe_outliers(store, 1e-3, 7);
+  for (Rank r = 0; r < store.ranks(); ++r) {
+    ASSERT_EQ(out.of(r).size(), store.of(r).size() + 1);
+    // The interval endpoints the linear map consumes must stay untouched.
+    EXPECT_DOUBLE_EQ(out.of(r).front().worker_time, store.of(r).front().worker_time);
+    EXPECT_DOUBLE_EQ(out.of(r).back().worker_time, store.of(r).back().worker_time);
+    EXPECT_DOUBLE_EQ(out.of(r).front().offset, store.of(r).front().offset);
+    EXPECT_DOUBLE_EQ(out.of(r).back().offset, store.of(r).back().offset);
+  }
+}
+
+TEST(FaultInjection, DuplicateProbesShareWorkerTime) {
+  const OffsetStore out = verify::with_duplicate_probes(healthy_store(), 2);
+  ASSERT_EQ(out.of(1).size(), 4u);
+  EXPECT_DOUBLE_EQ(out.of(1)[0].worker_time, 10.0);
+  EXPECT_DOUBLE_EQ(out.of(1)[1].worker_time, 10.0);
+  EXPECT_DOUBLE_EQ(out.of(1)[2].worker_time, 10.0);
+  // Stable sort: the original sample still leads its batch.
+  EXPECT_DOUBLE_EQ(out.of(1)[0].offset, 1.0);
+}
+
+TEST(FaultInjection, DuplicateProbesFeedPiecewiseSafely) {
+  // End-to-end regression for the batched-probe crash: duplicated knots pass
+  // through PiecewiseInterpolation::from_store without aborting, and the
+  // first sample of the batch wins.
+  const OffsetStore out = verify::with_duplicate_probes(healthy_store());
+  const PiecewiseInterpolation interp = PiecewiseInterpolation::from_store(out);
+  EXPECT_DOUBLE_EQ(interp.correct(1, 10.0), 11.0);
+}
+
+TEST(FaultInjection, CollapsedProbesDegradeToOffsetAlignment) {
+  const OffsetStore out = verify::with_collapsed_probes(healthy_store());
+  for (const auto& m : out.of(1)) EXPECT_DOUBLE_EQ(m.worker_time, 10.0);
+  const LinearInterpolation lin = LinearInterpolation::from_store(out);
+  EXPECT_DOUBLE_EQ(lin.correct(1, 10.0), 11.0);
+  EXPECT_DOUBLE_EQ(lin.correct(1, 1000.0), 1001.0);  // no drift term
+}
+
+TEST(FaultInjection, ClockStepShiftsOnlyLateEvents) {
+  Trace t = base_trace(2);
+  add_message(t, 0, 1, 1.0, 1.1, 0);
+  add_message(t, 0, 1, 2.0, 2.1, 1);
+  const Trace stepped = verify::with_clock_step(t, 1, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(stepped.events(1)[0].local_ts, 1.1);
+  EXPECT_DOUBLE_EQ(stepped.events(1)[1].local_ts, 2.6);
+  EXPECT_DOUBLE_EQ(stepped.events(0)[0].local_ts, 1.0);  // other ranks untouched
+  // Positive steps keep rank-local monotonicity.
+  EXPECT_LT(stepped.events(1)[0].local_ts, stepped.events(1)[1].local_ts);
+}
+
+TEST(FaultInjection, ClockStepRejectsNegativeStep) {
+  Trace t = base_trace(2);
+  EXPECT_THROW(verify::with_clock_step(t, 0, 0.0, -1e-3), std::invalid_argument);
+  EXPECT_THROW(verify::with_clock_step(t, 5, 0.0, 1e-3), std::invalid_argument);
+}
+
+TEST(FaultInjection, OneSidedTrafficDropsBothEndpoints) {
+  Trace t = base_trace(2);
+  add_message(t, 0, 1, 1.0, 1.1, 0);  // low -> high survives
+  add_message(t, 1, 0, 2.0, 2.1, 1);  // high -> low is dropped
+  const Trace one_sided = verify::with_one_sided_traffic(t);
+  for (Rank r = 0; r < one_sided.ranks(); ++r) {
+    for (const Event& e : one_sided.events(r)) {
+      if (e.type == EventType::Send) {
+        EXPECT_GT(e.peer, r);
+      }
+      if (e.type == EventType::Recv) {
+        EXPECT_LT(e.peer, r);
+      }
+    }
+  }
+  // No orphaned halves: matching still succeeds and finds the survivor only.
+  EXPECT_EQ(one_sided.match_messages().size(), 1u);
+}
+
+TEST(FaultInjection, EmptyRanksClearsAlternatingRanks) {
+  Trace t = base_trace(4);
+  add_message(t, 0, 1, 1.0, 1.1, 0);
+  add_message(t, 2, 3, 1.0, 1.1, 1);
+  const Trace holey = verify::with_empty_ranks(t);
+  EXPECT_EQ(holey.ranks(), 4);
+  EXPECT_TRUE(holey.events(1).empty());
+  EXPECT_TRUE(holey.events(3).empty());
+  EXPECT_FALSE(holey.events(0).empty());
+  EXPECT_FALSE(holey.events(2).empty());
+  EXPECT_THROW(verify::with_empty_ranks(t, 1), std::invalid_argument);
+}
+
+TEST(FaultInjection, EveryClassHasAName) {
+  for (const auto f : verify::all_fault_classes()) {
+    EXPECT_NE(verify::to_string(f), "?");
+  }
+}
+
+}  // namespace
+}  // namespace chronosync

@@ -1,0 +1,178 @@
+// chronocheck — correction-stack verification driver.
+//
+// Three modes, composable in one invocation:
+//
+//   chronocheck <trace-file> [--slack S]
+//       Audits the file's recorded timestamps against the paper invariants
+//       (finiteness, per-rank local order, Eq. 1 with slack S) and
+//       cross-checks the three clock-condition scanners on it.  Violations of
+//       Eq. 1 are expected on raw traces — that is the paper's point — so
+//       they fail the run only under --strict.
+//
+//   chronocheck --synthetic [--ranks N --rounds R --seed S --tolerance T]
+//       Simulates a drifting-clock run, executes every correction method on
+//       it, audits each output, compares all outputs pairwise (CLC serial vs
+//       parallel must be bit-identical), and cross-checks the scanners.
+//
+//   chronocheck --faults [--ranks N --rounds R --seed S]
+//       Re-runs the synthetic differential suite under every fault class of
+//       verify/fault_injection.hpp.  Every class must complete with a clean
+//       report — degenerate inputs are handled, not crashed on.
+//
+// Exit code: 0 when every requested check passed, 1 otherwise.
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "sync/replay.hpp"
+#include "trace/logical_messages.hpp"
+#include "trace/trace_io.hpp"
+#include "verify/differential.hpp"
+#include "verify/fault_injection.hpp"
+#include "verify/invariants.hpp"
+#include "workload/sweep.hpp"
+
+using namespace chronosync;
+
+namespace {
+
+AppRunResult make_fixture(const Cli& cli) {
+  SweepConfig cfg;
+  // Long inter-round gaps let drift accumulate enough that the interpolated
+  // input still violates Eq. 1 — otherwise the CLC has nothing to repair and
+  // the differential only certifies the trivial path.
+  cfg.rounds = static_cast<int>(cli.get_int("rounds", 400));
+  cfg.gap_mean = cli.get_double("gap", 3.0);
+  cfg.collective_every = 50;
+  JobConfig job;
+  job.placement = pinning::inter_node(clusters::xeon_rwth(),
+                                      static_cast<int>(cli.get_int("ranks", 8)));
+  job.timer = timer_specs::intel_tsc();
+  job.seed = cli.get_seed();
+  return run_sweep(cfg, std::move(job));
+}
+
+int audit_file(const std::string& path, const Cli& cli) {
+  std::cout << "chronocheck: auditing " << path << "\n";
+  const Trace trace = read_trace_file(path);
+  const auto messages = trace.match_messages();
+  const auto logical = derive_logical_messages(trace);
+  const ReplaySchedule schedule(trace, messages, logical);
+
+  verify::VerifyOptions opt;
+  opt.clock_condition_slack = cli.get_double("slack", 0.0);
+  const verify::InvariantChecker checker(trace, schedule, opt);
+  const verify::VerifyReport report = checker.check(TimestampArray::from_local(trace));
+  std::cout << report.summary();
+
+  std::vector<std::string> failures;
+  verify::cross_check_scans(trace, schedule, failures);
+  for (const auto& f : failures) std::cout << "FAIL " << f << "\n";
+
+  const std::size_t structural =
+      report.total() - report.count(verify::InvariantKind::ClockCondition);
+  const bool clock_fails =
+      cli.has("strict") && report.count(verify::InvariantKind::ClockCondition) > 0;
+  if (structural > 0 || clock_fails || !failures.empty()) return 1;
+  std::cout << "ok: structural invariants hold"
+            << (report.count(verify::InvariantKind::ClockCondition) > 0
+                    ? " (clock-condition violations reported above; re-run with "
+                      "--strict to fail on them)"
+                    : "")
+            << "\n";
+  return 0;
+}
+
+int run_synthetic(const Cli& cli) {
+  const AppRunResult res = make_fixture(cli);
+  std::cout << "chronocheck: synthetic fixture with " << res.trace.ranks() << " ranks, "
+            << res.trace.total_events() << " events\n";
+  const auto report =
+      verify::run_differential_suite(res.trace, res.offsets, cli.get_double("tolerance", 1e-9));
+  std::cout << report.summary();
+  if (!report.ok()) return 1;
+  std::cout << "ok: differential suite clean\n";
+  return 0;
+}
+
+int run_faults(const Cli& cli) {
+  const AppRunResult res = make_fixture(cli);
+  const std::uint64_t seed = cli.get_seed();
+  int failures = 0;
+  for (const verify::FaultClass fault : verify::all_fault_classes()) {
+    std::cout << "chronocheck: fault class " << verify::to_string(fault) << "\n";
+    try {
+      Trace trace = res.trace;
+      OffsetStore offsets = res.offsets;
+      switch (fault) {
+        case verify::FaultClass::ProbeOutlier:
+          offsets = verify::with_probe_outliers(offsets, 1e-3, seed);
+          break;
+        case verify::FaultClass::DuplicateProbes:
+          offsets = verify::with_duplicate_probes(offsets);
+          break;
+        case verify::FaultClass::ClockStep: {
+          const auto& events = trace.events(0);
+          const Time mid =
+              events.empty() ? 0.0 : events[events.size() / 2].local_ts;
+          trace = verify::with_clock_step(trace, trace.ranks() / 2, mid, 50e-6);
+          break;
+        }
+        case verify::FaultClass::OneSidedTraffic:
+          trace = verify::with_one_sided_traffic(trace);
+          break;
+        case verify::FaultClass::EmptyRanks:
+          trace = verify::with_empty_ranks(trace);
+          break;
+      }
+      const auto report = verify::run_differential_suite(trace, offsets);
+      std::cout << report.summary();
+      if (!report.ok()) {
+        std::cout << "FAIL " << verify::to_string(fault)
+                  << ": differential suite reported contract failures\n";
+        ++failures;
+      }
+    } catch (const std::exception& e) {
+      std::cout << "FAIL " << verify::to_string(fault)
+                << ": pipeline threw instead of reporting: " << e.what() << "\n";
+      ++failures;
+    }
+  }
+  if (failures > 0) return 1;
+  std::cout << "ok: all fault classes handled gracefully\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  try {
+    int rc = 0;
+    bool ran = false;
+    if (cli.has("synthetic")) {
+      rc |= run_synthetic(cli);
+      ran = true;
+    }
+    if (cli.has("faults")) {
+      rc |= run_faults(cli);
+      ran = true;
+    }
+    for (const auto& path : cli.positional()) {
+      rc |= audit_file(path, cli);
+      ran = true;
+    }
+    if (!ran) {
+      std::cerr << "usage: chronocheck <trace-file> [--slack S] [--strict]\n"
+                   "       chronocheck --synthetic [--ranks N --rounds R --seed S "
+                   "--tolerance T]\n"
+                   "       chronocheck --faults [--ranks N --rounds R --seed S]\n";
+      return 2;
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::cerr << "chronocheck: " << e.what() << "\n";
+    return 2;
+  }
+}
