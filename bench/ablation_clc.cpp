@@ -8,6 +8,7 @@
 #include "analysis/interval_stats.hpp"
 #include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
+#include "obs/session.hpp"
 #include "common/table.hpp"
 #include "common/expect.hpp"
 #include "sync/clc.hpp"
@@ -20,6 +21,7 @@ using namespace chronosync;
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   benchkit::Harness harness(cli, "ablation_clc", {1, 0});
+  obs::ObsSession obs_session(cli, "ablation_clc");
   SweepConfig workload;
   workload.rounds = static_cast<int>(cli.get_int("rounds", 600));
   workload.gap_mean = cli.get_double("gap", 3.0);
@@ -90,5 +92,6 @@ int main(int argc, char** argv) {
                "re-violates repeatedly, repairing more receives.  Backward\n"
                "amortization trades a little interval distortion for removing the\n"
                "artificial idle gap before each jump.\n";
+  obs_session.finish();
   return 0;
 }

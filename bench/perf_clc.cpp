@@ -6,6 +6,8 @@
 #include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
 #include "common/expect.hpp"
+#include "obs/obs.hpp"
+#include "obs/session.hpp"
 #include "sync/clc.hpp"
 #include "sync/clc_parallel.hpp"
 #include "sync/interpolation.hpp"
@@ -50,20 +52,89 @@ struct Fixture {
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   benchkit::Harness harness(cli, "perf_clc");
+  obs::ObsSession obs_session(cli, "perf_clc");
   const int ranks = static_cast<int>(cli.get_int("ranks", 16));
   const int rounds = static_cast<int>(cli.get_int("rounds", 800));
+  // --threads N measures the parallel CLC at exactly N threads; the default
+  // sweeps the usual ladder.
+  const int threads_flag = static_cast<int>(cli.get_int("threads", 0));
+  std::vector<int> thread_list = {1, 2, 4, 8};
+  if (threads_flag > 0) thread_list = {threads_flag};
 
   const Fixture fx(Fixture::run(ranks, rounds, cli.get_seed()));
   const auto events = static_cast<std::int64_t>(fx.schedule.events());
   const benchkit::ConfigList base = {{"ranks", std::to_string(ranks)},
                                      {"rounds", std::to_string(rounds)}};
 
+  // Observability overhead, measured before the main records so the forced
+  // levels (and the reset below) cannot disturb a --trace-out recording.
+  // Baseline and obs_off are an A/A pair at the same forced-off level: the
+  // instrumentation's disabled cost plus run-to-run noise is their relative
+  // difference, which the CI gate bounds at 1%.
+  {
+    const int obs_threads = threads_flag > 0 ? threads_flag : 8;
+    benchkit::ConfigList config = base;
+    config.emplace_back("threads", std::to_string(obs_threads));
+    const obs::Level session_level = obs::level();
+    const auto run_parallel = [&] {
+      auto result =
+          controlled_logical_clock_parallel(fx.trace, fx.schedule, fx.input, {}, obs_threads);
+      benchkit::do_not_optimize(result.violations_repaired);
+    };
+
+    obs::set_level(obs::Level::Off);
+    run_parallel();  // one unconditional warmup: the A/A pair must not eat
+                     // the thread pool's cold start in its first member
+    const auto rec_base = harness.time("clc_parallel_obs_baseline", config, events, run_parallel);
+    const auto rec_off = harness.time("clc_parallel_obs_off", config, events, run_parallel);
+
+    // Per-call cost of a disabled span: one relaxed load + branch.
+    constexpr std::int64_t kProbeCalls = 1 << 20;
+    const auto rec_probe = harness.time("obs_disabled_probe", base, kProbeCalls, [&] {
+      for (std::int64_t i = 0; i < kProbeCalls; ++i) {
+        CS_SPAN("obs.probe");
+        benchkit::do_not_optimize(i);
+      }
+    });
+
+    obs::set_level(obs::Level::Trace);
+    const auto stats_before = obs::trace_stats();
+    const auto rec_trace = harness.time("clc_parallel_obs_trace", config, events, run_parallel);
+    const auto stats_after = obs::trace_stats();
+    obs::reset();  // drop the synthetic spans before any --trace-out recording
+    obs::set_level(session_level);
+
+    // Deterministic overhead bound (the CI gate): per-call disabled cost from
+    // the probe, times the number of gated sites one rep actually executes
+    // (spans check twice: construction and destruction), times a 2x margin
+    // for the registry-add sites the trace cannot count.  The A/A pair stays
+    // in the record as direct evidence, but at smoke scale its percentages
+    // carry tens of percent of scheduler noise — don't gate on them.
+    const double span_ns = rec_probe.wall_ns_p50 / static_cast<double>(kProbeCalls);
+    const double trace_reps = static_cast<double>(harness.warmup() + harness.reps());
+    const double checks_per_rep =
+        (2.0 * static_cast<double>(stats_after.spans - stats_before.spans) +
+         static_cast<double>(stats_after.counter_samples - stats_before.counter_samples)) /
+        trace_reps;
+    const double bound_pct = 100.0 * 2.0 * span_ns * checks_per_rep / rec_base.wall_ns_p50;
+
+    harness.metric(
+        "obs_overhead", config,
+        {{"disabled_pct_bound", bound_pct},
+         {"disabled_pct_p50", 100.0 * (rec_off.wall_ns_p50 / rec_base.wall_ns_p50 - 1.0)},
+         {"disabled_pct_min", 100.0 * (rec_off.wall_ns_min / rec_base.wall_ns_min - 1.0)},
+         {"enabled_trace_pct_p50",
+          100.0 * (rec_trace.wall_ns_p50 / rec_base.wall_ns_p50 - 1.0)},
+         {"disabled_checks_per_rep", checks_per_rep},
+         {"disabled_span_ns", span_ns}});
+  }
+
   harness.time("clc_sequential", base, events, [&] {
     auto result = controlled_logical_clock(fx.trace, fx.schedule, fx.input);
     benchkit::do_not_optimize(result.violations_repaired);
   });
 
-  for (int threads : {1, 2, 4, 8}) {
+  for (int threads : thread_list) {
     benchkit::ConfigList config = base;
     config.emplace_back("threads", std::to_string(threads));
     harness.time("clc_parallel", config, events, [&] {
@@ -113,5 +184,7 @@ int main(int argc, char** argv) {
     std::cerr << "verify: CLC invariants hold (" << audit.events_checked << " events, "
               << audit.edges_checked << " edges)\n";
   }
+
+  obs_session.finish();
   return 0;
 }

@@ -2,6 +2,7 @@
 // simulated events/messages per second the substrate sustains.
 #include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
+#include "obs/session.hpp"
 #include "mpisim/job.hpp"
 #include "sim/engine.hpp"
 #include "topology/cluster.hpp"
@@ -11,6 +12,7 @@ using namespace chronosync;
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   benchkit::Harness harness(cli, "perf_engine");
+  obs::ObsSession obs_session(cli, "perf_engine");
   const double scale = cli.get_double("scale", 1.0);
   auto scaled = [scale](int n) {
     return std::max(1, static_cast<int>(static_cast<double>(n) * scale));
@@ -103,5 +105,6 @@ int main(int argc, char** argv) {
     harness.metric("traced_app_events_count", {{"rounds", std::to_string(rounds)}},
                    {{"events", static_cast<double>(traced_events)}});
   }
+  obs_session.finish();
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "analysis/clock_condition_stream.hpp"
 #include "benchkit/benchkit.hpp"
 #include "common/cli.hpp"
+#include "obs/session.hpp"
 #include "common/expect.hpp"
 #include "sync/replay.hpp"
 #include "trace/logical_messages.hpp"
@@ -173,6 +174,7 @@ void run_streaming_section(benchkit::Harness& harness, std::uint64_t stream_even
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   benchkit::Harness harness(cli, "perf_trace");
+  obs::ObsSession obs_session(cli, "perf_trace");
   const int ranks = static_cast<int>(cli.get_int("ranks", 16));
   const int rounds = static_cast<int>(cli.get_int("rounds", 500));
   const auto stream_events =
@@ -298,5 +300,6 @@ int main(int argc, char** argv) {
     CS_ENSURE(failures.empty(), "clock-condition scanners diverge");
     std::fprintf(stderr, "verify: trace invariants + scanner cross-check ok\n");
   }
+  obs_session.finish();
   return 0;
 }

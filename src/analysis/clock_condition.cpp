@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace chronosync {
 
 namespace {
@@ -28,6 +30,7 @@ ClockConditionReport check_clock_condition(const Trace& trace,
                                            const TimestampArray& timestamps,
                                            const std::vector<MessageRecord>& messages,
                                            const std::vector<LogicalMessage>& logical) {
+  CS_SPAN("analysis.clock_condition_full");
   ClockConditionReport rep;
 
   for (const auto& m : messages) {
@@ -81,6 +84,7 @@ ClockConditionReport check_clock_condition(const Trace& trace,
 ClockConditionReport check_clock_condition(const Trace& trace,
                                            const TimestampArray& timestamps,
                                            const ReplaySchedule& schedule) {
+  CS_SPAN("analysis.clock_condition_csr");
   ClockConditionReport rep;
 
   // Flatten the per-rank timestamp rows into global-index order once, so the

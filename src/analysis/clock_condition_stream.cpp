@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "trace/trace_io.hpp"
 
 namespace chronosync {
@@ -44,6 +45,7 @@ void check_edge(Time ts, Time tr, Duration l_min, std::size_t& reversed,
 }  // namespace
 
 ClockConditionReport scan_clock_condition(TraceReader& reader) {
+  CS_SPAN("analysis.clock_condition_scan");
   const TraceMeta& meta = reader.meta();
   ClockConditionReport rep;
 

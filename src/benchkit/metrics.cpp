@@ -37,6 +37,10 @@ ResourceUsage sample_resource_usage() {
   rusage ru{};
   if (getrusage(RUSAGE_SELF, &ru) == 0) {
     usage.peak_rss_bytes = static_cast<std::int64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+    usage.cpu_user_ns = static_cast<std::int64_t>(ru.ru_utime.tv_sec) * 1'000'000'000 +
+                        static_cast<std::int64_t>(ru.ru_utime.tv_usec) * 1'000;
+    usage.cpu_sys_ns = static_cast<std::int64_t>(ru.ru_stime.tv_sec) * 1'000'000'000 +
+                       static_cast<std::int64_t>(ru.ru_stime.tv_usec) * 1'000;
   }
   if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
     long total = 0, resident = 0;

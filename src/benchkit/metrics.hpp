@@ -12,6 +12,11 @@ struct ResourceUsage {
   std::int64_t peak_rss_bytes = 0;
   /// Current RSS from /proc/self/statm, in bytes (0 where unavailable).
   std::int64_t current_rss_bytes = 0;
+  /// Process user-mode CPU time (ru_utime), in nanoseconds, cumulative since
+  /// process start — diff two samples to meter a region.
+  std::int64_t cpu_user_ns = 0;
+  /// Process kernel-mode CPU time (ru_stime), in nanoseconds, cumulative.
+  std::int64_t cpu_sys_ns = 0;
 };
 
 ResourceUsage sample_resource_usage();

@@ -24,6 +24,8 @@ JsonValue to_json(const BenchRecord& record) {
   JsonValue metrics = JsonValue::object();
   for (const auto& [k, v] : record.metrics) metrics.set(k, v);
   obj.set("metrics", std::move(metrics));
+  obj.set("cpu_user_ns", record.cpu_user_ns);
+  obj.set("cpu_sys_ns", record.cpu_sys_ns);
   obj.set("peak_rss_bytes", record.peak_rss_bytes);
   obj.set("alloc_bytes_per_iter", record.alloc_bytes_per_iter);
   obj.set("git_sha", record.git_sha);
@@ -44,7 +46,7 @@ const JsonValue& field(const JsonValue& obj, const char* key) {
 BenchRecord record_from_json(const JsonValue& value) {
   CS_REQUIRE(value.is_object(), "bench record is not a JSON object");
   const int version = static_cast<int>(field(value, "schema_version").as_number());
-  CS_REQUIRE(version == kSchemaVersion,
+  CS_REQUIRE(version == 1 || version == kSchemaVersion,
              "unsupported bench record schema_version " + std::to_string(version));
   BenchRecord rec;
   rec.suite = field(value, "suite").as_string();
@@ -60,6 +62,10 @@ BenchRecord record_from_json(const JsonValue& value) {
   rec.throughput = field(value, "throughput").as_number();
   for (const auto& [k, v] : field(value, "metrics").members()) {
     rec.metrics.emplace_back(k, v.as_number());
+  }
+  if (version >= 2) {
+    rec.cpu_user_ns = static_cast<std::int64_t>(field(value, "cpu_user_ns").as_number());
+    rec.cpu_sys_ns = static_cast<std::int64_t>(field(value, "cpu_sys_ns").as_number());
   }
   rec.peak_rss_bytes = static_cast<std::int64_t>(field(value, "peak_rss_bytes").as_number());
   rec.alloc_bytes_per_iter =

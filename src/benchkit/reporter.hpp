@@ -13,7 +13,12 @@
 namespace chronosync::benchkit {
 
 /// Bump when the record layout changes incompatibly; consumers must check it.
-inline constexpr int kSchemaVersion = 1;
+/// History:
+///   1 — initial layout
+///   2 — adds cpu_user_ns / cpu_sys_ns (process CPU time over the timed
+///       repetitions, from getrusage); v1 records still parse, with both
+///       fields defaulting to 0
+inline constexpr int kSchemaVersion = 2;
 
 using ConfigList = std::vector<std::pair<std::string, std::string>>;
 using MetricList = std::vector<std::pair<std::string, double>>;
@@ -29,6 +34,8 @@ struct BenchRecord {
   double wall_ns_min = 0.0;
   double throughput = 0.0;  // items per second at the p50 time; 0 if n/a
   MetricList metrics;       // named scalar results (figure/table numbers)
+  std::int64_t cpu_user_ns = 0;  // user CPU over the timed reps (schema >= 2)
+  std::int64_t cpu_sys_ns = 0;   // system CPU over the timed reps (schema >= 2)
   std::int64_t peak_rss_bytes = 0;
   std::int64_t alloc_bytes_per_iter = 0;
   std::string git_sha;

@@ -65,6 +65,7 @@ BenchRecord Harness::time(const std::string& name, ConfigList config,
   std::vector<double> wall_ns;
   wall_ns.reserve(static_cast<std::size_t>(reps_));
   const AllocationTotals alloc_before = allocation_totals();
+  const ResourceUsage cpu_before = sample_resource_usage();
   for (int i = 0; i < reps_; ++i) {
     const auto t0 = std::chrono::steady_clock::now();
     fn();
@@ -72,6 +73,7 @@ BenchRecord Harness::time(const std::string& name, ConfigList config,
     wall_ns.push_back(static_cast<double>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
   }
+  const ResourceUsage cpu_after = sample_resource_usage();
   const AllocationTotals alloc_after = allocation_totals();
 
   BenchRecord rec;
@@ -87,6 +89,10 @@ BenchRecord Harness::time(const std::string& name, ConfigList config,
   }
   rec.alloc_bytes_per_iter = static_cast<std::int64_t>(
       (alloc_after.bytes - alloc_before.bytes) / static_cast<std::uint64_t>(reps_));
+  // Whole-process CPU over the timed reps; with internal thread pools this
+  // exceeds wall time, which is exactly the signal (parallel efficiency).
+  rec.cpu_user_ns = cpu_after.cpu_user_ns - cpu_before.cpu_user_ns;
+  rec.cpu_sys_ns = cpu_after.cpu_sys_ns - cpu_before.cpu_sys_ns;
 
   const BenchRecord& out = finish(std::move(rec));
   std::cerr << "[bench] " << suite_ << '/' << name << ": p50 " << format_ns(out.wall_ns_p50)

@@ -1,12 +1,15 @@
 #include "common/log.hpp"
 
-#include <atomic>
-#include <iostream>
+#include <cstdio>
+#include <mutex>
 
 namespace chronosync {
 
+namespace detail {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::Warn)};
+}  // namespace detail
+
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -18,14 +21,35 @@ const char* level_name(LogLevel l) {
   }
   return "?";
 }
+
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) {
+  detail::g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(detail::g_log_level.load(std::memory_order_relaxed));
+}
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (level < g_level.load()) return;
-  std::cerr << "[" << level_name(level) << "] " << msg << '\n';
+  if (!log_enabled(level)) return;
+  // One formatted line, one stream write, under one mutex: concurrent
+  // threads' messages never interleave mid-line.
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(log_mutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace chronosync

@@ -1,7 +1,15 @@
 // Leveled logging to stderr.  Default level is Warn so library output never
 // pollutes the bench tables; binaries raise it with --verbose.
+//
+// A suppressed CS_LOG_* statement costs one relaxed atomic load and a
+// branch: the stream and its operands are only materialized when the level
+// passes the threshold.  Each emitted message is written to stderr as one
+// write under a process-wide mutex, so concurrent threads cannot interleave
+// within a line.
 #pragma once
 
+#include <atomic>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -13,22 +21,36 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+namespace detail {
+extern std::atomic<int> g_log_level;
+}  // namespace detail
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= detail::g_log_level.load(std::memory_order_relaxed);
+}
+
+/// Emits unconditionally-formatted text (the level check already happened at
+/// the caller, or the caller wants it regardless); one atomic line write.
 void log_message(LogLevel level, const std::string& msg);
 
 namespace detail {
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log_message(level_, os_.str()); }
+  explicit LogLine(LogLevel level) : level_(level) {
+    if (log_enabled(level)) os_.emplace();
+  }
+  ~LogLine() {
+    if (os_) log_message(level_, os_->str());
+  }
   template <typename T>
   LogLine& operator<<(const T& v) {
-    os_ << v;
+    if (os_) *os_ << v;
     return *this;
   }
 
  private:
   LogLevel level_;
-  std::ostringstream os_;
+  std::optional<std::ostringstream> os_;
 };
 }  // namespace detail
 

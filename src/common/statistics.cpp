@@ -92,6 +92,12 @@ void Histogram::add(double x) {
   ++total_;
 }
 
+void Histogram::add_bin_count(std::size_t i, std::size_t n) {
+  CS_REQUIRE(i < counts_.size(), "histogram bin out of range");
+  counts_[i] += n;
+  total_ += n;
+}
+
 std::size_t Histogram::bin_count(std::size_t i) const {
   CS_REQUIRE(i < counts_.size(), "histogram bin out of range");
   return counts_[i];

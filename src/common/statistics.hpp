@@ -45,6 +45,9 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
+  /// Adds `n` samples directly to bin `i` (merging pre-binned data, e.g. a
+  /// sharded histogram's shards).  `i` must be a valid bin index.
+  void add_bin_count(std::size_t i, std::size_t n);
   std::size_t bin_count(std::size_t i) const;
   std::size_t bins() const { return counts_.size(); }
   std::size_t total() const { return total_; }

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "common/expect.hpp"
+#include "obs/obs.hpp"
+#include "obs/registry.hpp"
 
 namespace chronosync {
 
@@ -97,6 +99,13 @@ void Job::transport_send(Rank src, Rank dst, Tag tag, std::uint32_t bytes,
   const Time arrival =
       std::max(engine_.now() + lat, last + cfg_.msg_spacing);
   last = arrival;
+
+  if (obs::metrics_enabled()) {
+    static obs::Counter& messages = obs::counter("mpisim.messages");
+    static obs::Counter& msg_bytes = obs::counter("mpisim.message_bytes");
+    messages.add(1);
+    msg_bytes.add(static_cast<std::int64_t>(bytes));
+  }
 
   Message msg{src, tag, bytes, std::move(data), id, sender_ack, std::move(ack_keepalive)};
   Proc* receiver = procs_[static_cast<std::size_t>(dst)].get();

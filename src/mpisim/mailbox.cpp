@@ -2,7 +2,30 @@
 
 #include <utility>
 
+#include "obs/obs.hpp"
+#include "obs/registry.hpp"
+
 namespace chronosync {
+
+namespace {
+
+/// Occupancy histogram for one of the two mailbox queues, fed on insertion
+/// (the new depth after the push).
+void record_occupancy(obs::Histo& h, std::size_t depth) {
+  h.add(static_cast<double>(depth));
+}
+
+obs::Histo& unexpected_hist() {
+  static obs::Histo& h = obs::histogram("mpisim.unexpected_depth", 0.0, 4096.0, 64);
+  return h;
+}
+
+obs::Histo& posted_hist() {
+  static obs::Histo& h = obs::histogram("mpisim.posted_depth", 0.0, 4096.0, 64);
+  return h;
+}
+
+}  // namespace
 
 void Mailbox::deliver(Message msg, Time t) {
   for (auto it = posted_.begin(); it != posted_.end(); ++it) {
@@ -20,6 +43,11 @@ void Mailbox::deliver(Message msg, Time t) {
     }
   }
   unexpected_.push_back({std::move(msg), t});
+  if (obs::metrics_enabled()) {
+    static obs::Counter& unexpected = obs::counter("mpisim.unexpected_msgs");
+    unexpected.add(1);
+    record_occupancy(unexpected_hist(), unexpected_.size());
+  }
 }
 
 std::optional<std::pair<Message, Time>> Mailbox::try_match(Rank src, Tag tag, Time now) {
@@ -37,6 +65,11 @@ std::optional<std::pair<Message, Time>> Mailbox::try_match(Rank src, Tag tag, Ti
 void Mailbox::post(Rank src, Tag tag, Message* out, Time* arrival, Trigger* tr,
                    bool* complete, std::shared_ptr<void> keepalive) {
   posted_.push_back({src, tag, out, arrival, tr, complete, std::move(keepalive)});
+  if (obs::metrics_enabled()) {
+    static obs::Counter& posted = obs::counter("mpisim.posted_recvs");
+    posted.add(1);
+    record_occupancy(posted_hist(), posted_.size());
+  }
 }
 
 }  // namespace chronosync

@@ -1,0 +1,332 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "benchkit/json.hpp"
+#include "common/expect.hpp"
+#include "obs/registry.hpp"
+
+namespace chronosync::obs {
+
+namespace detail {
+std::atomic<int> g_level{static_cast<int>(Level::Off)};
+}  // namespace detail
+
+namespace {
+
+constexpr std::uint8_t kKindSpan = 0;
+constexpr std::uint8_t kKindCounter = 1;
+
+struct Record {
+  const char* name;
+  std::uint64_t t0;  // span begin / counter sample timestamp
+  std::uint64_t t1;  // span end (spans only)
+  double value;      // counter value (counters only)
+  std::uint8_t kind;
+};
+
+// One per instrumented thread.  The owner thread is the only writer of
+// `ring`; `count` is published with release stores so a flush on another
+// thread reads a consistent prefix (the intended protocol is still to flush
+// at quiesce points).  Overflow drops the *newest* record and counts it:
+// children finish (and record) before their parent span does, so dropping a
+// late parent never orphans an already-recorded child — output stays
+// well-nested, only truncated.
+struct ThreadState {
+  explicit ThreadState(int id, std::size_t capacity) : tid(id), ring(capacity) {}
+
+  const int tid;
+  std::vector<Record> ring;
+  std::atomic<std::uint32_t> count{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::string name;  // guarded by Registry::mu
+};
+
+struct ThreadRegistry {
+  std::mutex mu;
+  std::vector<ThreadState*> threads;  // owned; leaked with the registry
+};
+
+// Leaked so worker threads and atexit flushes can never observe teardown.
+ThreadRegistry& registry() {
+  static ThreadRegistry* r = new ThreadRegistry();
+  return *r;
+}
+
+std::atomic<std::size_t> g_ring_capacity{1u << 15};
+
+ThreadState* register_thread() {
+  ThreadRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  auto* st = new ThreadState(static_cast<int>(reg.threads.size()),
+                             g_ring_capacity.load(std::memory_order_relaxed));
+  reg.threads.push_back(st);
+  return st;
+}
+
+ThreadState& thread_state() {
+  thread_local ThreadState* st = register_thread();
+  return *st;
+}
+
+Counter& dropped_counter() {
+  static Counter& c = counter("obs.dropped_spans");
+  return c;
+}
+
+void push_record(const Record& rec) {
+  ThreadState& st = thread_state();
+  const std::uint32_t n = st.count.load(std::memory_order_relaxed);
+  if (n >= st.ring.size()) {
+    st.dropped.fetch_add(1, std::memory_order_relaxed);
+    dropped_counter().add(1);
+    return;
+  }
+  st.ring[n] = rec;
+  st.count.store(n + 1, std::memory_order_release);
+}
+
+/// Microsecond timestamp field for the Chrome trace format.
+void put_ts(std::string& out, std::uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+void put_value(std::string& out, double v) {
+  char buf[48];
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+void set_level(Level level) {
+  detail::g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Level level() {
+  return static_cast<Level>(detail::g_level.load(std::memory_order_relaxed));
+}
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::Off: return "off";
+    case Level::Metrics: return "metrics";
+    case Level::Trace: return "trace";
+  }
+  return "?";
+}
+
+bool parse_level(const std::string& text, Level& out) {
+  if (text == "off") {
+    out = Level::Off;
+  } else if (text == "metrics") {
+    out = Level::Metrics;
+  } else if (text == "trace") {
+    out = Level::Trace;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t now_ns() {
+  static const std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - t0)
+                                        .count());
+}
+
+void set_ring_capacity(std::size_t records) {
+  g_ring_capacity.store(std::max<std::size_t>(records, 8), std::memory_order_relaxed);
+}
+
+void set_thread_name(const std::string& name) {
+  // No-op with observability off: naming must not register (and allocate) a
+  // ring for every short-lived worker thread of an uninstrumented run.
+  if (!metrics_enabled()) return;
+  ThreadState& st = thread_state();
+  ThreadRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  st.name = name;
+}
+
+void counter_sample(const char* name, double value) {
+  if (!trace_enabled()) return;
+  push_record({name, now_ns(), 0, value, kKindCounter});
+}
+
+namespace detail {
+
+void record_span(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns) {
+  push_record({name, t0_ns, t1_ns, 0.0, kKindSpan});
+}
+
+void record_counter(const char* name, std::uint64_t ts_ns, double value) {
+  push_record({name, ts_ns, 0, value, kKindCounter});
+}
+
+}  // namespace detail
+
+TraceStats trace_stats() {
+  TraceStats stats;
+  ThreadRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  stats.threads = static_cast<int>(reg.threads.size());
+  for (const ThreadState* st : reg.threads) {
+    const std::uint32_t n = st->count.load(std::memory_order_acquire);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (st->ring[i].kind == kKindSpan) {
+        ++stats.spans;
+      } else {
+        ++stats.counter_samples;
+      }
+    }
+    stats.dropped += st->dropped.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+void write_chrome_trace(std::ostream& out) {
+  using benchkit::json_escape;
+
+  ThreadRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+
+  std::string buf;
+  buf.reserve(1u << 16);
+  buf += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"chronosync-obs\"},";
+  buf += "\"traceEvents\":[\n";
+  buf += "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"chronosync\"}}";
+
+  auto flush_buf = [&] {
+    if (buf.size() >= (1u << 16)) {
+      out << buf;
+      buf.clear();
+    }
+  };
+
+  std::uint64_t max_ts = 0;
+  std::uint64_t total_dropped = 0;
+  std::vector<Record> spans;
+  std::vector<Record> samples;
+
+  for (const ThreadState* st : reg.threads) {
+    const std::uint32_t n = st->count.load(std::memory_order_acquire);
+    total_dropped += st->dropped.load(std::memory_order_relaxed);
+
+    buf += ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":";
+    put_value(buf, st->tid);
+    buf += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    buf += json_escape(st->name.empty() ? "thread-" + std::to_string(st->tid) : st->name);
+    buf += "}}";
+
+    spans.clear();
+    samples.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const Record& r = st->ring[i];
+      (r.kind == kKindSpan ? spans : samples).push_back(r);
+      max_ts = std::max(max_ts, std::max(r.t0, r.t1));
+    }
+
+    // Span lifetimes on one thread nest properly (RAII scopes), so sorting
+    // by (begin asc, end desc) and running a close-before-open stack yields
+    // a well-formed B/E sequence with non-decreasing timestamps.
+    std::sort(spans.begin(), spans.end(), [](const Record& a, const Record& b) {
+      if (a.t0 != b.t0) return a.t0 < b.t0;
+      return a.t1 > b.t1;
+    });
+    std::vector<const Record*> stack;
+    auto emit_end = [&](const Record& r) {
+      buf += ",\n{\"ph\":\"E\",\"pid\":0,\"tid\":";
+      put_value(buf, st->tid);
+      buf += ",\"ts\":";
+      put_ts(buf, r.t1);
+      buf += ",\"name\":";
+      buf += json_escape(r.name);
+      buf += "}";
+      flush_buf();
+    };
+    for (const Record& r : spans) {
+      while (!stack.empty() && stack.back()->t1 <= r.t0) {
+        emit_end(*stack.back());
+        stack.pop_back();
+      }
+      buf += ",\n{\"ph\":\"B\",\"pid\":0,\"tid\":";
+      put_value(buf, st->tid);
+      buf += ",\"ts\":";
+      put_ts(buf, r.t0);
+      buf += ",\"name\":";
+      buf += json_escape(r.name);
+      buf += "}";
+      flush_buf();
+      stack.push_back(&r);
+    }
+    while (!stack.empty()) {
+      emit_end(*stack.back());
+      stack.pop_back();
+    }
+
+    // Counter samples land on per-thread tracks via the series id.
+    std::stable_sort(samples.begin(), samples.end(),
+                     [](const Record& a, const Record& b) { return a.t0 < b.t0; });
+    for (const Record& r : samples) {
+      buf += ",\n{\"ph\":\"C\",\"pid\":0,\"tid\":";
+      put_value(buf, st->tid);
+      buf += ",\"ts\":";
+      put_ts(buf, r.t0);
+      buf += ",\"name\":";
+      buf += json_escape(r.name);
+      buf += ",\"id\":";
+      buf += json_escape("t" + std::to_string(st->tid));
+      buf += ",\"args\":{\"value\":";
+      put_value(buf, r.value);
+      buf += "}}";
+      flush_buf();
+    }
+  }
+
+  buf += ",\n{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":";
+  put_ts(buf, max_ts);
+  buf += ",\"name\":\"obs.dropped_spans\",\"args\":{\"value\":";
+  put_value(buf, static_cast<double>(total_dropped));
+  buf += "}}\n]}\n";
+  out << buf;
+}
+
+void write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  CS_REQUIRE(out.good(), "cannot open trace output file '" + path + "'");
+  write_chrome_trace(out);
+  out.flush();
+  CS_REQUIRE(out.good(), "writing trace output file '" + path + "' failed");
+}
+
+void reset() {
+  ThreadRegistry& reg = registry();
+  {
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    for (ThreadState* st : reg.threads) {
+      st->count.store(0, std::memory_order_relaxed);
+      st->dropped.store(0, std::memory_order_relaxed);
+    }
+  }
+  reset_registry_values();
+}
+
+}  // namespace chronosync::obs

@@ -1,0 +1,151 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/expect.hpp"
+#include "obs/obs.hpp"
+
+namespace chronosync::obs {
+
+namespace {
+
+/// Sequential id per thread; shard index = id % kMetricShards.  Ids are
+/// assigned lazily so short-lived helper threads don't exhaust anything.
+std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
+  return idx % kMetricShards;
+}
+
+struct RegistryStore {
+  std::mutex mu;
+  // std::map: stable addresses (node-based) + snapshot already name-sorted.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histo>> histograms;
+};
+
+RegistryStore& store() {
+  static RegistryStore* s = new RegistryStore();  // leaked: usable during exit
+  return *s;
+}
+
+}  // namespace
+
+void Counter::add(std::int64_t delta) {
+  if (!metrics_enabled()) return;
+  shards_[shard_index()].v.fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::int64_t Counter::value() const {
+  std::int64_t sum = 0;
+  for (const auto& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Gauge::set(double value) {
+  if (!metrics_enabled()) return;
+  bits_.store(std::bit_cast<std::uint64_t>(value), std::memory_order_relaxed);
+}
+
+Histo::Histo(std::string name, double lo, double hi, std::size_t bins)
+    : name_(std::move(name)), lo_(lo), hi_(hi), nbins_(bins) {
+  CS_REQUIRE(bins > 0 && hi > lo, "histogram needs hi > lo and at least one bin");
+  shards_.reserve(kMetricShards);
+  for (std::size_t i = 0; i < kMetricShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(lo, hi, bins));
+  }
+}
+
+void Histo::add(double x) {
+  if (!metrics_enabled()) return;
+  Shard& s = *shards_[shard_index()];
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.bins.add(x);
+  s.stats.add(x);
+}
+
+Histogram Histo::merged_bins() const {
+  Histogram out(lo_, hi_, nbins_);
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    for (std::size_t b = 0; b < nbins_; ++b) {
+      out.add_bin_count(b, s->bins.bin_count(b));
+    }
+  }
+  return out;
+}
+
+RunningStats Histo::merged_stats() const {
+  RunningStats out;
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    out.merge(s->stats);
+  }
+  return out;
+}
+
+Counter& counter(const std::string& name) {
+  RegistryStore& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  auto& slot = s.counters[name];
+  if (!slot) slot = std::make_unique<Counter>(name);
+  return *slot;
+}
+
+Gauge& gauge(const std::string& name) {
+  RegistryStore& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  auto& slot = s.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>(name);
+  return *slot;
+}
+
+Histo& histogram(const std::string& name, double lo, double hi, std::size_t bins) {
+  RegistryStore& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  auto& slot = s.histograms[name];
+  if (!slot) slot = std::make_unique<Histo>(name, lo, hi, bins);
+  return *slot;
+}
+
+std::vector<std::pair<std::string, double>> metrics_snapshot() {
+  RegistryStore& s = store();
+  std::vector<std::pair<std::string, double>> out;
+  const std::lock_guard<std::mutex> lock(s.mu);
+  out.reserve(s.counters.size() + s.gauges.size() + 4 * s.histograms.size());
+  for (const auto& [name, c] : s.counters) {
+    out.emplace_back(name, static_cast<double>(c->value()));
+  }
+  for (const auto& [name, g] : s.gauges) out.emplace_back(name, g->value());
+  for (const auto& [name, h] : s.histograms) {
+    const RunningStats st = h->merged_stats();
+    out.emplace_back(name + ".count", static_cast<double>(st.count()));
+    out.emplace_back(name + ".mean", st.empty() ? 0.0 : st.mean());
+    out.emplace_back(name + ".min", st.empty() ? 0.0 : st.min());
+    out.emplace_back(name + ".max", st.empty() ? 0.0 : st.max());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void reset_registry_values() {
+  RegistryStore& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& [name, c] : s.counters) {
+    for (auto& shard : c->shards_) shard.v.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : s.gauges) {
+    g->bits_.store(std::bit_cast<std::uint64_t>(0.0), std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : s.histograms) {
+    for (auto& shard : h->shards_) {
+      const std::lock_guard<std::mutex> shard_lock(shard->mu);
+      shard->bins = Histogram(h->lo_, h->hi_, h->nbins_);
+      shard->stats = RunningStats();
+    }
+  }
+}
+
+}  // namespace chronosync::obs

@@ -1,0 +1,113 @@
+// Sharded metrics registry: named counters, gauges, and histograms that are
+// cheap to update from many threads and snapshot into a benchkit MetricList.
+//
+// Counters spread contended updates over a fixed set of cache-line-padded
+// atomic shards (a thread picks its shard once, from a sequential thread id);
+// gauges are a single atomic last-writer-wins cell; histograms reuse
+// common/statistics.hpp bins, one Histogram + RunningStats per shard merged
+// at snapshot time under per-shard mutexes.
+//
+// Handles returned by counter()/gauge()/histogram() are stable for the
+// process lifetime; look them up once (function-local static or member) and
+// update through the handle on the hot path.  All updates are gated on
+// obs::metrics_enabled() internally, so call sites may update
+// unconditionally — with observability off the cost is one relaxed load.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/statistics.hpp"
+
+namespace chronosync::obs {
+
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Monotonically increasing sum, sharded per thread group.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void add(std::int64_t delta);
+  void operator+=(std::int64_t delta) { add(delta); }
+
+  std::int64_t value() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> v{0};
+  };
+  std::string name_;
+  Shard shards_[kMetricShards];
+
+  friend void reset_registry_values();
+};
+
+/// Last-writer-wins scalar.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void set(double value);
+  double value() const { return std::bit_cast<double>(bits_.load(std::memory_order_relaxed)); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+
+  friend void reset_registry_values();
+};
+
+/// Fixed-bin distribution (common/statistics.hpp bins) plus running
+/// mean/min/max, sharded like Counter.
+class Histo {
+ public:
+  Histo(std::string name, double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  /// Merged view across shards.
+  Histogram merged_bins() const;
+  RunningStats merged_stats() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    Histogram bins;
+    RunningStats stats;
+    explicit Shard(double lo, double hi, std::size_t n) : bins(lo, hi, n) {}
+  };
+  std::string name_;
+  double lo_, hi_;
+  std::size_t nbins_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  friend void reset_registry_values();
+};
+
+/// Interned lookup; creates on first use.  Thread-safe; the returned
+/// reference is valid for the process lifetime.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+/// lo/hi/bins are fixed by the first registration of `name`; later lookups
+/// with different parameters get the existing histogram.
+Histo& histogram(const std::string& name, double lo, double hi, std::size_t bins);
+
+/// Flat snapshot of every registered metric, sorted by name:
+///   counters as `<name>`, gauges as `<name>`, histograms as
+///   `<name>.count/.mean/.min/.max`.
+std::vector<std::pair<std::string, double>> metrics_snapshot();
+
+/// Zeroes every registered metric's value (registrations survive).
+void reset_registry_values();
+
+}  // namespace chronosync::obs

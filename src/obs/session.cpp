@@ -1,0 +1,83 @@
+#include "obs/session.hpp"
+
+#include <cstdlib>
+#include <ctime>
+#include <utility>
+
+#include "benchkit/metrics.hpp"
+#include "benchkit/reporter.hpp"
+#include "benchkit/runner.hpp"
+#include "common/expect.hpp"
+#include "common/log.hpp"
+#include "obs/registry.hpp"
+
+namespace chronosync::obs {
+
+namespace {
+
+Level resolve_level(const Cli& cli, const std::string& trace_out,
+                    const std::string& metrics_out) {
+  std::string text = cli.get("obs-level", "");
+  if (text.empty()) {
+    if (const char* env = std::getenv("CHRONOSYNC_OBS")) text = env;
+  }
+  if (!text.empty()) {
+    Level parsed = Level::Off;
+    CS_REQUIRE(parse_level(text, parsed),
+               "invalid observability level '" + text + "' (expected off, metrics, or trace)");
+    return parsed;
+  }
+  // No explicit level: the requested outputs imply the level they need.
+  if (!trace_out.empty()) return Level::Trace;
+  if (!metrics_out.empty()) return Level::Metrics;
+  return Level::Off;
+}
+
+}  // namespace
+
+ObsSession::ObsSession(const Cli& cli, std::string suite)
+    : suite_(std::move(suite)),
+      trace_out_(cli.get("trace-out", "")),
+      metrics_out_(cli.get("metrics-out", "")) {
+  level_ = resolve_level(cli, trace_out_, metrics_out_);
+  set_level(level_);
+}
+
+void ObsSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+
+  if (!trace_out_.empty()) {
+    write_chrome_trace_file(trace_out_);
+    const TraceStats stats = trace_stats();
+    CS_LOG_INFO << "obs: wrote " << trace_out_ << " (" << stats.spans << " spans, "
+                << stats.counter_samples << " counter samples, " << stats.dropped
+                << " dropped, " << stats.threads << " threads)";
+  }
+
+  if (!metrics_out_.empty()) {
+    benchkit::BenchRecord record;
+    record.suite = suite_;
+    record.name = "obs_metrics";
+    record.kind = "metric";
+    record.config = {{"obs_level", to_string(level_)}};
+    record.metrics = metrics_snapshot();
+    record.peak_rss_bytes =
+        static_cast<std::int64_t>(benchkit::sample_resource_usage().peak_rss_bytes);
+    record.git_sha = benchkit::Harness::git_sha();
+    record.timestamp = static_cast<std::int64_t>(std::time(nullptr));
+    benchkit::JsonReporter(metrics_out_).append(record);
+    CS_LOG_INFO << "obs: wrote " << metrics_out_ << " (" << record.metrics.size()
+                << " metrics)";
+  }
+}
+
+ObsSession::~ObsSession() {
+  try {
+    finish();
+  } catch (const std::exception& e) {
+    CS_LOG_ERROR << "obs: flush failed: " << e.what();
+  }
+}
+
+}  // namespace chronosync::obs

@@ -1,0 +1,51 @@
+// CLI/environment glue shared by the bench and tool binaries: one ObsSession
+// per process parses the observability options, sets the global level, and
+// writes the requested outputs at the end of the run.
+//
+// Options (all optional):
+//   --obs-level {off,metrics,trace}   explicit level; unknown values throw
+//   --trace-out <file>                Chrome trace JSON; implies `trace`
+//                                     when --obs-level is absent
+//   --metrics-out <file>              benchkit JSON-lines metrics snapshot;
+//                                     implies at least `metrics`
+//   CHRONOSYNC_OBS={off,metrics,trace}  fallback when --obs-level is absent
+//                                       (outputs still imply their level)
+#pragma once
+
+#include <string>
+
+#include "common/cli.hpp"
+#include "obs/obs.hpp"
+
+namespace chronosync::obs {
+
+class ObsSession {
+ public:
+  /// Parses the options above and calls obs::set_level().  `suite` names the
+  /// metrics records written by finish() (conventionally the binary name).
+  ObsSession(const Cli& cli, std::string suite);
+
+  /// Writes --trace-out and --metrics-out if requested; idempotent, so an
+  /// explicit call (preferred: it propagates I/O errors) makes the
+  /// destructor a no-op.
+  void finish();
+
+  /// finish() swallowing exceptions (logged), for abnormal exits.
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  Level level() const { return level_; }
+  const std::string& trace_out() const { return trace_out_; }
+  const std::string& metrics_out() const { return metrics_out_; }
+
+ private:
+  std::string suite_;
+  std::string trace_out_;
+  std::string metrics_out_;
+  Level level_ = Level::Off;
+  bool finished_ = false;
+};
+
+}  // namespace chronosync::obs

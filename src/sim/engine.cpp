@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/expect.hpp"
+#include "obs/obs.hpp"
+#include "obs/registry.hpp"
 
 namespace chronosync {
 
@@ -58,7 +60,10 @@ void Engine::spawn(Coro<void> task, Time start) {
 }
 
 std::uint64_t Engine::run(std::uint64_t max_events) {
+  CS_SPAN("engine.run");
+  const bool tracing = obs::trace_enabled();
   std::uint64_t fired = 0;
+  std::size_t peak_depth = queue_.size();
   while (!queue_.empty() && fired < max_events) {
     Item item = queue_.top();
     queue_.pop();
@@ -70,7 +75,20 @@ std::uint64_t Engine::run(std::uint64_t max_events) {
     } else {
       item.fn();
     }
+    peak_depth = std::max(peak_depth, queue_.size());
+    // Sparse sampling keeps the ring from filling with depth samples while
+    // still drawing a usable queue-depth track in the trace viewer.
+    if (tracing && (fired & 0x3ff) == 0) {
+      obs::counter_sample("engine.queue_depth", static_cast<double>(queue_.size()));
+    }
     if (error_) break;
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Counter& events = obs::counter("engine.events_fired");
+    static obs::Histo& depth_peak =
+        obs::histogram("engine.queue_depth_peak", 0.0, static_cast<double>(1 << 20), 64);
+    events.add(static_cast<std::int64_t>(fired));
+    depth_peak.add(static_cast<double>(peak_depth));
   }
   if (error_) {
     std::exception_ptr e = error_;

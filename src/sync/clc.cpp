@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/expect.hpp"
+#include "obs/obs.hpp"
+#include "obs/registry.hpp"
 #include "sync/clc_detail.hpp"
 
 namespace chronosync {
@@ -13,6 +15,7 @@ namespace clc_detail {
 
 ForwardPassResult forward_pass(const Trace& trace, const ReplaySchedule& schedule,
                                const TimestampArray& input, const ClcOptions& options) {
+  CS_SPAN("clc.forward_pass");
   CS_REQUIRE(options.forward_decay >= 0.0 && options.forward_decay < 1.0,
              "forward_decay must be in [0, 1)");
 
@@ -82,6 +85,7 @@ void finalize_stats(ForwardPassResult& fwd) {
 
 void backward_pass(const Trace& trace, const ReplaySchedule& schedule,
                    ForwardPassResult& fwd, const ClcOptions& options) {
+  CS_SPAN("clc.backward_pass");
   CS_REQUIRE(options.backward_slope > 0.0, "backward_slope must be positive");
 
   // Upper caps for send events: a send may be raised at most to its
@@ -143,6 +147,7 @@ void backward_pass(const Trace& trace, const ReplaySchedule& schedule,
 
 ClcResult controlled_logical_clock(const Trace& trace, const ReplaySchedule& schedule,
                                    const TimestampArray& input, const ClcOptions& options) {
+  CS_SPAN("clc.sequential");
   if (trace.ranks() == 0 || schedule.events() == 0) {
     // Nothing to replay: hand the input back unchanged (0-rank and 0-event
     // traces used to trip thread-count assertions downstream).
@@ -167,6 +172,13 @@ ClcResult controlled_logical_clock(const Trace& trace, const ReplaySchedule& sch
   result.violations_repaired = fwd.violations_repaired;
   result.max_jump = fwd.max_jump;
   result.total_jump = fwd.total_jump;
+
+  if (obs::metrics_enabled()) {
+    static obs::Counter& events = obs::counter("clc.events_processed");
+    static obs::Counter& repaired = obs::counter("clc.violations_repaired");
+    events.add(static_cast<std::int64_t>(schedule.events()));
+    repaired.add(static_cast<std::int64_t>(result.violations_repaired));
+  }
   return result;
 }
 

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/expect.hpp"
+#include "obs/obs.hpp"
+#include "obs/registry.hpp"
 #include "sync/clc_detail.hpp"
 
 namespace chronosync {
@@ -71,6 +75,18 @@ void forward_worker(const ReplaySchedule& schedule, const TimestampArray& input,
                     const ClcOptions& options, int self,
                     std::vector<RankCursor>& mine, const std::vector<char>& owned_by_me,
                     SharedState& shared) {
+  // Observability: the level is latched once per worker (it does not change
+  // mid-run), hot-loop tallies stay in plain locals, and the registry is
+  // touched exactly once at worker exit — with obs off the only residue is
+  // a handful of dead register increments.
+  const bool tracing = obs::trace_enabled();
+  CS_SPAN("clc.forward_worker");
+  std::uint64_t spin_iters = 0;
+  std::uint64_t doorbell_sleeps = 0;
+  std::uint64_t doorbell_wakeups = 0;
+  std::uint64_t published_batches = 0;
+  std::uint64_t events_done = 0;
+
   // Local view of our own ranks' progress, so self-edges never touch atomics.
   std::vector<std::uint32_t> self_next(owned_by_me.size(), 0);
 
@@ -109,6 +125,8 @@ void forward_worker(const ReplaySchedule& schedule, const TimestampArray& input,
     // sleeping subscriber threads per drained run, never per event.
     auto& ctr = shared.progress[static_cast<std::size_t>(c.rank)].completed;
     ctr.store(c.next, std::memory_order_seq_cst);
+    ++published_batches;
+    if (tracing) obs::counter_sample("clc.published_batch", c.next - c.published);
     c.published = c.next;
     for (const int t : shared.subscribers[static_cast<std::size_t>(c.rank)]) {
       if (t == self) continue;
@@ -163,6 +181,7 @@ void forward_worker(const ReplaySchedule& schedule, const TimestampArray& input,
         ++c.next;
         self_next[static_cast<std::size_t>(c.rank)] = c.next;
         --remaining;
+        ++events_done;
         advanced = true;
       }
       if (c.next != c.published) publish(c);
@@ -173,6 +192,7 @@ void forward_worker(const ReplaySchedule& schedule, const TimestampArray& input,
     } else if (remaining > 0) {
       if (spins < max_spins) {
         ++spins;
+        ++spin_iters;
         std::this_thread::yield();
         continue;
       }
@@ -189,10 +209,31 @@ void forward_worker(const ReplaySchedule& schedule, const TimestampArray& input,
           break;
         }
       }
-      if (!any_ready) bell.epoch.wait(seen, std::memory_order_seq_cst);
+      if (!any_ready) {
+        ++doorbell_sleeps;
+        if (tracing) {
+          // Epoch lag: how much of this worker's assignment is still blocked
+          // behind remote publications at the moment it gives up the CPU.
+          obs::counter_sample("clc.epoch_lag", static_cast<double>(remaining));
+        }
+        bell.epoch.wait(seen, std::memory_order_seq_cst);
+        ++doorbell_wakeups;
+        if (tracing) {
+          obs::counter_sample("clc.doorbell_wakeups", static_cast<double>(doorbell_wakeups));
+        }
+      }
       bell.asleep.store(0, std::memory_order_seq_cst);
       spins = 0;
     }
+  }
+
+  if (tracing) obs::counter_sample("clc.spin_iters", static_cast<double>(spin_iters));
+  if (obs::metrics_enabled()) {
+    obs::counter("clc.spin_iters").add(static_cast<std::int64_t>(spin_iters));
+    obs::counter("clc.doorbell_sleeps").add(static_cast<std::int64_t>(doorbell_sleeps));
+    obs::counter("clc.doorbell_wakeups").add(static_cast<std::int64_t>(doorbell_wakeups));
+    obs::counter("clc.published_batches").add(static_cast<std::int64_t>(published_batches));
+    obs::counter("clc.worker_events").add(static_cast<std::int64_t>(events_done));
   }
 }
 
@@ -201,6 +242,7 @@ void forward_worker(const ReplaySchedule& schedule, const TimestampArray& input,
 ClcResult controlled_logical_clock_parallel(const Trace& trace, const ReplaySchedule& schedule,
                                             const TimestampArray& input,
                                             const ClcOptions& options, int threads) {
+  CS_SPAN("clc.parallel");
   if (trace.ranks() == 0 || schedule.events() == 0) {
     // Empty traces: nothing to replay, and clamping threads to the rank count
     // must not end up demanding a zero-thread pool.
@@ -217,6 +259,9 @@ ClcResult controlled_logical_clock_parallel(const Trace& trace, const ReplaySche
   }
   threads = std::max(1, std::min(threads, trace.ranks()));
 
+  // One phase span alive at a time; emplace() closes the previous phase.
+  std::optional<obs::Span> phase_span;
+  phase_span.emplace("clc.partition");
   SharedState shared(schedule.events(), static_cast<std::size_t>(trace.ranks()),
                      static_cast<std::size_t>(threads));
 
@@ -253,15 +298,19 @@ ClcResult controlled_logical_clock_parallel(const Trace& trace, const ReplaySche
     }
   }
 
+  phase_span.emplace("clc.forward_parallel");
+
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     pool.emplace_back([&, t] {
+      obs::set_thread_name("clc-worker-" + std::to_string(t));
       forward_worker(schedule, input, options, t, owned[static_cast<std::size_t>(t)],
                      owned_by[static_cast<std::size_t>(t)], shared);
     });
   }
   for (auto& th : pool) th.join();
+  phase_span.emplace("clc.merge");
 
   clc_detail::ForwardPassResult fwd;
   fwd.lc = std::move(shared.lc);

@@ -8,6 +8,8 @@
 #include "common/crc32c.hpp"
 #include "common/expect.hpp"
 #include "common/varint.hpp"
+#include "obs/obs.hpp"
+#include "obs/registry.hpp"
 
 namespace chronosync {
 
@@ -183,6 +185,7 @@ void TraceWriter::flush_chunk() {
 
 void TraceWriter::emit_chunk(std::uint8_t kind, const std::vector<std::uint8_t>& head,
                              const std::vector<std::uint8_t>& body) {
+  CS_SPAN("trace.write_chunk");
   const std::uint64_t len64 = head.size() + body.size();
   CS_ENSURE(len64 <= kMaxChunkPayload, "chunk payload exceeds the format limit");
   const auto len = static_cast<std::uint32_t>(len64);
@@ -191,9 +194,13 @@ void TraceWriter::emit_chunk(std::uint8_t kind, const std::vector<std::uint8_t>&
   hdr[0] = static_cast<char>(kind);
   std::memcpy(hdr + 1, &len, 4);
 
-  std::uint32_t crc = crc32c(0, hdr, 5);
-  crc = crc32c(crc, head.data(), head.size());
-  crc = crc32c(crc, body.data(), body.size());
+  std::uint32_t crc;
+  {
+    CS_SPAN("trace.crc");
+    crc = crc32c(0, hdr, 5);
+    crc = crc32c(crc, head.data(), head.size());
+    crc = crc32c(crc, body.data(), body.size());
+  }
 
   out_.write(hdr, 5);
   out_.write(reinterpret_cast<const char*>(head.data()),
@@ -210,6 +217,13 @@ void TraceWriter::emit_chunk(std::uint8_t kind, const std::vector<std::uint8_t>&
   file_crc_ = crc32c(file_crc_, body.data(), body.size());
   file_crc_ = crc32c(file_crc_, crc_bytes, 4);
   bytes_written_ += 5 + len64 + 4;
+
+  if (obs::metrics_enabled()) {
+    static obs::Counter& chunks = obs::counter("trace.chunks_out");
+    static obs::Counter& bytes_out = obs::counter("trace.bytes_out");
+    chunks.add(1);
+    bytes_out.add(static_cast<std::int64_t>(5 + len64 + 4));
+  }
 }
 
 void TraceWriter::finish() {
@@ -253,6 +267,7 @@ TraceReader::TraceReader(std::istream& in, bool header_consumed) : src_(in) {
 }
 
 std::uint8_t TraceReader::read_chunk() {
+  CS_SPAN("trace.read_chunk");
   const std::uint8_t kind = src_.get_u8("chunk header");
   const std::uint32_t len = src_.get_u32("chunk header");
   if (len > kMaxChunkPayload) {
@@ -263,9 +278,17 @@ std::uint8_t TraceReader::read_chunk() {
   src_.read_exact(payload_.data(), len, "chunk payload");
   const std::uint32_t stored = src_.get_u32("chunk checksum");
 
+  if (obs::metrics_enabled()) {
+    static obs::Counter& chunks = obs::counter("trace.chunks_in");
+    static obs::Counter& bytes_in = obs::counter("trace.bytes_in");
+    chunks.add(1);
+    bytes_in.add(static_cast<std::int64_t>(5 + static_cast<std::uint64_t>(len) + 4));
+  }
+
   char hdr[5];
   hdr[0] = static_cast<char>(kind);
   std::memcpy(hdr + 1, &len, 4);
+  obs::Span crc_span("trace.crc");
   std::uint32_t crc = crc32c(0, hdr, 5);
   crc = crc32c(crc, payload_.data(), payload_.size());
   if (crc != stored) {

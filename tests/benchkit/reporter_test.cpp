@@ -27,6 +27,8 @@ BenchRecord sample_record() {
   rec.wall_ns_min = 1000.0;
   rec.throughput = 123.5;
   rec.metrics = {{"violations", 7.0}};
+  rec.cpu_user_ns = 2500;
+  rec.cpu_sys_ns = 500;
   rec.peak_rss_bytes = 1 << 20;
   rec.alloc_bytes_per_iter = 4096;
   rec.git_sha = "abc123";
@@ -42,10 +44,11 @@ TEST(BenchRecordSchema, GoldenKeysAndTypes) {
   ASSERT_TRUE(obj.is_object());
 
   const std::vector<std::string> expected_keys = {
-      "schema_version", "suite",      "name",        "kind",
-      "config",         "iters",      "wall_ns_p50", "wall_ns_p90",
-      "wall_ns_min",    "throughput", "metrics",     "peak_rss_bytes",
-      "alloc_bytes_per_iter",         "git_sha",     "timestamp"};
+      "schema_version", "suite",       "name",       "kind",
+      "config",         "iters",       "wall_ns_p50", "wall_ns_p90",
+      "wall_ns_min",    "throughput",  "metrics",    "cpu_user_ns",
+      "cpu_sys_ns",     "peak_rss_bytes",            "alloc_bytes_per_iter",
+      "git_sha",        "timestamp"};
   std::vector<std::string> keys;
   for (const auto& [k, v] : obj.members()) keys.push_back(k);
   EXPECT_EQ(keys, expected_keys);
@@ -63,6 +66,8 @@ TEST(BenchRecordSchema, GoldenKeysAndTypes) {
   EXPECT_TRUE(obj.find("throughput")->is_number());
   EXPECT_TRUE(obj.find("metrics")->is_object());
   for (const auto& [k, v] : obj.find("metrics")->members()) EXPECT_TRUE(v.is_number());
+  EXPECT_TRUE(obj.find("cpu_user_ns")->is_number());
+  EXPECT_TRUE(obj.find("cpu_sys_ns")->is_number());
   EXPECT_TRUE(obj.find("peak_rss_bytes")->is_number());
   EXPECT_TRUE(obj.find("alloc_bytes_per_iter")->is_number());
   EXPECT_TRUE(obj.find("git_sha")->is_string());
@@ -71,14 +76,34 @@ TEST(BenchRecordSchema, GoldenKeysAndTypes) {
 
 TEST(BenchRecordSchema, GoldenSerializedForm) {
   const std::string expected =
-      "{\"schema_version\":1,\"suite\":\"unit\",\"name\":\"sample\","
+      "{\"schema_version\":2,\"suite\":\"unit\",\"name\":\"sample\","
       "\"kind\":\"timing\",\"config\":{\"ranks\":\"8\",\"seed\":\"42\"},"
       "\"iters\":3,\"wall_ns_p50\":1500,\"wall_ns_p90\":2000,"
       "\"wall_ns_min\":1000,\"throughput\":123.5,"
-      "\"metrics\":{\"violations\":7},\"peak_rss_bytes\":1048576,"
+      "\"metrics\":{\"violations\":7},\"cpu_user_ns\":2500,"
+      "\"cpu_sys_ns\":500,\"peak_rss_bytes\":1048576,"
       "\"alloc_bytes_per_iter\":4096,\"git_sha\":\"abc123\","
       "\"timestamp\":1700000000}";
   EXPECT_EQ(to_json(sample_record()).dump(), expected);
+}
+
+// v1 records (the committed baselines) must keep parsing: the CPU fields did
+// not exist, so they default to zero.
+TEST(BenchRecordSchema, ParsesVersion1RecordsWithZeroCpuFields) {
+  JsonValue v1 = to_json(sample_record());
+  v1.set("schema_version", 1);
+  // A v1 record would not carry the CPU keys, but find() keeps the first
+  // occurrence, so build a faithful copy without them.
+  JsonValue stripped = JsonValue::object();
+  for (const auto& [k, v] : v1.members()) {
+    if (k == "cpu_user_ns" || k == "cpu_sys_ns") continue;
+    stripped.set(k, v);
+  }
+  const BenchRecord back = record_from_json(stripped);
+  EXPECT_EQ(back.cpu_user_ns, 0);
+  EXPECT_EQ(back.cpu_sys_ns, 0);
+  EXPECT_EQ(back.suite, "unit");
+  EXPECT_DOUBLE_EQ(back.wall_ns_p50, 1500.0);
 }
 
 TEST(BenchRecordSchema, RoundTripsThroughJson) {
@@ -94,6 +119,8 @@ TEST(BenchRecordSchema, RoundTripsThroughJson) {
   EXPECT_DOUBLE_EQ(back.wall_ns_min, rec.wall_ns_min);
   EXPECT_DOUBLE_EQ(back.throughput, rec.throughput);
   EXPECT_EQ(back.metrics, rec.metrics);
+  EXPECT_EQ(back.cpu_user_ns, rec.cpu_user_ns);
+  EXPECT_EQ(back.cpu_sys_ns, rec.cpu_sys_ns);
   EXPECT_EQ(back.peak_rss_bytes, rec.peak_rss_bytes);
   EXPECT_EQ(back.alloc_bytes_per_iter, rec.alloc_bytes_per_iter);
   EXPECT_EQ(back.git_sha, rec.git_sha);

@@ -1,0 +1,304 @@
+// Tests for the obs span tracer and metrics registry: Chrome trace-event
+// output shape (golden, via synthetic timestamps), multi-threaded recording
+// (run under TSan in CI), ring overflow accounting, and level gating.
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchkit/json.hpp"
+#include "obs/registry.hpp"
+
+namespace chronosync::obs {
+namespace {
+
+using benchkit::JsonValue;
+
+/// Every test starts from a clean recording state at level Off and restores
+/// it afterwards (ring capacity back to the library default, too — it only
+/// affects threads registering after the call).
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_level(Level::Off);
+    reset();
+    set_ring_capacity(1u << 15);
+  }
+  void TearDown() override {
+    set_level(Level::Off);
+    reset();
+    set_ring_capacity(1u << 15);
+  }
+};
+
+JsonValue write_and_parse() {
+  std::ostringstream os;
+  write_chrome_trace(os);
+  return JsonValue::parse(os.str());
+}
+
+const JsonValue& trace_events(const JsonValue& doc) {
+  const JsonValue* events = doc.find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  EXPECT_TRUE(events->is_array());
+  return *events;
+}
+
+/// Tid of the thread whose thread_name metadata equals `name`; -1 if absent.
+int tid_of(const JsonValue& doc, const std::string& name) {
+  for (const JsonValue& ev : trace_events(doc).items()) {
+    const JsonValue* ph = ev.find("ph");
+    const JsonValue* what = ev.find("name");
+    if (ph == nullptr || ph->as_string() != "M") continue;
+    if (what == nullptr || what->as_string() != "thread_name") continue;
+    const JsonValue* args = ev.find("args");
+    if (args == nullptr) continue;
+    const JsonValue* n = args->find("name");
+    if (n != nullptr && n->is_string() && n->as_string() == name) {
+      return static_cast<int>(ev.find("tid")->as_number());
+    }
+  }
+  return -1;
+}
+
+/// Chrome-trace validity: per-thread B/E sequences must nest (each E names
+/// the innermost open B) and close by end of file.  Returns spans matched.
+std::size_t expect_well_formed(const JsonValue& doc) {
+  std::map<int, std::vector<std::string>> open;
+  std::map<int, double> last_ts;
+  std::size_t matched = 0;
+  for (const JsonValue& ev : trace_events(doc).items()) {
+    const std::string ph = ev.find("ph")->as_string();
+    if (ph == "M") continue;
+    const int tid = static_cast<int>(ev.find("tid")->as_number());
+    const double ts = ev.find("ts")->as_number();
+    EXPECT_GE(ts, 0.0);
+    if (ph == "C") {
+      const JsonValue* args = ev.find("args");
+      EXPECT_NE(args, nullptr);
+      const JsonValue* value = args == nullptr ? nullptr : args->find("value");
+      EXPECT_NE(value, nullptr);
+      if (value != nullptr) EXPECT_TRUE(value->is_number());
+      continue;
+    }
+    // B/E on one thread must come out in non-decreasing timestamp order.
+    auto [it, fresh] = last_ts.try_emplace(tid, ts);
+    if (!fresh) EXPECT_GE(ts, it->second);
+    it->second = ts;
+    const std::string name = ev.find("name")->as_string();
+    if (ph == "B") {
+      open[tid].push_back(name);
+    } else {
+      EXPECT_EQ(ph, "E");
+      EXPECT_FALSE(open[tid].empty()) << "'E' without open span on tid " << tid;
+      if (open[tid].empty()) continue;
+      EXPECT_EQ(open[tid].back(), name);
+      open[tid].pop_back();
+      ++matched;
+    }
+  }
+  for (const auto& [tid, stack] : open) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+  return matched;
+}
+
+TEST_F(ObsTest, LevelRoundTripsThroughNames) {
+  for (Level level : {Level::Off, Level::Metrics, Level::Trace}) {
+    Level parsed = Level::Off;
+    ASSERT_TRUE(parse_level(to_string(level), parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  Level ignored = Level::Off;
+  EXPECT_FALSE(parse_level("verbose", ignored));
+  EXPECT_FALSE(parse_level("", ignored));
+}
+
+TEST_F(ObsTest, GoldenTraceShapeFromSyntheticTimestamps) {
+  set_level(Level::Trace);
+  // Synthetic timestamps make the exported event sequence fully
+  // deterministic; a dedicated named thread isolates it from any recording
+  // the test process did elsewhere.
+  std::thread recorder([] {
+    set_thread_name("golden");
+    detail::record_counter("golden.counter", 2500, 7.0);
+    detail::record_span("inner", 2000, 4000);  // children record first
+    detail::record_span("outer", 1000, 9000);
+    detail::record_counter("golden.fraction", 5000, 0.25);
+  });
+  recorder.join();
+
+  const JsonValue doc = write_and_parse();
+  ASSERT_NE(doc.find("displayTimeUnit"), nullptr);
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ms");
+  ASSERT_NE(doc.find("otherData"), nullptr);
+  EXPECT_EQ(doc.find("otherData")->find("generator")->as_string(), "chronosync-obs");
+
+  const int tid = tid_of(doc, "golden");
+  ASSERT_GE(tid, 0);
+  expect_well_formed(doc);
+
+  // Exact (ph, ts, name[, value]) sequence for the golden thread.  ts is
+  // microseconds with fixed millisecond-of-a-microsecond precision.
+  std::vector<std::string> got;
+  for (const JsonValue& ev : trace_events(doc).items()) {
+    if (ev.find("ph")->as_string() == "M") continue;
+    if (static_cast<int>(ev.find("tid")->as_number()) != tid) continue;
+    // The trailing drop-summary counter rides on tid 0, not the recorder.
+    if (ev.find("name")->as_string() == "obs.dropped_spans") continue;
+    std::ostringstream line;
+    line << ev.find("ph")->as_string() << ' ' << ev.find("ts")->as_number() << ' '
+         << ev.find("name")->as_string();
+    if (const JsonValue* args = ev.find("args"); args != nullptr) {
+      line << ' ' << args->find("value")->as_number();
+    }
+    got.push_back(line.str());
+  }
+  const std::vector<std::string> want = {
+      "B 1 outer", "B 2 inner", "E 4 inner", "E 9 outer",
+      "C 2.5 golden.counter 7", "C 5 golden.fraction 0.25",
+  };
+  EXPECT_EQ(got, want);
+
+  // Counter events carry a per-thread series id.
+  for (const JsonValue& ev : trace_events(doc).items()) {
+    if (ev.find("ph")->as_string() != "C") continue;
+    if (static_cast<int>(ev.find("tid")->as_number()) != tid) continue;
+    if (ev.find("name")->as_string() == "obs.dropped_spans") continue;
+    ASSERT_NE(ev.find("id"), nullptr);
+    EXPECT_EQ(ev.find("id")->as_string(), "t" + std::to_string(tid));
+  }
+}
+
+TEST_F(ObsTest, EightThreadsOverlappingSpansStayWellNested) {
+  set_level(Level::Trace);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t] {
+      set_thread_name("worker-" + std::to_string(t));
+      for (int i = 0; i < kIters; ++i) {
+        CS_SPAN("test.outer");
+        counter_sample("test.progress", i);
+        {
+          CS_SPAN("test.inner");
+          counter_sample("test.depth", 2);
+        }
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+
+  const TraceStats stats = trace_stats();
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.spans, static_cast<std::uint64_t>(kThreads) * kIters * 2);
+  EXPECT_EQ(stats.counter_samples, static_cast<std::uint64_t>(kThreads) * kIters * 2);
+
+  const JsonValue doc = write_and_parse();
+  EXPECT_EQ(expect_well_formed(doc), stats.spans);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_GE(tid_of(doc, "worker-" + std::to_string(t)), 0) << t;
+  }
+}
+
+TEST_F(ObsTest, RingOverflowCountsDropsAndKeepsOutputParseable) {
+  set_level(Level::Trace);
+  set_ring_capacity(16);
+  constexpr int kSpans = 100;
+  // The shrunken capacity only applies to threads registering afterwards, so
+  // record from a fresh one.
+  std::thread recorder([] {
+    set_thread_name("overflow");
+    for (int i = 0; i < kSpans; ++i) {
+      CS_SPAN("test.flood");
+    }
+  });
+  recorder.join();
+
+  const TraceStats stats = trace_stats();
+  EXPECT_EQ(stats.dropped, static_cast<std::uint64_t>(kSpans - 16));
+
+  // Drops also surface as a registry counter for --metrics-out consumers.
+  const std::int64_t dropped_metric = counter("obs.dropped_spans").value();
+  EXPECT_EQ(dropped_metric, kSpans - 16);
+
+  const JsonValue doc = write_and_parse();
+  expect_well_formed(doc);
+
+  // The exported trace ends with the obs.dropped_spans counter track.
+  double last_dropped = -1.0;
+  for (const JsonValue& ev : trace_events(doc).items()) {
+    const JsonValue* name = ev.find("name");
+    if (ev.find("ph")->as_string() == "C" && name->as_string() == "obs.dropped_spans") {
+      last_dropped = ev.find("args")->find("value")->as_number();
+    }
+  }
+  EXPECT_EQ(last_dropped, static_cast<double>(kSpans - 16));
+}
+
+TEST_F(ObsTest, DisabledLevelsRecordNothing) {
+  set_level(Level::Off);
+  std::thread recorder([] {
+    CS_SPAN("test.invisible");
+    counter_sample("test.invisible", 1.0);
+  });
+  recorder.join();
+  EXPECT_EQ(trace_stats().spans, 0u);
+  EXPECT_EQ(trace_stats().counter_samples, 0u);
+
+  // Metrics level accumulates registry values but records no timeline.
+  set_level(Level::Metrics);
+  counter("test.metrics_only").add(3);
+  counter_sample("test.metrics_only", 1.0);
+  EXPECT_EQ(counter("test.metrics_only").value(), 3);
+  EXPECT_EQ(trace_stats().counter_samples, 0u);
+}
+
+TEST_F(ObsTest, RegistryAggregatesAcrossThreadsAndSnapshots) {
+  set_level(Level::Metrics);
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 1000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([] {
+      Counter& c = counter("test.reg_counter");
+      Histo& h = histogram("test.reg_histo", 0.0, 100.0, 10);
+      for (int i = 0; i < kAdds; ++i) {
+        c.add(1);
+        h.add(static_cast<double>(i % 100));
+      }
+      gauge("test.reg_gauge").set(42.5);
+    });
+  }
+  for (std::thread& th : pool) th.join();
+
+  EXPECT_EQ(counter("test.reg_counter").value(), kThreads * kAdds);
+  EXPECT_EQ(gauge("test.reg_gauge").value(), 42.5);
+  const RunningStats merged = histogram("test.reg_histo", 0.0, 100.0, 10).merged_stats();
+  EXPECT_EQ(merged.count(), static_cast<std::size_t>(kThreads) * kAdds);
+  EXPECT_EQ(merged.min(), 0.0);
+  EXPECT_EQ(merged.max(), 99.0);
+
+  std::map<std::string, double> snap;
+  for (const auto& [name, value] : metrics_snapshot()) snap[name] = value;
+  EXPECT_EQ(snap.at("test.reg_counter"), static_cast<double>(kThreads * kAdds));
+  EXPECT_EQ(snap.at("test.reg_gauge"), 42.5);
+  EXPECT_EQ(snap.at("test.reg_histo.count"), static_cast<double>(kThreads * kAdds));
+  EXPECT_EQ(snap.at("test.reg_histo.min"), 0.0);
+  EXPECT_EQ(snap.at("test.reg_histo.max"), 99.0);
+
+  // reset() zeroes values but keeps registrations (and handles) alive.
+  reset();
+  EXPECT_EQ(counter("test.reg_counter").value(), 0);
+  EXPECT_EQ(histogram("test.reg_histo", 0.0, 100.0, 10).merged_stats().count(), 0u);
+}
+
+}  // namespace
+}  // namespace chronosync::obs

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "common/cli.hpp"
+#include "obs/session.hpp"
 #include "sync/replay.hpp"
 #include "trace/logical_messages.hpp"
 #include "trace/trace_io.hpp"
@@ -149,6 +150,7 @@ int run_faults(const Cli& cli) {
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   try {
+    chronosync::obs::ObsSession obs_session(cli, "chronocheck");
     int rc = 0;
     bool ran = false;
     if (cli.has("synthetic")) {
@@ -170,6 +172,7 @@ int main(int argc, char** argv) {
                    "       chronocheck --faults [--ranks N --rounds R --seed S]\n";
       return 2;
     }
+    obs_session.finish();
     return rc;
   } catch (const std::exception& e) {
     std::cerr << "chronocheck: " << e.what() << "\n";

@@ -1,0 +1,281 @@
+// chronoscope: offline viewer/validator for the Chrome trace-event JSON files
+// written by the obs layer (--trace-out).
+//
+//   chronoscope trace.json              summary: top spans by self time,
+//                                       per-thread utilization, counter stats
+//   chronoscope --check trace.json      validate only (for CI): exits 0 when
+//                                       the file parses, every B has a
+//                                       matching E, and timestamps are sane
+//   chronoscope --top N trace.json      rows in the span table (default 15)
+//
+// Validation is strict in both modes: a malformed file fails the run.  The
+// summary relies on well-nested per-thread B/E sequences in array order,
+// which is what the obs writer guarantees.
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchkit/json.hpp"
+#include "common/cli.hpp"
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using chronosync::AsciiTable;
+using chronosync::RunningStats;
+using chronosync::benchkit::JsonValue;
+
+struct SpanAgg {
+  std::uint64_t count = 0;
+  double total_us = 0.0;  // wall time inside the span, children included
+  double self_us = 0.0;   // total minus directly nested children
+};
+
+struct ThreadAgg {
+  std::string name;
+  double first_ts = 0.0;
+  double last_ts = 0.0;
+  double busy_us = 0.0;  // covered by depth-0 spans
+  std::uint64_t spans = 0;
+  bool saw_event = false;
+};
+
+struct CounterAgg {
+  RunningStats stats;
+  double last = 0.0;
+};
+
+struct OpenSpan {
+  std::string name;
+  double ts = 0.0;
+  double child_us = 0.0;
+};
+
+struct Analysis {
+  std::map<std::string, SpanAgg> spans;
+  std::map<int, ThreadAgg> threads;
+  std::map<std::string, CounterAgg> counters;
+  std::uint64_t events = 0;
+  std::uint64_t span_count = 0;
+};
+
+[[noreturn]] void fail(const std::string& msg) {
+  std::cerr << "chronoscope: " << msg << '\n';
+  std::exit(1);
+}
+
+double require_number(const JsonValue& event, const char* key, std::uint64_t index) {
+  const JsonValue* v = event.find(key);
+  if (v == nullptr || !v->is_number()) {
+    fail("event " + std::to_string(index) + ": missing numeric '" + key + "'");
+  }
+  return v->as_number();
+}
+
+std::string require_string(const JsonValue& event, const char* key, std::uint64_t index) {
+  const JsonValue* v = event.find(key);
+  if (v == nullptr || !v->is_string()) {
+    fail("event " + std::to_string(index) + ": missing string '" + key + "'");
+  }
+  return v->as_string();
+}
+
+/// Single pass over traceEvents: validates the shape (every B matched by an E
+/// of the same name on the same thread, in order) and aggregates the summary.
+Analysis analyze(const JsonValue& doc) {
+  if (!doc.is_object()) fail("top level is not a JSON object");
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    fail("missing 'traceEvents' array");
+  }
+
+  Analysis a;
+  std::map<int, std::vector<OpenSpan>> open;  // per-tid B/E stack
+
+  std::uint64_t index = 0;
+  for (const JsonValue& event : events->items()) {
+    ++index;
+    if (!event.is_object()) fail("event " + std::to_string(index) + " is not an object");
+    ++a.events;
+    const std::string ph = require_string(event, "ph", index);
+
+    if (ph == "M") {
+      const std::string what = require_string(event, "name", index);
+      if (what == "thread_name") {
+        const int tid = static_cast<int>(require_number(event, "tid", index));
+        const JsonValue* args = event.find("args");
+        if (args != nullptr && args->is_object()) {
+          if (const JsonValue* name = args->find("name"); name != nullptr && name->is_string()) {
+            a.threads[tid].name = name->as_string();
+          }
+        }
+      }
+      continue;
+    }
+
+    const int tid = static_cast<int>(require_number(event, "tid", index));
+    const double ts = require_number(event, "ts", index);
+    if (ts < 0.0) fail("event " + std::to_string(index) + ": negative timestamp");
+    ThreadAgg& th = a.threads[tid];
+    if (!th.saw_event || ts < th.first_ts) th.first_ts = ts;
+    th.last_ts = std::max(th.last_ts, ts);
+    th.saw_event = true;
+
+    if (ph == "B") {
+      open[tid].push_back({require_string(event, "name", index), ts, 0.0});
+    } else if (ph == "E") {
+      auto& stack = open[tid];
+      if (stack.empty()) {
+        fail("event " + std::to_string(index) + ": 'E' with no open span on tid " +
+             std::to_string(tid));
+      }
+      const std::string name = require_string(event, "name", index);
+      if (stack.back().name != name) {
+        fail("event " + std::to_string(index) + ": 'E' for '" + name +
+             "' does not match open span '" + stack.back().name + "'");
+      }
+      const OpenSpan span = stack.back();
+      stack.pop_back();
+      const double dur = ts - span.ts;
+      if (dur < 0.0) fail("event " + std::to_string(index) + ": span ends before it begins");
+
+      SpanAgg& agg = a.spans[name];
+      ++agg.count;
+      agg.total_us += dur;
+      agg.self_us += dur - span.child_us;
+      ++a.span_count;
+      ++th.spans;
+      if (stack.empty()) {
+        th.busy_us += dur;
+      } else {
+        stack.back().child_us += dur;
+      }
+    } else if (ph == "C") {
+      const std::string name = require_string(event, "name", index);
+      const JsonValue* args = event.find("args");
+      const JsonValue* value =
+          (args != nullptr && args->is_object()) ? args->find("value") : nullptr;
+      if (value == nullptr || !value->is_number()) {
+        fail("event " + std::to_string(index) + ": counter without numeric args.value");
+      }
+      CounterAgg& c = a.counters[name];
+      c.stats.add(value->as_number());
+      c.last = value->as_number();
+    } else {
+      fail("event " + std::to_string(index) + ": unsupported phase '" + ph + "'");
+    }
+  }
+
+  for (const auto& [tid, stack] : open) {
+    if (!stack.empty()) {
+      fail("unclosed span '" + stack.back().name + "' on tid " + std::to_string(tid));
+    }
+  }
+  return a;
+}
+
+std::string format_us(double us) {
+  std::ostringstream os;
+  if (us >= 1e6) {
+    os << AsciiTable::num(us / 1e6, 3) << " s";
+  } else if (us >= 1e3) {
+    os << AsciiTable::num(us / 1e3, 3) << " ms";
+  } else {
+    os << AsciiTable::num(us, 3) << " us";
+  }
+  return os.str();
+}
+
+void print_summary(const Analysis& a, int top) {
+  std::cout << "events: " << a.events << "  spans: " << a.span_count
+            << "  threads: " << a.threads.size() << "  counters: " << a.counters.size()
+            << "\n\n";
+
+  {
+    std::vector<std::pair<std::string, SpanAgg>> rows(a.spans.begin(), a.spans.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& x, const auto& y) {
+      return x.second.self_us > y.second.self_us;
+    });
+    AsciiTable table({"span", "count", "self", "total", "avg total"});
+    int shown = 0;
+    for (const auto& [name, agg] : rows) {
+      if (shown++ >= top) break;
+      table.add_row({name, std::to_string(agg.count), format_us(agg.self_us),
+                     format_us(agg.total_us),
+                     format_us(agg.total_us / static_cast<double>(agg.count))});
+    }
+    std::cout << "Top spans by self time\n" << table.render() << '\n';
+  }
+
+  {
+    AsciiTable table({"tid", "thread", "spans", "busy", "span window", "util %"});
+    for (const auto& [tid, th] : a.threads) {
+      if (!th.saw_event && th.name.empty()) continue;
+      const double window = th.last_ts - th.first_ts;
+      const double util = window > 0.0 ? 100.0 * th.busy_us / window : 0.0;
+      table.add_row({std::to_string(tid), th.name.empty() ? "?" : th.name,
+                     std::to_string(th.spans), format_us(th.busy_us), format_us(window),
+                     AsciiTable::num(util, 1)});
+    }
+    std::cout << "Per-thread utilization (busy = depth-0 span coverage)\n"
+              << table.render() << '\n';
+  }
+
+  if (!a.counters.empty()) {
+    AsciiTable table({"counter", "samples", "min", "mean", "max", "last"});
+    for (const auto& [name, c] : a.counters) {
+      table.add_row({name, std::to_string(c.stats.count()), AsciiTable::num(c.stats.min(), 3),
+                     AsciiTable::num(c.stats.mean(), 3), AsciiTable::num(c.stats.max(), 3),
+                     AsciiTable::num(c.last, 3)});
+    }
+    std::cout << "Counters\n" << table.render();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const chronosync::Cli cli(argc, argv);
+  // `chronoscope --check trace.json` parses as option check=trace.json (the
+  // Cli treats the following token as the flag's value), so accept the path
+  // from either position.
+  std::string path;
+  if (cli.positional().size() == 1) {
+    path = cli.positional()[0];
+  } else if (cli.positional().empty() && cli.has("check") && cli.get("check", "1") != "1") {
+    path = cli.get("check", "");
+  } else {
+    std::cerr << "usage: chronoscope [--check] [--top N] <trace.json>\n";
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in.good()) fail("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(buffer.str());
+  } catch (const std::exception& e) {
+    fail("'" + path + "' is not valid JSON: " + e.what());
+  }
+
+  const Analysis a = analyze(doc);
+
+  if (cli.has("check")) {
+    std::cout << "chronoscope: OK (" << a.events << " events, " << a.span_count
+              << " spans, " << a.threads.size() << " threads)\n";
+    return 0;
+  }
+
+  print_summary(a, static_cast<int>(cli.get_int("top", 15)));
+  return 0;
+}
