@@ -1,5 +1,13 @@
 // Performance — CLC throughput (events/s), sequential vs. parallel replay
 // (ref. [31] parallelized the algorithm for large-scale traces).
+//
+// The measurement matrix is the cross product of --ranks and --events (both
+// accept comma-separated sweeps, e.g. `--ranks 64,256 --events 100000`): the
+// parallel CLC only pays off once the trace is large enough to amortize
+// thread startup and cross-thread handoffs, so the crossover is only visible
+// when the matrix reaches realistic sizes.  --events derives the round count
+// per point (the sweep workload emits ~4 events per rank and round); without
+// it a single --rounds config is measured, as before.
 #include <iostream>
 
 #include "analysis/clock_condition.hpp"
@@ -40,11 +48,21 @@ struct Fixture {
     cfg.gap_mean = 0.01;
     cfg.collective_every = 50;
     JobConfig job;
-    job.placement = pinning::inter_node(clusters::xeon_rwth(), ranks);
+    // One rank per node while the cluster has enough nodes (the paper's
+    // inter-node setting); larger sweeps fill cores block-wise instead.
+    const ClusterSpec spec = clusters::xeon_rwth();
+    job.placement = ranks <= spec.nodes ? pinning::inter_node(spec, ranks)
+                                        : pinning::block(spec, ranks);
     job.timer = timer_specs::intel_tsc();
     job.seed = seed;
     return run_sweep(cfg, std::move(job));
   }
+};
+
+/// One (ranks, rounds) matrix point.
+struct MatrixPoint {
+  int ranks = 0;
+  int rounds = 0;
 };
 
 }  // namespace
@@ -53,136 +71,173 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   benchkit::Harness harness(cli, "perf_clc");
   obs::ObsSession obs_session(cli, "perf_clc");
-  const int ranks = static_cast<int>(cli.get_int("ranks", 16));
-  const int rounds = static_cast<int>(cli.get_int("rounds", 800));
+  const auto ranks_list = cli.get_int_list("ranks", {16});
+  const auto events_list = cli.get_int_list("events", {});
+  const int rounds_flag = static_cast<int>(cli.get_int("rounds", 800));
   // --threads N measures the parallel CLC at exactly N threads; the default
   // sweeps the usual ladder.
   const int threads_flag = static_cast<int>(cli.get_int("threads", 0));
   std::vector<int> thread_list = {1, 2, 4, 8};
   if (threads_flag > 0) thread_list = {threads_flag};
 
-  const Fixture fx(Fixture::run(ranks, rounds, cli.get_seed()));
-  const auto events = static_cast<std::int64_t>(fx.schedule.events());
-  const benchkit::ConfigList base = {{"ranks", std::to_string(ranks)},
-                                     {"rounds", std::to_string(rounds)}};
+  ClcOptions clc_options;
+  clc_options.publish_batch =
+      static_cast<int>(cli.get_int("publish-batch", clc_options.publish_batch));
+  clc_options.min_events_per_thread = static_cast<int>(
+      cli.get_int("min-events-per-thread", clc_options.min_events_per_thread));
 
-  // Observability overhead, measured before the main records so the forced
-  // levels (and the reset below) cannot disturb a --trace-out recording.
-  // Baseline and obs_off are an A/A pair at the same forced-off level: the
-  // instrumentation's disabled cost plus run-to-run noise is their relative
-  // difference, which the CI gate bounds at 1%.
-  {
-    const int obs_threads = threads_flag > 0 ? threads_flag : 8;
-    benchkit::ConfigList config = base;
-    config.emplace_back("threads", std::to_string(obs_threads));
-    const obs::Level session_level = obs::level();
-    const auto run_parallel = [&] {
-      auto result =
-          controlled_logical_clock_parallel(fx.trace, fx.schedule, fx.input, {}, obs_threads);
-      benchkit::do_not_optimize(result.violations_repaired);
-    };
-
-    obs::set_level(obs::Level::Off);
-    run_parallel();  // one unconditional warmup: the A/A pair must not eat
-                     // the thread pool's cold start in its first member
-    const auto rec_base = harness.time("clc_parallel_obs_baseline", config, events, run_parallel);
-    const auto rec_off = harness.time("clc_parallel_obs_off", config, events, run_parallel);
-
-    // Per-call cost of a disabled span: one relaxed load + branch.
-    constexpr std::int64_t kProbeCalls = 1 << 20;
-    const auto rec_probe = harness.time("obs_disabled_probe", base, kProbeCalls, [&] {
-      for (std::int64_t i = 0; i < kProbeCalls; ++i) {
-        CS_SPAN("obs.probe");
-        benchkit::do_not_optimize(i);
+  // The cross product of the two sweeps; ~4 events per rank and round
+  // converts an event target into a round count.
+  std::vector<MatrixPoint> points;
+  for (const std::int64_t ranks : ranks_list) {
+    CS_REQUIRE(ranks > 0, "--ranks entries must be positive");
+    if (events_list.empty()) {
+      points.push_back({static_cast<int>(ranks), rounds_flag});
+    } else {
+      for (const std::int64_t events : events_list) {
+        CS_REQUIRE(events > 0, "--events entries must be positive");
+        const auto rounds = std::max<std::int64_t>(1, events / (4 * ranks));
+        points.push_back({static_cast<int>(ranks), static_cast<int>(rounds)});
       }
-    });
-
-    obs::set_level(obs::Level::Trace);
-    const auto stats_before = obs::trace_stats();
-    const auto rec_trace = harness.time("clc_parallel_obs_trace", config, events, run_parallel);
-    const auto stats_after = obs::trace_stats();
-    obs::reset();  // drop the synthetic spans before any --trace-out recording
-    obs::set_level(session_level);
-
-    // Deterministic overhead bound (the CI gate): per-call disabled cost from
-    // the probe, times the number of gated sites one rep actually executes
-    // (spans check twice: construction and destruction), times a 2x margin
-    // for the registry-add sites the trace cannot count.  The A/A pair stays
-    // in the record as direct evidence, but at smoke scale its percentages
-    // carry tens of percent of scheduler noise — don't gate on them.
-    const double span_ns = rec_probe.wall_ns_p50 / static_cast<double>(kProbeCalls);
-    const double trace_reps = static_cast<double>(harness.warmup() + harness.reps());
-    const double checks_per_rep =
-        (2.0 * static_cast<double>(stats_after.spans - stats_before.spans) +
-         static_cast<double>(stats_after.counter_samples - stats_before.counter_samples)) /
-        trace_reps;
-    const double bound_pct = 100.0 * 2.0 * span_ns * checks_per_rep / rec_base.wall_ns_p50;
-
-    harness.metric(
-        "obs_overhead", config,
-        {{"disabled_pct_bound", bound_pct},
-         {"disabled_pct_p50", 100.0 * (rec_off.wall_ns_p50 / rec_base.wall_ns_p50 - 1.0)},
-         {"disabled_pct_min", 100.0 * (rec_off.wall_ns_min / rec_base.wall_ns_min - 1.0)},
-         {"enabled_trace_pct_p50",
-          100.0 * (rec_trace.wall_ns_p50 / rec_base.wall_ns_p50 - 1.0)},
-         {"disabled_checks_per_rep", checks_per_rep},
-         {"disabled_span_ns", span_ns}});
+    }
   }
 
-  harness.time("clc_sequential", base, events, [&] {
-    auto result = controlled_logical_clock(fx.trace, fx.schedule, fx.input);
-    benchkit::do_not_optimize(result.violations_repaired);
-  });
+  for (std::size_t point_idx = 0; point_idx < points.size(); ++point_idx) {
+    const MatrixPoint& pt = points[point_idx];
+    const Fixture fx(Fixture::run(pt.ranks, pt.rounds, cli.get_seed()));
+    const auto events = static_cast<std::int64_t>(fx.schedule.events());
+    const benchkit::ConfigList base = {{"ranks", std::to_string(pt.ranks)},
+                                       {"rounds", std::to_string(pt.rounds)},
+                                       {"events", std::to_string(events)}};
 
-  for (int threads : thread_list) {
-    benchkit::ConfigList config = base;
-    config.emplace_back("threads", std::to_string(threads));
-    harness.time("clc_parallel", config, events, [&] {
-      auto result =
-          controlled_logical_clock_parallel(fx.trace, fx.schedule, fx.input, {}, threads);
+    // Observability overhead, measured once (first matrix point only) before
+    // the main records so the forced levels (and the reset below) cannot
+    // disturb a --trace-out recording.  Baseline and obs_off are an A/A pair
+    // at the same forced-off level: the instrumentation's disabled cost plus
+    // run-to-run noise is their relative difference, which the CI gate
+    // bounds at 1%.
+    if (point_idx == 0) {
+      const int obs_threads = threads_flag > 0 ? threads_flag : 8;
+      benchkit::ConfigList config = base;
+      config.emplace_back("threads", std::to_string(obs_threads));
+      const obs::Level session_level = obs::level();
+      const auto run_parallel = [&] {
+        auto result = controlled_logical_clock_parallel(fx.trace, fx.schedule, fx.input,
+                                                        clc_options, obs_threads);
+        benchkit::do_not_optimize(result.violations_repaired);
+      };
+
+      obs::set_level(obs::Level::Off);
+      run_parallel();  // one unconditional warmup: the A/A pair must not eat
+                       // the thread pool's cold start in its first member
+      const auto rec_base =
+          harness.time("clc_parallel_obs_baseline", config, events, run_parallel);
+      const auto rec_off = harness.time("clc_parallel_obs_off", config, events, run_parallel);
+
+      // Per-call cost of a disabled span: one relaxed load + branch.
+      constexpr std::int64_t kProbeCalls = 1 << 20;
+      const auto rec_probe = harness.time("obs_disabled_probe", base, kProbeCalls, [&] {
+        for (std::int64_t i = 0; i < kProbeCalls; ++i) {
+          CS_SPAN("obs.probe");
+          benchkit::do_not_optimize(i);
+        }
+      });
+
+      obs::set_level(obs::Level::Trace);
+      const auto stats_before = obs::trace_stats();
+      const auto rec_trace = harness.time("clc_parallel_obs_trace", config, events, run_parallel);
+      const auto stats_after = obs::trace_stats();
+      obs::reset();  // drop the synthetic spans before any --trace-out recording
+      obs::set_level(session_level);
+
+      // Deterministic overhead bound (the CI gate): per-call disabled cost from
+      // the probe, times the number of gated sites one rep actually executes
+      // (spans check twice: construction and destruction), times a 2x margin
+      // for the registry-add sites the trace cannot count.  The A/A pair stays
+      // in the record as direct evidence, but at smoke scale its percentages
+      // carry tens of percent of scheduler noise — don't gate on them.
+      const double span_ns = rec_probe.wall_ns_p50 / static_cast<double>(kProbeCalls);
+      const double trace_reps = static_cast<double>(harness.warmup() + harness.reps());
+      const double checks_per_rep =
+          (2.0 * static_cast<double>(stats_after.spans - stats_before.spans) +
+           static_cast<double>(stats_after.counter_samples - stats_before.counter_samples)) /
+          trace_reps;
+      const double bound_pct = 100.0 * 2.0 * span_ns * checks_per_rep / rec_base.wall_ns_p50;
+
+      harness.metric(
+          "obs_overhead", config,
+          {{"disabled_pct_bound", bound_pct},
+           {"disabled_pct_p50", 100.0 * (rec_off.wall_ns_p50 / rec_base.wall_ns_p50 - 1.0)},
+           {"disabled_pct_min", 100.0 * (rec_off.wall_ns_min / rec_base.wall_ns_min - 1.0)},
+           {"enabled_trace_pct_p50",
+            100.0 * (rec_trace.wall_ns_p50 / rec_base.wall_ns_p50 - 1.0)},
+           {"disabled_checks_per_rep", checks_per_rep},
+           {"disabled_span_ns", span_ns}});
+    }
+
+    harness.time("clc_sequential", base, events, [&] {
+      auto result = controlled_logical_clock(fx.trace, fx.schedule, fx.input, clc_options);
       benchkit::do_not_optimize(result.violations_repaired);
     });
-  }
 
-  harness.time("replay_schedule_build", base, events, [&] {
-    ReplaySchedule schedule(fx.trace, fx.msgs, fx.logical);
-    benchkit::do_not_optimize(schedule.events());
-  });
-
-  harness.time("message_matching", base,
-               static_cast<std::int64_t>(fx.trace.total_events()), [&] {
-                 auto msgs = fx.trace.match_messages();
-                 benchkit::do_not_optimize(msgs.size());
-               });
-
-  // Violation analysis: the message-(re)matching path vs. the single-pass
-  // scan over the schedule's CSR edges.
-  harness.time("clock_condition_full", base, events, [&] {
-    auto rep = check_clock_condition(fx.trace, fx.input);
-    benchkit::do_not_optimize(rep.p2p_violations);
-  });
-  harness.time("clock_condition_scan", base, events, [&] {
-    auto rep = check_clock_condition(fx.trace, fx.input, fx.schedule);
-    benchkit::do_not_optimize(rep.p2p_violations);
-  });
-
-  // Opt-in invariant audit of the measured results: CLC output must satisfy
-  // Eq. 1 exactly, never move an event backward, and serial/parallel must be
-  // bit-identical.
-  if (cli.has("verify")) {
-    const auto serial = controlled_logical_clock(fx.trace, fx.schedule, fx.input);
-    const auto parallel =
-        controlled_logical_clock_parallel(fx.trace, fx.schedule, fx.input);
-    const verify::InvariantChecker checker(fx.trace, fx.schedule);
-    const auto audit = checker.check_correction(fx.input, serial.corrected);
-    if (!audit.ok()) std::cerr << audit.summary();
-    CS_ENSURE(audit.ok(), "CLC output violates the paper invariants");
-    for (Rank r = 0; r < fx.trace.ranks(); ++r) {
-      CS_ENSURE(serial.corrected.of_rank(r) == parallel.corrected.of_rank(r),
-                "parallel CLC diverges from the sequential reference");
+    for (int threads : thread_list) {
+      benchkit::ConfigList config = base;
+      config.emplace_back("threads", std::to_string(threads));
+      harness.time("clc_parallel", config, events, [&] {
+        auto result = controlled_logical_clock_parallel(fx.trace, fx.schedule, fx.input,
+                                                        clc_options, threads);
+        benchkit::do_not_optimize(result.violations_repaired);
+      });
     }
-    std::cerr << "verify: CLC invariants hold (" << audit.events_checked << " events, "
-              << audit.edges_checked << " edges)\n";
+
+    // Trace-wide auxiliary measurements only accompany the first point: they
+    // do not depend on the thread ladder, and repeating them per matrix
+    // point would dominate large-sweep wall time.
+    if (point_idx == 0) {
+      harness.time("replay_schedule_build", base, events, [&] {
+        ReplaySchedule schedule(fx.trace, fx.msgs, fx.logical);
+        benchkit::do_not_optimize(schedule.events());
+      });
+
+      harness.time("message_matching", base,
+                   static_cast<std::int64_t>(fx.trace.total_events()), [&] {
+                     auto msgs = fx.trace.match_messages();
+                     benchkit::do_not_optimize(msgs.size());
+                   });
+
+      // Violation analysis: the message-(re)matching path vs. the single-pass
+      // scan over the schedule's CSR edges.
+      harness.time("clock_condition_full", base, events, [&] {
+        auto rep = check_clock_condition(fx.trace, fx.input);
+        benchkit::do_not_optimize(rep.p2p_violations);
+      });
+      harness.time("clock_condition_scan", base, events, [&] {
+        auto rep = check_clock_condition(fx.trace, fx.input, fx.schedule);
+        benchkit::do_not_optimize(rep.p2p_violations);
+      });
+    }
+
+    // Opt-in invariant audit of the measured results: CLC output must satisfy
+    // Eq. 1 exactly, never move an event backward, and serial/parallel must
+    // be bit-identical — with the thread clamp disabled so the parallel run
+    // really is concurrent, even at smoke scale.
+    if (cli.has("verify")) {
+      const auto serial = controlled_logical_clock(fx.trace, fx.schedule, fx.input);
+      ClcOptions verify_options;
+      verify_options.min_events_per_thread = 1;
+      const auto parallel =
+          controlled_logical_clock_parallel(fx.trace, fx.schedule, fx.input, verify_options);
+      const verify::InvariantChecker checker(fx.trace, fx.schedule);
+      const auto audit = checker.check_correction(fx.input, serial.corrected);
+      if (!audit.ok()) std::cerr << audit.summary();
+      CS_ENSURE(audit.ok(), "CLC output violates the paper invariants");
+      for (Rank r = 0; r < fx.trace.ranks(); ++r) {
+        CS_ENSURE(serial.corrected.of_rank(r) == parallel.corrected.of_rank(r),
+                  "parallel CLC diverges from the sequential reference");
+      }
+      std::cerr << "verify: CLC invariants hold (" << audit.events_checked << " events, "
+                << audit.edges_checked << " edges)\n";
+    }
   }
 
   obs_session.finish();

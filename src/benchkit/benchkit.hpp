@@ -6,3 +6,4 @@
 #include "benchkit/metrics.hpp"   // IWYU pragma: export
 #include "benchkit/reporter.hpp"  // IWYU pragma: export
 #include "benchkit/runner.hpp"    // IWYU pragma: export
+#include "benchkit/stats.hpp"     // IWYU pragma: export

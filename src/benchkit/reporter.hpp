@@ -18,7 +18,17 @@ namespace chronosync::benchkit {
 ///   2 — adds cpu_user_ns / cpu_sys_ns (process CPU time over the timed
 ///       repetitions, from getrusage); v1 records still parse, with both
 ///       fields defaulting to 0
-inline constexpr int kSchemaVersion = 2;
+///   3 — adds wall_ns_ci_lo / wall_ns_ci_hi / boot_resamples /
+///       boot_confidence (bootstrap median confidence interval over the
+///       timed repetitions); older records parse with all four at 0
+///
+/// A record's emitted schema_version reflects its content, not this
+/// constant: v3 keys only appear when a bootstrap interval was computed
+/// (boot_resamples > 0), v2 when CPU time was sampled, and a record carrying
+/// neither is written as v1 without the newer keys.  Earlier revisions
+/// stamped kSchemaVersion unconditionally, which mislabeled records that had
+/// no v2 content.
+inline constexpr int kSchemaVersion = 3;
 
 using ConfigList = std::vector<std::pair<std::string, std::string>>;
 using MetricList = std::vector<std::pair<std::string, double>>;
@@ -32,6 +42,10 @@ struct BenchRecord {
   double wall_ns_p50 = 0.0;
   double wall_ns_p90 = 0.0;
   double wall_ns_min = 0.0;
+  double wall_ns_ci_lo = 0.0;  // bootstrap CI for the median (schema >= 3);
+  double wall_ns_ci_hi = 0.0;  //   both 0 when boot_resamples == 0
+  std::int64_t boot_resamples = 0;  // 0 means no interval was computed
+  double boot_confidence = 0.0;     // e.g. 0.95; 0 when no interval
   double throughput = 0.0;  // items per second at the p50 time; 0 if n/a
   MetricList metrics;       // named scalar results (figure/table numbers)
   std::int64_t cpu_user_ns = 0;  // user CPU over the timed reps (schema >= 2)

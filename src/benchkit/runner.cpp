@@ -7,7 +7,9 @@
 #include <iostream>
 
 #include "benchkit/metrics.hpp"
+#include "benchkit/stats.hpp"
 #include "common/expect.hpp"
+#include "common/rng.hpp"
 #include "common/statistics.hpp"
 
 #ifndef CHRONOSYNC_GIT_SHA
@@ -20,10 +22,15 @@ Harness::Harness(const Cli& cli, std::string suite, HarnessDefaults defaults)
     : suite_(std::move(suite)),
       reps_(static_cast<int>(cli.get_int("reps", defaults.reps))),
       warmup_(static_cast<int>(cli.get_int("warmup", defaults.warmup))),
+      boot_resamples_(static_cast<int>(cli.get_int("boot-resamples", 1000))),
+      boot_confidence_(cli.get_double("boot-confidence", 0.95)),
       seed_(cli.get_seed()),
       json_path_(cli.get("json", "")) {
   CS_REQUIRE(reps_ >= 1, "--reps must be >= 1");
   CS_REQUIRE(warmup_ >= 0, "--warmup must be >= 0");
+  CS_REQUIRE(boot_resamples_ >= 0, "--boot-resamples must be >= 0");
+  CS_REQUIRE(boot_confidence_ > 0.0 && boot_confidence_ < 1.0,
+             "--boot-confidence must be in (0, 1)");
 }
 
 std::string Harness::git_sha() {
@@ -84,6 +91,17 @@ BenchRecord Harness::time(const std::string& name, ConfigList config,
   rec.wall_ns_p50 = percentile(wall_ns, 50.0);
   rec.wall_ns_p90 = percentile(wall_ns, 90.0);
   rec.wall_ns_min = percentile(wall_ns, 0.0);
+  if (boot_resamples_ > 0) {
+    // Seeded per measurement name so records stay independent of how many
+    // measurements ran before them, and reproducible from --seed alone.
+    const auto ci =
+        bootstrap_median_ci(wall_ns, boot_resamples_, boot_confidence_,
+                            RngTree(seed_).child("benchkit.bootstrap").derive(name));
+    rec.wall_ns_ci_lo = ci.lo;
+    rec.wall_ns_ci_hi = ci.hi;
+    rec.boot_resamples = ci.resamples;
+    rec.boot_confidence = ci.confidence;
+  }
   if (items_per_iter > 0 && rec.wall_ns_p50 > 0.0) {
     rec.throughput = static_cast<double>(items_per_iter) / (rec.wall_ns_p50 * 1e-9);
   }
@@ -95,8 +113,12 @@ BenchRecord Harness::time(const std::string& name, ConfigList config,
   rec.cpu_sys_ns = cpu_after.cpu_sys_ns - cpu_before.cpu_sys_ns;
 
   const BenchRecord& out = finish(std::move(rec));
-  std::cerr << "[bench] " << suite_ << '/' << name << ": p50 " << format_ns(out.wall_ns_p50)
-            << ", min " << format_ns(out.wall_ns_min);
+  std::cerr << "[bench] " << suite_ << '/' << name << ": p50 " << format_ns(out.wall_ns_p50);
+  if (out.boot_resamples > 0) {
+    std::cerr << " [" << format_ns(out.wall_ns_ci_lo) << ", " << format_ns(out.wall_ns_ci_hi)
+              << "]";
+  }
+  std::cerr << ", min " << format_ns(out.wall_ns_min);
   if (out.throughput > 0.0) {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.3g", out.throughput);

@@ -3,10 +3,15 @@
 // and optional JSON-lines reporting via --json <path>.
 //
 // Standard CLI contract (parsed from the binary's Cli):
-//   --json <path>   append schema-versioned records to <path>
-//   --reps <n>      timed repetitions per measurement (default 5)
-//   --warmup <n>    untimed warmup repetitions (default 1)
-//   --seed <n>      carried into every record's config for reproducibility
+//   --json <path>            append schema-versioned records to <path>
+//   --reps <n>               timed repetitions per measurement (default 5)
+//   --warmup <n>             untimed warmup repetitions (default 1)
+//   --seed <n>               carried into every record's config for
+//                            reproducibility; also seeds the bootstrap
+//   --boot-resamples <n>     bootstrap resamples for the median confidence
+//                            interval (default 1000; 0 disables, dropping
+//                            the record back to schema v2)
+//   --boot-confidence <p>    interval coverage (default 0.95)
 #pragma once
 
 #include <cstdint>
@@ -43,6 +48,7 @@ class Harness {
 
   int reps() const { return reps_; }
   int warmup() const { return warmup_; }
+  int boot_resamples() const { return boot_resamples_; }
   bool json_enabled() const { return !json_path_.empty(); }
   const std::string& suite() const { return suite_; }
   const std::vector<BenchRecord>& records() const { return records_; }
@@ -57,6 +63,8 @@ class Harness {
   std::string suite_;
   int reps_;
   int warmup_;
+  int boot_resamples_;
+  double boot_confidence_;
   std::uint64_t seed_;
   std::string json_path_;
   std::vector<BenchRecord> records_;

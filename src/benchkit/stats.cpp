@@ -1,0 +1,40 @@
+#include "benchkit/stats.hpp"
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+
+namespace chronosync::benchkit {
+
+BootstrapCi bootstrap_median_ci(const std::vector<double>& samples, int resamples,
+                                double confidence, std::uint64_t seed) {
+  CS_REQUIRE(!samples.empty(), "bootstrap_median_ci needs at least one sample");
+  CS_REQUIRE(resamples >= 1, "bootstrap_median_ci needs at least one resample");
+  CS_REQUIRE(confidence > 0.0 && confidence < 1.0,
+             "bootstrap confidence must be in (0, 1)");
+
+  BootstrapCi ci;
+  ci.point = percentile(samples, 50.0);
+  ci.resamples = resamples;
+  ci.confidence = confidence;
+
+  const auto n = samples.size();
+  Rng rng(seed);
+  std::vector<double> resample(n);
+  std::vector<double> medians;
+  medians.reserve(static_cast<std::size_t>(resamples));
+  for (int b = 0; b < resamples; ++b) {
+    for (std::size_t i = 0; i < n; ++i) {
+      resample[i] = samples[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))];
+    }
+    medians.push_back(percentile(resample, 50.0));
+  }
+
+  const double alpha = 1.0 - confidence;
+  ci.lo = percentile(medians, 100.0 * (alpha / 2.0));
+  ci.hi = percentile(medians, 100.0 * (1.0 - alpha / 2.0));
+  return ci;
+}
+
+}  // namespace chronosync::benchkit

@@ -1,0 +1,34 @@
+// Uncertainty statistics for benchmark timings.
+//
+// Wall-time samples from a handful of repetitions are noisy and non-normal
+// (scheduler preemption gives a long right tail), so regression gating on a
+// raw p50 ratio trips on noise.  The percentile bootstrap makes the noise
+// explicit: resample the per-repetition timings with replacement, take the
+// median of each resample, and report a quantile interval of those medians.
+// Two measurements whose intervals do not overlap differ by more than the
+// run-to-run noise — that is the CI regression rule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace chronosync::benchkit {
+
+/// Percentile-bootstrap confidence interval for the median of a sample.
+struct BootstrapCi {
+  double point = 0.0;  // median of the original sample
+  double lo = 0.0;     // lower quantile of the resampled medians
+  double hi = 0.0;     // upper quantile of the resampled medians
+  int resamples = 0;
+  double confidence = 0.0;
+};
+
+/// Deterministic for a fixed (samples, resamples, confidence, seed) tuple:
+/// the resampling indices come from the repo's own xoshiro256** stream, not
+/// std::random, so results are identical across platforms and stdlibs.
+/// A constant sample yields a zero-width interval.  Requires a non-empty
+/// sample, resamples >= 1, and confidence in (0, 1).
+BootstrapCi bootstrap_median_ci(const std::vector<double>& samples, int resamples = 1000,
+                                double confidence = 0.95, std::uint64_t seed = 42);
+
+}  // namespace chronosync::benchkit

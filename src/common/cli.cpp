@@ -69,6 +69,32 @@ double Cli::get_double(const std::string& name, double fallback) const {
   return v;
 }
 
+std::vector<std::int64_t> Cli::get_int_list(const std::string& name,
+                                            std::vector<std::int64_t> fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  std::vector<std::int64_t> out;
+  const std::string& value = it->second;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const std::size_t comma = value.find(',', pos);
+    const std::string elem =
+        value.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const char* s = elem.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const std::int64_t v = std::strtoll(s, &end, 10);
+    CS_REQUIRE(end != s && *end == '\0',
+               "option --" + name + " expects comma-separated integers, got \"" + value +
+                   "\"");
+    CS_REQUIRE(errno != ERANGE, "option --" + name + " is out of range: \"" + value + "\"");
+    out.push_back(v);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
 std::uint64_t Cli::get_seed(std::uint64_t fallback) const {
   return static_cast<std::uint64_t>(get_int("seed", static_cast<std::int64_t>(fallback)));
 }

@@ -17,6 +17,11 @@ class Cli {
   std::string get(const std::string& name, const std::string& fallback) const;
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
+  /// Comma-separated integer list, e.g. `--ranks 8,64,256`; a single integer
+  /// parses as a one-element list.  Empty elements and non-numeric values
+  /// fail loudly like get_int.
+  std::vector<std::int64_t> get_int_list(const std::string& name,
+                                         std::vector<std::int64_t> fallback) const;
   std::uint64_t get_seed(std::uint64_t fallback = 42) const;
 
   /// Positional (non-option) arguments in order.

@@ -40,6 +40,19 @@ struct ClcOptions {
   /// Maximum fractional stretch of pre-jump intervals: a jump of size d is
   /// smoothed over a window of d / backward_slope.
   double backward_slope = 0.05;
+  /// Parallel replay only: a worker publishes its progress counter after at
+  /// most this many locally processed events, even mid-drain, so consumers of
+  /// a long uninterrupted run are not starved until the run blocks.  Smaller
+  /// values pipeline tighter at the cost of more cross-thread stores; the
+  /// corrected timestamps are bit-identical for every value >= 1.
+  int publish_batch = 128;
+  /// Parallel replay only: the requested thread count is clamped so every
+  /// worker owns at least this many events.  Spreading a small trace over
+  /// many threads is a pure loss (thread startup plus cross-thread handoffs
+  /// dwarf the per-event work), so a 3k-event trace asked to use 8 threads
+  /// runs on 1–2 instead.  Set to 1 to force the requested thread count
+  /// (tests and sanitizer runs that must exercise real concurrency do).
+  int min_events_per_thread = 2048;
 };
 
 struct ClcResult {

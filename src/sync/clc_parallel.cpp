@@ -22,10 +22,25 @@ namespace {
 // points: an event may be processed once every constraining send has been
 // *published* by its owner.
 //
+// Work is partitioned by *contiguous* CSR rank ranges: thread t owns ranks
+// [rank_lo, rank_hi) chosen so every thread carries a near-equal share of the
+// event total.  Because global event numbering is rank-major, each thread
+// then reads and writes one contiguous slice of the flat lc[]/jump[]/input
+// arrays — the Eq.-1 edge scan and the amortization updates stream linearly
+// through memory, and cross-thread false sharing is confined to the single
+// cache line at each partition boundary.  Ownership tests reduce to one
+// range comparison on the global index, with no per-edge rank lookup needed
+// to skip the atomics on thread-local edges.
+//
 // Publication is epoch-based: one cache-line-padded atomic counter per rank
 // holds the number of that rank's events whose corrected timestamps are
 // visible (the counter store/loads carry the release/acquire edge covering
-// the lc[] writes).  Owners publish once per drained run — not per event.
+// the lc[] writes).  Owners publish in batches — after every
+// options.publish_batch events of an uninterrupted drain, and always when a
+// rank blocks or finishes — never per event.  The mid-drain batch point
+// bounds how stale a long-running producer may appear to its consumers; the
+// on-block publish keeps the protocol live (a fully blocked system always
+// has every processed event published, so some thread can run).
 //
 // Wakeups are per-thread doorbells (an eventcount), not a global
 // mutex/condition_variable: a worker whose ranks are all blocked re-checks
@@ -50,6 +65,12 @@ struct alignas(64) Doorbell {
 };
 
 struct SharedState {
+  // Structure-of-arrays event state, indexed by global event index: the
+  // corrected timestamps and jump sizes live in two parallel flat arrays
+  // sliced contiguously per thread.  (The input timestamps stay in the
+  // TimestampArray's per-rank rows — each row is already contiguous, each
+  // value is read exactly once, and flattening them up front was measured to
+  // cost more than it saves.)
   std::vector<Time> lc;
   std::vector<Duration> jump;
   std::vector<RankProgress> progress;  // one epoch counter per rank
@@ -70,10 +91,10 @@ struct RankCursor {
   Time prev_lc = 0.0;
 };
 
-/// One worker's forward replay over its ranks.
+/// One worker's forward replay over its contiguous rank range
+/// [mine.front().rank, mine.back().rank].
 void forward_worker(const ReplaySchedule& schedule, const TimestampArray& input,
-                    const ClcOptions& options, int self,
-                    std::vector<RankCursor>& mine, const std::vector<char>& owned_by_me,
+                    const ClcOptions& options, int self, std::vector<RankCursor>& mine,
                     SharedState& shared) {
   // Observability: the level is latched once per worker (it does not change
   // mid-run), hot-loop tallies stay in plain locals, and the registry is
@@ -87,25 +108,46 @@ void forward_worker(const ReplaySchedule& schedule, const TimestampArray& input,
   std::uint64_t published_batches = 0;
   std::uint64_t events_done = 0;
 
-  // Local view of our own ranks' progress, so self-edges never touch atomics.
-  std::vector<std::uint32_t> self_next(owned_by_me.size(), 0);
+  if (mine.empty()) return;  // skewed partitions can leave a thread idle
+
+  // A solo worker has no consumers: skip the progress stores entirely (the
+  // owned-range fast path in edge_done() never reads them).
+  const bool solo = shared.doorbell.size() == 1;
+
+  // Raw views over the schedule's CSR arrays: the per-edge hot path must not
+  // pay the bounds-checked accessors' branches or span re-construction.
+  const Rank* const ranks_of = schedule.ranks_of().data();
+  const std::uint32_t* const rank_off = schedule.rank_offsets().data();
+  const std::uint32_t* const in_off = schedule.incoming_offsets().data();
+  const ReplaySchedule::ConstraintEdge* const in_edges = schedule.incoming_edges().data();
+
+  // Owned global-index range: contiguous because ownership is a contiguous
+  // rank range and global numbering is rank-major.
+  const std::uint32_t g_lo = rank_off[static_cast<std::size_t>(mine.front().rank)];
+  const std::uint32_t g_hi = rank_off[static_cast<std::size_t>(mine.back().rank) + 1];
+
+  // Local watermark per owned rank, so self-edges never touch atomics.
+  const Rank rank_lo = mine.front().rank;
+  std::vector<std::uint32_t> self_next(mine.size(), 0);
+
+  const std::uint32_t batch = static_cast<std::uint32_t>(options.publish_batch);
 
   // seq_cst loads cost the same as acquire on mainstream targets and make
   // the sleep protocol's "publisher sees my asleep flag or I see its
   // counter" argument a plain total-order one.
   auto edge_done = [&](std::uint32_t src) {
-    const Rank rs = schedule.rank_of(src);
-    const std::uint32_t is = src - schedule.rank_begin(rs);
-    if (owned_by_me[static_cast<std::size_t>(rs)]) {
-      return self_next[static_cast<std::size_t>(rs)] > is;
+    const Rank rs = ranks_of[src];
+    const std::uint32_t is = src - rank_off[static_cast<std::size_t>(rs)];
+    if (src >= g_lo && src < g_hi) {
+      return self_next[static_cast<std::size_t>(rs - rank_lo)] > is;
     }
     return shared.progress[static_cast<std::size_t>(rs)].completed.load(
                std::memory_order_seq_cst) > is;
   };
   auto ready = [&](const RankCursor& c) {
-    const std::uint32_t g = schedule.rank_begin(c.rank) + c.next;
-    for (const auto& edge : schedule.incoming(g)) {
-      if (!edge_done(edge.source)) return false;
+    const std::uint32_t g = rank_off[static_cast<std::size_t>(c.rank)] + c.next;
+    for (std::uint32_t e = in_off[g]; e < in_off[g + 1]; ++e) {
+      if (!edge_done(in_edges[e].source)) return false;
     }
     return true;
   };
@@ -113,7 +155,8 @@ void forward_worker(const ReplaySchedule& schedule, const TimestampArray& input,
   // incoming edges; `bound` is only meaningful when the return value is true.
   auto ready_bound = [&](std::uint32_t g, Time& bound) {
     bound = -kTimeInfinity;
-    for (const auto& edge : schedule.incoming(g)) {
+    for (std::uint32_t e = in_off[g]; e < in_off[g + 1]; ++e) {
+      const auto& edge = in_edges[e];
       if (!edge_done(edge.source)) return false;
       bound = std::max(bound, shared.lc[edge.source] + edge.l_min);
     }
@@ -122,7 +165,7 @@ void forward_worker(const ReplaySchedule& schedule, const TimestampArray& input,
 
   auto publish = [&](RankCursor& c) {
     // Batched publication: one store + a ring of the (usually empty) set of
-    // sleeping subscriber threads per drained run, never per event.
+    // sleeping subscriber threads, never per event.
     auto& ctr = shared.progress[static_cast<std::size_t>(c.rank)].completed;
     ctr.store(c.next, std::memory_order_seq_cst);
     ++published_batches;
@@ -154,8 +197,8 @@ void forward_worker(const ReplaySchedule& schedule, const TimestampArray& input,
     bool advanced = false;
     for (auto& c : mine) {
       const std::uint32_t n = schedule.rank_size(c.rank);
-      const std::uint32_t base = schedule.rank_begin(c.rank);
-      const std::vector<Time>& in_row = input.of_rank(c.rank);
+      const std::uint32_t base = rank_off[static_cast<std::size_t>(c.rank)];
+      const Time* const in_row = input.of_rank(c.rank).data();
       Time bound;
       while (c.next < n && ready_bound(base + c.next, bound)) {
         const std::uint32_t g = base + c.next;
@@ -179,17 +222,32 @@ void forward_worker(const ReplaySchedule& schedule, const TimestampArray& input,
         c.prev_lc = lc;
         c.has_prev = true;
         ++c.next;
-        self_next[static_cast<std::size_t>(c.rank)] = c.next;
+        self_next[static_cast<std::size_t>(c.rank - rank_lo)] = c.next;
         --remaining;
         ++events_done;
         advanced = true;
+        // Mid-drain batch point: a long uninterrupted run publishes every
+        // `batch` events so its consumers can pipeline behind it.
+        if (!solo && c.next - c.published >= batch) publish(c);
       }
-      if (c.next != c.published) publish(c);
+      // A finished rank publishes its final count immediately: this worker
+      // may stay busy (and thus never reach the blocked-flush below) for a
+      // long time while others still wait on the tail of this rank.
+      if (!solo && c.next == n && c.next != c.published) publish(c);
     }
 
     if (advanced) {
       spins = 0;
     } else if (remaining > 0) {
+      // A full pass made no progress: every owned rank is blocked on a
+      // remote send.  Flush all unpublished progress first — the threads we
+      // are about to wait on may in turn be waiting on exactly these events,
+      // so batching must never withhold them across a blocking boundary.
+      // (This is what keeps batched publication deadlock-free: a blocked or
+      // sleeping worker always has everything it processed published.)
+      for (auto& c : mine) {
+        if (c.next != c.published) publish(c);
+      }
       if (spins < max_spins) {
         ++spins;
         ++spin_iters;
@@ -237,6 +295,26 @@ void forward_worker(const ReplaySchedule& schedule, const TimestampArray& input,
   }
 }
 
+/// Contiguous, event-balanced rank partition: rank r goes to the thread
+/// whose cumulative-event quota the rank's midpoint falls into, which keeps
+/// every thread's share within one rank of the ideal events/threads split
+/// while preserving rank order (and therefore global-index contiguity).
+std::vector<int> partition_ranks(const ReplaySchedule& schedule, int ranks, int threads) {
+  std::vector<int> owner(static_cast<std::size_t>(ranks), 0);
+  const auto total = static_cast<double>(schedule.events());
+  const auto rank_off = schedule.rank_offsets();
+  for (Rank r = 0; r < ranks; ++r) {
+    const double mid = (static_cast<double>(rank_off[static_cast<std::size_t>(r)]) +
+                        static_cast<double>(rank_off[static_cast<std::size_t>(r) + 1])) /
+                       2.0;
+    int t = total > 0.0 ? static_cast<int>(mid * threads / total) : 0;
+    t = std::clamp(t, 0, threads - 1);
+    // Monotone by construction (mid is increasing), so ranges stay contiguous.
+    owner[static_cast<std::size_t>(r)] = t;
+  }
+  return owner;
+}
+
 }  // namespace
 
 ClcResult controlled_logical_clock_parallel(const Trace& trace, const ReplaySchedule& schedule,
@@ -252,12 +330,19 @@ ClcResult controlled_logical_clock_parallel(const Trace& trace, const ReplaySche
   }
   CS_REQUIRE(options.forward_decay >= 0.0 && options.forward_decay < 1.0,
              "forward_decay must be in [0, 1)");
+  CS_REQUIRE(options.publish_batch >= 1, "publish_batch must be >= 1");
+  CS_REQUIRE(options.min_events_per_thread >= 1, "min_events_per_thread must be >= 1");
 
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 2;
   }
   threads = std::max(1, std::min(threads, trace.ranks()));
+  // Small traces do not amortize per-thread costs: cap the pool so each
+  // worker owns at least min_events_per_thread events.
+  const auto event_cap = static_cast<int>(
+      schedule.events() / static_cast<std::size_t>(options.min_events_per_thread));
+  threads = std::max(1, std::min(threads, event_cap));
 
   // One phase span alive at a time; emplace() closes the previous phase.
   std::optional<obs::Span> phase_span;
@@ -265,34 +350,31 @@ ClcResult controlled_logical_clock_parallel(const Trace& trace, const ReplaySche
   SharedState shared(schedule.events(), static_cast<std::size_t>(trace.ranks()),
                      static_cast<std::size_t>(threads));
 
-  // Round-robin rank ownership keeps neighbouring ranks on different
-  // threads, which shortens blocking chains for nearest-neighbour patterns.
+  const std::vector<int> owner = partition_ranks(schedule, trace.ranks(), threads);
   std::vector<std::vector<RankCursor>> owned(static_cast<std::size_t>(threads));
-  std::vector<std::vector<char>> owned_by(
-      static_cast<std::size_t>(threads),
-      std::vector<char>(static_cast<std::size_t>(trace.ranks()), 0));
   for (Rank r = 0; r < trace.ranks(); ++r) {
-    const auto t = static_cast<std::size_t>(r % threads);
-    owned[t].push_back({r, 0, 0, false, 0.0, 0.0});
-    owned_by[t][static_cast<std::size_t>(r)] = 1;
+    owned[static_cast<std::size_t>(owner[static_cast<std::size_t>(r)])].push_back(
+        {r, 0, 0, false, 0.0, 0.0});
   }
 
   // Subscriber lists: thread t subscribes to rank x when some edge runs from
-  // an event of x into an event of a rank t owns.
-  {
+  // an event of x into an event of a rank t owns.  A solo run never
+  // publishes, so the edge sweep would be pure setup cost.
+  shared.subscribers.resize(static_cast<std::size_t>(trace.ranks()));
+  if (threads > 1) {
     std::vector<char> seen(static_cast<std::size_t>(trace.ranks()) *
                                static_cast<std::size_t>(threads),
                            0);
-    shared.subscribers.resize(static_cast<std::size_t>(trace.ranks()));
+    const auto ranks_of = schedule.ranks_of();
     for (std::uint32_t g = 0; g < schedule.events(); ++g) {
-      const int owner = static_cast<int>(schedule.rank_of(g)) % threads;
+      const int t = owner[static_cast<std::size_t>(ranks_of[g])];
       for (const auto& edge : schedule.incoming(g)) {
-        const auto x = static_cast<std::size_t>(schedule.rank_of(edge.source));
-        auto& flag = seen[x * static_cast<std::size_t>(threads) +
-                          static_cast<std::size_t>(owner)];
+        const auto x = static_cast<std::size_t>(ranks_of[edge.source]);
+        auto& flag =
+            seen[x * static_cast<std::size_t>(threads) + static_cast<std::size_t>(t)];
         if (!flag) {
           flag = 1;
-          shared.subscribers[x].push_back(owner);
+          shared.subscribers[x].push_back(t);
         }
       }
     }
@@ -306,7 +388,7 @@ ClcResult controlled_logical_clock_parallel(const Trace& trace, const ReplaySche
     pool.emplace_back([&, t] {
       obs::set_thread_name("clc-worker-" + std::to_string(t));
       forward_worker(schedule, input, options, t, owned[static_cast<std::size_t>(t)],
-                     owned_by[static_cast<std::size_t>(t)], shared);
+                     shared);
     });
   }
   for (auto& th : pool) th.join();

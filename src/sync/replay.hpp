@@ -67,6 +67,20 @@ class ReplaySchedule {
     return {out_edges_.data() + out_off_[gidx], out_off_[gidx + 1] - out_off_[gidx]};
   }
 
+  // Raw whole-array views for hot loops that index with already-validated
+  // global indexes (the parallel replay's edge scan).  The per-event
+  // accessors above re-check bounds on every call; a forward pass touching
+  // millions of edges streams these flat arrays directly instead.
+  /// Owning rank per global index (size events()).
+  std::span<const Rank> ranks_of() const { return rank_of_; }
+  /// Global index of each rank's event 0, plus a final total-events sentinel
+  /// (size ranks + 1).
+  std::span<const std::uint32_t> rank_offsets() const { return prefix_; }
+  /// CSR offsets into incoming_edges() (size events() + 1).
+  std::span<const std::uint32_t> incoming_offsets() const { return in_off_; }
+  /// All incoming constraint edges, CSR order.
+  std::span<const ConstraintEdge> incoming_edges() const { return in_edges_; }
+
   /// Visits every event in a dependency-respecting order.  Throws if the
   /// constraint graph has a cycle (a malformed trace).
   template <class Visit>

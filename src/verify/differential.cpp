@@ -76,8 +76,15 @@ std::vector<MethodOutput> run_all_methods(const Trace& trace, const OffsetStore&
           : TimestampArray::from_local(trace);
   out.push_back({"interpolation+clc-serial",
                  controlled_logical_clock(trace, schedule, input).corrected, true});
-  out.push_back({"interpolation+clc-parallel",
-                 controlled_logical_clock_parallel(trace, schedule, input).corrected, true});
+  // Force real concurrency: the differential contract must exercise the
+  // cross-thread protocol even on small synthetic traces, which the
+  // min_events_per_thread guard would otherwise collapse to a solo run.
+  ClcOptions parallel_options;
+  parallel_options.min_events_per_thread = 1;
+  out.push_back(
+      {"interpolation+clc-parallel",
+       controlled_logical_clock_parallel(trace, schedule, input, parallel_options).corrected,
+       true});
   return out;
 }
 

@@ -53,7 +53,8 @@ TEST(BenchRecordSchema, GoldenKeysAndTypes) {
   for (const auto& [k, v] : obj.members()) keys.push_back(k);
   EXPECT_EQ(keys, expected_keys);
 
-  EXPECT_EQ(static_cast<int>(obj.find("schema_version")->as_number()), kSchemaVersion);
+  // sample_record carries CPU time but no bootstrap interval: a v2 record.
+  EXPECT_EQ(static_cast<int>(obj.find("schema_version")->as_number()), 2);
   EXPECT_TRUE(obj.find("suite")->is_string());
   EXPECT_TRUE(obj.find("name")->is_string());
   EXPECT_TRUE(obj.find("kind")->is_string());
@@ -85,6 +86,44 @@ TEST(BenchRecordSchema, GoldenSerializedForm) {
       "\"alloc_bytes_per_iter\":4096,\"git_sha\":\"abc123\","
       "\"timestamp\":1700000000}";
   EXPECT_EQ(to_json(sample_record()).dump(), expected);
+}
+
+// The stamped version must describe the record's content, not the library's
+// latest revision: a record with no CPU sample and no bootstrap interval is
+// written as v1 without the newer keys, and adding an interval promotes it
+// to v3 with the four CI keys in place.
+TEST(BenchRecordSchema, VersionReflectsContent) {
+  BenchRecord plain = sample_record();
+  plain.cpu_user_ns = 0;
+  plain.cpu_sys_ns = 0;
+  const JsonValue v1 = to_json(plain);
+  EXPECT_EQ(static_cast<int>(v1.find("schema_version")->as_number()), 1);
+  EXPECT_EQ(v1.find("cpu_user_ns"), nullptr);
+  EXPECT_EQ(v1.find("cpu_sys_ns"), nullptr);
+  EXPECT_EQ(v1.find("wall_ns_ci_lo"), nullptr);
+
+  BenchRecord with_ci = sample_record();
+  with_ci.wall_ns_ci_lo = 1200.0;
+  with_ci.wall_ns_ci_hi = 1800.0;
+  with_ci.boot_resamples = 1000;
+  with_ci.boot_confidence = 0.95;
+  const JsonValue v3 = to_json(with_ci);
+  EXPECT_EQ(static_cast<int>(v3.find("schema_version")->as_number()), 3);
+  ASSERT_NE(v3.find("wall_ns_ci_lo"), nullptr);
+  EXPECT_DOUBLE_EQ(v3.find("wall_ns_ci_lo")->as_number(), 1200.0);
+  EXPECT_DOUBLE_EQ(v3.find("wall_ns_ci_hi")->as_number(), 1800.0);
+  EXPECT_EQ(static_cast<int>(v3.find("boot_resamples")->as_number()), 1000);
+  EXPECT_DOUBLE_EQ(v3.find("boot_confidence")->as_number(), 0.95);
+
+  const BenchRecord back = record_from_json(v3);
+  EXPECT_DOUBLE_EQ(back.wall_ns_ci_lo, with_ci.wall_ns_ci_lo);
+  EXPECT_DOUBLE_EQ(back.wall_ns_ci_hi, with_ci.wall_ns_ci_hi);
+  EXPECT_EQ(back.boot_resamples, with_ci.boot_resamples);
+  EXPECT_DOUBLE_EQ(back.boot_confidence, with_ci.boot_confidence);
+
+  const BenchRecord plain_back = record_from_json(v1);
+  EXPECT_EQ(plain_back.cpu_user_ns, 0);
+  EXPECT_EQ(plain_back.boot_resamples, 0);
 }
 
 // v1 records (the committed baselines) must keep parsing: the CPU fields did
@@ -218,6 +257,28 @@ TEST(Harness, StampsSeedIntersAndSchemaFields) {
   EXPECT_GT(rec.peak_rss_bytes, 0);
   EXPECT_GT(rec.timestamp, 0);
   EXPECT_FALSE(rec.git_sha.empty());
+}
+
+// Timed records carry a bootstrap interval by default (schema v3) that
+// brackets the reported median; --boot-resamples 0 opts out, dropping the
+// record back to the CPU-only schema.
+TEST(Harness, BootstrapIntervalBracketsMedianAndCanBeDisabled) {
+  Harness h = make_harness({"--reps", "5", "--warmup", "0"});
+  EXPECT_EQ(h.boot_resamples(), 1000);
+  const BenchRecord rec = h.time("timed", {}, 0, [] {
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  });
+  EXPECT_EQ(rec.boot_resamples, 1000);
+  EXPECT_DOUBLE_EQ(rec.boot_confidence, 0.95);
+  EXPECT_LE(rec.wall_ns_ci_lo, rec.wall_ns_p50);
+  EXPECT_GE(rec.wall_ns_ci_hi, rec.wall_ns_p50);
+
+  Harness off = make_harness({"--reps", "3", "--warmup", "0", "--boot-resamples", "0"});
+  const BenchRecord plain = off.time("timed", {}, 0, [] {});
+  EXPECT_EQ(plain.boot_resamples, 0);
+  EXPECT_DOUBLE_EQ(plain.wall_ns_ci_lo, 0.0);
+  EXPECT_DOUBLE_EQ(plain.wall_ns_ci_hi, 0.0);
 }
 
 TEST(Harness, WritesJsonLinesWhenRequested) {

@@ -1,0 +1,78 @@
+#include "benchkit/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace chronosync::benchkit {
+namespace {
+
+// A constant sample has no sampling noise: every resampled median equals the
+// sample value, so the interval must collapse to zero width exactly.
+TEST(BootstrapMedianCi, ConstantSampleGivesZeroWidthInterval) {
+  const std::vector<double> samples(7, 123.5);
+  const BootstrapCi ci = bootstrap_median_ci(samples, 500, 0.95, 1);
+  EXPECT_DOUBLE_EQ(ci.point, 123.5);
+  EXPECT_DOUBLE_EQ(ci.lo, 123.5);
+  EXPECT_DOUBLE_EQ(ci.hi, 123.5);
+  EXPECT_EQ(ci.resamples, 500);
+  EXPECT_DOUBLE_EQ(ci.confidence, 0.95);
+}
+
+TEST(BootstrapMedianCi, SingleSampleCollapsesToThatSample) {
+  const BootstrapCi ci = bootstrap_median_ci({42.0}, 100, 0.9, 7);
+  EXPECT_DOUBLE_EQ(ci.point, 42.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 42.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 42.0);
+}
+
+// A strongly bimodal sample is the adversarial case for normal-theory
+// intervals; the bootstrap must still produce an interval that covers the
+// sample median and stays inside the sample's range.
+TEST(BootstrapMedianCi, BimodalSampleCoversMedian) {
+  std::vector<double> samples;
+  for (int i = 0; i < 10; ++i) samples.push_back(100.0);
+  for (int i = 0; i < 10; ++i) samples.push_back(900.0);
+  const BootstrapCi ci = bootstrap_median_ci(samples, 2000, 0.95, 3);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_GE(ci.lo, *std::min_element(samples.begin(), samples.end()));
+  EXPECT_LE(ci.hi, *std::max_element(samples.begin(), samples.end()));
+  // With half the mass at each mode, resampled medians land on both modes:
+  // the interval must reflect that spread rather than hug one mode.
+  EXPECT_GT(ci.hi - ci.lo, 0.0);
+}
+
+TEST(BootstrapMedianCi, DeterministicUnderFixedSeed) {
+  const std::vector<double> samples = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  const BootstrapCi a = bootstrap_median_ci(samples, 1000, 0.95, 42);
+  const BootstrapCi b = bootstrap_median_ci(samples, 1000, 0.95, 42);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+  EXPECT_DOUBLE_EQ(a.point, b.point);
+
+  // A different seed resamples differently; on a spread-out sample the odds
+  // of identical quantiles are negligible, so the bounds should move.
+  const BootstrapCi c = bootstrap_median_ci(samples, 1000, 0.95, 43);
+  EXPECT_TRUE(c.lo != a.lo || c.hi != a.hi);
+}
+
+TEST(BootstrapMedianCi, WiderConfidenceGivesWiderInterval) {
+  const std::vector<double> samples = {10.0, 12.0, 11.0, 30.0, 13.0, 12.5, 11.5, 14.0};
+  const BootstrapCi narrow = bootstrap_median_ci(samples, 2000, 0.5, 5);
+  const BootstrapCi wide = bootstrap_median_ci(samples, 2000, 0.99, 5);
+  EXPECT_LE(wide.lo, narrow.lo);
+  EXPECT_GE(wide.hi, narrow.hi);
+}
+
+TEST(BootstrapMedianCi, RejectsDegenerateArguments) {
+  EXPECT_THROW(bootstrap_median_ci({}, 100, 0.95, 1), std::invalid_argument);
+  EXPECT_THROW(bootstrap_median_ci({1.0}, 0, 0.95, 1), std::invalid_argument);
+  EXPECT_THROW(bootstrap_median_ci({1.0}, 100, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(bootstrap_median_ci({1.0}, 100, 1.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chronosync::benchkit

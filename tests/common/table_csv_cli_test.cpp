@@ -131,6 +131,24 @@ TEST(Cli, GetIntRejectsOutOfRange) {
   EXPECT_THROW(cli.get_int("big", 0), std::invalid_argument);
 }
 
+TEST(Cli, GetIntListParsesCommaSeparatedSweeps) {
+  const char* argv[] = {"prog", "--ranks=8,64,256", "--events", "100000"};
+  Cli cli(4, argv);
+  EXPECT_EQ(cli.get_int_list("ranks", {}), (std::vector<std::int64_t>{8, 64, 256}));
+  // A single integer is a one-element sweep; an absent option yields the
+  // fallback untouched.
+  EXPECT_EQ(cli.get_int_list("events", {}), (std::vector<std::int64_t>{100000}));
+  EXPECT_EQ(cli.get_int_list("threads", {1, 2}), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(Cli, GetIntListRejectsMalformedElements) {
+  const char* argv[] = {"prog", "--a=1,x,3", "--b=1,,3", "--c=1,2,"};
+  Cli cli(4, argv);
+  EXPECT_THROW(cli.get_int_list("a", {}), std::invalid_argument);
+  EXPECT_THROW(cli.get_int_list("b", {}), std::invalid_argument);
+  EXPECT_THROW(cli.get_int_list("c", {}), std::invalid_argument);
+}
+
 TEST(Expect, RequireThrowsInvalidArgument) {
   EXPECT_THROW(CS_REQUIRE(false, "msg"), std::invalid_argument);
   EXPECT_NO_THROW(CS_REQUIRE(true, "msg"));

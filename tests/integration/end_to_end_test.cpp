@@ -119,7 +119,12 @@ TEST(EndToEnd, ParallelClcAgreesOnRealTrace) {
   const ReplaySchedule schedule(res.trace, msgs, logical);
 
   const ClcResult seq = controlled_logical_clock(res.trace, schedule, pre);
-  const ClcResult par = controlled_logical_clock_parallel(res.trace, schedule, pre, {}, 4);
+  // min_events_per_thread = 1 keeps the run genuinely 4-threaded: the
+  // production clamp would collapse this mid-size trace to fewer workers and
+  // the equivalence check would lose its concurrency coverage.
+  ClcOptions opt;
+  opt.min_events_per_thread = 1;
+  const ClcResult par = controlled_logical_clock_parallel(res.trace, schedule, pre, opt, 4);
   EXPECT_EQ(seq.violations_repaired, par.violations_repaired);
   for (Rank r = 0; r < res.trace.ranks(); ++r) {
     for (std::uint32_t i = 0; i < res.trace.events(r).size(); ++i) {

@@ -84,7 +84,11 @@ TEST_P(ClcProperty, ParallelMatchesSequential) {
       apply_correction(res.trace, LinearInterpolation::from_store(res.offsets));
 
   const ClcResult seq = controlled_logical_clock(res.trace, schedule, input);
-  const ClcResult par = controlled_logical_clock_parallel(res.trace, schedule, input, {}, 3);
+  // Disable the oversubscription clamp so the property really runs 3
+  // concurrent workers on these small generated traces.
+  ClcOptions opt;
+  opt.min_events_per_thread = 1;
+  const ClcResult par = controlled_logical_clock_parallel(res.trace, schedule, input, opt, 3);
   EXPECT_EQ(seq.violations_repaired, par.violations_repaired);
   for (Rank r = 0; r < res.trace.ranks(); ++r) {
     for (std::uint32_t i = 0; i < res.trace.events(r).size(); ++i) {

@@ -247,6 +247,15 @@ Trace random_trace(int ranks, int rounds, std::uint64_t seed) {
   return trace;
 }
 
+// Forces the parallel path to actually run concurrent: the production clamp
+// (min_events_per_thread) would collapse these small synthetic traces to a
+// solo run, and a solo run trivially matches the sequential pass.
+ClcOptions concurrent_options() {
+  ClcOptions opt;
+  opt.min_events_per_thread = 1;
+  return opt;
+}
+
 TEST(ParallelClc, MatchesSequentialBitExact) {
   Trace trace = random_trace(8, 40, 99);
   const auto msgs = trace.match_messages();
@@ -254,7 +263,8 @@ TEST(ParallelClc, MatchesSequentialBitExact) {
   const auto input = TimestampArray::from_local(trace);
   const ClcResult seq = controlled_logical_clock(trace, s, input);
   for (int threads : {1, 2, 4, 8}) {
-    const ClcResult par = controlled_logical_clock_parallel(trace, s, input, {}, threads);
+    const ClcResult par =
+        controlled_logical_clock_parallel(trace, s, input, concurrent_options(), threads);
     EXPECT_EQ(par.violations_repaired, seq.violations_repaired) << threads;
     for (Rank r = 0; r < trace.ranks(); ++r) {
       for (std::uint32_t i = 0; i < trace.events(r).size(); ++i) {
@@ -262,6 +272,49 @@ TEST(ParallelClc, MatchesSequentialBitExact) {
             << "threads=" << threads << " rank=" << r << " idx=" << i;
       }
     }
+  }
+}
+
+TEST(ParallelClc, BitExactAcrossPublishBatchSizes) {
+  // The batched epoch publication is pure scheduling: whether progress is
+  // announced per event (batch 1), in small batches, or only at rank
+  // completion (huge batch) must never change the fixed-point the workers
+  // converge to.  Batch 1 also exercises the pre-batching protocol shape.
+  Trace trace = random_trace(8, 60, 2024);
+  const auto msgs = trace.match_messages();
+  const ReplaySchedule s(trace, msgs, {});
+  const auto input = TimestampArray::from_local(trace);
+  const ClcResult seq = controlled_logical_clock(trace, s, input);
+  ASSERT_GT(seq.violations_repaired, 0u);
+  for (int batch : {1, 3, 128, 1 << 20}) {
+    ClcOptions opt = concurrent_options();
+    opt.publish_batch = batch;
+    for (int threads : {2, 4, 8}) {
+      const ClcResult par = controlled_logical_clock_parallel(trace, s, input, opt, threads);
+      EXPECT_EQ(par.violations_repaired, seq.violations_repaired)
+          << "batch=" << batch << " threads=" << threads;
+      for (Rank r = 0; r < trace.ranks(); ++r) {
+        const auto& a = par.corrected.of_rank(r);
+        const auto& b = seq.corrected.of_rank(r);
+        ASSERT_TRUE(a == b) << "batch=" << batch << " threads=" << threads << " rank=" << r;
+      }
+    }
+  }
+}
+
+TEST(ParallelClc, ThreadClampKeepsSmallTracesSoloButStaysExact) {
+  // Production default: a trace far below min_events_per_thread per worker
+  // must still produce the exact sequential answer (via the clamp) — the
+  // clamp is a performance guard, never a semantics switch.
+  Trace trace = random_trace(4, 20, 5);
+  const auto msgs = trace.match_messages();
+  const ReplaySchedule s(trace, msgs, {});
+  const auto input = TimestampArray::from_local(trace);
+  const ClcResult seq = controlled_logical_clock(trace, s, input);
+  const ClcResult par = controlled_logical_clock_parallel(trace, s, input, {}, 8);
+  EXPECT_EQ(par.violations_repaired, seq.violations_repaired);
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    ASSERT_TRUE(par.corrected.of_rank(r) == seq.corrected.of_rank(r)) << r;
   }
 }
 
@@ -315,7 +368,8 @@ TEST(ParallelClc, StatisticsIndependentOfThreadCount) {
   const ClcResult seq = controlled_logical_clock(trace, s, input);
   ASSERT_GT(seq.violations_repaired, 0u);
   for (int threads : {1, 2, 3, 4, 8}) {
-    const ClcResult par = controlled_logical_clock_parallel(trace, s, input, {}, threads);
+    const ClcResult par =
+        controlled_logical_clock_parallel(trace, s, input, concurrent_options(), threads);
     EXPECT_EQ(par.violations_repaired, seq.violations_repaired) << threads;
     EXPECT_EQ(par.max_jump, seq.max_jump) << threads;
     EXPECT_EQ(par.total_jump, seq.total_jump) << threads;
@@ -327,7 +381,7 @@ TEST(ParallelClc, RepairsEverything) {
   const auto msgs = trace.match_messages();
   const ReplaySchedule s(trace, msgs, {});
   const ClcResult res = controlled_logical_clock_parallel(
-      trace, s, TimestampArray::from_local(trace), {}, 3);
+      trace, s, TimestampArray::from_local(trace), concurrent_options(), 3);
   EXPECT_GT(res.violations_repaired, 0u);
   EXPECT_EQ(check_clock_condition(trace, res.corrected, msgs, {}).violations(), 0u);
 }
