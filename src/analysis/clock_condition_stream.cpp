@@ -3,18 +3,31 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <istream>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "trace/io_util.hpp"
+#include "trace/otf_text.hpp"
 #include "trace/trace_io.hpp"
 
 namespace chronosync {
 
 namespace {
 
-/// Both endpoints of a point-to-point message, keyed by msg_id.
+constexpr std::uint32_t kMagic = 0x43535452;  // "CSTR"
+
+/// The half-matched endpoint of a point-to-point message, keyed by msg_id.
+/// An entry lives only while exactly one endpoint has been seen: the moment
+/// the other side arrives the edge is checked and the entry erased, so the
+/// map's high-water mark tracks the outstanding backlog, not the message
+/// count.  Within the half-open state a duplicate endpoint overwrites (last
+/// wins); an endpoint for an id that was already completed and erased starts
+/// a fresh entry.  Trace::match_messages applies the identical online rule
+/// over the same rank-major order, so the two pipelines agree even on
+/// malformed duplicate-id traces.
 struct MsgEndpoints {
   Rank send_rank = -1;
   Rank recv_rank = -1;
@@ -44,13 +57,21 @@ void check_edge(Time ts, Time tr, Duration l_min, std::size_t& reversed,
 
 }  // namespace
 
-ClockConditionReport scan_clock_condition(TraceReader& reader) {
+ClockConditionReport scan_clock_condition(TraceReader& reader, ScanStats* stats) {
   CS_SPAN("analysis.clock_condition_scan");
   const TraceMeta& meta = reader.meta();
   ClockConditionReport rep;
+  ScanStats local_stats;
 
   std::unordered_map<std::int64_t, MsgEndpoints> msgs;
   std::unordered_map<std::int64_t, CollInstance> colls;
+
+  // Checks and retires a message the moment its second endpoint arrives.
+  auto complete_p2p = [&](const MsgEndpoints& m) {
+    ++rep.p2p_messages;
+    const Duration l_min = meta.min_latency(m.send_rank, m.recv_rank);
+    check_edge(m.send_ts, m.recv_ts, l_min, rep.p2p_reversed, rep.p2p_violations, rep.p2p_worst);
+  };
 
   EventBlock block;
   while (reader.next(block)) {
@@ -59,16 +80,38 @@ ClockConditionReport scan_clock_condition(TraceReader& reader) {
       switch (e.type) {
         case EventType::Send: {
           ++rep.message_events;
+          auto it = msgs.find(e.msg_id);
+          if (it != msgs.end() && it->second.recv_rank >= 0) {
+            MsgEndpoints m = it->second;
+            msgs.erase(it);
+            m.send_rank = block.rank;
+            m.send_ts = e.local_ts;
+            complete_p2p(m);
+            break;
+          }
           auto& m = msgs[e.msg_id];
           m.send_rank = block.rank;
           m.send_ts = e.local_ts;
+          local_stats.peak_outstanding_messages =
+              std::max(local_stats.peak_outstanding_messages, msgs.size());
           break;
         }
         case EventType::Recv: {
           ++rep.message_events;
+          auto it = msgs.find(e.msg_id);
+          if (it != msgs.end() && it->second.send_rank >= 0) {
+            MsgEndpoints m = it->second;
+            msgs.erase(it);
+            m.recv_rank = block.rank;
+            m.recv_ts = e.local_ts;
+            complete_p2p(m);
+            break;
+          }
           auto& m = msgs[e.msg_id];
           m.recv_rank = block.rank;
           m.recv_ts = e.local_ts;
+          local_stats.peak_outstanding_messages =
+              std::max(local_stats.peak_outstanding_messages, msgs.size());
           break;
         }
         case EventType::CollBegin: {
@@ -77,6 +120,8 @@ ClockConditionReport scan_clock_condition(TraceReader& reader) {
           inst.kind = e.coll;
           inst.root = e.root;
           inst.begins.emplace_back(block.rank, e.local_ts);
+          local_stats.peak_outstanding_collectives =
+              std::max(local_stats.peak_outstanding_collectives, colls.size());
           break;
         }
         case EventType::CollEnd: {
@@ -85,6 +130,8 @@ ClockConditionReport scan_clock_condition(TraceReader& reader) {
           inst.kind = e.coll;
           inst.root = e.root;
           inst.ends.emplace_back(block.rank, e.local_ts);
+          local_stats.peak_outstanding_collectives =
+              std::max(local_stats.peak_outstanding_collectives, colls.size());
           break;
         }
         default:
@@ -93,14 +140,9 @@ ClockConditionReport scan_clock_condition(TraceReader& reader) {
     }
   }
 
-  // Point-to-point: half-matched messages (tracing-window edges) are dropped,
-  // exactly as Trace::match_messages does.
-  for (const auto& [id, m] : msgs) {
-    if (m.send_rank < 0 || m.recv_rank < 0) continue;
-    ++rep.p2p_messages;
-    const Duration l_min = meta.min_latency(m.send_rank, m.recv_rank);
-    check_edge(m.send_ts, m.recv_ts, l_min, rep.p2p_reversed, rep.p2p_violations, rep.p2p_worst);
-  }
+  // Every entry still in `msgs` is half-matched (a tracing-window edge) and
+  // is dropped, exactly as Trace::match_messages does; complete pairs were
+  // already checked and erased during the scan.
 
   // Collectives mapped onto logical messages, mirroring
   // derive_logical_messages' flavour rules.
@@ -126,9 +168,14 @@ ClockConditionReport scan_clock_condition(TraceReader& reader) {
         break;
       }
       case CollectiveFlavor::NToOne: {
+        // First-match, same as the OneToN branch above and as
+        // derive_logical_messages' root lookups.
         const std::pair<Rank, Time>* root_end = nullptr;
         for (const auto& end : inst.ends) {
-          if (end.first == inst.root) root_end = &end;  // last one wins
+          if (end.first == inst.root) {
+            root_end = &end;
+            break;
+          }
         }
         if (!root_end) break;
         for (const auto& b : inst.begins) {
@@ -154,31 +201,45 @@ ClockConditionReport scan_clock_condition(TraceReader& reader) {
       }
     }
   }
+  if (stats) *stats = local_stats;
   return rep;
 }
 
-ClockConditionReport scan_clock_condition_file(const std::string& path) {
+ClockConditionReport scan_clock_condition(std::istream& in, ScanStats* stats) {
+  // Sniff at most 8 bytes and never seek: a short read just means the input
+  // is smaller than a v2 header (e.g. a tiny text trace), not an error —
+  // clear the stream state and hand everything to the matching reader.
+  char header[8];
+  in.read(header, 8);
+  const auto got = static_cast<std::size_t>(in.gcount());
+  in.clear();
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (got >= 4) std::memcpy(&magic, header, 4);
+  if (got == 8) std::memcpy(&version, header + 4, 4);
+
+  if (got == 8 && magic == kMagic && version == 2) {
+    TraceReader reader(in, /*header_consumed=*/true);
+    return scan_clock_condition(reader, stats);
+  }
+
+  // Not a v2 container: replay the sniffed prefix in front of the remaining
+  // bytes so the v1/text readers see the stream from offset zero and report
+  // their own errors (line numbers for text, typed header errors for v1).
+  traceio::PrefixedStreambuf replay_buf(std::string(header, got), in);
+  std::istream replay(&replay_buf);
+  const Trace trace =
+      got >= 4 && magic == kMagic ? read_trace(replay) : read_text_trace(replay);
+  if (stats) *stats = ScanStats{};
+  return check_clock_condition(trace, TimestampArray::from_local(trace));
+}
+
+ClockConditionReport scan_clock_condition_file(const std::string& path, ScanStats* stats) {
   std::ifstream f(path, std::ios::binary);
   if (!f.good()) {
     throw TraceIoError(TraceIoErrorKind::Io, "cannot open trace file for reading: " + path);
   }
-  // Sniff the container version: v2 streams, v1 falls back to the loader.
-  char header[8];
-  f.read(header, 8);
-  if (f.gcount() != 8) {
-    throw TraceIoError(TraceIoErrorKind::Truncated, "trace file shorter than its header");
-  }
-  f.seekg(0);
-  std::uint32_t magic;
-  std::uint32_t version;
-  std::memcpy(&magic, header, 4);
-  std::memcpy(&version, header + 4, 4);
-  if (magic == 0x43535452 && version == 2) {
-    TraceReader reader(f);
-    return scan_clock_condition(reader);
-  }
-  const Trace trace = read_trace_file(path);
-  return check_clock_condition(trace, TimestampArray::from_local(trace));
+  return scan_clock_condition(f, stats);
 }
 
 }  // namespace chronosync

@@ -14,6 +14,8 @@
 // on the materialized trace; a test asserts the equivalence.
 #pragma once
 
+#include <cstddef>
+#include <iosfwd>
 #include <string>
 
 #include "analysis/clock_condition.hpp"
@@ -21,12 +23,31 @@
 
 namespace chronosync {
 
+/// Resource counters of a streaming scan: high-water marks of the pairing
+/// state.  `peak_outstanding_messages` tracks the *backlog* of half-matched
+/// messages (a send awaiting its receive, or vice versa), not the total
+/// message count — completed pairs are checked and erased eagerly, so a long
+/// well-paired trace scans in O(backlog) memory.  Collective instances cannot
+/// be released before end-of-scan (a rank may still join an instance in a
+/// later chunk), so their high-water equals the instance count.
+struct ScanStats {
+  std::size_t peak_outstanding_messages = 0;
+  std::size_t peak_outstanding_collectives = 0;
+};
+
 /// Scans the remaining events of `reader` (local timestamps, Eq. 1 over p2p
 /// and logical messages) without materializing a Trace.
-ClockConditionReport scan_clock_condition(TraceReader& reader);
+ClockConditionReport scan_clock_condition(TraceReader& reader, ScanStats* stats = nullptr);
 
-/// Opens `path` and scans it.  v2 files stream with bounded memory; v1 files
-/// (no chunking) fall back to the in-memory loader transparently.
-ClockConditionReport scan_clock_condition_file(const std::string& path);
+/// Scans a trace of any supported format from `in`, sniffing at most the
+/// first 8 bytes and never seeking, so pipe-fed streams work.  v2 streams
+/// with bounded memory; binary v1 and text traces replay the sniffed prefix
+/// into their own readers (which also report their own, better errors).
+ClockConditionReport scan_clock_condition(std::istream& in, ScanStats* stats = nullptr);
+
+/// Opens `path` and scans it.  v2 files stream with bounded memory; v1 and
+/// text files fall back to the in-memory loader transparently.
+ClockConditionReport scan_clock_condition_file(const std::string& path,
+                                               ScanStats* stats = nullptr);
 
 }  // namespace chronosync

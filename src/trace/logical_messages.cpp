@@ -7,8 +7,18 @@ std::vector<LogicalMessage> derive_logical_messages(
   std::vector<LogicalMessage> out;
   for (const auto& inst : collectives) {
     const CollectiveFlavor flavor = flavor_of(inst.kind);
+    // Root lookups are first-match: an instance lists each rank once in a
+    // well-formed trace, and on malformed input (a rank recorded twice) every
+    // consumer — this derivation and the streaming scanner — must agree on
+    // the same representative, so both use the first recorded event.
     auto begin_of = [&](Rank r) -> const EventRef* {
       for (const auto& ref : inst.begins) {
+        if (ref.proc == r) return &ref;
+      }
+      return nullptr;
+    };
+    auto end_of = [&](Rank r) -> const EventRef* {
+      for (const auto& ref : inst.ends) {
         if (ref.proc == r) return &ref;
       }
       return nullptr;
@@ -25,10 +35,7 @@ std::vector<LogicalMessage> derive_logical_messages(
         break;
       }
       case CollectiveFlavor::NToOne: {
-        const EventRef* root_end = nullptr;
-        for (const auto& end : inst.ends) {
-          if (end.proc == inst.root) root_end = &end;
-        }
+        const EventRef* root_end = end_of(inst.root);
         if (!root_end) break;
         for (const auto& begin : inst.begins) {
           if (begin.proc == inst.root) continue;

@@ -77,6 +77,89 @@ std::uint64_t get_raw64(const std::uint8_t** p, const std::uint8_t* end, const c
   return v;
 }
 
+/// Decodes `count` delta-encoded events from [p, end) — the payload after the
+/// chunk head — into `out`.  Shared by the sequential TraceReader and the
+/// random-access ChunkReader so both enforce identical validation.
+void decode_events(const std::uint8_t* p, const std::uint8_t* end, std::uint64_t count,
+                   std::vector<Event>& out) {
+  out.clear();
+  out.reserve(static_cast<std::size_t>(count));
+  std::uint64_t prev_local = 0;
+  std::uint64_t prev_true = 0;
+  std::int64_t prev_msg = 0;
+  std::int64_t prev_coll = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (p == end) malformed("event chunk ends mid-event");
+    Event e;
+    const std::uint8_t type = *p++;
+    if (type > kMaxEventType) malformed("invalid event type " + std::to_string(type));
+    e.type = static_cast<EventType>(type);
+    prev_local += static_cast<std::uint64_t>(get_sv(&p, end, "event local_ts"));
+    prev_true += static_cast<std::uint64_t>(get_sv(&p, end, "event true_ts"));
+    e.local_ts = std::bit_cast<double>(prev_local);
+    e.true_ts = std::bit_cast<double>(prev_true);
+    e.region = get_sv32(&p, end, "event region");
+    e.peer = get_sv32(&p, end, "event peer");
+    e.tag = get_sv32(&p, end, "event tag");
+    const std::uint64_t bytes = get_uv(&p, end, "event bytes");
+    if (bytes > std::numeric_limits<std::uint32_t>::max()) malformed("event bytes out of range");
+    e.bytes = static_cast<std::uint32_t>(bytes);
+    prev_msg += get_sv(&p, end, "event msg_id");
+    e.msg_id = prev_msg;
+    if (p == end) malformed("event chunk ends mid-event");
+    const std::uint8_t coll = *p++;
+    if (coll > kMaxCollKind) malformed("invalid collective kind " + std::to_string(coll));
+    e.coll = static_cast<CollectiveKind>(coll);
+    prev_coll += get_sv(&p, end, "event coll_id");
+    e.coll_id = prev_coll;
+    e.root = get_sv32(&p, end, "event root");
+    e.omp_instance = get_sv32(&p, end, "event omp_instance");
+    e.thread = get_sv32(&p, end, "event thread");
+    out.push_back(e);
+  }
+  if (p != end) malformed("trailing bytes in event chunk");
+}
+
+/// Parses the meta-chunk payload.  Shared by TraceReader and index_trace_v2.
+TraceMeta parse_meta_payload(const std::uint8_t* p, const std::uint8_t* end) {
+  TraceMeta meta;
+  const std::uint64_t timer_len = get_uv(&p, end, "meta timer");
+  if (timer_len > static_cast<std::uint64_t>(end - p)) malformed("meta timer name overruns chunk");
+  meta.timer_name.assign(reinterpret_cast<const char*>(p), timer_len);
+  p += timer_len;
+
+  const std::uint64_t nranks = get_uv(&p, end, "meta rank count");
+  // Each rank location needs at least three varint bytes.
+  if (nranks > static_cast<std::uint64_t>(end - p) / 3) {
+    malformed("meta rank count " + std::to_string(nranks) + " overruns chunk");
+  }
+  std::vector<CoreLocation> locs(static_cast<std::size_t>(nranks));
+  for (auto& loc : locs) {
+    loc.node = get_sv32(&p, end, "meta placement");
+    loc.chip = get_sv32(&p, end, "meta placement");
+    loc.core = get_sv32(&p, end, "meta placement");
+  }
+  meta.placement = Placement(std::move(locs));
+
+  for (auto& d : meta.domain_min_latency) {
+    d = std::bit_cast<double>(get_raw64(&p, end, "meta latency"));
+  }
+
+  const std::uint64_t nregions = get_uv(&p, end, "meta region count");
+  if (nregions > static_cast<std::uint64_t>(end - p)) {
+    malformed("meta region count " + std::to_string(nregions) + " overruns chunk");
+  }
+  meta.regions.reserve(static_cast<std::size_t>(nregions));
+  for (std::uint64_t i = 0; i < nregions; ++i) {
+    const std::uint64_t len = get_uv(&p, end, "meta region name");
+    if (len > static_cast<std::uint64_t>(end - p)) malformed("meta region name overruns chunk");
+    meta.regions.emplace_back(reinterpret_cast<const char*>(p), len);
+    p += len;
+  }
+  if (p != end) malformed("trailing bytes in meta chunk");
+  return meta;
+}
+
 }  // namespace
 
 // -- TraceMeta ----------------------------------------------------------------
@@ -309,43 +392,7 @@ std::uint8_t TraceReader::read_chunk() {
 }
 
 void TraceReader::parse_meta() {
-  const std::uint8_t* p = payload_.data();
-  const std::uint8_t* end = p + payload_.size();
-
-  const std::uint64_t timer_len = get_uv(&p, end, "meta timer");
-  if (timer_len > static_cast<std::uint64_t>(end - p)) malformed("meta timer name overruns chunk");
-  meta_.timer_name.assign(reinterpret_cast<const char*>(p), timer_len);
-  p += timer_len;
-
-  const std::uint64_t nranks = get_uv(&p, end, "meta rank count");
-  // Each rank location needs at least three varint bytes.
-  if (nranks > static_cast<std::uint64_t>(end - p) / 3) {
-    malformed("meta rank count " + std::to_string(nranks) + " overruns chunk");
-  }
-  std::vector<CoreLocation> locs(static_cast<std::size_t>(nranks));
-  for (auto& loc : locs) {
-    loc.node = get_sv32(&p, end, "meta placement");
-    loc.chip = get_sv32(&p, end, "meta placement");
-    loc.core = get_sv32(&p, end, "meta placement");
-  }
-  meta_.placement = Placement(std::move(locs));
-
-  for (auto& d : meta_.domain_min_latency) {
-    d = std::bit_cast<double>(get_raw64(&p, end, "meta latency"));
-  }
-
-  const std::uint64_t nregions = get_uv(&p, end, "meta region count");
-  if (nregions > static_cast<std::uint64_t>(end - p)) {
-    malformed("meta region count " + std::to_string(nregions) + " overruns chunk");
-  }
-  meta_.regions.reserve(static_cast<std::size_t>(nregions));
-  for (std::uint64_t i = 0; i < nregions; ++i) {
-    const std::uint64_t len = get_uv(&p, end, "meta region name");
-    if (len > static_cast<std::uint64_t>(end - p)) malformed("meta region name overruns chunk");
-    meta_.regions.emplace_back(reinterpret_cast<const char*>(p), len);
-    p += len;
-  }
-  if (p != end) malformed("trailing bytes in meta chunk");
+  meta_ = parse_meta_payload(payload_.data(), payload_.data() + payload_.size());
 }
 
 bool TraceReader::next(EventBlock& block) {
@@ -383,42 +430,7 @@ bool TraceReader::next(EventBlock& block) {
   }
 
   block.rank = rank;
-  block.events.clear();
-  block.events.reserve(static_cast<std::size_t>(count));
-  std::uint64_t prev_local = 0;
-  std::uint64_t prev_true = 0;
-  std::int64_t prev_msg = 0;
-  std::int64_t prev_coll = 0;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    if (p == end) malformed("event chunk ends mid-event");
-    Event e;
-    const std::uint8_t type = *p++;
-    if (type > kMaxEventType) malformed("invalid event type " + std::to_string(type));
-    e.type = static_cast<EventType>(type);
-    prev_local += static_cast<std::uint64_t>(get_sv(&p, end, "event local_ts"));
-    prev_true += static_cast<std::uint64_t>(get_sv(&p, end, "event true_ts"));
-    e.local_ts = std::bit_cast<double>(prev_local);
-    e.true_ts = std::bit_cast<double>(prev_true);
-    e.region = get_sv32(&p, end, "event region");
-    e.peer = get_sv32(&p, end, "event peer");
-    e.tag = get_sv32(&p, end, "event tag");
-    const std::uint64_t bytes = get_uv(&p, end, "event bytes");
-    if (bytes > std::numeric_limits<std::uint32_t>::max()) malformed("event bytes out of range");
-    e.bytes = static_cast<std::uint32_t>(bytes);
-    prev_msg += get_sv(&p, end, "event msg_id");
-    e.msg_id = prev_msg;
-    if (p == end) malformed("event chunk ends mid-event");
-    const std::uint8_t coll = *p++;
-    if (coll > kMaxCollKind) malformed("invalid collective kind " + std::to_string(coll));
-    e.coll = static_cast<CollectiveKind>(coll);
-    prev_coll += get_sv(&p, end, "event coll_id");
-    e.coll_id = prev_coll;
-    e.root = get_sv32(&p, end, "event root");
-    e.omp_instance = get_sv32(&p, end, "event omp_instance");
-    e.thread = get_sv32(&p, end, "event thread");
-    block.events.push_back(e);
-  }
-  if (p != end) malformed("trailing bytes in event chunk");
+  decode_events(p, end, count, block.events);
 
   ++event_chunks_seen_;
   events_read_ += count;
@@ -446,6 +458,207 @@ void TraceReader::parse_footer() {
     throw TraceIoError(TraceIoErrorKind::BadChecksum, "whole-file checksum mismatch");
   }
   if (!src_.exhausted()) malformed("trailing data after trace footer");
+}
+
+// -- chunk index & random access ----------------------------------------------
+
+namespace {
+
+void read_or_throw(std::istream& in, char* dst, std::streamsize n, const char* what) {
+  in.read(dst, n);
+  if (in.gcount() != n) {
+    throw TraceIoError(TraceIoErrorKind::Truncated,
+                       std::string(what) + ": unexpected end of stream");
+  }
+}
+
+}  // namespace
+
+TraceIndex index_trace_v2(std::istream& in) {
+  // Record the stream's starting position so ChunkRef offsets are absolute
+  // (seekg-able) even if the caller handed us a stream mid-file.
+  std::streamoff base = 0;
+  {
+    const std::streamoff pos = in.tellg();
+    if (pos > 0) {
+      base = pos;
+    } else {
+      in.clear();
+    }
+  }
+
+  char header[8];
+  read_or_throw(in, header, 8, "trace header");
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&version, header + 4, 4);
+  if (magic != kMagic) {
+    throw TraceIoError(TraceIoErrorKind::BadMagic, "not a chronosync trace stream");
+  }
+  if (version != kVersion) {
+    throw TraceIoError(TraceIoErrorKind::BadVersion,
+                       "expected container version 2, found " + std::to_string(version));
+  }
+  std::uint32_t file_crc = crc32c(0, header, 8);
+
+  TraceIndex idx;
+  std::vector<std::uint8_t> payload;
+  std::uint64_t offset = 8;
+  bool meta_seen = false;
+  Rank last_rank = 0;
+  std::uint64_t events_total = 0;
+
+  for (;;) {
+    const std::uint64_t chunk_offset = static_cast<std::uint64_t>(base) + offset;
+    // A clean EOF here means the writer never sealed the file: the last event
+    // chunk may be complete, but without the footer nothing vouches for the
+    // chunk sequence or the whole-file CRC — reject as truncated.
+    char hdr[5];
+    read_or_throw(in, hdr, 5, "chunk header");
+    const auto kind = static_cast<std::uint8_t>(hdr[0]);
+    std::uint32_t len = 0;
+    std::memcpy(&len, hdr + 1, 4);
+    if (len > kMaxChunkPayload) {
+      malformed("chunk payload length " + std::to_string(len) + " exceeds the 64 MiB limit");
+    }
+    payload.resize(len);
+    read_or_throw(in, reinterpret_cast<char*>(payload.data()), len, "chunk payload");
+    char crc_bytes[4];
+    read_or_throw(in, crc_bytes, 4, "chunk checksum");
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, crc_bytes, 4);
+    std::uint32_t crc = crc32c(0, hdr, 5);
+    crc = crc32c(crc, payload.data(), payload.size());
+    if (crc != stored) {
+      throw TraceIoError(TraceIoErrorKind::BadChecksum,
+                         "chunk checksum mismatch (kind '" +
+                             std::string(1, static_cast<char>(kind)) + "')");
+    }
+    if (kind != kChunkFooter) {
+      file_crc = crc32c(file_crc, hdr, 5);
+      file_crc = crc32c(file_crc, payload.data(), payload.size());
+      file_crc = crc32c(file_crc, crc_bytes, 4);
+    }
+    offset += 5 + static_cast<std::uint64_t>(len) + 4;
+
+    const std::uint8_t* p = payload.data();
+    const std::uint8_t* end = p + payload.size();
+    if (!meta_seen) {
+      if (kind != kChunkMeta) malformed("first chunk must be the meta chunk");
+      idx.meta = parse_meta_payload(p, end);
+      idx.rank_events.assign(static_cast<std::size_t>(idx.meta.ranks()), 0);
+      meta_seen = true;
+      continue;
+    }
+    if (kind == kChunkMeta) malformed("duplicate meta chunk");
+    if (kind == kChunkEvents) {
+      const std::uint64_t seq = get_uv(&p, end, "event chunk sequence");
+      if (seq != idx.chunks.size()) {
+        malformed(
+            "event chunk out of sequence (duplicated, dropped, or reordered chunk): expected " +
+            std::to_string(idx.chunks.size()) + ", found " + std::to_string(seq));
+      }
+      const std::uint64_t rank64 = get_uv(&p, end, "event chunk rank");
+      if (rank64 >= static_cast<std::uint64_t>(idx.meta.ranks())) {
+        malformed("event chunk rank " + std::to_string(rank64) + " outside the placement");
+      }
+      const auto rank = static_cast<Rank>(rank64);
+      if (rank < last_rank) malformed("event chunks out of rank order");
+      const std::uint64_t count = get_uv(&p, end, "event chunk count");
+      if (count == 0) malformed("empty event chunk");
+      if (count > static_cast<std::uint64_t>(end - p) / kMinEncodedEvent) {
+        malformed("event chunk count " + std::to_string(count) + " overruns chunk");
+      }
+      idx.chunks.push_back(
+          {chunk_offset, len, seq, rank, static_cast<std::uint32_t>(count)});
+      idx.rank_events[static_cast<std::size_t>(rank)] += count;
+      events_total += count;
+      last_rank = rank;
+      continue;
+    }
+    if (kind != kChunkFooter) {
+      malformed("unknown chunk kind '" + std::string(1, static_cast<char>(kind)) + "'");
+    }
+    const std::uint64_t nchunks = get_uv(&p, end, "footer chunk count");
+    if (nchunks != idx.chunks.size()) {
+      malformed("footer event-chunk count " + std::to_string(nchunks) + " != " +
+                std::to_string(idx.chunks.size()) + " chunks read");
+    }
+    const std::uint64_t total = get_uv(&p, end, "footer event total");
+    if (total != events_total) {
+      malformed("footer event total " + std::to_string(total) + " != " +
+                std::to_string(events_total) + " events read");
+    }
+    if (end - p != 4) malformed("footer payload has wrong size");
+    std::memcpy(&stored, p, 4);
+    if (stored != file_crc) {
+      throw TraceIoError(TraceIoErrorKind::BadChecksum, "whole-file checksum mismatch");
+    }
+    if (in.peek() != std::char_traits<char>::eof()) {
+      malformed("trailing data after trace footer");
+    }
+    break;
+  }
+  idx.total_events = events_total;
+  return idx;
+}
+
+TraceIndex index_trace_v2_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    throw TraceIoError(TraceIoErrorKind::Io, "cannot open trace file for reading: " + path);
+  }
+  return index_trace_v2(f);
+}
+
+ChunkReader::ChunkReader(std::istream& in, const TraceIndex& index)
+    : in_(in), ranks_(index.meta.ranks()) {}
+
+void ChunkReader::read(const ChunkRef& ref, EventBlock& out) {
+  CS_SPAN("trace.read_chunk");
+  CS_REQUIRE(ref.rank >= 0 && ref.rank < ranks_, "chunk ref outside the placement");
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(ref.offset));
+  if (!in_.good()) {
+    throw TraceIoError(TraceIoErrorKind::Io, "seek to event chunk failed");
+  }
+  char hdr[5];
+  read_or_throw(in_, hdr, 5, "chunk header");
+  std::uint32_t len = 0;
+  std::memcpy(&len, hdr + 1, 4);
+  if (static_cast<std::uint8_t>(hdr[0]) != kChunkEvents || len != ref.payload_len) {
+    malformed("event chunk does not match its index entry");
+  }
+  payload_.resize(len);
+  read_or_throw(in_, reinterpret_cast<char*>(payload_.data()), len, "chunk payload");
+  char crc_bytes[4];
+  read_or_throw(in_, crc_bytes, 4, "chunk checksum");
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, crc_bytes, 4);
+  std::uint32_t crc = crc32c(0, hdr, 5);
+  crc = crc32c(crc, payload_.data(), payload_.size());
+  if (crc != stored) {
+    throw TraceIoError(TraceIoErrorKind::BadChecksum, "chunk checksum mismatch (kind 'E')");
+  }
+
+  if (obs::metrics_enabled()) {
+    static obs::Counter& chunks = obs::counter("trace.chunks_in");
+    static obs::Counter& bytes_in = obs::counter("trace.bytes_in");
+    chunks.add(1);
+    bytes_in.add(static_cast<std::int64_t>(5 + static_cast<std::uint64_t>(len) + 4));
+  }
+
+  const std::uint8_t* p = payload_.data();
+  const std::uint8_t* end = p + payload_.size();
+  const std::uint64_t seq = get_uv(&p, end, "event chunk sequence");
+  const std::uint64_t rank64 = get_uv(&p, end, "event chunk rank");
+  const std::uint64_t count = get_uv(&p, end, "event chunk count");
+  if (seq != ref.seq || rank64 != static_cast<std::uint64_t>(ref.rank) || count != ref.count) {
+    malformed("event chunk does not match its index entry");
+  }
+  out.rank = ref.rank;
+  decode_events(p, end, count, out.events);
 }
 
 // -- conveniences -------------------------------------------------------------

@@ -156,6 +156,55 @@ class TraceReader {
   bool done_ = false;
 };
 
+// -- random access over an indexed v2 file ------------------------------------
+
+/// Location and shape of one event chunk inside a v2 file, recorded by the
+/// index pass so the chunk can be re-read (and re-verified) out of order.
+struct ChunkRef {
+  std::uint64_t offset = 0;       ///< file offset of the chunk's kind byte
+  std::uint32_t payload_len = 0;
+  std::uint64_t seq = 0;          ///< event-chunk sequence number
+  Rank rank = -1;
+  std::uint32_t count = 0;        ///< events encoded in the chunk
+};
+
+/// Whole-file chunk index, built by one sequential validation pass.  Knowing
+/// every rank's chunk extents and event count up front is what lets the
+/// out-of-core consumers (the windowed CLC) preallocate per-rank spill
+/// extents and interleave ranks without ever holding the trace in memory.
+struct TraceIndex {
+  TraceMeta meta;
+  std::vector<ChunkRef> chunks;            ///< every event chunk, file order
+  std::vector<std::uint64_t> rank_events;  ///< event count per rank
+  std::uint64_t total_events = 0;
+};
+
+/// Sequentially validates a v2 stream — per-chunk CRCs, chunk sequencing,
+/// rank-major order, footer totals, and the whole-file CRC — without decoding
+/// any event, and returns the chunk index.  A file whose final event chunk is
+/// complete but whose footer is missing (a writer died before finish()) is
+/// rejected with a typed TraceIoError, exactly like TraceReader.
+TraceIndex index_trace_v2(std::istream& in);
+TraceIndex index_trace_v2_file(const std::string& path);
+
+/// Re-reads single event chunks of an indexed v2 file in any order, verifying
+/// each chunk's CRC and shape against its ChunkRef before decoding.  The
+/// stream must be seekable (the index pass already proved it readable).
+class ChunkReader {
+ public:
+  ChunkReader(std::istream& in, const TraceIndex& index);
+
+  /// Decodes the chunk at `ref` into `out` (events + owning rank).  The
+  /// payload buffer is reused across calls, so resident memory stays at one
+  /// chunk regardless of how many are visited.
+  void read(const ChunkRef& ref, EventBlock& out);
+
+ private:
+  std::istream& in_;
+  int ranks_;
+  std::vector<std::uint8_t> payload_;
+};
+
 // -- whole-trace conveniences -------------------------------------------------
 
 void write_trace_v2(const Trace& trace, std::ostream& out,

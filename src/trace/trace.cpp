@@ -109,37 +109,50 @@ const std::string& Trace::region_name(std::int32_t id) const {
 }
 
 std::vector<MessageRecord> Trace::match_messages() const {
-  // msg_id is unique per message, so matching is a join on that key.
-  std::map<std::int64_t, MessageRecord> by_id;
+  // msg_id keys the join.  Matching is online over rank-major order, the
+  // same rule the streamed scanner (scan_clock_condition) applies so the two
+  // pipelines agree on every input: an id holds at most one half-open entry,
+  // duplicate endpoints overwrite while the entry is half-open (last wins),
+  // the pair is retired the moment its second endpoint arrives, and an
+  // endpoint for an already-retired id opens a fresh entry.  Well-formed
+  // traces have unique ids, so only malformed inputs can tell this from a
+  // whole-trace join.
+  std::map<std::int64_t, MessageRecord> open;
+  std::vector<std::pair<std::int64_t, MessageRecord>> done;
   for (Rank r = 0; r < ranks(); ++r) {
     const auto& ev = events(r);
     for (std::uint32_t i = 0; i < ev.size(); ++i) {
       const Event& e = ev[i];
       if (e.type == EventType::Send) {
-        auto& m = by_id[e.msg_id];
+        auto& m = open[e.msg_id];
         m.send = {r, i};
         m.bytes = e.bytes;
         m.tag = e.tag;
+        if (m.recv.proc >= 0) {
+          done.emplace_back(e.msg_id, m);
+          open.erase(e.msg_id);
+        }
       } else if (e.type == EventType::Recv) {
-        auto& m = by_id[e.msg_id];
+        auto& m = open[e.msg_id];
         m.recv = {r, i};
+        if (m.send.proc >= 0) {
+          done.emplace_back(e.msg_id, m);
+          open.erase(e.msg_id);
+        }
       }
     }
   }
+  if (!open.empty()) {
+    // Sends whose receive fell outside the tracing window (or vice versa).
+    CS_LOG_DEBUG << open.size() << " half-matched messages dropped (tracing window edges)";
+  }
+  // Ascending msg_id, as the whole-trace join returned (stable, so the rare
+  // duplicate-id repeats stay in completion order).
+  std::stable_sort(done.begin(), done.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
   std::vector<MessageRecord> out;
-  out.reserve(by_id.size());
-  std::size_t unmatched = 0;
-  for (auto& [id, m] : by_id) {
-    if (m.send.proc < 0 || m.recv.proc < 0) {
-      // A send whose receive fell outside the tracing window (or vice versa).
-      ++unmatched;
-      continue;
-    }
-    out.push_back(m);
-  }
-  if (unmatched > 0) {
-    CS_LOG_DEBUG << unmatched << " half-matched messages dropped (tracing window edges)";
-  }
+  out.reserve(done.size());
+  for (auto& [id, m] : done) out.push_back(m);
   return out;
 }
 

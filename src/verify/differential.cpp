@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <sstream>
 
 #include "analysis/clock_condition.hpp"
@@ -182,6 +183,89 @@ std::size_t cross_check_scans(const Trace& trace, const ReplaySchedule& schedule
   const ClockConditionReport streamed = scan_clock_condition(reader);
   compare_reports("in-memory vs streaming scan", full, streamed, failures);
   return 2;
+}
+
+std::size_t cross_check_windowed_clc(const Trace& trace, const std::string& work_dir,
+                                     const StreamClcOptions& options,
+                                     std::vector<std::string>& failures) {
+  const std::string in_path = work_dir + "/windowed_clc_in.cstr";
+  const std::string out_path = work_dir + "/windowed_clc_out.cstr";
+  write_trace_v2_file(trace, in_path);
+  const StreamClcStats stats = clc_stream_file(in_path, out_path, options);
+
+  std::size_t comparisons = 0;
+  if (stats.ramp_clamped != 0 || stats.horizon_dropped != 0 || stats.forced != 0) {
+    std::ostringstream os;
+    os << "windowed CLC: fixture must be divergence-free but ramp_clamped="
+       << stats.ramp_clamped << " horizon_dropped=" << stats.horizon_dropped
+       << " forced=" << stats.forced;
+    failures.push_back(os.str());
+  }
+  ++comparisons;
+
+  const auto messages = trace.match_messages();
+  const auto logical = derive_logical_messages(trace);
+  const ReplaySchedule schedule(trace, messages, logical);
+  const ClcResult mem =
+      controlled_logical_clock(trace, schedule, TimestampArray::from_local(trace), options.clc);
+
+  const Trace streamed = read_trace_v2_file(out_path);
+  std::remove(in_path.c_str());
+  std::remove(out_path.c_str());
+
+  if (streamed.ranks() != trace.ranks()) {
+    std::ostringstream os;
+    os << "windowed CLC: output has " << streamed.ranks() << " rank(s), input has "
+       << trace.ranks();
+    failures.push_back(os.str());
+    return comparisons + 1;
+  }
+  for (Rank r = 0; r < trace.ranks(); ++r) {
+    const auto& in_ev = trace.events(r);
+    const auto& out_ev = streamed.events(r);
+    if (in_ev.size() != out_ev.size()) {
+      std::ostringstream os;
+      os << "windowed CLC: rank " << r << " has " << out_ev.size() << " event(s), expected "
+         << in_ev.size();
+      failures.push_back(os.str());
+      continue;
+    }
+    const auto& lc = mem.corrected.of_rank(r);
+    for (std::size_t i = 0; i < in_ev.size(); ++i) {
+      ++comparisons;
+      const Event& a = in_ev[i];
+      const Event& b = out_ev[i];
+      if (std::bit_cast<std::uint64_t>(b.local_ts) != std::bit_cast<std::uint64_t>(lc[i])) {
+        std::ostringstream os;
+        os << "windowed CLC: rank " << r << " event " << i << " corrected ts "
+           << b.local_ts << " != in-memory " << lc[i] << " (diff " << (b.local_ts - lc[i])
+           << ")";
+        failures.push_back(os.str());
+      }
+      if (std::bit_cast<std::uint64_t>(b.true_ts) != std::bit_cast<std::uint64_t>(a.true_ts) ||
+          b.type != a.type || b.peer != a.peer || b.msg_id != a.msg_id ||
+          b.coll_id != a.coll_id || b.region != a.region) {
+        std::ostringstream os;
+        os << "windowed CLC: rank " << r << " event " << i
+           << " non-corrected fields did not survive the round-trip";
+        failures.push_back(os.str());
+      }
+    }
+  }
+
+  ++comparisons;
+  if (stats.violations_repaired != mem.violations_repaired ||
+      std::bit_cast<std::uint64_t>(stats.max_jump) !=
+          std::bit_cast<std::uint64_t>(mem.max_jump) ||
+      std::bit_cast<std::uint64_t>(stats.total_jump) !=
+          std::bit_cast<std::uint64_t>(mem.total_jump)) {
+    std::ostringstream os;
+    os << "windowed CLC: jump stats diverge: repaired " << stats.violations_repaired << " vs "
+       << mem.violations_repaired << ", max " << stats.max_jump << " vs " << mem.max_jump
+       << ", total " << stats.total_jump << " vs " << mem.total_jump;
+    failures.push_back(os.str());
+  }
+  return comparisons;
 }
 
 std::string DifferentialReport::summary() const {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "measure/offset_probe.hpp"
+#include "sync/clc_stream.hpp"
 #include "sync/replay.hpp"
 #include "trace/trace.hpp"
 #include "verify/invariants.hpp"
@@ -73,6 +74,18 @@ DifferentialReport compare_methods(const Trace& trace,
 /// mismatch to `failures` and returns the number of comparisons made.
 std::size_t cross_check_scans(const Trace& trace, const ReplaySchedule& schedule,
                               std::vector<std::string>& failures);
+
+/// Cross-checks the out-of-core windowed streaming CLC against the in-memory
+/// one on the same trace: serializes the trace as a v2 file under `work_dir`,
+/// runs clc_stream_file on it, and demands a *bit-identical* corrected trace
+/// and jump statistics whenever the streaming run reports zero divergences
+/// (ramp_clamped == horizon_dropped == forced == 0) — which the fixture's
+/// options must ensure.  true_ts and all non-timestamp fields must survive
+/// the round-trip untouched.  Appends contract breaches to `failures` and
+/// returns the number of comparisons made.  Temporary files are removed.
+std::size_t cross_check_windowed_clc(const Trace& trace, const std::string& work_dir,
+                                     const StreamClcOptions& options,
+                                     std::vector<std::string>& failures);
 
 /// The full differential suite: run_all_methods + compare_methods +
 /// cross_check_scans + an invariant audit of every CLC output (zero slack)

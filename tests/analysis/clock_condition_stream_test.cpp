@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "../testutil/random_trace.hpp"
 #include "analysis/clock_condition.hpp"
 #include "topology/cluster.hpp"
+#include "trace/io_util.hpp"
+#include "trace/otf_text.hpp"
 #include "trace/stream_io.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/trace_io_error.hpp"
@@ -67,6 +70,144 @@ TEST(ClockConditionStream, V1FileFallsBackToInMemoryLoad) {
   const auto in_memory = check_clock_condition(t, TimestampArray::from_local(t));
   expect_reports_equal(scanned, in_memory);
   std::remove(path.c_str());
+}
+
+TEST(ClockConditionStream, BacklogHighWaterTracksPairDistanceNotMessageCount) {
+  // Chain traffic: rank r sends kMsgs messages to rank r+1.  Each rank's
+  // receives (retiring the previous hop) come before its sends (opening the
+  // next hop), so while the completed-message total grows with every hop, at
+  // most one hop's worth of entries is ever half-open.  Before messages were
+  // erased eagerly, the map high-water equaled the total message count.
+  constexpr int kRanks = 4;
+  constexpr std::size_t kMsgs = 10;
+  Trace t(pinning::block(clusters::xeon_rwth(), kRanks), {1e-7, 1e-6, 5e-6}, "chain");
+  for (Rank r = 0; r < kRanks; ++r) {
+    Time now = 1.0 + r;
+    for (std::size_t i = 0; r > 0 && i < kMsgs; ++i) {
+      Event e;
+      e.type = EventType::Recv;
+      e.peer = r - 1;
+      e.msg_id = 1000 * (r - 1) + static_cast<std::int64_t>(i);
+      e.local_ts = e.true_ts = now += 1e-4;
+      t.events(r).push_back(e);
+    }
+    for (std::size_t i = 0; r + 1 < kRanks && i < kMsgs; ++i) {
+      Event e;
+      e.type = EventType::Send;
+      e.peer = r + 1;
+      e.msg_id = 1000 * r + static_cast<std::int64_t>(i);
+      e.local_ts = e.true_ts = now += 1e-4;
+      t.events(r).push_back(e);
+    }
+  }
+
+  std::stringstream buf;
+  write_trace_v2(t, buf);
+  TraceReader reader(buf);
+  ScanStats stats;
+  const auto rep = scan_clock_condition(reader, &stats);
+  EXPECT_EQ(rep.p2p_messages, (kRanks - 1) * kMsgs);
+  EXPECT_EQ(stats.peak_outstanding_messages, kMsgs);
+}
+
+TEST(ClockConditionStream, PipeFedStreamsScanWithoutSeeking) {
+  // A PrefixedStreambuf does not support seeking, like a pipe: dispatch must
+  // sniff the header without tellg/seekg on any of the three formats.
+  const Trace t = testutil::random_trace(12);
+
+  std::stringstream v2;
+  write_trace_v2(t, v2);
+  traceio::PrefixedStreambuf v2_pipe("", v2);
+  std::istream v2_in(&v2_pipe);
+  const auto in_memory = check_clock_condition(t, TimestampArray::from_local(t));
+  expect_reports_equal(scan_clock_condition(v2_in), in_memory);
+
+  std::stringstream text;
+  write_text_trace(t, text);
+  traceio::PrefixedStreambuf text_pipe("", text);
+  std::istream text_in(&text_pipe);
+  expect_reports_equal(scan_clock_condition(text_in), in_memory);
+
+  std::stringstream v1;
+  write_trace(t, v1);
+  traceio::PrefixedStreambuf v1_pipe("", v1);
+  std::istream v1_in(&v1_pipe);
+  expect_reports_equal(scan_clock_condition(v1_in), in_memory);
+}
+
+TEST(ClockConditionStream, TinyTextTraceScansFromFile) {
+  // An event-free text trace is barely larger than the 8-byte sniff window;
+  // the dispatcher used to reject anything it could not re-read from the
+  // start.  It must reach the text reader and return an all-zero report.
+  const std::string path = testing::TempDir() + "/cs_ccstream_tiny.txt";
+  {
+    std::ofstream f(path);
+    f << "CSTXT 1\nTIMER t\nLATENCY 1e-7 1e-6 5e-6\nRANK 0 0 0 0\n";
+  }
+  const auto rep = scan_clock_condition_file(path);
+  EXPECT_EQ(rep.total_events, 0u);
+  EXPECT_EQ(rep.p2p_messages, 0u);
+  std::remove(path.c_str());
+
+  // Sub-8-byte files are no longer misreported as truncated v2 containers:
+  // the text reader sees them from offset zero and reports its own error.
+  const std::string bad = testing::TempDir() + "/cs_ccstream_bad.txt";
+  {
+    std::ofstream f(bad);
+    f << "CSTXT";
+  }
+  try {
+    scan_clock_condition_file(bad);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& e) {
+    EXPECT_NE(e.kind(), TraceIoErrorKind::Truncated) << e.what();
+  }
+  std::remove(bad.c_str());
+}
+
+TEST(ClockConditionStream, DuplicateRootEventsAgreeWithInMemory) {
+  // Malformed instances where the root rank recorded its collective twice:
+  // both the streamed scanner and derive_logical_messages must pick the same
+  // representative (the first recorded root event), so the reports agree.
+  Trace t(pinning::block(clusters::xeon_rwth(), 3), {1e-7, 1e-6, 5e-6}, "dup-root");
+  auto ev = [](EventType type, CollectiveKind kind, std::int64_t id, Time ts) {
+    Event e;
+    e.type = type;
+    e.coll = kind;
+    e.coll_id = id;
+    e.root = 0;
+    e.local_ts = e.true_ts = ts;
+    return e;
+  };
+  // Bcast (OneToN), root begin duplicated: first-match begin at t=5.0 makes
+  // both non-root ends (2.0, 2.5) reversed; last-wins (t=1.0) would make
+  // neither.  Counts stay balanced (4 begins, 4 ends) so it is not partial.
+  t.events(0).push_back(ev(EventType::CollBegin, CollectiveKind::Bcast, 1, 5.0));
+  t.events(0).push_back(ev(EventType::CollBegin, CollectiveKind::Bcast, 1, 5.5));
+  t.events(0).push_back(ev(EventType::CollEnd, CollectiveKind::Bcast, 1, 5.6));
+  t.events(0).push_back(ev(EventType::CollEnd, CollectiveKind::Bcast, 1, 5.7));
+  // Reduce (NToOne), root end duplicated: first-match end at t=6.5 precedes
+  // the non-root begins (7.0), so both edges are reversed; last-wins (9.0)
+  // would accept them.
+  t.events(0).push_back(ev(EventType::CollBegin, CollectiveKind::Reduce, 2, 6.0));
+  t.events(0).push_back(ev(EventType::CollBegin, CollectiveKind::Reduce, 2, 6.1));
+  t.events(0).push_back(ev(EventType::CollEnd, CollectiveKind::Reduce, 2, 6.5));
+  t.events(0).push_back(ev(EventType::CollEnd, CollectiveKind::Reduce, 2, 9.0));
+  for (Rank r = 1; r < 3; ++r) {
+    t.events(r).push_back(ev(EventType::CollBegin, CollectiveKind::Bcast, 1, 1.0));
+    t.events(r).push_back(ev(EventType::CollEnd, CollectiveKind::Bcast, 1, 2.0 + 0.5 * r));
+    t.events(r).push_back(ev(EventType::CollBegin, CollectiveKind::Reduce, 2, 7.0));
+    t.events(r).push_back(ev(EventType::CollEnd, CollectiveKind::Reduce, 2, 7.5));
+  }
+
+  std::stringstream buf;
+  write_trace_v2(t, buf);
+  TraceReader reader(buf);
+  const auto streamed = scan_clock_condition(reader);
+  const auto in_memory = check_clock_condition(t, TimestampArray::from_local(t));
+  expect_reports_equal(streamed, in_memory);
+  // Pins first-match: the late duplicates would yield zero reversed edges.
+  EXPECT_EQ(streamed.logical_reversed, 4u);
 }
 
 TEST(ClockConditionStream, MissingFileThrowsIoError) {

@@ -87,6 +87,35 @@ TEST(LogicalMessages, MultipleInstancesAccumulate) {
   EXPECT_EQ(msgs.size(), 6u + 2u);
 }
 
+TEST(LogicalMessages, DuplicateRootEventsUseFirstMatch) {
+  // Malformed instances can list the root rank twice.  Both flavours must
+  // pick the *first* recorded root event as the representative — the same
+  // rule the streaming scanner applies — not the last one.
+  Trace bcast = coll_trace(3, CollectiveKind::Bcast, 0);
+  Event dup = bcast.events(0)[0];  // root begin at t=1.0
+  dup.local_ts = dup.true_ts = 0.5;
+  bcast.events(0).push_back(dup);  // later in trace order, earlier timestamp
+  bcast.events(0).push_back(bcast.events(0)[1]);  // balance ends: not partial
+  const auto one_to_n = derive_logical_messages(bcast);
+  ASSERT_EQ(one_to_n.size(), 2u);
+  for (const auto& lm : one_to_n) {
+    EXPECT_EQ(lm.send.proc, 0);
+    EXPECT_EQ(lm.send.index, 0u) << "root begin must be the first recorded one";
+  }
+
+  Trace reduce = coll_trace(3, CollectiveKind::Reduce, 0);
+  Event end_dup = reduce.events(0)[1];  // root end at index 1
+  end_dup.local_ts = end_dup.true_ts = 9.0;
+  reduce.events(0).push_back(end_dup);
+  reduce.events(0).push_back(reduce.events(0)[0]);  // balance begins
+  const auto n_to_one = derive_logical_messages(reduce);
+  ASSERT_EQ(n_to_one.size(), 2u);
+  for (const auto& lm : n_to_one) {
+    EXPECT_EQ(lm.recv.proc, 0);
+    EXPECT_EQ(lm.recv.index, 1u) << "root end must be the first recorded one";
+  }
+}
+
 TEST(LogicalMessages, EmptyTraceGivesNone) {
   Trace t(pinning::inter_node(clusters::xeon_rwth(), 2), {1e-6, 2e-6, 4e-6}, "test");
   EXPECT_TRUE(derive_logical_messages(t).empty());

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
+#include "../testutil/random_trace.hpp"
 #include "topology/cluster.hpp"
 #include "trace/trace_io.hpp"
 
@@ -183,6 +185,85 @@ TEST(StreamIo, UnfinishedWriterLeavesRejectedFile) {
     // no finish(): footer missing
   }
   EXPECT_THROW(read_trace_v2(buf), TraceIoError);
+}
+
+TEST(StreamIo, WriterDestroyedMidChunkIsTypedTruncation) {
+  // Destroying a writer with buffered (unflushed) events and no finish()
+  // drops the partial chunk and the footer.  Both the sequential reader and
+  // the index pass must report Truncated — never hand back a silently
+  // shortened trace.
+  const Trace t = bulk_trace(2, 100);
+  std::stringstream buf;
+  {
+    TraceWriter w(buf, TraceMeta::of(t), /*events_per_chunk=*/64);
+    for (Rank r = 0; r < t.ranks(); ++r) {
+      for (const Event& e : t.events(r)) w.append(r, e);
+    }
+    EXPECT_FALSE(w.finished());
+    // no finish(): rank 1's second chunk (36 events) is still buffered
+  }
+  try {
+    TraceReader reader(buf);
+    EventBlock block;
+    while (reader.next(block)) {
+    }
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& e) {
+    EXPECT_EQ(e.kind(), TraceIoErrorKind::Truncated);
+  }
+  buf.clear();
+  buf.seekg(0);
+  try {
+    index_trace_v2(buf);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& e) {
+    EXPECT_EQ(e.kind(), TraceIoErrorKind::Truncated);
+  }
+}
+
+TEST(StreamIo, CompleteChunksWithoutFooterAreTruncated) {
+  // All event chunks flushed and intact, only the footer absent: the most
+  // deceptive truncation, since every byte present parses cleanly.
+  const Trace t = bulk_trace(1, 64);
+  std::stringstream buf;
+  {
+    TraceWriter w(buf, TraceMeta::of(t), /*events_per_chunk=*/64);
+    for (const Event& e : t.events(0)) w.append(0, e);
+    // exactly one full chunk was flushed; no finish()
+  }
+  try {
+    index_trace_v2(buf);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& e) {
+    EXPECT_EQ(e.kind(), TraceIoErrorKind::Truncated);
+  }
+}
+
+TEST(StreamIo, IndexAndChunkReaderGiveRandomAccess) {
+  const Trace t = bulk_trace(3, 500);
+  const std::string path = testing::TempDir() + "/cs_streamio_index.cstr";
+  write_trace_v2_file(t, path, /*events_per_chunk=*/128);
+
+  std::ifstream f(path, std::ios::binary);
+  const TraceIndex idx = index_trace_v2(f);
+  EXPECT_EQ(idx.total_events, t.total_events());
+  ASSERT_EQ(idx.rank_events.size(), 3u);
+  for (Rank r = 0; r < 3; ++r) EXPECT_EQ(idx.rank_events[r], t.events(r).size());
+  ASSERT_EQ(idx.chunks.size(), 12u);  // ceil(500/128) = 4 chunks per rank
+
+  // Chunks decode out of order and bit-exactly through the random-access path.
+  ChunkReader reader(f, idx);
+  EventBlock block;
+  for (std::size_t c = idx.chunks.size(); c-- > 0;) {
+    const ChunkRef& ref = idx.chunks[c];
+    reader.read(ref, block);
+    ASSERT_EQ(block.events.size(), ref.count);
+    EXPECT_EQ(block.rank, ref.rank);
+    const Event& first = block.events.front();
+    const std::size_t base = (c % 4) * 128;
+    EXPECT_TRUE(testutil::same_bits(first.local_ts, t.events(ref.rank)[base].local_ts));
+  }
+  std::remove(path.c_str());
 }
 
 TEST(StreamIo, RejectsGarbage) {

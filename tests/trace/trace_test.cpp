@@ -71,6 +71,30 @@ TEST(Trace, HalfMatchedMessagesDropped) {
   EXPECT_TRUE(t.match_messages().empty());
 }
 
+TEST(Trace, DuplicateMsgIdsMatchOnline) {
+  // Malformed traces can reuse a msg_id.  Matching is online over rank-major
+  // order — the pair retires the moment its second endpoint arrives, and the
+  // later duplicate opens a fresh (here half-open, dropped) entry — the same
+  // rule the streamed scanner applies, so the two pipelines stay equal.
+  Trace t = make_trace(3);
+  t.events(0).push_back(send_event(1, 100, 1.0));
+  t.events(1).push_back(recv_event(0, 100, 2.0));  // completes the pair
+  t.events(2).push_back(recv_event(0, 100, 0.5));  // duplicate after retirement
+  auto msgs = t.match_messages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].recv.proc, 1) << "pair must keep the endpoint that completed it";
+
+  // While still half-open, a duplicate endpoint overwrites (last wins): the
+  // second send replaces the first before any receive arrives.
+  Trace u = make_trace(2);
+  u.events(0).push_back(send_event(1, 7, 1.0));
+  u.events(0).push_back(send_event(1, 7, 3.0));
+  u.events(1).push_back(recv_event(0, 7, 2.0));
+  auto dup = u.match_messages();
+  ASSERT_EQ(dup.size(), 1u);
+  EXPECT_EQ(dup[0].send.index, 1u);
+}
+
 TEST(Trace, CollectiveGrouping) {
   Trace t = make_trace(2);
   for (Rank r = 0; r < 2; ++r) {

@@ -19,6 +19,13 @@
 //       verify/fault_injection.hpp.  Every class must complete with a clean
 //       report — degenerate inputs are handled, not crashed on.
 //
+//   chronocheck --stream [--ranks N --rounds R --seed S --emit-batch B
+//                         --backward-window W --work-dir D]
+//       Cross-checks the out-of-core windowed streaming CLC against the
+//       in-memory CLC on the synthetic fixture: the corrected trace and the
+//       jump statistics must be bit-identical whenever the streaming run
+//       reports zero divergences.
+//
 // Exit code: 0 when every requested check passed, 1 otherwise.
 #include <exception>
 #include <iostream>
@@ -145,6 +152,27 @@ int run_faults(const Cli& cli) {
   return 0;
 }
 
+int run_stream(const Cli& cli) {
+  const AppRunResult res = make_fixture(cli);
+  std::cout << "chronocheck: windowed streaming CLC vs in-memory on "
+            << res.trace.ranks() << " ranks, " << res.trace.total_events() << " events\n";
+  StreamClcOptions opt;
+  opt.emit_batch = static_cast<std::size_t>(cli.get_int("emit-batch", 256));
+  // The fixture's drift offsets reach hundreds of milliseconds, so their
+  // amortization ramps span seconds; a generous window keeps the run
+  // divergence-free, which the cross-check demands.
+  opt.backward_window = cli.get_double("backward-window", 1e4);
+  std::vector<std::string> failures;
+  const std::size_t n = verify::cross_check_windowed_clc(
+      res.trace, cli.get("work-dir", "."), opt, failures);
+  std::cout << "windowed differential: " << n << " comparison(s), " << failures.size()
+            << " contract failure(s)\n";
+  for (const auto& f : failures) std::cout << "FAIL " << f << "\n";
+  if (!failures.empty()) return 1;
+  std::cout << "ok: streaming CLC bit-identical to in-memory CLC\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,6 +189,10 @@ int main(int argc, char** argv) {
       rc |= run_faults(cli);
       ran = true;
     }
+    if (cli.has("stream")) {
+      rc |= run_stream(cli);
+      ran = true;
+    }
     for (const auto& path : cli.positional()) {
       rc |= audit_file(path, cli);
       ran = true;
@@ -169,7 +201,9 @@ int main(int argc, char** argv) {
       std::cerr << "usage: chronocheck <trace-file> [--slack S] [--strict]\n"
                    "       chronocheck --synthetic [--ranks N --rounds R --seed S "
                    "--tolerance T]\n"
-                   "       chronocheck --faults [--ranks N --rounds R --seed S]\n";
+                   "       chronocheck --faults [--ranks N --rounds R --seed S]\n"
+                   "       chronocheck --stream [--ranks N --rounds R --seed S "
+                   "--emit-batch B --backward-window W --work-dir D]\n";
       return 2;
     }
     obs_session.finish();
