@@ -192,6 +192,10 @@ class Parser {
   JsonValue value() {
     skip_ws();
     const char c = peek();
+    // The parser recurses per nesting level; adversarial inputs (fuzzed
+    // scenario configs) would otherwise overflow the stack long before any
+    // other limit triggers.  No legitimate document nests anywhere near this.
+    if (depth_ >= kMaxDepth) fail("nesting deeper than 256 levels");
     if (c == '{') return object();
     if (c == '[') return array();
     if (c == '"') return JsonValue(string());
@@ -285,9 +289,13 @@ class Parser {
 
   JsonValue object() {
     expect('{');
+    ++depth_;
     JsonValue obj = JsonValue::object();
     skip_ws();
-    if (consume('}')) return obj;
+    if (consume('}')) {
+      --depth_;
+      return obj;
+    }
     while (true) {
       skip_ws();
       std::string key = string();
@@ -297,26 +305,35 @@ class Parser {
       skip_ws();
       if (consume(',')) continue;
       expect('}');
+      --depth_;
       return obj;
     }
   }
 
   JsonValue array() {
     expect('[');
+    ++depth_;
     JsonValue arr = JsonValue::array();
     skip_ws();
-    if (consume(']')) return arr;
+    if (consume(']')) {
+      --depth_;
+      return arr;
+    }
     while (true) {
       arr.push_back(value());
       skip_ws();
       if (consume(',')) continue;
       expect(']');
+      --depth_;
       return arr;
     }
   }
 
+  static constexpr int kMaxDepth = 256;
+
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

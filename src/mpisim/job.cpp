@@ -1,5 +1,6 @@
 #include "mpisim/job.hpp"
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 #include <string>
@@ -94,7 +95,10 @@ void Job::transport_send(Rank src, Rank dst, Tag tag, std::uint32_t bytes,
   CS_REQUIRE(dst >= 0 && dst < ranks(), "send to invalid rank");
   CS_REQUIRE(dst != src, "self-messages are not modeled");
 
-  const Duration lat = cfg_.latency.sample(cfg_.placement.domain(src, dst), bytes, net_rng_);
+  Duration lat = cfg_.latency.sample(cfg_.placement.domain(src, dst), bytes, net_rng_);
+  if (cfg_.extra_latency) {
+    lat += std::max(0.0, cfg_.extra_latency(src, dst, bytes, engine_.now()));
+  }
   Time& last = last_delivery_[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
   const Time arrival =
       std::max(engine_.now() + lat, last + cfg_.msg_spacing);

@@ -1,6 +1,7 @@
 // A simulated MPI job: engine + clock ensemble + transport + trace collection.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -43,6 +44,14 @@ struct JobConfig {
   /// preemptions of Exp(scale) duration each.
   double os_noise_rate = 0.0;        ///< preemptions per second (0 = off)
   Duration os_noise_scale = 50 * units::us;  ///< mean preemption length
+  /// Scenario hook for adversarial networks: extra one-way delay in seconds
+  /// added on top of the sampled latency of each message, as a function of
+  /// (src, dst, payload bytes, current virtual time).  Because the base sample
+  /// is >= min_latency by construction and the extra is clamped to >= 0, the
+  /// clock condition's l_min stays a true lower bound under any shaper —
+  /// asymmetric routes, time-varying congestion, per-flow throttling.
+  /// Empty (the default) adds nothing.
+  std::function<Duration(Rank src, Rank dst, std::uint32_t bytes, Time now)> extra_latency;
 };
 
 class Job {

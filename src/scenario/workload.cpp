@@ -1,0 +1,94 @@
+#include "scenario/workload.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace chronosync::scenario {
+
+namespace {
+constexpr Tag kScenarioTag = 404;
+}
+
+Coro<void> dynamic_rank(Proc& p, const WorkloadSpec& spec, std::uint64_t shared_seed,
+                        OffsetStore& store) {
+  const int n = p.nranks();
+  CS_REQUIRE(n >= 2, "dynamic workload needs at least two ranks");
+  // Identical on every rank by construction: the round's shift, gap, and
+  // per-sender sizes come from this stream, so all ranks agree on who talks
+  // to whom without exchanging a single control message.
+  Rng shared(shared_seed);
+  const std::int32_t region = p.region("scenario_round");
+
+  std::vector<std::pair<int, int>> window(static_cast<std::size_t>(n),
+                                          {0, 1 << 30});
+  for (const MembershipWindow& m : spec.membership) {
+    window[static_cast<std::size_t>(m.rank)] = {m.join_round, m.leave_round};
+  }
+  std::vector<char> always_elephant(static_cast<std::size_t>(n), 0);
+  for (const Rank r : spec.elephant.ranks) {
+    always_elephant[static_cast<std::size_t>(r)] = 1;
+  }
+
+  p.set_tracing(false);
+  co_await probe_offsets(p, store, spec.probe_pings);
+  p.set_tracing(true);
+
+  std::vector<Rank> active;
+  std::vector<std::uint32_t> sizes;
+  for (int round = 0; round < spec.rounds; ++round) {
+    const Duration gap = shared.uniform(spec.gap_mean * (1.0 - spec.gap_spread),
+                                        spec.gap_mean * (1.0 + spec.gap_spread));
+    active.clear();
+    for (Rank r = 0; r < n; ++r) {
+      const auto& [join, leave] = window[static_cast<std::size_t>(r)];
+      if (round >= join && round < leave) active.push_back(r);
+    }
+    const int m = static_cast<int>(active.size());
+    const Rank shift = m >= 2 ? static_cast<Rank>(shared.uniform_int(1, m - 1)) : 0;
+    // Per-sender size draws consume the shared stream identically on every
+    // rank, active or not — determinism over elegance.
+    sizes.assign(active.size(), spec.bytes);
+    for (int i = 0; i < m; ++i) {
+      const bool elephant =
+          always_elephant[static_cast<std::size_t>(active[static_cast<std::size_t>(i)])] != 0 ||
+          (spec.elephant.probability > 0.0 && shared.bernoulli(spec.elephant.probability));
+      if (elephant) sizes[static_cast<std::size_t>(i)] = spec.elephant.bytes;
+    }
+
+    const auto me = std::find(active.begin(), active.end(), p.rank());
+    p.enter(region);
+    co_await p.compute(gap);
+    if (me != active.end() && m >= 2) {
+      const int idx = static_cast<int>(me - active.begin());
+      const Rank dst = active[static_cast<std::size_t>((idx + shift) % m)];
+      const Rank src = active[static_cast<std::size_t>((idx - shift + m) % m)];
+      // isend + recv + wait: elephants above the rendezvous threshold would
+      // deadlock a blocking send ring (everyone waiting for the handshake).
+      Request req = p.isend(dst, kScenarioTag, sizes[static_cast<std::size_t>(idx)]);
+      co_await p.recv(src, kScenarioTag);
+      co_await p.wait(std::move(req));
+    }
+    if (spec.collective_every > 0 && (round + 1) % spec.collective_every == 0 && m == n) {
+      // World collectives only when everyone is present; a collective over a
+      // shrinking membership is a different protocol (and paper) entirely.
+      co_await p.barrier();
+    }
+    p.exit(region);
+  }
+
+  p.set_tracing(false);
+  co_await probe_offsets(p, store, spec.probe_pings);
+}
+
+AppRunResult run_dynamic_workload(const WorkloadSpec& spec, JobConfig job_cfg) {
+  const std::uint64_t shared_seed = RngTree(job_cfg.seed).derive("scenario.shared");
+  Job job(std::move(job_cfg));
+  OffsetStore store(job.ranks());
+  job.run([&](Proc& p) { return dynamic_rank(p, spec, shared_seed, store); });
+  return {job.take_trace(), std::move(store)};
+}
+
+}  // namespace chronosync::scenario

@@ -1,0 +1,36 @@
+// Scenario workload: shift traffic over a dynamic membership with a
+// heavy-tailed size mix.
+//
+// The existing sweep workload assumes every rank participates in every round.
+// Adversarial scenarios need the ad-hoc setting instead: ranks join and leave
+// mid-run, and the traffic mixes many small messages with a few elephants
+// (rendezvous-sized payloads from dedicated heavy senders or random bursts).
+//
+// Deadlock freedom without a coordination protocol: all ranks derive the
+// round's active set from the (static, config-declared) membership schedule
+// and draw the round's shift and per-sender sizes from one shared seed, so
+// every posted send has a receiver that knows to post the matching receive.
+// Elephants are sent with isend + recv + wait — the rendezvous handshake of a
+// blocking ring send would deadlock, exactly as it does in real MPI codes.
+// Inactive ranks keep computing (their clocks keep drifting — that is the
+// point) but exchange no traffic and record no events while out.
+#pragma once
+
+#include "measure/offset_probe.hpp"
+#include "mpisim/job.hpp"
+#include "scenario/scenario.hpp"
+#include "workload/pop.hpp"  // AppRunResult
+
+namespace chronosync::scenario {
+
+/// Runs the dynamic scenario workload described by `spec` on `job_cfg`.
+/// Offset probes run at init and finalize with tracing off (every rank
+/// participates in probes — the process exists even when the application has
+/// not "joined" yet), so the interpolation-based corrections stay available.
+AppRunResult run_dynamic_workload(const WorkloadSpec& spec, JobConfig job_cfg);
+
+/// The SPMD body, exposed for direct use on an existing Job.
+[[nodiscard]] Coro<void> dynamic_rank(Proc& p, const WorkloadSpec& spec,
+                                      std::uint64_t shared_seed, OffsetStore& store);
+
+}  // namespace chronosync::scenario

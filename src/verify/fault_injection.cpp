@@ -104,6 +104,31 @@ Trace with_clock_step(const Trace& trace, Rank victim, Time after_local, Duratio
   return out;
 }
 
+Trace with_drift_storm(const Trace& trace, const std::vector<int>& nodes,
+                       double start_fraction, double duration_fraction, double extra_rate) {
+  CS_REQUIRE(start_fraction >= 0.0 && start_fraction <= 1.0,
+             "storm start fraction must lie in [0, 1]");
+  CS_REQUIRE(duration_fraction >= 0.0 && duration_fraction <= 1.0,
+             "storm duration fraction must lie in [0, 1]");
+  CS_REQUIRE(extra_rate > -1.0, "a storm rate <= -1 would reverse local time");
+  Trace out = trace;
+  for (Rank r = 0; r < out.ranks(); ++r) {
+    const int node = out.placement().location(r).node;
+    if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) continue;
+    auto& events = out.events(r);
+    if (events.empty()) continue;
+    const Time t_min = events.front().local_ts;
+    const Duration span = events.back().local_ts - t_min;
+    const Time start = t_min + start_fraction * span;
+    const Time end = start + duration_fraction * span;
+    for (Event& e : events) {
+      if (e.local_ts < start) continue;
+      e.local_ts += extra_rate * (std::min(e.local_ts, end) - start);
+    }
+  }
+  return out;
+}
+
 Trace with_one_sided_traffic(const Trace& trace) {
   Trace out = trace;
   for (Rank r = 0; r < out.ranks(); ++r) {

@@ -51,6 +51,18 @@ OffsetStore with_collapsed_probes(const OffsetStore& store);
 /// monotonicity) for every event at local_ts >= `after_local`.
 Trace with_clock_step(const Trace& trace, Rank victim, Time after_local, Duration step);
 
+/// Correlated drift storm (DVFS/thermal event hitting whole nodes): every
+/// rank placed on a node in `nodes` runs `extra_rate` fast (dimensionless;
+/// 800e-6 == +800 ppm) over the local-time window
+///   [t_min + start_fraction * span, + duration_fraction * span)
+/// of that rank's event span.  Inside the window timestamps gain
+/// extra_rate * elapsed; afterwards they keep the accumulated surplus, so
+/// local monotonicity is preserved for any extra_rate > -1.  Ranks on other
+/// nodes are untouched — the correlation structure is exactly "the whole
+/// node got hot / changed frequency together".
+Trace with_drift_storm(const Trace& trace, const std::vector<int>& nodes,
+                       double start_fraction, double duration_fraction, double extra_rate);
+
 /// Removes every Send whose destination rank is below the source (and its
 /// matched Recv), leaving only one-directional p2p traffic — the input on
 /// which error estimation must report unreachable ranks, not crash.

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 
@@ -146,6 +147,53 @@ TEST(Cli, GetIntListRejectsMalformedElements) {
   Cli cli(4, argv);
   EXPECT_THROW(cli.get_int_list("a", {}), std::invalid_argument);
   EXPECT_THROW(cli.get_int_list("b", {}), std::invalid_argument);
+  EXPECT_THROW(cli.get_int_list("c", {}), std::invalid_argument);
+}
+
+TEST(Cli, GetIntListRejectsEmptyValueAndLoneComma) {
+  // `--a=` and `--b=,` both decay to empty elements, never to an empty list:
+  // a present-but-valueless sweep option is a user error, not "use defaults".
+  const char* argv[] = {"prog", "--a=", "--b=,"};
+  Cli cli(3, argv);
+  EXPECT_THROW(cli.get_int_list("a", {1}), std::invalid_argument);
+  EXPECT_THROW(cli.get_int_list("b", {1}), std::invalid_argument);
+}
+
+TEST(Cli, GetIntListKeepsDuplicatesAndOrder) {
+  // Duplicates are legitimate sweep points (repeat a config to measure
+  // variance); the parser must not dedupe or sort.
+  const char* argv[] = {"prog", "--ranks=8,8,4,8"};
+  Cli cli(2, argv);
+  EXPECT_EQ(cli.get_int_list("ranks", {}), (std::vector<std::int64_t>{8, 8, 4, 8}));
+}
+
+TEST(Cli, GetIntListParsesNegativeAndInt64Extremes) {
+  const char* argv[] = {"prog",
+                        "--a=-3,0,5",
+                        "--b=9223372036854775807,-9223372036854775808"};
+  Cli cli(3, argv);
+  EXPECT_EQ(cli.get_int_list("a", {}), (std::vector<std::int64_t>{-3, 0, 5}));
+  EXPECT_EQ(cli.get_int_list("b", {}),
+            (std::vector<std::int64_t>{INT64_MAX, INT64_MIN}));
+}
+
+TEST(Cli, GetIntListRejectsOverflowingElements) {
+  // One element past INT64_MAX/MIN must fail the whole list loudly, not
+  // saturate silently.
+  const char* argv[] = {"prog", "--a=1,9223372036854775808",
+                        "--b=-9223372036854775809"};
+  Cli cli(3, argv);
+  EXPECT_THROW(cli.get_int_list("a", {}), std::invalid_argument);
+  EXPECT_THROW(cli.get_int_list("b", {}), std::invalid_argument);
+}
+
+TEST(Cli, GetIntListRejectsLeadingCommaToleratesSpaceAfterComma) {
+  const char* argv[] = {"prog", "--a=,1,2", "--b=1, 2", "--c=1,2 "};
+  Cli cli(4, argv);
+  EXPECT_THROW(cli.get_int_list("a", {}), std::invalid_argument);
+  // strtoll skips leading whitespace, so a space after the comma is accepted
+  // (shell-quoted "1, 2" works); trailing junk after the digits is not.
+  EXPECT_EQ(cli.get_int_list("b", {}), (std::vector<std::int64_t>{1, 2}));
   EXPECT_THROW(cli.get_int_list("c", {}), std::invalid_argument);
 }
 

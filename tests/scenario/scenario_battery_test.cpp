@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace chronosync::scenario {
+namespace {
+
+// Registers every committed scenario under scenarios/ as its own gtest case
+// (and therefore its own `ctest -L scenario` entry): the adversarial matrix
+// is enumerable, and a red scenario names itself in the test report.  The
+// directory is baked in at configure time; CHRONOSYNC_SCENARIO_DIR always
+// points at the source tree's scenarios/.
+
+std::vector<std::string> battery_files() {
+  return list_scenario_files(CHRONOSYNC_SCENARIO_DIR);
+}
+
+class ScenarioBattery : public testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioBattery, RunsCleanEndToEnd) {
+  const ScenarioSpec spec = load_scenario_file(GetParam());
+  ScenarioRunOptions opts;
+  opts.work_dir = testing::TempDir();
+  const ScenarioOutcome out = run_scenario(spec, opts);
+  EXPECT_TRUE(out.ok()) << out.summary();
+  // Committed scenarios must actually exercise the machinery: a scenario
+  // whose trace is empty tests nothing.
+  EXPECT_GT(out.events, 0u);
+}
+
+std::string param_name(const testing::TestParamInfo<std::string>& info) {
+  std::string stem = info.param;
+  const std::size_t slash = stem.find_last_of('/');
+  if (slash != std::string::npos) stem = stem.substr(slash + 1);
+  const std::size_t dot = stem.rfind(".json");
+  if (dot != std::string::npos) stem = stem.substr(0, dot);
+  for (char& c : stem) {
+    if ((c < 'a' || c > 'z') && (c < 'A' || c > 'Z') && (c < '0' || c > '9')) c = '_';
+  }
+  return stem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Committed, ScenarioBattery, testing::ValuesIn(battery_files()),
+                         param_name);
+
+// The battery must never silently shrink: the matrix the README advertises is
+// the matrix that runs.
+TEST(ScenarioBatteryInventory, AtLeastTenCommittedScenarios) {
+  EXPECT_GE(battery_files().size(), 10u);
+}
+
+}  // namespace
+}  // namespace chronosync::scenario

@@ -20,22 +20,43 @@
 //       report — degenerate inputs are handled, not crashed on.
 //
 //   chronocheck --stream [--ranks N --rounds R --seed S --emit-batch B
-//                         --backward-window W --work-dir D]
+//                         --backward-window W --work-dir D --input F]
 //       Cross-checks the out-of-core windowed streaming CLC against the
-//       in-memory CLC on the synthetic fixture: the corrected trace and the
-//       jump statistics must be bit-identical whenever the streaming run
-//       reports zero divergences.
+//       in-memory CLC on the synthetic fixture (or on the v2 trace file F):
+//       the corrected trace and the jump statistics must be bit-identical
+//       whenever the streaming run reports zero divergences.
 //
-// Exit code: 0 when every requested check passed, 1 otherwise.
+//   chronocheck --scenario <file> [--work-dir D]
+//   chronocheck --scenario-battery <dir> [--work-dir D]
+//       Runs one committed adversarial scenario (or every *.json in a
+//       directory) end-to-end: simulate the configured workload on the
+//       configured clocks and network, apply the declared clock faults, audit
+//       the raw trace, run the full differential suite, repair with the CLC,
+//       audit the repair with zero slack, cross-check the streaming CLC, and
+//       judge the scenario's declared expectations.
+//
+//   chronocheck --write-fixture <file> [--ranks N --rounds R --seed S]
+//       Writes the synthetic drifting-clock fixture as a v2 trace file (a
+//       reproducible corpus seed for the fuzz battery and the exit-code
+//       regression tests).
+//
+// Exit codes: 0 all checks passed; 1 a requested check failed; 2 usage or
+// unexpected error; 3 trace i/o error (missing/truncated/corrupt trace file);
+// 4 scenario config error (missing file, malformed JSON, schema violation).
+// Every error path prints exactly one "chronocheck: ..." line on stderr.
 #include <exception>
 #include <iostream>
 #include <string>
 
 #include "common/cli.hpp"
 #include "obs/session.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
 #include "sync/replay.hpp"
 #include "trace/logical_messages.hpp"
+#include "trace/stream_io.hpp"
 #include "trace/trace_io.hpp"
+#include "trace/trace_io_error.hpp"
 #include "verify/differential.hpp"
 #include "verify/fault_injection.hpp"
 #include "verify/invariants.hpp"
@@ -153,9 +174,10 @@ int run_faults(const Cli& cli) {
 }
 
 int run_stream(const Cli& cli) {
-  const AppRunResult res = make_fixture(cli);
+  const std::string input = cli.get("input", "");
+  const Trace trace = input.empty() ? make_fixture(cli).trace : read_trace_file(input);
   std::cout << "chronocheck: windowed streaming CLC vs in-memory on "
-            << res.trace.ranks() << " ranks, " << res.trace.total_events() << " events\n";
+            << trace.ranks() << " ranks, " << trace.total_events() << " events\n";
   StreamClcOptions opt;
   opt.emit_batch = static_cast<std::size_t>(cli.get_int("emit-batch", 256));
   // The fixture's drift offsets reach hundreds of milliseconds, so their
@@ -164,12 +186,47 @@ int run_stream(const Cli& cli) {
   opt.backward_window = cli.get_double("backward-window", 1e4);
   std::vector<std::string> failures;
   const std::size_t n = verify::cross_check_windowed_clc(
-      res.trace, cli.get("work-dir", "."), opt, failures);
+      trace, cli.get("work-dir", "."), opt, failures);
   std::cout << "windowed differential: " << n << " comparison(s), " << failures.size()
             << " contract failure(s)\n";
   for (const auto& f : failures) std::cout << "FAIL " << f << "\n";
   if (!failures.empty()) return 1;
   std::cout << "ok: streaming CLC bit-identical to in-memory CLC\n";
+  return 0;
+}
+
+int run_one_scenario(const std::string& path, const scenario::ScenarioRunOptions& opts) {
+  const scenario::ScenarioSpec spec = scenario::load_scenario_file(path);
+  std::cout << "chronocheck: scenario " << spec.name << " (" << path << ")\n";
+  if (!spec.description.empty()) std::cout << "  " << spec.description << "\n";
+  const scenario::ScenarioOutcome outcome = scenario::run_scenario(spec, opts);
+  std::cout << outcome.summary();
+  return outcome.ok() ? 0 : 1;
+}
+
+int run_scenario_battery(const std::string& dir, const scenario::ScenarioRunOptions& opts) {
+  const std::vector<std::string> files = scenario::list_scenario_files(dir);
+  if (files.empty()) {
+    std::cerr << "chronocheck: no *.json scenarios in " << dir << "\n";
+    return 2;
+  }
+  int rc = 0;
+  int failed = 0;
+  for (const std::string& path : files) {
+    const int one = run_one_scenario(path, opts);
+    rc |= one;
+    failed += one != 0 ? 1 : 0;
+  }
+  std::cout << "battery: " << files.size() << " scenario(s), " << failed << " failed\n";
+  if (rc == 0) std::cout << "ok: scenario battery clean\n";
+  return rc;
+}
+
+int write_fixture(const std::string& path, const Cli& cli) {
+  const AppRunResult res = make_fixture(cli);
+  write_trace_v2_file(res.trace, path);
+  std::cout << "chronocheck: wrote " << res.trace.ranks() << "-rank fixture ("
+            << res.trace.total_events() << " events) to " << path << "\n";
   return 0;
 }
 
@@ -193,6 +250,20 @@ int main(int argc, char** argv) {
       rc |= run_stream(cli);
       ran = true;
     }
+    scenario::ScenarioRunOptions scenario_opts;
+    scenario_opts.work_dir = cli.get("work-dir", ".");
+    if (cli.has("scenario")) {
+      rc |= run_one_scenario(cli.get("scenario", ""), scenario_opts);
+      ran = true;
+    }
+    if (cli.has("scenario-battery")) {
+      rc |= run_scenario_battery(cli.get("scenario-battery", ""), scenario_opts);
+      ran = true;
+    }
+    if (cli.has("write-fixture")) {
+      rc |= write_fixture(cli.get("write-fixture", ""), cli);
+      ran = true;
+    }
     for (const auto& path : cli.positional()) {
       rc |= audit_file(path, cli);
       ran = true;
@@ -203,11 +274,21 @@ int main(int argc, char** argv) {
                    "--tolerance T]\n"
                    "       chronocheck --faults [--ranks N --rounds R --seed S]\n"
                    "       chronocheck --stream [--ranks N --rounds R --seed S "
-                   "--emit-batch B --backward-window W --work-dir D]\n";
+                   "--emit-batch B --backward-window W --work-dir D --input F]\n"
+                   "       chronocheck --scenario <file> [--work-dir D]\n"
+                   "       chronocheck --scenario-battery <dir> [--work-dir D]\n"
+                   "       chronocheck --write-fixture <file> [--ranks N --rounds R "
+                   "--seed S]\n";
       return 2;
     }
     obs_session.finish();
     return rc;
+  } catch (const TraceIoError& e) {
+    std::cerr << "chronocheck: " << e.what() << "\n";
+    return 3;
+  } catch (const scenario::ScenarioError& e) {
+    std::cerr << "chronocheck: " << e.what() << "\n";
+    return 4;
   } catch (const std::exception& e) {
     std::cerr << "chronocheck: " << e.what() << "\n";
     return 2;
