@@ -17,6 +17,7 @@
 #include "sync/collective_anchor.hpp"
 #include "sync/error_estimation.hpp"
 #include "sync/interpolation.hpp"
+#include "sync/kalman_drift.hpp"
 #include "common/expect.hpp"
 #include "sync/node_coupling.hpp"
 #include "sync/offset_alignment.hpp"
@@ -49,6 +50,9 @@ int main(int argc, char** argv) {
   workload.rounds = static_cast<int>(cli.get_int("rounds", 600));
   workload.gap_mean = cli.get_double("gap", 3.0);
   workload.collective_every = 50;
+  // Mid-run probe batches every k rounds (0 = endpoints only): the model-based
+  // methods are only distinguishable from Eq. 3 when they have interior knots.
+  workload.probe_every = static_cast<int>(cli.get_int("probe-every", 100));
 
   JobConfig job;
   const int ranks = static_cast<int>(cli.get_int("ranks", 16));
@@ -112,6 +116,12 @@ int main(int argc, char** argv) {
   });
   const auto interp = report("linear interpolation (Eq. 3)", false, [&] {
     return apply_correction(res.trace, LinearInterpolation::from_store(res.offsets));
+  });
+  report("piecewise interpolation", false, [&] {
+    return apply_correction(res.trace, PiecewiseInterpolation::from_store(res.offsets));
+  });
+  report("Kalman drift filter", false, [&] {
+    return apply_correction(res.trace, KalmanDriftCorrection::from_store(res.offsets));
   });
   for (auto method : {EstimationMethod::Regression, EstimationMethod::ConvexHull,
                       EstimationMethod::MinMax}) {

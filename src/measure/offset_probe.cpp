@@ -1,5 +1,7 @@
 #include "measure/offset_probe.hpp"
 
+#include <cmath>
+
 #include "common/expect.hpp"
 
 namespace chronosync {
@@ -9,6 +11,21 @@ constexpr Tag kProbeRequestTag = 900001 % (1 << 20);  // user tag space
 constexpr Tag kProbeReplyTag = 900002 % (1 << 20);
 constexpr std::uint32_t kProbeBytes = 8;
 }  // namespace
+
+bool is_finite_sample(const OffsetMeasurement& m) {
+  return std::isfinite(m.worker_time) && std::isfinite(m.offset) && std::isfinite(m.rtt);
+}
+
+std::vector<OffsetMeasurement> finite_samples(const std::vector<OffsetMeasurement>& samples,
+                                              std::size_t* skipped) {
+  std::vector<OffsetMeasurement> out;
+  out.reserve(samples.size());
+  for (const auto& m : samples) {
+    if (is_finite_sample(m)) out.push_back(m);
+  }
+  if (skipped != nullptr) *skipped = samples.size() - out.size();
+  return out;
+}
 
 void OffsetStore::add(Rank worker, const OffsetMeasurement& m) {
   CS_REQUIRE(worker >= 0 && worker < ranks(), "worker rank out of range");

@@ -34,6 +34,16 @@ struct OffsetMeasurement {
   Duration rtt = 0.0;       ///< round-trip time of the selected ping
 };
 
+/// True when every field of the sample is a finite number.  A hostile or
+/// truncated store can carry NaN/inf samples; every from_store consumer must
+/// screen with this instead of folding poison into corrected timestamps.
+bool is_finite_sample(const OffsetMeasurement& m);
+
+/// Copy of `samples` with non-finite entries removed (order preserved).
+/// `skipped`, when non-null, receives the number of rejected samples.
+std::vector<OffsetMeasurement> finite_samples(const std::vector<OffsetMeasurement>& samples,
+                                              std::size_t* skipped = nullptr);
+
 /// Chronological offset measurements per rank, as a tool like Scalasca keeps
 /// them (one batch at MPI_Init, one at MPI_Finalize, possibly more).
 class OffsetStore {

@@ -73,6 +73,7 @@ AppRunResult run_workload(const ScenarioSpec& spec) {
   cfg.gap_spread = spec.workload.gap_spread;
   cfg.collective_every = spec.workload.collective_every;
   cfg.probe_pings = spec.workload.probe_pings;
+  cfg.probe_every = spec.workload.probe_every;
   return run_sweep(cfg, build_job(spec));
 }
 
@@ -140,6 +141,29 @@ void check_expectations(const ExpectSpec& expect, ScenarioOutcome& out) {
   if (expect.stream_identical && out.stream_checked && !out.stream_identical) {
     fail("windowed streaming CLC diverged from the in-memory CLC");
   }
+  for (const AccuracyExpectSpec& a : expect.accuracy) {
+    const verify::MethodAccuracy* method = nullptr;
+    const verify::MethodAccuracy* reference = nullptr;
+    for (const auto& m : out.accuracy) {
+      if (m.name == a.method) method = &m;
+      if (m.name == a.reference) reference = &m;
+    }
+    if (method == nullptr || reference == nullptr) {
+      os.str("");
+      os << "accuracy race " << a.method << " vs " << a.reference
+         << ": method did not run (no ground truth or probes unusable)";
+      fail(os.str());
+      continue;
+    }
+    const double bound = a.max_rms_ratio * reference->rms_error + a.rms_slack;
+    if (!(method->rms_error <= bound)) {
+      os.str("");
+      os << "accuracy race: rms(" << a.method << ") = " << method->rms_error
+         << " s exceeds " << a.max_rms_ratio << " * rms(" << a.reference << ") + "
+         << a.rms_slack << " = " << bound << " s";
+      fail(os.str());
+    }
+  }
 }
 
 bool probes_usable(const Trace& trace, const OffsetStore& offsets) {
@@ -175,6 +199,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioRunOptions&
   // Every method, every pairwise contract, every scanner.
   const verify::DifferentialReport diff = verify::run_differential_suite(trace, res.offsets);
   out.differential_clean = diff.ok();
+  out.accuracy = diff.accuracy;
   if (!diff.ok()) {
     for (const auto& f : diff.failures) out.failures.push_back("differential: " + f);
   }
@@ -226,6 +251,10 @@ std::string ScenarioOutcome::summary() const {
     os << "; streaming CLC " << (stream_identical ? "bit-identical" : "DIVERGED");
   }
   os << "\n";
+  for (const auto& a : accuracy) {
+    os << "  accuracy " << a.name << ": rms " << a.rms_error << " s, max |err| "
+       << a.max_abs_error << " s\n";
+  }
   for (const auto& f : failures) os << "  FAIL " << f << "\n";
   return os.str();
 }

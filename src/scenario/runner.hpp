@@ -26,6 +26,7 @@
 
 #include "scenario/scenario.hpp"
 #include "sync/clc_stream.hpp"
+#include "verify/differential.hpp"
 
 namespace chronosync::scenario {
 
@@ -45,6 +46,10 @@ struct ScenarioOutcome {
   bool stream_checked = false;
   bool stream_identical = false;         ///< windowed CLC bit-identical
   StreamClcStats stream;
+  /// Ground-truth accuracy of every method the differential suite ran (RMS
+  /// vs the master clock at each event's true timestamp); feeds the
+  /// expect.accuracy[] races and the EXPERIMENTS.md tables.
+  std::vector<verify::MethodAccuracy> accuracy;
   std::vector<std::string> failures;     ///< expectation breaches (empty = ok)
 
   bool ok() const { return failures.empty(); }

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "benchkit/json.hpp"
+#include "verify/differential.hpp"
 
 namespace chronosync::scenario {
 
@@ -156,6 +157,7 @@ WorkloadSpec parse_workload(const JsonValue& v, const std::string& origin) {
   w.gap_spread = r.number("gap_spread", w.gap_spread);
   w.collective_every = static_cast<int>(r.integer("collective_every", w.collective_every));
   w.probe_pings = static_cast<int>(r.integer("probe_pings", w.probe_pings));
+  w.probe_every = static_cast<int>(r.integer("probe_every", w.probe_every));
   w.pinning = r.string("pinning", w.pinning);
   require(w.pinning == "inter-node" || w.pinning == "block", origin,
           "workload.\"pinning\" must be \"inter-node\" or \"block\"");
@@ -166,6 +168,7 @@ WorkloadSpec parse_workload(const JsonValue& v, const std::string& origin) {
           "workload.\"gap_spread\" must lie in [0, 1)");
   require(w.collective_every >= 0, origin, "workload.\"collective_every\" must be >= 0");
   require(w.probe_pings >= 1, origin, "workload.\"probe_pings\" must be >= 1");
+  require(w.probe_every >= 0, origin, "workload.\"probe_every\" must be >= 0");
 
   if (const JsonValue* e = r.object("elephant")) {
     require(w.kind == WorkloadKind::Dynamic, origin,
@@ -295,6 +298,11 @@ StreamSpec parse_stream(const JsonValue& v, const std::string& origin) {
   return s;
 }
 
+bool known_method_name(const std::string& name) {
+  const auto& names = verify::all_method_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
 ExpectSpec parse_expect(const JsonValue& v, const std::string& origin) {
   ExpectSpec e;
   ObjectReader r(v, origin, "expect");
@@ -305,6 +313,29 @@ ExpectSpec parse_expect(const JsonValue& v, const std::string& origin) {
   e.clc_repairs_min = r.integer("clc_repairs_min", e.clc_repairs_min);
   e.clc_clean_audit = r.boolean("clc_clean_audit", e.clc_clean_audit);
   e.stream_identical = r.boolean("stream_identical", e.stream_identical);
+  if (const JsonValue* acc = r.array("accuracy")) {
+    for (const JsonValue& item : acc->items()) {
+      ObjectReader ar(item, origin, "expect.accuracy[]");
+      AccuracyExpectSpec a;
+      a.method = ar.string("method", "");
+      a.reference = ar.string("reference", "");
+      a.max_rms_ratio = ar.number("max_rms_ratio", a.max_rms_ratio);
+      a.rms_slack = ar.number("rms_slack", a.rms_slack);
+      ar.finish();
+      // The method vocabulary is closed: a typo'd name would otherwise make
+      // the expectation silently vacuous.
+      require(known_method_name(a.method), origin,
+              "expect.accuracy[].\"method\" must name a known correction method");
+      require(known_method_name(a.reference), origin,
+              "expect.accuracy[].\"reference\" must name a known correction method");
+      require(a.method != a.reference, origin,
+              "expect.accuracy[] method and reference must differ");
+      require(a.max_rms_ratio > 0.0, origin,
+              "expect.accuracy[].\"max_rms_ratio\" must be > 0");
+      require(a.rms_slack >= 0.0, origin, "expect.accuracy[].\"rms_slack\" must be >= 0");
+      e.accuracy.push_back(std::move(a));
+    }
+  }
   r.finish();
   require(e.raw_violations_min >= -1, origin, "expect.\"raw_violations_min\" must be >= -1");
   require(e.raw_violations_max >= -1, origin, "expect.\"raw_violations_max\" must be >= -1");

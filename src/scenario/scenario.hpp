@@ -79,6 +79,7 @@ struct WorkloadSpec {
   double gap_spread = 0.3;
   int collective_every = 50;   ///< 0 = no collectives
   int probe_pings = 10;
+  int probe_every = 0;         ///< >0: extra offset probe batch every k rounds
   std::string pinning = "inter-node";  ///< "inter-node" or "block"
   ElephantSpec elephant;
   std::vector<MembershipWindow> membership;
@@ -127,6 +128,21 @@ struct StreamSpec {
   int emit_batch = 256;
 };
 
+/// One declared accuracy race: `method`'s RMS error vs the simulator's
+/// ground-truth master time must satisfy
+///
+///     rms(method) <= max_rms_ratio * rms(reference) + rms_slack
+///
+/// so max_rms_ratio < 1 demands a strict win and max_rms_ratio ~ 1 with a
+/// small slack demands parity.  Both names must come from
+/// verify::all_method_names(); anything else is a Schema error.
+struct AccuracyExpectSpec {
+  std::string method;
+  std::string reference;
+  double max_rms_ratio = 1.0;
+  double rms_slack = 0.0;  ///< absolute slack in seconds
+};
+
 /// Declared expected outcomes; -1 disables a bound.
 struct ExpectSpec {
   std::int64_t raw_violations_min = -1;  ///< raw trace must violate Eq. 1 >= n times
@@ -136,6 +152,7 @@ struct ExpectSpec {
   std::int64_t clc_repairs_min = -1;     ///< CLC must repair >= n receive events
   bool clc_clean_audit = true;      ///< CLC output: Eq. 1 exact + amortization bound
   bool stream_identical = true;     ///< windowed streaming CLC bit-identical
+  std::vector<AccuracyExpectSpec> accuracy;  ///< ground-truth accuracy races
 };
 
 struct ScenarioSpec {

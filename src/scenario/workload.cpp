@@ -77,6 +77,13 @@ Coro<void> dynamic_rank(Proc& p, const WorkloadSpec& spec, std::uint64_t shared_
       co_await p.barrier();
     }
     p.exit(region);
+    if (spec.probe_every > 0 && (round + 1) % spec.probe_every == 0 &&
+        round + 1 < spec.rounds) {
+      // Mid-run probe batch (ref. [17]'s periodic measurements): every rank
+      // reaches this point each round — membership only gates traffic — and
+      // probe_offsets suspends tracing and ends with a barrier itself.
+      co_await probe_offsets(p, store, spec.probe_pings);
+    }
   }
 
   p.set_tracing(false);

@@ -16,9 +16,24 @@ LinearInterpolation::LinearInterpolation(std::vector<RankParams> params)
 LinearInterpolation LinearInterpolation::from_store(const OffsetStore& store) {
   std::vector<RankParams> params(static_cast<std::size_t>(store.ranks()));
   for (Rank r = 0; r < store.ranks(); ++r) {
-    const auto& samples = store.of(r);
-    CS_REQUIRE(samples.size() >= 2, "linear interpolation needs two measurements per rank");
+    CS_REQUIRE(store.of(r).size() >= 2,
+               "linear interpolation needs two measurements per rank");
+    // A hostile or truncated store can carry NaN/inf samples; folding one into
+    // Eq. 3 would poison every corrected timestamp of the rank, so screen
+    // first and degrade like the other degenerate cases below.
+    std::size_t skipped = 0;
+    const auto samples = finite_samples(store.of(r), &skipped);
+    if (skipped > 0) {
+      CS_LOG_WARN << "LinearInterpolation: rank " << r << " skipped " << skipped
+                  << " non-finite offset sample(s)";
+    }
     auto& p = params[static_cast<std::size_t>(r)];
+    if (samples.empty()) {
+      CS_LOG_WARN << "LinearInterpolation: rank " << r
+                  << " has no finite offset samples; falling back to identity";
+      p = RankParams{};  // o1 == o2 == 0: identity correction
+      continue;
+    }
     p.w1 = samples.front().worker_time;
     p.o1 = samples.front().offset;
     p.w2 = samples.back().worker_time;
@@ -56,8 +71,14 @@ PiecewiseInterpolation PiecewiseInterpolation::from_store(const OffsetStore& sto
   std::vector<PiecewiseLinear> maps;
   maps.reserve(static_cast<std::size_t>(store.ranks()));
   for (Rank r = 0; r < store.ranks(); ++r) {
-    const auto& samples = store.of(r);
-    CS_REQUIRE(samples.size() >= 2, "piecewise interpolation needs two measurements per rank");
+    CS_REQUIRE(store.of(r).size() >= 2,
+               "piecewise interpolation needs two measurements per rank");
+    std::size_t skipped = 0;
+    const auto samples = finite_samples(store.of(r), &skipped);
+    if (skipped > 0) {
+      CS_LOG_WARN << "PiecewiseInterpolation: rank " << r << " skipped " << skipped
+                  << " non-finite offset sample(s)";
+    }
     PiecewiseLinear map;
     std::size_t dropped = 0;
     for (const auto& s : samples) {
@@ -76,6 +97,12 @@ PiecewiseInterpolation PiecewiseInterpolation::from_store(const OffsetStore& sto
       CS_LOG_WARN << "PiecewiseInterpolation: rank " << r << " dropped " << dropped
                   << " offset sample(s) with duplicate worker_time; keeping the first "
                      "sample of each instant";
+    }
+    if (map.size() == 0) {
+      CS_LOG_WARN << "PiecewiseInterpolation: rank " << r
+                  << " has no finite offset samples; falling back to identity";
+      map.append(0.0, 0.0);
+      map.append(1.0, 1.0);
     }
     if (map.size() == 1) {
       // Every probe of this rank landed on one instant: mirror the linear

@@ -48,8 +48,23 @@ class LinearInterpolation final : public TimestampCorrection {
 class PiecewiseInterpolation final : public TimestampCorrection {
  public:
   /// One piecewise map per rank through all of its measurements.
+  /// Non-finite samples are skipped with a warning; duplicate worker_time
+  /// knots keep the first sample of the instant; a rank left with one knot
+  /// degrades to pure offset alignment (unit slope) and one with none to the
+  /// identity map.
   static PiecewiseInterpolation from_store(const OffsetStore& store);
 
+  /// Maps a worker-local timestamp to estimated master time.
+  ///
+  /// Extrapolation policy: timestamps before the first knot extend the
+  /// *first* segment's slope; timestamps after the last knot extend the
+  /// *last* segment's slope.  This matches Eq. 3 semantics — the measured
+  /// mean drift of the nearest interval keeps applying outside the measured
+  /// range — and keeps the map continuous and strictly increasing end to
+  /// end, so rank-local event order is preserved even for events recorded
+  /// outside the probe window.  In the degenerate one-knot fallback the
+  /// synthetic unit-slope segment makes both boundary slopes exactly 1
+  /// (pure offset alignment everywhere).
   Time correct(Rank r, Time local_ts) const override;
 
  private:

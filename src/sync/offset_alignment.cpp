@@ -1,6 +1,7 @@
 #include "sync/offset_alignment.hpp"
 
 #include "common/expect.hpp"
+#include "common/log.hpp"
 
 namespace chronosync {
 
@@ -12,7 +13,21 @@ OffsetAlignment OffsetAlignment::from_store(const OffsetStore& store) {
   std::vector<Duration> offsets(static_cast<std::size_t>(store.ranks()));
   for (Rank r = 0; r < store.ranks(); ++r) {
     CS_REQUIRE(!store.of(r).empty(), "no offset measurement for rank");
-    offsets[static_cast<std::size_t>(r)] = store.of(r).front().offset;
+    // Use the first *finite* sample; a poisoned leading sample must not leak
+    // NaN/inf into every corrected timestamp of the rank.
+    std::size_t skipped = 0;
+    const auto samples = finite_samples(store.of(r), &skipped);
+    if (skipped > 0) {
+      CS_LOG_WARN << "OffsetAlignment: rank " << r << " skipped " << skipped
+                  << " non-finite offset sample(s)";
+    }
+    if (samples.empty()) {
+      CS_LOG_WARN << "OffsetAlignment: rank " << r
+                  << " has no finite offset samples; falling back to identity";
+      offsets[static_cast<std::size_t>(r)] = 0.0;
+      continue;
+    }
+    offsets[static_cast<std::size_t>(r)] = samples.front().offset;
   }
   return OffsetAlignment(std::move(offsets));
 }

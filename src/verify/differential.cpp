@@ -10,11 +10,14 @@
 #include "analysis/clock_condition_stream.hpp"
 #include "common/expect.hpp"
 #include "common/log.hpp"
+#include "common/mathutil.hpp"
 #include "sync/clc.hpp"
 #include "sync/clc_parallel.hpp"
 #include "sync/error_estimation.hpp"
 #include "sync/interpolation.hpp"
+#include "sync/kalman_drift.hpp"
 #include "sync/offset_alignment.hpp"
+#include "sync/omp_clc.hpp"
 #include "trace/logical_messages.hpp"
 #include "trace/stream_io.hpp"
 
@@ -58,6 +61,8 @@ std::vector<MethodOutput> run_all_methods(const Trace& trace, const OffsetStore&
     out.push_back(
         {"piecewise-interpolation",
          apply_correction(trace, PiecewiseInterpolation::from_store(offsets)), false});
+    out.push_back({"kalman-drift",
+                   apply_correction(trace, KalmanDriftCorrection::from_store(offsets)), false});
   } else {
     CS_LOG_WARN << "differential: offset store incomplete; skipping the "
                    "probe-based corrections";
@@ -86,6 +91,63 @@ std::vector<MethodOutput> run_all_methods(const Trace& trace, const OffsetStore&
       {"interpolation+clc-parallel",
        controlled_logical_clock_parallel(trace, schedule, input, parallel_options).corrected,
        true});
+  return out;
+}
+
+const std::vector<std::string>& all_method_names() {
+  // Emission order of run_all_methods; keep the two in sync.
+  static const std::vector<std::string> names = {
+      "raw",
+      "offset-alignment",
+      "linear-interpolation",
+      "piecewise-interpolation",
+      "kalman-drift",
+      "error-estimation-regression",
+      "error-estimation-convex-hull",
+      "error-estimation-min-max",
+      "interpolation+clc-serial",
+      "interpolation+clc-parallel",
+  };
+  return names;
+}
+
+std::vector<MethodAccuracy> ground_truth_accuracy(const Trace& trace,
+                                                  const std::vector<MethodOutput>& outputs) {
+  // Master timeline: the piecewise-linear map true time -> rank-0 local time.
+  // A perfect correction maps every worker timestamp onto this line, so the
+  // residual against it is the method's absolute error.
+  PiecewiseLinear master;
+  if (trace.ranks() > 0) {
+    for (const Event& e : trace.events(0)) {
+      if (master.size() > 0 && !(e.true_ts > master.knots().back().x)) continue;
+      master.append(e.true_ts, e.local_ts);
+    }
+  }
+  if (master.size() < 2) {
+    CS_LOG_WARN << "ground_truth_accuracy: rank 0 has fewer than two distinct true "
+                   "timestamps; skipping the accuracy race";
+    return {};
+  }
+
+  std::vector<MethodAccuracy> out;
+  out.reserve(outputs.size());
+  for (const auto& m : outputs) {
+    MethodAccuracy acc;
+    acc.name = m.name;
+    double sum_sq = 0.0;
+    for (Rank r = 0; r < trace.ranks(); ++r) {
+      const auto& events = trace.events(r);
+      const auto& ts = m.ts.of_rank(r);
+      for (std::uint32_t i = 0; i < events.size(); ++i) {
+        const double err = ts[i] - master(events[i].true_ts);
+        ++acc.events;
+        sum_sq += err * err;
+        acc.max_abs_error = std::max(acc.max_abs_error, std::abs(err));
+      }
+    }
+    acc.rms_error = acc.events > 0 ? std::sqrt(sum_sq / static_cast<double>(acc.events)) : 0.0;
+    out.push_back(std::move(acc));
+  }
   return out;
 }
 
@@ -268,6 +330,72 @@ std::size_t cross_check_windowed_clc(const Trace& trace, const std::string& work
   return comparisons;
 }
 
+std::size_t cross_check_omp_clc(const Trace& omp_trace, const Placement& thread_placement,
+                                std::vector<std::string>& failures) {
+  const Trace threads = split_omp_threads(omp_trace, thread_placement);
+  const auto logical = derive_omp_logical_messages(threads);
+  const ReplaySchedule schedule(threads, {}, logical);
+  const TimestampArray input = TimestampArray::from_local(threads);
+  const ClcResult serial = controlled_logical_clock(threads, schedule, input);
+  ClcOptions parallel_options;
+  parallel_options.min_events_per_thread = 1;
+  const ClcResult parallel =
+      controlled_logical_clock_parallel(threads, schedule, input, parallel_options);
+  const OmpClcResult merged = omp_controlled_logical_clock(omp_trace, thread_placement);
+
+  std::size_t comparisons = 0;
+
+  // Serial vs parallel CLC on the thread schedule: the same bit-identical
+  // contract the MPI differential enforces, now over POMP logical edges.
+  for (Rank t = 0; t < threads.ranks(); ++t) {
+    const auto& a = serial.corrected.of_rank(t);
+    const auto& b = parallel.corrected.of_rank(t);
+    CS_REQUIRE(a.size() == b.size(), "omp CLC outputs differ in shape");
+    for (std::uint32_t i = 0; i < a.size(); ++i) {
+      ++comparisons;
+      if (std::bit_cast<std::uint64_t>(a[i]) != std::bit_cast<std::uint64_t>(b[i])) {
+        std::ostringstream os;
+        os << "omp CLC: serial vs parallel diverge at thread " << t << " event " << i << " ("
+           << a[i] << " vs " << b[i] << ")";
+        failures.push_back(os.str());
+      }
+    }
+  }
+
+  // Merged backend output vs the serial CLC on the split trace: replays the
+  // backend's own merge cursors, so a split/merge bookkeeping bug shows up as
+  // a divergence here even when the CLC itself is correct.
+  std::vector<std::uint32_t> cursor(static_cast<std::size_t>(thread_placement.ranks()), 0);
+  const auto& events = omp_trace.events(0);
+  const auto& merged_ts = merged.corrected.of_rank(0);
+  for (std::uint32_t i = 0; i < events.size(); ++i) {
+    ++comparisons;
+    const ThreadId th = events[i].thread;
+    const Time expect = serial.corrected.at({th, cursor[static_cast<std::size_t>(th)]++});
+    if (std::bit_cast<std::uint64_t>(merged_ts[i]) != std::bit_cast<std::uint64_t>(expect)) {
+      std::ostringstream os;
+      os << "omp CLC: merged output diverges from the thread-split serial CLC at event " << i
+         << " (thread " << th << ": " << merged_ts[i] << " vs " << expect << ")";
+      failures.push_back(os.str());
+    }
+  }
+
+  // The OMP CLC is a clock-restoring method: zero-slack audit on the
+  // thread-split layout, against the POMP happened-before edges.
+  VerifyOptions opt;
+  opt.clock_condition_slack = 0.0;
+  const InvariantChecker checker(threads, schedule, opt);
+  const VerifyReport audit = checker.check(serial.corrected);
+  ++comparisons;
+  if (!audit.ok()) {
+    std::ostringstream os;
+    os << "omp CLC: zero-slack invariant audit found " << audit.total() << " violation(s)\n"
+       << audit.summary();
+    failures.push_back(os.str());
+  }
+  return comparisons;
+}
+
 std::string DifferentialReport::summary() const {
   std::ostringstream os;
   os << "differential: " << pairs.size() << " method pair(s), " << failures.size()
@@ -276,6 +404,10 @@ std::string DifferentialReport::summary() const {
     os << "  " << p.method_a << " vs " << p.method_b << ": max |diff| "
        << p.max_abs_diff << " s, " << p.above_tolerance << "/" << p.events
        << " above tolerance" << (p.must_match ? " [must match]" : "") << "\n";
+  }
+  for (const auto& a : accuracy) {
+    os << "  accuracy " << a.name << ": rms " << a.rms_error << " s, max |err| "
+       << a.max_abs_error << " s over " << a.events << " event(s)\n";
   }
   for (const auto& f : failures) os << "  FAIL " << f << "\n";
   return os.str();
@@ -289,6 +421,7 @@ DifferentialReport run_differential_suite(const Trace& trace, const OffsetStore&
 
   const auto outputs = run_all_methods(trace, offsets, messages, schedule);
   DifferentialReport report = compare_methods(trace, outputs, tolerance);
+  report.accuracy = ground_truth_accuracy(trace, outputs);
   cross_check_scans(trace, schedule, report.failures);
 
   // Invariant audit: CLC outputs must be exactly clean; every other method

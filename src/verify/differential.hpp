@@ -18,6 +18,7 @@
 #include "measure/offset_probe.hpp"
 #include "sync/clc_stream.hpp"
 #include "sync/replay.hpp"
+#include "topology/pinning.hpp"
 #include "trace/trace.hpp"
 #include "verify/invariants.hpp"
 
@@ -33,12 +34,19 @@ struct MethodOutput {
 };
 
 /// Runs every available correction method on one trace: offset alignment,
-/// linear/piecewise interpolation, the three error-estimation variants, and
-/// serial + parallel CLC over the interpolated input.  Methods whose
-/// preconditions the fixture cannot meet (e.g. no offset store) are skipped.
+/// linear/piecewise interpolation, Kalman drift estimation, the three
+/// error-estimation variants, and serial + parallel CLC over the interpolated
+/// input.  Methods whose preconditions the fixture cannot meet (e.g. no
+/// offset store) are skipped.
 std::vector<MethodOutput> run_all_methods(const Trace& trace, const OffsetStore& offsets,
                                           const std::vector<MessageRecord>& messages,
                                           const ReplaySchedule& schedule);
+
+/// Every method name run_all_methods can emit, in emission order.  This is
+/// the shared vocabulary for `chronocheck --method` and the scenario layer's
+/// accuracy expectations; an unknown name there is a schema error, not a
+/// silently-skipped comparison.
+const std::vector<std::string>& all_method_names();
 
 /// Pairwise divergence between two timestamp arrays of identical shape.
 struct PairDivergence {
@@ -53,8 +61,27 @@ struct PairDivergence {
   bool must_match = false;
 };
 
+/// Accuracy of one method's output against the simulator's ground truth: the
+/// master clock (rank 0) read at each event's true timestamp is what a
+/// perfect correction would produce, so `error = corrected - master(true_ts)`.
+/// Only available on simulated traces (mpisim records true_ts).
+struct MethodAccuracy {
+  std::string name;
+  std::size_t events = 0;
+  double rms_error = 0.0;      ///< sqrt(mean(error^2)) over all events
+  double max_abs_error = 0.0;
+};
+
+/// Computes per-method ground-truth accuracy.  The master timeline is the
+/// piecewise-linear map true_ts -> local_ts through rank 0's events; returns
+/// empty (with a warning) when rank 0 has fewer than two distinct true
+/// timestamps to anchor it.
+std::vector<MethodAccuracy> ground_truth_accuracy(const Trace& trace,
+                                                  const std::vector<MethodOutput>& outputs);
+
 struct DifferentialReport {
   std::vector<PairDivergence> pairs;      ///< all method pairs, audit order
+  std::vector<MethodAccuracy> accuracy;   ///< vs ground truth, method order
   std::vector<std::string> failures;      ///< human-readable contract breaches
 
   bool ok() const { return failures.empty(); }
@@ -86,6 +113,19 @@ std::size_t cross_check_scans(const Trace& trace, const ReplaySchedule& schedule
 std::size_t cross_check_windowed_clc(const Trace& trace, const std::string& work_dir,
                                      const StreamClcOptions& options,
                                      std::vector<std::string>& failures);
+
+/// Cross-checks the OpenMP CLC backend on a POMP trace, with the same
+/// bit-identical-to-sequential contract as clc_parallel:
+///  * the merged omp_controlled_logical_clock output must equal, bit for bit,
+///    the serial CLC run directly on the thread-split trace (this pins the
+///    split/merge cursor bookkeeping);
+///  * the parallel CLC on the same thread schedule must agree bit-for-bit
+///    with the serial one;
+///  * the corrected thread-split timestamps must pass a zero-slack invariant
+///    audit against the POMP happened-before edges.
+/// Appends contract breaches to `failures`, returns comparisons made.
+std::size_t cross_check_omp_clc(const Trace& omp_trace, const Placement& thread_placement,
+                                std::vector<std::string>& failures);
 
 /// The full differential suite: run_all_methods + compare_methods +
 /// cross_check_scans + an invariant audit of every CLC output (zero slack)

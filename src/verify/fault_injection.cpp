@@ -1,6 +1,7 @@
 #include "verify/fault_injection.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/expect.hpp"
 #include "common/rng.hpp"
@@ -11,6 +12,7 @@ std::string to_string(FaultClass f) {
   switch (f) {
     case FaultClass::ProbeOutlier: return "probe-outlier";
     case FaultClass::DuplicateProbes: return "duplicate-probes";
+    case FaultClass::PoisonedProbes: return "poisoned-probes";
     case FaultClass::ClockStep: return "clock-step";
     case FaultClass::OneSidedTraffic: return "one-sided-traffic";
     case FaultClass::EmptyRanks: return "empty-ranks";
@@ -19,7 +21,8 @@ std::string to_string(FaultClass f) {
 }
 
 std::vector<FaultClass> all_fault_classes() {
-  return {FaultClass::ProbeOutlier, FaultClass::DuplicateProbes, FaultClass::ClockStep,
+  return {FaultClass::ProbeOutlier,    FaultClass::DuplicateProbes,
+          FaultClass::PoisonedProbes,  FaultClass::ClockStep,
           FaultClass::OneSidedTraffic, FaultClass::EmptyRanks};
 }
 
@@ -91,6 +94,24 @@ OffsetStore with_collapsed_probes(const OffsetStore& store) {
       if (!v.empty()) m.worker_time = v.front().worker_time;
     }
   }
+  return rebuild_sorted(store.ranks(), std::move(samples));
+}
+
+OffsetStore with_poisoned_probes(const OffsetStore& store) {
+  auto samples = copy_samples(store);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (auto& v : samples) {
+    if (v.empty()) continue;
+    OffsetMeasurement poison_offset = v.front();
+    poison_offset.offset = nan;
+    v.push_back(poison_offset);
+    OffsetMeasurement poison_time = v.front();
+    poison_time.worker_time = inf;
+    v.push_back(poison_time);
+  }
+  // rebuild_sorted's comparator is NaN/inf-safe here: the NaN sample keeps a
+  // finite worker_time (stable sort leaves it in place) and +inf sorts last.
   return rebuild_sorted(store.ranks(), std::move(samples));
 }
 

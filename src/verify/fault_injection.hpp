@@ -25,6 +25,7 @@ namespace chronosync::verify {
 enum class FaultClass {
   ProbeOutlier,      ///< one probe sample per rank dragged far off the line
   DuplicateProbes,   ///< batched probes: equal worker_time samples per rank
+  PoisonedProbes,    ///< NaN/inf samples in the store (hostile/truncated file)
   ClockStep,         ///< one rank's clock steps forward mid-run
   OneSidedTraffic,   ///< all traffic of one direction removed
   EmptyRanks,        ///< some ranks have no events at all
@@ -46,6 +47,12 @@ OffsetStore with_duplicate_probes(const OffsetStore& store, int copies = 2);
 /// Collapses every rank's samples onto a single worker_time (an aborted run
 /// whose probes all landed in one batch) — the fully degenerate store.
 OffsetStore with_collapsed_probes(const OffsetStore& store);
+
+/// Poisons each rank's store with non-finite samples: one NaN-offset copy of
+/// the first sample plus one inf-worker_time sample, interleaved in
+/// chronological position.  Every from_store consumer must skip these with a
+/// warning instead of folding NaN/inf into corrected timestamps.
+OffsetStore with_poisoned_probes(const OffsetStore& store);
 
 /// Steps rank `victim`'s local clock forward by `step` (> 0 keeps local
 /// monotonicity) for every event at local_ts >= `after_local`.

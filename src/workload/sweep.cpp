@@ -32,6 +32,13 @@ Coro<void> sweep_rank(Proc& p, const SweepConfig& cfg, OffsetStore& store) {
       co_await p.barrier();
     }
     p.exit(region);
+    if (cfg.probe && cfg.probe_every > 0 && (round + 1) % cfg.probe_every == 0 &&
+        round + 1 < cfg.rounds) {
+      // Mid-run probe batch: probe_offsets suspends tracing itself and ends
+      // with a barrier, and every rank reaches this point each round, so the
+      // SPMD contract holds.
+      co_await probe_offsets(p, store, cfg.probe_pings);
+    }
   }
 
   if (cfg.probe) {

@@ -22,6 +22,11 @@ struct SweepConfig {
   int collective_every = 0;             ///< >0: barrier every k rounds
   int probe_pings = 10;
   bool probe = true;                    ///< measure offsets at init/finalize
+  /// >0: also probe every k rounds mid-run (suspends tracing, ends with a
+  /// barrier — the periodic-measurement approach of ref. [17]).  The extra
+  /// knots are what the piecewise and Kalman corrections feed on; with only
+  /// the init/finalize batches both degenerate to Eq. 3's single line.
+  int probe_every = 0;
 };
 
 AppRunResult run_sweep(const SweepConfig& cfg, JobConfig job_cfg);

@@ -122,6 +122,55 @@ TEST(ScenarioConfig, SchemaViolations) {
             ScenarioErrorKind::Schema);
 }
 
+TEST(ScenarioConfig, ProbeEveryParsesAndRejectsNegatives) {
+  const ScenarioSpec spec = parse_scenario(
+      R"({"name": "x", "workload": {"probe_every": 25}})");
+  EXPECT_EQ(spec.workload.probe_every, 25);
+  // Default: no mid-run probe batches.
+  EXPECT_EQ(parse_scenario(R"({"name": "x"})").workload.probe_every, 0);
+  EXPECT_EQ(kind_of(R"({"name": "x", "workload": {"probe_every": -1}})"),
+            ScenarioErrorKind::Schema);
+  EXPECT_EQ(kind_of(R"({"name": "x", "workload": {"probe_every": 1.5}})"),
+            ScenarioErrorKind::Schema);
+}
+
+TEST(ScenarioConfig, AccuracyExpectationsParse) {
+  const ScenarioSpec spec = parse_scenario(R"({"name": "x", "expect": {
+    "accuracy": [{"method": "kalman-drift", "reference": "linear-interpolation",
+                  "max_rms_ratio": 0.9, "rms_slack": 1e-6}]}})");
+  ASSERT_EQ(spec.expect.accuracy.size(), 1u);
+  EXPECT_EQ(spec.expect.accuracy[0].method, "kalman-drift");
+  EXPECT_EQ(spec.expect.accuracy[0].reference, "linear-interpolation");
+  EXPECT_DOUBLE_EQ(spec.expect.accuracy[0].max_rms_ratio, 0.9);
+  EXPECT_DOUBLE_EQ(spec.expect.accuracy[0].rms_slack, 1e-6);
+}
+
+TEST(ScenarioConfig, AccuracyExpectationsAreValidatedAgainstVocabulary) {
+  // Unknown method / reference names must die in the parser, not at runtime
+  // deep in the differential suite.
+  EXPECT_EQ(kind_of(R"({"name": "x", "expect": {"accuracy": [
+                {"method": "no-such-method", "reference": "raw"}]}})"),
+            ScenarioErrorKind::Schema);
+  EXPECT_EQ(kind_of(R"({"name": "x", "expect": {"accuracy": [
+                {"method": "kalman-drift", "reference": "no-such-method"}]}})"),
+            ScenarioErrorKind::Schema);
+  // Racing a method against itself is vacuous.
+  EXPECT_EQ(kind_of(R"({"name": "x", "expect": {"accuracy": [
+                {"method": "kalman-drift", "reference": "kalman-drift"}]}})"),
+            ScenarioErrorKind::Schema);
+  // Degenerate race parameters.
+  EXPECT_EQ(kind_of(R"({"name": "x", "expect": {"accuracy": [
+                {"method": "kalman-drift", "reference": "raw", "max_rms_ratio": 0}]}})"),
+            ScenarioErrorKind::Schema);
+  EXPECT_EQ(kind_of(R"({"name": "x", "expect": {"accuracy": [
+                {"method": "kalman-drift", "reference": "raw", "rms_slack": -1e-9}]}})"),
+            ScenarioErrorKind::Schema);
+  // Unknown keys inside an accuracy entry.
+  EXPECT_EQ(kind_of(R"({"name": "x", "expect": {"accuracy": [
+                {"method": "kalman-drift", "reference": "raw", "tol": 1}]}})"),
+            ScenarioErrorKind::Schema);
+}
+
 TEST(ScenarioConfig, DynamicOnlyFeaturesRequireDynamicKind) {
   EXPECT_EQ(kind_of(R"({"name": "x", "workload": {"elephant": {"probability": 0.1}}})"),
             ScenarioErrorKind::Schema);

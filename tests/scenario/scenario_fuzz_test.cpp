@@ -52,6 +52,10 @@ std::vector<std::string> seed_corpus() {
           "stream": {"backward_window": 100.0, "horizon": 200.0, "emit_batch": 32},
           "expect": {"raw_violations_min": 1, "clc_repairs_min": 1}})",
       R"({"name": "edge", "workload": {"ranks": 2, "rounds": 1, "gap_spread": 0.0}})",
+      R"({"name": "race", "workload": {"ranks": 4, "rounds": 50, "probe_every": 10},
+          "expect": {"accuracy": [
+            {"method": "kalman-drift", "reference": "linear-interpolation",
+             "max_rms_ratio": 0.95, "rms_slack": 1e-6}]}})",
   };
 }
 
@@ -117,7 +121,11 @@ TEST(ScenarioConfigFuzz, TokenSubstitutions) {
   const std::vector<std::string> tokens = {
       "1e309",  "-1e309", "9223372036854775808", "-42",   "1e-320", "null",
       "true",   "false",  "\"\"",                "[]",    "{}",     "\"nan\"",
-      "1.5",    "0.0",    "1e6",                 "[[[]]]"};
+      "1.5",    "0.0",    "1e6",                 "[[[]]]",
+      // Method-vocabulary hostility: unknown names must surface as the typed
+      // Schema error the chronocheck exit-4 contract depends on, and a known
+      // name in a numeric slot must be a type error, not a crash.
+      "\"no-such-method\"", "\"kalman-drift\"", "\"raw\""};
   for (const std::string& seed : seed_corpus()) {
     for (std::size_t pos = 0; pos < seed.size(); ++pos) {
       if (seed[pos] != ':') continue;

@@ -1,5 +1,8 @@
 #include "sync/interpolation.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "sync/offset_alignment.hpp"
@@ -176,6 +179,109 @@ TEST(PiecewiseInterpolation, BeatsLinearOnPiecewiseDrift) {
     pw_err = std::max(pw_err, std::abs(pw.correct(1, worker_local(t)) - t));
   }
   EXPECT_LT(pw_err, lin_err / 5.0);
+}
+
+TEST(OffsetAlignment, FromStoreSkipsPoisonedLeadingSample) {
+  // Regression: a NaN first sample used to become the rank's offset verbatim,
+  // poisoning every corrected timestamp.  The first *finite* sample wins now.
+  OffsetStore store(2);
+  store.add(0, {0.0, 0.0, 0.0});
+  store.add(1, {5.0, std::numeric_limits<double>::quiet_NaN(), 1e-5});
+  store.add(1, {6.0, 1.5, 1e-5});
+  OffsetAlignment align = OffsetAlignment::from_store(store);
+  EXPECT_DOUBLE_EQ(align.correct(1, 0.0), 1.5);
+}
+
+TEST(OffsetAlignment, FromStoreAllPoisonedFallsBackToIdentity) {
+  OffsetStore store(1);
+  store.add(0, {0.0, std::numeric_limits<double>::infinity(), 0.0});
+  OffsetAlignment align = OffsetAlignment::from_store(store);
+  EXPECT_DOUBLE_EQ(align.correct(0, 42.0), 42.0);
+}
+
+TEST(LinearInterpolation, FromStoreSkipsPoisonedSamples) {
+  // Regression: a non-finite trailing sample used to land in (w2, o2) and
+  // make every corrected timestamp NaN.  Poisoned samples are skipped; the
+  // surviving finite first/last pair defines the Eq. 3 line.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  OffsetStore store(2);
+  store.add(0, {0.0, 0.0, 0.0});
+  store.add(0, {100.0, 0.0, 0.0});
+  store.add(1, {0.0, 1.0, 1e-5});
+  store.add(1, {50.0, nan, 1e-5});   // poisoned offset mid-record
+  store.add(1, {100.0, 2.0, 1e-5});
+  store.add(1, {inf, 9.0, 1e-5});    // poisoned worker_time at the tail
+  LinearInterpolation interp = LinearInterpolation::from_store(store);
+  EXPECT_DOUBLE_EQ(interp.params(1).o1, 1.0);
+  EXPECT_DOUBLE_EQ(interp.params(1).o2, 2.0);
+  EXPECT_TRUE(std::isfinite(interp.correct(1, 5000.0)));
+  EXPECT_DOUBLE_EQ(interp.correct(1, 0.0), 1.0);
+}
+
+TEST(LinearInterpolation, FromStoreAllPoisonedFallsBackToIdentity) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  OffsetStore store(1);
+  store.add(0, {0.0, nan, 0.0});
+  store.add(0, {1.0, nan, 0.0});
+  LinearInterpolation interp = LinearInterpolation::from_store(store);
+  EXPECT_DOUBLE_EQ(interp.correct(0, 42.0), 42.0);
+}
+
+TEST(PiecewiseInterpolation, FromStoreSkipsPoisonedSamples) {
+  // Same poison shapes through the piecewise path: NaN/inf knots would make
+  // whole segments non-finite.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  OffsetStore store(2);
+  store.add(0, {0.0, 0.0, 0.0});
+  store.add(0, {100.0, 0.0, 0.0});
+  store.add(1, {0.0, 0.0, 0.0});
+  store.add(1, {25.0, nan, 0.0});
+  store.add(1, {50.0, 1.0, 0.0});
+  store.add(1, {inf, 2.0, 0.0});
+  store.add(1, {100.0, 1.0, 0.0});
+  PiecewiseInterpolation interp = PiecewiseInterpolation::from_store(store);
+  EXPECT_DOUBLE_EQ(interp.correct(1, 25.0), 25.5);  // ramp unaffected by poison
+  EXPECT_DOUBLE_EQ(interp.correct(1, 75.0), 76.0);
+  EXPECT_TRUE(std::isfinite(interp.correct(1, 5000.0)));
+}
+
+TEST(PiecewiseInterpolation, FromStoreAllPoisonedFallsBackToIdentity) {
+  const double inf = std::numeric_limits<double>::infinity();
+  OffsetStore store(1);
+  store.add(0, {0.0, inf, 0.0});
+  store.add(0, {1.0, -inf, 0.0});
+  PiecewiseInterpolation interp = PiecewiseInterpolation::from_store(store);
+  EXPECT_DOUBLE_EQ(interp.correct(0, 42.0), 42.0);
+}
+
+TEST(PiecewiseInterpolation, ExtrapolatesBoundarySegmentSlopes) {
+  // The documented extrapolation policy: before the first knot the *first*
+  // segment's slope extends backward; after the last knot the *last*
+  // segment's slope extends forward (Eq. 3 semantics at the boundaries).
+  OffsetStore store(2);
+  store.add(0, {0.0, 0.0, 0.0});
+  store.add(0, {100.0, 0.0, 0.0});
+  store.add(1, {0.0, 0.0, 0.0});     // -> master 0
+  store.add(1, {50.0, 1.0, 0.0});    // -> master 51: first slope 51/50
+  store.add(1, {100.0, 1.0, 0.0});   // -> master 101: last slope 50/50
+  PiecewiseInterpolation interp = PiecewiseInterpolation::from_store(store);
+  // Before: 0 - 10 * (51/50) = -10.2.
+  EXPECT_DOUBLE_EQ(interp.correct(1, -10.0), -10.2);
+  // After: 101 + 10 * 1.0 = 111.
+  EXPECT_DOUBLE_EQ(interp.correct(1, 110.0), 111.0);
+}
+
+TEST(PiecewiseInterpolation, OneKnotFallbackHasUnitSlopeBothSides) {
+  // The degenerate one-knot fallback appends a synthetic unit-slope segment;
+  // both boundary extrapolations must then be pure offset alignment.
+  OffsetStore store(1);
+  store.add(0, {5.0, 1.5, 1e-5});
+  store.add(0, {5.0, 1.9, 1e-5});
+  PiecewiseInterpolation interp = PiecewiseInterpolation::from_store(store);
+  EXPECT_DOUBLE_EQ(interp.correct(0, -95.0), -93.5);   // before the knot
+  EXPECT_DOUBLE_EQ(interp.correct(0, 1000.0), 1001.5); // after it
 }
 
 TEST(IdentityCorrection, IsIdentity) {

@@ -1,0 +1,180 @@
+#include "sync/kalman_drift.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "measure/offset_probe.hpp"
+#include "sync/interpolation.hpp"
+
+namespace chronosync {
+namespace {
+
+// Seeds rank 0 as the (exact) master reference, mirroring how probe batches
+// record the master's self-measurements.
+void seed_master(OffsetStore& store) {
+  store.add(0, {0.0, 0.0, 0.0});
+  store.add(0, {100.0, 0.0, 0.0});
+}
+
+double rms(const std::vector<double>& errors) {
+  double acc = 0.0;
+  for (double e : errors) acc += e * e;
+  return std::sqrt(acc / static_cast<double>(errors.size()));
+}
+
+// Golden: under pure constant drift Eq. 3's two-point line is the exact
+// model, so the Kalman filter must reproduce it (and the true master time)
+// to within the measurement-noise floor, not just compete with it.
+TEST(KalmanDriftCorrection, MatchesLinearInterpolationOnConstantDrift) {
+  const double drift = 5e-6;  // 5 ppm
+  const double offset0 = 0.25;
+  OffsetStore store(2);
+  seed_master(store);
+  for (int k = 0; k <= 20; ++k) {
+    const double w = 5.0 * k;
+    store.add(1, {w, offset0 + drift * w, 2e-6});
+  }
+  const auto kalman = KalmanDriftCorrection::from_store(store);
+  const auto linear = LinearInterpolation::from_store(store);
+  for (double w : {0.0, 13.7, 50.0, 77.3, 100.0}) {
+    const double truth = w + offset0 + drift * w;
+    EXPECT_NEAR(kalman.correct(1, w), truth, 1e-6) << "w=" << w;
+    EXPECT_NEAR(kalman.correct(1, w), linear.correct(1, w), 1e-6) << "w=" << w;
+  }
+  // Extrapolation slope is the boundary drift estimate, i.e. ~1 + drift.
+  EXPECT_NEAR(kalman.correct(1, 120.0), 120.0 + offset0 + drift * 120.0, 1e-5);
+  EXPECT_NEAR(kalman.correct(1, -20.0), -20.0 + offset0 + drift * -20.0, 1e-5);
+}
+
+// Property: when drift is a random walk — the paper's core premise — the
+// smoothed filter must beat the single mean-drift line of Eq. 3 on RMS error
+// against ground truth, evaluated *between* measurement instants where the
+// constant-drift assumption is maximally wrong.
+TEST(KalmanDriftCorrection, BeatsLinearInterpolationOnRandomWalkDrift) {
+  std::mt19937 rng(12345);
+  std::normal_distribution<double> step(0.0, 4e-7);
+  const double dt = 5.0;
+  double drift = 2e-6;
+  double offset = 0.1;
+  // knots[k] = {worker_time, true offset, drift over the following interval}.
+  struct Knot {
+    double w, o, d;
+  };
+  std::vector<Knot> knots;
+  OffsetStore store(2);
+  seed_master(store);
+  for (int k = 0; k <= 40; ++k) {
+    const double w = dt * k;
+    knots.push_back({w, offset, drift});
+    store.add(1, {w, offset, 2e-6});
+    offset += drift * dt;
+    drift += step(rng);
+  }
+  const auto kalman = KalmanDriftCorrection::from_store(store);
+  const auto linear = LinearInterpolation::from_store(store);
+  std::vector<double> kalman_err, linear_err;
+  for (std::size_t k = 0; k + 1 < knots.size(); ++k) {
+    const double w = knots[k].w + dt / 2.0;
+    const double truth = w + knots[k].o + knots[k].d * dt / 2.0;
+    kalman_err.push_back(kalman.correct(1, w) - truth);
+    linear_err.push_back(linear.correct(1, w) - truth);
+  }
+  EXPECT_LT(rms(kalman_err), rms(linear_err));
+  // Not marginal: the random walk wanders far from the mean line.
+  EXPECT_LT(rms(kalman_err), 0.5 * rms(linear_err));
+}
+
+// Determinism: same store, same options -> bit-identical states and
+// corrections.  The correction ships in the differential suite, whose
+// cross-checks assume reproducible outputs.
+TEST(KalmanDriftCorrection, IsBitwiseDeterministic) {
+  std::mt19937 rng(777);
+  std::normal_distribution<double> noise(0.0, 1e-6);
+  OffsetStore store(3);
+  seed_master(store);
+  for (Rank r = 1; r < 3; ++r) {
+    for (int k = 0; k <= 30; ++k) {
+      const double w = 3.0 * k;
+      store.add(r, {w, 0.01 * r + 3e-6 * w + noise(rng), 2e-6 + std::abs(noise(rng))});
+    }
+  }
+  const auto a = KalmanDriftCorrection::from_store(store);
+  const auto b = KalmanDriftCorrection::from_store(store);
+  for (Rank r = 0; r < 3; ++r) {
+    ASSERT_EQ(a.states(r).size(), b.states(r).size());
+    for (std::size_t i = 0; i < a.states(r).size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a.states(r)[i].offset),
+                std::bit_cast<std::uint64_t>(b.states(r)[i].offset));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a.states(r)[i].drift),
+                std::bit_cast<std::uint64_t>(b.states(r)[i].drift));
+    }
+    for (double w : {-5.0, 0.0, 17.3, 44.4, 90.0, 123.0}) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a.correct(r, w)),
+                std::bit_cast<std::uint64_t>(b.correct(r, w)));
+    }
+  }
+}
+
+// Degenerate stores degrade instead of crashing, matching the documented
+// from_store contract shared with the interpolation backends.
+TEST(KalmanDriftCorrection, SkipsPoisonedSamples) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  OffsetStore store(2);
+  seed_master(store);
+  for (int k = 0; k <= 10; ++k) store.add(1, {10.0 * k, 0.5, 2e-6});
+  store.add(1, {55.0, nan, 2e-6});
+  store.add(1, {inf, 1.0, 2e-6});
+  const auto kalman = KalmanDriftCorrection::from_store(store);
+  for (double w : {0.0, 50.0, 100.0, 500.0}) {
+    EXPECT_TRUE(std::isfinite(kalman.correct(1, w)));
+    EXPECT_NEAR(kalman.correct(1, w), w + 0.5, 1e-5);
+  }
+}
+
+TEST(KalmanDriftCorrection, SingleSampleFallsBackToOffsetAlignment) {
+  OffsetStore store(2);
+  seed_master(store);
+  store.add(1, {50.0, 1.25, 2e-6});
+  const auto kalman = KalmanDriftCorrection::from_store(store);
+  EXPECT_DOUBLE_EQ(kalman.correct(1, 0.0), 1.25);
+  EXPECT_DOUBLE_EQ(kalman.correct(1, 200.0), 201.25);
+}
+
+TEST(KalmanDriftCorrection, EmptyRankFallsBackToIdentity) {
+  OffsetStore store(2);
+  seed_master(store);
+  const auto kalman = KalmanDriftCorrection::from_store(store);
+  EXPECT_DOUBLE_EQ(kalman.correct(1, 42.0), 42.0);
+  EXPECT_DOUBLE_EQ(kalman.correct(1, -7.0), -7.0);
+  // The fallback is represented as a single zero-offset, zero-drift knot.
+  ASSERT_EQ(kalman.states(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(kalman.states(1)[0].offset, 0.0);
+  EXPECT_DOUBLE_EQ(kalman.states(1)[0].drift, 0.0);
+}
+
+TEST(KalmanDriftCorrection, TimeReversedSamplesAreSkippedInPlaceOrDropped) {
+  // Samples at the same worker_time update the same state in place; strictly
+  // earlier stragglers cannot create a non-monotone knot sequence.
+  OffsetStore store(2);
+  seed_master(store);
+  store.add(1, {0.0, 0.5, 2e-6});
+  store.add(1, {10.0, 0.5, 2e-6});
+  store.add(1, {10.0, 0.5, 2e-6});
+  store.add(1, {20.0, 0.5, 2e-6});
+  const auto kalman = KalmanDriftCorrection::from_store(store);
+  const auto& st = kalman.states(1);
+  for (std::size_t i = 1; i < st.size(); ++i) {
+    EXPECT_GT(st[i].worker_time, st[i - 1].worker_time);
+  }
+  EXPECT_NEAR(kalman.correct(1, 15.0), 15.5, 1e-5);
+}
+
+}  // namespace
+}  // namespace chronosync

@@ -2,6 +2,8 @@
 // correction stack without crashes.
 #include "verify/fault_injection.hpp"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "sync/interpolation.hpp"
@@ -140,6 +142,39 @@ TEST(FaultInjection, EmptyRanksClearsAlternatingRanks) {
   EXPECT_FALSE(holey.events(0).empty());
   EXPECT_FALSE(holey.events(2).empty());
   EXPECT_THROW(verify::with_empty_ranks(t, 1), std::invalid_argument);
+}
+
+TEST(FaultInjection, PoisonedProbesAppendNonFiniteSamples) {
+  const OffsetStore store = healthy_store();
+  const OffsetStore out = verify::with_poisoned_probes(store);
+  for (Rank r = 0; r < store.ranks(); ++r) {
+    ASSERT_EQ(out.of(r).size(), store.of(r).size() + 2);
+    // The original finite record survives verbatim (same order, same values).
+    std::size_t finite = 0;
+    for (const auto& m : out.of(r)) {
+      if (std::isfinite(m.worker_time) && std::isfinite(m.offset)) {
+        EXPECT_DOUBLE_EQ(m.worker_time, store.of(r)[finite].worker_time);
+        EXPECT_DOUBLE_EQ(m.offset, store.of(r)[finite].offset);
+        ++finite;
+      }
+    }
+    EXPECT_EQ(finite, store.of(r).size());
+  }
+}
+
+TEST(FaultInjection, PoisonedProbesFeedInterpolationSafely) {
+  // End-to-end regression for the non-finite-sample bug: a NaN offset used to
+  // flow straight into the Eq. 3 endpoints and poison every corrected
+  // timestamp.  The from_store screening now drops it.
+  const OffsetStore out = verify::with_poisoned_probes(healthy_store());
+  const LinearInterpolation lin = LinearInterpolation::from_store(out);
+  const PiecewiseInterpolation pw = PiecewiseInterpolation::from_store(out);
+  for (double w : {0.0, 10.0, 50.0, 90.0, 1000.0}) {
+    EXPECT_TRUE(std::isfinite(lin.correct(1, w))) << w;
+    EXPECT_TRUE(std::isfinite(pw.correct(1, w))) << w;
+  }
+  EXPECT_DOUBLE_EQ(lin.correct(1, 10.0), 11.0);
+  EXPECT_DOUBLE_EQ(pw.correct(1, 10.0), 11.0);
 }
 
 TEST(FaultInjection, EveryClassHasAName) {

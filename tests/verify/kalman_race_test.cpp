@@ -1,0 +1,67 @@
+// The Kalman accuracy race as a verify-label gate: on the committed drift
+// scenarios the model-based filter must beat (or, under constant drift,
+// match) Eq. 3 linear interpolation against mpisim ground truth.  This
+// duplicates the scenarios' own expect.accuracy blocks on purpose — the race
+// stays enforced by `ctest -L verify` even if a scenario file is edited.
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "verify/differential.hpp"
+
+namespace chronosync::scenario {
+namespace {
+
+verify::MethodAccuracy find_accuracy(const ScenarioOutcome& out, const std::string& name) {
+  const auto it = std::find_if(out.accuracy.begin(), out.accuracy.end(),
+                               [&](const auto& a) { return a.name == name; });
+  EXPECT_NE(it, out.accuracy.end()) << name << " missing from scenario accuracy record";
+  return it == out.accuracy.end() ? verify::MethodAccuracy{} : *it;
+}
+
+ScenarioOutcome run_named(const std::string& stem) {
+  const ScenarioSpec spec =
+      load_scenario_file(std::string(CHRONOSYNC_SCENARIO_DIR) + "/" + stem + ".json");
+  ScenarioRunOptions opts;
+  opts.work_dir = testing::TempDir();
+  return run_scenario(spec, opts);
+}
+
+TEST(KalmanRace, MatchesLinearOnConstantDrift) {
+  // With wander disabled Eq. 3 is the exactly right model; the filter must
+  // land within the probe-noise floor of it, not merely in the same decade.
+  const ScenarioOutcome out = run_named("constant-drift");
+  EXPECT_TRUE(out.ok()) << out.summary();
+  const auto kalman = find_accuracy(out, "kalman-drift");
+  const auto linear = find_accuracy(out, "linear-interpolation");
+  EXPECT_TRUE(std::isfinite(kalman.rms_error));
+  EXPECT_LE(kalman.rms_error, linear.rms_error + 2.0e-6);
+}
+
+TEST(KalmanRace, BeatsLinearOnRandomWalkWander) {
+  const ScenarioOutcome out = run_named("random-walk-wander");
+  EXPECT_TRUE(out.ok()) << out.summary();
+  const auto kalman = find_accuracy(out, "kalman-drift");
+  const auto linear = find_accuracy(out, "linear-interpolation");
+  EXPECT_LT(kalman.rms_error, 0.95 * linear.rms_error);
+}
+
+TEST(KalmanRace, BeatsLinearOnObservableDvfsStorm) {
+  // The *observable* storm: the cycle counter steps through DVFS levels while
+  // the run executes, so the periodic probes see the excursions.  (The
+  // injected-storm sibling scenario rewrites local_ts after the fact and is
+  // invisible to every probe-based method by construction — see
+  // EXPERIMENTS.md.)
+  const ScenarioOutcome out = run_named("drift-storm-dvfs-observable");
+  EXPECT_TRUE(out.ok()) << out.summary();
+  const auto kalman = find_accuracy(out, "kalman-drift");
+  const auto linear = find_accuracy(out, "linear-interpolation");
+  EXPECT_LT(kalman.rms_error, 0.95 * linear.rms_error);
+}
+
+}  // namespace
+}  // namespace chronosync::scenario

@@ -14,6 +14,20 @@
 //       it, audits each output, compares all outputs pairwise (CLC serial vs
 //       parallel must be bit-identical), and cross-checks the scanners.
 //
+//   chronocheck --method <name> [--ranks N --rounds R --seed S --probe-every K]
+//       Runs one named correction method (vocabulary: verify::
+//       all_method_names()) on the synthetic fixture, audits its output
+//       (zero slack for clock-restoring methods), and prints its RMS error
+//       against the simulator's ground-truth master time next to the raw and
+//       linear-interpolation baselines.  An unknown name exits 4 with one
+//       typed line, exactly like an invalid scenario config.
+//
+//   chronocheck --omp [--threads T --rounds R --seed S]
+//       Races the OpenMP CLC backend differentially on a POMP benchmark
+//       trace: merged output vs the sequential CLC on the thread-split trace
+//       (bit-identical), serial vs parallel CLC on the POMP schedule
+//       (bit-identical), and a zero-slack invariant audit.
+//
 //   chronocheck --faults [--ranks N --rounds R --seed S]
 //       Re-runs the synthetic differential suite under every fault class of
 //       verify/fault_injection.hpp.  Every class must complete with a clean
@@ -44,12 +58,14 @@
 // unexpected error; 3 trace i/o error (missing/truncated/corrupt trace file);
 // 4 scenario config error (missing file, malformed JSON, schema violation).
 // Every error path prints exactly one "chronocheck: ..." line on stderr.
+#include <algorithm>
 #include <exception>
 #include <iostream>
 #include <string>
 
 #include "common/cli.hpp"
 #include "obs/session.hpp"
+#include "ompsim/omp_bench.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
 #include "sync/replay.hpp"
@@ -74,6 +90,7 @@ AppRunResult make_fixture(const Cli& cli) {
   cfg.rounds = static_cast<int>(cli.get_int("rounds", 400));
   cfg.gap_mean = cli.get_double("gap", 3.0);
   cfg.collective_every = 50;
+  cfg.probe_every = static_cast<int>(cli.get_int("probe-every", 0));
   JobConfig job;
   job.placement = pinning::inter_node(clusters::xeon_rwth(),
                                       static_cast<int>(cli.get_int("ranks", 8)));
@@ -125,6 +142,75 @@ int run_synthetic(const Cli& cli) {
   return 0;
 }
 
+int run_method(const Cli& cli) {
+  const std::string name = cli.get("method", "");
+  const auto& known = verify::all_method_names();
+  if (std::find(known.begin(), known.end(), name) == known.end()) {
+    // The method vocabulary is closed and shared with the scenario layer's
+    // accuracy expectations; an unknown name is the same class of input
+    // error as an invalid config, so it takes the same typed exit path.
+    std::string vocabulary;
+    for (const auto& n : known) vocabulary += (vocabulary.empty() ? "" : ", ") + n;
+    throw scenario::ScenarioError(scenario::ScenarioErrorKind::Schema,
+                                  "--method \"" + name + "\" is not a known correction "
+                                  "method (known: " + vocabulary + ")");
+  }
+
+  const AppRunResult res = make_fixture(cli);
+  std::cout << "chronocheck: method " << name << " on " << res.trace.ranks() << " ranks, "
+            << res.trace.total_events() << " events\n";
+  const auto messages = res.trace.match_messages();
+  const auto logical = derive_logical_messages(res.trace);
+  const ReplaySchedule schedule(res.trace, messages, logical);
+  const auto outputs = verify::run_all_methods(res.trace, res.offsets, messages, schedule);
+
+  const verify::MethodOutput* selected = nullptr;
+  for (const auto& m : outputs) {
+    if (m.name == name) selected = &m;
+  }
+  if (selected == nullptr) {
+    std::cerr << "chronocheck: method " << name
+              << " was skipped on this fixture (probes unusable)\n";
+    return 1;
+  }
+
+  verify::VerifyOptions opt;
+  opt.clock_condition_slack =
+      selected->restores_clock_condition ? 0.0 : cli.get_double("slack", kTimeInfinity);
+  const verify::InvariantChecker checker(res.trace, schedule, opt);
+  const verify::VerifyReport report = checker.check(selected->ts);
+  std::cout << report.summary();
+
+  for (const auto& acc : verify::ground_truth_accuracy(res.trace, outputs)) {
+    if (acc.name == name || acc.name == "linear-interpolation" || acc.name == "raw") {
+      std::cout << "accuracy " << acc.name << ": rms " << acc.rms_error << " s, max |err| "
+                << acc.max_abs_error << " s\n";
+    }
+  }
+  if (!report.ok()) return 1;
+  std::cout << "ok: " << name << " passes its invariant audit\n";
+  return 0;
+}
+
+int run_omp(const Cli& cli) {
+  OmpBenchConfig cfg;
+  cfg.threads = static_cast<int>(cli.get_int("threads", 4));
+  cfg.regions = static_cast<int>(cli.get_int("rounds", 300));
+  cfg.seed = cli.get_seed();
+  const OmpBenchResult res = run_omp_benchmark(cfg);
+  std::cout << "chronocheck: omp CLC differential on " << cfg.threads << " threads, "
+            << res.trace.total_events() << " events\n";
+  const Placement pl = omp_thread_placement(cfg.node, cfg.threads);
+  std::vector<std::string> failures;
+  const std::size_t n = verify::cross_check_omp_clc(res.trace, pl, failures);
+  std::cout << "omp differential: " << n << " comparison(s), " << failures.size()
+            << " contract failure(s)\n";
+  for (const auto& f : failures) std::cout << "FAIL " << f << "\n";
+  if (!failures.empty()) return 1;
+  std::cout << "ok: omp CLC bit-identical to the sequential CLC and audit-clean\n";
+  return 0;
+}
+
 int run_faults(const Cli& cli) {
   const AppRunResult res = make_fixture(cli);
   const std::uint64_t seed = cli.get_seed();
@@ -140,6 +226,9 @@ int run_faults(const Cli& cli) {
           break;
         case verify::FaultClass::DuplicateProbes:
           offsets = verify::with_duplicate_probes(offsets);
+          break;
+        case verify::FaultClass::PoisonedProbes:
+          offsets = verify::with_poisoned_probes(offsets);
           break;
         case verify::FaultClass::ClockStep: {
           const auto& events = trace.events(0);
@@ -242,6 +331,14 @@ int main(int argc, char** argv) {
       rc |= run_synthetic(cli);
       ran = true;
     }
+    if (cli.has("method")) {
+      rc |= run_method(cli);
+      ran = true;
+    }
+    if (cli.has("omp")) {
+      rc |= run_omp(cli);
+      ran = true;
+    }
     if (cli.has("faults")) {
       rc |= run_faults(cli);
       ran = true;
@@ -272,6 +369,9 @@ int main(int argc, char** argv) {
       std::cerr << "usage: chronocheck <trace-file> [--slack S] [--strict]\n"
                    "       chronocheck --synthetic [--ranks N --rounds R --seed S "
                    "--tolerance T]\n"
+                   "       chronocheck --method <name> [--ranks N --rounds R --seed S "
+                   "--probe-every K --slack S]\n"
+                   "       chronocheck --omp [--threads T --rounds R --seed S]\n"
                    "       chronocheck --faults [--ranks N --rounds R --seed S]\n"
                    "       chronocheck --stream [--ranks N --rounds R --seed S "
                    "--emit-batch B --backward-window W --work-dir D --input F]\n"
