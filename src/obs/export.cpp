@@ -1,0 +1,226 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "benchkit/json.hpp"
+#include "benchkit/metrics.hpp"
+#include "common/expect.hpp"
+
+namespace chronosync::obs {
+
+namespace {
+
+// %.17g with integral values printed without a decimal point — the same
+// contract as JsonValue::dump(), so parse(write(x)) reproduces x exactly.
+void put_number(std::string& out, double v) {
+  char buf[32];
+  if (v == static_cast<long long>(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  out += buf;
+}
+
+// JSON has no literal for non-finite numbers; emit null so a reader sees a
+// typed schema violation instead of silently mangled text.
+void put_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  put_number(out, v);
+}
+
+// Prometheus names allow [a-zA-Z_:][a-zA-Z0-9_:]*; everything else (the
+// registry's dots in particular) becomes '_'.
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':' ||
+                    (!out.empty() && c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  if (out.empty()) return "_";
+  return out;
+}
+
+void put_prom_value(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "NaN";
+  } else if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+  } else {
+    put_number(out, v);
+  }
+}
+
+template <class Writer>
+void write_file_or_throw(const std::string& path, Writer&& writer) {
+  std::ofstream out(path, std::ios::trunc);
+  CS_REQUIRE(out.good(), "cannot open metrics output file '" + path + "'");
+  writer(out);
+  out.flush();
+  CS_REQUIRE(out.good(), "writing metrics output file '" + path + "' failed");
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out, const std::string& suite, Level level) {
+  const auto metrics = metrics_snapshot();
+  std::string buf;
+  buf.reserve(64 + metrics.size() * 48);
+  buf += "{\"schema\":";
+  buf += benchkit::json_escape(kMetricsSchema);
+  buf += ",\"suite\":";
+  buf += benchkit::json_escape(suite);
+  buf += ",\"obs_level\":";
+  buf += benchkit::json_escape(to_string(level));
+  buf += ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, value] : metrics) {
+    if (!first) buf += ',';
+    first = false;
+    buf += benchkit::json_escape(name);
+    buf += ':';
+    put_json_number(buf, value);
+  }
+  buf += "}}\n";
+  out << buf;
+}
+
+void write_metrics_json_file(const std::string& path, const std::string& suite, Level level) {
+  write_file_or_throw(path,
+                      [&](std::ostream& out) { write_metrics_json(out, suite, level); });
+}
+
+void write_metrics_prometheus(std::ostream& out) {
+  const RegistryDump dump = dump_registry();
+  std::string buf;
+
+  for (const auto& [name, value] : dump.counters) {
+    const std::string p = prom_name(name);
+    buf += "# TYPE " + p + " counter\n" + p + " ";
+    put_number(buf, static_cast<double>(value));
+    buf += '\n';
+  }
+  for (const auto& [name, value] : dump.gauges) {
+    const std::string p = prom_name(name);
+    buf += "# TYPE " + p + " gauge\n" + p + " ";
+    put_prom_value(buf, value);
+    buf += '\n';
+  }
+  for (const auto& h : dump.histograms) {
+    const std::string p = prom_name(h.name);
+    buf += "# TYPE " + p + " gauge\n";
+    const std::pair<const char*, double> fields[] = {
+        {"count", static_cast<double>(h.count)}, {"mean", h.mean}, {"min", h.min}, {"max", h.max}};
+    for (const auto& [field, value] : fields) {
+      buf += p + "{stat=\"" + field + "\"} ";
+      put_prom_value(buf, value);
+      buf += '\n';
+    }
+  }
+  for (const auto& q : dump.quantiles) {
+    const std::string p = prom_name(q.name);
+    buf += "# TYPE " + p + " gauge\n";
+    const std::pair<const char*, double> qs[] = {{"0.5", q.snap.quantile(0.50)},
+                                                 {"0.9", q.snap.quantile(0.90)},
+                                                 {"0.99", q.snap.quantile(0.99)},
+                                                 {"0.999", q.snap.quantile(0.999)}};
+    for (const auto& [label, value] : qs) {
+      buf += p + "{quantile=\"" + label + "\"} ";
+      put_prom_value(buf, value);
+      buf += '\n';
+    }
+    buf += p + "_count ";
+    put_number(buf, static_cast<double>(q.snap.count));
+    buf += '\n';
+  }
+  out << buf;
+}
+
+void write_metrics_prometheus_file(const std::string& path) {
+  write_file_or_throw(path, [](std::ostream& out) { write_metrics_prometheus(out); });
+}
+
+void write_metrics_file(const std::string& path, const std::string& suite, Level level) {
+  const auto dot = path.rfind('.');
+  const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+  if (ext == ".prom" || ext == ".txt") {
+    write_metrics_prometheus_file(path);
+  } else {
+    write_metrics_json_file(path, suite, level);
+  }
+}
+
+std::vector<std::pair<std::string, double>> read_metrics_json(const std::string& text) {
+  benchkit::JsonValue doc;
+  try {
+    doc = benchkit::JsonValue::parse(text);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(std::string("metrics snapshot is not valid JSON: ") + e.what());
+  }
+  if (!doc.is_object()) throw std::invalid_argument("metrics snapshot is not a JSON object");
+  const benchkit::JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string())
+    throw std::invalid_argument("metrics snapshot is missing its \"schema\" marker");
+  if (schema->as_string() != kMetricsSchema)
+    throw std::invalid_argument("metrics snapshot has schema '" + schema->as_string() +
+                                "' (expected '" + kMetricsSchema + "')");
+  const benchkit::JsonValue* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object())
+    throw std::invalid_argument("metrics snapshot is missing its \"metrics\" object");
+
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(metrics->members().size());
+  for (const auto& [name, value] : metrics->members()) {
+    if (!value.is_number())
+      throw std::invalid_argument("metric '" + name + "' is not a number");
+    out.emplace_back(name, value.as_number());
+  }
+  return out;
+}
+
+ResourceSampler::ResourceSampler(std::chrono::milliseconds period) {
+  if (period < std::chrono::milliseconds(1)) period = std::chrono::milliseconds(1);
+  worker_ = std::thread([this, period] {
+    Gauge& rss = gauge("process.rss_bytes");
+    Gauge& peak = gauge("process.peak_rss_bytes");
+    Gauge& cpu_user = gauge("process.cpu_user_s");
+    Gauge& cpu_sys = gauge("process.cpu_sys_s");
+    Counter& ticks = counter("obs.sampler_ticks");
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      lock.unlock();
+      const benchkit::ResourceUsage u = benchkit::sample_resource_usage();
+      rss.set(static_cast<double>(u.current_rss_bytes));
+      peak.set(static_cast<double>(u.peak_rss_bytes));
+      cpu_user.set(static_cast<double>(u.cpu_user_ns) * 1e-9);
+      cpu_sys.set(static_cast<double>(u.cpu_sys_ns) * 1e-9);
+      ticks.add(1);
+      lock.lock();
+      if (cv_.wait_for(lock, period, [this] { return stopping_; })) return;
+    }
+  });
+}
+
+void ResourceSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+ResourceSampler::~ResourceSampler() { stop(); }
+
+}  // namespace chronosync::obs

@@ -1,6 +1,8 @@
 #include "obs/registry.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 
 #include "common/expect.hpp"
@@ -9,6 +11,28 @@
 namespace chronosync::obs {
 
 namespace {
+
+/// min/max maintenance for QuantileHisto: a CAS loop whose result depends
+/// only on the set of values offered, not the order they race in.
+void atomic_fmin(std::atomic<std::uint64_t>& bits, double x) {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  while (x < std::bit_cast<double>(cur)) {
+    if (bits.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(x),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void atomic_fmax(std::atomic<std::uint64_t>& bits, double x) {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  while (x > std::bit_cast<double>(cur)) {
+    if (bits.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(x),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
 
 /// Sequential id per thread; shard index = id % kMetricShards.  Ids are
 /// assigned lazily so short-lived helper threads don't exhaust anything.
@@ -24,6 +48,7 @@ struct RegistryStore {
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<Gauge>> gauges;
   std::map<std::string, std::unique_ptr<Histo>> histograms;
+  std::map<std::string, std::unique_ptr<QuantileHisto>> quantiles;
 };
 
 RegistryStore& store() {
@@ -86,6 +111,100 @@ RunningStats Histo::merged_stats() const {
   return out;
 }
 
+std::size_t QuantileSnapshot::bucket_index(double x) {
+  // frexp writes x = m * 2^e with m in [0.5, 1); the sub-bucket is the
+  // mantissa scaled linearly across the octave.  Exact powers of two land on
+  // sub-bucket 0 of their own octave, so bucket_lo is an inclusive bound.
+  if (!std::isfinite(x)) return kQuantileBuckets - 1;  // +inf clamps to the top
+  int e = 0;
+  const double m = std::frexp(x, &e);
+  const int octave = e - 1 - kQuantileMinExp;  // x in [2^(e-1), 2^e)
+  if (octave < 0) return 0;
+  if (octave >= kQuantileMaxExp - kQuantileMinExp) return kQuantileBuckets - 1;
+  int sub = static_cast<int>((m - 0.5) * 2.0 * kQuantileSubBuckets);
+  sub = std::min(sub, kQuantileSubBuckets - 1);
+  return static_cast<std::size_t>(octave) * kQuantileSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+double QuantileSnapshot::bucket_lo(std::size_t i) {
+  // Must mirror bucket_index exactly: sub-buckets split each octave linearly
+  // in the mantissa, so sub-bucket s of octave o covers
+  // [2^(minexp+o) * (1 + s/16), 2^(minexp+o) * (1 + (s+1)/16)).
+  const std::size_t octave = i / kQuantileSubBuckets;
+  const std::size_t sub = i % kQuantileSubBuckets;
+  return std::exp2(kQuantileMinExp + static_cast<int>(octave)) *
+         (1.0 + static_cast<double>(sub) / static_cast<double>(kQuantileSubBuckets));
+}
+
+double QuantileSnapshot::bucket_hi(std::size_t i) { return bucket_lo(i + 1); }
+
+double QuantileSnapshot::bucket_mid(std::size_t i) {
+  // Geometric midpoint: halves the worst-case relative error either way
+  // (largest bucket ratio is 17/16, so the estimate is within ~3.1%).
+  return std::sqrt(bucket_lo(i) * bucket_hi(i));
+}
+
+double QuantileSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(clamped * static_cast<double>(count)));
+  rank = std::max<std::uint64_t>(rank, 1);
+  if (rank <= underflow) return min;
+  std::uint64_t cum = underflow;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (cum >= rank) return std::clamp(bucket_mid(i), min, max);
+  }
+  return max;  // unreachable when count is consistent with the buckets
+}
+
+QuantileHisto::QuantileHisto(std::string name)
+    : name_(std::move(name)),
+      min_bits_(std::bit_cast<std::uint64_t>(std::numeric_limits<double>::infinity())),
+      max_bits_(std::bit_cast<std::uint64_t>(-std::numeric_limits<double>::infinity())) {
+  shards_.reserve(kMetricShards);
+  for (std::size_t i = 0; i < kMetricShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void QuantileHisto::add(double x) {
+  if (!metrics_enabled()) return;
+  Shard& s = *shards_[shard_index()];
+  if (std::isnan(x)) {
+    s.invalid.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (x < QuantileSnapshot::bucket_lo(0)) {
+    s.underflow.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    s.buckets[QuantileSnapshot::bucket_index(x)].fetch_add(1, std::memory_order_relaxed);
+  }
+  atomic_fmin(min_bits_, x);
+  atomic_fmax(max_bits_, x);
+}
+
+QuantileSnapshot QuantileHisto::snapshot() const {
+  QuantileSnapshot snap;
+  snap.buckets.assign(kQuantileBuckets, 0);
+  for (const auto& s : shards_) {
+    snap.underflow += s->underflow.load(std::memory_order_relaxed);
+    snap.invalid += s->invalid.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kQuantileBuckets; ++i) {
+      snap.buckets[i] += s->buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  snap.count = snap.underflow;
+  for (const std::uint64_t c : snap.buckets) snap.count += c;
+  const double lo = std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+  const double hi = std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+  snap.min = snap.count > 0 ? lo : 0.0;
+  snap.max = snap.count > 0 ? hi : 0.0;
+  return snap;
+}
+
 Counter& counter(const std::string& name) {
   RegistryStore& s = store();
   const std::lock_guard<std::mutex> lock(s.mu);
@@ -110,21 +229,56 @@ Histo& histogram(const std::string& name, double lo, double hi, std::size_t bins
   return *slot;
 }
 
-std::vector<std::pair<std::string, double>> metrics_snapshot() {
+QuantileHisto& quantile_histogram(const std::string& name) {
   RegistryStore& s = store();
-  std::vector<std::pair<std::string, double>> out;
   const std::lock_guard<std::mutex> lock(s.mu);
-  out.reserve(s.counters.size() + s.gauges.size() + 4 * s.histograms.size());
-  for (const auto& [name, c] : s.counters) {
-    out.emplace_back(name, static_cast<double>(c->value()));
-  }
-  for (const auto& [name, g] : s.gauges) out.emplace_back(name, g->value());
+  auto& slot = s.quantiles[name];
+  if (!slot) slot = std::make_unique<QuantileHisto>(name);
+  return *slot;
+}
+
+RegistryDump dump_registry() {
+  RegistryStore& s = store();
+  RegistryDump dump;
+  const std::lock_guard<std::mutex> lock(s.mu);
+  dump.counters.reserve(s.counters.size());
+  for (const auto& [name, c] : s.counters) dump.counters.emplace_back(name, c->value());
+  dump.gauges.reserve(s.gauges.size());
+  for (const auto& [name, g] : s.gauges) dump.gauges.emplace_back(name, g->value());
+  dump.histograms.reserve(s.histograms.size());
   for (const auto& [name, h] : s.histograms) {
     const RunningStats st = h->merged_stats();
-    out.emplace_back(name + ".count", static_cast<double>(st.count()));
-    out.emplace_back(name + ".mean", st.empty() ? 0.0 : st.mean());
-    out.emplace_back(name + ".min", st.empty() ? 0.0 : st.min());
-    out.emplace_back(name + ".max", st.empty() ? 0.0 : st.max());
+    dump.histograms.push_back({name, st.count(), st.empty() ? 0.0 : st.mean(),
+                               st.empty() ? 0.0 : st.min(), st.empty() ? 0.0 : st.max()});
+  }
+  dump.quantiles.reserve(s.quantiles.size());
+  for (const auto& [name, q] : s.quantiles) dump.quantiles.push_back({name, q->snapshot()});
+  return dump;
+}
+
+std::vector<std::pair<std::string, double>> metrics_snapshot() {
+  const RegistryDump dump = dump_registry();
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(dump.counters.size() + dump.gauges.size() + 4 * dump.histograms.size() +
+              7 * dump.quantiles.size());
+  for (const auto& [name, v] : dump.counters) {
+    out.emplace_back(name, static_cast<double>(v));
+  }
+  for (const auto& [name, v] : dump.gauges) out.emplace_back(name, v);
+  for (const auto& h : dump.histograms) {
+    out.emplace_back(h.name + ".count", static_cast<double>(h.count));
+    out.emplace_back(h.name + ".mean", h.mean);
+    out.emplace_back(h.name + ".min", h.min);
+    out.emplace_back(h.name + ".max", h.max);
+  }
+  for (const auto& q : dump.quantiles) {
+    out.emplace_back(q.name + ".count", static_cast<double>(q.snap.count));
+    out.emplace_back(q.name + ".min", q.snap.min);
+    out.emplace_back(q.name + ".max", q.snap.max);
+    out.emplace_back(q.name + ".p50", q.snap.quantile(0.50));
+    out.emplace_back(q.name + ".p90", q.snap.quantile(0.90));
+    out.emplace_back(q.name + ".p99", q.snap.quantile(0.99));
+    out.emplace_back(q.name + ".p999", q.snap.quantile(0.999));
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -145,6 +299,19 @@ void reset_registry_values() {
       shard->bins = Histogram(h->lo_, h->hi_, h->nbins_);
       shard->stats = RunningStats();
     }
+  }
+  for (auto& [name, q] : s.quantiles) {
+    for (auto& shard : q->shards_) {
+      shard->underflow.store(0, std::memory_order_relaxed);
+      shard->invalid.store(0, std::memory_order_relaxed);
+      for (auto& bucket : shard->buckets) bucket.store(0, std::memory_order_relaxed);
+    }
+    q->min_bits_.store(
+        std::bit_cast<std::uint64_t>(std::numeric_limits<double>::infinity()),
+        std::memory_order_relaxed);
+    q->max_bits_.store(
+        std::bit_cast<std::uint64_t>(-std::numeric_limits<double>::infinity()),
+        std::memory_order_relaxed);
   }
 }
 

@@ -5,7 +5,10 @@
 // atomic shards (a thread picks its shard once, from a sequential thread id);
 // gauges are a single atomic last-writer-wins cell; histograms reuse
 // common/statistics.hpp bins, one Histogram + RunningStats per shard merged
-// at snapshot time under per-shard mutexes.
+// at snapshot time under per-shard mutexes.  QuantileHisto is the lock-free
+// variant for latency distributions: log-bucketed atomic counts whose merged
+// snapshot (and therefore every extracted quantile) is a pure function of the
+// multiset of added values — deterministic under any concurrent interleaving.
 //
 // Handles returned by counter()/gauge()/histogram() are stable for the
 // process lifetime; look them up once (function-local static or member) and
@@ -94,6 +97,73 @@ class Histo {
   friend void reset_registry_values();
 };
 
+/// Log-bucketed quantile layout shared by QuantileHisto and its snapshots:
+/// each power-of-two octave in [2^kQuantileMinExp, 2^kQuantileMaxExp) is
+/// split into kQuantileSubBuckets linear-in-mantissa sub-buckets (HdrHistogram
+/// style), covering sub-picoseconds to months when the unit is seconds.
+/// Values below the range (including zero and negatives) fall into a
+/// dedicated underflow bucket, values above are clamped into the top bucket,
+/// and NaN is tallied separately.  The widest bucket spans a ratio of 17/16,
+/// so a geometric-midpoint estimate has worst-case relative error
+/// sqrt(17/16) - 1, about 3.1%.
+inline constexpr int kQuantileSubBuckets = 16;
+inline constexpr int kQuantileMinExp = -40;
+inline constexpr int kQuantileMaxExp = 24;
+inline constexpr std::size_t kQuantileBuckets =
+    static_cast<std::size_t>(kQuantileMaxExp - kQuantileMinExp) * kQuantileSubBuckets;
+
+/// Merged, immutable view of a QuantileHisto: integer bucket counts plus
+/// exact min/max.  Because the counts are integers, the snapshot — and every
+/// quantile read from it — depends only on the multiset of added values,
+/// never on thread interleaving or shard assignment.
+struct QuantileSnapshot {
+  std::uint64_t count = 0;      ///< finite samples (underflow included)
+  std::uint64_t underflow = 0;  ///< samples below the bucketed range (<= 0 too)
+  std::uint64_t invalid = 0;    ///< NaN samples; never in count or a bucket
+  double min = 0.0;             ///< exact smallest finite sample (0 when empty)
+  double max = 0.0;             ///< exact largest finite sample (0 when empty)
+  std::vector<std::uint64_t> buckets;  ///< kQuantileBuckets merged counts
+
+  bool empty() const { return count == 0; }
+  /// Quantile by bucket walk: the value returned is the geometric midpoint
+  /// of the bucket holding the ceil(q*count)-th smallest sample, clamped
+  /// into [min, max]; q in [0, 1].  0 when empty.
+  double quantile(double q) const;
+
+  /// Bucket geometry, exposed for golden tests and exporters.
+  static std::size_t bucket_index(double x);
+  static double bucket_lo(std::size_t i);
+  static double bucket_hi(std::size_t i);
+  static double bucket_mid(std::size_t i);
+};
+
+/// Lock-free sharded quantile histogram: add() is one relaxed fetch_add on
+/// the caller's shard (plus CAS min/max maintenance), snapshot() merges the
+/// integer counts deterministically.  There is deliberately no mean/sum —
+/// a floating-point accumulation would make the merge order-dependent.
+class QuantileHisto {
+ public:
+  explicit QuantileHisto(std::string name);
+
+  void add(double x);
+  QuantileSnapshot snapshot() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<std::uint64_t> underflow{0};
+    std::atomic<std::uint64_t> invalid{0};
+    Shard() : buckets(kQuantileBuckets) {}
+  };
+  std::string name_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> min_bits_;
+  std::atomic<std::uint64_t> max_bits_;
+
+  friend void reset_registry_values();
+};
+
 /// Interned lookup; creates on first use.  Thread-safe; the returned
 /// reference is valid for the process lifetime.
 Counter& counter(const std::string& name);
@@ -101,10 +171,31 @@ Gauge& gauge(const std::string& name);
 /// lo/hi/bins are fixed by the first registration of `name`; later lookups
 /// with different parameters get the existing histogram.
 Histo& histogram(const std::string& name, double lo, double hi, std::size_t bins);
+QuantileHisto& quantile_histogram(const std::string& name);
+
+/// Typed snapshot of the whole registry (every metric family separately),
+/// the substrate for the JSON/Prometheus exporters in obs/export.hpp.
+struct RegistryDump {
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  struct HistoDump {
+    std::string name;
+    std::uint64_t count = 0;
+    double mean = 0.0, min = 0.0, max = 0.0;
+  };
+  std::vector<HistoDump> histograms;
+  struct QuantileDump {
+    std::string name;
+    QuantileSnapshot snap;
+  };
+  std::vector<QuantileDump> quantiles;
+};
+RegistryDump dump_registry();
 
 /// Flat snapshot of every registered metric, sorted by name:
 ///   counters as `<name>`, gauges as `<name>`, histograms as
-///   `<name>.count/.mean/.min/.max`.
+///   `<name>.count/.mean/.min/.max`, quantile histograms as
+///   `<name>.count/.min/.max/.p50/.p90/.p99/.p999`.
 std::vector<std::pair<std::string, double>> metrics_snapshot();
 
 /// Zeroes every registered metric's value (registrations survive).

@@ -1,14 +1,12 @@
 #include "obs/session.hpp"
 
+#include <chrono>
 #include <cstdlib>
-#include <ctime>
 #include <utility>
 
-#include "benchkit/metrics.hpp"
-#include "benchkit/reporter.hpp"
-#include "benchkit/runner.hpp"
 #include "common/expect.hpp"
 #include "common/log.hpp"
+#include "obs/export.hpp"
 #include "obs/registry.hpp"
 
 namespace chronosync::obs {
@@ -41,35 +39,39 @@ ObsSession::ObsSession(const Cli& cli, std::string suite)
       metrics_out_(cli.get("metrics-out", "")) {
   level_ = resolve_level(cli, trace_out_, metrics_out_);
   set_level(level_);
+
+  const std::int64_t sample_ms = cli.get_int("obs-sample-ms", 0);
+  CS_REQUIRE(sample_ms >= 0, "invalid --obs-sample-ms " + std::to_string(sample_ms) +
+                                 " (expected a positive period in milliseconds)");
+  if (sample_ms > 0 && level_ >= Level::Metrics) {
+    sampler_ = std::make_unique<ResourceSampler>(std::chrono::milliseconds(sample_ms));
+  }
+}
+
+std::pair<std::string, std::string> ObsSession::claim_outputs() {
+  return {std::exchange(trace_out_, std::string()), std::exchange(metrics_out_, std::string())};
+}
+
+void ObsSession::write_artifacts(const std::string& trace_path,
+                                 const std::string& metrics_path) const {
+  if (!trace_path.empty()) {
+    write_chrome_trace_file(trace_path);
+    const TraceStats stats = trace_stats();
+    CS_LOG_INFO << "obs: wrote " << trace_path << " (" << stats.spans << " spans, "
+                << stats.counter_samples << " counter samples, " << stats.dropped
+                << " dropped, " << stats.threads << " threads)";
+  }
+  if (!metrics_path.empty()) {
+    write_metrics_file(metrics_path, suite_, level_);
+    CS_LOG_INFO << "obs: wrote " << metrics_path;
+  }
 }
 
 void ObsSession::finish() {
   if (finished_) return;
   finished_ = true;
-
-  if (!trace_out_.empty()) {
-    write_chrome_trace_file(trace_out_);
-    const TraceStats stats = trace_stats();
-    CS_LOG_INFO << "obs: wrote " << trace_out_ << " (" << stats.spans << " spans, "
-                << stats.counter_samples << " counter samples, " << stats.dropped
-                << " dropped, " << stats.threads << " threads)";
-  }
-
-  if (!metrics_out_.empty()) {
-    benchkit::BenchRecord record;
-    record.suite = suite_;
-    record.name = "obs_metrics";
-    record.kind = "metric";
-    record.config = {{"obs_level", to_string(level_)}};
-    record.metrics = metrics_snapshot();
-    record.peak_rss_bytes =
-        static_cast<std::int64_t>(benchkit::sample_resource_usage().peak_rss_bytes);
-    record.git_sha = benchkit::Harness::git_sha();
-    record.timestamp = static_cast<std::int64_t>(std::time(nullptr));
-    benchkit::JsonReporter(metrics_out_).append(record);
-    CS_LOG_INFO << "obs: wrote " << metrics_out_ << " (" << record.metrics.size()
-                << " metrics)";
-  }
+  sampler_.reset();  // joins the sampler thread; its last tick lands first
+  write_artifacts(trace_out_, metrics_out_);
 }
 
 ObsSession::~ObsSession() {

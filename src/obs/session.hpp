@@ -6,18 +6,27 @@
 //   --obs-level {off,metrics,trace}   explicit level; unknown values throw
 //   --trace-out <file>                Chrome trace JSON; implies `trace`
 //                                     when --obs-level is absent
-//   --metrics-out <file>              benchkit JSON-lines metrics snapshot;
-//                                     implies at least `metrics`
+//   --metrics-out <file>              metrics snapshot (chronosync-metrics-v1
+//                                     JSON, or Prometheus text when the file
+//                                     ends in .prom/.txt); implies at least
+//                                     `metrics`
+//   --obs-sample-ms <n>               background RSS/CPU sampler period; runs
+//                                     only when the level is at least
+//                                     `metrics` (n must be positive)
 //   CHRONOSYNC_OBS={off,metrics,trace}  fallback when --obs-level is absent
 //                                       (outputs still imply their level)
 #pragma once
 
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "common/cli.hpp"
 #include "obs/obs.hpp"
 
 namespace chronosync::obs {
+
+class ResourceSampler;
 
 class ObsSession {
  public:
@@ -25,9 +34,9 @@ class ObsSession {
   /// metrics records written by finish() (conventionally the binary name).
   ObsSession(const Cli& cli, std::string suite);
 
-  /// Writes --trace-out and --metrics-out if requested; idempotent, so an
-  /// explicit call (preferred: it propagates I/O errors) makes the
-  /// destructor a no-op.
+  /// Stops the sampler and writes --trace-out and --metrics-out if still
+  /// owned (see claim_outputs); idempotent, so an explicit call (preferred:
+  /// it propagates I/O errors) makes the destructor a no-op.
   void finish();
 
   /// finish() swallowing exceptions (logged), for abnormal exits.
@@ -35,6 +44,17 @@ class ObsSession {
 
   ObsSession(const ObsSession&) = delete;
   ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Transfers ownership of the requested output paths to the caller and
+  /// clears them here, so finish() writes nothing.  Battery mode uses this to
+  /// emit one artifact pair per scenario (derived from the claimed paths)
+  /// instead of a single cumulative artifact at exit.
+  std::pair<std::string, std::string> claim_outputs();
+
+  /// Writes the trace and/or metrics artifacts for the current registry/ring
+  /// state to the given paths (either may be empty to skip).  `suite` tags
+  /// the metrics document; used by battery mode between scenarios.
+  void write_artifacts(const std::string& trace_path, const std::string& metrics_path) const;
 
   Level level() const { return level_; }
   const std::string& trace_out() const { return trace_out_; }
@@ -46,6 +66,7 @@ class ObsSession {
   std::string metrics_out_;
   Level level_ = Level::Off;
   bool finished_ = false;
+  std::unique_ptr<ResourceSampler> sampler_;
 };
 
 }  // namespace chronosync::obs

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "clockmodel/timer_spec.hpp"
+#include "obs/obs.hpp"
+#include "obs/registry.hpp"
 #include "scenario/workload.hpp"
 #include "sync/clc.hpp"
 #include "sync/interpolation.hpp"
@@ -166,6 +168,24 @@ void check_expectations(const ExpectSpec& expect, ScenarioOutcome& out) {
   }
 }
 
+// Phase harness: one span on the trace timeline plus the phase's wall time
+// fed into the scenario.phase_seconds quantile histogram (tail-latency view
+// across phases and scenarios).  Span names must be string literals.
+template <class Fn>
+decltype(auto) timed_phase(const char* name, Fn&& fn) {
+  obs::Span span(name);
+  struct PhaseTimer {
+    std::uint64_t t0;
+    ~PhaseTimer() {
+      if (t0 != 0) {
+        obs::quantile_histogram("scenario.phase_seconds")
+            .add(static_cast<double>(obs::now_ns() - t0) * 1e-9);
+      }
+    }
+  } timer{obs::metrics_enabled() ? obs::now_ns() : 0};
+  return fn();
+}
+
 bool probes_usable(const Trace& trace, const OffsetStore& offsets) {
   if (offsets.ranks() != trace.ranks()) return false;
   for (Rank r = 0; r < offsets.ranks(); ++r) {
@@ -177,12 +197,17 @@ bool probes_usable(const Trace& trace, const OffsetStore& offsets) {
 }  // namespace
 
 ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioRunOptions& options) {
+  CS_SPAN("scenario.run");
+  obs::counter("scenario.runs").add(1);
+
   ScenarioOutcome out;
   out.name = spec.name;
 
-  AppRunResult res = run_workload(spec);
-  const Trace trace = apply_clock_faults(std::move(res.trace), spec.clock);
+  AppRunResult res = timed_phase("scenario.simulate", [&] { return run_workload(spec); });
+  const Trace trace = timed_phase(
+      "scenario.inject", [&] { return apply_clock_faults(std::move(res.trace), spec.clock); });
   out.events = trace.total_events();
+  obs::counter("scenario.events").add(static_cast<std::int64_t>(out.events));
 
   const auto messages = trace.match_messages();
   const auto logical = derive_logical_messages(trace);
@@ -191,13 +216,16 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioRunOptions&
   // Raw census: how badly do the recorded timestamps violate the paper's
   // invariants before any correction runs?
   const verify::InvariantChecker strict(trace, schedule, {});
-  const verify::VerifyReport raw = strict.check(TimestampArray::from_local(trace));
+  const verify::VerifyReport raw = timed_phase(
+      "scenario.audit_raw", [&] { return strict.check(TimestampArray::from_local(trace)); });
   out.raw_violations = raw.count(verify::InvariantKind::ClockCondition);
   out.raw_worst = raw.worst_slack(verify::InvariantKind::ClockCondition);
   out.raw_structural = raw.total() - out.raw_violations;
+  obs::counter("scenario.raw_violations").add(static_cast<std::int64_t>(out.raw_violations));
 
   // Every method, every pairwise contract, every scanner.
-  const verify::DifferentialReport diff = verify::run_differential_suite(trace, res.offsets);
+  const verify::DifferentialReport diff = timed_phase(
+      "scenario.differential", [&] { return verify::run_differential_suite(trace, res.offsets); });
   out.differential_clean = diff.ok();
   out.accuracy = diff.accuracy;
   if (!diff.ok()) {
@@ -205,28 +233,35 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioRunOptions&
   }
 
   // The headline repair path: interpolated input -> CLC -> zero-slack audit.
-  const TimestampArray input =
-      probes_usable(trace, res.offsets)
-          ? apply_correction(trace, LinearInterpolation::from_store(res.offsets))
-          : TimestampArray::from_local(trace);
-  const ClcResult clc = controlled_logical_clock(trace, schedule, input);
+  auto [input, clc] = timed_phase("scenario.repair", [&] {
+    TimestampArray in =
+        probes_usable(trace, res.offsets)
+            ? apply_correction(trace, LinearInterpolation::from_store(res.offsets))
+            : TimestampArray::from_local(trace);
+    ClcResult result = controlled_logical_clock(trace, schedule, in);
+    return std::pair(std::move(in), std::move(result));
+  });
   out.clc_repairs = clc.violations_repaired;
-  const verify::VerifyReport audit = strict.check_correction(input, clc.corrected);
+  obs::counter("scenario.clc_repairs").add(static_cast<std::int64_t>(out.clc_repairs));
+  const verify::VerifyReport audit = timed_phase(
+      "scenario.audit_repair", [&] { return strict.check_correction(input, clc.corrected); });
   out.clc_audit_violations = audit.total();
 
   if (spec.stream.enabled) {
-    StreamClcOptions stream_opt;
-    stream_opt.backward_window = spec.stream.backward_window;
-    stream_opt.horizon = spec.stream.horizon;
-    stream_opt.emit_batch = static_cast<std::size_t>(spec.stream.emit_batch);
-    std::vector<std::string> stream_failures;
-    verify::cross_check_windowed_clc(trace, options.work_dir, stream_opt, stream_failures);
-    out.stream_checked = true;
-    out.stream_identical = stream_failures.empty();
-    // The cross-check's own stats are not returned; re-derive the headline
-    // counters from a direct run only when someone asks for them in summary()
-    // — the identity verdict above is what the expectations consume.
-    for (const auto& f : stream_failures) out.failures.push_back("stream: " + f);
+    timed_phase("scenario.stream_check", [&] {
+      StreamClcOptions stream_opt;
+      stream_opt.backward_window = spec.stream.backward_window;
+      stream_opt.horizon = spec.stream.horizon;
+      stream_opt.emit_batch = static_cast<std::size_t>(spec.stream.emit_batch);
+      std::vector<std::string> stream_failures;
+      verify::cross_check_windowed_clc(trace, options.work_dir, stream_opt, stream_failures);
+      out.stream_checked = true;
+      out.stream_identical = stream_failures.empty();
+      // The cross-check's own stats are not returned; re-derive the headline
+      // counters from a direct run only when someone asks for them in summary()
+      // — the identity verdict above is what the expectations consume.
+      for (const auto& f : stream_failures) out.failures.push_back("stream: " + f);
+    });
   }
 
   // Contract failures above are reported unconditionally; the declared

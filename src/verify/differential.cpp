@@ -11,6 +11,8 @@
 #include "common/expect.hpp"
 #include "common/log.hpp"
 #include "common/mathutil.hpp"
+#include "obs/obs.hpp"
+#include "obs/registry.hpp"
 #include "sync/clc.hpp"
 #include "sync/clc_parallel.hpp"
 #include "sync/error_estimation.hpp"
@@ -44,25 +46,50 @@ bool store_has_two_samples_per_rank(const OffsetStore& offsets) {
   return offsets.ranks() > 0;
 }
 
+// Builds one MethodOutput under a span named for the method (span names must
+// be string literals — the obs ring stores the pointer, hence the explicit
+// `span_name` beside the owned `name`), feeding the method's wall time into
+// the verify.method_seconds quantile histogram.
+template <class Fn>
+MethodOutput timed_method(const char* span_name, std::string name, bool restores, Fn&& build) {
+  obs::Span span(span_name);
+  const std::uint64_t t0 = obs::metrics_enabled() ? obs::now_ns() : 0;
+  MethodOutput out{std::move(name), build(), restores};
+  if (t0 != 0) {
+    obs::quantile_histogram("verify.method_seconds")
+        .add(static_cast<double>(obs::now_ns() - t0) * 1e-9);
+  }
+  obs::counter("verify.methods_run").add(1);
+  return out;
+}
+
 }  // namespace
 
 std::vector<MethodOutput> run_all_methods(const Trace& trace, const OffsetStore& offsets,
                                           const std::vector<MessageRecord>& messages,
                                           const ReplaySchedule& schedule) {
+  CS_SPAN("verify.run_all_methods");
   std::vector<MethodOutput> out;
-  out.push_back({"raw", TimestampArray::from_local(trace), false});
+  out.push_back(timed_method("verify.method.raw", "raw", false,
+                             [&] { return TimestampArray::from_local(trace); }));
 
   const bool have_probes = store_has_two_samples_per_rank(offsets);
   if (offsets.ranks() == trace.ranks() && have_probes) {
-    out.push_back({"offset-alignment",
-                   apply_correction(trace, OffsetAlignment::from_store(offsets)), false});
-    out.push_back({"linear-interpolation",
-                   apply_correction(trace, LinearInterpolation::from_store(offsets)), false});
+    out.push_back(timed_method("verify.method.offset-alignment", "offset-alignment", false, [&] {
+      return apply_correction(trace, OffsetAlignment::from_store(offsets));
+    }));
     out.push_back(
-        {"piecewise-interpolation",
-         apply_correction(trace, PiecewiseInterpolation::from_store(offsets)), false});
-    out.push_back({"kalman-drift",
-                   apply_correction(trace, KalmanDriftCorrection::from_store(offsets)), false});
+        timed_method("verify.method.linear-interpolation", "linear-interpolation", false, [&] {
+          return apply_correction(trace, LinearInterpolation::from_store(offsets));
+        }));
+    out.push_back(timed_method("verify.method.piecewise-interpolation",
+                               "piecewise-interpolation", false, [&] {
+                                 return apply_correction(
+                                     trace, PiecewiseInterpolation::from_store(offsets));
+                               }));
+    out.push_back(timed_method("verify.method.kalman-drift", "kalman-drift", false, [&] {
+      return apply_correction(trace, KalmanDriftCorrection::from_store(offsets));
+    }));
   } else {
     CS_LOG_WARN << "differential: offset store incomplete; skipping the "
                    "probe-based corrections";
@@ -70,27 +97,35 @@ std::vector<MethodOutput> run_all_methods(const Trace& trace, const OffsetStore&
 
   for (const auto method : {EstimationMethod::Regression, EstimationMethod::ConvexHull,
                             EstimationMethod::MinMax}) {
-    out.push_back(
-        {"error-estimation-" + to_string(method),
-         apply_correction(trace, ErrorEstimationCorrection::build(trace, messages, method)),
-         false});
+    const char* span_name = method == EstimationMethod::Regression
+                                ? "verify.method.error-estimation-regression"
+                                : method == EstimationMethod::ConvexHull
+                                      ? "verify.method.error-estimation-convex-hull"
+                                      : "verify.method.error-estimation-min-max";
+    out.push_back(timed_method(span_name, "error-estimation-" + to_string(method), false, [&] {
+      return apply_correction(trace,
+                              ErrorEstimationCorrection::build(trace, messages, method));
+    }));
   }
 
   const TimestampArray input =
       have_probes && offsets.ranks() == trace.ranks()
           ? apply_correction(trace, LinearInterpolation::from_store(offsets))
           : TimestampArray::from_local(trace);
-  out.push_back({"interpolation+clc-serial",
-                 controlled_logical_clock(trace, schedule, input).corrected, true});
+  out.push_back(
+      timed_method("verify.method.interpolation+clc-serial", "interpolation+clc-serial", true,
+                   [&] { return controlled_logical_clock(trace, schedule, input).corrected; }));
   // Force real concurrency: the differential contract must exercise the
   // cross-thread protocol even on small synthetic traces, which the
   // min_events_per_thread guard would otherwise collapse to a solo run.
-  ClcOptions parallel_options;
-  parallel_options.min_events_per_thread = 1;
-  out.push_back(
-      {"interpolation+clc-parallel",
-       controlled_logical_clock_parallel(trace, schedule, input, parallel_options).corrected,
-       true});
+  out.push_back(timed_method("verify.method.interpolation+clc-parallel",
+                             "interpolation+clc-parallel", true, [&] {
+                               ClcOptions parallel_options;
+                               parallel_options.min_events_per_thread = 1;
+                               return controlled_logical_clock_parallel(trace, schedule, input,
+                                                                        parallel_options)
+                                   .corrected;
+                             }));
   return out;
 }
 
@@ -113,6 +148,7 @@ const std::vector<std::string>& all_method_names() {
 
 std::vector<MethodAccuracy> ground_truth_accuracy(const Trace& trace,
                                                   const std::vector<MethodOutput>& outputs) {
+  CS_SPAN("verify.accuracy_race");
   // Master timeline: the piecewise-linear map true time -> rank-0 local time.
   // A perfect correction maps every worker timestamp onto this line, so the
   // residual against it is the method's absolute error.
@@ -154,6 +190,7 @@ std::vector<MethodAccuracy> ground_truth_accuracy(const Trace& trace,
 DifferentialReport compare_methods(const Trace& trace,
                                    const std::vector<MethodOutput>& outputs,
                                    double tolerance) {
+  CS_SPAN("verify.compare_methods");
   CS_REQUIRE(tolerance >= 0.0, "tolerance must be non-negative");
   DifferentialReport report;
   for (std::size_t a = 0; a < outputs.size(); ++a) {
@@ -234,6 +271,7 @@ void compare_reports(const char* what, const ClockConditionReport& a,
 
 std::size_t cross_check_scans(const Trace& trace, const ReplaySchedule& schedule,
                               std::vector<std::string>& failures) {
+  CS_SPAN("verify.cross_check_scans");
   const TimestampArray local = TimestampArray::from_local(trace);
   const ClockConditionReport full = check_clock_condition(trace, local);
   const ClockConditionReport csr = check_clock_condition(trace, local, schedule);
@@ -250,6 +288,7 @@ std::size_t cross_check_scans(const Trace& trace, const ReplaySchedule& schedule
 std::size_t cross_check_windowed_clc(const Trace& trace, const std::string& work_dir,
                                      const StreamClcOptions& options,
                                      std::vector<std::string>& failures) {
+  CS_SPAN("verify.cross_check_windowed_clc");
   const std::string in_path = work_dir + "/windowed_clc_in.cstr";
   const std::string out_path = work_dir + "/windowed_clc_out.cstr";
   write_trace_v2_file(trace, in_path);
@@ -332,6 +371,7 @@ std::size_t cross_check_windowed_clc(const Trace& trace, const std::string& work
 
 std::size_t cross_check_omp_clc(const Trace& omp_trace, const Placement& thread_placement,
                                 std::vector<std::string>& failures) {
+  CS_SPAN("verify.cross_check_omp_clc");
   const Trace threads = split_omp_threads(omp_trace, thread_placement);
   const auto logical = derive_omp_logical_messages(threads);
   const ReplaySchedule schedule(threads, {}, logical);
@@ -415,6 +455,7 @@ std::string DifferentialReport::summary() const {
 
 DifferentialReport run_differential_suite(const Trace& trace, const OffsetStore& offsets,
                                           double tolerance) {
+  CS_SPAN("verify.run_differential_suite");
   const auto messages = trace.match_messages();
   const auto logical = derive_logical_messages(trace);
   const ReplaySchedule schedule(trace, messages, logical);
@@ -424,20 +465,24 @@ DifferentialReport run_differential_suite(const Trace& trace, const OffsetStore&
   report.accuracy = ground_truth_accuracy(trace, outputs);
   cross_check_scans(trace, schedule, report.failures);
 
-  // Invariant audit: CLC outputs must be exactly clean; every other method
-  // must at least keep timestamps finite and local order intact.
-  for (const auto& m : outputs) {
-    VerifyOptions opt;
-    opt.clock_condition_slack = m.restores_clock_condition ? 0.0 : kTimeInfinity;
-    const InvariantChecker checker(trace, schedule, opt);
-    const VerifyReport audit = checker.check(m.ts);
-    if (!audit.ok()) {
-      std::ostringstream os;
-      os << m.name << ": invariant audit found " << audit.total() << " violation(s)\n"
-         << audit.summary();
-      report.failures.push_back(os.str());
+  {
+    // Invariant audit: CLC outputs must be exactly clean; every other method
+    // must at least keep timestamps finite and local order intact.
+    CS_SPAN("verify.audit");
+    for (const auto& m : outputs) {
+      VerifyOptions opt;
+      opt.clock_condition_slack = m.restores_clock_condition ? 0.0 : kTimeInfinity;
+      const InvariantChecker checker(trace, schedule, opt);
+      const VerifyReport audit = checker.check(m.ts);
+      if (!audit.ok()) {
+        std::ostringstream os;
+        os << m.name << ": invariant audit found " << audit.total() << " violation(s)\n"
+           << audit.summary();
+        report.failures.push_back(os.str());
+      }
     }
   }
+  obs::counter("verify.contract_failures").add(static_cast<std::int64_t>(report.failures.size()));
   return report;
 }
 

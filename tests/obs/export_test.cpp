@@ -1,0 +1,169 @@
+// Tests for the metrics exporters (obs/export.hpp): JSON snapshot
+// round-trip (write -> parse -> bit-identical values), Prometheus text
+// shape, schema validation failure modes, extension dispatch, and the
+// background resource sampler.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "obs/registry.hpp"
+
+namespace chronosync::obs {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_level(Level::Off);
+    reset();
+  }
+  void TearDown() override {
+    set_level(Level::Off);
+    reset();
+  }
+};
+
+/// A registry population with awkward doubles: values that only survive a
+/// text round-trip when the writer prints full precision.
+void populate_registry() {
+  counter("test.exp_counter").add(7);
+  gauge("test.exp_gauge").set(0.1);
+  gauge("test.exp_tiny").set(4.9406564584124654e-324);  // min subnormal
+  Histo& h = histogram("test.exp_histo", 0.0, 10.0, 5);
+  h.add(1.0 / 3.0);
+  h.add(2.0 / 3.0);
+  QuantileHisto& q = quantile_histogram("test.exp_quant");
+  for (int i = 1; i <= 100; ++i) q.add(static_cast<double>(i) * 1e-3);
+}
+
+TEST_F(ExportTest, JsonSnapshotRoundTripsBitForBit) {
+  set_level(Level::Metrics);
+  populate_registry();
+
+  std::ostringstream os;
+  write_metrics_json(os, "export-test", Level::Metrics);
+  const auto parsed = read_metrics_json(os.str());
+  const auto expected = metrics_snapshot();
+
+  ASSERT_EQ(parsed.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(parsed[i].first, expected[i].first);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed[i].second),
+              std::bit_cast<std::uint64_t>(expected[i].second))
+        << expected[i].first << ": " << parsed[i].second << " vs " << expected[i].second;
+  }
+}
+
+TEST_F(ExportTest, JsonCarriesSchemaSuiteAndLevel) {
+  set_level(Level::Metrics);
+  std::ostringstream os;
+  write_metrics_json(os, "export-test", Level::Trace);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("\"schema\":\"chronosync-metrics-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"suite\":\"export-test\""), std::string::npos);
+  EXPECT_NE(doc.find("\"obs_level\":\"trace\""), std::string::npos);
+}
+
+TEST_F(ExportTest, ReadRejectsEverySchemaViolation) {
+  EXPECT_THROW(read_metrics_json("not json at all"), std::invalid_argument);
+  EXPECT_THROW(read_metrics_json("[1,2,3]"), std::invalid_argument);
+  EXPECT_THROW(read_metrics_json("{\"metrics\":{}}"), std::invalid_argument);  // no marker
+  EXPECT_THROW(read_metrics_json("{\"schema\":\"other-v9\",\"metrics\":{}}"),
+               std::invalid_argument);
+  EXPECT_THROW(read_metrics_json("{\"schema\":\"chronosync-metrics-v1\"}"),
+               std::invalid_argument);  // no metrics object
+  EXPECT_THROW(read_metrics_json("{\"schema\":\"chronosync-metrics-v1\",\"metrics\":[]}"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      read_metrics_json("{\"schema\":\"chronosync-metrics-v1\",\"metrics\":{\"x\":\"y\"}}"),
+      std::invalid_argument);
+  // The minimal valid document parses to zero metrics.
+  EXPECT_TRUE(
+      read_metrics_json("{\"schema\":\"chronosync-metrics-v1\",\"metrics\":{}}").empty());
+}
+
+TEST_F(ExportTest, PrometheusTextShape) {
+  set_level(Level::Metrics);
+  populate_registry();
+
+  std::ostringstream os;
+  write_metrics_prometheus(os);
+  const std::string text = os.str();
+
+  // Names sanitized to [a-zA-Z0-9_:]; counters typed counter, the rest gauge.
+  EXPECT_NE(text.find("# TYPE test_exp_counter counter\ntest_exp_counter 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_exp_gauge gauge\ntest_exp_gauge 0.1"), std::string::npos);
+  EXPECT_NE(text.find("test_exp_histo{stat=\"count\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("test_exp_quant{quantile=\"0.5\"} "), std::string::npos);
+  EXPECT_NE(text.find("test_exp_quant{quantile=\"0.999\"} "), std::string::npos);
+  EXPECT_NE(text.find("test_exp_quant_count 100\n"), std::string::npos);
+  // The registry's dotted names never leak into an exposition name.
+  EXPECT_EQ(text.find("test.exp"), std::string::npos);
+}
+
+TEST_F(ExportTest, FileDispatchPicksFormatFromExtension) {
+  set_level(Level::Metrics);
+  counter("test.exp_dispatch").add(1);
+
+  const std::string json_path = "export_test_dispatch.json";
+  const std::string prom_path = "export_test_dispatch.prom";
+  write_metrics_file(json_path, "export-test", Level::Metrics);
+  write_metrics_file(prom_path, "export-test", Level::Metrics);
+
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const std::string json_text = slurp(json_path);
+  const std::string prom_text = slurp(prom_path);
+  std::remove(json_path.c_str());
+  std::remove(prom_path.c_str());
+
+  EXPECT_NE(json_text.find("\"schema\":\"chronosync-metrics-v1\""), std::string::npos);
+  EXPECT_FALSE(read_metrics_json(json_text).empty());
+  EXPECT_EQ(prom_text.rfind("# TYPE ", 0), 0u);  // Prometheus exposition, not JSON
+
+  EXPECT_THROW(write_metrics_json_file("no_such_dir/x.json", "export-test", Level::Metrics),
+               std::invalid_argument);
+}
+
+TEST_F(ExportTest, ResourceSamplerRecordsGaugesAndTicks) {
+  set_level(Level::Metrics);
+  {
+    ResourceSampler sampler(std::chrono::milliseconds(1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    sampler.stop();  // idempotent with the destructor
+  }
+  EXPECT_GE(counter("obs.sampler_ticks").value(), 1);
+  EXPECT_GT(gauge("process.peak_rss_bytes").value(), 0.0);
+  EXPECT_GE(gauge("process.cpu_user_s").value(), 0.0);
+
+  // With metrics off the sampler thread runs but every update is gated off.
+  set_level(Level::Off);
+  reset();
+  {
+    ResourceSampler sampler(std::chrono::milliseconds(1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  set_level(Level::Metrics);
+  EXPECT_EQ(counter("obs.sampler_ticks").value(), 0);
+}
+
+}  // namespace
+}  // namespace chronosync::obs

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -298,6 +302,129 @@ TEST_F(ObsTest, RegistryAggregatesAcrossThreadsAndSnapshots) {
   reset();
   EXPECT_EQ(counter("test.reg_counter").value(), 0);
   EXPECT_EQ(histogram("test.reg_histo", 0.0, 100.0, 10).merged_stats().count(), 0u);
+}
+
+TEST_F(ObsTest, QuantileHistoGoldenQuantilesOnKnownDistributions) {
+  set_level(Level::Metrics);
+  // Uniform 1..1000 ms: the true q-quantile is q seconds; the log-bucketed
+  // estimate must land within one bucket ratio (2^(1/16), < 4.5% relative).
+  QuantileHisto& uniform = quantile_histogram("test.q_uniform");
+  for (int i = 1; i <= 1000; ++i) uniform.add(static_cast<double>(i) * 1e-3);
+  const QuantileSnapshot u = uniform.snapshot();
+  EXPECT_EQ(u.count, 1000u);
+  EXPECT_EQ(u.underflow, 0u);
+  EXPECT_EQ(u.invalid, 0u);
+  EXPECT_EQ(u.min, 1e-3);  // min/max are exact, not bucketed
+  EXPECT_EQ(u.max, 1.0);
+  constexpr double kRelTol = 0.045;
+  EXPECT_NEAR(u.quantile(0.50), 0.500, 0.500 * kRelTol);
+  EXPECT_NEAR(u.quantile(0.90), 0.900, 0.900 * kRelTol);
+  EXPECT_NEAR(u.quantile(0.99), 0.990, 0.990 * kRelTol);
+  EXPECT_NEAR(u.quantile(0.999), 0.999, 0.999 * kRelTol);
+
+  // Bimodal 90/10: the tail quantiles must jump to the far mode.
+  QuantileHisto& bimodal = quantile_histogram("test.q_bimodal");
+  for (int i = 0; i < 90; ++i) bimodal.add(1.0);
+  for (int i = 0; i < 10; ++i) bimodal.add(100.0);
+  const QuantileSnapshot b = bimodal.snapshot();
+  EXPECT_NEAR(b.quantile(0.50), 1.0, 1.0 * kRelTol);
+  EXPECT_NEAR(b.quantile(0.90), 1.0, 1.0 * kRelTol);
+  EXPECT_NEAR(b.quantile(0.99), 100.0, 100.0 * kRelTol);
+  EXPECT_NEAR(b.quantile(1.0), 100.0, 100.0 * kRelTol);
+}
+
+TEST_F(ObsTest, QuantileHistoEdgeSemantics) {
+  set_level(Level::Metrics);
+  QuantileHisto& q = quantile_histogram("test.q_edges");
+
+  // Below-range samples (zero and negatives included) land in the underflow
+  // bucket but still update the exact min.
+  q.add(0.0);
+  q.add(-5.0);
+  QuantileSnapshot snap = q.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.underflow, 2u);
+  EXPECT_EQ(snap.min, -5.0);
+  EXPECT_EQ(snap.max, 0.0);
+  EXPECT_EQ(snap.quantile(0.0), -5.0);  // any rank inside the underflow -> min
+
+  // NaN is tallied separately and never contributes to count or quantiles.
+  q.add(std::numeric_limits<double>::quiet_NaN());
+  snap = q.snapshot();
+  EXPECT_EQ(snap.invalid, 1u);
+  EXPECT_EQ(snap.count, 2u);
+
+  // reset() zeroes the shards and the exact min/max.
+  reset();
+  snap = quantile_histogram("test.q_edges").snapshot();
+  EXPECT_TRUE(snap.empty());
+  EXPECT_EQ(snap.underflow, 0u);
+  EXPECT_EQ(snap.invalid, 0u);
+  EXPECT_EQ(snap.min, 0.0);
+  EXPECT_EQ(snap.max, 0.0);
+
+  // With metrics off, add() is a no-op beyond the level check.
+  set_level(Level::Off);
+  quantile_histogram("test.q_edges").add(1.0);
+  EXPECT_TRUE(quantile_histogram("test.q_edges").snapshot().empty());
+}
+
+TEST_F(ObsTest, QuantileHistoShardMergeIsDeterministicUnderConcurrentAdd) {
+  set_level(Level::Metrics);
+  // The same multiset added concurrently from 8 threads and serially from
+  // one must produce bit-identical snapshots: integer bucket counts merge
+  // commutatively and min/max maintenance is order-independent.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  auto value_at = [](int index) {
+    // Deterministic spread over ~6 decades, underflow included.
+    const double base = std::exp2(static_cast<double>(index % 40) - 20.0);
+    return (index % 97 == 0) ? -base : base * (1.0 + 1e-3 * (index % 13));
+  };
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t, value_at] {
+      QuantileHisto& q = quantile_histogram("test.q_concurrent");
+      for (int i = 0; i < kPerThread; ++i) q.add(value_at(t * kPerThread + i));
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  const QuantileSnapshot concurrent = quantile_histogram("test.q_concurrent").snapshot();
+
+  QuantileHisto& serial = quantile_histogram("test.q_serial");
+  for (int i = 0; i < kThreads * kPerThread; ++i) serial.add(value_at(i));
+  const QuantileSnapshot expected = serial.snapshot();
+
+  EXPECT_EQ(concurrent.count, expected.count);
+  EXPECT_EQ(concurrent.underflow, expected.underflow);
+  EXPECT_EQ(concurrent.invalid, expected.invalid);
+  EXPECT_EQ(concurrent.buckets, expected.buckets);
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(concurrent.quantile(q)),
+              std::bit_cast<std::uint64_t>(expected.quantile(q)))
+        << "quantile " << q;
+  }
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(concurrent.min),
+            std::bit_cast<std::uint64_t>(expected.min));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(concurrent.max),
+            std::bit_cast<std::uint64_t>(expected.max));
+}
+
+TEST_F(ObsTest, QuantileHistoSurfacesInMetricsSnapshot) {
+  set_level(Level::Metrics);
+  QuantileHisto& q = quantile_histogram("test.q_snapshot");
+  for (int i = 1; i <= 100; ++i) q.add(static_cast<double>(i));
+
+  std::map<std::string, double> snap;
+  for (const auto& [name, value] : metrics_snapshot()) snap[name] = value;
+  EXPECT_EQ(snap.at("test.q_snapshot.count"), 100.0);
+  EXPECT_EQ(snap.at("test.q_snapshot.min"), 1.0);
+  EXPECT_EQ(snap.at("test.q_snapshot.max"), 100.0);
+  EXPECT_EQ(snap.at("test.q_snapshot.p50"), q.snapshot().quantile(0.5));
+  EXPECT_EQ(snap.at("test.q_snapshot.p90"), q.snapshot().quantile(0.9));
+  EXPECT_EQ(snap.at("test.q_snapshot.p99"), q.snapshot().quantile(0.99));
+  EXPECT_EQ(snap.at("test.q_snapshot.p999"), q.snapshot().quantile(0.999));
 }
 
 }  // namespace

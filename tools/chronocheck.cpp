@@ -54,16 +54,26 @@
 //       reproducible corpus seed for the fuzz battery and the exit-code
 //       regression tests).
 //
+// Observability (every mode): --obs-level {off,metrics,trace} selects the
+// level, --trace-out F writes a Chrome trace, --metrics-out F writes a
+// chronosync-metrics-v1 snapshot (Prometheus text when F ends in .prom/.txt),
+// --obs-sample-ms N runs the background RSS/CPU sampler.  Battery mode
+// derives one artifact pair per scenario from the requested paths and resets
+// the recorded state between entries.  Invalid values for any of these exit 2
+// with one typed line, like every other usage error.
+//
 // Exit codes: 0 all checks passed; 1 a requested check failed; 2 usage or
 // unexpected error; 3 trace i/o error (missing/truncated/corrupt trace file);
 // 4 scenario config error (missing file, malformed JSON, schema violation).
 // Every error path prints exactly one "chronocheck: ..." line on stderr.
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <iostream>
 #include <string>
 
 #include "common/cli.hpp"
+#include "obs/obs.hpp"
 #include "obs/session.hpp"
 #include "ompsim/omp_bench.hpp"
 #include "scenario/runner.hpp"
@@ -293,20 +303,50 @@ int run_one_scenario(const std::string& path, const scenario::ScenarioRunOptions
   return outcome.ok() ? 0 : 1;
 }
 
-int run_scenario_battery(const std::string& dir, const scenario::ScenarioRunOptions& opts) {
+// Derives a per-scenario artifact path from the battery's requested output:
+// the scenario file's stem lands before the output's extension, so
+// `--metrics-out m.json` over drift-storm.json writes m.drift-storm.json.
+std::string per_scenario_path(const std::string& requested, const std::string& scenario_path) {
+  if (requested.empty()) return requested;
+  const auto slash = scenario_path.find_last_of('/');
+  std::string stem =
+      slash == std::string::npos ? scenario_path : scenario_path.substr(slash + 1);
+  if (stem.size() > 5 && stem.ends_with(".json")) stem.resize(stem.size() - 5);
+  const auto dot = requested.rfind('.');
+  if (dot == std::string::npos) return requested + "." + stem;
+  return requested.substr(0, dot) + "." + stem + requested.substr(dot);
+}
+
+int run_scenario_battery(const std::string& dir, const scenario::ScenarioRunOptions& opts,
+                         obs::ObsSession& obs_session) {
   const std::vector<std::string> files = scenario::list_scenario_files(dir);
   if (files.empty()) {
     std::cerr << "chronocheck: no *.json scenarios in " << dir << "\n";
     return 2;
   }
+  // Per-scenario artifacts: the battery owns the output paths from here on
+  // (the session's end-of-run write is disarmed) and emits one artifact pair
+  // per scenario, with the rings and registry reset in between so no file is
+  // cumulative across entries.
+  const auto [trace_req, metrics_req] = obs_session.claim_outputs();
   int rc = 0;
   int failed = 0;
+  double total_wall = 0.0;
   for (const std::string& path : files) {
+    obs::reset();
+    const auto t0 = std::chrono::steady_clock::now();
     const int one = run_one_scenario(path, opts);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    total_wall += wall;
+    obs_session.write_artifacts(per_scenario_path(trace_req, path),
+                                per_scenario_path(metrics_req, path));
+    std::cout << "battery: " << path << " wall " << wall << " s\n";
     rc |= one;
     failed += one != 0 ? 1 : 0;
   }
-  std::cout << "battery: " << files.size() << " scenario(s), " << failed << " failed\n";
+  std::cout << "battery: " << files.size() << " scenario(s), " << failed
+            << " failed, total wall " << total_wall << " s\n";
   if (rc == 0) std::cout << "ok: scenario battery clean\n";
   return rc;
 }
@@ -354,7 +394,7 @@ int main(int argc, char** argv) {
       ran = true;
     }
     if (cli.has("scenario-battery")) {
-      rc |= run_scenario_battery(cli.get("scenario-battery", ""), scenario_opts);
+      rc |= run_scenario_battery(cli.get("scenario-battery", ""), scenario_opts, obs_session);
       ran = true;
     }
     if (cli.has("write-fixture")) {

@@ -1,5 +1,5 @@
-// chronoscope: offline viewer/validator for the Chrome trace-event JSON files
-// written by the obs layer (--trace-out).
+// chronoscope: offline analyzer/validator for the observability artifacts
+// written by the obs layer (--trace-out / --metrics-out).
 //
 //   chronoscope trace.json              summary: top spans by self time,
 //                                       per-thread utilization, counter stats
@@ -7,12 +7,30 @@
 //                                       the file parses, every B has a
 //                                       matching E, and timestamps are sane
 //   chronoscope --top N trace.json      rows in the span table (default 15)
+//   chronoscope --phases trace.json     per-phase breakdown under the
+//                                       dominant root span: wall, % of root,
+//                                       self time, and the unattributed gap
+//                                       (critical-path attribution for the
+//                                       serial scenario pipeline)
+//   chronoscope --metrics m.json        validate a chronosync-metrics-v1
+//                                       snapshot: schema marker, finite
+//                                       values, quantile monotonicity
+//                                       (p50 <= p90 <= p99 <= p999 within
+//                                       [min, max])
+//   chronoscope --diff A B [--threshold PCT]
+//                                       compare two artifacts (both metrics
+//                                       snapshots or both traces); exits 1
+//                                       when any gated value regressed by
+//                                       more than PCT percent (default 25):
+//                                       quantile keys for metrics, per-span
+//                                       wall time for traces
 //
-// Validation is strict in both modes: a malformed file fails the run.  The
-// summary relies on well-nested per-thread B/E sequences in array order,
-// which is what the obs writer guarantees.
+// Validation is strict in every mode: a malformed file fails the run (exit
+// 1; usage errors exit 2).  The summary relies on well-nested per-thread B/E
+// sequences in array order, which is what the obs writer guarantees.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -25,6 +43,7 @@
 #include "common/cli.hpp"
 #include "common/statistics.hpp"
 #include "common/table.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -36,6 +55,14 @@ struct SpanAgg {
   std::uint64_t count = 0;
   double total_us = 0.0;  // wall time inside the span, children included
   double self_us = 0.0;   // total minus directly nested children
+};
+
+struct ChildAgg {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double self_us = 0.0;
+  double first_ts = 0.0;  // earliest begin, orders phases by pipeline position
+  bool seen = false;
 };
 
 struct ThreadAgg {
@@ -60,6 +87,8 @@ struct OpenSpan {
 
 struct Analysis {
   std::map<std::string, SpanAgg> spans;
+  std::map<std::string, SpanAgg> roots;  // depth-0 spans only
+  std::map<std::string, std::map<std::string, ChildAgg>> children;  // parent -> direct child
   std::map<int, ThreadAgg> threads;
   std::map<std::string, CounterAgg> counters;
   std::uint64_t events = 0;
@@ -154,8 +183,20 @@ Analysis analyze(const JsonValue& doc) {
       ++th.spans;
       if (stack.empty()) {
         th.busy_us += dur;
+        SpanAgg& root = a.roots[name];
+        ++root.count;
+        root.total_us += dur;
+        root.self_us += dur - span.child_us;
       } else {
         stack.back().child_us += dur;
+        ChildAgg& child = a.children[stack.back().name][name];
+        ++child.count;
+        child.total_us += dur;
+        child.self_us += dur - span.child_us;
+        if (!child.seen || span.ts < child.first_ts) {
+          child.first_ts = span.ts;
+          child.seen = true;
+        }
       }
     } else if (ph == "C") {
       const std::string name = require_string(event, "name", index);
@@ -239,37 +280,249 @@ void print_summary(const Analysis& a, int top) {
   }
 }
 
-}  // namespace
+/// Per-phase breakdown under the dominant depth-0 span: each direct child is
+/// one pipeline phase; wall share plus the unattributed gap attribute the
+/// root's critical path (the pipeline runs its phases serially, so the wall
+/// column *is* the critical-path cost of each phase).
+int print_phases(const Analysis& a) {
+  if (a.roots.empty()) fail("no completed depth-0 span to break down");
+  const auto root_it =
+      std::max_element(a.roots.begin(), a.roots.end(), [](const auto& x, const auto& y) {
+        return x.second.total_us < y.second.total_us;
+      });
+  const std::string& root_name = root_it->first;
+  const SpanAgg& root = root_it->second;
 
-int main(int argc, char** argv) {
-  const chronosync::Cli cli(argc, argv);
-  // `chronoscope --check trace.json` parses as option check=trace.json (the
-  // Cli treats the following token as the flag's value), so accept the path
-  // from either position.
-  std::string path;
-  if (cli.positional().size() == 1) {
-    path = cli.positional()[0];
-  } else if (cli.positional().empty() && cli.has("check") && cli.get("check", "1") != "1") {
-    path = cli.get("check", "");
-  } else {
-    std::cerr << "usage: chronoscope [--check] [--top N] <trace.json>\n";
-    return 2;
+  std::cout << "Phase breakdown for '" << root_name << "' (" << root.count << " run(s), total "
+            << format_us(root.total_us) << ")\n";
+
+  std::vector<std::pair<std::string, ChildAgg>> phases;
+  if (const auto it = a.children.find(root_name); it != a.children.end()) {
+    phases.assign(it->second.begin(), it->second.end());
   }
+  std::sort(phases.begin(), phases.end(),
+            [](const auto& x, const auto& y) { return x.second.first_ts < y.second.first_ts; });
 
+  AsciiTable table({"phase", "count", "wall", "% of root", "self", "avg"});
+  double attributed_us = 0.0;
+  double critical_us = 0.0;
+  std::string critical;
+  for (const auto& [name, c] : phases) {
+    attributed_us += c.total_us;
+    if (c.total_us > critical_us) {
+      critical_us = c.total_us;
+      critical = name;
+    }
+    table.add_row({name, std::to_string(c.count), format_us(c.total_us),
+                   AsciiTable::num(root.total_us > 0.0 ? 100.0 * c.total_us / root.total_us : 0.0,
+                                   1),
+                   format_us(c.self_us),
+                   format_us(c.total_us / static_cast<double>(c.count))});
+  }
+  const double gap_us = root.total_us - attributed_us;
+  table.add_row({"(unattributed)", "", format_us(gap_us),
+                 AsciiTable::num(root.total_us > 0.0 ? 100.0 * gap_us / root.total_us : 0.0, 1),
+                 "", ""});
+  std::cout << table.render();
+  if (!critical.empty()) {
+    std::cout << "critical phase: " << critical << " ("
+              << AsciiTable::num(root.total_us > 0.0 ? 100.0 * critical_us / root.total_us : 0.0,
+                                 1)
+              << "% of the root's wall time)\n";
+  }
+  return 0;
+}
+
+std::string slurp(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) fail("cannot open '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Validates one chronosync-metrics-v1 snapshot: schema marker, numeric and
+/// finite values, and for every quantile family the ordering the histogram
+/// guarantees (min <= p50 <= p90 <= p99 <= p999 <= max once it has samples).
+int check_metrics(const std::string& path) {
+  std::vector<std::pair<std::string, double>> metrics;
+  try {
+    metrics = chronosync::obs::read_metrics_json(slurp(path));
+  } catch (const std::exception& e) {
+    fail("'" + path + "': " + e.what());
+  }
+  for (const auto& [name, value] : metrics) {
+    if (!std::isfinite(value)) fail("metric '" + name + "' is not finite");
+  }
+
+  // Group <family>.p50/.p90/.p99/.p999/.count/.min/.max by family prefix.
+  std::map<std::string, std::map<std::string, double>> families;
+  for (const auto& [name, value] : metrics) {
+    for (const char* suffix : {".p50", ".p90", ".p99", ".p999", ".count", ".min", ".max"}) {
+      if (name.size() > std::string(suffix).size() && name.ends_with(suffix)) {
+        families[name.substr(0, name.size() - std::string(suffix).size())][suffix] = value;
+      }
+    }
+  }
+  std::size_t quantile_families = 0;
+  for (const auto& [family, f] : families) {
+    if (!f.count(".p50")) continue;  // histogram summaries carry no quantiles
+    ++quantile_families;
+    for (const char* suffix : {".p90", ".p99", ".p999", ".count", ".min", ".max"}) {
+      if (!f.count(suffix)) fail("quantile family '" + family + "' is missing " + suffix);
+    }
+    const double count = f.at(".count");
+    if (count < 0.0) fail("quantile family '" + family + "' has negative count");
+    const double qs[] = {f.at(".min"), f.at(".p50"), f.at(".p90"), f.at(".p99"), f.at(".p999"),
+                         f.at(".max")};
+    if (count > 0.0) {
+      for (std::size_t i = 1; i < std::size(qs); ++i) {
+        if (qs[i - 1] > qs[i]) {
+          fail("quantile family '" + family + "' is not monotone (min<=p50<=p90<=p99<=p999<=max)");
+        }
+      }
+    }
+  }
+  std::cout << "chronoscope: metrics OK (" << metrics.size() << " metric(s), "
+            << quantile_families << " quantile famil" << (quantile_families == 1 ? "y" : "ies")
+            << ")\n";
+  return 0;
+}
+
+/// Loads one artifact for --diff as a flat name -> value map.  Metrics
+/// snapshots (schema marker present) gate their quantile keys; traces gate
+/// per-span total wall time.
+std::map<std::string, double> load_diff_values(const std::string& path, std::string& kind) {
+  const std::string text = slurp(path);
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(text);
+  } catch (const std::exception& e) {
+    fail("'" + path + "' is not valid JSON: " + e.what());
+  }
+  std::map<std::string, double> out;
+  if (doc.is_object() && doc.find("schema") != nullptr) {
+    kind = "metrics";
+    std::vector<std::pair<std::string, double>> metrics;
+    try {
+      metrics = chronosync::obs::read_metrics_json(text);
+    } catch (const std::exception& e) {
+      fail("'" + path + "': " + e.what());
+    }
+    for (const auto& [name, value] : metrics) {
+      for (const char* suffix : {".p50", ".p90", ".p99", ".p999"}) {
+        if (name.ends_with(suffix)) out[name] = value;
+      }
+    }
+  } else {
+    kind = "trace";
+    const Analysis a = analyze(doc);
+    for (const auto& [name, agg] : a.spans) out[name + ".wall_us"] = agg.total_us;
+  }
+  return out;
+}
+
+/// Threshold-gated regression comparison of two runs' artifacts, for CI: a
+/// gated value that grew by more than --threshold percent from A to B fails
+/// the diff.  Improvements and new/missing keys are reported, never fatal.
+int run_diff(const std::string& path_a, const std::string& path_b, double threshold_pct) {
+  if (threshold_pct < 0.0) fail("--threshold must be non-negative");
+  std::string kind_a, kind_b;
+  const std::map<std::string, double> a = load_diff_values(path_a, kind_a);
+  const std::map<std::string, double> b = load_diff_values(path_b, kind_b);
+  if (kind_a != kind_b) {
+    fail("cannot diff a " + kind_a + " artifact against a " + kind_b + " artifact");
+  }
+
+  AsciiTable table({"key", "A", "B", "delta %", "verdict"});
+  std::size_t compared = 0;
+  std::size_t regressed = 0;
+  std::size_t unmatched = 0;
+  for (const auto& [key, va] : a) {
+    const auto it = b.find(key);
+    if (it == b.end()) {
+      ++unmatched;
+      continue;
+    }
+    const double vb = it->second;
+    ++compared;
+    // Relative growth with an absolute floor: sub-nanosecond jitter on a
+    // near-zero baseline is noise, not a regression.
+    const bool worse = vb > va * (1.0 + threshold_pct / 100.0) + 1e-9;
+    const double delta_pct = va != 0.0 ? 100.0 * (vb - va) / va : (vb != 0.0 ? 100.0 : 0.0);
+    if (worse) ++regressed;
+    table.add_row({key, AsciiTable::num(va, 3), AsciiTable::num(vb, 3),
+                   AsciiTable::num(delta_pct, 1), worse ? "REGRESSED" : "ok"});
+  }
+  unmatched += [&] {
+    std::size_t only_b = 0;
+    for (const auto& [key, vb] : b) only_b += a.count(key) == 0 ? 1 : 0;
+    return only_b;
+  }();
+
+  std::cout << "diff (" << kind_a << ", threshold " << threshold_pct << "%): " << compared
+            << " key(s) compared, " << regressed << " regressed, " << unmatched
+            << " unmatched\n"
+            << table.render();
+  if (regressed > 0) {
+    std::cerr << "chronoscope: " << regressed << " value(s) regressed beyond " << threshold_pct
+              << "%\n";
+    return 1;
+  }
+  std::cout << "ok: no value regressed beyond " << threshold_pct << "%\n";
+  return 0;
+}
+
+/// The Cli swallows the token after a bare flag as its value, so a mode's
+/// file arguments may land in the flag's value, in positional(), or split
+/// across both; collect them in order.
+std::vector<std::string> mode_paths(const chronosync::Cli& cli, const char* flag) {
+  std::vector<std::string> paths;
+  const std::string v = cli.get(flag, "1");
+  if (v != "1" && !v.empty()) paths.push_back(v);
+  for (const auto& p : cli.positional()) paths.push_back(p);
+  return paths;
+}
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: chronoscope [--check] [--top N] <trace.json>\n"
+               "       chronoscope --phases <trace.json>\n"
+               "       chronoscope --metrics <metrics.json>\n"
+               "       chronoscope --diff <A> <B> [--threshold PCT]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const chronosync::Cli cli(argc, argv);
+
+  if (cli.has("diff")) {
+    const std::vector<std::string> paths = mode_paths(cli, "diff");
+    if (paths.size() != 2) usage();
+    return run_diff(paths[0], paths[1], cli.get_double("threshold", 25.0));
+  }
+  if (cli.has("metrics")) {
+    const std::vector<std::string> paths = mode_paths(cli, "metrics");
+    if (paths.size() != 1) usage();
+    return check_metrics(paths[0]);
+  }
+
+  const char* flag = cli.has("phases") ? "phases" : "check";
+  const std::vector<std::string> paths = mode_paths(cli, flag);
+  if (paths.size() != 1) usage();
+  const std::string& path = paths[0];
 
   JsonValue doc;
   try {
-    doc = JsonValue::parse(buffer.str());
+    doc = JsonValue::parse(slurp(path));
   } catch (const std::exception& e) {
     fail("'" + path + "' is not valid JSON: " + e.what());
   }
 
   const Analysis a = analyze(doc);
 
+  if (cli.has("phases")) return print_phases(a);
   if (cli.has("check")) {
     std::cout << "chronoscope: OK (" << a.events << " events, " << a.span_count
               << " spans, " << a.threads.size() << " threads)\n";
